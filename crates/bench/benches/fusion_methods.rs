@@ -1,0 +1,35 @@
+//! Criterion: the truth-discovery substrate — one full fusion pass of each
+//! initialiser over the standard synthetic Book dataset.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crowdfusion_bench::standard_books;
+use crowdfusion_fusion::{AccuVote, Crh, FusionMethod, MajorityVote, ModifiedCrh, TruthFinder};
+
+fn bench_fusion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fusion_methods");
+    for &n_books in &[50usize, 200] {
+        let books = standard_books(n_books, (3, 8), 1);
+        let methods: Vec<Box<dyn FusionMethod>> = vec![
+            Box::new(MajorityVote),
+            Box::new(Crh::default()),
+            Box::new(ModifiedCrh::default()),
+            Box::new(TruthFinder::default()),
+            Box::new(AccuVote::default()),
+        ];
+        for method in methods {
+            group.bench_with_input(
+                BenchmarkId::new(method.name(), n_books),
+                &n_books,
+                |b, _| b.iter(|| std::hint::black_box(method.fuse(&books.dataset).unwrap())),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fusion
+}
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion: answer-table preprocessing — the paper's `O(|O|²)` naive
+//! computation (serial and crossbeam-parallel, Section III-F's MapReduce
+//! claim) against the butterfly transform.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crowdfusion_bench::bench_prior;
+use crowdfusion_core::answers::{full_answer_distribution, AnswerEvaluator};
+use crowdfusion_core::parallel::{
+    full_answer_distribution_butterfly_parallel, full_answer_distribution_naive_parallel,
+};
+
+fn bench_preprocess(c: &mut Criterion) {
+    let mut group = c.benchmark_group("answer_table_preprocess");
+    for &n in &[10usize, 14] {
+        let dist = bench_prior(n, 2);
+        group.bench_with_input(BenchmarkId::new("naive_serial", n), &n, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(
+                    full_answer_distribution(&dist, 0.8, AnswerEvaluator::Naive).unwrap(),
+                )
+            })
+        });
+        for threads in [2usize, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("naive_parallel_{threads}"), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        std::hint::black_box(
+                            full_answer_distribution_naive_parallel(&dist, 0.8, threads).unwrap(),
+                        )
+                    })
+                },
+            );
+        }
+        group.bench_with_input(BenchmarkId::new("butterfly_serial", n), &n, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(
+                    full_answer_distribution(&dist, 0.8, AnswerEvaluator::Butterfly).unwrap(),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("butterfly_parallel_4", n), &n, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(
+                    full_answer_distribution_butterfly_parallel(&dist, 0.8, 4).unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_preprocess
+}
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion: greedy evaluator comparison (paper-naive vs butterfly vs
+//! Algorithm 2 preprocessing) across fact counts — the ablation behind the
+//! DESIGN.md evaluator discussion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crowdfusion_bench::bench_prior;
+use crowdfusion_core::answers::AnswerEvaluator;
+use crowdfusion_core::selection::{GreedySelector, TaskSelector};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_evaluators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("greedy_evaluators");
+    for &n in &[8usize, 12, 16] {
+        let dist = bench_prior(n, 5);
+        let configs: Vec<(&str, GreedySelector)> = vec![
+            ("naive", GreedySelector::paper_approx()),
+            (
+                "butterfly",
+                GreedySelector::paper_approx().with_evaluator(AnswerEvaluator::Butterfly),
+            ),
+            (
+                "preprocessed",
+                GreedySelector::paper_approx()
+                    .with_evaluator(AnswerEvaluator::Butterfly)
+                    .with_preprocess(),
+            ),
+        ];
+        for (label, selector) in configs {
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(1);
+                    std::hint::black_box(selector.select(&dist, 0.8, 4, &mut rng).unwrap())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_evaluators
+}
+criterion_main!(benches);

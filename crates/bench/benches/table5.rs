@@ -1,0 +1,35 @@
+//! Criterion companion to the Table V harness: one-round selection time of
+//! every paper configuration at representative `k` values.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crowdfusion_bench::bench_prior;
+use crowdfusion_core::selection::SelectorKind;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_table5(c: &mut Criterion) {
+    let dist = bench_prior(12, 7);
+    let mut group = c.benchmark_group("table5_selection");
+    for kind in SelectorKind::TABLE_V {
+        for &k in &[1usize, 2, 3, 6] {
+            if kind == SelectorKind::Opt && k > 3 {
+                continue;
+            }
+            let selector = kind.build();
+            group.bench_with_input(BenchmarkId::new(kind.label(), k), &k, |b, &k| {
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(1);
+                    std::hint::black_box(selector.select(&dist, 0.8, k, &mut rng).unwrap())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table5
+}
+criterion_main!(benches);

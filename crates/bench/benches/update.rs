@@ -1,0 +1,50 @@
+//! Criterion: the per-round hot paths — Equation 2 answer distributions
+//! and the Equation 3 Bayesian merge.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crowdfusion_bench::bench_prior;
+use crowdfusion_core::answers::{answer_distribution, posterior, AnswerEvaluator};
+use crowdfusion_jointdist::VarSet;
+
+fn bench_answer_distribution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("answer_distribution");
+    let dist = bench_prior(14, 4);
+    for &t in &[2usize, 6, 10] {
+        let tasks = VarSet::from_vars(0..t);
+        group.bench_with_input(BenchmarkId::new("naive", t), &t, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(
+                    answer_distribution(&dist, tasks, 0.8, AnswerEvaluator::Naive).unwrap(),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("butterfly", t), &t, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(
+                    answer_distribution(&dist, tasks, 0.8, AnswerEvaluator::Butterfly).unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_posterior(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bayes_merge");
+    for &n in &[8usize, 14] {
+        let dist = bench_prior(n, 4);
+        let tasks: Vec<usize> = (0..4.min(n)).collect();
+        let answers: Vec<bool> = tasks.iter().map(|t| t % 2 == 0).collect();
+        group.bench_with_input(BenchmarkId::new("posterior_k4", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(posterior(&dist, &tasks, &answers, 0.8).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_answer_distribution, bench_posterior
+}
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Figure 2: quality improvement of OPT, Approx. and Random with cost, on
+//! the 40 smallest books with k = 2 and budget B = 10, for
+//! Pc ∈ {0.7, 0.8, 0.9} — six panels (a)–(f): F1-score and utility.
+//!
+//! Expected shape (paper Section V-C-1): OPT ≈ Approx. ≫ Random; quality
+//! rises with budget but is not perfectly monotone because crowd answers
+//! can be wrong.
+//!
+//! Run with: `cargo run --release -p crowdfusion-bench --bin fig2 [--quick]`
+
+use crowdfusion::prelude::*;
+use crowdfusion_bench::{
+    is_quick, run_quality_experiment, sample_points, standard_books, standard_cases,
+};
+use crowdfusion_core::answers::AnswerEvaluator;
+
+fn main() {
+    let quick = is_quick();
+    // The paper: "a small subset of data with 40 books, which contains the
+    // least number of statements". OPT with k = 2 needs small n anyway.
+    let (n_books, subset) = if quick { (30, 12) } else { (100, 40) };
+    let books = standard_books(n_books, (3, 6), 2017);
+    let small = books.select_books(&books.smallest_books(subset));
+    let cases = standard_cases(&small);
+    let k = 2;
+    let budget = 10;
+    let seeds: u64 = if quick { 2 } else { 5 };
+
+    println!(
+        "Figure 2 reproduction: {} smallest books, k = {k}, B = {budget}, {} seeds averaged",
+        subset, seeds
+    );
+
+    for pc in [0.7, 0.8, 0.9] {
+        println!("\n===== Pc = {pc} =====");
+        println!(
+            "{:>6} {:>10} {:>10} {:>10} {:>12} {:>12} {:>12}",
+            "cost", "OPT F1", "Appr F1", "Rand F1", "OPT util", "Appr util", "Rand util"
+        );
+        let selectors: Vec<(&str, Box<dyn TaskSelector>)> = vec![
+            (
+                "opt",
+                Box::new(OptSelector::new(AnswerEvaluator::Butterfly)),
+            ),
+            ("approx", Box::new(GreedySelector::fast())),
+            ("random", Box::new(RandomSelector)),
+        ];
+        // Average the series across seeds per selector.
+        let mut series: Vec<Vec<QualityPoint>> = Vec::new();
+        for (_, selector) in &selectors {
+            let mut averaged: Vec<QualityPoint> = Vec::new();
+            for seed in 0..seeds {
+                let trace = run_quality_experiment(
+                    cases.clone(),
+                    selector.as_ref(),
+                    k,
+                    budget,
+                    pc,
+                    9000 + seed,
+                );
+                let sampled = sample_points(&trace, 5);
+                if averaged.is_empty() {
+                    averaged = sampled;
+                } else {
+                    for (acc, p) in averaged.iter_mut().zip(sampled) {
+                        acc.utility += p.utility;
+                        acc.f1 += p.f1;
+                        acc.precision += p.precision;
+                        acc.recall += p.recall;
+                    }
+                }
+            }
+            for p in &mut averaged {
+                p.utility /= seeds as f64;
+                p.f1 /= seeds as f64;
+                p.precision /= seeds as f64;
+                p.recall /= seeds as f64;
+            }
+            series.push(averaged);
+        }
+        for ((opt, appr), rand) in series[0].iter().zip(&series[1]).zip(&series[2]) {
+            println!(
+                "{:>6} {:>10.3} {:>10.3} {:>10.3} {:>12.2} {:>12.2} {:>12.2}",
+                opt.cost, opt.f1, appr.f1, rand.f1, opt.utility, appr.utility, rand.utility,
+            );
+        }
+    }
+    println!("\nShape checks: OPT ≈ Approx. on both metrics; both clearly beat");
+    println!("Random at every cost level; higher Pc converges faster.");
+}

@@ -1,0 +1,141 @@
+//! Tables I–IV: the paper's running example, printed in the paper's row
+//! format, plus the worked numbers of Sections III-A and III-D.
+//!
+//! Run with: `cargo run --release -p crowdfusion-bench --bin running_example`
+
+use crowdfusion::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Prints a 16-row judgment table in the paper's order (o1 = FFFF first,
+/// f4 varying fastest).
+fn print_judgment_table(header: &str, prob_of: impl Fn(usize) -> f64) {
+    println!("{header}");
+    println!(
+        "  {:>4} {:>3} {:>3} {:>3} {:>3} {:>8}",
+        "row", "f1", "f2", "f3", "f4", "P"
+    );
+    for row in 0..16usize {
+        // Row bit 3 -> f1 (var 0) … bit 0 -> f4 (var 3).
+        let mut pattern = 0usize;
+        for v in 0..4 {
+            if (row >> (3 - v)) & 1 == 1 {
+                pattern |= 1 << v;
+            }
+        }
+        let judge = |v: usize| if (pattern >> v) & 1 == 1 { "T" } else { "F" };
+        println!(
+            "  {:>4} {:>3} {:>3} {:>3} {:>3} {:>8.3}",
+            row + 1,
+            judge(0),
+            judge(1),
+            judge(2),
+            judge(3),
+            prob_of(pattern)
+        );
+    }
+}
+
+fn main() {
+    let facts = FactSet::running_example();
+    let pc = 0.8;
+
+    println!("== Table I: facts with uncertainty ==");
+    println!(
+        "  {:<4} {:<12} {:<20} {:<12} {:>6}",
+        "Fid", "Entity", "Attribute", "Value", "P(f)"
+    );
+    for (i, (fact, m)) in facts.facts().iter().zip(facts.marginals()).enumerate() {
+        println!(
+            "  f{:<3} {:<12} {:<20} {:<12} {:>6.2}",
+            i + 1,
+            fact.subject,
+            fact.predicate,
+            fact.object,
+            m
+        );
+    }
+
+    println!();
+    print_judgment_table("== Table II: output joint distribution ==", |pattern| {
+        facts.dist().prob(Assignment(pattern as u64))
+    });
+
+    println!();
+    println!("== Table III: fact entropy vs task entropy of all 2-subsets (Pc = 0.8) ==");
+    println!("  (our self-consistent labelling; see DESIGN.md for the paper's");
+    println!("   Table III label permutation f1<->f4, f2<->f3)");
+    println!("  {:<10} {:>18} {:>12}", "T", "H({f_i in T})", "H(T)");
+    for a in 0..4usize {
+        for b in (a + 1)..4 {
+            let t = VarSet::from_vars([a, b]);
+            let h_fact = answer_entropy(facts.dist(), t, 1.0, AnswerEvaluator::Naive).unwrap();
+            let h_task = answer_entropy(facts.dist(), t, pc, AnswerEvaluator::Naive).unwrap();
+            println!(
+                "  {{f{}, f{}}} {:>18.3} {:>12.3}",
+                a + 1,
+                b + 1,
+                h_fact,
+                h_task
+            );
+        }
+    }
+
+    println!();
+    let table_iv =
+        answer_distribution(facts.dist(), VarSet::all(4), pc, AnswerEvaluator::Butterfly).unwrap();
+    print_judgment_table(
+        "== Table IV: answer joint distribution (Pc = 0.8) ==",
+        |pattern| table_iv[pattern],
+    );
+
+    println!();
+    println!("== Section III-A worked numbers ==");
+    let single =
+        answer_distribution(facts.dist(), VarSet::single(0), pc, AnswerEvaluator::Naive).unwrap();
+    println!(
+        "  P(e = \"f1 answered true\") = {:.3}   (paper: 0.5)",
+        single[1]
+    );
+    let post = posterior(facts.dist(), &[0], &[true], pc).unwrap();
+    println!(
+        "  P(o1 | e) = {:.3}   (paper: 0.012)",
+        post.prob(Assignment(0b0000))
+    );
+    println!(
+        "  P(o9 | e) = {:.3}   (paper: 0.064)",
+        post.prob(Assignment(0b0001))
+    );
+
+    println!();
+    println!("== Section III-D greedy walk-through ==");
+    let mut rng = StdRng::seed_from_u64(0);
+    let first = GreedySelector::fast()
+        .select(facts.dist(), pc, 1, &mut rng)
+        .unwrap();
+    let h1 = answer_entropy(
+        facts.dist(),
+        VarSet::from_vars(first.iter().copied()),
+        pc,
+        AnswerEvaluator::Butterfly,
+    )
+    .unwrap();
+    println!(
+        "  round 1 picks f{} with H = {h1:.3} (paper: f1, H = 1)",
+        first[0] + 1
+    );
+    let both = GreedySelector::fast()
+        .select(facts.dist(), pc, 2, &mut rng)
+        .unwrap();
+    let h2 = answer_entropy(
+        facts.dist(),
+        VarSet::from_vars(both.iter().copied()),
+        pc,
+        AnswerEvaluator::Butterfly,
+    )
+    .unwrap();
+    println!(
+        "  round 2 adds f{} reaching H = {h2:.3} (paper: f4, H = 1.997)",
+        both[1] + 1
+    );
+}

@@ -1,0 +1,183 @@
+//! Theorem 1: NP-hardness of task selection, as an executable reduction.
+//!
+//! The paper proves `DTaskSelect` (is there a size-`k` task set with
+//! `H(T) ≥ H_t`?) NP-complete by reducing PARTITION to it: given numbers
+//! `c_1..c_s`, normalise `x_i = c_i / Σc`, build a distribution over
+//! `n = 2^s` facts whose outputs `o_1..o_{2^s}` have `P(o_i) = x_i` — where
+//! output `o_i`'s judgment of fact `f_I` is the `I`-th bit pattern — and ask
+//! for one fact (`k = 1`, `Pc = 1`) with `H(T) = 1`. Fact `f_I` then splits
+//! the outputs into the two subsets encoded by the binary index `I`, and
+//! `H(f_I) = 1` holds exactly when the two subsets have equal sums, i.e.
+//! when a perfect partition exists.
+//!
+//! This module implements the instance construction and the decision check,
+//! making the reduction testable. Fact counts are bounded by the dense
+//! limits, so it is a *demonstration* (NP-hardness is about asymptotics),
+//! but every step of the paper's proof is exercised for real.
+
+use crate::answers::{answer_entropy, AnswerEvaluator};
+use crate::error::CoreError;
+use crowdfusion_jointdist::{Assignment, JointDist, VarSet};
+
+/// Maximum number of PARTITION items the dense construction supports:
+/// the reduction needs `2^s` facts, and fact masks are 64-bit.
+pub const MAX_PARTITION_ITEMS: usize = 6;
+
+/// A DTaskSelect instance produced by the PARTITION reduction.
+#[derive(Debug, Clone)]
+pub struct PartitionInstance {
+    /// The joint distribution over `2^s` facts with `s`-item outputs.
+    pub dist: JointDist,
+    /// The normalised weights `x_i` (for reporting).
+    pub weights: Vec<f64>,
+}
+
+/// Builds the paper's reduction instance from PARTITION numbers.
+///
+/// Fact `f_I` (for `I ∈ 0..2^s`) is judged true in output `o_i` exactly
+/// when bit `i` of `I` is set — so the facts enumerate every possible
+/// subset of the `s` outputs, and selecting fact `f_I` with `Pc = 1`
+/// observes the indicator of the subset encoded by `I`.
+pub fn partition_to_task_selection(numbers: &[u64]) -> Result<PartitionInstance, CoreError> {
+    let s = numbers.len();
+    if s == 0 || s > MAX_PARTITION_ITEMS {
+        return Err(CoreError::TooManyFacts {
+            requested: 1usize << s.max(1),
+            limit: 1usize << MAX_PARTITION_ITEMS,
+        });
+    }
+    let total: u64 = numbers.iter().sum();
+    if total == 0 {
+        return Err(CoreError::EmptyTaskSet);
+    }
+    let n_facts = 1usize << s;
+    let weights: Vec<f64> = numbers.iter().map(|&c| c as f64 / total as f64).collect();
+    // Output o_i (i in 0..s): fact f_I true iff bit i of I is set.
+    let entries = (0..s).map(|i| {
+        let mut judgment = Assignment::ALL_FALSE;
+        for fact_index in 0..n_facts {
+            if (fact_index >> i) & 1 == 1 {
+                judgment = judgment.with(fact_index, true);
+            }
+        }
+        (judgment, weights[i])
+    });
+    let dist = JointDist::from_weights(n_facts, entries)?;
+    Ok(PartitionInstance { dist, weights })
+}
+
+/// Decides DTaskSelect for the reduction instance: is there a single fact
+/// with `H({f}) ≥ 1 − tolerance` at `Pc = 1`? Returns the witness subset
+/// (as item indices) when one exists.
+pub fn find_equal_partition(
+    instance: &PartitionInstance,
+    tolerance: f64,
+) -> Result<Option<Vec<usize>>, CoreError> {
+    let n_facts = instance.dist.num_vars();
+    for fact in 0..n_facts {
+        let h = answer_entropy(
+            &instance.dist,
+            VarSet::single(fact),
+            1.0,
+            AnswerEvaluator::Butterfly,
+        )?;
+        if h >= 1.0 - tolerance {
+            // Decode the witness: items whose bit is set in the fact index.
+            let items = (0..instance.weights.len())
+                .filter(|i| (fact >> i) & 1 == 1)
+                .collect();
+            return Ok(Some(items));
+        }
+    }
+    Ok(None)
+}
+
+/// Convenience: solves PARTITION through the reduction. Returns one side of
+/// an equal-sum split when it exists.
+pub fn solve_partition(numbers: &[u64]) -> Result<Option<Vec<usize>>, CoreError> {
+    let instance = partition_to_task_selection(numbers)?;
+    // An exactly equal split gives marginal exactly 0.5; floating-point
+    // noise stays far below this tolerance for u64 inputs of sane size.
+    let witness = find_equal_partition(&instance, 1e-9)?;
+    Ok(witness.filter(|items| {
+        // Verify exactly (integers), guarding against borderline entropy.
+        let side: u64 = items.iter().map(|&i| numbers[i]).sum();
+        let total: u64 = numbers.iter().sum();
+        2 * side == total
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instance_shape_follows_proof() {
+        let inst = partition_to_task_selection(&[1, 2, 3]).unwrap();
+        assert_eq!(inst.dist.num_vars(), 8); // 2^3 facts
+        assert_eq!(inst.dist.support_size(), 3); // one output per item
+        assert!((inst.dist.total_mass() - 1.0).abs() < 1e-12);
+        // Fact f_0 is false everywhere (empty subset) => marginal 0.
+        assert_eq!(inst.dist.marginal(0).unwrap(), 0.0);
+        // Fact f_{2^s - 1} is true everywhere (full subset) => marginal 1.
+        assert!((inst.dist.marginal(7).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn yes_instances_yield_witnesses() {
+        // {1, 2, 3}: {1, 2} vs {3}.
+        let witness = solve_partition(&[1, 2, 3]).unwrap().unwrap();
+        let side: u64 = witness.iter().map(|&i| [1u64, 2, 3][i]).sum();
+        assert_eq!(side, 3);
+        // {4, 4}: trivial split.
+        assert!(solve_partition(&[4, 4]).unwrap().is_some());
+        // {2, 2, 2, 2, 3, 3}: e.g. {2, 2, 3} both sides.
+        let numbers = [2u64, 2, 2, 2, 3, 3];
+        let witness = solve_partition(&numbers).unwrap().unwrap();
+        let side: u64 = witness.iter().map(|&i| numbers[i]).sum();
+        assert_eq!(side * 2, numbers.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn no_instances_yield_none() {
+        assert!(solve_partition(&[1, 2, 4]).unwrap().is_none());
+        assert!(solve_partition(&[1]).unwrap().is_none());
+        assert!(solve_partition(&[3, 5, 7]).unwrap().is_none());
+    }
+
+    #[test]
+    fn odd_total_is_always_no() {
+        assert!(solve_partition(&[1, 1, 1]).unwrap().is_none());
+    }
+
+    #[test]
+    fn size_limits_enforced() {
+        assert!(partition_to_task_selection(&[]).is_err());
+        assert!(partition_to_task_selection(&[1; 7]).is_err());
+        assert!(partition_to_task_selection(&[0, 0]).is_err());
+    }
+
+    #[test]
+    fn entropy_of_witness_fact_is_one_bit() {
+        // The core of the proof: the witness fact has H = 1 exactly.
+        let inst = partition_to_task_selection(&[1, 2, 3]).unwrap();
+        let witness_fact = 0b011; // items {0, 1} -> sum 3 = half
+        let h = answer_entropy(
+            &inst.dist,
+            VarSet::single(witness_fact),
+            1.0,
+            AnswerEvaluator::Naive,
+        )
+        .unwrap();
+        assert!((h - 1.0).abs() < 1e-12);
+        // A non-witness fact has H < 1.
+        let h = answer_entropy(
+            &inst.dist,
+            VarSet::single(0b001),
+            1.0,
+            AnswerEvaluator::Naive,
+        )
+        .unwrap();
+        assert!(h < 1.0 - 1e-6);
+    }
+}

@@ -1,0 +1,68 @@
+//! CrowdFusion — crowdsourced data fusion refinement (Chen, Chen & Zhang,
+//! ICDE 2017).
+//!
+//! This crate implements the paper's primary contribution: given a joint
+//! prior over boolean facts (from any machine-only fusion method) and a
+//! noisy crowd with accuracy `Pc`, repeatedly select the size-`k` task set
+//! maximising the entropy of the crowd-answer distribution (NP-hard;
+//! Theorem 1), ask the crowd, and merge the answers with Bayes' rule until
+//! the budget runs out (Figure 1).
+//!
+//! Layout:
+//!
+//! * [`model`] — fact triples and the [`model::FactSet`] container;
+//! * [`answers`] — the answer distribution of Equation 2 (naive and
+//!   butterfly evaluators) and the Bayesian merge of Equation 3;
+//! * [`selection`] — OPT, the `(1 − 1/e)` greedy (Algorithm 1), Theorem 3
+//!   pruning, Algorithm 2 preprocessing and the random baseline;
+//! * [`query`] — the query-based extension (Section IV);
+//! * [`prior`] — lifting fusion marginals (+ correlation groups) into a
+//!   joint prior;
+//! * [`round`] / [`system`] — the select–collect–update round driver and
+//!   multi-entity experiment orchestration;
+//! * [`metrics`] — utility and F1 bookkeeping;
+//! * [`parallel`] — crossbeam-parallel preprocessing (the paper notes the
+//!   step is MapReduce-friendly).
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod allocation;
+pub mod answers;
+pub mod error;
+pub mod hardness;
+pub mod metrics;
+pub mod model;
+pub mod parallel;
+pub mod prior;
+pub mod query;
+pub mod round;
+pub mod selection;
+pub mod system;
+
+pub use allocation::{run_global, GlobalBudgetConfig};
+pub use answers::{answer_distribution, answer_entropy, posterior, AnswerEvaluator};
+pub use error::CoreError;
+pub use metrics::{ConfusionCounts, QualityPoint};
+pub use model::{Fact, FactSet};
+pub use query::QueryGreedySelector;
+pub use round::{EntityCase, EntityTrace, RoundConfig, RoundPoint};
+pub use selection::{
+    GreedySelector, OptSelector, PruneBound, RandomSelector, SelectorKind, TaskSelector,
+};
+pub use system::{Experiment, ExperimentTrace};
+
+/// Maximum number of facts per entity for which dense answer-space
+/// operations are permitted (the same bound as
+/// [`crowdfusion_jointdist::MAX_DENSE_VARS`]).
+pub const MAX_DENSE_FACTS: usize = crowdfusion_jointdist::MAX_DENSE_VARS;
+
+/// Validates a crowd accuracy against the paper's model range `[0.5, 1]`
+/// (Definition 2).
+pub fn validate_pc(pc: f64) -> Result<(), CoreError> {
+    if (0.5..=1.0).contains(&pc) {
+        Ok(())
+    } else {
+        Err(CoreError::InvalidAccuracy(pc))
+    }
+}

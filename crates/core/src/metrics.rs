@@ -1,0 +1,261 @@
+//! Quality metrics: the paper evaluates with summed utility (Definition 1)
+//! and F1-score against the gold standard (Section V-C).
+
+use crowdfusion_jointdist::Assignment;
+use serde::{Deserialize, Serialize};
+
+/// Confusion-matrix counts for thresholded truth predictions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionCounts {
+    /// Predicted true, gold true.
+    pub tp: u64,
+    /// Predicted true, gold false.
+    pub fp: u64,
+    /// Predicted false, gold false.
+    pub tn: u64,
+    /// Predicted false, gold true.
+    pub fn_: u64,
+}
+
+impl ConfusionCounts {
+    /// Accumulates predictions from per-fact marginals against a gold
+    /// assignment: fact `i` is predicted true when `marginals[i] ≥ 0.5`.
+    pub fn add_marginals(&mut self, marginals: &[f64], gold: Assignment) {
+        for (i, &p) in marginals.iter().enumerate() {
+            let predicted = p >= 0.5;
+            let actual = gold.get(i);
+            match (predicted, actual) {
+                (true, true) => self.tp += 1,
+                (true, false) => self.fp += 1,
+                (false, false) => self.tn += 1,
+                (false, true) => self.fn_ += 1,
+            }
+        }
+    }
+
+    /// Merges another count set into this one.
+    pub fn merge(&mut self, other: ConfusionCounts) {
+        self.tp += other.tp;
+        self.fp += other.fp;
+        self.tn += other.tn;
+        self.fn_ += other.fn_;
+    }
+
+    /// Total number of judged facts.
+    pub fn total(&self) -> u64 {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// Precision `TP / (TP + FP)`; 0 when undefined.
+    pub fn precision(&self) -> f64 {
+        let denom = self.tp + self.fp;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// Recall `TP / (TP + FN)`; 0 when undefined.
+    pub fn recall(&self) -> f64 {
+        let denom = self.tp + self.fn_;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// F1 score (harmonic mean of precision and recall); 0 when undefined.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Simple accuracy `(TP + TN) / total`; 0 when empty.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            (self.tp + self.tn) as f64 / total as f64
+        }
+    }
+}
+
+/// One point on a quality-vs-cost curve (the paper's Figures 2–4 series).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QualityPoint {
+    /// Cumulative number of crowd judgments spent ("Cost/#Tasks").
+    pub cost: u64,
+    /// Summed utility `Σ Q(F)` over all entities (Definition 1; the paper
+    /// "simply sum\[s\] up the utility scores of all data instances").
+    pub utility: f64,
+    /// Micro-averaged F1 against the gold standard.
+    pub f1: f64,
+    /// Micro-averaged precision.
+    pub precision: f64,
+    /// Micro-averaged recall.
+    pub recall: f64,
+}
+
+/// Serialises a quality series as CSV (`cost,utility,f1,precision,recall`
+/// header plus one row per point) — the format plotting scripts consume.
+pub fn quality_points_to_csv(points: &[QualityPoint]) -> String {
+    let mut out = String::from("cost,utility,f1,precision,recall\n");
+    for p in points {
+        out.push_str(&format!(
+            "{},{},{},{},{}\n",
+            p.cost, p.utility, p.f1, p.precision, p.recall
+        ));
+    }
+    out
+}
+
+/// Parses a quality series from the CSV produced by
+/// [`quality_points_to_csv`]. Returns `None` on any malformed row.
+pub fn quality_points_from_csv(csv: &str) -> Option<Vec<QualityPoint>> {
+    let mut lines = csv.lines();
+    let header = lines.next()?;
+    if header.trim() != "cost,utility,f1,precision,recall" {
+        return None;
+    }
+    let mut points = Vec::new();
+    for line in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut fields = line.split(',');
+        let cost = fields.next()?.trim().parse().ok()?;
+        let utility = fields.next()?.trim().parse().ok()?;
+        let f1 = fields.next()?.trim().parse().ok()?;
+        let precision = fields.next()?.trim().parse().ok()?;
+        let recall = fields.next()?.trim().parse().ok()?;
+        if fields.next().is_some() {
+            return None;
+        }
+        points.push(QualityPoint {
+            cost,
+            utility,
+            f1,
+            precision,
+            recall,
+        });
+    }
+    Some(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confusion_from_marginals() {
+        let mut c = ConfusionCounts::default();
+        let gold = Assignment(0b0101); // facts 0, 2 true
+        c.add_marginals(&[0.9, 0.8, 0.3, 0.1], gold);
+        // predictions: T T F F vs gold T F T F
+        assert_eq!(
+            c,
+            ConfusionCounts {
+                tp: 1,
+                fp: 1,
+                tn: 1,
+                fn_: 1
+            }
+        );
+        assert!((c.precision() - 0.5).abs() < 1e-12);
+        assert!((c.recall() - 0.5).abs() < 1e-12);
+        assert!((c.f1() - 0.5).abs() < 1e-12);
+        assert!((c.accuracy() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = ConfusionCounts {
+            tp: 1,
+            fp: 2,
+            tn: 3,
+            fn_: 4,
+        };
+        a.merge(ConfusionCounts {
+            tp: 10,
+            fp: 20,
+            tn: 30,
+            fn_: 40,
+        });
+        assert_eq!(a.total(), 110);
+        assert_eq!(a.tp, 11);
+    }
+
+    #[test]
+    fn degenerate_metrics_are_zero() {
+        let c = ConfusionCounts::default();
+        assert_eq!(c.precision(), 0.0);
+        assert_eq!(c.recall(), 0.0);
+        assert_eq!(c.f1(), 0.0);
+        assert_eq!(c.accuracy(), 0.0);
+    }
+
+    #[test]
+    fn perfect_predictions() {
+        let mut c = ConfusionCounts::default();
+        c.add_marginals(&[0.99, 0.01, 0.8], Assignment(0b101));
+        assert_eq!(c.f1(), 1.0);
+        assert_eq!(c.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn threshold_is_inclusive_at_half() {
+        let mut c = ConfusionCounts::default();
+        c.add_marginals(&[0.5], Assignment(0b1));
+        assert_eq!(c.tp, 1);
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let points = vec![
+            QualityPoint {
+                cost: 0,
+                utility: -12.5,
+                f1: 0.25,
+                precision: 0.5,
+                recall: 1.0 / 6.0,
+            },
+            QualityPoint {
+                cost: 60,
+                utility: -1.75,
+                f1: 0.9,
+                precision: 0.95,
+                recall: 0.855,
+            },
+        ];
+        let csv = quality_points_to_csv(&points);
+        assert!(csv.starts_with("cost,utility,f1,precision,recall\n"));
+        let parsed = quality_points_from_csv(&csv).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].cost, 0);
+        assert!((parsed[1].recall - 0.855).abs() < 1e-12);
+        assert!((parsed[0].recall - 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csv_rejects_malformed_input() {
+        assert!(quality_points_from_csv("nope\n1,2,3,4,5\n").is_none());
+        assert!(quality_points_from_csv("cost,utility,f1,precision,recall\n1,2,3\n").is_none());
+        assert!(
+            quality_points_from_csv("cost,utility,f1,precision,recall\n1,2,3,4,5,6\n").is_none()
+        );
+        assert_eq!(
+            quality_points_from_csv("cost,utility,f1,precision,recall\n")
+                .unwrap()
+                .len(),
+            0
+        );
+    }
+}

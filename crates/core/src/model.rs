@@ -1,0 +1,191 @@
+//! Fact triples and the [`FactSet`] container.
+//!
+//! "A fact `f_i` is represented as a triple of {subject, predicate, object}
+//! and its value is either true or false" (paper Section II-A).
+
+use crate::error::CoreError;
+use crowdfusion_jointdist::presets;
+use crowdfusion_jointdist::JointDist;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A boolean fact about a real-world entity.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Fact {
+    /// The entity, e.g. `"Hong Kong"`.
+    pub subject: String,
+    /// The attribute, e.g. `"Continent"`.
+    pub predicate: String,
+    /// The claimed value, e.g. `"Asia"`.
+    pub object: String,
+}
+
+impl Fact {
+    /// Builds a fact triple.
+    pub fn new(
+        subject: impl Into<String>,
+        predicate: impl Into<String>,
+        object: impl Into<String>,
+    ) -> Fact {
+        Fact {
+            subject: subject.into(),
+            predicate: predicate.into(),
+            object: object.into(),
+        }
+    }
+
+    /// The crowdsourcing question for this fact, e.g.
+    /// `Is "Hong Kong — Continent: Asia" correct?` (cf. the paper's
+    /// “Is Hong Kong an Asia city?”).
+    pub fn prompt(&self) -> String {
+        format!(
+            "Is \"{} — {}: {}\" correct?",
+            self.subject, self.predicate, self.object
+        )
+    }
+}
+
+impl fmt::Display for Fact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{{{}, {}, {}}}",
+            self.subject, self.predicate, self.object
+        )
+    }
+}
+
+/// A set of facts together with the joint distribution over their truth
+/// values — the paper's `F` with output set `O` (Tables I–II).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FactSet {
+    facts: Vec<Fact>,
+    dist: JointDist,
+}
+
+impl FactSet {
+    /// Couples facts with their joint distribution. The distribution must
+    /// have exactly one variable per fact.
+    pub fn new(facts: Vec<Fact>, dist: JointDist) -> Result<FactSet, CoreError> {
+        if facts.len() != dist.num_vars() {
+            return Err(CoreError::TaskOutOfRange {
+                index: dist.num_vars(),
+                n: facts.len(),
+            });
+        }
+        Ok(FactSet { facts, dist })
+    }
+
+    /// Builds a fact set with an independent prior from per-fact marginals.
+    pub fn from_marginals(facts: Vec<Fact>, marginals: &[f64]) -> Result<FactSet, CoreError> {
+        let dist = JointDist::independent(marginals)?;
+        FactSet::new(facts, dist)
+    }
+
+    /// The paper's running example (Tables I–II): four facts about
+    /// Hong Kong with their 16-row joint distribution.
+    pub fn running_example() -> FactSet {
+        let facts = presets::paper_running_example_labels()
+            .into_iter()
+            .map(|(s, p, o)| Fact::new(s, p, o))
+            .collect();
+        FactSet {
+            facts,
+            dist: presets::paper_running_example(),
+        }
+    }
+
+    /// Number of facts `n`.
+    pub fn len(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty()
+    }
+
+    /// The facts, in variable order.
+    pub fn facts(&self) -> &[Fact] {
+        &self.facts
+    }
+
+    /// The joint distribution over the facts.
+    pub fn dist(&self) -> &JointDist {
+        &self.dist
+    }
+
+    /// Replaces the joint distribution (e.g. after a Bayesian update).
+    pub fn set_dist(&mut self, dist: JointDist) -> Result<(), CoreError> {
+        if dist.num_vars() != self.facts.len() {
+            return Err(CoreError::TaskOutOfRange {
+                index: dist.num_vars(),
+                n: self.facts.len(),
+            });
+        }
+        self.dist = dist;
+        Ok(())
+    }
+
+    /// The utility `Q(F) = −H(F)` (Definition 1).
+    pub fn utility(&self) -> f64 {
+        self.dist.utility()
+    }
+
+    /// Marginal `P(f_i)` per fact (Table I's last column).
+    pub fn marginals(&self) -> Vec<f64> {
+        self.dist.marginals()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fact_display_and_prompt() {
+        let f = Fact::new("Hong Kong", "Continent", "Asia");
+        assert_eq!(f.to_string(), "{Hong Kong, Continent, Asia}");
+        assert!(f.prompt().contains("Hong Kong"));
+        assert!(f.prompt().contains("Asia"));
+    }
+
+    #[test]
+    fn running_example_shape() {
+        let fs = FactSet::running_example();
+        assert_eq!(fs.len(), 4);
+        assert!(!fs.is_empty());
+        assert_eq!(fs.facts()[3].object, "Europe");
+        let m = fs.marginals();
+        assert!((m[0] - 0.50).abs() < 1e-9);
+        assert!((m[1] - 0.63).abs() < 1e-9);
+    }
+
+    #[test]
+    fn new_validates_arity() {
+        let dist = JointDist::uniform(3).unwrap();
+        let facts = vec![Fact::new("a", "b", "c")];
+        assert!(matches!(
+            FactSet::new(facts, dist),
+            Err(CoreError::TaskOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn from_marginals_independent() {
+        let facts = vec![Fact::new("x", "p", "1"), Fact::new("x", "p", "2")];
+        let fs = FactSet::from_marginals(facts, &[0.3, 0.9]).unwrap();
+        assert!((fs.marginals()[1] - 0.9).abs() < 1e-9);
+        assert!(fs.utility() <= 0.0);
+    }
+
+    #[test]
+    fn set_dist_checks_arity() {
+        let mut fs = FactSet::running_example();
+        assert!(fs.set_dist(JointDist::uniform(3).unwrap()).is_err());
+        let u4 = JointDist::uniform(4).unwrap();
+        fs.set_dist(u4.clone()).unwrap();
+        assert_eq!(fs.dist(), &u4);
+        assert!((fs.utility() + 4.0).abs() < 1e-9);
+    }
+}

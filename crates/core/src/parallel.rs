@@ -1,0 +1,180 @@
+//! Parallel preprocessing of the answer joint distribution.
+//!
+//! Paper Section III-F: "the preprocessing has good property and can be
+//! solved by parallel computing or the MapReduce framework … Each
+//! sub-program is responsible for one single counting and calculation of
+//! `Pc^#Same (1 − Pc)^#Diff`." Every answer pattern's probability is an
+//! independent sum over the output support, so the table shards perfectly
+//! across threads. This module implements that sharding with crossbeam
+//! scoped threads, for both the paper's naive `O(|O|²)` computation and our
+//! butterfly transform (whose per-bit stages shard across pattern blocks).
+
+use crate::error::CoreError;
+use crate::{validate_pc, MAX_DENSE_FACTS};
+use crowdfusion_jointdist::JointDist;
+
+/// Computes the full answer joint distribution (Table IV) with the paper's
+/// naive per-pattern summation, sharded over `threads` workers.
+pub fn full_answer_distribution_naive_parallel(
+    dist: &JointDist,
+    pc: f64,
+    threads: usize,
+) -> Result<Vec<f64>, CoreError> {
+    validate_pc(pc)?;
+    let n = dist.num_vars();
+    if n > MAX_DENSE_FACTS {
+        return Err(CoreError::TooManyFacts {
+            requested: n,
+            limit: MAX_DENSE_FACTS,
+        });
+    }
+    let threads = threads.max(1);
+    let patterns = 1usize << n;
+    let mut out = vec![0.0f64; patterns];
+    // Precompute pc^s (1-pc)^d lookups.
+    let weights: Vec<f64> = (0..=n)
+        .map(|d| pc.powi((n - d) as i32) * (1.0 - pc).powi(d as i32))
+        .collect();
+    let chunk = patterns.div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        for (c, slice) in out.chunks_mut(chunk).enumerate() {
+            let weights = &weights;
+            let base = c * chunk;
+            scope.spawn(move |_| {
+                for (offset, slot) in slice.iter_mut().enumerate() {
+                    let answer = (base + offset) as u64;
+                    let mut total = 0.0;
+                    for (o, p) in dist.iter() {
+                        let diff = (o.0 ^ answer).count_ones() as usize;
+                        total += p * weights[diff];
+                    }
+                    *slot = total;
+                }
+            });
+        }
+    })
+    .expect("worker panicked");
+    Ok(out)
+}
+
+/// Computes the full answer joint distribution with the butterfly
+/// transform, parallelising each bit stage across independent pattern
+/// blocks.
+pub fn full_answer_distribution_butterfly_parallel(
+    dist: &JointDist,
+    pc: f64,
+    threads: usize,
+) -> Result<Vec<f64>, CoreError> {
+    validate_pc(pc)?;
+    let n = dist.num_vars();
+    if n > MAX_DENSE_FACTS {
+        return Err(CoreError::TooManyFacts {
+            requested: n,
+            limit: MAX_DENSE_FACTS,
+        });
+    }
+    let threads = threads.max(1);
+    let patterns = 1usize << n;
+    let mut w = vec![0.0f64; patterns];
+    for (o, p) in dist.iter() {
+        w[o.0 as usize] += p;
+    }
+    if pc == 1.0 {
+        return Ok(w);
+    }
+    let q = 1.0 - pc;
+    for bit in 0..n {
+        let block = 1usize << (bit + 1);
+        // Blocks of size 2^(bit+1) are independent; shard them.
+        let blocks_per_chunk = (patterns / block).div_ceil(threads).max(1);
+        let chunk_len = blocks_per_chunk * block;
+        crossbeam::thread::scope(|scope| {
+            for slice in w.chunks_mut(chunk_len) {
+                scope.spawn(move |_| {
+                    // `patterns` and `chunk_len` are both multiples of
+                    // `block`, so every slice holds whole blocks.
+                    let stride = block >> 1;
+                    let mut base = 0;
+                    while base < slice.len() {
+                        for i in base..base + stride {
+                            let lo = slice[i];
+                            let hi = slice[i + stride];
+                            slice[i] = pc * lo + q * hi;
+                            slice[i + stride] = q * lo + pc * hi;
+                        }
+                        base += block;
+                    }
+                });
+            }
+        })
+        .expect("worker panicked");
+    }
+    Ok(w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::answers::{full_answer_distribution, AnswerEvaluator};
+    use crowdfusion_jointdist::presets::paper_running_example;
+    use crowdfusion_jointdist::{Assignment, JointDist};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_dist(n: usize, seed: u64) -> JointDist {
+        let mut rng = StdRng::seed_from_u64(seed);
+        JointDist::from_weights(
+            n,
+            (0..(1u64 << n)).map(|a| (Assignment(a), rng.gen_range(0.0..1.0))),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn naive_parallel_matches_serial() {
+        let d = paper_running_example();
+        let serial = full_answer_distribution(&d, 0.8, AnswerEvaluator::Naive).unwrap();
+        for threads in [1, 2, 4, 7] {
+            let par = full_answer_distribution_naive_parallel(&d, 0.8, threads).unwrap();
+            for (a, b) in serial.iter().zip(&par) {
+                assert!((a - b).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn butterfly_parallel_matches_serial() {
+        for n in [3usize, 5, 8] {
+            let d = random_dist(n, n as u64);
+            let serial = full_answer_distribution(&d, 0.7, AnswerEvaluator::Butterfly).unwrap();
+            for threads in [1, 3, 8] {
+                let par = full_answer_distribution_butterfly_parallel(&d, 0.7, threads).unwrap();
+                for (a, b) in serial.iter().zip(&par) {
+                    assert!((a - b).abs() < 1e-12, "n={n} threads={threads}: {a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn perfect_crowd_is_identity() {
+        let d = random_dist(4, 9);
+        let par = full_answer_distribution_butterfly_parallel(&d, 1.0, 4).unwrap();
+        for (a, p) in d.iter() {
+            assert!((par[a.0 as usize] - p).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn validation() {
+        let d = paper_running_example();
+        assert!(matches!(
+            full_answer_distribution_naive_parallel(&d, 0.2, 2),
+            Err(CoreError::InvalidAccuracy(_))
+        ));
+        assert!(matches!(
+            full_answer_distribution_butterfly_parallel(&d, 1.2, 2),
+            Err(CoreError::InvalidAccuracy(_))
+        ));
+    }
+}

@@ -1,0 +1,135 @@
+//! Lifting machine-fusion output into a joint prior distribution.
+//!
+//! "Many existing data fusion methods can be applied to CrowdFusion by
+//! considering their result confidence distribution as an input … their
+//! result is a (marginal) probability distribution and can be extended to
+//! the joint distribution as required" (paper Section VII). This module
+//! performs that extension: from per-fact marginals alone (independence) or
+//! together with *correlation groups* — sets of statements that are format
+//! variants of one another (equivalent) while different groups name
+//! conflicting values.
+
+use crate::error::CoreError;
+use crowdfusion_jointdist::{Factor, FactorGraphBuilder, JointDist, VarSet};
+
+/// Default penalty for two equivalent statements disagreeing.
+pub const DEFAULT_EQUIV_PENALTY: f64 = 0.35;
+/// Default penalty per extra true statement among conflicting groups.
+pub const DEFAULT_CONFLICT_PENALTY: f64 = 0.75;
+
+/// Builds an independent joint prior from per-fact marginals.
+pub fn independent_prior(marginals: &[f64]) -> Result<JointDist, CoreError> {
+    Ok(JointDist::independent(marginals)?)
+}
+
+/// Builds a correlated joint prior from marginals plus equivalence groups.
+///
+/// `groups` partitions `0..marginals.len()` (indices not mentioned are
+/// implicitly singletons): statements inside one group are softly tied
+/// together ([`Factor::Equivalent`], penalty `equiv_penalty` per
+/// disagreeing member), while the *representatives* (first members) of
+/// different groups are softly mutually exclusive ([`Factor::AtMostOne`],
+/// penalty `conflict_penalty` per extra truth) — two different author sets
+/// cannot both be the book's author list.
+pub fn grouped_prior(
+    marginals: &[f64],
+    groups: &[Vec<usize>],
+    equiv_penalty: f64,
+    conflict_penalty: f64,
+) -> Result<JointDist, CoreError> {
+    let n = marginals.len();
+    for group in groups {
+        for &idx in group {
+            if idx >= n {
+                return Err(CoreError::TaskOutOfRange { index: idx, n });
+            }
+        }
+    }
+    let mut builder = FactorGraphBuilder::new(marginals.to_vec());
+    let mut representatives = Vec::new();
+    for group in groups {
+        match group.as_slice() {
+            [] => continue,
+            [single] => representatives.push(*single),
+            members => {
+                builder = builder.factor(Factor::Equivalent {
+                    vars: VarSet::from_vars(members.iter().copied()),
+                    penalty: equiv_penalty,
+                });
+                representatives.push(members[0]);
+            }
+        }
+    }
+    if representatives.len() >= 2 {
+        builder = builder.factor(Factor::AtMostOne {
+            vars: VarSet::from_vars(representatives),
+            penalty: conflict_penalty,
+        });
+    }
+    Ok(builder.build()?)
+}
+
+/// Convenience wrapper using the default penalties.
+pub fn default_grouped_prior(
+    marginals: &[f64],
+    groups: &[Vec<usize>],
+) -> Result<JointDist, CoreError> {
+    grouped_prior(
+        marginals,
+        groups,
+        DEFAULT_EQUIV_PENALTY,
+        DEFAULT_CONFLICT_PENALTY,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn independent_prior_keeps_marginals() {
+        let p = independent_prior(&[0.2, 0.9]).unwrap();
+        assert!((p.marginal(0).unwrap() - 0.2).abs() < 1e-12);
+        assert!((p.marginal(1).unwrap() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grouped_prior_ties_variants_together() {
+        // Statements 0 and 1 are variants of each other; 2 conflicts.
+        let p = grouped_prior(&[0.6, 0.55, 0.5], &[vec![0, 1], vec![2]], 0.1, 0.1).unwrap();
+        // Conditioning on statement 0 true must raise statement 1 and
+        // lower statement 2.
+        let given_true = p.condition(0, true).unwrap();
+        let given_false = p.condition(0, false).unwrap();
+        assert!(given_true.marginal(1).unwrap() > given_false.marginal(1).unwrap() + 0.2);
+        assert!(given_true.marginal(2).unwrap() < given_false.marginal(2).unwrap());
+    }
+
+    #[test]
+    fn singleton_groups_reduce_to_conflict_only() {
+        let p = grouped_prior(&[0.5, 0.5], &[vec![0], vec![1]], 0.25, 0.0).unwrap();
+        // Hard conflict: both true impossible.
+        assert_eq!(p.prob(crowdfusion_jointdist::Assignment(0b11)), 0.0);
+    }
+
+    #[test]
+    fn empty_groups_are_ignored() {
+        let p = grouped_prior(&[0.5, 0.5], &[vec![], vec![0, 1]], 0.2, 0.3).unwrap();
+        assert_eq!(p.num_vars(), 2);
+    }
+
+    #[test]
+    fn out_of_range_group_rejected() {
+        assert!(matches!(
+            grouped_prior(&[0.5], &[vec![0, 3]], 0.2, 0.3),
+            Err(CoreError::TaskOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn defaults_build() {
+        let p = default_grouped_prior(&[0.5, 0.5, 0.5], &[vec![0, 1], vec![2]]).unwrap();
+        assert_eq!(p.num_vars(), 3);
+        assert!((p.total_mass() - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,303 @@
+//! Query-based CrowdFusion (paper Section IV).
+//!
+//! When users only care about a subset `I ⊆ F` of facts (the *facts of
+//! interest*, FOI), the utility becomes `Q(I|T) = H(T) − H(I, T)` — the
+//! negative conditional entropy `−H(I | Ans_T)` of the interesting facts
+//! given the crowd answers. Facts outside `I` can still be worth asking
+//! because they are correlated with facts inside `I` (the paper's
+//! continent/population example).
+//!
+//! The objective remains monotone and submodular in `T` (conditioning on
+//! independent noisy observations has diminishing returns), so the same
+//! greedy framework achieves the `(1 − 1/e)` rate. Note the paper's
+//! Equation 7 displays the monotonicity inequality with the direction
+//! reversed; the implemented direction (`Q(I|T) ≤ Q(I|T')` for `T ⊆ T'`,
+//! "information never hurts") is the one its own proof sketch supports.
+
+use crate::answers::bsc_transform_in_place;
+use crate::error::CoreError;
+use crate::selection::{validate_selection, TaskSelector};
+use crate::MAX_DENSE_FACTS;
+use crowdfusion_jointdist::{JointDist, VarSet};
+use rand::RngCore;
+use std::collections::HashMap;
+
+/// Gains below this threshold terminate the greedy loop early. Unlike the
+/// general case (Theorem 2), zero gains are *common* here: a fact
+/// uncorrelated with `I` contributes exactly nothing.
+const GAIN_EPSILON: f64 = 1e-9;
+
+/// Joint entropy `H(I, T)` of the interesting facts' ground truth and the
+/// crowd answers on `tasks`, in bits.
+pub fn truth_answer_joint_entropy(
+    dist: &JointDist,
+    interest: VarSet,
+    tasks: VarSet,
+    pc: f64,
+) -> Result<f64, CoreError> {
+    crate::validate_pc(pc)?;
+    let n = dist.num_vars();
+    if let Some(bad) = interest
+        .union(tasks)
+        .difference(VarSet::all(n))
+        .iter()
+        .next()
+    {
+        return Err(CoreError::TaskOutOfRange { index: bad, n });
+    }
+    if interest.is_empty() {
+        return Err(CoreError::EmptyInterestSet);
+    }
+    let t = tasks.len();
+    if t > MAX_DENSE_FACTS {
+        return Err(CoreError::TooManyFacts {
+            requested: t,
+            limit: MAX_DENSE_FACTS,
+        });
+    }
+    // Group outputs by their restriction to I; per group, scatter onto the
+    // task-pattern lattice and push through the answer channel.
+    let mut groups: HashMap<u64, Vec<f64>> = HashMap::new();
+    let patterns = 1usize << t;
+    for (o, p) in dist.iter() {
+        let key = o.extract(interest);
+        let w = groups.entry(key).or_insert_with(|| vec![0.0; patterns]);
+        w[o.extract(tasks) as usize] += p;
+    }
+    let mut h = 0.0;
+    for w in groups.values_mut() {
+        bsc_transform_in_place(w, t, pc);
+        for &p in w.iter() {
+            if p > 0.0 {
+                h -= p * p.log2();
+            }
+        }
+    }
+    Ok(h.max(0.0))
+}
+
+/// The query-based utility `Q(I|T) = H(T) − H(I, T) = −H(I | Ans_T)`
+/// (Definition 5 restricted to the FOI). Always `≤ 0`; higher is better.
+pub fn query_utility(
+    dist: &JointDist,
+    interest: VarSet,
+    tasks: VarSet,
+    pc: f64,
+) -> Result<f64, CoreError> {
+    let h_t = crate::answers::answer_entropy(
+        dist,
+        tasks,
+        pc,
+        crate::answers::AnswerEvaluator::Butterfly,
+    )?;
+    let h_it = truth_answer_joint_entropy(dist, interest, tasks, pc)?;
+    Ok(h_t - h_it)
+}
+
+/// Greedy task selection maximising the query-based utility (Section IV-B):
+/// Algorithm 1 with the gain `ρ_j = Q(I|T ∪ {j}) − Q(I|T)`.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryGreedySelector {
+    interest: VarSet,
+}
+
+impl QueryGreedySelector {
+    /// Creates a selector for the given facts-of-interest set.
+    pub fn new(interest: VarSet) -> QueryGreedySelector {
+        QueryGreedySelector { interest }
+    }
+
+    /// The facts of interest.
+    pub fn interest(&self) -> VarSet {
+        self.interest
+    }
+}
+
+impl TaskSelector for QueryGreedySelector {
+    fn name(&self) -> String {
+        format!("query-greedy[I={}]", self.interest)
+    }
+
+    fn select(
+        &self,
+        dist: &JointDist,
+        pc: f64,
+        k: usize,
+        _rng: &mut dyn RngCore,
+    ) -> Result<Vec<usize>, CoreError> {
+        let k_eff = validate_selection(dist, pc, k)?;
+        if self.interest.is_empty() {
+            return Err(CoreError::EmptyInterestSet);
+        }
+        let n = dist.num_vars();
+        let mut selected = Vec::with_capacity(k_eff);
+        let mut selected_set = VarSet::EMPTY;
+        let mut q_current = query_utility(dist, self.interest, VarSet::EMPTY, pc)?;
+
+        for _ in 0..k_eff {
+            let mut best: Option<(usize, f64)> = None;
+            for f in 0..n {
+                if selected_set.contains(f) {
+                    continue;
+                }
+                let q = query_utility(dist, self.interest, selected_set.insert(f), pc)?;
+                match best {
+                    Some((_, best_q)) if q <= best_q => {}
+                    _ => best = Some((f, q)),
+                }
+            }
+            let Some((f, q)) = best else { break };
+            if q - q_current <= GAIN_EPSILON {
+                break; // no fact improves knowledge of the FOI
+            }
+            selected.push(f);
+            selected_set = selected_set.insert(f);
+            q_current = q;
+        }
+        Ok(selected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::answers::{answer_entropy, AnswerEvaluator};
+    use crate::selection::GreedySelector;
+    use crowdfusion_jointdist::presets::paper_running_example;
+    use crowdfusion_jointdist::{binary_entropy, Factor, FactorGraphBuilder, JointDist};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0)
+    }
+
+    #[test]
+    fn joint_entropy_decomposes_for_full_interest() {
+        // H(F, T) = H(F) + |T| · H(Pc) when T ⊆ F (answers are
+        // conditionally independent given the truth).
+        let d = paper_running_example();
+        let interest = VarSet::all(4);
+        for tasks in [VarSet::single(0), VarSet::from_vars([1, 3]), VarSet::all(4)] {
+            let h = truth_answer_joint_entropy(&d, interest, tasks, 0.8).unwrap();
+            let expected = d.entropy() + tasks.len() as f64 * binary_entropy(0.8);
+            assert!(
+                (h - expected).abs() < 1e-9,
+                "H(F,{tasks}) = {h}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_task_set_gives_negative_interest_entropy() {
+        let d = paper_running_example();
+        let interest = VarSet::from_vars([1, 2]);
+        let q = query_utility(&d, interest, VarSet::EMPTY, 0.8).unwrap();
+        let h_i = d.restrict(interest).unwrap().entropy();
+        assert!((q + h_i).abs() < 1e-9, "Q(I|∅) should equal −H(I)");
+    }
+
+    #[test]
+    fn utility_is_monotone_in_tasks() {
+        // Q(I|T) ≤ Q(I|T') for T ⊆ T' — the corrected Equation 7.
+        let d = paper_running_example();
+        let interest = VarSet::from_vars([1, 2]);
+        let t1 = VarSet::single(0);
+        let t2 = VarSet::from_vars([0, 3]);
+        let q0 = query_utility(&d, interest, VarSet::EMPTY, 0.8).unwrap();
+        let q1 = query_utility(&d, interest, t1, 0.8).unwrap();
+        let q2 = query_utility(&d, interest, t2, 0.8).unwrap();
+        assert!(q1 >= q0 - 1e-12);
+        assert!(q2 >= q1 - 1e-12);
+    }
+
+    #[test]
+    fn full_interest_reduces_to_general_selection() {
+        // With I = F the query-based gain differs from ΔH(T) by the
+        // constant H(Pc), so the selected sets must match the general
+        // greedy (paper Section IV-B: "query based CrowdFusion is a general
+        // case of CrowdFusion").
+        let d = paper_running_example();
+        let general = GreedySelector::fast()
+            .select(&d, 0.8, 2, &mut rng())
+            .unwrap();
+        let query = QueryGreedySelector::new(VarSet::all(4))
+            .select(&d, 0.8, 2, &mut rng())
+            .unwrap();
+        assert_eq!(general, query);
+    }
+
+    #[test]
+    fn correlated_outside_fact_is_worth_asking() {
+        // Three facts: 0 and 1 strongly tied, 2 independent. With
+        // I = {1}, asking fact 0 must beat asking the unrelated fact 2 —
+        // the continent/population story of Section IV.
+        let d = FactorGraphBuilder::new(vec![0.5, 0.5, 0.5])
+            .factor(Factor::Equivalent {
+                vars: VarSet::from_vars([0, 1]),
+                penalty: 0.05,
+            })
+            .build()
+            .unwrap();
+        let interest = VarSet::single(1);
+        let q_outside = query_utility(&d, interest, VarSet::single(0), 0.8).unwrap();
+        let q_unrelated = query_utility(&d, interest, VarSet::single(2), 0.8).unwrap();
+        assert!(
+            q_outside > q_unrelated + 1e-6,
+            "correlated fact not preferred: {q_outside} vs {q_unrelated}"
+        );
+        // And greedy with k = 1 picks fact 0 or 1, never fact 2.
+        let picked = QueryGreedySelector::new(interest)
+            .select(&d, 0.8, 1, &mut rng())
+            .unwrap();
+        assert_ne!(picked, vec![2]);
+    }
+
+    #[test]
+    fn uninformative_facts_terminate_selection_early() {
+        // I = {0}; facts 1 and 2 are independent of fact 0, so once fact 0
+        // is maximally informative the greedy should stop before k.
+        let d = JointDist::independent(&[0.5, 0.5, 0.5]).unwrap();
+        let picked = QueryGreedySelector::new(VarSet::single(0))
+            .select(&d, 0.9, 3, &mut rng())
+            .unwrap();
+        // Fact 0 itself is asked; the unrelated ones are skipped.
+        assert_eq!(picked, vec![0]);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let d = paper_running_example();
+        assert!(matches!(
+            QueryGreedySelector::new(VarSet::EMPTY).select(&d, 0.8, 2, &mut rng()),
+            Err(CoreError::EmptyInterestSet)
+        ));
+        assert!(matches!(
+            truth_answer_joint_entropy(&d, VarSet::from_vars([9]), VarSet::single(0), 0.8),
+            Err(CoreError::TaskOutOfRange { .. })
+        ));
+        assert!(matches!(
+            truth_answer_joint_entropy(&d, VarSet::single(0), VarSet::single(1), 1.5),
+            Err(CoreError::InvalidAccuracy(_))
+        ));
+        assert!(matches!(
+            truth_answer_joint_entropy(&d, VarSet::EMPTY, VarSet::single(1), 0.8),
+            Err(CoreError::EmptyInterestSet)
+        ));
+    }
+
+    #[test]
+    fn h_t_consistency_between_modules() {
+        // H(T) from answers.rs equals H(I,T) − H(I | Ans_T)… simpler:
+        // verify H(I,T) ≥ H(T) and H(I,T) ≥ H(I).
+        let d = paper_running_example();
+        let interest = VarSet::from_vars([1, 2]);
+        let tasks = VarSet::from_vars([0, 3]);
+        let h_it = truth_answer_joint_entropy(&d, interest, tasks, 0.8).unwrap();
+        let h_t = answer_entropy(&d, tasks, 0.8, AnswerEvaluator::Butterfly).unwrap();
+        let h_i = d.restrict(interest).unwrap().entropy();
+        assert!(h_it >= h_t - 1e-12);
+        assert!(h_it >= h_i - 1e-12);
+        assert!(h_it <= h_t + h_i + 1e-12);
+    }
+}

@@ -1,0 +1,128 @@
+//! Crowd-accuracy estimation from a gold-labelled pre-test.
+//!
+//! Paper Section II-B: "The accuracy can be estimated by a small set of
+//! sample tasks with groundtruth", and Section V-C-3: "if possible, in real
+//! applications, we should estimate the reliability by a pre-test with
+//! groundtruth."
+
+use crate::answer::AnswerModel;
+use crate::error::CrowdError;
+use crate::platform::CrowdPlatform;
+use crate::task::Task;
+use serde::{Deserialize, Serialize};
+
+/// Result of an accuracy pre-test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AccuracyEstimate {
+    /// Point estimate of `Pc` (fraction of correct judgments), clamped into
+    /// the model range `[0.5, 1]`.
+    pub pc: f64,
+    /// Raw (unclamped) fraction of correct judgments.
+    pub raw_rate: f64,
+    /// Number of sample judgments collected.
+    pub samples: usize,
+    /// Half-width of the 95 % normal-approximation confidence interval.
+    pub ci_half_width: f64,
+}
+
+/// Runs a gold-labelled pre-test on the platform and estimates `Pc`.
+///
+/// Publishes the given sample tasks (costing budget on the platform's
+/// ledger like any other batch) and compares the answers with `gold`.
+pub fn estimate_accuracy<M: AnswerModel>(
+    platform: &mut CrowdPlatform<M>,
+    sample_tasks: &[Task],
+    gold: &[bool],
+) -> Result<AccuracyEstimate, CrowdError> {
+    if sample_tasks.len() != gold.len() {
+        return Err(CrowdError::LengthMismatch {
+            tasks: sample_tasks.len(),
+            truths: gold.len(),
+        });
+    }
+    if sample_tasks.is_empty() {
+        return Err(CrowdError::NoWorkers);
+    }
+    let answers = platform.publish(sample_tasks, gold)?;
+    let correct = answers
+        .iter()
+        .zip(gold)
+        .filter(|(a, &g)| a.value == g)
+        .count();
+    let n = gold.len();
+    let raw = correct as f64 / n as f64;
+    // Normal-approximation 95 % CI half-width.
+    let half = 1.96 * (raw * (1.0 - raw) / n as f64).sqrt();
+    Ok(AccuracyEstimate {
+        pc: raw.clamp(0.5, 1.0),
+        raw_rate: raw,
+        samples: n,
+        ci_half_width: half,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::answer::UniformAccuracy;
+    use crate::worker::WorkerPool;
+
+    fn sample(n: usize) -> (Vec<Task>, Vec<bool>) {
+        (
+            (0..n).map(|i| Task::new(i as u64, "pretest")).collect(),
+            (0..n).map(|i| i % 3 == 0).collect(),
+        )
+    }
+
+    #[test]
+    fn estimate_recovers_true_pc() {
+        let mut p = CrowdPlatform::new(
+            WorkerPool::uniform(10, 0.86).unwrap(),
+            UniformAccuracy::new(0.86),
+            11,
+        );
+        let (tasks, gold) = sample(5_000);
+        let est = estimate_accuracy(&mut p, &tasks, &gold).unwrap();
+        assert!((est.pc - 0.86).abs() < 0.02, "estimate {}", est.pc);
+        assert_eq!(est.samples, 5_000);
+        assert!(est.ci_half_width > 0.0 && est.ci_half_width < 0.02);
+    }
+
+    #[test]
+    fn estimate_clamps_into_model_range() {
+        // A tiny sample can produce a sub-0.5 raw rate; pc is clamped.
+        let mut p = CrowdPlatform::new(
+            WorkerPool::uniform(3, 0.5).unwrap(),
+            UniformAccuracy::new(0.5),
+            0,
+        );
+        let (tasks, gold) = sample(4);
+        let est = estimate_accuracy(&mut p, &tasks, &gold).unwrap();
+        assert!(est.pc >= 0.5);
+        assert!(est.raw_rate <= 1.0);
+    }
+
+    #[test]
+    fn pretest_costs_budget() {
+        let mut p = CrowdPlatform::new(
+            WorkerPool::uniform(3, 0.8).unwrap(),
+            UniformAccuracy::new(0.8),
+            0,
+        );
+        let (tasks, gold) = sample(25);
+        estimate_accuracy(&mut p, &tasks, &gold).unwrap();
+        assert_eq!(p.ledger().judgments, 25);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let mut p = CrowdPlatform::new(
+            WorkerPool::uniform(3, 0.8).unwrap(),
+            UniformAccuracy::new(0.8),
+            0,
+        );
+        let (tasks, _) = sample(3);
+        assert!(estimate_accuracy(&mut p, &tasks, &[true]).is_err());
+        assert!(estimate_accuracy(&mut p, &[], &[]).is_err());
+    }
+}

@@ -1,0 +1,419 @@
+//! Redundant-answer aggregation: majority voting and a Dawid–Skene-style
+//! EM estimator.
+//!
+//! The paper folds crowd redundancy into the single accuracy parameter `Pc`
+//! ("Each task is answered independently by a number of anonymous gMission
+//! users, and they share an accuracy rate Pc"). This module implements the
+//! aggregation machinery behind that abstraction, so the platform's
+//! replicated mode can produce calibrated aggregate answers *and* per-worker
+//! accuracy estimates without gold labels — the classical
+//! Dawid & Skene (1979) EM algorithm restricted to binary tasks.
+
+use crate::answer::Answer;
+use crate::error::CrowdError;
+use crate::task::TaskId;
+use crate::worker::WorkerId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The outcome of aggregating redundant answers for one task.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AggregatedAnswer {
+    /// The task.
+    pub task: TaskId,
+    /// Posterior probability that the fact is true.
+    pub prob_true: f64,
+    /// The thresholded judgment (`prob_true ≥ 0.5`).
+    pub value: bool,
+    /// Number of raw judgments aggregated.
+    pub votes: usize,
+}
+
+/// Result of EM aggregation: per-task posteriors plus per-worker accuracy
+/// estimates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EmEstimate {
+    /// Aggregated answers, sorted by task id.
+    pub answers: Vec<AggregatedAnswer>,
+    /// Estimated per-worker accuracies (symmetric confusion model).
+    pub worker_accuracy: BTreeMap<WorkerId, f64>,
+    /// EM iterations executed.
+    pub iterations: usize,
+}
+
+/// Simple per-task majority aggregation (ties toward `true`).
+pub fn majority_aggregate(answers: &[Answer]) -> Vec<AggregatedAnswer> {
+    let mut by_task: BTreeMap<TaskId, (usize, usize)> = BTreeMap::new();
+    for a in answers {
+        let entry = by_task.entry(a.task).or_insert((0, 0));
+        entry.1 += 1;
+        if a.value {
+            entry.0 += 1;
+        }
+    }
+    by_task
+        .into_iter()
+        .map(|(task, (yes, total))| AggregatedAnswer {
+            task,
+            prob_true: yes as f64 / total as f64,
+            value: 2 * yes >= total,
+            votes: total,
+        })
+        .collect()
+}
+
+/// Dawid–Skene EM for binary tasks with a symmetric per-worker accuracy.
+///
+/// * E step: task posterior `P(true)` from worker votes weighted by
+///   log-odds of each worker's current accuracy;
+/// * M step: worker accuracy = expected agreement with the posteriors.
+///
+/// `prior_true` is the prior probability a task is true (0.5 when unknown).
+///
+/// **Identifiability.** The binary symmetric model has an exact mirror
+/// symmetry: flipping every posterior *and* every accuracy yields an
+/// identical marginal likelihood, so a coordinated low-accuracy worker
+/// block can pull EM into the mirrored fixed point and no amount of data
+/// can distinguish the two. The tie is broken with the paper's own crowd
+/// assumption (Definition 2: workers are at least as good as chance): if
+/// the converged solution's vote-weighted mean accuracy is below 0.5, the
+/// whole solution is flipped. Below-chance *individual* accuracies survive
+/// canonicalisation and are genuinely informative — EM counts those
+/// workers' votes inverted, which is strictly better than ignoring them.
+pub fn em_aggregate(
+    answers: &[Answer],
+    prior_true: f64,
+    max_iters: usize,
+    tolerance: f64,
+) -> Result<EmEstimate, CrowdError> {
+    if answers.is_empty() {
+        return Err(CrowdError::NoWorkers);
+    }
+    if !(0.0..=1.0).contains(&prior_true) {
+        return Err(CrowdError::AccuracyOutOfRange(prior_true));
+    }
+    let mut tasks: BTreeMap<TaskId, Vec<(WorkerId, bool)>> = BTreeMap::new();
+    for a in answers {
+        tasks.entry(a.task).or_default().push((a.worker, a.value));
+    }
+
+    // Initialise posteriors from the raw vote shares and run EM with
+    // unconstrained (well, [0.05, 0.95]) accuracies so the chain can move
+    // through either basin freely.
+    let majority: BTreeMap<TaskId, f64> = tasks
+        .iter()
+        .map(|(task, votes)| {
+            let yes = votes.iter().filter(|(_, v)| *v).count() as f64;
+            (*task, yes / votes.len() as f64)
+        })
+        .collect();
+    let (mut workers, mut posteriors, iterations) =
+        run_em(&tasks, majority, prior_true, max_iters, tolerance);
+
+    // Canonicalise under Definition 2 (crowds beat chance on average): the
+    // mirror solution has identical likelihood, so pick the orientation
+    // whose vote-weighted mean accuracy is >= 0.5.
+    let mut votes_total = 0.0f64;
+    let mut weighted_acc = 0.0f64;
+    for votes in tasks.values() {
+        for (worker, _) in votes {
+            votes_total += 1.0;
+            weighted_acc += workers[worker];
+        }
+    }
+    if votes_total > 0.0 && weighted_acc / votes_total < 0.5 {
+        for acc in workers.values_mut() {
+            *acc = 1.0 - *acc;
+        }
+        for p in posteriors.values_mut() {
+            *p = 1.0 - *p;
+        }
+    }
+
+    let answers = tasks
+        .keys()
+        .map(|task| {
+            let p = posteriors[task];
+            AggregatedAnswer {
+                task: *task,
+                prob_true: p,
+                value: p >= 0.5,
+                votes: tasks[task].len(),
+            }
+        })
+        .collect();
+    Ok(EmEstimate {
+        answers,
+        worker_accuracy: workers,
+        iterations,
+    })
+}
+
+impl EmEstimate {
+    /// Marginal log-likelihood (nats) of raw answers under this estimate's
+    /// worker accuracies, task truths integrated out with `prior_true`.
+    /// Useful for comparing aggregation models on held-out batches.
+    pub fn log_likelihood(&self, answers: &[Answer], prior_true: f64) -> f64 {
+        let mut tasks: BTreeMap<TaskId, Vec<(WorkerId, bool)>> = BTreeMap::new();
+        for a in answers {
+            tasks.entry(a.task).or_default().push((a.worker, a.value));
+        }
+        // Workers unseen during estimation count as chance-level.
+        let workers: BTreeMap<WorkerId, f64> = tasks
+            .values()
+            .flatten()
+            .map(|(w, _)| (*w, self.worker_accuracy.get(w).copied().unwrap_or(0.5)))
+            .collect();
+        marginal_log_likelihood(&tasks, &workers, prior_true)
+    }
+}
+
+type EmRun = (BTreeMap<WorkerId, f64>, BTreeMap<TaskId, f64>, usize);
+
+/// One EM run from the given initial per-task posteriors.
+fn run_em(
+    tasks: &BTreeMap<TaskId, Vec<(WorkerId, bool)>>,
+    init_posteriors: BTreeMap<TaskId, f64>,
+    prior_true: f64,
+    max_iters: usize,
+    tolerance: f64,
+) -> EmRun {
+    let prior_logit =
+        ((prior_true.clamp(1e-6, 1.0 - 1e-6)) / (1.0 - prior_true.clamp(1e-6, 1.0 - 1e-6))).ln();
+    let mut posteriors = init_posteriors;
+    let mut workers: BTreeMap<WorkerId, f64> = BTreeMap::new();
+    let mut iterations = 0;
+
+    for iter in 0..max_iters.max(1) {
+        iterations = iter + 1;
+        // M step: worker accuracy = expected agreement with posteriors.
+        let mut deltas = 0.0f64;
+        let mut agreement: BTreeMap<WorkerId, (f64, f64)> = BTreeMap::new();
+        for (task, votes) in tasks {
+            let p = posteriors[task];
+            for (worker, value) in votes {
+                let e = agreement.entry(*worker).or_insert((0.0, 0.0));
+                e.0 += if *value { p } else { 1.0 - p };
+                e.1 += 1.0;
+            }
+        }
+        for (worker, (agree, total)) in agreement {
+            let new = (agree / total).clamp(0.05, 0.95);
+            let old = workers.insert(worker, new).unwrap_or(0.8);
+            deltas = deltas.max((new - old).abs());
+        }
+        // E step: per-task posterior from current worker accuracies.
+        for (task, votes) in tasks {
+            let mut logit = prior_logit;
+            for (worker, value) in votes {
+                let acc = workers[worker];
+                let weight = (acc / (1.0 - acc)).ln();
+                logit += if *value { weight } else { -weight };
+            }
+            posteriors.insert(*task, 1.0 / (1.0 + (-logit).exp()));
+        }
+        if deltas < tolerance && iter > 0 {
+            break;
+        }
+    }
+    (workers, posteriors, iterations)
+}
+
+/// Marginal log-likelihood of the observed votes under the given worker
+/// accuracies, with the task truths integrated out.
+fn marginal_log_likelihood(
+    tasks: &BTreeMap<TaskId, Vec<(WorkerId, bool)>>,
+    workers: &BTreeMap<WorkerId, f64>,
+    prior_true: f64,
+) -> f64 {
+    let prior = prior_true.clamp(1e-6, 1.0 - 1e-6);
+    let mut total = 0.0;
+    for votes in tasks.values() {
+        let mut log_true = 0.0f64;
+        let mut log_false = 0.0f64;
+        for (worker, value) in votes {
+            let acc = workers[worker];
+            if *value {
+                log_true += acc.ln();
+                log_false += (1.0 - acc).ln();
+            } else {
+                log_true += (1.0 - acc).ln();
+                log_false += acc.ln();
+            }
+        }
+        // log(prior·e^{log_true} + (1−prior)·e^{log_false}), stabilised.
+        let a = prior.ln() + log_true;
+        let b = (1.0 - prior).ln() + log_false;
+        let m = a.max(b);
+        total += m + ((a - m).exp() + (b - m).exp()).ln();
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::answer::{AnswerModel, SkillAccuracy};
+    use crate::platform::CrowdPlatform;
+    use crate::task::Task;
+    use crate::worker::WorkerPool;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn answer(task: u64, worker: u32, value: bool) -> Answer {
+        Answer {
+            task: TaskId(task),
+            worker: WorkerId(worker),
+            value,
+        }
+    }
+
+    #[test]
+    fn majority_aggregates_per_task() {
+        let answers = vec![
+            answer(0, 0, true),
+            answer(0, 1, true),
+            answer(0, 2, false),
+            answer(1, 0, false),
+        ];
+        let agg = majority_aggregate(&answers);
+        assert_eq!(agg.len(), 2);
+        assert!(agg[0].value);
+        assert_eq!(agg[0].votes, 3);
+        assert!((agg[0].prob_true - 2.0 / 3.0).abs() < 1e-12);
+        assert!(!agg[1].value);
+    }
+
+    #[test]
+    fn em_recovers_worker_quality_without_gold() {
+        // Three good workers (0.9), one adversarially bad (0.2), 200 tasks.
+        let mut rng = StdRng::seed_from_u64(5);
+        let accuracies = [0.9, 0.9, 0.9, 0.2];
+        let mut answers = Vec::new();
+        let mut truths = Vec::new();
+        for t in 0..200u64 {
+            let truth = rng.gen_bool(0.5);
+            truths.push(truth);
+            for (w, &acc) in accuracies.iter().enumerate() {
+                let correct = rng.gen_bool(acc);
+                answers.push(answer(t, w as u32, if correct { truth } else { !truth }));
+            }
+        }
+        let est = em_aggregate(&answers, 0.5, 50, 1e-6).unwrap();
+        // Majority of the task posteriors should match the hidden truth.
+        let correct = est
+            .answers
+            .iter()
+            .zip(&truths)
+            .filter(|(a, &t)| a.value == t)
+            .count();
+        assert!(
+            correct as f64 / truths.len() as f64 > 0.95,
+            "EM accuracy {}",
+            correct as f64 / truths.len() as f64
+        );
+        // Worker accuracies separate good from bad.
+        for w in 0..3 {
+            assert!(est.worker_accuracy[&WorkerId(w)] > 0.8);
+        }
+        // The adversarial worker is pushed to the model floor (Definition 2
+        // does not admit below-chance workers), i.e. ignored.
+        assert!(est.worker_accuracy[&WorkerId(3)] < 0.55);
+    }
+
+    #[test]
+    fn em_beats_majority_with_a_bad_worker_majority() {
+        // Two good workers vs three coordinated bad ones: plain majority is
+        // usually wrong, EM should discount the bad block.
+        let mut rng = StdRng::seed_from_u64(11);
+        let accuracies = [0.95, 0.95, 0.25, 0.25, 0.25];
+        let mut answers = Vec::new();
+        let mut truths = Vec::new();
+        for t in 0..300u64 {
+            let truth = rng.gen_bool(0.5);
+            truths.push(truth);
+            for (w, &acc) in accuracies.iter().enumerate() {
+                let correct = rng.gen_bool(acc);
+                answers.push(answer(t, w as u32, if correct { truth } else { !truth }));
+            }
+        }
+        let acc_of = |agg: &[AggregatedAnswer]| {
+            agg.iter()
+                .zip(&truths)
+                .filter(|(a, &t)| a.value == t)
+                .count() as f64
+                / truths.len() as f64
+        };
+        let mv = acc_of(&majority_aggregate(&answers));
+        let em = acc_of(&em_aggregate(&answers, 0.5, 50, 1e-6).unwrap().answers);
+        assert!(em > mv + 0.1, "EM {em} should clearly beat majority {mv}");
+    }
+
+    #[test]
+    fn log_likelihood_prefers_informative_model() {
+        // Answers from a reliable 3-worker crowd: the EM estimate's
+        // likelihood must beat a chance-level model of the same data.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut answers = Vec::new();
+        for t in 0..100u64 {
+            let truth = rng.gen_bool(0.5);
+            for w in 0..3u32 {
+                let correct = rng.gen_bool(0.9);
+                answers.push(answer(t, w, if correct { truth } else { !truth }));
+            }
+        }
+        let est = em_aggregate(&answers, 0.5, 50, 1e-6).unwrap();
+        let informative = est.log_likelihood(&answers, 0.5);
+        let chance = EmEstimate {
+            answers: est.answers.clone(),
+            worker_accuracy: est.worker_accuracy.keys().map(|w| (*w, 0.5)).collect(),
+            iterations: 1,
+        }
+        .log_likelihood(&answers, 0.5);
+        assert!(
+            informative > chance + 10.0,
+            "informative {informative} vs chance {chance}"
+        );
+        // Unseen workers are treated as chance-level (no panic).
+        let foreign = vec![answer(0, 99, true)];
+        let ll = est.log_likelihood(&foreign, 0.5);
+        assert!(ll.is_finite());
+    }
+
+    #[test]
+    fn em_validates_inputs() {
+        assert!(em_aggregate(&[], 0.5, 10, 1e-6).is_err());
+        assert!(em_aggregate(&[answer(0, 0, true)], 1.5, 10, 1e-6).is_err());
+    }
+
+    #[test]
+    fn em_integrates_with_platform_answers() {
+        // Wire the platform's raw answers straight into EM.
+        let mut rng = StdRng::seed_from_u64(2);
+        let pool = WorkerPool::heterogeneous(6, 0.6, 0.95, &mut rng).unwrap();
+        let model = SkillAccuracy {
+            nominal: pool.mean_skill(),
+            ..SkillAccuracy::default()
+        };
+        let mut platform = CrowdPlatform::new(pool, model, 7);
+        let tasks: Vec<Task> = (0..150).map(|i| Task::new(i, "q")).collect();
+        let truths: Vec<bool> = (0..150).map(|i| i % 2 == 0).collect();
+        // Each task answered 7 times by republishing. The drawn pool
+        // averages ≈ 0.70 accuracy, so majority-of-7 lands around 0.87;
+        // EM must be in the same region.
+        let mut raw = Vec::new();
+        for _ in 0..7 {
+            raw.extend(platform.publish(&tasks, &truths).unwrap());
+        }
+        let est = em_aggregate(&raw, 0.5, 50, 1e-6).unwrap();
+        let correct = est
+            .answers
+            .iter()
+            .zip(&truths)
+            .filter(|(a, &t)| a.value == t)
+            .count();
+        assert!(correct as f64 / truths.len() as f64 > 0.85);
+        assert!(est.iterations >= 1);
+        let _ = model.nominal_accuracy();
+    }
+}

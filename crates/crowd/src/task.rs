@@ -1,0 +1,101 @@
+//! Crowd tasks: true/false judgments about single facts.
+//!
+//! "We take judgment of one fact as our task to get higher accuracy"
+//! (paper Section I): a task shows the worker one fact triple and asks
+//! whether it is true.
+
+use serde::{Deserialize, Serialize};
+
+/// Globally unique task identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TaskId(pub u64);
+
+/// The paper's Section V-D statement taxonomy. `Clean` statements are
+/// answered with the base crowd accuracy; the three confusion classes were
+/// observed to degrade (or even invert) worker accuracy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum TaskClass {
+    /// An unambiguous statement.
+    #[default]
+    Clean,
+    /// A true statement whose author list is reordered relative to the cover
+    /// ("the most significant error judgment … a lot of false negatives").
+    WrongOrder,
+    /// A false statement that adds organisation/publisher information
+    /// ("more than 40 % of workers consider such a statement as true").
+    AdditionalInfo,
+    /// A false statement with a misspelled name ("for some statement the
+    /// correct rate is even lower than 50 %").
+    Misspelling,
+}
+
+impl TaskClass {
+    /// All classes, for iteration in reports.
+    pub const ALL: [TaskClass; 4] = [
+        TaskClass::Clean,
+        TaskClass::WrongOrder,
+        TaskClass::AdditionalInfo,
+        TaskClass::Misspelling,
+    ];
+
+    /// Human-readable label used in experiment output.
+    pub fn label(self) -> &'static str {
+        match self {
+            TaskClass::Clean => "clean",
+            TaskClass::WrongOrder => "wrong-order",
+            TaskClass::AdditionalInfo => "additional-info",
+            TaskClass::Misspelling => "misspelling",
+        }
+    }
+}
+
+/// A true/false judgment task about one fact.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Task {
+    /// Unique id.
+    pub id: TaskId,
+    /// The question shown to workers, e.g.
+    /// `Is "Hong Kong, Continent, Asia" true?`.
+    pub prompt: String,
+    /// Statement class driving difficulty-aware answer models.
+    pub class: TaskClass,
+}
+
+impl Task {
+    /// Convenience constructor for a clean task.
+    pub fn new(id: u64, prompt: impl Into<String>) -> Task {
+        Task {
+            id: TaskId(id),
+            prompt: prompt.into(),
+            class: TaskClass::Clean,
+        }
+    }
+
+    /// Sets the statement class.
+    #[must_use]
+    pub fn with_class(mut self, class: TaskClass) -> Task {
+        self.class = class;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_to_clean() {
+        let t = Task::new(7, "Is X true?");
+        assert_eq!(t.id, TaskId(7));
+        assert_eq!(t.class, TaskClass::Clean);
+        let t = t.with_class(TaskClass::Misspelling);
+        assert_eq!(t.class, TaskClass::Misspelling);
+    }
+
+    #[test]
+    fn class_labels_are_distinct() {
+        let labels: std::collections::HashSet<_> =
+            TaskClass::ALL.iter().map(|c| c.label()).collect();
+        assert_eq!(labels.len(), 4);
+    }
+}

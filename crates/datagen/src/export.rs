@@ -1,0 +1,79 @@
+//! JSON import/export of generated datasets and experiment artefacts.
+
+use crate::book::GeneratedBooks;
+use crate::country::CountryFacts;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Saves a generated book dataset as pretty-printed JSON.
+pub fn save_books(books: &GeneratedBooks, path: &Path) -> std::io::Result<()> {
+    let file = File::create(path)?;
+    let mut writer = BufWriter::new(file);
+    serde_json::to_writer_pretty(&mut writer, books)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    writer.flush()
+}
+
+/// Loads a generated book dataset from JSON.
+pub fn load_books(path: &Path) -> std::io::Result<GeneratedBooks> {
+    let file = File::open(path)?;
+    serde_json::from_reader(BufReader::new(file))
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+/// Saves a set of country scenarios as pretty-printed JSON.
+pub fn save_countries(countries: &[CountryFacts], path: &Path) -> std::io::Result<()> {
+    let file = File::create(path)?;
+    let mut writer = BufWriter::new(file);
+    serde_json::to_writer_pretty(&mut writer, countries)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    writer.flush()
+}
+
+/// Loads country scenarios from JSON.
+pub fn load_countries(path: &Path) -> std::io::Result<Vec<CountryFacts>> {
+    let file = File::open(path)?;
+    serde_json::from_reader(BufReader::new(file))
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::book::{generate, BookGenConfig};
+    use crate::country::{generate as gen_countries, CountryGenConfig};
+
+    #[test]
+    fn books_roundtrip() {
+        let books = generate(BookGenConfig::quick());
+        let dir = std::env::temp_dir().join("crowdfusion-datagen-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("books.json");
+        save_books(&books, &path).unwrap();
+        let loaded = load_books(&path).unwrap();
+        assert_eq!(loaded, books);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn countries_roundtrip() {
+        let countries = gen_countries(CountryGenConfig {
+            n_countries: 3,
+            ..CountryGenConfig::default()
+        });
+        let dir = std::env::temp_dir().join("crowdfusion-datagen-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("countries.json");
+        save_countries(&countries, &path).unwrap();
+        let loaded = load_countries(&path).unwrap();
+        assert_eq!(loaded, countries);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        assert!(load_books(Path::new("/nonexistent/books.json")).is_err());
+        assert!(load_countries(Path::new("/nonexistent/countries.json")).is_err());
+    }
+}

@@ -1,0 +1,34 @@
+//! Synthetic dataset substrate for the CrowdFusion reproduction.
+//!
+//! The paper evaluates on the *Book* dataset (author lists scraped from
+//! bookstore websites, lunadong.com fusion datasets) with a manually
+//! labelled gold standard. That data is not redistributable, so this crate
+//! generates synthetic datasets with the same *relevant structure* — the
+//! substitution argument lives in DESIGN.md:
+//!
+//! * conflicting multi-truth author-list claims per book (order/format
+//!   variants are both true, Section V-A);
+//! * heterogeneous source reliability, including domain-specialist sources
+//!   like the paper's eCampus.com example (55 % correct on textbooks, 0 % on
+//!   non-textbooks, Section I);
+//! * roughly half of raw web claims correct ("statistics of a small set of
+//!   books suggest that only around 50 % of Web data facts is correct",
+//!   Section V-A);
+//! * the Section V-D confusion taxonomy (wrong order / additional info /
+//!   misspelling) tagged on every statement so the crowd simulator can
+//!   degrade worker accuracy per class.
+//!
+//! [`country`] additionally generates the correlated country-facts scenario
+//! motivating query-based CrowdFusion (Section IV: continent ↔ population ↔
+//! major ethnic group).
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod book;
+pub mod country;
+pub mod export;
+pub mod names;
+
+pub use book::{BookGenConfig, GeneratedBooks};
+pub use country::{CountryFacts, CountryGenConfig};

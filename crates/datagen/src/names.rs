@@ -1,0 +1,254 @@
+//! Deterministic name and title pools for the synthetic book generator.
+
+use rand::Rng;
+
+/// First names drawn for synthetic authors.
+pub const FIRST_NAMES: [&str; 40] = [
+    "Ada",
+    "Alan",
+    "Barbara",
+    "Brian",
+    "Carol",
+    "Claude",
+    "Dennis",
+    "Donald",
+    "Edsger",
+    "Edgar",
+    "Frances",
+    "Grace",
+    "Herbert",
+    "Ivan",
+    "James",
+    "John",
+    "Judea",
+    "Ken",
+    "Leslie",
+    "Margaret",
+    "Marvin",
+    "Maurice",
+    "Niklaus",
+    "Peter",
+    "Radia",
+    "Richard",
+    "Robert",
+    "Ronald",
+    "Shafi",
+    "Silvio",
+    "Stephen",
+    "Tim",
+    "Tony",
+    "Vint",
+    "Whitfield",
+    "Adele",
+    "Hal",
+    "Lynn",
+    "Manuel",
+    "Sophie",
+];
+
+/// Last names drawn for synthetic authors.
+pub const LAST_NAMES: [&str; 40] = [
+    "Lovelace",
+    "Turing",
+    "Liskov",
+    "Kernighan",
+    "Shaw",
+    "Shannon",
+    "Ritchie",
+    "Knuth",
+    "Dijkstra",
+    "Codd",
+    "Allen",
+    "Hopper",
+    "Simon",
+    "Sutherland",
+    "Gosling",
+    "McCarthy",
+    "Pearl",
+    "Thompson",
+    "Lamport",
+    "Hamilton",
+    "Minsky",
+    "Wilkes",
+    "Wirth",
+    "Naur",
+    "Perlman",
+    "Stearns",
+    "Tarjan",
+    "Rivest",
+    "Goldwasser",
+    "Micali",
+    "Cook",
+    "Berners-Lee",
+    "Hoare",
+    "Cerf",
+    "Diffie",
+    "Goldberg",
+    "Abelson",
+    "Conway",
+    "Blum",
+    "Germain",
+];
+
+/// Words used to assemble synthetic book titles.
+pub const TITLE_WORDS: [&str; 24] = [
+    "Introduction",
+    "Advanced",
+    "Practical",
+    "Modern",
+    "Foundations",
+    "Principles",
+    "Art",
+    "Science",
+    "Theory",
+    "Systems",
+    "Networks",
+    "Databases",
+    "Algorithms",
+    "Programming",
+    "Computation",
+    "Logic",
+    "Design",
+    "Analysis",
+    "Architecture",
+    "Learning",
+    "Security",
+    "Compilers",
+    "Graphics",
+    "Crowdsourcing",
+];
+
+/// Organisations used for the "additional information" error class
+/// (cf. the paper's `RUCKER, RUDY (SAN JOSE STATE UNIVERSITY, USA)`).
+pub const ORGANISATIONS: [&str; 8] = [
+    "SAN JOSE STATE UNIVERSITY, USA",
+    "MIT PRESS",
+    "OXFORD UNIVERSITY",
+    "ETH ZURICH",
+    "BELL LABS",
+    "HKUST, HONG KONG",
+    "CAMBRIDGE, UK",
+    "STANFORD UNIVERSITY",
+];
+
+/// A full author name as (first, last).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AuthorName {
+    /// Given name.
+    pub first: &'static str,
+    /// Family name.
+    pub last: &'static str,
+}
+
+impl AuthorName {
+    /// `First Last` rendering.
+    pub fn natural(&self) -> String {
+        format!("{} {}", self.first, self.last)
+    }
+
+    /// `Last, First` rendering (the alternative true format).
+    pub fn inverted(&self) -> String {
+        format!("{}, {}", self.last, self.first)
+    }
+
+    /// A rendering with a misspelled last name: one vowel substituted (or a
+    /// trailing letter appended when no vowel is found), preserving case.
+    pub fn misspelled(&self) -> String {
+        let mut last: Vec<char> = self.last.chars().collect();
+        let subst = |c: char| match c {
+            'a' => 'e',
+            'e' => 'a',
+            'i' => 'y',
+            'o' => 'u',
+            'u' => 'o',
+            other => other,
+        };
+        let mut changed = false;
+        for ch in last.iter_mut().skip(1) {
+            let s = subst(*ch);
+            if s != *ch {
+                *ch = s;
+                changed = true;
+                break;
+            }
+        }
+        if !changed {
+            last.push('h');
+        }
+        format!("{} {}", self.first, last.into_iter().collect::<String>())
+    }
+}
+
+/// Draws `count` distinct author names.
+pub fn draw_authors<R: Rng + ?Sized>(rng: &mut R, count: usize) -> Vec<AuthorName> {
+    assert!(
+        count <= FIRST_NAMES.len(),
+        "at most {} distinct authors supported",
+        FIRST_NAMES.len()
+    );
+    let mut picked = Vec::with_capacity(count);
+    let mut used = std::collections::HashSet::new();
+    while picked.len() < count {
+        let f = FIRST_NAMES[rng.gen_range(0..FIRST_NAMES.len())];
+        let l = LAST_NAMES[rng.gen_range(0..LAST_NAMES.len())];
+        if used.insert((f, l)) {
+            picked.push(AuthorName { first: f, last: l });
+        }
+    }
+    picked
+}
+
+/// Builds a deterministic-but-varied book title.
+pub fn book_title<R: Rng + ?Sized>(rng: &mut R, index: usize) -> String {
+    let a = TITLE_WORDS[rng.gen_range(0..TITLE_WORDS.len())];
+    let b = TITLE_WORDS[rng.gen_range(0..TITLE_WORDS.len())];
+    format!("{a} {b} (Vol. {index})")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn renderings_are_equivalent_under_canonicalisation() {
+        let n = AuthorName {
+            first: "Ada",
+            last: "Lovelace",
+        };
+        assert!(crowdfusion_fusion::text::lists_equivalent(
+            &n.natural(),
+            &n.inverted()
+        ));
+        assert!(!crowdfusion_fusion::text::lists_equivalent(
+            &n.natural(),
+            &n.misspelled()
+        ));
+    }
+
+    #[test]
+    fn misspelling_always_changes_name() {
+        for last in LAST_NAMES {
+            let n = AuthorName { first: "X", last };
+            assert_ne!(n.misspelled(), n.natural(), "misspelling no-op for {last}");
+        }
+    }
+
+    #[test]
+    fn draw_authors_distinct() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let authors = draw_authors(&mut rng, 10);
+        let set: std::collections::HashSet<_> = authors.iter().map(|a| (a.first, a.last)).collect();
+        assert_eq!(set.len(), 10);
+    }
+
+    #[test]
+    fn titles_vary_with_index() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t1 = book_title(&mut rng, 1);
+        let t2 = book_title(&mut rng, 2);
+        assert!(t1.contains("Vol. 1"));
+        assert!(t2.contains("Vol. 2"));
+    }
+}

@@ -1,0 +1,146 @@
+//! Property-based tests for the dataset generators.
+
+use crowdfusion_crowd::TaskClass;
+use crowdfusion_datagen::book::generate;
+use crowdfusion_datagen::country::generate as gen_countries;
+use crowdfusion_datagen::{BookGenConfig, CountryGenConfig};
+use proptest::prelude::*;
+
+fn arb_book_config() -> impl Strategy<Value = BookGenConfig> {
+    (
+        1usize..=12,  // books
+        1usize..=6,   // sources
+        0usize..=2,   // specialists
+        2usize..=6,   // min statements
+        0usize..=4,   // extra statements
+        0.0f64..=1.0, // textbook fraction
+        0.2f64..=0.9, // reliability low
+        0.0f64..=0.6, // participation slack
+        any::<u64>(), // seed
+    )
+        .prop_map(
+            |(books, sources, specialists, min_s, extra_s, textbook, rel_lo, part, seed)| {
+                BookGenConfig {
+                    n_books: books,
+                    n_sources: sources,
+                    n_specialists: specialists,
+                    statements_per_book: (min_s, min_s + extra_s),
+                    textbook_fraction: textbook,
+                    source_reliability: (rel_lo, (rel_lo + 0.1).min(1.0)),
+                    participation: (0.4 + part).min(1.0),
+                    seed,
+                    ..BookGenConfig::default()
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn generated_books_are_internally_consistent(config in arb_book_config()) {
+        let g = generate(config.clone());
+        // Arity invariants.
+        prop_assert_eq!(g.dataset.entities().len(), config.n_books);
+        prop_assert_eq!(g.gold.len(), g.dataset.statements().len());
+        prop_assert_eq!(g.classes.len(), g.dataset.statements().len());
+        prop_assert_eq!(g.textbook.len(), config.n_books);
+        // Every book has at least one true statement and respects limits.
+        for e in g.dataset.entities() {
+            prop_assert!(!e.statements.is_empty());
+            prop_assert!(e.statements.len() <= config.statements_per_book.1);
+            prop_assert!(e.statements.iter().any(|s| g.gold[s.0 as usize]));
+        }
+        // Gold labels agree with author-set equivalence (the generator's
+        // own verifier asserts internally).
+        g.verify_gold_consistency();
+    }
+
+    #[test]
+    fn class_gold_coherence(config in arb_book_config()) {
+        let g = generate(config);
+        for (i, class) in g.classes.iter().enumerate() {
+            match class {
+                TaskClass::WrongOrder => prop_assert!(g.gold[i]),
+                TaskClass::Misspelling | TaskClass::AdditionalInfo => {
+                    prop_assert!(!g.gold[i])
+                }
+                TaskClass::Clean => {}
+            }
+        }
+    }
+
+    #[test]
+    fn generation_deterministic(config in arb_book_config()) {
+        prop_assert_eq!(generate(config.clone()), generate(config));
+    }
+
+    #[test]
+    fn claims_reference_own_entity(config in arb_book_config()) {
+        let g = generate(config);
+        for claim in g.dataset.claims() {
+            let entity = g.dataset.statement_entity(claim.statement);
+            prop_assert!(g
+                .dataset
+                .statements_of(entity)
+                .contains(&claim.statement));
+        }
+    }
+
+    #[test]
+    fn select_books_preserves_per_book_data(config in arb_book_config(), count in 1usize..=4) {
+        let g = generate(config);
+        let keep = g.smallest_books(count.min(g.dataset.entities().len()));
+        let sub = g.select_books(&keep);
+        prop_assert_eq!(sub.dataset.entities().len(), keep.len());
+        // Gold/class vectors stay aligned per statement.
+        for (new_e, old_e) in sub.dataset.entities().iter().zip(&keep) {
+            prop_assert_eq!(
+                sub.gold_for(new_e.id),
+                g.gold_for(*old_e)
+            );
+            prop_assert_eq!(
+                sub.classes_for(new_e.id),
+                g.classes_for(*old_e)
+            );
+        }
+        sub.verify_gold_consistency();
+    }
+
+    #[test]
+    fn correlation_groups_partition(config in arb_book_config()) {
+        let g = generate(config);
+        for e in g.dataset.entities() {
+            let groups = g.correlation_groups(e.id);
+            let mut seen = vec![false; e.statements.len()];
+            for group in &groups {
+                for &idx in group {
+                    prop_assert!(idx < e.statements.len());
+                    prop_assert!(!seen[idx], "index in two groups");
+                    seen[idx] = true;
+                }
+            }
+            prop_assert!(seen.iter().all(|&s| s));
+        }
+    }
+
+    #[test]
+    fn countries_are_valid(n in 1usize..=25, seed in any::<u64>()) {
+        let countries = gen_countries(CountryGenConfig {
+            n_countries: n,
+            seed,
+            ..CountryGenConfig::default()
+        });
+        prop_assert_eq!(countries.len(), n);
+        for c in &countries {
+            prop_assert_eq!(c.prior.num_vars(), 5);
+            prop_assert!((c.prior.total_mass() - 1.0).abs() < 1e-9);
+            prop_assert_eq!(c.labels.len(), 5);
+            prop_assert!(!c.interest.is_empty());
+            // Gold satisfies the generator's exclusivity rules.
+            prop_assert_ne!(c.gold.get(0), c.gold.get(1));
+            prop_assert_ne!(c.gold.get(3), c.gold.get(4));
+        }
+    }
+}

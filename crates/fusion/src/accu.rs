@@ -1,0 +1,205 @@
+//! A Bayesian ACCU-style voter, after Dong, Berti-Equille & Srivastava
+//! (VLDB 2009), without copying detection.
+//!
+//! Each source has an accuracy `A_s`; assuming `n` uniformly-likely false
+//! values per entity, a source asserting value `v` multiplies `v`'s posterior
+//! odds by `n·A_s / (1 − A_s)`. Per entity the value scores are
+//! soft-maxed into a posterior; source accuracies are re-estimated as the
+//! mean posterior of their claimed values; iterate to a fixed point.
+
+use crate::error::FusionError;
+use crate::model::Dataset;
+use crate::result::{FusionMethod, FusionResult};
+
+/// Configuration for the ACCU-style Bayesian voter.
+#[derive(Debug, Clone)]
+pub struct AccuVote {
+    /// Initial source accuracy (Dong et al. use 0.8).
+    pub initial_accuracy: f64,
+    /// Maximum iterations.
+    pub max_iters: usize,
+    /// Convergence threshold on the max accuracy change.
+    pub tolerance: f64,
+}
+
+impl Default for AccuVote {
+    fn default() -> AccuVote {
+        AccuVote {
+            initial_accuracy: 0.8,
+            max_iters: 50,
+            tolerance: 1e-6,
+        }
+    }
+}
+
+/// Accuracies are clamped away from {0, 1} to keep log-odds finite.
+const ACC_CLAMP: f64 = 1e-3;
+
+impl FusionMethod for AccuVote {
+    fn name(&self) -> &'static str {
+        "accu"
+    }
+
+    fn fuse(&self, dataset: &Dataset) -> Result<FusionResult, FusionError> {
+        if !(0.0..1.0).contains(&self.initial_accuracy) || self.initial_accuracy <= 0.0 {
+            return Err(FusionError::InvalidParameter {
+                name: "initial_accuracy",
+                value: self.initial_accuracy,
+            });
+        }
+        if self.tolerance <= 0.0 {
+            return Err(FusionError::InvalidParameter {
+                name: "tolerance",
+                value: self.tolerance,
+            });
+        }
+        if dataset.claims().is_empty() {
+            return Err(FusionError::NoClaims);
+        }
+
+        let n_sources = dataset.sources().len();
+        let n_statements = dataset.statements().len();
+        let mut accuracy = vec![self.initial_accuracy; n_sources];
+        let mut posterior = vec![0.5f64; n_statements];
+
+        for _ in 0..self.max_iters {
+            // Value scores per entity, soft-maxed into posteriors.
+            for entity in dataset.entities() {
+                let stmts = &entity.statements;
+                if stmts.is_empty() {
+                    continue;
+                }
+                // n = number of alternative (false) values; at least 1.
+                let n_false = (stmts.len() - 1).max(1) as f64;
+                let scores: Vec<f64> = stmts
+                    .iter()
+                    .map(|&st| {
+                        dataset
+                            .supporters(st)
+                            .iter()
+                            .map(|s| {
+                                let a = accuracy[s.0 as usize].clamp(ACC_CLAMP, 1.0 - ACC_CLAMP);
+                                (n_false * a / (1.0 - a)).ln()
+                            })
+                            .sum()
+                    })
+                    .collect();
+                // Numerically stable softmax.
+                let max = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                let exp: Vec<f64> = scores.iter().map(|s| (s - max).exp()).collect();
+                let total: f64 = exp.iter().sum();
+                for (st, e) in stmts.iter().zip(&exp) {
+                    posterior[st.0 as usize] = e / total;
+                }
+            }
+
+            // Re-estimate source accuracies.
+            let mut sums = vec![0.0f64; n_sources];
+            let mut counts = vec![0usize; n_sources];
+            for claim in dataset.claims() {
+                sums[claim.source.0 as usize] += posterior[claim.statement.0 as usize];
+                counts[claim.source.0 as usize] += 1;
+            }
+            let mut residual = 0.0f64;
+            for s in 0..n_sources {
+                if counts[s] == 0 {
+                    continue;
+                }
+                let new = (sums[s] / counts[s] as f64).clamp(ACC_CLAMP, 1.0 - ACC_CLAMP);
+                residual = residual.max((new - accuracy[s]).abs());
+                accuracy[s] = new;
+            }
+            if residual < self.tolerance {
+                break;
+            }
+        }
+        Ok(FusionResult::new(self.name(), posterior))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::testutil::two_book_dataset;
+    use crate::model::{DatasetBuilder, StatementId};
+
+    #[test]
+    fn majority_supported_value_wins() {
+        let d = two_book_dataset();
+        let r = AccuVote::default().fuse(&d).unwrap();
+        assert!(r.prob(StatementId(3)) > r.prob(StatementId(4)));
+    }
+
+    #[test]
+    fn posteriors_per_entity_sum_to_at_most_one() {
+        let d = two_book_dataset();
+        // Raw (unclamped) posterior per entity sums to 1; after clamping the
+        // sum can drift slightly but must stay near 1 per entity.
+        let r = AccuVote::default().fuse(&d).unwrap();
+        for entity in d.entities() {
+            let total: f64 = entity.statements.iter().map(|s| r.prob(*s)).sum();
+            assert!(total <= entity.statements.len() as f64);
+            assert!(total > 0.0);
+        }
+    }
+
+    #[test]
+    fn consistent_source_gains_accuracy_weight() {
+        // One source always agrees with the crowd of 3; another always
+        // disagrees. On a final contested entity the reliable source plus
+        // one ally should beat two unreliable allies.
+        let mut b = DatasetBuilder::new();
+        let good = b.add_source("good");
+        let w1 = b.add_source("witness1");
+        let w2 = b.add_source("witness2");
+        let bad = b.add_source("bad");
+        for i in 0..5 {
+            let e = b.add_entity(format!("e{i}"));
+            let t = b.add_statement(e, format!("t{i}")).unwrap();
+            let f = b.add_statement(e, format!("f{i}")).unwrap();
+            b.add_claim(good, t).unwrap();
+            b.add_claim(w1, t).unwrap();
+            b.add_claim(w2, t).unwrap();
+            b.add_claim(bad, f).unwrap();
+        }
+        let e = b.add_entity("contested");
+        let t = b.add_statement(e, "truth").unwrap();
+        let f = b.add_statement(e, "lie").unwrap();
+        b.add_claim(good, t).unwrap();
+        b.add_claim(bad, f).unwrap();
+        let r = AccuVote::default().fuse(&b.build()).unwrap();
+        assert!(r.prob(t) > r.prob(f));
+    }
+
+    #[test]
+    fn parameter_validation() {
+        let d = two_book_dataset();
+        assert!(matches!(
+            AccuVote {
+                initial_accuracy: 0.0,
+                ..AccuVote::default()
+            }
+            .fuse(&d),
+            Err(FusionError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            AccuVote {
+                tolerance: -1.0,
+                ..AccuVote::default()
+            }
+            .fuse(&d),
+            Err(FusionError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_claims_rejected() {
+        let mut b = DatasetBuilder::new();
+        let e = b.add_entity("x");
+        b.add_statement(e, "v").unwrap();
+        assert_eq!(
+            AccuVote::default().fuse(&b.build()).unwrap_err(),
+            FusionError::NoClaims
+        );
+    }
+}

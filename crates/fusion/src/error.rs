@@ -1,0 +1,87 @@
+//! Error type for dataset construction and fusion methods.
+
+use std::fmt;
+
+/// Errors produced while building datasets or running fusion methods.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FusionError {
+    /// A referenced source id does not exist in the dataset.
+    UnknownSource(u32),
+    /// A referenced entity id does not exist in the dataset.
+    UnknownEntity(u32),
+    /// A referenced statement id does not exist in the dataset.
+    UnknownStatement(u32),
+    /// The dataset contains no claims, so no method can estimate anything.
+    NoClaims,
+    /// A duplicate claim (same source supporting the same statement).
+    DuplicateClaim {
+        /// The claiming source.
+        source: u32,
+        /// The statement claimed twice.
+        statement: u32,
+    },
+    /// An algorithm parameter was outside its valid range.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// The iterative method failed to converge within its iteration cap.
+    /// Carries the final residual; callers may still treat the last iterate
+    /// as usable.
+    NoConvergence {
+        /// Iterations executed.
+        iterations: usize,
+        /// Final residual (max parameter change in the last iteration).
+        residual: f64,
+    },
+}
+
+impl fmt::Display for FusionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FusionError::UnknownSource(id) => write!(f, "unknown source id {id}"),
+            FusionError::UnknownEntity(id) => write!(f, "unknown entity id {id}"),
+            FusionError::UnknownStatement(id) => write!(f, "unknown statement id {id}"),
+            FusionError::NoClaims => write!(f, "dataset contains no claims"),
+            FusionError::DuplicateClaim { source, statement } => {
+                write!(f, "source {source} claims statement {statement} twice")
+            }
+            FusionError::InvalidParameter { name, value } => {
+                write!(f, "invalid parameter {name} = {value}")
+            }
+            FusionError::NoConvergence {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "no convergence after {iterations} iterations (residual {residual:.2e})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FusionError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_ids() {
+        assert!(FusionError::UnknownSource(3).to_string().contains('3'));
+        assert!(FusionError::DuplicateClaim {
+            source: 1,
+            statement: 9
+        }
+        .to_string()
+        .contains('9'));
+        assert!(FusionError::InvalidParameter {
+            name: "damping",
+            value: -0.5
+        }
+        .to_string()
+        .contains("damping"));
+    }
+}

@@ -1,0 +1,51 @@
+//! Truth-discovery substrate for the CrowdFusion reproduction.
+//!
+//! CrowdFusion (Chen, Chen & Zhang, ICDE 2017) refines the output of
+//! "machine-only" data-fusion methods. This crate implements that substrate
+//! from scratch:
+//!
+//! * a [`model::Dataset`] of entities, conflicting *statements* (candidate
+//!   values) and web *sources* that claim them — the shape of the Book
+//!   dataset used in the paper's evaluation;
+//! * four probability-producing fusion methods behind the
+//!   [`FusionMethod`] trait:
+//!   [`MajorityVote`], [`Crh`] (Li et al., SIGMOD 2014 — the paper's
+//!   initialiser), [`TruthFinder`] (Yin, Han & Yu, TKDE 2008) and
+//!   [`AccuVote`] (a Bayesian ACCU-style voter after Dong et al., VLDB 2009);
+//! * [`ModifiedCrh`] — the paper's modification of CRH for multi-truth
+//!   author-list data (Section V-A: top-50 % majority marking, weight
+//!   assignment, missing-value normalisation, truth computation);
+//! * author-list text utilities ([`text`]) used for gold-standard
+//!   equivalence and TruthFinder's implication function.
+//!
+//! The output of every method is a [`FusionResult`]: a per-statement marginal
+//! probability of being true, which downstream code (crowdfusion-core) lifts
+//! into a joint prior distribution.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod accu;
+pub mod crh;
+pub mod error;
+pub mod majority;
+pub mod model;
+pub mod result;
+pub mod text;
+pub mod truthfinder;
+
+pub use accu::AccuVote;
+pub use crh::{Crh, ModifiedCrh};
+pub use error::FusionError;
+pub use majority::MajorityVote;
+pub use model::{
+    Claim, Dataset, DatasetBuilder, Entity, EntityId, Source, SourceId, Statement, StatementId,
+};
+pub use result::{FusionMethod, FusionResult, UniformPrior};
+pub use truthfinder::TruthFinder;
+
+/// Probabilities emitted by fusion methods are clamped to
+/// `[PROB_FLOOR, 1 − PROB_FLOOR]` so that no fact starts out certain: the
+/// paper's Bayesian merge (Equation 3) can never recover from a hard 0/1
+/// prior, and real fusion output is never perfectly confident.
+pub const PROB_FLOOR: f64 = 0.02;

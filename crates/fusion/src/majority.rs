@@ -1,0 +1,138 @@
+//! Majority voting — the simplest fusion baseline.
+
+use crate::error::FusionError;
+use crate::model::{Dataset, StatementId};
+use crate::result::{FusionMethod, FusionResult};
+
+/// Majority voting: the probability of a statement is the fraction of the
+/// entity's claiming sources that assert it.
+///
+/// Also provides the *top-fraction marking* used by the paper's modified CRH
+/// initialisation ("we firstly mark top 50 % of author lists for each book as
+/// the correct author lists by majority voting", Section V-A).
+#[derive(Debug, Clone, Copy)]
+pub struct MajorityVote;
+
+impl MajorityVote {
+    /// Vote share of each statement: `|supporters| / |sources on entity|`.
+    pub fn vote_shares(dataset: &Dataset) -> Vec<f64> {
+        let mut shares = vec![0.0; dataset.statements().len()];
+        for entity in dataset.entities() {
+            let voters = dataset.sources_on(entity.id).len();
+            if voters == 0 {
+                continue;
+            }
+            for &s in &entity.statements {
+                shares[s.0 as usize] = dataset.supporters(s).len() as f64 / voters as f64;
+            }
+        }
+        shares
+    }
+
+    /// Marks the top `fraction` of each entity's statements (by vote count,
+    /// ties broken toward lower statement id) as true.
+    ///
+    /// At least one statement per non-empty entity is always marked. This is
+    /// the paper's "top 50 % by majority voting" step with `fraction = 0.5`.
+    pub fn mark_top_fraction(dataset: &Dataset, fraction: f64) -> Vec<bool> {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "fraction must be in [0, 1]"
+        );
+        let mut marked = vec![false; dataset.statements().len()];
+        for entity in dataset.entities() {
+            if entity.statements.is_empty() {
+                continue;
+            }
+            let mut ranked: Vec<StatementId> = entity.statements.clone();
+            ranked.sort_by_key(|s| (std::cmp::Reverse(dataset.supporters(*s).len()), s.0));
+            let take = ((entity.statements.len() as f64 * fraction).round() as usize).max(1);
+            for s in ranked.into_iter().take(take) {
+                marked[s.0 as usize] = true;
+            }
+        }
+        marked
+    }
+}
+
+impl FusionMethod for MajorityVote {
+    fn name(&self) -> &'static str {
+        "majority"
+    }
+
+    fn fuse(&self, dataset: &Dataset) -> Result<FusionResult, FusionError> {
+        if dataset.claims().is_empty() {
+            return Err(FusionError::NoClaims);
+        }
+        Ok(FusionResult::from_entity_shares(
+            self.name(),
+            Self::vote_shares(dataset),
+            dataset,
+            0.9,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::testutil::two_book_dataset;
+    use crate::model::DatasetBuilder;
+
+    #[test]
+    fn vote_shares_normalise_per_entity() {
+        let d = two_book_dataset();
+        let shares = MajorityVote::vote_shares(&d);
+        // Book 0 has 3 claiming sources, one claim per statement.
+        assert!((shares[0] - 1.0 / 3.0).abs() < 1e-12);
+        assert!((shares[1] - 1.0 / 3.0).abs() < 1e-12);
+        assert!((shares[2] - 1.0 / 3.0).abs() < 1e-12);
+        // Book 1: s3 has 2/3 supporters, s4 has 1/3.
+        assert!((shares[3] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((shares[4] - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fuse_produces_clamped_result() {
+        let d = two_book_dataset();
+        let r = MajorityVote.fuse(&d).unwrap();
+        assert_eq!(r.method(), "majority");
+        assert!(r.prob(StatementId(3)) > r.prob(StatementId(4)));
+    }
+
+    #[test]
+    fn fuse_rejects_empty_claims() {
+        let mut b = DatasetBuilder::new();
+        let e = b.add_entity("x");
+        b.add_statement(e, "v").unwrap();
+        assert_eq!(
+            MajorityVote.fuse(&b.build()).unwrap_err(),
+            FusionError::NoClaims
+        );
+    }
+
+    #[test]
+    fn mark_top_half_marks_best_supported() {
+        let d = two_book_dataset();
+        let marked = MajorityVote::mark_top_fraction(&d, 0.5);
+        // Book 0: 3 statements, take round(1.5)=2 -> s0, s1 (tie by id).
+        assert!(marked[0] && marked[1] && !marked[2]);
+        // Book 1: 2 statements, take 1 -> s3 (2 supporters).
+        assert!(marked[3] && !marked[4]);
+    }
+
+    #[test]
+    fn mark_always_keeps_at_least_one() {
+        let d = two_book_dataset();
+        let marked = MajorityVote::mark_top_fraction(&d, 0.0);
+        // Every entity keeps exactly one marked statement.
+        assert_eq!(marked.iter().filter(|&&m| m).count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn mark_rejects_bad_fraction() {
+        let d = two_book_dataset();
+        MajorityVote::mark_top_fraction(&d, 1.5);
+    }
+}

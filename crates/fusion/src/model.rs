@@ -1,0 +1,379 @@
+//! The claims data model: entities, statements, sources and claims.
+//!
+//! This mirrors the structure of the *Book* dataset used in the paper's
+//! evaluation (Section V-A): each **entity** (a book) has a set of candidate
+//! **statements** (author-list strings); each **source** (a bookstore
+//! website) claims at most a few statements per entity. Facts are triples
+//! `{book, complete full name author list, statement}` and more than one
+//! statement per entity can be true (order/format variants).
+
+use crate::error::FusionError;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Identifier of a data source (a website in the Book dataset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SourceId(pub u32);
+
+/// Identifier of an entity (a book).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EntityId(pub u32);
+
+/// Global identifier of a statement (a candidate value for some entity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct StatementId(pub u32);
+
+/// A data source.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Source {
+    /// The source's id (its index in [`Dataset::sources`]).
+    pub id: SourceId,
+    /// Human-readable name (e.g. a website domain).
+    pub name: String,
+}
+
+/// An entity about which sources make conflicting claims.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Entity {
+    /// The entity's id (its index in [`Dataset::entities`]).
+    pub id: EntityId,
+    /// Human-readable name (e.g. a book title or ISBN).
+    pub name: String,
+    /// Statements proposed for this entity, in statement-id order.
+    pub statements: Vec<StatementId>,
+}
+
+/// A candidate value statement for an entity. In fact-triple form this is
+/// `{entity, attribute, text}`; the attribute is implicit (one attribute per
+/// dataset, e.g. "complete full name author list").
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Statement {
+    /// The statement's global id (its index in [`Dataset::statements`]).
+    pub id: StatementId,
+    /// The entity this statement is about.
+    pub entity: EntityId,
+    /// The claimed value (e.g. an author-list string).
+    pub text: String,
+}
+
+/// A source asserting a statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Claim {
+    /// The asserting source.
+    pub source: SourceId,
+    /// The asserted statement.
+    pub statement: StatementId,
+}
+
+/// An immutable, validated claims dataset.
+///
+/// Construct through [`DatasetBuilder`], which guarantees referential
+/// integrity (every claim references an existing source and statement, every
+/// statement an existing entity) and the absence of duplicate claims.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    sources: Vec<Source>,
+    entities: Vec<Entity>,
+    statements: Vec<Statement>,
+    claims: Vec<Claim>,
+    /// claims grouped by statement: `claims_by_statement[s]` = sources
+    /// asserting statement `s`.
+    claims_by_statement: Vec<Vec<SourceId>>,
+    /// statement ids grouped by entity for fast per-entity iteration.
+    sources_by_entity: Vec<Vec<SourceId>>,
+}
+
+impl Dataset {
+    /// All sources, indexed by [`SourceId`].
+    pub fn sources(&self) -> &[Source] {
+        &self.sources
+    }
+
+    /// All entities, indexed by [`EntityId`].
+    pub fn entities(&self) -> &[Entity] {
+        &self.entities
+    }
+
+    /// All statements, indexed by [`StatementId`].
+    pub fn statements(&self) -> &[Statement] {
+        &self.statements
+    }
+
+    /// All claims in insertion order.
+    pub fn claims(&self) -> &[Claim] {
+        &self.claims
+    }
+
+    /// The statements proposed for `entity`.
+    pub fn statements_of(&self, entity: EntityId) -> &[StatementId] {
+        &self.entities[entity.0 as usize].statements
+    }
+
+    /// The sources asserting `statement`.
+    pub fn supporters(&self, statement: StatementId) -> &[SourceId] {
+        &self.claims_by_statement[statement.0 as usize]
+    }
+
+    /// The distinct sources making any claim about `entity`, sorted.
+    pub fn sources_on(&self, entity: EntityId) -> &[SourceId] {
+        &self.sources_by_entity[entity.0 as usize]
+    }
+
+    /// Number of statements a source asserts, per source.
+    pub fn claims_per_source(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.sources.len()];
+        for c in &self.claims {
+            counts[c.source.0 as usize] += 1;
+        }
+        counts
+    }
+
+    /// Looks up a statement's text.
+    pub fn statement_text(&self, id: StatementId) -> &str {
+        &self.statements[id.0 as usize].text
+    }
+
+    /// Looks up the entity a statement belongs to.
+    pub fn statement_entity(&self, id: StatementId) -> EntityId {
+        self.statements[id.0 as usize].entity
+    }
+
+    /// Entities with at least `min` statements (the paper restricts some
+    /// experiments to books with many facts, e.g. "> 20 facts" in Table V).
+    pub fn entities_with_min_statements(&self, min: usize) -> Vec<EntityId> {
+        self.entities
+            .iter()
+            .filter(|e| e.statements.len() >= min)
+            .map(|e| e.id)
+            .collect()
+    }
+}
+
+/// Incremental, validating builder for [`Dataset`].
+#[derive(Debug, Default, Clone)]
+pub struct DatasetBuilder {
+    sources: Vec<Source>,
+    entities: Vec<Entity>,
+    statements: Vec<Statement>,
+    claims: Vec<Claim>,
+    seen_claims: HashSet<(u32, u32)>,
+}
+
+impl DatasetBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> DatasetBuilder {
+        DatasetBuilder::default()
+    }
+
+    /// Registers a source and returns its id.
+    pub fn add_source(&mut self, name: impl Into<String>) -> SourceId {
+        let id = SourceId(self.sources.len() as u32);
+        self.sources.push(Source {
+            id,
+            name: name.into(),
+        });
+        id
+    }
+
+    /// Registers an entity and returns its id.
+    pub fn add_entity(&mut self, name: impl Into<String>) -> EntityId {
+        let id = EntityId(self.entities.len() as u32);
+        self.entities.push(Entity {
+            id,
+            name: name.into(),
+            statements: Vec::new(),
+        });
+        id
+    }
+
+    /// Registers a statement for an entity and returns its id.
+    pub fn add_statement(
+        &mut self,
+        entity: EntityId,
+        text: impl Into<String>,
+    ) -> Result<StatementId, FusionError> {
+        let Some(e) = self.entities.get_mut(entity.0 as usize) else {
+            return Err(FusionError::UnknownEntity(entity.0));
+        };
+        let id = StatementId(self.statements.len() as u32);
+        e.statements.push(id);
+        self.statements.push(Statement {
+            id,
+            entity,
+            text: text.into(),
+        });
+        Ok(id)
+    }
+
+    /// Records that `source` asserts `statement`.
+    pub fn add_claim(
+        &mut self,
+        source: SourceId,
+        statement: StatementId,
+    ) -> Result<(), FusionError> {
+        if source.0 as usize >= self.sources.len() {
+            return Err(FusionError::UnknownSource(source.0));
+        }
+        if statement.0 as usize >= self.statements.len() {
+            return Err(FusionError::UnknownStatement(statement.0));
+        }
+        if !self.seen_claims.insert((source.0, statement.0)) {
+            return Err(FusionError::DuplicateClaim {
+                source: source.0,
+                statement: statement.0,
+            });
+        }
+        self.claims.push(Claim { source, statement });
+        Ok(())
+    }
+
+    /// Finalises the dataset, computing the grouped indexes.
+    pub fn build(self) -> Dataset {
+        let mut claims_by_statement = vec![Vec::new(); self.statements.len()];
+        let mut sources_by_entity: Vec<HashSet<SourceId>> =
+            vec![HashSet::new(); self.entities.len()];
+        for c in &self.claims {
+            claims_by_statement[c.statement.0 as usize].push(c.source);
+            let entity = self.statements[c.statement.0 as usize].entity;
+            sources_by_entity[entity.0 as usize].insert(c.source);
+        }
+        for sources in &mut claims_by_statement {
+            sources.sort_unstable();
+        }
+        let sources_by_entity = sources_by_entity
+            .into_iter()
+            .map(|set| {
+                let mut v: Vec<SourceId> = set.into_iter().collect();
+                v.sort_unstable();
+                v
+            })
+            .collect();
+        Dataset {
+            sources: self.sources,
+            entities: self.entities,
+            statements: self.statements,
+            claims: self.claims,
+            claims_by_statement,
+            sources_by_entity,
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+
+    /// A small two-book dataset with three sources of differing quality.
+    ///
+    /// Book 0 statements: s0 (true variant A), s1 (true variant B, reorder),
+    /// s2 (false). Book 1 statements: s3 (true), s4 (false).
+    pub fn two_book_dataset() -> Dataset {
+        let mut b = DatasetBuilder::new();
+        let good = b.add_source("goodbooks.com");
+        let noisy = b.add_source("noisy.net");
+        let bad = b.add_source("badinfo.org");
+        let book0 = b.add_entity("Book Zero");
+        let book1 = b.add_entity("Book One");
+        let s0 = b.add_statement(book0, "Ada Lovelace; Alan Turing").unwrap();
+        let s1 = b.add_statement(book0, "Alan Turing; Ada Lovelace").unwrap();
+        let s2 = b.add_statement(book0, "Grace Hopper").unwrap();
+        let s3 = b.add_statement(book1, "Edsger Dijkstra").unwrap();
+        let s4 = b.add_statement(book1, "Edsgar Dykstra").unwrap();
+        b.add_claim(good, s0).unwrap();
+        b.add_claim(good, s3).unwrap();
+        b.add_claim(noisy, s1).unwrap();
+        b.add_claim(noisy, s3).unwrap();
+        b.add_claim(bad, s2).unwrap();
+        b.add_claim(bad, s4).unwrap();
+        b.build()
+    }
+
+    /// Gold labels for [`two_book_dataset`]: s0, s1, s3 true.
+    pub fn two_book_gold() -> Vec<bool> {
+        vec![true, true, false, true, false]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::two_book_dataset;
+    use super::*;
+
+    #[test]
+    fn builder_assigns_sequential_ids() {
+        let mut b = DatasetBuilder::new();
+        assert_eq!(b.add_source("a"), SourceId(0));
+        assert_eq!(b.add_source("b"), SourceId(1));
+        let e = b.add_entity("x");
+        assert_eq!(e, EntityId(0));
+        assert_eq!(b.add_statement(e, "v1").unwrap(), StatementId(0));
+        assert_eq!(b.add_statement(e, "v2").unwrap(), StatementId(1));
+    }
+
+    #[test]
+    fn builder_rejects_dangling_references() {
+        let mut b = DatasetBuilder::new();
+        let e = b.add_entity("x");
+        assert_eq!(
+            b.add_statement(EntityId(5), "v"),
+            Err(FusionError::UnknownEntity(5))
+        );
+        let s = b.add_statement(e, "v").unwrap();
+        assert_eq!(
+            b.add_claim(SourceId(0), s),
+            Err(FusionError::UnknownSource(0))
+        );
+        let src = b.add_source("s");
+        assert_eq!(
+            b.add_claim(src, StatementId(7)),
+            Err(FusionError::UnknownStatement(7))
+        );
+    }
+
+    #[test]
+    fn builder_rejects_duplicate_claims() {
+        let mut b = DatasetBuilder::new();
+        let src = b.add_source("s");
+        let e = b.add_entity("x");
+        let s = b.add_statement(e, "v").unwrap();
+        b.add_claim(src, s).unwrap();
+        assert_eq!(
+            b.add_claim(src, s),
+            Err(FusionError::DuplicateClaim {
+                source: 0,
+                statement: 0
+            })
+        );
+    }
+
+    #[test]
+    fn dataset_indexes_are_consistent() {
+        let d = two_book_dataset();
+        assert_eq!(d.sources().len(), 3);
+        assert_eq!(d.entities().len(), 2);
+        assert_eq!(d.statements().len(), 5);
+        assert_eq!(d.claims().len(), 6);
+        assert_eq!(d.statements_of(EntityId(0)).len(), 3);
+        assert_eq!(d.supporters(StatementId(3)).len(), 2);
+        assert_eq!(d.sources_on(EntityId(0)).len(), 3);
+        assert_eq!(d.claims_per_source(), vec![2, 2, 2]);
+        assert_eq!(d.statement_entity(StatementId(4)), EntityId(1));
+        assert_eq!(d.statement_text(StatementId(2)), "Grace Hopper");
+    }
+
+    #[test]
+    fn entities_with_min_statements_filters() {
+        let d = two_book_dataset();
+        assert_eq!(d.entities_with_min_statements(3), vec![EntityId(0)]);
+        assert_eq!(d.entities_with_min_statements(2).len(), 2);
+        assert!(d.entities_with_min_statements(4).is_empty());
+    }
+
+    #[test]
+    fn dataset_serde_roundtrip() {
+        let d = two_book_dataset();
+        let json = serde_json::to_string(&d).unwrap();
+        let back: Dataset = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, d);
+    }
+}

@@ -1,0 +1,179 @@
+//! The [`FusionMethod`] trait and [`FusionResult`] probability container.
+
+use crate::error::FusionError;
+use crate::model::{Dataset, EntityId, StatementId};
+use crate::PROB_FLOOR;
+use serde::{Deserialize, Serialize};
+
+/// Per-statement marginal truth probabilities produced by a fusion method.
+///
+/// The paper calls this "a prior probability distribution over all possible
+/// results, i.e., probability distribution calculated by existing data fusion
+/// models" (Section I). CrowdFusion consumes these marginals when building
+/// its joint prior.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FusionResult {
+    method: String,
+    probs: Vec<f64>,
+}
+
+impl FusionResult {
+    /// Wraps raw probabilities, clamping each into
+    /// `[PROB_FLOOR, 1 − PROB_FLOOR]`.
+    pub fn new(method: impl Into<String>, probs: Vec<f64>) -> FusionResult {
+        let probs = probs
+            .into_iter()
+            .map(|p| p.clamp(PROB_FLOOR, 1.0 - PROB_FLOOR))
+            .collect();
+        FusionResult {
+            method: method.into(),
+            probs,
+        }
+    }
+
+    /// Wraps *share-like* scores (weighted vote shares that sum to ≈ 1 per
+    /// entity, as CRH and majority voting produce), calibrating them into
+    /// marginal probabilities: within each entity the scores are rescaled
+    /// so its top statement receives `top` (conventionally 0.9), preserving
+    /// ratios. Without this step no statement of a many-statement entity
+    /// would ever clear 0.5, making thresholded predictions vacuous.
+    pub fn from_entity_shares(
+        method: impl Into<String>,
+        scores: Vec<f64>,
+        dataset: &Dataset,
+        top: f64,
+    ) -> FusionResult {
+        let mut probs = scores;
+        for entity in dataset.entities() {
+            let max = entity
+                .statements
+                .iter()
+                .map(|s| probs[s.0 as usize])
+                .fold(0.0f64, f64::max);
+            if max > 0.0 {
+                let scale = top / max;
+                for &s in &entity.statements {
+                    probs[s.0 as usize] *= scale;
+                }
+            }
+        }
+        FusionResult::new(method, probs)
+    }
+
+    /// Name of the method that produced this result.
+    pub fn method(&self) -> &str {
+        &self.method
+    }
+
+    /// Probability that `statement` is true.
+    pub fn prob(&self, statement: StatementId) -> f64 {
+        self.probs[statement.0 as usize]
+    }
+
+    /// All probabilities, indexed by statement id.
+    pub fn probs(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// The probabilities of one entity's statements, in the entity's
+    /// statement order — the marginals CrowdFusion uses per book.
+    pub fn entity_marginals(&self, dataset: &Dataset, entity: EntityId) -> Vec<f64> {
+        dataset
+            .statements_of(entity)
+            .iter()
+            .map(|s| self.prob(*s))
+            .collect()
+    }
+
+    /// Fraction of statements whose thresholded label (`p ≥ 0.5`) matches
+    /// `gold`. A quick quality diagnostic for initialisers.
+    pub fn accuracy_against(&self, gold: &[bool]) -> f64 {
+        assert_eq!(gold.len(), self.probs.len(), "gold length mismatch");
+        if gold.is_empty() {
+            return 0.0;
+        }
+        let hits = self
+            .probs
+            .iter()
+            .zip(gold)
+            .filter(|(p, g)| (**p >= 0.5) == **g)
+            .count();
+        hits as f64 / gold.len() as f64
+    }
+}
+
+/// A probability-producing data-fusion ("truth discovery") method.
+///
+/// The paper's system "can be initialized by any existing probability-based
+/// data fusion method … or simply set to uniform distribution" (Section III).
+pub trait FusionMethod {
+    /// Short machine-readable method name (used in reports).
+    fn name(&self) -> &'static str;
+
+    /// Runs the method over the dataset, producing per-statement truth
+    /// probabilities.
+    fn fuse(&self, dataset: &Dataset) -> Result<FusionResult, FusionError>;
+}
+
+/// The trivial initialiser: every statement gets probability 0.5 — the
+/// paper's "simply set to uniform distribution" option.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UniformPrior;
+
+impl FusionMethod for UniformPrior {
+    fn name(&self) -> &'static str {
+        "uniform"
+    }
+
+    fn fuse(&self, dataset: &Dataset) -> Result<FusionResult, FusionError> {
+        Ok(FusionResult::new(
+            self.name(),
+            vec![0.5; dataset.statements().len()],
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::testutil::two_book_dataset;
+
+    #[test]
+    fn probabilities_are_clamped() {
+        let r = FusionResult::new("m", vec![0.0, 1.0, 0.5]);
+        assert_eq!(r.prob(StatementId(0)), PROB_FLOOR);
+        assert_eq!(r.prob(StatementId(1)), 1.0 - PROB_FLOOR);
+        assert_eq!(r.prob(StatementId(2)), 0.5);
+        assert_eq!(r.method(), "m");
+    }
+
+    #[test]
+    fn entity_marginals_follow_statement_order() {
+        let d = two_book_dataset();
+        let r = FusionResult::new("m", vec![0.1, 0.2, 0.3, 0.4, 0.5]);
+        assert_eq!(r.entity_marginals(&d, EntityId(0)), vec![0.1, 0.2, 0.3]);
+        assert_eq!(r.entity_marginals(&d, EntityId(1)), vec![0.4, 0.5]);
+    }
+
+    #[test]
+    fn accuracy_against_gold() {
+        let r = FusionResult::new("m", vec![0.9, 0.1, 0.8, 0.2]);
+        let gold = vec![true, false, false, false];
+        assert!((r.accuracy_against(&gold) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_prior_covers_all_statements() {
+        let d = two_book_dataset();
+        let r = UniformPrior.fuse(&d).unwrap();
+        assert_eq!(r.probs().len(), d.statements().len());
+        assert!(r.probs().iter().all(|&p| (p - 0.5).abs() < 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "gold length mismatch")]
+    fn accuracy_length_mismatch_panics() {
+        let r = FusionResult::new("m", vec![0.9]);
+        r.accuracy_against(&[true, false]);
+    }
+}

@@ -1,0 +1,193 @@
+//! Author-list text utilities.
+//!
+//! The paper's gold standard treats an author-list statement as **true** when
+//! it names exactly the right set of people, regardless of author order or
+//! "Last, First" formatting (Section V-A: both `Adams, Tyrone; Scollard,
+//! Sharon` and `Tyrone Adams, Sharon Scollard` are true). Statements are
+//! **false** when they misspell a name, add organisation information, or
+//! drop/add authors (Section V-D error classes).
+//!
+//! These utilities implement that equivalence plus a token-level Jaccard
+//! similarity used by TruthFinder's implication function.
+
+use std::collections::BTreeSet;
+
+/// Splits an author-list string into individual author name strings.
+///
+/// Separators: `;` always splits. `,` splits only when the list does not use
+/// `;` (in `Last, First; Last, First` lists the comma is part of a name) —
+/// and when every comma chunk is a single token, consecutive chunks are
+/// re-paired as `Last, First` names (so a lone `"Lovelace, Ada"` stays one
+/// author). `" and "` and `&` also split.
+pub fn split_authors(list: &str) -> Vec<String> {
+    let primary: Vec<String> = if list.contains(';') {
+        list.split(';').map(str::to_string).collect()
+    } else if list.contains(',') {
+        let chunks: Vec<&str> = list.split(',').map(str::trim).collect();
+        let all_single_token = chunks
+            .iter()
+            .all(|c| c.split_whitespace().count() == 1 && !c.is_empty());
+        if all_single_token && chunks.len().is_multiple_of(2) {
+            // "Last, First, Last, First" — re-pair consecutive chunks.
+            chunks
+                .chunks_exact(2)
+                .map(|pair| format!("{}, {}", pair[0], pair[1]))
+                .collect()
+        } else {
+            chunks.into_iter().map(str::to_string).collect()
+        }
+    } else {
+        vec![list.to_string()]
+    };
+    let mut out = Vec::new();
+    for chunk in primary {
+        for part in chunk.split(" and ") {
+            for name in part.split('&') {
+                let name = name.trim();
+                if !name.is_empty() {
+                    out.push(name.to_string());
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Canonicalises a single author name into a sorted, lowercased token set:
+/// `"Scollard, Sharon"`, `"Sharon Scollard"` and `"SCOLLARD, SHARON"` all map
+/// to `{"scollard", "sharon"}`. Parenthesised additions (e.g. organisations)
+/// are **kept** as tokens, so they break equality — matching the gold rule
+/// that organisation info makes a statement false.
+pub fn canonical_name(name: &str) -> BTreeSet<String> {
+    name.split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(|t| t.to_lowercase())
+        .collect()
+}
+
+/// The canonical form of a whole author list: the multiset of canonical
+/// names, represented as a sorted vector so equal lists compare equal.
+pub fn canonical_list(list: &str) -> Vec<BTreeSet<String>> {
+    let mut names: Vec<BTreeSet<String>> = split_authors(list)
+        .iter()
+        .map(|n| canonical_name(n))
+        .filter(|s| !s.is_empty())
+        .collect();
+    names.sort();
+    names
+}
+
+/// Whether two author-list statements are equivalent under the paper's gold
+/// standard: the same set of people, ignoring order and name format.
+pub fn lists_equivalent(a: &str, b: &str) -> bool {
+    let ca = canonical_list(a);
+    !ca.is_empty() && ca == canonical_list(b)
+}
+
+/// Token-level Jaccard similarity between two statements, in `[0, 1]`.
+/// Used as TruthFinder's statement-similarity kernel.
+pub fn jaccard(a: &str, b: &str) -> f64 {
+    let ta: BTreeSet<String> = canonical_name(a).into_iter().collect();
+    let tb: BTreeSet<String> = canonical_name(b).into_iter().collect();
+    if ta.is_empty() && tb.is_empty() {
+        return 0.0;
+    }
+    let inter = ta.intersection(&tb).count() as f64;
+    let union = ta.union(&tb).count() as f64;
+    inter / union
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_handles_semicolons_commas_and_and() {
+        assert_eq!(
+            split_authors("Tyrone Adams, Sharon Scollard"),
+            vec!["Tyrone Adams", "Sharon Scollard"]
+        );
+        assert_eq!(
+            split_authors("Adams, Tyrone; Scollard, Sharon"),
+            vec!["Adams, Tyrone", "Scollard, Sharon"]
+        );
+        assert_eq!(
+            split_authors("Ada Lovelace and Alan Turing"),
+            vec!["Ada Lovelace", "Alan Turing"]
+        );
+        assert_eq!(
+            split_authors("Ada Lovelace & Alan Turing"),
+            vec!["Ada Lovelace", "Alan Turing"]
+        );
+        assert!(split_authors("  ").is_empty());
+    }
+
+    #[test]
+    fn canonical_name_normalises_format_and_case() {
+        assert_eq!(
+            canonical_name("Scollard, Sharon"),
+            canonical_name("Sharon Scollard")
+        );
+        assert_eq!(
+            canonical_name("SCOLLARD, SHARON"),
+            canonical_name("sharon scollard")
+        );
+        assert_ne!(
+            canonical_name("Pete Loshin"),
+            canonical_name("Peter Loshin")
+        );
+    }
+
+    #[test]
+    fn paper_example_order_variants_are_equivalent() {
+        // Section V-A: both statements are true for ISBN 0321304292.
+        assert!(lists_equivalent(
+            "Adams, Tyrone; Scollard, Sharon",
+            "Tyrone Adams, Sharon Scollard"
+        ));
+        // Section V-D "Wrong Order": reordered authors still equivalent.
+        assert!(lists_equivalent(
+            "Catherine Courage; Kathy Baxter",
+            "BAXTER, KATHY; COURAGE, CATHERINE"
+        ));
+    }
+
+    #[test]
+    fn paper_error_classes_break_equivalence() {
+        // Additional information (organisation) — false per gold standard.
+        assert!(!lists_equivalent(
+            "Rucker, Rudy",
+            "RUCKER, RUDY (SAN JOSE STATE UNIVERSITY, USA)"
+        ));
+        // Misspelling — false.
+        assert!(!lists_equivalent("Pete Loshin", "Loshin, Peter"));
+        // Missing author — false.
+        assert!(!lists_equivalent(
+            "Catherine Courage; Kathy Baxter",
+            "Catherine Courage"
+        ));
+    }
+
+    #[test]
+    fn empty_lists_never_equivalent() {
+        assert!(!lists_equivalent("", ""));
+        assert!(!lists_equivalent("", "Ada Lovelace"));
+    }
+
+    #[test]
+    fn jaccard_bounds_and_examples() {
+        assert!((jaccard("Ada Lovelace", "Ada Lovelace") - 1.0).abs() < 1e-12);
+        assert_eq!(jaccard("Ada Lovelace", "Grace Hopper"), 0.0);
+        let j = jaccard("Ada Lovelace", "Ada Hopper");
+        assert!(j > 0.0 && j < 1.0);
+        assert_eq!(jaccard("", ""), 0.0);
+    }
+
+    #[test]
+    fn canonical_list_sorted_and_stable() {
+        let a = canonical_list("B Bb; A Aa");
+        let b = canonical_list("A Aa; B Bb");
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2);
+    }
+}

@@ -1,0 +1,183 @@
+//! Property-based tests for the truth-discovery substrate.
+
+use crowdfusion_fusion::text::{canonical_list, jaccard, lists_equivalent, split_authors};
+use crowdfusion_fusion::{
+    AccuVote, Crh, DatasetBuilder, FusionMethod, MajorityVote, ModifiedCrh, TruthFinder,
+};
+use proptest::prelude::*;
+
+/// Strategy: a random claims dataset with 1..=4 sources, 1..=4 entities,
+/// 2..=4 statements per entity and arbitrary claim edges (each source
+/// claims at most one statement per entity, like a website listing one
+/// author list per book).
+fn arb_dataset() -> impl Strategy<Value = crowdfusion_fusion::Dataset> {
+    (
+        1usize..=4,
+        proptest::collection::vec(2usize..=4, 1..=4),
+        any::<u64>(),
+    )
+        .prop_map(|(n_sources, stmts_per_entity, seed)| {
+            use rand::rngs::StdRng;
+            use rand::{Rng, SeedableRng};
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut b = DatasetBuilder::new();
+            let sources: Vec<_> = (0..n_sources)
+                .map(|i| b.add_source(format!("s{i}")))
+                .collect();
+            for (e, &n_stmts) in stmts_per_entity.iter().enumerate() {
+                let entity = b.add_entity(format!("e{e}"));
+                let statements: Vec<_> = (0..n_stmts)
+                    .map(|v| b.add_statement(entity, format!("value-{e}-{v}")).unwrap())
+                    .collect();
+                for &source in &sources {
+                    if rng.gen_bool(0.8) {
+                        let pick = statements[rng.gen_range(0..statements.len())];
+                        b.add_claim(source, pick).unwrap();
+                    }
+                }
+            }
+            b.build()
+        })
+        .prop_filter("need at least one claim", |d| !d.claims().is_empty())
+}
+
+fn all_methods() -> Vec<Box<dyn FusionMethod>> {
+    vec![
+        Box::new(MajorityVote),
+        Box::new(Crh::default()),
+        Box::new(ModifiedCrh::default()),
+        Box::new(TruthFinder::default()),
+        Box::new(AccuVote::default()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_method_yields_valid_probabilities(d in arb_dataset()) {
+        for method in all_methods() {
+            let result = method.fuse(&d);
+            let Ok(result) = result else {
+                // TruthFinder may legitimately report non-convergence on
+                // adversarial random graphs; any other failure is a bug.
+                prop_assert_eq!(method.name(), "truthfinder");
+                continue;
+            };
+            prop_assert_eq!(result.probs().len(), d.statements().len());
+            for &p in result.probs() {
+                prop_assert!(p > 0.0 && p < 1.0, "{}: {p}", method.name());
+            }
+        }
+    }
+
+    #[test]
+    fn methods_are_deterministic(d in arb_dataset()) {
+        for method in all_methods() {
+            let a = method.fuse(&d);
+            let b = method.fuse(&d);
+            match (a, b) {
+                (Ok(x), Ok(y)) => prop_assert_eq!(x, y),
+                (Err(_), Err(_)) => {}
+                _ => prop_assert!(false, "non-deterministic failure"),
+            }
+        }
+    }
+
+    #[test]
+    fn majority_respects_vote_ordering(d in arb_dataset()) {
+        let result = MajorityVote.fuse(&d).unwrap();
+        for entity in d.entities() {
+            for a in entity.statements.iter() {
+                for b in entity.statements.iter() {
+                    let (sa, sb) = (d.supporters(*a).len(), d.supporters(*b).len());
+                    if sa > sb {
+                        prop_assert!(
+                            result.prob(*a) >= result.prob(*b),
+                            "more supporters but lower probability"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn top_fraction_marks_expected_counts(d in arb_dataset(), fraction in 0.0f64..=1.0) {
+        let marked = MajorityVote::mark_top_fraction(&d, fraction);
+        prop_assert_eq!(marked.len(), d.statements().len());
+        for entity in d.entities() {
+            let count = entity
+                .statements
+                .iter()
+                .filter(|s| marked[s.0 as usize])
+                .count();
+            let expected =
+                ((entity.statements.len() as f64 * fraction).round() as usize).max(1);
+            prop_assert_eq!(count, expected.min(entity.statements.len()));
+        }
+    }
+
+    // --- text utilities ---
+
+    #[test]
+    fn equivalence_is_reflexive_and_symmetric(
+        names in proptest::collection::vec("[A-Z][a-z]{1,8} [A-Z][a-z]{1,8}", 1..4),
+    ) {
+        let list = names.join("; ");
+        prop_assert!(lists_equivalent(&list, &list));
+        let reversed = names.iter().rev().cloned().collect::<Vec<_>>().join("; ");
+        prop_assert!(lists_equivalent(&list, &reversed));
+        prop_assert!(lists_equivalent(&reversed, &list));
+    }
+
+    #[test]
+    fn inverted_format_is_equivalent(
+        names in proptest::collection::vec(("[A-Z][a-z]{1,8}", "[A-Z][a-z]{1,8}"), 1..4),
+    ) {
+        let natural = names
+            .iter()
+            .map(|(f, l)| format!("{f} {l}"))
+            .collect::<Vec<_>>()
+            .join("; ");
+        let inverted = names
+            .iter()
+            .map(|(f, l)| format!("{l}, {f}"))
+            .collect::<Vec<_>>()
+            .join("; ");
+        prop_assert!(
+            lists_equivalent(&natural, &inverted),
+            "{natural:?} vs {inverted:?}"
+        );
+    }
+
+    #[test]
+    fn jaccard_is_symmetric_and_bounded(a in ".{0,30}", b in ".{0,30}") {
+        let ab = jaccard(&a, &b);
+        let ba = jaccard(&b, &a);
+        prop_assert!((ab - ba).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&ab));
+    }
+
+    #[test]
+    fn canonical_list_is_order_insensitive(
+        names in proptest::collection::vec("[A-Z][a-z]{1,6} [A-Z][a-z]{1,6}", 2..4),
+        seed in any::<u64>(),
+    ) {
+        use rand::seq::SliceRandom;
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut shuffled = names.clone();
+        shuffled.shuffle(&mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(
+            canonical_list(&names.join("; ")),
+            canonical_list(&shuffled.join("; "))
+        );
+    }
+
+    #[test]
+    fn split_authors_never_yields_empty_names(s in ".{0,40}") {
+        for name in split_authors(&s) {
+            prop_assert!(!name.trim().is_empty());
+        }
+    }
+}

@@ -1,0 +1,521 @@
+//! The [`JointDist`] type: a normalised sparse joint distribution.
+
+use crate::entropy::entropy_of_probs;
+use crate::error::JointError;
+use crate::mask::{Assignment, VarSet};
+use crate::{MAX_DENSE_VARS, PROB_EPSILON};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A normalised joint probability distribution over `n` Bernoulli variables,
+/// stored sparsely as `(assignment, probability)` pairs sorted by assignment.
+///
+/// This corresponds to the paper's *output set* `O` with probabilities
+/// `P(o_i)` (Section II-A, Table II). The support contains only assignments
+/// with strictly positive probability; entries are unique and sorted, and the
+/// probabilities sum to 1 (up to floating-point round-off; every constructor
+/// renormalises).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JointDist {
+    n: usize,
+    entries: Vec<(Assignment, f64)>,
+}
+
+impl JointDist {
+    /// Builds a distribution from raw `(assignment, weight)` pairs.
+    ///
+    /// Weights must be finite and non-negative; duplicates are merged; zero
+    /// weights are dropped; the result is normalised. Assignment bits at or
+    /// above `n` must be zero.
+    pub fn from_weights(
+        n: usize,
+        weights: impl IntoIterator<Item = (Assignment, f64)>,
+    ) -> Result<JointDist, JointError> {
+        if n > 64 {
+            return Err(JointError::TooManyVariables {
+                requested: n,
+                limit: 64,
+            });
+        }
+        let valid = VarSet::all(n);
+        let mut merged: BTreeMap<Assignment, f64> = BTreeMap::new();
+        for (a, w) in weights {
+            if !w.is_finite() || w < 0.0 {
+                return Err(JointError::InvalidProbability(w));
+            }
+            if a.0 & !valid.0 != 0 {
+                return Err(JointError::VariableOutOfRange {
+                    var: (63 - (a.0 & !valid.0).leading_zeros()) as usize,
+                    n,
+                });
+            }
+            if w > 0.0 {
+                *merged.entry(a).or_insert(0.0) += w;
+            }
+        }
+        if merged.is_empty() {
+            return Err(JointError::EmptySupport);
+        }
+        let total: f64 = merged.values().sum();
+        if total <= 0.0 || !total.is_finite() {
+            return Err(JointError::ZeroMass);
+        }
+        let entries = merged
+            .into_iter()
+            .filter(|(_, w)| *w / total > PROB_EPSILON)
+            .map(|(a, w)| (a, w / total))
+            .collect::<Vec<_>>();
+        if entries.is_empty() {
+            return Err(JointError::ZeroMass);
+        }
+        // Renormalise after trimming so probabilities still sum to 1.
+        let total: f64 = entries.iter().map(|(_, p)| p).sum();
+        Ok(JointDist {
+            n,
+            entries: entries.into_iter().map(|(a, p)| (a, p / total)).collect(),
+        })
+    }
+
+    /// The uniform distribution over all `2^n` assignments (the paper's
+    /// "simply set to uniform distribution" initialisation, Section III).
+    pub fn uniform(n: usize) -> Result<JointDist, JointError> {
+        if n > MAX_DENSE_VARS {
+            return Err(JointError::TooManyVariables {
+                requested: n,
+                limit: MAX_DENSE_VARS,
+            });
+        }
+        let count = 1u64 << n;
+        let p = 1.0 / count as f64;
+        Ok(JointDist {
+            n,
+            entries: (0..count).map(|a| (Assignment(a), p)).collect(),
+        })
+    }
+
+    /// A product distribution from independent per-variable marginals
+    /// `P(f_i = true)`.
+    pub fn independent(marginals: &[f64]) -> Result<JointDist, JointError> {
+        let n = marginals.len();
+        if n > MAX_DENSE_VARS {
+            return Err(JointError::TooManyVariables {
+                requested: n,
+                limit: MAX_DENSE_VARS,
+            });
+        }
+        for (var, &p) in marginals.iter().enumerate() {
+            if !(0.0..=1.0).contains(&p) || !p.is_finite() {
+                return Err(JointError::MarginalOutOfRange { var, value: p });
+            }
+        }
+        // Tensor the marginals one variable at a time.
+        let mut weights = vec![1.0f64];
+        for &p in marginals {
+            let mut next = Vec::with_capacity(weights.len() * 2);
+            for &w in &weights {
+                next.push(w * (1.0 - p));
+            }
+            for &w in &weights {
+                next.push(w * p);
+            }
+            // Reinterleave: assignment bit for this variable is the high bit
+            // of the index, so `next[a]` where a's new high bit selects the
+            // half. Built as [false-half, true-half], which is exactly the
+            // layout of index = (bit << len) | old_index.
+            weights = next;
+        }
+        JointDist::from_weights(
+            n,
+            weights
+                .into_iter()
+                .enumerate()
+                .map(|(a, w)| (Assignment(a as u64), w)),
+        )
+    }
+
+    /// A point-mass distribution on a single assignment.
+    pub fn certain(n: usize, truth: Assignment) -> Result<JointDist, JointError> {
+        JointDist::from_weights(n, [(truth, 1.0)])
+    }
+
+    /// Number of variables.
+    #[inline]
+    pub fn num_vars(&self) -> usize {
+        self.n
+    }
+
+    /// Number of assignments with positive probability.
+    #[inline]
+    pub fn support_size(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Iterates `(assignment, probability)` pairs in assignment order.
+    pub fn iter(&self) -> impl Iterator<Item = (Assignment, f64)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// The sorted support entries as a slice.
+    pub fn entries(&self) -> &[(Assignment, f64)] {
+        &self.entries
+    }
+
+    /// Probability of an exact assignment (0 if outside the support).
+    pub fn prob(&self, a: Assignment) -> f64 {
+        match self.entries.binary_search_by_key(&a, |&(e, _)| e) {
+            Ok(idx) => self.entries[idx].1,
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Marginal probability `P(f_var = true)` — the paper's `P(f_k)`
+    /// (`= Σ_{o_i ∈ O_k} P(o_i)`, Section II-A).
+    pub fn marginal(&self, var: usize) -> Result<f64, JointError> {
+        if var >= self.n {
+            return Err(JointError::VariableOutOfRange { var, n: self.n });
+        }
+        Ok(self
+            .entries
+            .iter()
+            .filter(|(a, _)| a.get(var))
+            .map(|(_, p)| p)
+            .sum())
+    }
+
+    /// All per-variable marginals.
+    pub fn marginals(&self) -> Vec<f64> {
+        let mut m = vec![0.0; self.n];
+        for &(a, p) in &self.entries {
+            for (v, slot) in m.iter_mut().enumerate() {
+                if a.get(v) {
+                    *slot += p;
+                }
+            }
+        }
+        m
+    }
+
+    /// Projects (marginalises) the distribution onto the variables in `vars`,
+    /// re-indexing them compactly in increasing original order.
+    ///
+    /// The result has `vars.len()` variables; variable `j` of the result is
+    /// the `j`-th smallest member of `vars`.
+    pub fn restrict(&self, vars: VarSet) -> Result<JointDist, JointError> {
+        let valid = VarSet::all(self.n);
+        if vars.difference(valid) != VarSet::EMPTY {
+            let bad = vars.difference(valid).iter().next().unwrap_or(self.n);
+            return Err(JointError::VariableOutOfRange {
+                var: bad,
+                n: self.n,
+            });
+        }
+        let mut merged: BTreeMap<Assignment, f64> = BTreeMap::new();
+        for &(a, p) in &self.entries {
+            *merged.entry(Assignment(a.extract(vars))).or_insert(0.0) += p;
+        }
+        JointDist::from_weights(vars.len(), merged)
+    }
+
+    /// Shannon entropy `H` of the joint distribution, in bits.
+    ///
+    /// The paper's utility (Definition 1) is `Q(F) = −H(F)`; see
+    /// [`JointDist::utility`].
+    pub fn entropy(&self) -> f64 {
+        entropy_of_probs(self.entries.iter().map(|&(_, p)| p))
+    }
+
+    /// The PWS-quality utility `Q(F) = −H(F)` (Definition 1).
+    pub fn utility(&self) -> f64 {
+        -self.entropy()
+    }
+
+    /// Reweights every support entry by `factor(assignment)` and
+    /// renormalises — the generic Bayesian-update primitive. `factor` must
+    /// return finite non-negative likelihoods.
+    pub fn reweight(
+        &self,
+        mut factor: impl FnMut(Assignment) -> f64,
+    ) -> Result<JointDist, JointError> {
+        JointDist::from_weights(
+            self.n,
+            self.entries.iter().map(|&(a, p)| (a, p * factor(a))),
+        )
+        .map_err(|e| match e {
+            JointError::EmptySupport => JointError::ZeroMass,
+            other => other,
+        })
+    }
+
+    /// Conditions on `f_var = value`, renormalising over the surviving
+    /// assignments.
+    pub fn condition(&self, var: usize, value: bool) -> Result<JointDist, JointError> {
+        if var >= self.n {
+            return Err(JointError::VariableOutOfRange { var, n: self.n });
+        }
+        self.reweight(|a| if a.get(var) == value { 1.0 } else { 0.0 })
+    }
+
+    /// Mutual information `I(A; B)` in bits between two disjoint variable
+    /// sets.
+    pub fn mutual_information(&self, a: VarSet, b: VarSet) -> Result<f64, JointError> {
+        if a.intersect(b) != VarSet::EMPTY {
+            return Err(JointError::DegenerateFactor(
+                "mutual information requires disjoint variable sets",
+            ));
+        }
+        let ha = self.restrict(a)?.entropy();
+        let hb = self.restrict(b)?.entropy();
+        let hab = self.restrict(a.union(b))?.entropy();
+        Ok((ha + hb - hab).max(0.0))
+    }
+
+    /// Kullback–Leibler divergence `D(self ‖ other)` in bits. Returns
+    /// `f64::INFINITY` when `self` puts mass where `other` has none.
+    pub fn kl_divergence(&self, other: &JointDist) -> Result<f64, JointError> {
+        if self.n != other.n {
+            return Err(JointError::VariableOutOfRange {
+                var: other.n,
+                n: self.n,
+            });
+        }
+        let mut kl = 0.0;
+        for &(a, p) in &self.entries {
+            let q = other.prob(a);
+            if q <= 0.0 {
+                return Ok(f64::INFINITY);
+            }
+            kl += p * (p / q).log2();
+        }
+        Ok(kl.max(0.0))
+    }
+
+    /// Total probability mass (should always be ≈ 1; exposed for tests and
+    /// diagnostics).
+    pub fn total_mass(&self) -> f64 {
+        self.entries.iter().map(|&(_, p)| p).sum()
+    }
+
+    /// Predicted truth assignment by thresholding each marginal at `0.5`.
+    pub fn map_truth(&self) -> Assignment {
+        let mut a = Assignment::ALL_FALSE;
+        for (v, m) in self.marginals().into_iter().enumerate() {
+            if m >= 0.5 {
+                a = a.with(v, true);
+            }
+        }
+        a
+    }
+
+    /// The single most probable assignment (maximum a posteriori over the
+    /// joint, not the marginals).
+    pub fn mode(&self) -> Assignment {
+        self.entries
+            .iter()
+            .max_by(|x, y| x.1.total_cmp(&y.1))
+            .map(|&(a, _)| a)
+            .unwrap_or(Assignment::ALL_FALSE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    /// The running example of the paper, Table II (f1..f4 = vars 0..3).
+    fn running_example() -> JointDist {
+        crate::presets::paper_running_example()
+    }
+
+    #[test]
+    fn running_example_marginals_match_table_one() {
+        let d = running_example();
+        assert!(close(d.marginal(0).unwrap(), 0.50)); // f1 Continent Asia
+        assert!(close(d.marginal(1).unwrap(), 0.63)); // f2 Population
+        assert!(close(d.marginal(2).unwrap(), 0.58)); // f3 Ethnic group
+        assert!(close(d.marginal(3).unwrap(), 0.49)); // f4 Continent Europe
+        let m = d.marginals();
+        assert!(close(m[0], 0.50) && close(m[3], 0.49));
+    }
+
+    #[test]
+    fn from_weights_normalises_and_merges() {
+        let d = JointDist::from_weights(
+            2,
+            [
+                (Assignment(0), 1.0),
+                (Assignment(1), 2.0),
+                (Assignment(1), 1.0),
+            ],
+        )
+        .unwrap();
+        assert_eq!(d.support_size(), 2);
+        assert!(close(d.prob(Assignment(0)), 0.25));
+        assert!(close(d.prob(Assignment(1)), 0.75));
+        assert!(close(d.total_mass(), 1.0));
+    }
+
+    #[test]
+    fn from_weights_rejects_bad_input() {
+        assert!(matches!(
+            JointDist::from_weights(2, [(Assignment(0), -1.0)]),
+            Err(JointError::InvalidProbability(_))
+        ));
+        assert!(matches!(
+            JointDist::from_weights(2, [(Assignment(0), f64::NAN)]),
+            Err(JointError::InvalidProbability(_))
+        ));
+        assert!(matches!(
+            JointDist::from_weights(2, std::iter::empty()),
+            Err(JointError::EmptySupport)
+        ));
+        assert!(matches!(
+            JointDist::from_weights(2, [(Assignment(0b100), 1.0)]),
+            Err(JointError::VariableOutOfRange { .. })
+        ));
+        assert!(matches!(
+            JointDist::from_weights(65, [(Assignment(0), 1.0)]),
+            Err(JointError::TooManyVariables { .. })
+        ));
+        assert!(matches!(
+            JointDist::from_weights(2, [(Assignment(0), 0.0)]),
+            Err(JointError::EmptySupport)
+        ));
+    }
+
+    #[test]
+    fn uniform_entropy_is_n_bits() {
+        let d = JointDist::uniform(5).unwrap();
+        assert_eq!(d.support_size(), 32);
+        assert!(close(d.entropy(), 5.0));
+        assert!(close(d.utility(), -5.0));
+        assert!(JointDist::uniform(MAX_DENSE_VARS + 1).is_err());
+    }
+
+    #[test]
+    fn independent_matches_product() {
+        let d = JointDist::independent(&[0.5, 0.9]).unwrap();
+        // var0 bit0, var1 bit1
+        assert!(close(d.prob(Assignment(0b00)), 0.5 * 0.1));
+        assert!(close(d.prob(Assignment(0b01)), 0.5 * 0.1));
+        assert!(close(d.prob(Assignment(0b10)), 0.5 * 0.9));
+        assert!(close(d.prob(Assignment(0b11)), 0.5 * 0.9));
+        assert!(close(d.marginal(0).unwrap(), 0.5));
+        assert!(close(d.marginal(1).unwrap(), 0.9));
+    }
+
+    #[test]
+    fn independent_rejects_bad_marginals() {
+        assert!(matches!(
+            JointDist::independent(&[0.5, 1.5]),
+            Err(JointError::MarginalOutOfRange { var: 1, .. })
+        ));
+        assert!(JointDist::independent(&vec![0.5; MAX_DENSE_VARS + 1]).is_err());
+    }
+
+    #[test]
+    fn independent_degenerate_marginals_shrink_support() {
+        let d = JointDist::independent(&[1.0, 0.5, 0.0]).unwrap();
+        assert_eq!(d.support_size(), 2);
+        assert!(close(d.marginal(0).unwrap(), 1.0));
+        assert!(close(d.marginal(2).unwrap(), 0.0));
+    }
+
+    #[test]
+    fn certain_has_zero_entropy() {
+        let d = JointDist::certain(3, Assignment(0b101)).unwrap();
+        assert_eq!(d.support_size(), 1);
+        assert!(close(d.entropy(), 0.0));
+        assert_eq!(d.mode(), Assignment(0b101));
+        assert_eq!(d.map_truth(), Assignment(0b101));
+    }
+
+    #[test]
+    fn restrict_projects_and_reindexes() {
+        let d = running_example();
+        // Restrict to {f2, f4} = vars {1, 3} -> new vars (0 = f2, 1 = f4).
+        let r = d.restrict(VarSet::from_vars([1, 3])).unwrap();
+        assert_eq!(r.num_vars(), 2);
+        assert!(close(r.marginal(0).unwrap(), 0.63));
+        assert!(close(r.marginal(1).unwrap(), 0.49));
+        assert!(close(r.total_mass(), 1.0));
+        assert!(d.restrict(VarSet::from_vars([7])).is_err());
+    }
+
+    #[test]
+    fn restrict_to_all_is_identity() {
+        let d = running_example();
+        let r = d.restrict(VarSet::all(4)).unwrap();
+        assert_eq!(r, d);
+    }
+
+    #[test]
+    fn condition_running_example() {
+        let d = running_example();
+        // Conditioning on f1 = true: mass 0.5, o9 (TFFF) had 0.04 -> 0.08.
+        let c = d.condition(0, true).unwrap();
+        assert!(close(c.marginal(0).unwrap(), 1.0));
+        assert!(close(c.prob(Assignment(0b0001)), 0.08));
+        assert!(c.support_size() <= 8);
+        assert!(d.condition(9, true).is_err());
+    }
+
+    #[test]
+    fn reweight_zero_mass_fails() {
+        let d = JointDist::uniform(2).unwrap();
+        assert!(matches!(d.reweight(|_| 0.0), Err(JointError::ZeroMass)));
+    }
+
+    #[test]
+    fn reweight_bayes_matches_manual() {
+        let d = running_example();
+        // Ask f1, answer "true" with Pc = 0.8 (paper Section III-A).
+        let pc = 0.8;
+        let posterior = d
+            .reweight(|a| if a.get(0) { pc } else { 1.0 - pc })
+            .unwrap();
+        // P(o1 | e) = 0.03 * 0.2 / 0.5 = 0.012
+        assert!(close(posterior.prob(Assignment(0b0000)), 0.012));
+        // P(o9 | e) = 0.04 * 0.8 / 0.5 = 0.064
+        assert!(close(posterior.prob(Assignment(0b0001)), 0.064));
+    }
+
+    #[test]
+    fn mutual_information_nonnegative_and_zero_for_independent() {
+        let d = JointDist::independent(&[0.3, 0.7, 0.5]).unwrap();
+        let mi = d
+            .mutual_information(VarSet::single(0), VarSet::from_vars([1, 2]))
+            .unwrap();
+        assert!(close(mi, 0.0));
+        let e = running_example();
+        let mi = e
+            .mutual_information(VarSet::single(0), VarSet::single(3))
+            .unwrap();
+        assert!(mi >= 0.0);
+        assert!(e
+            .mutual_information(VarSet::single(0), VarSet::from_vars([0, 1]))
+            .is_err());
+    }
+
+    #[test]
+    fn kl_divergence_properties() {
+        let d = running_example();
+        assert!(close(d.kl_divergence(&d).unwrap(), 0.0));
+        let u = JointDist::uniform(4).unwrap();
+        let kl = d.kl_divergence(&u).unwrap();
+        assert!(kl > 0.0 && kl.is_finite());
+        let point = JointDist::certain(4, Assignment(0)).unwrap();
+        assert_eq!(d.kl_divergence(&point).unwrap(), f64::INFINITY);
+        let other_n = JointDist::uniform(3).unwrap();
+        assert!(d.kl_divergence(&other_n).is_err());
+    }
+
+    #[test]
+    fn prob_outside_support_is_zero() {
+        let d = JointDist::certain(3, Assignment(0b001)).unwrap();
+        assert_eq!(d.prob(Assignment(0b010)), 0.0);
+    }
+}

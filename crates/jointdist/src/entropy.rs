@@ -1,0 +1,97 @@
+//! Shannon-entropy helpers (all in bits, log base 2).
+
+/// Entropy of a Bernoulli variable with success probability `p`, in bits.
+///
+/// This is the paper's `H(Crowd)` (Equation 1) when `p = Pc`:
+/// `H(Crowd) = −Pc·log(Pc) − (1−Pc)·log(1−Pc)`.
+#[inline]
+pub fn binary_entropy(p: f64) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+    plogp(p) + plogp(1.0 - p)
+}
+
+/// Entropy of an already-normalised probability vector, in bits.
+/// Zero probabilities contribute zero (the `0·log 0 = 0` convention).
+pub fn entropy_of_probs(probs: impl IntoIterator<Item = f64>) -> f64 {
+    probs.into_iter().map(plogp).sum()
+}
+
+/// Entropy of an *unnormalised* non-negative weight vector, in bits.
+///
+/// Computed without materialising the normalised vector:
+/// `H = log2(W) − Σ w·log2(w) / W` where `W = Σ w`. Returns 0 for empty or
+/// zero-mass input.
+pub fn entropy_of_weights(weights: impl IntoIterator<Item = f64>) -> f64 {
+    let mut total = 0.0f64;
+    let mut wlogw = 0.0f64;
+    for w in weights {
+        debug_assert!(w >= 0.0 && w.is_finite(), "invalid weight {w}");
+        if w > 0.0 {
+            total += w;
+            wlogw += w * w.log2();
+        }
+    }
+    if total <= 0.0 {
+        0.0
+    } else {
+        (total.log2() - wlogw / total).max(0.0)
+    }
+}
+
+#[inline]
+fn plogp(p: f64) -> f64 {
+    if p <= 0.0 {
+        0.0
+    } else {
+        -p * p.log2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn binary_entropy_extremes_and_peak() {
+        assert!(close(binary_entropy(0.0), 0.0));
+        assert!(close(binary_entropy(1.0), 0.0));
+        assert!(close(binary_entropy(0.5), 1.0));
+        // Symmetry.
+        assert!(close(binary_entropy(0.3), binary_entropy(0.7)));
+    }
+
+    #[test]
+    fn crowd_entropy_pc08_matches_paper_model() {
+        // H(Crowd) for Pc = 0.8 ≈ 0.7219 bits.
+        let h = binary_entropy(0.8);
+        assert!((h - 0.721928).abs() < 1e-5);
+    }
+
+    #[test]
+    fn entropy_of_probs_uniform() {
+        let h = entropy_of_probs(vec![0.25; 4]);
+        assert!(close(h, 2.0));
+        assert!(close(entropy_of_probs([1.0]), 0.0));
+        assert!(close(entropy_of_probs([0.0, 1.0]), 0.0));
+    }
+
+    #[test]
+    fn entropy_of_weights_matches_normalised() {
+        let w = [3.0, 1.0, 4.0, 0.0];
+        let total: f64 = w.iter().sum();
+        let h1 = entropy_of_weights(w);
+        let h2 = entropy_of_probs(w.iter().map(|x| x / total));
+        assert!(close(h1, h2));
+    }
+
+    #[test]
+    fn entropy_of_weights_degenerate() {
+        assert!(close(entropy_of_weights(std::iter::empty()), 0.0));
+        assert!(close(entropy_of_weights([0.0, 0.0]), 0.0));
+        assert!(close(entropy_of_weights([7.0]), 0.0));
+    }
+}

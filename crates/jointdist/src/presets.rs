@@ -1,0 +1,78 @@
+//! Ready-made distributions, including the paper's running example.
+
+use crate::dist::JointDist;
+use crate::mask::Assignment;
+
+/// The running example of the CrowdFusion paper (Tables I–II): four facts
+/// about Hong Kong with the 16-row output joint distribution.
+///
+/// Variable mapping: `f1..f4` of the paper are variables `0..3`. Row `o_i`
+/// of Table II orders judgments as `(f1, f2, f3, f4)` with `f4` varying
+/// fastest, i.e. `o1 = FFFF`, `o2 = FFFT`, …, `o16 = TTTT`.
+///
+/// The marginals of this distribution are the paper's Table I values:
+/// `P(f1) = 0.50`, `P(f2) = 0.63`, `P(f3) = 0.58`, `P(f4) = 0.49`.
+pub fn paper_running_example() -> JointDist {
+    const PROBS: [f64; 16] = [
+        0.03, 0.06, 0.07, 0.04, 0.09, 0.01, 0.11, 0.09, 0.04, 0.04, 0.04, 0.05, 0.06, 0.09, 0.07,
+        0.11,
+    ];
+    let entries = PROBS.iter().enumerate().map(|(i, &p)| {
+        let mut a = Assignment::ALL_FALSE;
+        for v in 0..4 {
+            if (i >> (3 - v)) & 1 == 1 {
+                a = a.with(v, true);
+            }
+        }
+        (a, p)
+    });
+    JointDist::from_weights(4, entries).expect("running example is well-formed")
+}
+
+/// Human-readable fact labels for [`paper_running_example`], in variable
+/// order (Table I of the paper).
+pub fn paper_running_example_labels() -> [(&'static str, &'static str, &'static str); 4] {
+    [
+        ("Hong Kong", "Continent", "Asia"),
+        ("Hong Kong", "Population", ">= 500,000"),
+        ("Hong Kong", "Major Ethnic Group", "Chinese"),
+        ("Hong Kong", "Continent", "Europe"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_example_is_normalised_with_table_marginals() {
+        let d = paper_running_example();
+        assert_eq!(d.num_vars(), 4);
+        assert_eq!(d.support_size(), 16);
+        assert!((d.total_mass() - 1.0).abs() < 1e-12);
+        let m = d.marginals();
+        for (got, want) in m.iter().zip([0.50, 0.63, 0.58, 0.49]) {
+            assert!((got - want).abs() < 1e-9, "marginal {got} != {want}");
+        }
+    }
+
+    #[test]
+    fn specific_rows_match_table_two() {
+        let d = paper_running_example();
+        // o1 = FFFF -> 0.03
+        assert!((d.prob(Assignment(0b0000)) - 0.03).abs() < 1e-12);
+        // o2 = FFFT (only f4) -> 0.06; f4 is variable 3.
+        assert!((d.prob(Assignment(0b1000)) - 0.06).abs() < 1e-12);
+        // o9 = TFFF (only f1) -> 0.04; f1 is variable 0.
+        assert!((d.prob(Assignment(0b0001)) - 0.04).abs() < 1e-12);
+        // o16 = TTTT -> 0.11
+        assert!((d.prob(Assignment(0b1111)) - 0.11).abs() < 1e-12);
+    }
+
+    #[test]
+    fn labels_align_with_variables() {
+        let labels = paper_running_example_labels();
+        assert_eq!(labels[0].1, "Continent");
+        assert_eq!(labels[3].2, "Europe");
+    }
+}

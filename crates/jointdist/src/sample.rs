@@ -1,0 +1,168 @@
+//! Exact sampling of ground-truth assignments from a [`JointDist`], and
+//! sampled *construction* of sparse approximations for large variable
+//! counts.
+
+use crate::dist::JointDist;
+use crate::error::JointError;
+use crate::mask::Assignment;
+use rand::Rng;
+use std::collections::BTreeMap;
+
+impl JointDist {
+    /// Draws one assignment from the distribution.
+    ///
+    /// Used by the experiment harness to draw a hidden ground truth before
+    /// simulating crowd answers against it.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Assignment {
+        let u: f64 = rng.gen();
+        let mut acc = 0.0;
+        for (a, p) in self.iter() {
+            acc += p;
+            if u < acc {
+                return a;
+            }
+        }
+        // Floating-point slack: fall back to the last support entry.
+        self.entries()
+            .last()
+            .map(|&(a, _)| a)
+            .unwrap_or(Assignment::ALL_FALSE)
+    }
+
+    /// Draws `count` independent assignments.
+    pub fn sample_many<R: Rng + ?Sized>(&self, rng: &mut R, count: usize) -> Vec<Assignment> {
+        (0..count).map(|_| self.sample(rng)).collect()
+    }
+
+    /// Builds a **sparse approximation** of the product distribution with
+    /// the given marginals, for variable counts beyond
+    /// [`crate::MAX_DENSE_VARS`] (up to 64).
+    ///
+    /// `draws` assignments are sampled from the exact product distribution
+    /// (bit by bit) and the empirical histogram of the draws becomes the
+    /// distribution — a plain Monte-Carlo approximation whose marginals are
+    /// unbiased with error `O(1/√draws)`. (Weighting the sampled support by
+    /// exact product probabilities instead would condition on the support
+    /// and bias every marginal toward the mode.)
+    pub fn independent_sparse<R: Rng + ?Sized>(
+        marginals: &[f64],
+        draws: usize,
+        rng: &mut R,
+    ) -> Result<JointDist, JointError> {
+        let n = marginals.len();
+        if n > 64 {
+            return Err(JointError::TooManyVariables {
+                requested: n,
+                limit: 64,
+            });
+        }
+        if draws == 0 {
+            return Err(JointError::EmptySupport);
+        }
+        for (var, &p) in marginals.iter().enumerate() {
+            if !(0.0..=1.0).contains(&p) || !p.is_finite() {
+                return Err(JointError::MarginalOutOfRange { var, value: p });
+            }
+        }
+        let mut support: BTreeMap<Assignment, u64> = BTreeMap::new();
+        for _ in 0..draws {
+            let mut a = Assignment::ALL_FALSE;
+            for (var, &p) in marginals.iter().enumerate() {
+                a = a.with(var, rng.gen::<f64>() < p);
+            }
+            *support.entry(a).or_insert(0) += 1;
+        }
+        JointDist::from_weights(n, support.into_iter().map(|(a, count)| (a, count as f64)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn point_mass_always_sampled() {
+        let d = JointDist::certain(3, Assignment(0b101)).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..32 {
+            assert_eq!(d.sample(&mut rng), Assignment(0b101));
+        }
+    }
+
+    #[test]
+    fn empirical_frequencies_converge() {
+        let d = JointDist::from_weights(
+            2,
+            [
+                (Assignment(0b00), 0.1),
+                (Assignment(0b01), 0.2),
+                (Assignment(0b11), 0.7),
+            ],
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 40_000;
+        let samples = d.sample_many(&mut rng, n);
+        let freq = |a: Assignment| samples.iter().filter(|&&s| s == a).count() as f64 / n as f64;
+        assert!((freq(Assignment(0b00)) - 0.1).abs() < 0.01);
+        assert!((freq(Assignment(0b01)) - 0.2).abs() < 0.01);
+        assert!((freq(Assignment(0b11)) - 0.7).abs() < 0.01);
+        assert_eq!(freq(Assignment(0b10)), 0.0);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_under_seed() {
+        let d = JointDist::uniform(4).unwrap();
+        let a = d.sample_many(&mut StdRng::seed_from_u64(7), 16);
+        let b = d.sample_many(&mut StdRng::seed_from_u64(7), 16);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn independent_sparse_small_n_matches_exact() {
+        // With enough draws on a small n the sparse construction recovers
+        // the full support and the exact probabilities.
+        let marginals = [0.3, 0.7, 0.5];
+        let exact = JointDist::independent(&marginals).unwrap();
+        let sparse =
+            JointDist::independent_sparse(&marginals, 200_000, &mut StdRng::seed_from_u64(1))
+                .unwrap();
+        assert_eq!(sparse.support_size(), 8);
+        for (a, p) in exact.iter() {
+            assert!(
+                (sparse.prob(a) - p).abs() < 0.01,
+                "probability mismatch at {a:?}: {} vs {p}",
+                sparse.prob(a)
+            );
+        }
+    }
+
+    #[test]
+    fn independent_sparse_handles_forty_variables() {
+        let marginals: Vec<f64> = (0..40).map(|i| 0.2 + 0.015 * i as f64).collect();
+        let d = JointDist::independent_sparse(&marginals, 4_096, &mut StdRng::seed_from_u64(9))
+            .unwrap();
+        assert_eq!(d.num_vars(), 40);
+        assert!(d.support_size() <= 4_096);
+        assert!((d.total_mass() - 1.0).abs() < 1e-9);
+        // Marginals roughly follow the targets (sparse approximation).
+        let got = d.marginals();
+        let mean_err: f64 = got
+            .iter()
+            .zip(&marginals)
+            .map(|(g, m)| (g - m).abs())
+            .sum::<f64>()
+            / 40.0;
+        assert!(mean_err < 0.03, "mean marginal error {mean_err}");
+    }
+
+    #[test]
+    fn independent_sparse_validates() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(JointDist::independent_sparse(&[0.5; 65], 100, &mut rng).is_err());
+        assert!(JointDist::independent_sparse(&[0.5], 0, &mut rng).is_err());
+        assert!(JointDist::independent_sparse(&[1.5], 10, &mut rng).is_err());
+    }
+}

@@ -1,0 +1,407 @@
+//! The `crowdfusion` command-line tool.
+//!
+//! Thin, dependency-free argument handling over the library pipeline:
+//!
+//! ```text
+//! crowdfusion generate-books  --out books.json [--books N] [--sources N] [--seed S]
+//!                             [--min-statements N] [--max-statements N]
+//! crowdfusion generate-countries --out countries.json [--countries N] [--seed S]
+//! crowdfusion fuse            --dataset books.json --method crh|majority|modified-crh|
+//!                             truthfinder|accu [--out fusion.json]
+//! crowdfusion refine          --dataset books.json [--method NAME] [--k K] [--budget B]
+//!                             [--pc PC] [--selector greedy|random] [--seed S]
+//!                             [--out trace.json] [--csv trace.csv]
+//! crowdfusion demo            # the paper's running example
+//! ```
+//!
+//! All commands are pure functions of their arguments (seeded RNG), so runs
+//! are reproducible byte for byte.
+
+use crate::pipeline::entity_cases_from_books;
+use crowdfusion_core::metrics::quality_points_to_csv;
+use crowdfusion_core::round::RoundConfig;
+use crowdfusion_core::selection::{GreedySelector, RandomSelector, TaskSelector};
+use crowdfusion_core::system::Experiment;
+use crowdfusion_crowd::{CrowdPlatform, UniformAccuracy, WorkerPool};
+use crowdfusion_datagen::book::generate as generate_books;
+use crowdfusion_datagen::country::generate as generate_countries;
+use crowdfusion_datagen::{export, BookGenConfig, CountryGenConfig, GeneratedBooks};
+use crowdfusion_fusion::{
+    AccuVote, Crh, FusionMethod, FusionResult, MajorityVote, ModifiedCrh, TruthFinder,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+/// Usage text printed by `help` and on argument errors.
+pub const USAGE: &str = "\
+crowdfusion — crowdsourced data fusion refinement (ICDE 2017 reproduction)
+
+USAGE:
+  crowdfusion generate-books --out PATH [--books N] [--sources N] [--seed S]
+                             [--min-statements N] [--max-statements N]
+  crowdfusion generate-countries --out PATH [--countries N] [--seed S]
+  crowdfusion fuse --dataset PATH --method NAME [--out PATH]
+  crowdfusion refine --dataset PATH [--method NAME] [--k K] [--budget B]
+                     [--pc PC] [--selector greedy|random] [--seed S]
+                     [--out trace.json] [--csv trace.csv]
+  crowdfusion demo
+  crowdfusion help
+
+Fusion methods: majority, crh, modified-crh (default), truthfinder, accu.
+";
+
+/// Parsed flag map: `--name value` pairs.
+struct Flags(HashMap<String, String>);
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Flags, String> {
+        let mut map = HashMap::new();
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let Some(name) = flag.strip_prefix("--") else {
+                return Err(format!("unexpected argument {flag:?}"));
+            };
+            let Some(value) = it.next() else {
+                return Err(format!("flag --{name} is missing its value"));
+            };
+            if map.insert(name.to_string(), value.clone()).is_some() {
+                return Err(format!("flag --{name} given twice"));
+            }
+        }
+        Ok(Flags(map))
+    }
+
+    fn take<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.0.get(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("invalid value {raw:?} for --{name}")),
+        }
+    }
+
+    fn required(&self, name: &str) -> Result<String, String> {
+        self.0
+            .get(name)
+            .cloned()
+            .ok_or_else(|| format!("missing required flag --{name}"))
+    }
+
+    fn optional(&self, name: &str) -> Option<String> {
+        self.0.get(name).cloned()
+    }
+
+    fn ensure_known(&self, known: &[&str]) -> Result<(), String> {
+        for key in self.0.keys() {
+            if !known.contains(&key.as_str()) {
+                return Err(format!("unknown flag --{key}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn build_method(name: &str) -> Result<Box<dyn FusionMethod>, String> {
+    match name {
+        "majority" => Ok(Box::new(MajorityVote)),
+        "crh" => Ok(Box::new(Crh::default())),
+        "modified-crh" => Ok(Box::new(ModifiedCrh::default())),
+        "truthfinder" => Ok(Box::new(TruthFinder::default())),
+        "accu" => Ok(Box::new(AccuVote::default())),
+        other => Err(format!("unknown fusion method {other:?}")),
+    }
+}
+
+fn load_books(path: &str) -> Result<GeneratedBooks, String> {
+    export::load_books(Path::new(path)).map_err(|e| format!("cannot load {path}: {e}"))
+}
+
+fn write_json<T: serde::Serialize>(value: &T, path: &str) -> Result<(), String> {
+    let text = serde_json::to_string_pretty(value).map_err(|e| e.to_string())?;
+    std::fs::write(PathBuf::from(path), text).map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+/// Runs one CLI invocation; returns the human-readable report to print.
+pub fn run(args: &[String]) -> Result<String, String> {
+    let Some(command) = args.first() else {
+        return Err(USAGE.to_string());
+    };
+    let flags = Flags::parse(&args[1..])?;
+    match command.as_str() {
+        "generate-books" => {
+            flags.ensure_known(&[
+                "out",
+                "books",
+                "sources",
+                "seed",
+                "min-statements",
+                "max-statements",
+            ])?;
+            let out = flags.required("out")?;
+            let config = BookGenConfig {
+                n_books: flags.take("books", 100usize)?,
+                n_sources: flags.take("sources", 10usize)?,
+                statements_per_book: (
+                    flags.take("min-statements", 3usize)?,
+                    flags.take("max-statements", 8usize)?,
+                ),
+                seed: flags.take("seed", 42u64)?,
+                ..BookGenConfig::default()
+            };
+            let books = generate_books(config);
+            export::save_books(&books, Path::new(&out)).map_err(|e| e.to_string())?;
+            Ok(format!(
+                "wrote {} books / {} statements / {} claims to {out}\nraw claims correct: {:.1}%",
+                books.dataset.entities().len(),
+                books.dataset.statements().len(),
+                books.dataset.claims().len(),
+                100.0 * books.raw_claim_true_rate()
+            ))
+        }
+        "generate-countries" => {
+            flags.ensure_known(&["out", "countries", "seed"])?;
+            let out = flags.required("out")?;
+            let countries = generate_countries(CountryGenConfig {
+                n_countries: flags.take("countries", 20usize)?,
+                seed: flags.take("seed", 7u64)?,
+                ..CountryGenConfig::default()
+            });
+            export::save_countries(&countries, Path::new(&out)).map_err(|e| e.to_string())?;
+            Ok(format!("wrote {} countries to {out}", countries.len()))
+        }
+        "fuse" => {
+            flags.ensure_known(&["dataset", "method", "out"])?;
+            let books = load_books(&flags.required("dataset")?)?;
+            let method = build_method(&flags.required("method")?)?;
+            let result: FusionResult = method
+                .fuse(&books.dataset)
+                .map_err(|e| format!("fusion failed: {e}"))?;
+            let accuracy = result.accuracy_against(&books.gold);
+            if let Some(out) = flags.optional("out") {
+                write_json(&result, &out)?;
+            }
+            Ok(format!(
+                "{}: statement accuracy vs gold = {accuracy:.3} over {} statements",
+                result.method(),
+                result.probs().len()
+            ))
+        }
+        "refine" => {
+            flags.ensure_known(&[
+                "dataset", "method", "k", "budget", "pc", "selector", "seed", "out", "csv",
+            ])?;
+            let books = load_books(&flags.required("dataset")?)?;
+            let method = build_method(&flags.take("method", "modified-crh".to_string())?)?;
+            let fusion = method
+                .fuse(&books.dataset)
+                .map_err(|e| format!("fusion failed: {e}"))?;
+            let cases = entity_cases_from_books(&books, &fusion).map_err(|e| e.to_string())?;
+            let k = flags.take("k", 2usize)?;
+            let budget = flags.take("budget", 60usize)?;
+            let pc = flags.take("pc", 0.8f64)?;
+            let seed = flags.take("seed", 7u64)?;
+            let selector_name = flags.take("selector", "greedy".to_string())?;
+            let selector: Box<dyn TaskSelector> = match selector_name.as_str() {
+                "greedy" => Box::new(GreedySelector::fast()),
+                "random" => Box::new(RandomSelector),
+                other => return Err(format!("unknown selector {other:?}")),
+            };
+            let config = RoundConfig::new(k, budget, pc).map_err(|e| e.to_string())?;
+            let experiment = Experiment::new(cases, config).map_err(|e| e.to_string())?;
+            let mut platform = CrowdPlatform::new(
+                WorkerPool::uniform(30, pc).map_err(|e| e.to_string())?,
+                UniformAccuracy::new(pc),
+                seed,
+            );
+            let mut rng = StdRng::seed_from_u64(seed);
+            let trace = experiment
+                .run(selector.as_ref(), &mut platform, &mut rng)
+                .map_err(|e| e.to_string())?;
+            if let Some(out) = flags.optional("out") {
+                write_json(&trace, &out)?;
+            }
+            if let Some(csv) = flags.optional("csv") {
+                std::fs::write(&csv, quality_points_to_csv(&trace.points))
+                    .map_err(|e| format!("cannot write {csv}: {e}"))?;
+            }
+            let first = &trace.points[0];
+            let last = trace.last();
+            Ok(format!(
+                "{} with {} over {} books, k = {k}, budget {budget}, Pc = {pc}\n\
+                 machine-only: F1 = {:.3}, utility = {:.2}\n\
+                 refined     : F1 = {:.3}, utility = {:.2} (cost {})",
+                selector.name(),
+                fusion.method(),
+                experiment.cases().len(),
+                first.f1,
+                first.utility,
+                last.f1,
+                last.utility,
+                last.cost
+            ))
+        }
+        "demo" => {
+            flags.ensure_known(&[])?;
+            let facts = crowdfusion_core::model::FactSet::running_example();
+            let mut rng = StdRng::seed_from_u64(0);
+            let tasks = GreedySelector::fast()
+                .select(facts.dist(), 0.8, 2, &mut rng)
+                .map_err(|e| e.to_string())?;
+            let names: Vec<String> = tasks.iter().map(|t| format!("f{}", t + 1)).collect();
+            Ok(format!(
+                "running example: {} facts, utility {:.3}\n\
+                 best 2 tasks at Pc = 0.8: {{{}}} (paper: {{f1, f4}})\n\
+                 run `cargo run -p crowdfusion-bench --bin running_example` for Tables I–IV",
+                facts.len(),
+                facts.utility(),
+                names.join(", ")
+            ))
+        }
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("crowdfusion-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn help_and_errors() {
+        assert!(run(&args(&["help"])).unwrap().contains("USAGE"));
+        assert!(run(&[]).is_err());
+        assert!(run(&args(&["frobnicate"]))
+            .unwrap_err()
+            .contains("unknown command"));
+        assert!(run(&args(&["demo", "--bogus", "1"]))
+            .unwrap_err()
+            .contains("unknown flag"));
+        assert!(run(&args(&["generate-books"]))
+            .unwrap_err()
+            .contains("--out"));
+        assert!(run(&args(&["generate-books", "--out"]))
+            .unwrap_err()
+            .contains("missing its value"));
+        assert!(run(&args(&["generate-books", "--out", "x", "--out", "y"]))
+            .unwrap_err()
+            .contains("twice"));
+        assert!(
+            run(&args(&["generate-books", "--out", "x", "--books", "zero"]))
+                .unwrap_err()
+                .contains("invalid value")
+        );
+    }
+
+    #[test]
+    fn demo_matches_paper() {
+        let out = run(&args(&["demo"])).unwrap();
+        assert!(out.contains("f1, f4"));
+    }
+
+    #[test]
+    fn full_cli_pipeline() {
+        let books = tmp("books.json");
+        let fusion = tmp("fusion.json");
+        let trace = tmp("trace.json");
+        let csv = tmp("trace.csv");
+
+        let report = run(&args(&[
+            "generate-books",
+            "--out",
+            &books,
+            "--books",
+            "6",
+            "--seed",
+            "3",
+        ]))
+        .unwrap();
+        assert!(report.contains("wrote 6 books"));
+
+        let report = run(&args(&[
+            "fuse",
+            "--dataset",
+            &books,
+            "--method",
+            "crh",
+            "--out",
+            &fusion,
+        ]))
+        .unwrap();
+        assert!(report.contains("crh: statement accuracy"));
+        assert!(std::fs::metadata(&fusion).unwrap().len() > 0);
+
+        let report = run(&args(&[
+            "refine",
+            "--dataset",
+            &books,
+            "--k",
+            "2",
+            "--budget",
+            "8",
+            "--pc",
+            "0.85",
+            "--out",
+            &trace,
+            "--csv",
+            &csv,
+        ]))
+        .unwrap();
+        assert!(report.contains("refined"));
+        let csv_text = std::fs::read_to_string(&csv).unwrap();
+        assert!(csv_text.starts_with("cost,utility,f1,precision,recall"));
+        let parsed = crowdfusion_core::metrics::quality_points_from_csv(&csv_text).unwrap();
+        assert_eq!(parsed.last().unwrap().cost, 6 * 8);
+
+        for f in [&books, &fusion, &trace, &csv] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn generate_countries_cli() {
+        let path = tmp("countries.json");
+        let report = run(&args(&[
+            "generate-countries",
+            "--out",
+            &path,
+            "--countries",
+            "4",
+        ]))
+        .unwrap();
+        assert!(report.contains("wrote 4 countries"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn refine_rejects_bad_selector_and_method() {
+        let books = tmp("books2.json");
+        run(&args(&["generate-books", "--out", &books, "--books", "3"])).unwrap();
+        assert!(run(&args(&[
+            "refine",
+            "--dataset",
+            &books,
+            "--selector",
+            "oracle"
+        ]))
+        .unwrap_err()
+        .contains("unknown selector"));
+        assert!(
+            run(&args(&["fuse", "--dataset", &books, "--method", "lda"]))
+                .unwrap_err()
+                .contains("unknown fusion method")
+        );
+        std::fs::remove_file(&books).ok();
+    }
+}

@@ -1,0 +1,12 @@
+//! The `crowdfusion` binary: see [`crowdfusion::cli`] for the commands.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match crowdfusion::cli::run(&args) {
+        Ok(report) => println!("{report}"),
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! End-to-end glue: dataset → machine fusion → CrowdFusion entity cases.
+//!
+//! This module wires the substrates together the way the paper's evaluation
+//! does (Section V-A): run a machine-only fusion method over the claims
+//! dataset, lift each book's per-statement marginals into a correlated
+//! joint prior, and package book metadata (prompts, confusion classes, gold
+//! truth) into [`EntityCase`]s ready for the round driver.
+
+use crowdfusion_core::error::CoreError;
+use crowdfusion_core::prior::default_grouped_prior;
+use crowdfusion_core::round::EntityCase;
+use crowdfusion_datagen::GeneratedBooks;
+use crowdfusion_fusion::{EntityId, FusionResult};
+use crowdfusion_jointdist::Assignment;
+
+/// Builds the gold [`Assignment`] of one book from its per-statement gold
+/// labels.
+pub fn gold_assignment(labels: &[bool]) -> Assignment {
+    let mut a = Assignment::ALL_FALSE;
+    for (i, &truth) in labels.iter().enumerate() {
+        a = a.with(i, truth);
+    }
+    a
+}
+
+/// Builds one [`EntityCase`] per book: fusion marginals + correlation
+/// groups become the joint prior; statement texts become crowd prompts;
+/// confusion classes and gold labels are carried over.
+pub fn entity_cases_from_books(
+    books: &GeneratedBooks,
+    fusion: &FusionResult,
+) -> Result<Vec<EntityCase>, CoreError> {
+    let mut cases = Vec::with_capacity(books.dataset.entities().len());
+    for entity in books.dataset.entities() {
+        cases.push(entity_case_for_book(books, fusion, entity.id)?);
+    }
+    Ok(cases)
+}
+
+/// Builds the [`EntityCase`] for a single book.
+pub fn entity_case_for_book(
+    books: &GeneratedBooks,
+    fusion: &FusionResult,
+    entity: EntityId,
+) -> Result<EntityCase, CoreError> {
+    let marginals = fusion.entity_marginals(&books.dataset, entity);
+    let groups = books.correlation_groups(entity);
+    let prior = default_grouped_prior(&marginals, &groups)?;
+    let gold = gold_assignment(&books.gold_for(entity));
+    let name = books.dataset.entities()[entity.0 as usize].name.clone();
+    let prompts = books
+        .dataset
+        .statements_of(entity)
+        .iter()
+        .map(|s| {
+            format!(
+                "Is \"{}\" the complete author list of \"{name}\"?",
+                books.dataset.statement_text(*s)
+            )
+        })
+        .collect();
+    Ok(EntityCase {
+        name,
+        prior,
+        gold,
+        prompts,
+        classes: books.classes_for(entity),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdfusion_datagen::book::generate;
+    use crowdfusion_datagen::BookGenConfig;
+    use crowdfusion_fusion::{FusionMethod, ModifiedCrh};
+
+    #[test]
+    fn gold_assignment_packs_bits() {
+        let a = gold_assignment(&[true, false, true]);
+        assert!(a.get(0) && !a.get(1) && a.get(2));
+        assert_eq!(gold_assignment(&[]), Assignment::ALL_FALSE);
+    }
+
+    #[test]
+    fn cases_align_with_books() {
+        let books = generate(BookGenConfig::quick());
+        let fusion = ModifiedCrh::default().fuse(&books.dataset).unwrap();
+        let cases = entity_cases_from_books(&books, &fusion).unwrap();
+        assert_eq!(cases.len(), books.dataset.entities().len());
+        for (case, entity) in cases.iter().zip(books.dataset.entities()) {
+            assert_eq!(case.num_facts(), entity.statements.len());
+            case.validate().unwrap();
+            // Priors must reflect the fusion marginals' ordering at least
+            // loosely; check normalisation instead of exact values (the
+            // correlation factors shift marginals).
+            assert!((case.prior.total_mass() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn prompts_mention_book_and_statement() {
+        let books = generate(BookGenConfig::quick());
+        let fusion = ModifiedCrh::default().fuse(&books.dataset).unwrap();
+        let case = entity_case_for_book(&books, &fusion, EntityId(0)).unwrap();
+        let title = &books.dataset.entities()[0].name;
+        for (prompt, s) in case
+            .prompts
+            .iter()
+            .zip(books.dataset.statements_of(EntityId(0)))
+        {
+            assert!(prompt.contains(title.as_str()));
+            assert!(prompt.contains(books.dataset.statement_text(*s)));
+        }
+    }
+}

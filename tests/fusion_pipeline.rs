@@ -1,0 +1,143 @@
+//! Integration test: fusion substrate → prior construction → refinement.
+
+use crowdfusion::fusion::UniformPrior;
+use crowdfusion::pipeline::{entity_cases_from_books, gold_assignment};
+use crowdfusion::prelude::*;
+
+fn books() -> GeneratedBooks {
+    crowdfusion::datagen::book::generate(BookGenConfig::quick())
+}
+
+#[test]
+fn all_fusion_methods_produce_valid_cases() {
+    let books = books();
+    let methods: Vec<Box<dyn FusionMethod>> = vec![
+        Box::new(MajorityVote),
+        Box::new(Crh::default()),
+        Box::new(ModifiedCrh::default()),
+        Box::new(TruthFinder::default()),
+        Box::new(AccuVote::default()),
+        Box::new(UniformPrior),
+    ];
+    for method in methods {
+        let result = method.fuse(&books.dataset).unwrap();
+        assert_eq!(result.probs().len(), books.dataset.statements().len());
+        for &p in result.probs() {
+            assert!((0.0..=1.0).contains(&p), "{}: prob {p}", method.name());
+            assert!(
+                p > 0.0 && p < 1.0,
+                "{}: prob not clamped: {p}",
+                method.name()
+            );
+        }
+        let cases = entity_cases_from_books(&books, &result).unwrap();
+        assert_eq!(cases.len(), books.dataset.entities().len());
+        for case in &cases {
+            assert!((case.prior.total_mass() - 1.0).abs() < 1e-9);
+            case.validate().unwrap();
+        }
+    }
+}
+
+#[test]
+fn better_sources_yield_better_machine_f1() {
+    // Raising source reliability must improve the machine-only result.
+    let low = crowdfusion::datagen::book::generate(BookGenConfig {
+        source_reliability: (0.2, 0.4),
+        seed: 11,
+        ..BookGenConfig::default()
+    });
+    let high = crowdfusion::datagen::book::generate(BookGenConfig {
+        source_reliability: (0.7, 0.95),
+        seed: 11,
+        ..BookGenConfig::default()
+    });
+    let f1_of = |books: &GeneratedBooks| {
+        let fusion = ModifiedCrh::default().fuse(&books.dataset).unwrap();
+        let mut counts = ConfusionCounts::default();
+        for entity in books.dataset.entities() {
+            let marginals = fusion.entity_marginals(&books.dataset, entity.id);
+            counts.add_marginals(&marginals, gold_assignment(&books.gold_for(entity.id)));
+        }
+        counts.f1()
+    };
+    let f1_low = f1_of(&low);
+    let f1_high = f1_of(&high);
+    assert!(
+        f1_high > f1_low + 0.1,
+        "reliability should matter: low {f1_low}, high {f1_high}"
+    );
+}
+
+#[test]
+fn grouped_prior_outperforms_independent_prior_in_f1() {
+    // The correlation structure (format variants tied together, conflicts
+    // discouraged) is information; using it should not hurt the prior's
+    // utility as a starting point.
+    let books = books();
+    let fusion = ModifiedCrh::default().fuse(&books.dataset).unwrap();
+    let mut grouped_counts = ConfusionCounts::default();
+    let mut indep_counts = ConfusionCounts::default();
+    for entity in books.dataset.entities() {
+        let marginals = fusion.entity_marginals(&books.dataset, entity.id);
+        let gold = gold_assignment(&books.gold_for(entity.id));
+        let groups = books.correlation_groups(entity.id);
+        let grouped = crowdfusion::core::prior::default_grouped_prior(&marginals, &groups).unwrap();
+        let indep = crowdfusion::core::prior::independent_prior(&marginals).unwrap();
+        grouped_counts.add_marginals(&grouped.marginals(), gold);
+        indep_counts.add_marginals(&indep.marginals(), gold);
+    }
+    // Both are sensible; grouped must be at least competitive.
+    assert!(
+        grouped_counts.f1() >= indep_counts.f1() - 0.1,
+        "grouped {} vs independent {}",
+        grouped_counts.f1(),
+        indep_counts.f1()
+    );
+}
+
+#[test]
+fn dataset_export_import_preserves_pipeline_behaviour() {
+    let books = books();
+    let dir = std::env::temp_dir().join("crowdfusion-pipeline-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("books.json");
+    crowdfusion::datagen::export::save_books(&books, &path).unwrap();
+    let loaded = crowdfusion::datagen::export::load_books(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    let a = ModifiedCrh::default().fuse(&books.dataset).unwrap();
+    let b = ModifiedCrh::default().fuse(&loaded.dataset).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn specialist_sources_hurt_non_textbooks() {
+    // The eCampus.com story: specialists' claims on non-textbooks are
+    // nearly always wrong, so books in the specialist's blind spot have
+    // lower machine accuracy.
+    let books = crowdfusion::datagen::book::generate(BookGenConfig {
+        n_books: 200,
+        n_specialists: 4,
+        participation: 1.0,
+        seed: 3,
+        ..BookGenConfig::default()
+    });
+    let fusion = ModifiedCrh::default().fuse(&books.dataset).unwrap();
+    let mut textbook_counts = ConfusionCounts::default();
+    let mut other_counts = ConfusionCounts::default();
+    for entity in books.dataset.entities() {
+        let marginals = fusion.entity_marginals(&books.dataset, entity.id);
+        let gold = gold_assignment(&books.gold_for(entity.id));
+        if books.textbook[entity.id.0 as usize] {
+            textbook_counts.add_marginals(&marginals, gold);
+        } else {
+            other_counts.add_marginals(&marginals, gold);
+        }
+    }
+    assert!(
+        textbook_counts.accuracy() > other_counts.accuracy(),
+        "textbooks {} should beat non-textbooks {}",
+        textbook_counts.accuracy(),
+        other_counts.accuracy()
+    );
+}

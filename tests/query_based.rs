@@ -1,0 +1,105 @@
+//! Integration test: query-based CrowdFusion (Section IV) through the
+//! facade, including the reduction to the general system.
+
+use crowdfusion::datagen::country::{generate, vars};
+use crowdfusion::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn rng() -> StdRng {
+    StdRng::seed_from_u64(0)
+}
+
+#[test]
+fn full_interest_reduces_to_general_crowdfusion() {
+    // "query based CrowdFusion is a general case of CrowdFusion since we
+    // can reduce query based CrowdFusion to overall cases by setting
+    // I = F" (Section IV-B).
+    let facts = FactSet::running_example();
+    for k in 1..=3 {
+        let general = GreedySelector::fast()
+            .select(facts.dist(), 0.8, k, &mut rng())
+            .unwrap();
+        let query = QueryGreedySelector::new(VarSet::all(4))
+            .select(facts.dist(), 0.8, k, &mut rng())
+            .unwrap();
+        assert_eq!(general, query, "k = {k}");
+    }
+}
+
+#[test]
+fn country_scenario_asks_correlated_continent_facts() {
+    let countries = generate(CountryGenConfig {
+        n_countries: 30,
+        implication_penalty: 0.08,
+        exclusivity_penalty: 0.02,
+        marginal_noise: 0.45,
+        seed: 5,
+    });
+    // Across many countries, the query-based greedy should regularly ask a
+    // continent fact even though only population/ethnic facts are of
+    // interest (with k = 3, one of the three questions can be "spent" on
+    // the highly-correlated outside fact).
+    let mut continent_asked = 0;
+    for c in &countries {
+        let tasks = QueryGreedySelector::new(c.interest)
+            .select(&c.prior, 0.8, 3, &mut rng())
+            .unwrap();
+        if tasks
+            .iter()
+            .any(|&v| v == vars::CONTINENT_ASIA || v == vars::CONTINENT_EUROPE)
+        {
+            continent_asked += 1;
+        }
+    }
+    assert!(
+        continent_asked >= 5,
+        "continent facts asked for only {continent_asked}/30 countries"
+    );
+}
+
+#[test]
+fn query_utility_improves_with_answers() {
+    use crowdfusion::core::answers::posterior;
+    use crowdfusion::core::query::query_utility;
+    let countries = generate(CountryGenConfig::default());
+    let c = &countries[0];
+    let before = c.prior.restrict(c.interest).unwrap().entropy();
+    // Ask the query-greedy's first pick and merge a correct answer.
+    let tasks = QueryGreedySelector::new(c.interest)
+        .select(&c.prior, 0.9, 1, &mut rng())
+        .unwrap();
+    assert_eq!(tasks.len(), 1);
+    let answer = c.gold.get(tasks[0]);
+    let post = posterior(&c.prior, &tasks, &[answer], 0.9).unwrap();
+    let after = post.restrict(c.interest).unwrap().entropy();
+    assert!(
+        after < before,
+        "H(I) should drop after an informative answer: {before} -> {after}"
+    );
+    // And the utility functional agrees in sign.
+    let q_before = query_utility(&c.prior, c.interest, VarSet::EMPTY, 0.9).unwrap();
+    assert!((q_before + before).abs() < 1e-9);
+}
+
+#[test]
+fn interest_projection_is_consistent_with_joint() {
+    let countries = generate(CountryGenConfig::default());
+    for c in countries.iter().take(5) {
+        let proj = c.prior.restrict(c.interest).unwrap();
+        assert_eq!(proj.num_vars(), c.interest.len());
+        // Projected marginals match the joint's marginals.
+        for (j, v) in c.interest.iter().enumerate() {
+            assert!((proj.marginal(j).unwrap() - c.prior.marginal(v).unwrap()).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn query_selector_rejects_empty_interest() {
+    let facts = FactSet::running_example();
+    let err = QueryGreedySelector::new(VarSet::EMPTY)
+        .select(facts.dist(), 0.8, 1, &mut rng())
+        .unwrap_err();
+    assert_eq!(err, CoreError::EmptyInterestSet);
+}

@@ -1,0 +1,103 @@
+//! Integration test: every number the paper derives from its running
+//! example, checked through the public facade API.
+
+use crowdfusion::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const PC: f64 = 0.8;
+
+#[test]
+fn table_i_marginals() {
+    let facts = FactSet::running_example();
+    let m = facts.marginals();
+    let expected = [0.50, 0.63, 0.58, 0.49];
+    for (got, want) in m.iter().zip(expected) {
+        assert!((got - want).abs() < 1e-9, "marginal {got} != {want}");
+    }
+}
+
+#[test]
+fn table_ii_rows_and_normalisation() {
+    let facts = FactSet::running_example();
+    let d = facts.dist();
+    assert_eq!(d.support_size(), 16);
+    assert!((d.total_mass() - 1.0).abs() < 1e-12);
+    // Spot rows: o1 = FFFF (0.03), o7 = FTTF (0.11), o16 = TTTT (0.11).
+    assert!((d.prob(Assignment(0b0000)) - 0.03).abs() < 1e-12);
+    assert!((d.prob(Assignment(0b0110)) - 0.11).abs() < 1e-12);
+    assert!((d.prob(Assignment(0b1111)) - 0.11).abs() < 1e-12);
+}
+
+#[test]
+fn table_iv_answer_distribution() {
+    let facts = FactSet::running_example();
+    let ans =
+        answer_distribution(facts.dist(), VarSet::all(4), PC, AnswerEvaluator::Butterfly).unwrap();
+    // a1 (all false) = 0.049, a16 (all true) = 0.085 per the paper.
+    assert!((ans[0b0000] - 0.049).abs() < 5e-4);
+    assert!((ans[0b1111] - 0.085).abs() < 5e-4);
+    assert!((ans.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn section_iii_a_posterior_update() {
+    let facts = FactSet::running_example();
+    // P(e) = 0.5 for a "yes" on f1.
+    let ans =
+        answer_distribution(facts.dist(), VarSet::single(0), PC, AnswerEvaluator::Naive).unwrap();
+    assert!((ans[1] - 0.5).abs() < 1e-9, "P(e) = {}", ans[1]);
+    let post = posterior(facts.dist(), &[0], &[true], PC).unwrap();
+    assert!((post.prob(Assignment(0b0000)) - 0.012).abs() < 1e-9);
+    assert!((post.prob(Assignment(0b0001)) - 0.064).abs() < 1e-9);
+}
+
+#[test]
+fn section_iii_d_greedy_walkthrough() {
+    let facts = FactSet::running_example();
+    let mut rng = StdRng::seed_from_u64(0);
+    // First pick: f1 with H = 1 bit.
+    let first = GreedySelector::fast()
+        .select(facts.dist(), PC, 1, &mut rng)
+        .unwrap();
+    assert_eq!(first, vec![0]);
+    let h1 = answer_entropy(
+        facts.dist(),
+        VarSet::single(0),
+        PC,
+        AnswerEvaluator::Butterfly,
+    )
+    .unwrap();
+    assert!((h1 - 1.0).abs() < 1e-9);
+    // Second pick: f4, reaching H({f1, f4}) = 1.997.
+    let both = GreedySelector::fast()
+        .select(facts.dist(), PC, 2, &mut rng)
+        .unwrap();
+    assert_eq!(both, vec![0, 3]);
+    let h2 = answer_entropy(
+        facts.dist(),
+        VarSet::from_vars([0, 3]),
+        PC,
+        AnswerEvaluator::Butterfly,
+    )
+    .unwrap();
+    assert!((h2 - 1.997).abs() < 5e-4);
+}
+
+#[test]
+fn opt_agrees_with_greedy_on_running_example() {
+    let facts = FactSet::running_example();
+    let mut rng = StdRng::seed_from_u64(0);
+    let opt = OptSelector::new(AnswerEvaluator::Naive)
+        .select(facts.dist(), PC, 2, &mut rng)
+        .unwrap();
+    assert_eq!(opt, vec![0, 3]);
+}
+
+#[test]
+fn utility_definition_matches_entropy() {
+    let facts = FactSet::running_example();
+    assert!((facts.utility() + facts.dist().entropy()).abs() < 1e-12);
+    // H(Crowd) for the paper's error model at Pc = 0.8.
+    assert!((binary_entropy(0.8) - 0.721928).abs() < 1e-5);
+}

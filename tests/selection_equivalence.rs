@@ -1,0 +1,159 @@
+//! Integration test: the Table V selector configurations agree where theory
+//! says they must, and differ only where the paper's aggressive bound is
+//! unsound.
+
+use crowdfusion::core::answers::AnswerEvaluator;
+use crowdfusion::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_dist(n: usize, seed: u64) -> JointDist {
+    let mut rng = StdRng::seed_from_u64(seed);
+    JointDist::from_weights(
+        n,
+        (0..(1u64 << n)).map(|a| (Assignment(a), rng.gen_range(0.01..1.0))),
+    )
+    .unwrap()
+}
+
+fn select(selector: &dyn TaskSelector, d: &JointDist, pc: f64, k: usize) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(0);
+    selector.select(d, pc, k, &mut rng).unwrap()
+}
+
+#[test]
+fn all_safe_configurations_agree_across_instances() {
+    for seed in 0..12 {
+        let n = 4 + (seed as usize % 4);
+        let d = random_dist(n, seed);
+        for pc in [0.6, 0.8, 0.95] {
+            for k in [1, 2, 4] {
+                let reference = select(&GreedySelector::paper_approx(), &d, pc, k);
+                let variants: Vec<Box<dyn TaskSelector>> = vec![
+                    Box::new(GreedySelector::paper_approx().with_prune(PruneBound::Safe)),
+                    Box::new(GreedySelector::paper_approx().with_preprocess()),
+                    Box::new(
+                        GreedySelector::paper_approx()
+                            .with_prune(PruneBound::Safe)
+                            .with_preprocess(),
+                    ),
+                    Box::new(
+                        GreedySelector::paper_approx().with_evaluator(AnswerEvaluator::Butterfly),
+                    ),
+                    Box::new(GreedySelector::fast()),
+                ];
+                for v in variants {
+                    assert_eq!(
+                        select(v.as_ref(), &d, pc, k),
+                        reference,
+                        "{} diverged (seed {seed}, pc {pc}, k {k})",
+                        v.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn aggressive_bound_still_returns_full_selections() {
+    // The paper's log2 bound may alter the picks but must still fill k.
+    for seed in 0..8 {
+        let d = random_dist(6, 100 + seed);
+        for k in [2, 3, 5] {
+            let tasks = select(
+                &GreedySelector::paper_approx().with_prune(PruneBound::PaperAggressive),
+                &d,
+                0.8,
+                k,
+            );
+            assert_eq!(tasks.len(), k, "seed {seed}, k {k}");
+            let mut sorted = tasks.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), k, "duplicates in {tasks:?}");
+        }
+    }
+}
+
+#[test]
+fn aggressive_bound_first_pick_matches_plain_greedy() {
+    // With k = 1 there is no future slack, so even the aggressive bound
+    // cannot change the outcome.
+    for seed in 0..8 {
+        let d = random_dist(5, 200 + seed);
+        let plain = select(&GreedySelector::paper_approx(), &d, 0.8, 1);
+        let aggressive = select(
+            &GreedySelector::paper_approx().with_prune(PruneBound::PaperAggressive),
+            &d,
+            0.8,
+            1,
+        );
+        assert_eq!(plain, aggressive);
+    }
+}
+
+#[test]
+fn opt_upper_bounds_every_heuristic() {
+    use crowdfusion::core::answers::answer_entropy;
+    for seed in 0..6 {
+        let d = random_dist(6, 300 + seed);
+        let pc = 0.8;
+        let k = 3;
+        let h = |tasks: &[usize]| {
+            answer_entropy(
+                &d,
+                VarSet::from_vars(tasks.iter().copied()),
+                pc,
+                AnswerEvaluator::Butterfly,
+            )
+            .unwrap()
+        };
+        let opt = select(&OptSelector::new(AnswerEvaluator::Butterfly), &d, pc, k);
+        let h_opt = h(&opt);
+        for selector in [
+            Box::new(GreedySelector::fast()) as Box<dyn TaskSelector>,
+            Box::new(GreedySelector::paper_approx().with_prune(PruneBound::PaperAggressive)),
+            Box::new(RandomSelector),
+        ] {
+            let tasks = select(selector.as_ref(), &d, pc, k);
+            assert!(h(&tasks) <= h_opt + 1e-9, "{} beat OPT?!", selector.name());
+        }
+        // Greedy meets the (1 − 1/e) guarantee.
+        let greedy = select(&GreedySelector::fast(), &d, pc, k);
+        assert!(h(&greedy) >= (1.0 - 1.0 / std::f64::consts::E) * h_opt - 1e-9);
+    }
+}
+
+#[test]
+fn selection_quality_transfers_to_posterior_utility() {
+    // Expected posterior utility gain equals H(T) − k·H(Pc); verify the
+    // identity empirically by enumerating all answer sets.
+    use crowdfusion::core::answers::{answer_distribution, answer_entropy, posterior};
+    let d = random_dist(5, 999);
+    let pc = 0.8;
+    let mut tasks = select(&GreedySelector::fast(), &d, pc, 2);
+    // Answer-pattern bit j corresponds to the j-th *smallest* selected
+    // variable, so align the task order with it.
+    tasks.sort_unstable();
+    let tset = VarSet::from_vars(tasks.iter().copied());
+    let ans_dist = answer_distribution(&d, tset, pc, AnswerEvaluator::Butterfly).unwrap();
+    let mut expected_posterior_entropy = 0.0;
+    for (pattern, &p_ans) in ans_dist.iter().enumerate() {
+        if p_ans <= 0.0 {
+            continue;
+        }
+        let answers: Vec<bool> = (0..tasks.len()).map(|j| (pattern >> j) & 1 == 1).collect();
+        let post = posterior(&d, &tasks, &answers, pc).unwrap();
+        expected_posterior_entropy += p_ans * post.entropy();
+    }
+    let h_t = answer_entropy(&d, tset, pc, AnswerEvaluator::Butterfly).unwrap();
+    let k_h_crowd = tasks.len() as f64 * binary_entropy(pc);
+    // H(F) − E[H(F | Ans)] = I(F; Ans) = H(Ans) − H(Ans | F) = H(T) − k·H(Pc).
+    let info_gain = d.entropy() - expected_posterior_entropy;
+    assert!(
+        (info_gain - (h_t - k_h_crowd)).abs() < 1e-9,
+        "information identity violated: {info_gain} vs {}",
+        h_t - k_h_crowd
+    );
+}
