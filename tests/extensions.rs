@@ -53,7 +53,11 @@ fn sampled_selector_plugs_into_the_round_driver() {
     );
     let mut rng = StdRng::seed_from_u64(6);
     let trace = experiment
-        .run(&SampledGreedySelector::new(1_500, 2), &mut platform, &mut rng)
+        .run(
+            &SampledGreedySelector::new(1_500, 2),
+            &mut platform,
+            &mut rng,
+        )
         .unwrap();
     assert_eq!(trace.last().cost, 4 * 10);
     assert!(trace.last().utility > trace.points[0].utility);
@@ -76,8 +80,8 @@ fn em_aggregation_feeds_posterior_updates() {
     // (each task id is distinct, so aggregate by majority over values).
     let yes = answers.iter().filter(|a| a.value).count();
     let aggregated = 2 * yes >= answers.len();
-    let post = crowdfusion::core::answers::posterior(facts.dist(), &[0], &[aggregated], 0.9)
-        .unwrap();
+    let post =
+        crowdfusion::core::answers::posterior(facts.dist(), &[0], &[aggregated], 0.9).unwrap();
     assert!(post.marginal(0).unwrap() > 0.8);
     // And the EM machinery handles the same raw answers without panicking
     // (single-vote tasks: posteriors follow the votes).

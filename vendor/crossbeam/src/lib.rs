@@ -1,0 +1,81 @@
+//! Offline stand-in for [`crossbeam`](https://crates.io/crates/crossbeam).
+//!
+//! Only `crossbeam::thread::scope` is used by this workspace; since Rust
+//! 1.63 the standard library provides scoped threads, so this crate is a
+//! thin adapter reproducing crossbeam's calling convention (`scope` returns
+//! a `Result`, spawned closures receive the scope as an argument so they can
+//! spawn nested work).
+
+#![warn(missing_docs)]
+
+pub mod thread {
+    //! Scoped threads with crossbeam's API shape.
+
+    /// What `scope` returns: crossbeam reports panics in child threads as an
+    /// `Err` payload. The std backend instead propagates child panics when
+    /// the scope joins, so in practice this is always `Ok` — matching code
+    /// written for crossbeam, which `.expect(..)`s the result.
+    pub type Result<T> = std::result::Result<T, Box<dyn std::any::Any + Send + 'static>>;
+
+    /// A scope handle; borrows from the enclosing `scope` call and hands out
+    /// spawns that may reference stack data of the caller.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope. The closure receives the scope
+        /// (crossbeam convention) so it can spawn nested threads.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope in which spawned threads may borrow local data;
+    /// joins all of them before returning.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn spawned_threads_mutate_borrowed_chunks() {
+        let mut data = vec![0u64; 64];
+        crate::thread::scope(|scope| {
+            for (i, chunk) in data.chunks_mut(16).enumerate() {
+                scope.spawn(move |_| {
+                    for (j, slot) in chunk.iter_mut().enumerate() {
+                        *slot = (i * 16 + j) as u64;
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert!(data.iter().enumerate().all(|(i, &x)| x == i as u64));
+    }
+
+    #[test]
+    fn nested_spawns_receive_the_scope() {
+        let total = std::sync::atomic::AtomicU32::new(0);
+        crate::thread::scope(|scope| {
+            scope.spawn(|inner| {
+                inner.spawn(|_| {
+                    total.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                });
+                total.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            });
+        })
+        .unwrap();
+        assert_eq!(total.load(std::sync::atomic::Ordering::SeqCst), 2);
+    }
+}

@@ -1,0 +1,298 @@
+//! Offline stand-in for [`proptest`](https://crates.io/crates/proptest).
+//!
+//! The build environment has no crates.io access, so this workspace vendors
+//! a minimal property-testing harness with proptest's API shape:
+//!
+//! * [`Strategy`] with `prop_map` / `prop_flat_map` / `prop_filter` /
+//!   `prop_filter_map`, implemented for ranges, tuples, [`Just`],
+//!   [`collection::vec`], [`any`] and regex-like `&str` patterns;
+//! * the [`proptest!`] macro (including `#![proptest_config(..)]`) and the
+//!   `prop_assert*` macros;
+//! * a deterministic runner: case RNG seeds derive from the test name and
+//!   case index, so failures reproduce run-to-run with no persistence files.
+//!
+//! **No shrinking**: a failing case reports its values via the assertion
+//! message and its case number instead of minimising. That trade keeps the
+//! stand-in small while preserving what the test suite relies on.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub mod collection;
+mod regex;
+pub mod strategy;
+
+pub use strategy::{Any, Just, Strategy};
+
+/// Why a generated case was rejected (filter miss).
+#[derive(Debug, Clone)]
+pub struct Rejection {
+    /// Human-readable filter description.
+    pub reason: String,
+}
+
+/// A test-case failure or rejection, as produced by the `prop_assert*`
+/// macros or an explicit `Err` return.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property does not hold.
+    Fail(String),
+    /// The input should not count as a case (like `prop_assume` misses).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Builds a rejection with the given message.
+    pub fn reject(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// The result type of a property body.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration; only the case count is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// How many accepted cases each property runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+/// Values generable without an explicit strategy, via [`any`].
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! arbitrary_via_standard {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> $t {
+                rng.gen()
+            }
+        }
+    )*};
+}
+
+arbitrary_via_standard!(bool, u32, u64, usize, f64);
+
+impl Arbitrary for u8 {
+    fn arbitrary(rng: &mut StdRng) -> u8 {
+        rng.gen::<u32>() as u8
+    }
+}
+
+impl Arbitrary for u16 {
+    fn arbitrary(rng: &mut StdRng) -> u16 {
+        rng.gen::<u32>() as u16
+    }
+}
+
+impl Arbitrary for i32 {
+    fn arbitrary(rng: &mut StdRng) -> i32 {
+        rng.gen::<u32>() as i32
+    }
+}
+
+impl Arbitrary for i64 {
+    fn arbitrary(rng: &mut StdRng) -> i64 {
+        rng.gen::<u64>() as i64
+    }
+}
+
+/// Strategy producing any value of `T` (proptest's `any::<T>()`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// The deterministic runner behind [`proptest!`]; public so the macro can
+/// reach it, not part of the emulated API.
+pub fn run_property<S: Strategy>(
+    config: &ProptestConfig,
+    name: &str,
+    strategy: &S,
+    test: impl Fn(S::Value) -> TestCaseResult,
+) {
+    // FNV-1a over the test name: stable per-property seed base.
+    let mut base: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        base ^= b as u64;
+        base = base.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+
+    let mut accepted = 0u32;
+    let mut draws = 0u64;
+    let mut rejections = 0u64;
+    const MAX_REJECTIONS: u64 = 1 << 16;
+    while accepted < config.cases {
+        let mut rng = StdRng::seed_from_u64(base.wrapping_add(draws));
+        draws += 1;
+        let value = match strategy.generate(&mut rng) {
+            Ok(v) => v,
+            Err(rej) => {
+                rejections += 1;
+                if rejections > MAX_REJECTIONS {
+                    panic!(
+                        "{name}: gave up after {MAX_REJECTIONS} rejected inputs \
+                         (last filter: {})",
+                        rej.reason
+                    );
+                }
+                continue;
+            }
+        };
+        match test(value) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(reason)) => {
+                rejections += 1;
+                if rejections > MAX_REJECTIONS {
+                    panic!("{name}: gave up after {MAX_REJECTIONS} rejections ({reason})");
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "{name}: property failed on case {} (draw #{}, seed base \
+                     {base:#x}): {msg}",
+                    accepted + 1,
+                    draws
+                );
+            }
+        }
+    }
+}
+
+/// Everything a property-test module needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{Any, Just, Strategy};
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
+        ProptestConfig, TestCaseError, TestCaseResult,
+    };
+}
+
+/// Declares deterministic property tests; mirrors proptest's macro,
+/// including the optional leading `#![proptest_config(..)]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($config:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($pat:pat in $strategy:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $config;
+                let __strategy = ( $($strategy,)+ );
+                $crate::run_property(
+                    &__config,
+                    stringify!($name),
+                    &__strategy,
+                    |__values| -> $crate::TestCaseResult {
+                        let ( $($pat,)+ ) = __values;
+                        $body
+                        Ok(())
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property body, failing the case (not the
+/// process) so the runner can report which case broke.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` == `{:?}`", left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "{} (left: `{:?}`, right: `{:?}`)", format!($($fmt)+), left, right
+        );
+    }};
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` != `{:?}`", left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "{} (left: `{:?}`, right: `{:?}`)", format!($($fmt)+), left, right
+        );
+    }};
+}
+
+/// Discards the current case when an assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err($crate::TestCaseError::reject(format!(
+                "assumption failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+}

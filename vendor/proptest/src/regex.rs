@@ -1,0 +1,159 @@
+//! A tiny regex-directed string generator.
+//!
+//! Proptest treats `&str` strategies as regexes; this stand-in supports the
+//! subset the workspace's tests use:
+//!
+//! * literal characters and `\`-escapes,
+//! * character classes `[a-z…]` (ranges and single characters),
+//! * `.` (printable ASCII),
+//! * quantifiers `{n}`, `{m,n}`, `?`, `*`, `+` (`*`/`+` capped at 8).
+//!
+//! Unsupported syntax (groups, alternation, anchors) panics: a pattern
+//! outside this subset is a programming error in a test, not a runtime
+//! condition to paper over.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+enum Atom {
+    Class(Vec<char>),
+}
+
+const PRINTABLE_ASCII: std::ops::RangeInclusive<char> = ' '..='~';
+
+/// Generates one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut StdRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let (atom, next) = parse_atom(&chars, i, pattern);
+        let (lo, hi, next) = parse_quantifier(&chars, next, pattern);
+        i = next;
+        let Atom::Class(candidates) = &atom;
+        let reps = rng.gen_range(lo..=hi);
+        for _ in 0..reps {
+            out.push(*candidates.choose(rng).expect("empty character class"));
+        }
+    }
+    out
+}
+
+fn parse_atom(chars: &[char], i: usize, pattern: &str) -> (Atom, usize) {
+    match chars[i] {
+        '[' => {
+            assert!(
+                chars.get(i + 1) != Some(&'^'),
+                "unsupported regex syntax: negated class in {pattern:?}"
+            );
+            let mut candidates = Vec::new();
+            let mut j = i + 1;
+            while j < chars.len() && chars[j] != ']' {
+                if j + 2 < chars.len() && chars[j + 1] == '-' && chars[j + 2] != ']' {
+                    let (lo, hi) = (chars[j], chars[j + 2]);
+                    assert!(lo <= hi, "bad class range in regex {pattern:?}");
+                    candidates.extend(lo..=hi);
+                    j += 3;
+                } else {
+                    candidates.push(chars[j]);
+                    j += 1;
+                }
+            }
+            assert!(j < chars.len(), "unterminated class in regex {pattern:?}");
+            (Atom::Class(candidates), j + 1)
+        }
+        '.' => (Atom::Class(PRINTABLE_ASCII.collect()), i + 1),
+        '\\' => {
+            let c = *chars
+                .get(i + 1)
+                .unwrap_or_else(|| panic!("dangling escape in regex {pattern:?}"));
+            (Atom::Class(vec![c]), i + 2)
+        }
+        '(' | ')' | '|' | '^' | '$' => {
+            panic!("unsupported regex syntax {:?} in {pattern:?}", chars[i])
+        }
+        c => (Atom::Class(vec![c]), i + 1),
+    }
+}
+
+fn parse_quantifier(chars: &[char], i: usize, pattern: &str) -> (usize, usize, usize) {
+    match chars.get(i) {
+        Some('{') => {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|off| i + off)
+                .unwrap_or_else(|| panic!("unterminated quantifier in regex {pattern:?}"));
+            let body: String = chars[i + 1..close].iter().collect();
+            let (lo, hi) = match body.split_once(',') {
+                None => {
+                    let n = body
+                        .parse()
+                        .unwrap_or_else(|_| panic!("bad quantifier in regex {pattern:?}"));
+                    (n, n)
+                }
+                Some((lo, hi)) => (
+                    lo.parse()
+                        .unwrap_or_else(|_| panic!("bad quantifier in regex {pattern:?}")),
+                    hi.parse()
+                        .unwrap_or_else(|_| panic!("bad quantifier in regex {pattern:?}")),
+                ),
+            };
+            (lo, hi, close + 1)
+        }
+        Some('?') => (0, 1, i + 1),
+        Some('*') => (0, 8, i + 1),
+        Some('+') => (1, 8, i + 1),
+        _ => (1, 1, i),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0)
+    }
+
+    #[test]
+    fn name_pattern_shape() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = super::generate("[A-Z][a-z]{1,8} [A-Z][a-z]{1,8}", &mut r);
+            let parts: Vec<&str> = s.split(' ').collect();
+            assert_eq!(parts.len(), 2, "{s:?}");
+            for p in parts {
+                let mut cs = p.chars();
+                assert!(cs.next().unwrap().is_ascii_uppercase(), "{s:?}");
+                let rest: Vec<char> = cs.collect();
+                assert!((1..=8).contains(&rest.len()), "{s:?}");
+                assert!(rest.iter().all(|c| c.is_ascii_lowercase()), "{s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn dot_quantifier_bounds() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = super::generate(".{0,30}", &mut r);
+            assert!(s.chars().count() <= 30);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "negated class")]
+    fn negated_class_is_rejected() {
+        super::generate("[^;]{1,3}", &mut rng());
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported regex syntax")]
+    fn groups_are_rejected() {
+        super::generate("(ab)+", &mut rng());
+    }
+}

@@ -1,0 +1,326 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde stand-in.
+//!
+//! Implemented directly on `proc_macro::TokenTree` (no syn/quote — the build
+//! environment is offline). Supports exactly the shapes this workspace uses:
+//!
+//! * named-field structs,
+//! * tuple structs (newtypes like `TaskId(pub u64)`),
+//! * enums with unit and struct variants,
+//! * no generics, no serde attributes.
+//!
+//! Structs map to JSON objects keyed by field name; one-field tuple structs
+//! are transparent; enum unit variants map to their name as a string and
+//! struct variants to `{"VariantName": {fields…}}`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write;
+
+/// Parsed shape of the deriving type.
+enum Shape {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+    Enum(Vec<(String, Variant)>),
+}
+
+enum Variant {
+    Unit,
+    Named(Vec<String>),
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+fn is_ident(tt: &TokenTree, word: &str) -> bool {
+    matches!(tt, TokenTree::Ident(i) if i.to_string() == word)
+}
+
+/// Skips attributes (`#[...]`, including expanded doc comments) and
+/// visibility modifiers (`pub`, `pub(...)`) at `i`.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` then `[...]` group.
+                i += 2;
+            }
+            Some(tt) if is_ident(tt, "pub") => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Splits the tokens of a brace group into top-level comma-separated chunks.
+fn split_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut depth = 0i32;
+    for tt in tokens {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                cur.push(tt.clone());
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                cur.push(tt.clone());
+            }
+            _ => cur.push(tt.clone()),
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Extracts the field names of a named-field chunk list.
+fn named_fields(tokens: &[TokenTree]) -> Vec<String> {
+    split_commas(tokens)
+        .iter()
+        .filter_map(|chunk| {
+            let i = skip_attrs_and_vis(chunk, 0);
+            match chunk.get(i) {
+                Some(TokenTree::Ident(id)) => Some(id.to_string()),
+                _ => None,
+            }
+        })
+        .collect()
+}
+
+fn parse(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+
+    let kind = match &tokens[i] {
+        tt if is_ident(tt, "struct") => "struct",
+        tt if is_ident(tt, "enum") => "enum",
+        other => panic!("serde derive: expected struct or enum, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde derive: expected type name, found {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde derive stand-in does not support generic types ({name})");
+    }
+
+    let shape = if kind == "struct" {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Shape::Named(named_fields(&inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Shape::Tuple(split_commas(&inner).len())
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+            other => panic!("serde derive: malformed struct body: {other:?}"),
+        }
+    } else {
+        let body = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+            other => panic!("serde derive: malformed enum body: {other:?}"),
+        };
+        let inner: Vec<TokenTree> = body.into_iter().collect();
+        let variants = split_commas(&inner)
+            .iter()
+            .filter_map(|chunk| {
+                let j = skip_attrs_and_vis(chunk, 0);
+                let vname = match chunk.get(j) {
+                    Some(TokenTree::Ident(id)) => id.to_string(),
+                    _ => return None,
+                };
+                let variant = match chunk.get(j + 1) {
+                    None => Variant::Unit,
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let fields: Vec<TokenTree> = g.stream().into_iter().collect();
+                        Variant::Named(named_fields(&fields))
+                    }
+                    Some(other) => panic!(
+                        "serde derive stand-in supports unit and struct variants only \
+                         ({vname}: {other})"
+                    ),
+                };
+                Some((vname, variant))
+            })
+            .collect();
+        Shape::Enum(variants)
+    };
+
+    Input { name, shape }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let Input { name, shape } = parse(input);
+    let mut body = String::new();
+    match &shape {
+        Shape::Named(fields) => {
+            body.push_str("let mut m = Vec::new();\n");
+            for f in fields {
+                let _ = writeln!(
+                    body,
+                    "m.push((String::from({f:?}), serde::Serialize::to_value(&self.{f})));"
+                );
+            }
+            body.push_str("serde::Value::Map(m)");
+        }
+        Shape::Tuple(1) => body.push_str("serde::Serialize::to_value(&self.0)"),
+        Shape::Tuple(n) => {
+            body.push_str("serde::Value::Array(vec![");
+            for idx in 0..*n {
+                let _ = write!(body, "serde::Serialize::to_value(&self.{idx}),");
+            }
+            body.push_str("])");
+        }
+        Shape::Unit => body.push_str("serde::Value::Map(Vec::new())"),
+        Shape::Enum(variants) => {
+            body.push_str("match self {\n");
+            for (vname, variant) in variants {
+                match variant {
+                    Variant::Unit => {
+                        let _ = writeln!(
+                            body,
+                            "{name}::{vname} => serde::Value::Str(String::from({vname:?})),"
+                        );
+                    }
+                    Variant::Named(fields) => {
+                        let binders = fields.join(", ");
+                        let _ = writeln!(body, "{name}::{vname} {{ {binders} }} => {{");
+                        body.push_str("let mut m = Vec::new();\n");
+                        for f in fields {
+                            let _ = writeln!(
+                                body,
+                                "m.push((String::from({f:?}), serde::Serialize::to_value({f})));"
+                            );
+                        }
+                        let _ = writeln!(
+                            body,
+                            "serde::Value::Map(vec![(String::from({vname:?}), \
+                             serde::Value::Map(m))]) }}"
+                        );
+                    }
+                }
+            }
+            body.push_str("}\n");
+        }
+    }
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> serde::Value {{\n{body}\n}}\n}}"
+    )
+    .parse()
+    .expect("serde derive: generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let Input { name, shape } = parse(input);
+    let mut body = String::new();
+    match &shape {
+        Shape::Named(fields) => {
+            let _ = writeln!(
+                body,
+                "if v.as_map().is_none() {{ return Err(serde::Error::custom(\
+                 format!(\"expected map for {name}, found {{}}\", v.kind()))); }}"
+            );
+            let _ = writeln!(body, "Ok({name} {{");
+            for f in fields {
+                let _ = writeln!(
+                    body,
+                    "{f}: serde::Deserialize::from_value(\
+                     v.get_field({f:?}).unwrap_or(&serde::Value::Null))\
+                     .map_err(|e| serde::Error::custom(\
+                     format!(\"{name}.{f}: {{e}}\")))?,"
+                );
+            }
+            body.push_str("})");
+        }
+        Shape::Tuple(1) => {
+            let _ = write!(body, "Ok({name}(serde::Deserialize::from_value(v)?))");
+        }
+        Shape::Tuple(n) => {
+            let _ = writeln!(
+                body,
+                "let a = v.as_array().ok_or_else(|| serde::Error::custom(\
+                 \"expected array for {name}\"))?;\n\
+                 if a.len() != {n} {{ return Err(serde::Error::custom(\
+                 \"wrong arity for {name}\")); }}"
+            );
+            let _ = write!(body, "Ok({name}(");
+            for idx in 0..*n {
+                let _ = write!(body, "serde::Deserialize::from_value(&a[{idx}])?,");
+            }
+            body.push_str("))");
+        }
+        Shape::Unit => {
+            let _ = write!(body, "Ok({name})");
+        }
+        Shape::Enum(variants) => {
+            body.push_str("match v {\n");
+            body.push_str("serde::Value::Str(s) => match s.as_str() {\n");
+            for (vname, variant) in variants {
+                if matches!(variant, Variant::Unit) {
+                    let _ = writeln!(body, "{vname:?} => Ok({name}::{vname}),");
+                }
+            }
+            let _ = writeln!(
+                body,
+                "other => Err(serde::Error::custom(format!(\
+                 \"unknown {name} variant {{other:?}}\"))),\n}},"
+            );
+            body.push_str(
+                "serde::Value::Map(m) if m.len() == 1 => {\n\
+                 let (tag, inner) = &m[0];\nmatch tag.as_str() {\n",
+            );
+            for (vname, variant) in variants {
+                if let Variant::Named(fields) = variant {
+                    let _ = writeln!(body, "{vname:?} => Ok({name}::{vname} {{");
+                    for f in fields {
+                        let _ = writeln!(
+                            body,
+                            "{f}: serde::Deserialize::from_value(\
+                             inner.get_field({f:?}).unwrap_or(&serde::Value::Null))?,"
+                        );
+                    }
+                    body.push_str("}),\n");
+                }
+            }
+            let _ = writeln!(
+                body,
+                "other => Err(serde::Error::custom(format!(\
+                 \"unknown {name} variant {{other:?}}\"))),\n}}\n}},"
+            );
+            let _ = writeln!(
+                body,
+                "other => Err(serde::Error::custom(format!(\
+                 \"expected {name}, found {{}}\", other.kind()))),\n}}"
+            );
+        }
+    }
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+         fn from_value(v: &serde::Value) -> std::result::Result<Self, serde::Error> \
+         {{\n{body}\n}}\n}}"
+    )
+    .parse()
+    .expect("serde derive: generated Deserialize impl must parse")
+}
