@@ -1,30 +1,70 @@
-//! Criterion: greedy evaluator comparison (paper-naive vs butterfly vs
-//! Algorithm 2 preprocessing) across fact counts — the ablation behind the
-//! DESIGN.md evaluator discussion.
+//! Criterion: greedy evaluator comparison (paper-naive vs the historical
+//! per-candidate butterfly rebuild vs Algorithm 2 preprocessing vs the
+//! cached-scatter engine, serial and pooled) across fact counts — the
+//! ablation behind the DESIGN.md evaluator discussion and the engine
+//! speedup gate in EXPERIMENTS.md.
+//!
+//! `butterfly` reproduces the pre-engine fast path (a from-scratch
+//! `answer_entropy` rebuild per candidate — kept here as a live baseline
+//! since `GreedySelector`'s butterfly path now always runs through the
+//! scatter cache). `engine_t1` isolates the cache win; `engine_tN` adds
+//! the candidate pool. The PR gate compares `engine_t4/16` against
+//! `butterfly/16`: ≥ 2× required.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use crowdfusion_bench::bench_prior;
-use crowdfusion_core::answers::AnswerEvaluator;
+use crowdfusion_core::answers::{answer_entropy, AnswerEvaluator};
 use crowdfusion_core::selection::{GreedySelector, TaskSelector};
+use crowdfusion_jointdist::{JointDist, VarSet};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// The pre-engine fast configuration, verbatim: every candidate's
+/// `H(T ∪ {f})` rebuilt from the output support through the butterfly
+/// evaluator, no cache, no pool, no pruning.
+fn rebuild_butterfly_greedy(dist: &JointDist, pc: f64, k: usize) -> Vec<usize> {
+    let n = dist.num_vars();
+    let mut selected = Vec::with_capacity(k);
+    let mut set = VarSet::EMPTY;
+    let mut h_current = 0.0f64;
+    for _ in 0..k.min(n) {
+        let mut best: Option<(usize, f64)> = None;
+        for f in (0..n).filter(|&f| !set.contains(f)) {
+            let h = answer_entropy(dist, set.insert(f), pc, AnswerEvaluator::Butterfly).unwrap();
+            match best {
+                Some((_, best_h)) if h <= best_h => {}
+                _ => best = Some((f, h)),
+            }
+        }
+        let Some((f, h)) = best else { break };
+        if h - h_current <= 1e-12 {
+            break;
+        }
+        selected.push(f);
+        set = set.insert(f);
+        h_current = h;
+    }
+    selected
+}
 
 fn bench_evaluators(c: &mut Criterion) {
     let mut group = c.benchmark_group("greedy_evaluators");
     for &n in &[8usize, 12, 16] {
         let dist = bench_prior(n, 5);
+        group.bench_with_input(BenchmarkId::new("butterfly", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(rebuild_butterfly_greedy(&dist, 0.8, 4)))
+        });
         let configs: Vec<(&str, GreedySelector)> = vec![
             ("naive", GreedySelector::paper_approx()),
-            (
-                "butterfly",
-                GreedySelector::paper_approx().with_evaluator(AnswerEvaluator::Butterfly),
-            ),
             (
                 "preprocessed",
                 GreedySelector::paper_approx()
                     .with_evaluator(AnswerEvaluator::Butterfly)
                     .with_preprocess(),
             ),
+            ("engine_t1", GreedySelector::engine(1)),
+            ("engine_t2", GreedySelector::engine(2)),
+            ("engine_t4", GreedySelector::engine(4)),
         ];
         for (label, selector) in configs {
             group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {

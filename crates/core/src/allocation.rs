@@ -271,10 +271,13 @@ mod tests {
                 Assignment(0b101011),
             ),
         ];
+        // Averaged over enough seeds that the comparison is robust to
+        // ulp-level evaluation-order changes in the selector (an
+        // individual seed can go either way).
         let total = 16;
         let mut global_sum = 0.0;
         let mut fixed_sum = 0.0;
-        for seed in 0..8 {
+        for seed in 0..32 {
             let config = GlobalBudgetConfig::new(total, 2, 0.85).unwrap();
             let mut p = platform(0.85, seed);
             global_sum += run_global(&cases, config, &mut p).unwrap().last().utility;

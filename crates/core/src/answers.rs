@@ -170,6 +170,28 @@ pub fn posterior(
     answers: &[bool],
     pc: f64,
 ) -> Result<JointDist, CoreError> {
+    let mut updated = dist.clone();
+    posterior_in_place(&mut updated, tasks, answers, pc)?;
+    Ok(updated)
+}
+
+/// [`posterior`] without the clone: updates `dist` through the in-place
+/// reweight fast path ([`JointDist::reweight_in_place`]), which reuses the
+/// sorted support vector instead of re-merging every entry through a
+/// `BTreeMap`. This is the round driver's per-round merge.
+///
+/// Validation happens before any mutation, so argument errors leave `dist`
+/// untouched. A [`CoreError::Joint`]-wrapped zero-mass error (all
+/// likelihoods underflowed — unreachable for `Pc ∈ [0.5, 1]` on a
+/// normalised prior) may leave `dist` unnormalised; callers must treat the
+/// distribution as poisoned on error, as the round drivers do by aborting
+/// the run.
+pub fn posterior_in_place(
+    dist: &mut JointDist,
+    tasks: &[usize],
+    answers: &[bool],
+    pc: f64,
+) -> Result<(), CoreError> {
     validate_pc(pc)?;
     if tasks.len() != answers.len() {
         return Err(CoreError::AnswerLengthMismatch {
@@ -178,7 +200,7 @@ pub fn posterior(
         });
     }
     if tasks.is_empty() {
-        return Ok(dist.clone());
+        return Ok(());
     }
     let mut seen = VarSet::EMPTY;
     let mut answer_bits = Assignment::ALL_FALSE;
@@ -198,15 +220,15 @@ pub fn posterior(
     if pc == 0.5 {
         // Pure-noise answers carry no information; skip the reweight, which
         // would multiply every output by the same constant.
-        return Ok(dist.clone());
+        return Ok(());
     }
     let q = 1.0 - pc;
     let t = tasks.len() as u32;
-    let updated = dist.reweight(|o| {
+    dist.reweight_in_place(|o| {
         let diff = o.hamming_on(answer_bits, seen);
         pc.powi((t - diff) as i32) * q.powi(diff as i32)
     })?;
-    Ok(updated)
+    Ok(())
 }
 
 #[cfg(test)]
@@ -353,6 +375,35 @@ mod tests {
         assert!(close(post.prob(Assignment(0b0000)), 0.012));
         assert!(close(post.prob(Assignment(0b0001)), 0.064));
         assert!((post.total_mass() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn posterior_in_place_matches_posterior_exactly() {
+        let d = paper_running_example();
+        for (tasks, answers, pc) in [
+            (vec![0usize], vec![true], 0.8),
+            (vec![1, 3], vec![false, true], 0.9),
+            (vec![0, 1, 2, 3], vec![true, true, false, true], 0.55),
+            (vec![2], vec![false], 1.0),
+            (vec![0, 2], vec![true, false], 0.5),
+            (vec![], vec![], 0.8),
+        ] {
+            let merged = posterior(&d, &tasks, &answers, pc).unwrap();
+            let mut fast = d.clone();
+            posterior_in_place(&mut fast, &tasks, &answers, pc).unwrap();
+            assert_eq!(merged, fast, "tasks {tasks:?} pc {pc}");
+        }
+    }
+
+    #[test]
+    fn posterior_in_place_validation_leaves_dist_untouched() {
+        let d = paper_running_example();
+        let mut m = d.clone();
+        assert!(posterior_in_place(&mut m, &[9], &[true], 0.8).is_err());
+        assert!(posterior_in_place(&mut m, &[0], &[true, false], 0.8).is_err());
+        assert!(posterior_in_place(&mut m, &[1, 1], &[true, true], 0.8).is_err());
+        assert!(posterior_in_place(&mut m, &[0], &[true], 0.2).is_err());
+        assert_eq!(m, d);
     }
 
     #[test]

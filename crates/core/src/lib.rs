@@ -19,10 +19,14 @@
 //! * [`prior`] — lifting fusion marginals (+ correlation groups) into a
 //!   joint prior;
 //! * [`round`] / [`system`] — the select–collect–update round driver and
-//!   multi-entity experiment orchestration;
+//!   multi-entity experiment orchestration (serial and entity-sharded);
 //! * [`metrics`] — utility and F1 bookkeeping;
-//! * [`parallel`] — crossbeam-parallel preprocessing (the paper notes the
-//!   step is MapReduce-friendly).
+//! * [`pool`] — the fork–join worker pool every sharded computation runs
+//!   on (greedy candidates, preprocessing, entity rounds);
+//! * [`parallel`] — pool-sharded preprocessing (the paper notes the step
+//!   is MapReduce-friendly);
+//! * [`selection::engine`] — the cached-scatter incremental evaluator
+//!   behind the fast greedy configurations.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -34,6 +38,7 @@ pub mod hardness;
 pub mod metrics;
 pub mod model;
 pub mod parallel;
+pub mod pool;
 pub mod prior;
 pub mod query;
 pub mod round;
@@ -45,6 +50,7 @@ pub use answers::{answer_distribution, answer_entropy, posterior, AnswerEvaluato
 pub use error::CoreError;
 pub use metrics::{ConfusionCounts, QualityPoint};
 pub use model::{Fact, FactSet};
+pub use pool::Pool;
 pub use query::QueryGreedySelector;
 pub use round::{EntityCase, EntityTrace, RoundConfig, RoundPoint};
 pub use selection::{

@@ -1,25 +1,24 @@
-//! Parallel preprocessing of the answer joint distribution.
+//! Pool-sharded preprocessing of the answer joint distribution.
 //!
 //! Paper Section III-F: "the preprocessing has good property and can be
 //! solved by parallel computing or the MapReduce framework … Each
 //! sub-program is responsible for one single counting and calculation of
 //! `Pc^#Same (1 − Pc)^#Diff`." Every answer pattern's probability is an
 //! independent sum over the output support, so the table shards perfectly
-//! across threads. This module implements that sharding with crossbeam
-//! scoped threads, for both the paper's naive `O(|O|²)` computation and our
-//! butterfly transform (whose per-bit stages shard across pattern blocks).
+//! across threads. Both shardings run on the engine's [`Pool`] (the
+//! fork–join layer shared with the greedy candidate loop and the
+//! entity-sharded experiment runner) and compute bit-identical results to
+//! their serial counterparts in [`crate::answers`]: work is split by
+//! contiguous pattern ranges, so every slot sees the exact same arithmetic
+//! sequence regardless of the thread count.
 
+use crate::answers::AnswerEvaluator;
 use crate::error::CoreError;
+use crate::pool::Pool;
 use crate::{validate_pc, MAX_DENSE_FACTS};
 use crowdfusion_jointdist::JointDist;
 
-/// Computes the full answer joint distribution (Table IV) with the paper's
-/// naive per-pattern summation, sharded over `threads` workers.
-pub fn full_answer_distribution_naive_parallel(
-    dist: &JointDist,
-    pc: f64,
-    threads: usize,
-) -> Result<Vec<f64>, CoreError> {
+fn validate_dense(dist: &JointDist, pc: f64) -> Result<usize, CoreError> {
     validate_pc(pc)?;
     let n = dist.num_vars();
     if n > MAX_DENSE_FACTS {
@@ -28,33 +27,32 @@ pub fn full_answer_distribution_naive_parallel(
             limit: MAX_DENSE_FACTS,
         });
     }
-    let threads = threads.max(1);
-    let patterns = 1usize << n;
-    let mut out = vec![0.0f64; patterns];
-    // Precompute pc^s (1-pc)^d lookups.
-    let weights: Vec<f64> = (0..=n)
-        .map(|d| pc.powi((n - d) as i32) * (1.0 - pc).powi(d as i32))
-        .collect();
-    let chunk = patterns.div_ceil(threads);
-    crossbeam::thread::scope(|scope| {
-        for (c, slice) in out.chunks_mut(chunk).enumerate() {
-            let weights = &weights;
-            let base = c * chunk;
-            scope.spawn(move |_| {
-                for (offset, slot) in slice.iter_mut().enumerate() {
-                    let answer = (base + offset) as u64;
-                    let mut total = 0.0;
-                    for (o, p) in dist.iter() {
-                        let diff = (o.0 ^ answer).count_ones() as usize;
-                        total += p * weights[diff];
-                    }
-                    *slot = total;
-                }
-            });
-        }
-    })
-    .expect("worker panicked");
-    Ok(out)
+    Ok(n)
+}
+
+/// Computes the full answer joint distribution (Table IV) over `pool` with
+/// the requested evaluator. Results are bit-identical to
+/// [`crate::answers::full_answer_distribution`] for any thread count.
+pub fn full_answer_distribution_pooled(
+    dist: &JointDist,
+    pc: f64,
+    evaluator: AnswerEvaluator,
+    pool: &Pool,
+) -> Result<Vec<f64>, CoreError> {
+    match evaluator {
+        AnswerEvaluator::Naive => naive_pooled(dist, pc, pool),
+        AnswerEvaluator::Butterfly => butterfly_pooled(dist, pc, pool),
+    }
+}
+
+/// Computes the full answer joint distribution with the paper's naive
+/// per-pattern summation, sharded over `threads` workers.
+pub fn full_answer_distribution_naive_parallel(
+    dist: &JointDist,
+    pc: f64,
+    threads: usize,
+) -> Result<Vec<f64>, CoreError> {
+    naive_pooled(dist, pc, &Pool::new(threads))
 }
 
 /// Computes the full answer joint distribution with the butterfly
@@ -65,15 +63,33 @@ pub fn full_answer_distribution_butterfly_parallel(
     pc: f64,
     threads: usize,
 ) -> Result<Vec<f64>, CoreError> {
-    validate_pc(pc)?;
-    let n = dist.num_vars();
-    if n > MAX_DENSE_FACTS {
-        return Err(CoreError::TooManyFacts {
-            requested: n,
-            limit: MAX_DENSE_FACTS,
-        });
-    }
-    let threads = threads.max(1);
+    butterfly_pooled(dist, pc, &Pool::new(threads))
+}
+
+fn naive_pooled(dist: &JointDist, pc: f64, pool: &Pool) -> Result<Vec<f64>, CoreError> {
+    let n = validate_dense(dist, pc)?;
+    let patterns = 1usize << n;
+    let mut out = vec![0.0f64; patterns];
+    // Precompute pc^s (1-pc)^d lookups.
+    let weights: Vec<f64> = (0..=n)
+        .map(|d| pc.powi((n - d) as i32) * (1.0 - pc).powi(d as i32))
+        .collect();
+    pool.for_each_chunk(&mut out, pool.chunk_size(patterns), |base, chunk| {
+        for (offset, slot) in chunk.iter_mut().enumerate() {
+            let answer = (base + offset) as u64;
+            let mut total = 0.0;
+            for (o, p) in dist.iter() {
+                let diff = (o.0 ^ answer).count_ones() as usize;
+                total += p * weights[diff];
+            }
+            *slot = total;
+        }
+    });
+    Ok(out)
+}
+
+fn butterfly_pooled(dist: &JointDist, pc: f64, pool: &Pool) -> Result<Vec<f64>, CoreError> {
+    let n = validate_dense(dist, pc)?;
     let patterns = 1usize << n;
     let mut w = vec![0.0f64; patterns];
     for (o, p) in dist.iter() {
@@ -85,29 +101,23 @@ pub fn full_answer_distribution_butterfly_parallel(
     let q = 1.0 - pc;
     for bit in 0..n {
         let block = 1usize << (bit + 1);
-        // Blocks of size 2^(bit+1) are independent; shard them.
-        let blocks_per_chunk = (patterns / block).div_ceil(threads).max(1);
-        let chunk_len = blocks_per_chunk * block;
-        crossbeam::thread::scope(|scope| {
-            for slice in w.chunks_mut(chunk_len) {
-                scope.spawn(move |_| {
-                    // `patterns` and `chunk_len` are both multiples of
-                    // `block`, so every slice holds whole blocks.
-                    let stride = block >> 1;
-                    let mut base = 0;
-                    while base < slice.len() {
-                        for i in base..base + stride {
-                            let lo = slice[i];
-                            let hi = slice[i + stride];
-                            slice[i] = pc * lo + q * hi;
-                            slice[i + stride] = q * lo + pc * hi;
-                        }
-                        base += block;
-                    }
-                });
+        // Blocks of size 2^(bit+1) are independent; shard whole blocks.
+        let blocks_per_chunk = (patterns / block).div_ceil(pool.threads()).max(1);
+        pool.for_each_chunk(&mut w, blocks_per_chunk * block, |_, chunk| {
+            // `patterns` and the chunk size are both multiples of
+            // `block`, so every chunk holds whole blocks.
+            let stride = block >> 1;
+            let mut base = 0;
+            while base < chunk.len() {
+                for i in base..base + stride {
+                    let lo = chunk[i];
+                    let hi = chunk[i + stride];
+                    chunk[i] = pc * lo + q * hi;
+                    chunk[i + stride] = q * lo + pc * hi;
+                }
+                base += block;
             }
-        })
-        .expect("worker panicked");
+        });
     }
     Ok(w)
 }
@@ -131,27 +141,36 @@ mod tests {
     }
 
     #[test]
-    fn naive_parallel_matches_serial() {
+    fn naive_parallel_matches_serial_bit_for_bit() {
         let d = paper_running_example();
         let serial = full_answer_distribution(&d, 0.8, AnswerEvaluator::Naive).unwrap();
         for threads in [1, 2, 4, 7] {
             let par = full_answer_distribution_naive_parallel(&d, 0.8, threads).unwrap();
-            for (a, b) in serial.iter().zip(&par) {
-                assert!((a - b).abs() < 1e-12);
-            }
+            assert_eq!(serial, par, "threads={threads}");
         }
     }
 
     #[test]
-    fn butterfly_parallel_matches_serial() {
+    fn butterfly_parallel_matches_serial_bit_for_bit() {
         for n in [3usize, 5, 8] {
             let d = random_dist(n, n as u64);
             let serial = full_answer_distribution(&d, 0.7, AnswerEvaluator::Butterfly).unwrap();
             for threads in [1, 3, 8] {
                 let par = full_answer_distribution_butterfly_parallel(&d, 0.7, threads).unwrap();
-                for (a, b) in serial.iter().zip(&par) {
-                    assert!((a - b).abs() < 1e-12, "n={n} threads={threads}: {a} vs {b}");
-                }
+                assert_eq!(serial, par, "n={n} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_dispatch_covers_both_evaluators() {
+        let d = random_dist(5, 11);
+        let pool = Pool::new(3);
+        for ev in [AnswerEvaluator::Naive, AnswerEvaluator::Butterfly] {
+            let pooled = full_answer_distribution_pooled(&d, 0.9, ev, &pool).unwrap();
+            let serial = full_answer_distribution(&d, 0.9, ev).unwrap();
+            for (a, b) in serial.iter().zip(&pooled) {
+                assert!((a - b).abs() < 1e-12, "{ev:?}");
             }
         }
     }

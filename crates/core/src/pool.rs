@@ -1,0 +1,240 @@
+//! The fork–join worker pool behind every sharded computation in the
+//! selection engine.
+//!
+//! The paper observes (Section III-F) that the hot loops of CrowdFusion —
+//! per-pattern Equation 2 sums, per-candidate greedy evaluations,
+//! per-entity experiment rounds — are all embarrassingly parallel. This
+//! module gives those call sites one shared primitive instead of bespoke
+//! `crossbeam::thread::scope` blocks: a [`Pool`] of `threads` workers with
+//! [`Pool::for_each_chunk`] (shard a mutable slice) and
+//! [`Pool::map_reduce`] (map an index range, fold the results in index
+//! order).
+//!
+//! Determinism is the design constraint: every primitive assigns work by
+//! contiguous index ranges and reduces in index order, so results are
+//! identical for any thread count — the property tests in
+//! `tests/engine_parallel.rs` pin this down bit for bit. The pool is
+//! scoped (fork–join per call, no persistent workers): the vendored
+//! `crossbeam` maps onto `std::thread::scope`, and measured spawn cost is
+//! small against the per-round work the engine shards.
+
+use std::num::NonZeroUsize;
+
+/// Environment variable overriding [`Pool::from_env`]'s thread count.
+pub const THREADS_ENV: &str = "CROWDFUSION_THREADS";
+
+/// The thread count requested via [`THREADS_ENV`], if the variable is set
+/// to a positive integer. The CLI's `refine --threads` fallback and
+/// [`Pool::from_env`] both resolve the variable through this one lookup.
+pub fn threads_from_env() -> Option<usize> {
+    std::env::var(THREADS_ENV)
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&t| t > 0)
+}
+
+/// A scoped fork–join pool with a fixed worker count.
+///
+/// `Pool::new(1)` (or [`Pool::serial`]) never spawns threads — every
+/// primitive degrades to a plain loop — so serial callers pay no
+/// synchronisation cost and the parallel code path is the only code path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Default for Pool {
+    fn default() -> Pool {
+        Pool::serial()
+    }
+}
+
+impl Pool {
+    /// A pool with exactly `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Pool {
+        Pool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The single-threaded pool: primitives run inline, no threads spawn.
+    pub fn serial() -> Pool {
+        Pool { threads: 1 }
+    }
+
+    /// A pool sized from the environment: `CROWDFUSION_THREADS` if set to
+    /// a positive integer, otherwise the machine's available parallelism.
+    pub fn from_env() -> Pool {
+        let threads = threads_from_env().unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        });
+        Pool::new(threads)
+    }
+
+    /// Number of workers.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Splits `data` into contiguous chunks of `chunk_size` and runs
+    /// `f(base_index, chunk)` on each, in parallel across the workers.
+    ///
+    /// The caller picks `chunk_size` because some workloads need
+    /// alignment (the butterfly stages shard on whole transform blocks);
+    /// use [`Pool::chunk_size`] for an even split. At most
+    /// [`Pool::threads`] workers run regardless of the chunk count
+    /// (excess chunks are dealt round-robin to the workers). Chunking
+    /// never affects results: each element is written by exactly one
+    /// worker.
+    pub fn for_each_chunk<T, F>(&self, data: &mut [T], chunk_size: usize, f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        let chunk_size = chunk_size.max(1);
+        if self.threads == 1 || data.len() <= chunk_size {
+            for (c, chunk) in data.chunks_mut(chunk_size).enumerate() {
+                f(c * chunk_size, chunk);
+            }
+            return;
+        }
+        // Deal the chunks round-robin onto at most `threads` work lists.
+        let chunk_count = data.len().div_ceil(chunk_size);
+        let workers = self.threads.min(chunk_count);
+        let mut lists: Vec<Vec<(usize, &mut [T])>> = (0..workers).map(|_| Vec::new()).collect();
+        for (c, chunk) in data.chunks_mut(chunk_size).enumerate() {
+            lists[c % workers].push((c * chunk_size, chunk));
+        }
+        crossbeam::thread::scope(|scope| {
+            // The calling thread is worker 0: it takes the first list
+            // itself, so N-way sharding costs N − 1 spawns.
+            let mut lists = lists.into_iter();
+            let first = lists.next();
+            for list in lists {
+                let f = &f;
+                scope.spawn(move |_| {
+                    for (base, chunk) in list {
+                        f(base, chunk);
+                    }
+                });
+            }
+            for (base, chunk) in first.into_iter().flatten() {
+                f(base, chunk);
+            }
+        })
+        .expect("pool worker panicked");
+    }
+
+    /// Maps every index in `0..n` through `map` in parallel, then folds
+    /// the results **in index order** with `fold` — so the reduction is
+    /// deterministic regardless of the thread count or completion order.
+    pub fn map_reduce<T, A, M, F>(&self, n: usize, map: M, init: A, mut fold: F) -> A
+    where
+        T: Send,
+        M: Fn(usize) -> T + Sync,
+        F: FnMut(A, T) -> A,
+    {
+        let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+        self.for_each_chunk(&mut slots, self.chunk_size(n), |base, chunk| {
+            for (offset, slot) in chunk.iter_mut().enumerate() {
+                *slot = Some(map(base + offset));
+            }
+        });
+        let mut acc = init;
+        for slot in slots {
+            acc = fold(acc, slot.expect("every index mapped"));
+        }
+        acc
+    }
+
+    /// The chunk size that spreads `n` items evenly over the workers.
+    pub fn chunk_size(&self, n: usize) -> usize {
+        n.div_ceil(self.threads).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_and_parallel_chunking_agree() {
+        for threads in [1usize, 2, 3, 8] {
+            let pool = Pool::new(threads);
+            let mut data = vec![0u64; 37];
+            let chunk_size = pool.chunk_size(data.len());
+            pool.for_each_chunk(&mut data, chunk_size, |base, chunk| {
+                for (i, slot) in chunk.iter_mut().enumerate() {
+                    *slot = (base + i) as u64 * 3;
+                }
+            });
+            assert!(data.iter().enumerate().all(|(i, &x)| x == i as u64 * 3));
+        }
+    }
+
+    #[test]
+    fn chunk_alignment_is_respected() {
+        // Butterfly-style sharding: chunks must hold whole 8-blocks.
+        let pool = Pool::new(4);
+        let mut data = vec![0usize; 64];
+        pool.for_each_chunk(&mut data, 16, |base, chunk| {
+            assert_eq!(base % 16, 0);
+            assert_eq!(chunk.len(), 16);
+            for slot in chunk.iter_mut() {
+                *slot = base;
+            }
+        });
+        assert_eq!(data[0], 0);
+        assert_eq!(data[63], 48);
+    }
+
+    #[test]
+    fn many_small_chunks_stay_within_the_worker_budget() {
+        // 34 chunks on a 4-thread pool must not fork 34 threads; every
+        // element is still written exactly once with the right base.
+        let pool = Pool::new(4);
+        let mut data = vec![0usize; 100];
+        pool.for_each_chunk(&mut data, 3, |base, chunk| {
+            for (i, slot) in chunk.iter_mut().enumerate() {
+                assert_eq!(*slot, 0, "element written twice");
+                *slot = base + i + 1;
+            }
+        });
+        assert!(data.iter().enumerate().all(|(i, &x)| x == i + 1));
+    }
+
+    #[test]
+    fn map_reduce_folds_in_index_order() {
+        for threads in [1usize, 2, 5] {
+            let pool = Pool::new(threads);
+            let order = pool.map_reduce(
+                10,
+                |i| i,
+                Vec::new(),
+                |mut acc: Vec<usize>, i| {
+                    acc.push(i);
+                    acc
+                },
+            );
+            assert_eq!(order, (0..10).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn map_reduce_handles_empty_and_single() {
+        let pool = Pool::new(3);
+        assert_eq!(pool.map_reduce(0, |i| i, 7usize, |a, b| a + b), 7);
+        assert_eq!(pool.map_reduce(1, |_| 5usize, 0, |a, b| a + b), 5);
+    }
+
+    #[test]
+    fn constructors_clamp_and_read_env() {
+        assert_eq!(Pool::new(0).threads(), 1);
+        assert_eq!(Pool::serial().threads(), 1);
+        assert_eq!(Pool::default(), Pool::serial());
+        assert!(Pool::from_env().threads() >= 1);
+    }
+}

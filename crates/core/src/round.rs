@@ -6,7 +6,7 @@
 //! ("If a book has n ≥ k facts, we will ask k tasks in every round …
 //! Otherwise, we will ask n tasks in each round instead", Section V-A).
 
-use crate::answers::posterior;
+use crate::answers::posterior_in_place;
 use crate::error::CoreError;
 use crate::selection::TaskSelector;
 use crowdfusion_crowd::{AnswerModel, CrowdPlatform, Task, TaskClass};
@@ -216,7 +216,10 @@ impl<'a> EntityState<'a> {
         let truths: Vec<bool> = tasks.iter().map(|&f| self.case.gold.get(f)).collect();
         let answers = platform.publish(&crowd_tasks, &truths)?;
         let judgments: Vec<bool> = answers.iter().map(|a| a.value).collect();
-        self.dist = posterior(&self.dist, &tasks, &judgments, self.config.pc_assumed)?;
+        // In-place merge: the posterior's support is a (reweighted) subset
+        // of the current support, so the sorted entry vector is reused. On
+        // error the run aborts, so a poisoned `dist` is never observed.
+        posterior_in_place(&mut self.dist, &tasks, &judgments, self.config.pc_assumed)?;
         self.remaining -= tasks.len();
         self.spent += tasks.len();
         self.round += 1;

@@ -1,8 +1,12 @@
 //! Algorithm 1: the `(1 − 1/e)`-approximate greedy task selector, with
-//! Theorem 3 pruning and Algorithm 2 preprocessing.
+//! Theorem 3 pruning, Algorithm 2 preprocessing, and the selection
+//! engine's cached-scatter + pooled evaluation fast path.
 
-use crate::answers::{answer_entropy, full_answer_distribution, AnswerEvaluator};
+use crate::answers::{answer_entropy, AnswerEvaluator};
 use crate::error::CoreError;
+use crate::parallel::full_answer_distribution_pooled;
+use crate::pool::Pool;
+use crate::selection::engine::ScatterCache;
 use crate::selection::{validate_selection, TaskSelector};
 use crowdfusion_jointdist::{entropy_of_probs, JointDist, VarSet};
 use rand::RngCore;
@@ -13,9 +17,14 @@ const GAIN_EPSILON: f64 = 1e-12;
 
 /// Upper bound used by the Theorem 3 pruning rule.
 ///
-/// A fact `f` is pruned for the rest of the selection when
-/// `H(T ∪ {f}) + slack < max_t H(T ∪ {t})`, where `slack` bounds the extra
-/// entropy any future picks `S` (with `|S| = k − |T| − 1`) can contribute.
+/// After a round's candidates are all evaluated, a fact `f` is pruned for
+/// the rest of the selection when `H(T ∪ {f}) + slack < max_t H(T ∪ {t})`,
+/// where `slack` bounds the extra entropy any future picks `S` (with
+/// `|S| = k − |T| − 1`) can contribute. Pruning compares against the
+/// round's final maximum (not a running best), so the pruned set is
+/// independent of candidate evaluation order — the invariant that lets the
+/// engine shard candidates across threads and still return bit-identical
+/// selections.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PruneBound {
     /// The information-theoretically safe bound `H(S) ≤ k − |T| − 1` bits
@@ -54,12 +63,13 @@ impl PruneBound {
 }
 
 /// The greedy selector (Algorithm 1) in its four paper configurations plus
-/// the butterfly-evaluator variant.
+/// the engine-backed fast variants (cached scatter, pooled candidates).
 #[derive(Debug, Clone)]
 pub struct GreedySelector {
     evaluator: AnswerEvaluator,
     prune: Option<PruneBound>,
     preprocess: bool,
+    pool: Pool,
 }
 
 impl GreedySelector {
@@ -70,16 +80,26 @@ impl GreedySelector {
             evaluator: AnswerEvaluator::Naive,
             prune: None,
             preprocess: false,
+            pool: Pool::serial(),
         }
     }
 
-    /// Our fast configuration: butterfly evaluator, safe pruning.
+    /// Our fast configuration: cached-scatter butterfly evaluation, safe
+    /// pruning, serial. Identical selections to [`GreedySelector::engine`]
+    /// at any thread count.
     pub fn fast() -> GreedySelector {
         GreedySelector {
             evaluator: AnswerEvaluator::Butterfly,
             prune: Some(PruneBound::Safe),
             preprocess: false,
+            pool: Pool::serial(),
         }
+    }
+
+    /// The engine-backed fast configuration: [`GreedySelector::fast`] with
+    /// candidate evaluation sharded over `threads` workers.
+    pub fn engine(threads: usize) -> GreedySelector {
+        GreedySelector::fast().with_threads(threads)
     }
 
     /// Enables Theorem 3 pruning with the given bound.
@@ -97,15 +117,89 @@ impl GreedySelector {
         self
     }
 
-    /// Uses the given evaluator for per-candidate entropy computations
-    /// (ignored when preprocessing is enabled).
+    /// Uses the given evaluator for per-candidate entropy computations.
+    /// The butterfly evaluator runs through the engine's scatter cache in
+    /// the direct path; with preprocessing it builds the answer table.
     #[must_use]
     pub fn with_evaluator(mut self, evaluator: AnswerEvaluator) -> GreedySelector {
         self.evaluator = evaluator;
         self
     }
 
-    /// Greedy selection evaluating each candidate from the output support.
+    /// Shards candidate evaluation (and answer-table preprocessing) over
+    /// `threads` workers. Selections are bit-identical for every thread
+    /// count: candidates are scored into per-index slots and reduced
+    /// serially in fact order.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> GreedySelector {
+        self.pool = Pool::new(threads);
+        self
+    }
+
+    /// Shards work over an existing [`Pool`].
+    #[must_use]
+    pub fn with_pool(mut self, pool: Pool) -> GreedySelector {
+        self.pool = pool;
+        self
+    }
+
+    /// One greedy round's bookkeeping, shared by both selection paths:
+    /// records evaluated scores into `last_h`, reduces to the best
+    /// `(fact, entropy)` (ties to the lowest fact index), and applies the
+    /// end-of-round Theorem 3 pruning rule.
+    ///
+    /// `scores[f]` is `NEG_INFINITY` for facts not evaluated this round
+    /// (already selected or pruned). Returns `(best, forced)`; `forced`
+    /// marks a fill from stale scores after the unsound bounds (paper /
+    /// dominance) pruned the whole pool even though slots remain — what
+    /// keeps the pruned configuration's running time flat in `k`,
+    /// matching the paper's Table V. The safe bound provably never forces.
+    /// Stale scores under-estimate the true `H(T ∪ {f})` (they were
+    /// measured against a smaller `T`), so the Theorem 2 early exit does
+    /// not apply to forced fills.
+    fn reduce_round(
+        &self,
+        scores: &[f64],
+        selected_set: VarSet,
+        pruned: &mut [bool],
+        last_h: &mut [f64],
+        remaining_after: usize,
+    ) -> (Option<(usize, f64)>, bool) {
+        let mut best: Option<(usize, f64)> = None;
+        for (f, &h) in scores.iter().enumerate() {
+            if h.is_finite() {
+                last_h[f] = h;
+                match best {
+                    Some((_, best_h)) if h <= best_h => {}
+                    _ => best = Some((f, h)),
+                }
+            }
+        }
+        if let (Some(bound), Some((_, best_h))) = (self.prune, best) {
+            // Theorem 3 against the round's final maximum. The best fact
+            // itself never satisfies `best_h + slack < best_h`.
+            let slack = bound.slack(remaining_after);
+            for (f, &h) in scores.iter().enumerate() {
+                if h.is_finite() && h + slack < best_h {
+                    pruned[f] = true;
+                }
+            }
+        }
+        if best.is_some() {
+            return (best, false);
+        }
+        let filled = (0..scores.len())
+            .filter(|&f| !selected_set.contains(f) && last_h[f].is_finite())
+            .map(|f| (f, last_h[f]))
+            .max_by(|a, b| a.1.total_cmp(&b.1));
+        (filled, true)
+    }
+
+    /// Greedy selection evaluating each candidate from the output support
+    /// through the engine: the scatter cache makes extending the current
+    /// selected set by one candidate an `O(|O| + 2^|T|)` bucket split plus
+    /// a single-bit channel stage, and the pool shards the independent
+    /// candidates across threads.
     fn select_direct(
         &self,
         dist: &JointDist,
@@ -113,73 +207,72 @@ impl GreedySelector {
         k_eff: usize,
     ) -> Result<Vec<usize>, CoreError> {
         let n = dist.num_vars();
+        let mut cache = match self.evaluator {
+            AnswerEvaluator::Butterfly => Some(ScatterCache::new(dist)),
+            AnswerEvaluator::Naive => None,
+        };
         let mut selected = Vec::with_capacity(k_eff);
         let mut selected_set = VarSet::EMPTY;
         let mut pruned = vec![false; n];
         let mut last_h = vec![f64::NEG_INFINITY; n];
         let mut h_current = 0.0f64;
+        let mut scores = vec![f64::NEG_INFINITY; n];
 
         for round in 0..k_eff {
-            let remaining_after = k_eff - round - 1;
-            let mut best: Option<(usize, f64)> = None;
-            for f in 0..n {
-                if selected_set.contains(f) || pruned[f] {
-                    continue;
-                }
-                let h = answer_entropy(dist, selected_set.insert(f), pc, self.evaluator)?;
-                last_h[f] = h;
-                match best {
-                    Some((_, best_h)) if h <= best_h => {}
-                    _ => best = Some((f, h)),
-                }
-                if let (Some(bound), Some((_, best_h))) = (self.prune, best) {
-                    // Theorem 3: prune f for all following selections.
-                    if h + bound.slack(remaining_after) < best_h {
-                        pruned[f] = true;
-                    }
-                }
+            scores.fill(f64::NEG_INFINITY);
+            {
+                let cache = cache.as_ref();
+                let pruned = &pruned;
+                let evaluator = self.evaluator;
+                self.pool
+                    .for_each_chunk(&mut scores, self.pool.chunk_size(n), |base, chunk| {
+                        let mut scratch = Vec::new();
+                        for (offset, slot) in chunk.iter_mut().enumerate() {
+                            let f = base + offset;
+                            if selected_set.contains(f) || pruned[f] {
+                                continue;
+                            }
+                            *slot = match cache {
+                                Some(cache) => cache.candidate_entropy(f, pc, &mut scratch),
+                                None => answer_entropy(dist, selected_set.insert(f), pc, evaluator)
+                                    .expect("validated before the greedy loop"),
+                            };
+                        }
+                    });
             }
-            let mut forced = false;
-            if best.is_none() {
-                // The unsound bounds (paper / dominance) can prune the
-                // whole pool even though slots remain. Fill from the most
-                // recently evaluated scores without re-evaluating — this is
-                // what keeps the pruned configuration's running time flat
-                // in k, matching the paper's Table V. The safe bound
-                // provably never reaches this branch. Stale scores
-                // under-estimate the true `H(T ∪ {f})` (they were measured
-                // against a smaller T), so the Theorem 2 early exit does
-                // not apply to forced fills.
-                best = (0..n)
-                    .filter(|&f| !selected_set.contains(f) && last_h[f].is_finite())
-                    .map(|f| (f, last_h[f]))
-                    .max_by(|a, b| a.1.total_cmp(&b.1));
-                forced = true;
-            }
+            let (best, forced) = self.reduce_round(
+                &scores,
+                selected_set,
+                &mut pruned,
+                &mut last_h,
+                k_eff - round - 1,
+            );
             let Some((f, h)) = best else { break };
             if !forced && h - h_current <= GAIN_EPSILON {
                 break; // K* < k: no further utility gain (Theorem 2 boundary)
             }
             selected.push(f);
             selected_set = selected_set.insert(f);
+            if let Some(cache) = cache.as_mut() {
+                cache.extend(f, pc);
+            }
             if !forced {
                 h_current = h;
             }
-            // The chosen fact may have been pruned by a later candidate's
-            // comparison in this round; it is selected, so clear the flag.
-            pruned[f] = false;
         }
         Ok(selected)
     }
 
     /// Greedy selection over the preprocessed answer table (Algorithm 2).
     ///
-    /// The full answer joint distribution (Table IV) is computed once; each
-    /// candidate's marginal is then a single scan that refines the current
-    /// partition of answer patterns by the candidate's judgment bit. The
-    /// separation of the chosen fact is memoised into `part`, so every
-    /// iteration costs `O(n · 2^n)` instead of recomputing marginals from
-    /// the output distribution.
+    /// The full answer joint distribution (Table IV) is computed once (on
+    /// the pool — the paper's MapReduce-friendly step); each candidate's
+    /// marginal is then a single scan that refines the current partition
+    /// of answer patterns by the candidate's judgment bit, and those
+    /// independent scans shard across the pool too. The separation of the
+    /// chosen fact is memoised into `part`, so every iteration costs
+    /// `O(n · 2^n / threads)` instead of recomputing marginals from the
+    /// output distribution.
     fn select_preprocessed(
         &self,
         dist: &JointDist,
@@ -194,7 +287,7 @@ impl GreedySelector {
             });
         }
         // Preprocessing: the answer joint distribution over all n facts.
-        let table = full_answer_distribution(dist, pc, self.evaluator)?;
+        let table = full_answer_distribution_pooled(dist, pc, self.evaluator, &self.pool)?;
         let mut part: Vec<u32> = vec![0; table.len()];
         let mut num_parts = 1usize;
 
@@ -203,53 +296,49 @@ impl GreedySelector {
         let mut pruned = vec![false; n];
         let mut last_h = vec![f64::NEG_INFINITY; n];
         let mut h_current = 0.0f64;
-        let mut acc: Vec<f64> = Vec::new();
+        let mut scores = vec![f64::NEG_INFINITY; n];
 
         for round in 0..k_eff {
-            let remaining_after = k_eff - round - 1;
-            let mut best: Option<(usize, f64)> = None;
-            for f in 0..n {
-                if selected_set.contains(f) || pruned[f] {
-                    continue;
-                }
-                // Refine the memoised partition by fact f's judgment
-                // bit and compute the resulting answer-marginal
-                // entropy.
-                acc.clear();
-                acc.resize(num_parts << 1, 0.0);
-                for (idx, &p) in table.iter().enumerate() {
-                    let slot = ((part[idx] as usize) << 1) | ((idx >> f) & 1);
-                    acc[slot] += p;
-                }
-                let h = entropy_of_probs(acc.iter().copied());
-                last_h[f] = h;
-                match best {
-                    Some((_, best_h)) if h <= best_h => {}
-                    _ => best = Some((f, h)),
-                }
-                if let (Some(bound), Some((_, best_h))) = (self.prune, best) {
-                    if h + bound.slack(remaining_after) < best_h {
-                        pruned[f] = true;
-                    }
-                }
+            scores.fill(f64::NEG_INFINITY);
+            {
+                let table = &table;
+                let part = &part;
+                let pruned = &pruned;
+                self.pool
+                    .for_each_chunk(&mut scores, self.pool.chunk_size(n), |base, chunk| {
+                        let mut acc: Vec<f64> = Vec::new();
+                        for (offset, slot) in chunk.iter_mut().enumerate() {
+                            let f = base + offset;
+                            if selected_set.contains(f) || pruned[f] {
+                                continue;
+                            }
+                            // Refine the memoised partition by fact f's
+                            // judgment bit and compute the resulting
+                            // answer-marginal entropy.
+                            acc.clear();
+                            acc.resize(num_parts << 1, 0.0);
+                            for (idx, &p) in table.iter().enumerate() {
+                                let bucket = ((part[idx] as usize) << 1) | ((idx >> f) & 1);
+                                acc[bucket] += p;
+                            }
+                            *slot = entropy_of_probs(acc.iter().copied());
+                        }
+                    });
             }
-            let mut forced = false;
-            if best.is_none() {
-                // See select_direct: unsound bounds can empty the pool;
-                // fill from stale scores without re-evaluating.
-                best = (0..n)
-                    .filter(|&f| !selected_set.contains(f) && last_h[f].is_finite())
-                    .map(|f| (f, last_h[f]))
-                    .max_by(|a, b| a.1.total_cmp(&b.1));
-                forced = true;
-            }
+            let (best, forced) = self.reduce_round(
+                &scores,
+                selected_set,
+                &mut pruned,
+                &mut last_h,
+                k_eff - round - 1,
+            );
             let Some((f, h)) = best else { break };
             if !forced && h - h_current <= GAIN_EPSILON {
                 break;
             }
             // Memoise the separation of the chosen fact.
-            for (idx, slot) in part.iter_mut().enumerate() {
-                *slot = (*slot << 1) | ((idx >> f) & 1) as u32;
+            for (idx, bucket) in part.iter_mut().enumerate() {
+                *bucket = (*bucket << 1) | ((idx >> f) & 1) as u32;
             }
             num_parts <<= 1;
             selected.push(f);
@@ -257,7 +346,6 @@ impl GreedySelector {
             if !forced {
                 h_current = h;
             }
-            pruned[f] = false;
         }
         Ok(selected)
     }
@@ -278,6 +366,9 @@ impl TaskSelector for GreedySelector {
         }
         if self.preprocess {
             name.push_str("+pre");
+        }
+        if self.pool.threads() > 1 {
+            name.push_str(&format!("@{}t", self.pool.threads()));
         }
         name
     }
@@ -323,6 +414,9 @@ mod tests {
                 .with_preprocess(),
             GreedySelector::fast(),
             GreedySelector::fast().with_preprocess(),
+            GreedySelector::engine(4),
+            GreedySelector::engine(3).with_preprocess(),
+            GreedySelector::paper_approx().with_threads(2),
         ]
     }
 
@@ -421,6 +515,27 @@ mod tests {
     }
 
     #[test]
+    fn dominance_prune_still_fills_all_slots() {
+        // Dominance prunes every non-best candidate each round; the
+        // forced fill from stale scores must still spend all k slots.
+        let d = paper_running_example();
+        for sel in [
+            GreedySelector::fast().with_prune(PruneBound::Dominance),
+            GreedySelector::fast()
+                .with_prune(PruneBound::Dominance)
+                .with_threads(4),
+            GreedySelector::paper_approx()
+                .with_prune(PruneBound::Dominance)
+                .with_preprocess(),
+        ] {
+            let tasks = sel.select(&d, 0.8, 3, &mut rng()).unwrap();
+            assert_eq!(tasks.len(), 3, "{}", sel.name());
+            let set: std::collections::HashSet<_> = tasks.iter().copied().collect();
+            assert_eq!(set.len(), 3, "{}", sel.name());
+        }
+    }
+
+    #[test]
     fn greedy_gain_is_monotone_nonnegative() {
         // H(T_i) must be nondecreasing along the greedy path.
         let d = paper_running_example();
@@ -449,6 +564,10 @@ mod tests {
         assert_eq!(
             GreedySelector::fast().name(),
             "greedy[butterfly]+prune(safe)"
+        );
+        assert_eq!(
+            GreedySelector::engine(4).name(),
+            "greedy[butterfly]+prune(safe)@4t"
         );
     }
 

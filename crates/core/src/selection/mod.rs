@@ -8,11 +8,13 @@
 //! (Algorithm 2). This module implements all of them plus the exhaustive
 //! OPT and the random baseline used in the evaluation.
 
+pub mod engine;
 mod greedy;
 mod opt;
 mod random;
 mod sampled;
 
+pub use engine::ScatterCache;
 pub use greedy::{GreedySelector, PruneBound};
 pub use opt::OptSelector;
 pub use random::RandomSelector;
@@ -28,7 +30,12 @@ use rand::RngCore;
 /// Implementations may return fewer than `k` tasks when no further task
 /// improves the utility (the paper's `K* < k` early exit, Theorem 2 shows
 /// this only happens when every remaining fact is certain and `Pc = 1`).
-pub trait TaskSelector {
+///
+/// `Sync` is a supertrait so one selector can be shared by the
+/// entity-sharded experiment runner's workers
+/// ([`crate::system::Experiment::run_sharded`]); selectors are
+/// configuration-only values, so this costs implementations nothing.
+pub trait TaskSelector: Sync {
     /// Human-readable selector name for reports.
     fn name(&self) -> String;
 

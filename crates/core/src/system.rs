@@ -9,10 +9,12 @@
 
 use crate::error::CoreError;
 use crate::metrics::{ConfusionCounts, QualityPoint};
+use crate::pool::Pool;
 use crate::round::{EntityCase, EntityState, RoundConfig};
 use crate::selection::TaskSelector;
-use crowdfusion_crowd::{AnswerModel, CrowdPlatform};
-use rand::RngCore;
+use crowdfusion_crowd::{AnswerModel, CostLedger, CrowdPlatform};
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 /// A multi-entity CrowdFusion experiment.
@@ -20,6 +22,29 @@ use serde::{Deserialize, Serialize};
 pub struct Experiment {
     cases: Vec<EntityCase>,
     config: RoundConfig,
+}
+
+/// One entity's complete sharded run: its prior quality, per-round quality
+/// deltas, and the spend of its platform fork.
+struct EntityShard {
+    prior_utility: f64,
+    prior_counts: ConfusionCounts,
+    rounds: Vec<ShardRound>,
+    ledger: CostLedger,
+}
+
+/// One round of one entity in a sharded run.
+struct ShardRound {
+    cost_delta: u64,
+    utility: f64,
+    counts: ConfusionCounts,
+}
+
+/// The entity's confusion counts at its current posterior.
+fn counts_of(state: &EntityState<'_>, case: &EntityCase) -> ConfusionCounts {
+    let mut counts = ConfusionCounts::default();
+    counts.add_marginals(&state.dist.marginals(), case.gold);
+    counts
 }
 
 /// The quality-vs-cost series produced by a run.
@@ -87,6 +112,113 @@ impl Experiment {
                 break;
             }
             points.push(self.measure(&states, total_cost as u64));
+        }
+        Ok(ExperimentTrace {
+            selector: selector.name(),
+            points,
+        })
+    }
+
+    /// Runs the experiment sharded across entities on `pool`.
+    ///
+    /// Each entity's select–collect–update rounds are independent of every
+    /// other entity's, so entity `i` runs to budget exhaustion on its own
+    /// worker with: a crowd-platform fork seeded from the master RNG
+    /// ([`CrowdPlatform::fork_seeded`]), a selector RNG stream likewise
+    /// derived up front, and task ids from the disjoint block
+    /// `(i << 32)..`. Because every random stream is a pure function of
+    /// the entity index and the master RNG's state on entry, the returned
+    /// trace is **identical for any thread count** (the property tests pin
+    /// this down), though it differs numerically from [`Experiment::run`],
+    /// which interleaves one shared RNG across entities.
+    ///
+    /// The trace has the same global-round structure as [`Experiment::run`]:
+    /// point `r` aggregates every entity's state after `min(r, rounds_i)`
+    /// rounds. The forks' spend is folded back into `platform`'s ledger.
+    pub fn run_sharded<M: AnswerModel + Clone + Sync>(
+        &self,
+        selector: &dyn TaskSelector,
+        platform: &mut CrowdPlatform<M>,
+        rng: &mut dyn RngCore,
+        pool: &Pool,
+    ) -> Result<ExperimentTrace, CoreError> {
+        // Seeds drawn up front in entity order: the sharded schedule never
+        // touches the master RNG afterwards.
+        let seeds: Vec<(u64, u64)> = (0..self.cases.len())
+            .map(|_| (rng.next_u64(), rng.next_u64()))
+            .collect();
+        let template: &CrowdPlatform<M> = platform;
+        let config = self.config;
+        let shards: Result<Vec<EntityShard>, CoreError> = pool.map_reduce(
+            self.cases.len(),
+            |i| -> Result<EntityShard, CoreError> {
+                let case = &self.cases[i];
+                let (platform_seed, selector_seed) = seeds[i];
+                let mut platform = template.fork_seeded(platform_seed);
+                let mut rng = StdRng::seed_from_u64(selector_seed);
+                let mut task_seq = (i as u64) << 32;
+                let mut state = EntityState::new(case, config);
+                let mut shard = EntityShard {
+                    prior_utility: state.dist.utility(),
+                    prior_counts: counts_of(&state, case),
+                    rounds: Vec::new(),
+                    ledger: CostLedger::default(),
+                };
+                while let Some(point) =
+                    state.step(selector, &mut platform, &mut rng, &mut task_seq)?
+                {
+                    shard.rounds.push(ShardRound {
+                        cost_delta: point.tasks.len() as u64,
+                        utility: point.utility,
+                        counts: counts_of(&state, case),
+                    });
+                }
+                shard.ledger = platform.ledger();
+                Ok(shard)
+            },
+            Ok(Vec::with_capacity(self.cases.len())),
+            |acc: Result<Vec<EntityShard>, CoreError>, shard| {
+                let mut acc = acc?;
+                acc.push(shard?);
+                Ok(acc)
+            },
+        );
+        let shards = shards?;
+        for shard in &shards {
+            platform.merge_ledger(shard.ledger);
+        }
+
+        // Reassemble the global quality-vs-cost series: point r aggregates
+        // each entity after min(r, its round count) rounds.
+        let max_rounds = shards.iter().map(|s| s.rounds.len()).max().unwrap_or(0);
+        let mut points = Vec::with_capacity(max_rounds + 1);
+        let mut cost = 0u64;
+        for r in 0..=max_rounds {
+            let mut utility = 0.0;
+            let mut counts = ConfusionCounts::default();
+            for shard in &shards {
+                if r >= 1 && r <= shard.rounds.len() {
+                    cost += shard.rounds[r - 1].cost_delta;
+                }
+                match r.min(shard.rounds.len()) {
+                    0 => {
+                        utility += shard.prior_utility;
+                        counts.merge(shard.prior_counts);
+                    }
+                    reached => {
+                        let round = &shard.rounds[reached - 1];
+                        utility += round.utility;
+                        counts.merge(round.counts);
+                    }
+                }
+            }
+            points.push(QualityPoint {
+                cost,
+                utility,
+                f1: counts.f1(),
+                precision: counts.precision(),
+                recall: counts.recall(),
+            });
         }
         Ok(ExperimentTrace {
             selector: selector.name(),
@@ -196,6 +328,81 @@ mod tests {
             greedy_sum > random_sum,
             "greedy {greedy_sum} vs random {random_sum}"
         );
+    }
+
+    #[test]
+    fn sharded_run_is_thread_count_invariant() {
+        let config = RoundConfig::new(2, 8, 0.8).unwrap();
+        let exp = Experiment::new(cases(), config).unwrap();
+        let reference = {
+            let mut p = platform(0.8, 3);
+            let mut rng = StdRng::seed_from_u64(4);
+            exp.run_sharded(&GreedySelector::fast(), &mut p, &mut rng, &Pool::serial())
+                .unwrap()
+        };
+        for threads in [2usize, 4, 7] {
+            let mut p = platform(0.8, 3);
+            let mut rng = StdRng::seed_from_u64(4);
+            let trace = exp
+                .run_sharded(
+                    &GreedySelector::engine(threads),
+                    &mut p,
+                    &mut rng,
+                    &Pool::new(threads),
+                )
+                .unwrap();
+            assert_eq!(trace.points, reference.points, "threads = {threads}");
+            assert_eq!(p.ledger().judgments, 16);
+        }
+    }
+
+    #[test]
+    fn sharded_run_has_serial_trace_structure() {
+        // Same budget accounting and round structure as `run`, and the
+        // forks' spend lands in the master ledger.
+        let config = RoundConfig::new(2, 8, 0.8).unwrap();
+        let exp = Experiment::new(cases(), config).unwrap();
+        let mut p = platform(0.8, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let trace = exp
+            .run_sharded(&GreedySelector::fast(), &mut p, &mut rng, &Pool::new(2))
+            .unwrap();
+        assert_eq!(trace.points[0].cost, 0);
+        assert_eq!(trace.last().cost, 16);
+        assert_eq!(trace.points.len(), 5); // prior + 4 rounds
+        assert_eq!(p.ledger().judgments, 16);
+        assert_eq!(p.ledger().batches, 8); // 2 entities × 4 rounds
+        for w in trace.points.windows(2) {
+            assert!(w[1].cost > w[0].cost);
+        }
+    }
+
+    #[test]
+    fn sharded_run_improves_quality_like_serial() {
+        let config = RoundConfig::new(2, 30, 0.9).unwrap();
+        let exp = Experiment::new(cases(), config).unwrap();
+        let mut p = platform(0.9, 11);
+        let mut rng = StdRng::seed_from_u64(12);
+        let trace = exp
+            .run_sharded(&GreedySelector::fast(), &mut p, &mut rng, &Pool::new(4))
+            .unwrap();
+        let first = &trace.points[0];
+        let last = trace.last();
+        assert!(last.utility > first.utility + 1.0);
+        assert!(last.f1 > 0.9, "final F1 {}", last.f1);
+    }
+
+    #[test]
+    fn sharded_run_with_no_entities_yields_prior_point() {
+        let config = RoundConfig::new(2, 8, 0.8).unwrap();
+        let exp = Experiment::new(Vec::new(), config).unwrap();
+        let mut p = platform(0.8, 0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let trace = exp
+            .run_sharded(&RandomSelector, &mut p, &mut rng, &Pool::new(2))
+            .unwrap();
+        assert_eq!(trace.points.len(), 1);
+        assert_eq!(trace.points[0].cost, 0);
     }
 
     #[test]

@@ -1,0 +1,170 @@
+//! Property tests for the selection engine's determinism guarantees.
+//!
+//! The engine's contract is *bit-for-bit* reproducibility across thread
+//! counts: (a) pooled greedy returns the identical selection to serial
+//! greedy for every evaluator, every [`PruneBound`] and every preprocess
+//! setting, because candidates are scored into per-index slots and
+//! reduced serially in fact order; (b) [`Experiment::run_sharded`]
+//! produces the identical trace for 1 and N threads from the same master
+//! seed, because every entity's random streams are a pure function of the
+//! entity index and the master RNG state on entry.
+
+use crowdfusion_core::pool::Pool;
+use crowdfusion_core::round::{EntityCase, RoundConfig};
+use crowdfusion_core::selection::{GreedySelector, PruneBound, TaskSelector};
+use crowdfusion_core::system::Experiment;
+use crowdfusion_core::AnswerEvaluator;
+use crowdfusion_crowd::{CrowdPlatform, UniformAccuracy, WorkerPool};
+use crowdfusion_jointdist::{Assignment, JointDist};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Random dense distribution over 2..=6 variables.
+fn arb_dist() -> impl Strategy<Value = JointDist> {
+    (2usize..=6).prop_flat_map(|n| {
+        proptest::collection::vec(0.0f64..1.0, 1usize << n).prop_filter_map(
+            "positive mass",
+            move |w| {
+                JointDist::from_weights(
+                    n,
+                    w.iter()
+                        .enumerate()
+                        .map(|(a, &x)| (Assignment(a as u64), x)),
+                )
+                .ok()
+            },
+        )
+    })
+}
+
+fn arb_pc() -> impl Strategy<Value = f64> {
+    0.5f64..=1.0
+}
+
+/// Every greedy configuration axis: evaluator × prune bound × preprocess.
+fn all_configs() -> Vec<GreedySelector> {
+    let mut configs = Vec::new();
+    for evaluator in [AnswerEvaluator::Naive, AnswerEvaluator::Butterfly] {
+        for prune in [
+            None,
+            Some(PruneBound::Safe),
+            Some(PruneBound::PaperAggressive),
+            Some(PruneBound::Dominance),
+        ] {
+            for preprocess in [false, true] {
+                let mut sel = GreedySelector::paper_approx().with_evaluator(evaluator);
+                if let Some(bound) = prune {
+                    sel = sel.with_prune(bound);
+                }
+                if preprocess {
+                    sel = sel.with_preprocess();
+                }
+                configs.push(sel);
+            }
+        }
+    }
+    configs
+}
+
+fn rng() -> StdRng {
+    StdRng::seed_from_u64(0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn pooled_greedy_is_bit_identical_to_serial((d, pc) in (arb_dist(), arb_pc())) {
+        // (a) Across every configuration and thread count, the pooled
+        // selection must equal the serial one exactly — same facts, same
+        // order.
+        let k = 3;
+        for sel in all_configs() {
+            let serial = sel.clone().with_threads(1).select(&d, pc, k, &mut rng()).unwrap();
+            for threads in [2usize, 4, 7] {
+                let pooled = sel.clone().with_threads(threads)
+                    .select(&d, pc, k, &mut rng()).unwrap();
+                prop_assert_eq!(
+                    &pooled, &serial,
+                    "{} diverged at {} threads", sel.name(), threads
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn engine_matches_naive_reference((d, pc) in (arb_dist(), arb_pc())) {
+        // The cached-scatter engine is a different floating-point route to
+        // the same mathematics; on random (tie-free) distributions it must
+        // pick the same facts as the paper's brute-force evaluation.
+        let reference = GreedySelector::paper_approx()
+            .select(&d, pc, 3, &mut rng()).unwrap();
+        for threads in [1usize, 4] {
+            let engine = GreedySelector::engine(threads)
+                .select(&d, pc, 3, &mut rng()).unwrap();
+            prop_assert_eq!(&engine, &reference, "threads = {}", threads);
+        }
+    }
+
+    #[test]
+    fn sharded_experiment_is_thread_count_invariant(
+        (seed, pc) in (0u64..1000, 0.6f64..=0.95),
+    ) {
+        // (b) Same master seed ⇒ identical traces for 1 vs N threads.
+        let mut gen = StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        let cases: Vec<EntityCase> = (0..4)
+            .map(|e| {
+                let n = 2 + (e + seed as usize) % 3;
+                let marginals: Vec<f64> =
+                    (0..n).map(|_| gen.gen_range(0.05..0.95)).collect();
+                let gold = Assignment(gen.gen_range(0..(1u64 << n)));
+                EntityCase::simple(
+                    format!("e{e}"),
+                    JointDist::independent(&marginals).unwrap(),
+                    gold,
+                )
+            })
+            .collect();
+        let config = RoundConfig::new(2, 6, pc).unwrap();
+        let exp = Experiment::new(cases, config).unwrap();
+        let run = |threads: usize| {
+            let mut platform = CrowdPlatform::new(
+                WorkerPool::uniform(8, pc).unwrap(),
+                UniformAccuracy::new(pc),
+                seed,
+            );
+            let mut master = StdRng::seed_from_u64(seed ^ 0xdead_beef);
+            let pool = Pool::new(threads);
+            let trace = exp
+                .run_sharded(
+                    &GreedySelector::fast().with_pool(pool),
+                    &mut platform,
+                    &mut master,
+                    &pool,
+                )
+                .unwrap();
+            (trace, platform.ledger())
+        };
+        let (serial_trace, serial_ledger) = run(1);
+        for threads in [2usize, 5] {
+            let (trace, ledger) = run(threads);
+            prop_assert_eq!(&trace.points, &serial_trace.points, "threads = {}", threads);
+            prop_assert_eq!(ledger, serial_ledger);
+        }
+    }
+}
+
+/// Non-proptest sanity check: the engine at many threads still reproduces
+/// the paper's running-example selection.
+#[test]
+fn engine_reproduces_running_example_at_any_thread_count() {
+    let d = crowdfusion_jointdist::presets::paper_running_example();
+    for threads in [1usize, 2, 4, 16] {
+        let tasks = GreedySelector::engine(threads)
+            .select(&d, 0.8, 2, &mut rng())
+            .unwrap();
+        assert_eq!(tasks, vec![0, 3], "threads = {threads}");
+    }
+}

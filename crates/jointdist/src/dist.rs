@@ -183,13 +183,18 @@ impl JointDist {
     }
 
     /// All per-variable marginals.
+    ///
+    /// Iterates only the *set* bits of each support assignment
+    /// (`O(|O| · popcount)` rather than `O(|O| · n)`): a variable
+    /// contributes to `P(f_v = true)` only through assignments where its
+    /// bit is set, so the cleared bits never need visiting.
     pub fn marginals(&self) -> Vec<f64> {
         let mut m = vec![0.0; self.n];
         for &(a, p) in &self.entries {
-            for (v, slot) in m.iter_mut().enumerate() {
-                if a.get(v) {
-                    *slot += p;
-                }
+            let mut bits = a.0;
+            while bits != 0 {
+                m[bits.trailing_zeros() as usize] += p;
+                bits &= bits - 1;
             }
         }
         m
@@ -244,6 +249,53 @@ impl JointDist {
             JointError::EmptySupport => JointError::ZeroMass,
             other => other,
         })
+    }
+
+    /// In-place [`JointDist::reweight`]: multiplies each entry by
+    /// `factor(assignment)`, drops entries whose renormalised probability
+    /// falls below the support threshold, and renormalises — without the
+    /// intermediate `BTreeMap` re-merge of [`JointDist::from_weights`].
+    ///
+    /// The support is already sorted and duplicate-free, and reweighting
+    /// preserves both properties, so the sorted entry vector is reused
+    /// as-is. This is the per-round Bayesian-update fast path: the merge
+    /// of Equation 3 runs every round on every entity, and the re-merge
+    /// dominated its cost. Produces bit-identical results to
+    /// `reweight` (the arithmetic sequence is the same).
+    ///
+    /// On `Err` the distribution may hold partially reweighted,
+    /// unnormalised entries and must not be used further; clone first if
+    /// the pre-update state matters (as [`JointDist::reweight`] does).
+    pub fn reweight_in_place(
+        &mut self,
+        mut factor: impl FnMut(Assignment) -> f64,
+    ) -> Result<(), JointError> {
+        let mut total = 0.0f64;
+        for (a, p) in self.entries.iter_mut() {
+            let w = *p * factor(*a);
+            if !w.is_finite() || w < 0.0 {
+                return Err(JointError::InvalidProbability(w));
+            }
+            *p = w;
+            total += w;
+        }
+        if total <= 0.0 || !total.is_finite() {
+            return Err(JointError::ZeroMass);
+        }
+        // Same two-step normalise-trim-renormalise sequence as
+        // `from_weights`, so both paths round identically.
+        self.entries.retain_mut(|(_, p)| {
+            *p /= total;
+            *p > PROB_EPSILON
+        });
+        if self.entries.is_empty() {
+            return Err(JointError::ZeroMass);
+        }
+        let total: f64 = self.entries.iter().map(|&(_, p)| p).sum();
+        for (_, p) in self.entries.iter_mut() {
+            *p /= total;
+        }
+        Ok(())
     }
 
     /// Conditions on `f_var = value`, renormalising over the surviving
@@ -467,6 +519,48 @@ mod tests {
     fn reweight_zero_mass_fails() {
         let d = JointDist::uniform(2).unwrap();
         assert!(matches!(d.reweight(|_| 0.0), Err(JointError::ZeroMass)));
+        let mut m = d.clone();
+        assert!(matches!(
+            m.reweight_in_place(|_| 0.0),
+            Err(JointError::ZeroMass)
+        ));
+        let mut m = d;
+        assert!(matches!(
+            m.reweight_in_place(|_| f64::NAN),
+            Err(JointError::InvalidProbability(_))
+        ));
+    }
+
+    #[test]
+    fn reweight_in_place_matches_reweight_exactly() {
+        // The fast path must be bit-identical to the merge-based one on
+        // every entry, including the support trimming behaviour.
+        let d = running_example();
+        let factors: [fn(Assignment) -> f64; 3] = [
+            |a| if a.get(0) { 0.8 } else { 0.2 },
+            |a| (a.count_true() as f64 + 0.5) * 0.125,
+            // Drives most entries under the support threshold.
+            |a| if a.0 == 0b0001 { 1.0 } else { 1e-15 },
+        ];
+        for factor in factors {
+            let merged = d.reweight(factor).unwrap();
+            let mut fast = d.clone();
+            fast.reweight_in_place(factor).unwrap();
+            assert_eq!(merged, fast);
+        }
+    }
+
+    #[test]
+    fn marginals_match_per_variable_queries() {
+        let d = running_example();
+        for (v, &mv) in d.marginals().iter().enumerate() {
+            assert!(close(mv, d.marginal(v).unwrap()));
+        }
+        // All-false support entries exercise the zero-popcount path.
+        let p =
+            JointDist::from_weights(3, [(Assignment(0), 1.0), (Assignment(0b110), 1.0)]).unwrap();
+        let m = p.marginals();
+        assert!(close(m[0], 0.0) && close(m[1], 0.5) && close(m[2], 0.5));
     }
 
     #[test]

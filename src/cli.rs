@@ -10,12 +10,19 @@
 //!                             truthfinder|accu [--out fusion.json]
 //! crowdfusion refine          --dataset books.json [--method NAME] [--k K] [--budget B]
 //!                             [--pc PC] [--selector greedy|random] [--seed S]
-//!                             [--out trace.json] [--csv trace.csv]
+//!                             [--threads N] [--out trace.json] [--csv trace.csv]
 //! crowdfusion demo            # the paper's running example
 //! ```
 //!
-//! All commands are pure functions of their arguments (seeded RNG), so runs
-//! are reproducible byte for byte.
+//! All commands are pure functions of their arguments (seeded RNG) plus
+//! one environment variable, so runs are reproducible byte for byte:
+//! `refine --threads N` shards entities across the selection engine's
+//! pool without changing results (per-entity RNG streams are derived from
+//! the seed, not the schedule — any `N ≥ 1` is byte-identical). When the
+//! flag is absent, `CROWDFUSION_THREADS` opts into the same sharded
+//! engine; with neither, the legacy serial interleaved run is used, whose
+//! trace differs numerically from the sharded one (different RNG
+//! scheduling, same statistics).
 
 use crate::pipeline::entity_cases_from_books;
 use crowdfusion_core::metrics::quality_points_to_csv;
@@ -45,11 +52,12 @@ USAGE:
   crowdfusion fuse --dataset PATH --method NAME [--out PATH]
   crowdfusion refine --dataset PATH [--method NAME] [--k K] [--budget B]
                      [--pc PC] [--selector greedy|random] [--seed S]
-                     [--out trace.json] [--csv trace.csv]
+                     [--threads N] [--out trace.json] [--csv trace.csv]
   crowdfusion demo
   crowdfusion help
 
 Fusion methods: majority, crh, modified-crh (default), truthfinder, accu.
+Environment: CROWDFUSION_THREADS=N is the default for refine --threads.
 ";
 
 /// Parsed flag map: `--name value` pairs.
@@ -191,6 +199,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
         "refine" => {
             flags.ensure_known(&[
                 "dataset", "method", "k", "budget", "pc", "selector", "seed", "out", "csv",
+                "threads",
             ])?;
             let books = load_books(&flags.required("dataset")?)?;
             let method = build_method(&flags.take("method", "modified-crh".to_string())?)?;
@@ -202,7 +211,26 @@ pub fn run(args: &[String]) -> Result<String, String> {
             let budget = flags.take("budget", 60usize)?;
             let pc = flags.take("pc", 0.8f64)?;
             let seed = flags.take("seed", 7u64)?;
+            // `--threads N` (or, when the flag is absent, the
+            // CROWDFUSION_THREADS environment variable) opts into the
+            // entity-sharded engine. With neither set, the legacy serial
+            // interleaved run is used, so existing invocations reproduce
+            // byte for byte; sharded (any N ≥ 1), results are a pure
+            // function of the seed — identical for every N.
+            let threads = flags
+                .optional("threads")
+                .map(|raw| {
+                    raw.parse::<usize>()
+                        .ok()
+                        .filter(|&t| t > 0)
+                        .ok_or_else(|| format!("invalid value {raw:?} for --threads"))
+                })
+                .transpose()?
+                .or_else(crowdfusion_core::pool::threads_from_env);
             let selector_name = flags.take("selector", "greedy".to_string())?;
+            // The selector stays serial: with `--threads` the entities
+            // already saturate the pool's workers, and nesting an N-thread
+            // selector inside N entity workers would oversubscribe to ~N².
             let selector: Box<dyn TaskSelector> = match selector_name.as_str() {
                 "greedy" => Box::new(GreedySelector::fast()),
                 "random" => Box::new(RandomSelector),
@@ -216,9 +244,19 @@ pub fn run(args: &[String]) -> Result<String, String> {
                 seed,
             );
             let mut rng = StdRng::seed_from_u64(seed);
-            let trace = experiment
-                .run(selector.as_ref(), &mut platform, &mut rng)
-                .map_err(|e| e.to_string())?;
+            let trace = match threads {
+                Some(t) => experiment
+                    .run_sharded(
+                        selector.as_ref(),
+                        &mut platform,
+                        &mut rng,
+                        &crowdfusion_core::Pool::new(t),
+                    )
+                    .map_err(|e| e.to_string())?,
+                None => experiment
+                    .run(selector.as_ref(), &mut platform, &mut rng)
+                    .map_err(|e| e.to_string())?,
+            };
             if let Some(out) = flags.optional("out") {
                 write_json(&trace, &out)?;
             }
@@ -365,6 +403,43 @@ mod tests {
         assert_eq!(parsed.last().unwrap().cost, 6 * 8);
 
         for f in [&books, &fusion, &trace, &csv] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn refine_threads_flag_is_thread_count_invariant() {
+        let books = tmp("books3.json");
+        run(&args(&["generate-books", "--out", &books, "--books", "4"])).unwrap();
+        let csv_for = |threads: &str, csv: &str| {
+            run(&args(&[
+                "refine",
+                "--dataset",
+                &books,
+                "--budget",
+                "6",
+                "--threads",
+                threads,
+                "--csv",
+                csv,
+            ]))
+            .unwrap();
+            std::fs::read_to_string(csv).unwrap()
+        };
+        let csv1 = tmp("t1.csv");
+        let csv4 = tmp("t4.csv");
+        assert_eq!(csv_for("1", &csv1), csv_for("4", &csv4));
+        assert!(
+            run(&args(&["refine", "--dataset", &books, "--threads", "zero"]))
+                .unwrap_err()
+                .contains("invalid value")
+        );
+        assert!(
+            run(&args(&["refine", "--dataset", &books, "--threads", "0"]))
+                .unwrap_err()
+                .contains("invalid value")
+        );
+        for f in [&books, &csv1, &csv4] {
             std::fs::remove_file(f).ok();
         }
     }

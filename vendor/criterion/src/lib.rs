@@ -6,13 +6,67 @@
 //! with a plain timing loop instead of statistical sampling: each benchmark
 //! runs `sample_size` batches after one warm-up batch and reports the
 //! per-iteration mean and minimum to stdout.
+//!
+//! Two environment variables support CI automation (upstream criterion
+//! covers these via CLI flags and `--message-format`):
+//!
+//! * `CRITERION_SAMPLE_SIZE=N` — overrides every configured sample size
+//!   (the bench-smoke job uses `N = 2` to *execute* each bench cheaply);
+//! * `CRITERION_JSON=PATH` — additionally writes the results as a JSON
+//!   array of `{"label", "mean_ns", "min_ns", "samples"}` objects when the
+//!   harness exits, so runs can be diffed and gated by machines.
 
 #![warn(missing_docs)]
 
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// Environment variable overriding all configured sample sizes.
+pub const SAMPLE_SIZE_ENV: &str = "CRITERION_SAMPLE_SIZE";
+
+/// Environment variable naming the JSON report file.
+pub const JSON_ENV: &str = "CRITERION_JSON";
+
+/// Results accumulated for the JSON report (label, mean ns, min ns,
+/// samples).
+static JSON_RECORDS: Mutex<Vec<(String, u128, u128, usize)>> = Mutex::new(Vec::new());
+
+fn sample_size_override() -> Option<usize> {
+    std::env::var(SAMPLE_SIZE_ENV)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 1)
+}
+
+/// Writes the accumulated JSON report to `CRITERION_JSON` if set. Called
+/// by `criterion_main!` after all groups run; a no-op otherwise.
+pub fn write_json_report() {
+    let Ok(path) = std::env::var(JSON_ENV) else {
+        return;
+    };
+    let records = JSON_RECORDS.lock().expect("json records poisoned");
+    let mut out = String::from("[\n");
+    for (i, (label, mean, min, samples)) in records.iter().enumerate() {
+        let escaped: String = label
+            .chars()
+            .flat_map(|c| match c {
+                '"' | '\\' => vec!['\\', c],
+                _ => vec![c],
+            })
+            .collect();
+        out.push_str(&format!(
+            "  {{\"label\": \"{escaped}\", \"mean_ns\": {mean}, \"min_ns\": {min}, \"samples\": {samples}}}{}\n",
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("]\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("criterion: cannot write {path}: {e}");
+    }
+}
 
 /// Benchmark driver; collects configuration and prints results.
 pub struct Criterion {
@@ -97,7 +151,7 @@ impl BenchmarkGroup<'_> {
             return;
         }
         let mut bencher = Bencher {
-            sample_size: self.sample_size,
+            sample_size: sample_size_override().unwrap_or(self.sample_size),
             samples: Vec::new(),
         };
         f(&mut bencher, input);
@@ -114,7 +168,7 @@ impl BenchmarkGroup<'_> {
             return;
         }
         let mut bencher = Bencher {
-            sample_size: self.sample_size,
+            sample_size: sample_size_override().unwrap_or(self.sample_size),
             samples: Vec::new(),
         };
         f(&mut bencher);
@@ -159,6 +213,12 @@ impl Bencher {
             min,
             self.samples.len()
         );
+        JSON_RECORDS.lock().expect("json records poisoned").push((
+            label.to_string(),
+            mean.as_nanos(),
+            min.as_nanos(),
+            self.samples.len(),
+        ));
     }
 }
 
@@ -187,6 +247,47 @@ macro_rules! criterion_main {
         fn main() {
             // Cargo passes harness flags like `--bench`; ignore them.
             $( $group(); )*
+            $crate::write_json_report();
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // One test covers every env-var behaviour: `std::env::set_var` racing
+    // a concurrent `env::var` from another test thread is undefined
+    // behaviour, so all environment mutation stays on a single test.
+    #[test]
+    fn env_overrides_and_json_report() {
+        std::env::remove_var(SAMPLE_SIZE_ENV);
+        assert_eq!(sample_size_override(), None);
+        std::env::set_var(SAMPLE_SIZE_ENV, "3");
+        assert_eq!(sample_size_override(), Some(3));
+        std::env::set_var(SAMPLE_SIZE_ENV, "0");
+        assert_eq!(sample_size_override(), None);
+        std::env::set_var(SAMPLE_SIZE_ENV, "many");
+        assert_eq!(sample_size_override(), None);
+        std::env::remove_var(SAMPLE_SIZE_ENV);
+
+        // Per-process filename: concurrent `cargo test` runs on one host
+        // must not race on a shared temp file.
+        let path =
+            std::env::temp_dir().join(format!("criterion-json-test-{}.json", std::process::id()));
+        JSON_RECORDS
+            .lock()
+            .unwrap()
+            .push(("group/bench \"x\"/8".to_string(), 1500, 1200, 10));
+        std::env::set_var(JSON_ENV, &path);
+        write_json_report();
+        std::env::remove_var(JSON_ENV);
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(text.contains("\"label\": \"group/bench \\\"x\\\"/8\""));
+        assert!(text.contains("\"mean_ns\": 1500"));
+        assert!(text.contains("\"min_ns\": 1200"));
+        assert!(text.contains("\"samples\": 10"));
+        assert!(text.trim_start().starts_with('[') && text.trim_end().ends_with(']'));
+    }
 }
