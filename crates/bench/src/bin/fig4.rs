@@ -1,19 +1,29 @@
 //! Figure 4: how the Pc setting affects F1-score and utility
-//! (Approx. vs Random for Pc ∈ {0.7, 0.8, 0.9}).
+//! (Approx. vs Random for Pc ∈ {0.7, 0.8, 0.9}), plus the large-n
+//! query-mode workload behind the sparse answer-table backend.
 //!
 //! Expected shape (paper Section V-C-3): higher Pc reaches higher utility
 //! at equal cost; Pc = 0.8 and 0.9 achieve similar F1; underestimating
 //! crowd reliability slows the procedure down.
 //!
+//! The second section exercises the paper's "books with facts more than
+//! 20" regime: correlated-fact books with n = 32–40 statements
+//! (shared-author correlation groups), selected both in query mode
+//! (facts of interest = the gold-true variant group) and through the
+//! direct / sparse-preprocessed greedy paths, with pooled execution
+//! cross-checked to be bit-identical across thread counts.
+//!
 //! Run with: `cargo run --release -p crowdfusion-bench --bin fig4 [--quick]`
 
 use crowdfusion::prelude::*;
 use crowdfusion_bench::{
-    is_quick, print_series, run_quality_experiment, standard_books, standard_cases,
+    fmt_secs, is_quick, large_book_case, print_series, run_quality_experiment, standard_books,
+    standard_cases, time_secs,
 };
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
-fn main() {
-    let quick = is_quick();
+fn pc_sweep(quick: bool) {
     let n_books = if quick { 20 } else { 100 };
     let budget = if quick { 20 } else { 60 };
     let k = 3;
@@ -36,4 +46,70 @@ fn main() {
     println!("\nShape checks: for each selector the Pc = 0.9 curve dominates the");
     println!("Pc = 0.8 curve, which dominates Pc = 0.7, in utility at equal cost;");
     println!("Pc = 0.8 and 0.9 reach similar final F1 (paper Section V-C-3).");
+}
+
+fn large_n_query_mode(quick: bool) {
+    let sizes: &[usize] = if quick { &[32] } else { &[32, 36, 40] };
+    let (pc, k) = (0.8, 4);
+    println!("\n===== Large-n query mode (sparse answer tables) =====");
+    println!("correlated-fact books, k = {k}, Pc = {pc}; FOI = gold-true variant group");
+    for &n in sizes {
+        let (case, interest) = large_book_case(n, 101);
+        let prior = &case.prior;
+        let mut rng = StdRng::seed_from_u64(3);
+
+        let (query_tasks, t_query) = time_secs(|| {
+            QueryGreedySelector::new(interest)
+                .select(prior, pc, k, &mut rng)
+                .expect("query selection succeeds at large n")
+        });
+        let q_before = query_utility(prior, interest, VarSet::EMPTY, pc).unwrap();
+        let q_after = query_utility(
+            prior,
+            interest,
+            VarSet::from_vars(query_tasks.iter().copied()),
+            pc,
+        )
+        .unwrap();
+
+        let (direct, t_direct) = time_secs(|| {
+            GreedySelector::fast()
+                .select(prior, pc, k, &mut rng)
+                .expect("direct selection succeeds at large n")
+        });
+        let (pre, t_pre) = time_secs(|| {
+            GreedySelector::fast()
+                .with_preprocess()
+                .select(prior, pc, k, &mut rng)
+                .expect("sparse preprocessed selection succeeds at large n")
+        });
+        assert_eq!(
+            direct, pre,
+            "sparse preprocessed selection diverged from the direct engine"
+        );
+        for threads in [2usize, 4] {
+            let pooled = GreedySelector::engine(threads)
+                .with_preprocess()
+                .select(prior, pc, k, &mut rng)
+                .expect("pooled selection succeeds at large n");
+            assert_eq!(pooled, pre, "selection not thread-count invariant");
+        }
+
+        println!(
+            "  n = {n:>2} (|O| = {:>4}): query {:?} (Q {q_before:.3} -> {q_after:.3}, {}) | \
+             direct {:?} ({}) | pre(sparse) ({}) [thread-invariant OK]",
+            prior.support_size(),
+            query_tasks,
+            fmt_secs(t_query),
+            direct,
+            fmt_secs(t_direct),
+            fmt_secs(t_pre),
+        );
+    }
+}
+
+fn main() {
+    let quick = is_quick();
+    pc_sweep(quick);
+    large_n_query_mode(quick);
 }

@@ -99,6 +99,35 @@ pub fn bench_prior(n_facts: usize, seed: u64) -> JointDist {
     cases.into_iter().next().expect("one book").prior
 }
 
+/// One large correlated-fact book (exactly `n_statements` candidate
+/// author lists, shared-author correlation groups) as an [`EntityCase`],
+/// plus the facts-of-interest set for query mode: the correlation group
+/// holding the gold-true variants — the user cares about the true author
+/// list, and every format variant of it is equally interesting.
+///
+/// Beyond `MAX_DENSE_FACTS` statements the returned case carries a
+/// sparse-support prior, exercising the sparse answer-table backend end
+/// to end.
+pub fn large_book_case(n_statements: usize, seed: u64) -> (EntityCase, VarSet) {
+    let books = crowdfusion::datagen::book::generate(BookGenConfig {
+        n_books: 1,
+        seed,
+        ..BookGenConfig::large(n_statements)
+    });
+    let entity = books.dataset.entities()[0].id;
+    let gold = books.gold_for(entity);
+    let interest = books
+        .correlation_groups(entity)
+        .into_iter()
+        .find(|group| group.iter().any(|&i| gold[i]))
+        .expect("every book has a gold-true statement");
+    let case = standard_cases(&books)
+        .into_iter()
+        .next()
+        .expect("one book requested");
+    (case, VarSet::from_vars(interest))
+}
+
 /// Measures the wall-clock time of `f` in seconds.
 pub fn time_secs<T>(f: impl FnOnce() -> T) -> (T, f64) {
     let start = Instant::now();
@@ -153,6 +182,17 @@ mod tests {
         let p = bench_prior(6, 1);
         assert_eq!(p.num_vars(), 6);
         assert!((p.total_mass() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn large_book_case_exercises_the_sparse_prior() {
+        let (case, interest) = large_book_case(32, 9);
+        assert_eq!(case.num_facts(), 32);
+        case.validate().unwrap();
+        assert!(!interest.is_empty());
+        assert!(interest.iter().all(|f| f < 32));
+        // Interest facts are the gold-true variants.
+        assert!(interest.iter().all(|f| case.gold.get(f)));
     }
 
     #[test]

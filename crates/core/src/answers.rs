@@ -30,6 +30,7 @@
 use crate::error::CoreError;
 use crate::{validate_pc, MAX_DENSE_FACTS};
 use crowdfusion_jointdist::{entropy_of_probs, Assignment, JointDist, VarSet};
+use rand::RngCore;
 use serde::{Deserialize, Serialize};
 
 /// Which algorithm computes answer distributions.
@@ -40,6 +41,166 @@ pub enum AnswerEvaluator {
     /// The binary-symmetric-channel butterfly transform (ours; default).
     #[default]
     Butterfly,
+}
+
+/// Which representation backs the preprocessed answer table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum TableBackend {
+    /// Dense for `n ≤` [`MAX_DENSE_FACTS`], sparse beyond — the default.
+    #[default]
+    Auto,
+    /// Force the dense `2^n` table (errors beyond the dense limit).
+    Dense,
+    /// Force the sparse support-backed table at any `n`.
+    Sparse,
+}
+
+/// The preprocessed answer joint distribution (the paper's Table IV
+/// artefact) in dense or sparse form.
+///
+/// The dense variant is the paper's literal table: `probs[pattern]` is
+/// `P(Ans = pattern)` with the crowd channel already applied, `2^n`
+/// entries. The sparse variant lifts the dense `2^n` ceiling: it stores a
+/// sorted `(pattern, probability)` support together with the *residual*
+/// channel accuracy `pc` to apply at evaluation time. Because the
+/// per-fact binary symmetric channel commutes with marginalisation, the
+/// answer distribution of any task set `T` is recovered exactly from the
+/// sparse form by scattering the support onto the `2^|T|` lattice and
+/// applying the `|T|`-stage channel butterfly — `O(|O| + |T|·2^|T|)`
+/// instead of `O(2^n)`.
+///
+/// Two sparse constructions exist: [`AnswerTable::sparse`] is **exact**
+/// (the support is the output distribution itself, residual channel
+/// `pc`), and [`AnswerTable::sampled`] is a Monte-Carlo histogram of
+/// noisy answers (residual channel 1 — the noise is baked into the
+/// samples) built on [`JointDist::noisy_sparse`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnswerTable {
+    /// Dense channel-applied probabilities over all `2^n` patterns.
+    Dense {
+        /// Number of facts.
+        n: usize,
+        /// `probs[pattern]` = P(Ans = pattern); length `2^n`.
+        probs: Vec<f64>,
+    },
+    /// Sorted sparse `(pattern, probability)` support plus the residual
+    /// channel accuracy to apply at evaluation time.
+    Sparse {
+        /// Number of facts.
+        n: usize,
+        /// Residual per-fact channel accuracy (1 = channel already
+        /// applied to the support).
+        pc: f64,
+        /// Sorted (judgment pattern, probability) pairs.
+        entries: Vec<(u64, f64)>,
+    },
+}
+
+impl AnswerTable {
+    /// The dense table (paper Table IV): [`full_answer_distribution`]
+    /// wrapped in the enum. Errors beyond [`MAX_DENSE_FACTS`].
+    pub fn dense(
+        dist: &JointDist,
+        pc: f64,
+        evaluator: AnswerEvaluator,
+    ) -> Result<AnswerTable, CoreError> {
+        Ok(AnswerTable::Dense {
+            n: dist.num_vars(),
+            probs: full_answer_distribution(dist, pc, evaluator)?,
+        })
+    }
+
+    /// The **exact** sparse table: the output distribution's own sorted
+    /// support with the channel `pc` kept residual. Works at any `n` the
+    /// substrate supports (up to 64 facts).
+    pub fn sparse(dist: &JointDist, pc: f64) -> Result<AnswerTable, CoreError> {
+        validate_pc(pc)?;
+        Ok(AnswerTable::Sparse {
+            n: dist.num_vars(),
+            pc,
+            entries: dist.iter().map(|(a, p)| (a.0, p)).collect(),
+        })
+    }
+
+    /// A Monte-Carlo sparse table: `draws` noisy answer sets sampled
+    /// through the channel ([`JointDist::noisy_sparse`]); the residual
+    /// channel is the identity because the noise is baked into the
+    /// histogram. Approximation error is `O(1/√draws)`.
+    pub fn sampled(
+        dist: &JointDist,
+        pc: f64,
+        draws: usize,
+        rng: &mut dyn RngCore,
+    ) -> Result<AnswerTable, CoreError> {
+        validate_pc(pc)?;
+        let noisy = dist.noisy_sparse(pc, draws, rng)?;
+        Ok(AnswerTable::Sparse {
+            n: dist.num_vars(),
+            pc: 1.0,
+            entries: noisy.iter().map(|(a, p)| (a.0, p)).collect(),
+        })
+    }
+
+    /// Number of facts the table covers.
+    pub fn num_facts(&self) -> usize {
+        match *self {
+            AnswerTable::Dense { n, .. } | AnswerTable::Sparse { n, .. } => n,
+        }
+    }
+
+    /// Number of stored entries (`2^n` dense, support size sparse).
+    pub fn len(&self) -> usize {
+        match self {
+            AnswerTable::Dense { probs, .. } => probs.len(),
+            AnswerTable::Sparse { entries, .. } => entries.len(),
+        }
+    }
+
+    /// Whether the table stores no entries (never true for valid tables).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The answer distribution of `tasks` as a dense `2^|tasks|` vector —
+    /// entry `a` is the probability of the answer pattern whose bit `j`
+    /// is the judgment of the `j`-th smallest member of `tasks`. Exact
+    /// for both backends (up to the sparse table's own construction
+    /// error); `|tasks|` is bounded by [`MAX_DENSE_FACTS`].
+    pub fn distribution(&self, tasks: VarSet) -> Result<Vec<f64>, CoreError> {
+        let n = self.num_facts();
+        if let Some(bad) = tasks.difference(VarSet::all(n)).iter().next() {
+            return Err(CoreError::TaskOutOfRange { index: bad, n });
+        }
+        let t = tasks.len();
+        if t > MAX_DENSE_FACTS {
+            return Err(CoreError::TooManyFacts {
+                requested: t,
+                limit: MAX_DENSE_FACTS,
+            });
+        }
+        let mut out = vec![0.0f64; 1usize << t];
+        match self {
+            AnswerTable::Dense { probs, .. } => {
+                // The channel is already applied; marginalise the dense
+                // joint onto the task bits.
+                for (pattern, &p) in probs.iter().enumerate() {
+                    out[Assignment(pattern as u64).extract(tasks) as usize] += p;
+                }
+            }
+            AnswerTable::Sparse { pc, entries, .. } => {
+                for &(pattern, p) in entries {
+                    out[Assignment(pattern).extract(tasks) as usize] += p;
+                }
+                bsc_transform_in_place(&mut out, t, *pc);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Entropy `H(T)` in bits of [`AnswerTable::distribution`].
+    pub fn entropy(&self, tasks: VarSet) -> Result<f64, CoreError> {
+        Ok(entropy_of_probs(self.distribution(tasks)?))
+    }
 }
 
 /// Validates a task set against the distribution and the dense limit.
@@ -469,6 +630,126 @@ mod tests {
             cur = posterior(&cur, &[3], &[true], 0.8).unwrap();
         }
         assert!(cur.marginal(3).unwrap() > 0.999);
+    }
+
+    #[test]
+    fn answer_table_backends_agree_on_running_example() {
+        let d = paper_running_example();
+        let dense = AnswerTable::dense(&d, 0.8, AnswerEvaluator::Butterfly).unwrap();
+        let sparse = AnswerTable::sparse(&d, 0.8).unwrap();
+        assert_eq!(dense.num_facts(), 4);
+        assert_eq!(dense.len(), 16);
+        assert_eq!(sparse.num_facts(), 4);
+        assert!(!sparse.is_empty());
+        for bits in 0u64..16 {
+            let tasks = VarSet(bits);
+            let a = dense.distribution(tasks).unwrap();
+            let b = sparse.distribution(tasks).unwrap();
+            let c = if tasks == VarSet::EMPTY {
+                vec![1.0]
+            } else {
+                answer_distribution(&d, tasks, 0.8, AnswerEvaluator::Butterfly).unwrap()
+            };
+            for ((x, y), z) in a.iter().zip(&b).zip(&c) {
+                assert!((x - y).abs() < 1e-12, "dense vs sparse at {tasks}");
+                assert!((y - z).abs() < 1e-12, "sparse vs evaluator at {tasks}");
+            }
+            assert!((dense.entropy(tasks).unwrap() - sparse.entropy(tasks).unwrap()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn answer_table_sampled_converges() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let d = paper_running_example();
+        let mut rng = StdRng::seed_from_u64(9);
+        let sampled = AnswerTable::sampled(&d, 0.8, 150_000, &mut rng).unwrap();
+        let exact = AnswerTable::sparse(&d, 0.8).unwrap();
+        for bits in 1u64..16 {
+            let tasks = VarSet(bits);
+            let a = sampled.distribution(tasks).unwrap();
+            let b = exact.distribution(tasks).unwrap();
+            for (x, y) in a.iter().zip(&b) {
+                assert!((x - y).abs() < 0.01, "sampled vs exact at {tasks}");
+            }
+        }
+        assert!(matches!(
+            AnswerTable::sampled(&d, 0.8, 0, &mut rng),
+            Err(CoreError::Joint(_))
+        ));
+        assert!(matches!(
+            AnswerTable::sampled(&d, 0.2, 100, &mut rng),
+            Err(CoreError::InvalidAccuracy(_))
+        ));
+    }
+
+    #[test]
+    fn answer_table_validation() {
+        let d = paper_running_example();
+        assert!(matches!(
+            AnswerTable::sparse(&d, 1.2),
+            Err(CoreError::InvalidAccuracy(_))
+        ));
+        let t = AnswerTable::sparse(&d, 0.8).unwrap();
+        assert!(matches!(
+            t.distribution(VarSet::from_vars([9])),
+            Err(CoreError::TaskOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn dense_boundary_accepts_max_dense_facts() {
+        // n == MAX_DENSE_FACTS is the last size the dense paths accept.
+        // Pc = 1 keeps the check cheap (the channel is the identity, so
+        // the dense table is just the scattered support).
+        use crate::MAX_DENSE_FACTS;
+        let truth = Assignment(0b1011);
+        let d = JointDist::certain(MAX_DENSE_FACTS, truth).unwrap();
+        let table = full_answer_distribution(&d, 1.0, AnswerEvaluator::Butterfly).unwrap();
+        assert_eq!(table.len(), 1usize << MAX_DENSE_FACTS);
+        assert_eq!(table[truth.0 as usize], 1.0);
+        let tasks = VarSet::all(MAX_DENSE_FACTS);
+        assert!(answer_distribution(&d, tasks, 1.0, AnswerEvaluator::Butterfly).is_ok());
+    }
+
+    #[test]
+    fn dense_boundary_rejects_one_past_the_limit_where_sparse_takes_over() {
+        // n == MAX_DENSE_FACTS + 1 must fail in every *dense* entry point
+        // (the validation fires before any allocation) while the sparse
+        // table accepts the same distribution.
+        use crate::MAX_DENSE_FACTS;
+        let n = MAX_DENSE_FACTS + 1;
+        let d = JointDist::certain(n, Assignment(0b111)).unwrap();
+        assert!(matches!(
+            full_answer_distribution(&d, 0.8, AnswerEvaluator::Naive),
+            Err(CoreError::TooManyFacts { requested, limit })
+                if requested == n && limit == MAX_DENSE_FACTS
+        ));
+        assert!(matches!(
+            full_answer_distribution(&d, 0.8, AnswerEvaluator::Butterfly),
+            Err(CoreError::TooManyFacts { .. })
+        ));
+        assert!(matches!(
+            answer_distribution(&d, VarSet::all(n), 0.8, AnswerEvaluator::Butterfly),
+            Err(CoreError::TooManyFacts { .. })
+        ));
+        assert!(matches!(
+            AnswerTable::dense(&d, 0.8, AnswerEvaluator::Butterfly),
+            Err(CoreError::TooManyFacts { .. })
+        ));
+        // Small task sets on the oversized entity remain legal: the limit
+        // is about task-set width, not entity width.
+        let small = VarSet::from_vars([0, n - 1]);
+        let a = answer_distribution(&d, small, 0.8, AnswerEvaluator::Butterfly).unwrap();
+        assert_eq!(a.len(), 4);
+        // And the sparse table covers the full entity exactly.
+        let sparse = AnswerTable::sparse(&d, 0.8).unwrap();
+        assert_eq!(sparse.num_facts(), n);
+        let b = sparse.distribution(small).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-12);
+        }
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! contiguous pattern ranges, so every slot sees the exact same arithmetic
 //! sequence regardless of the thread count.
 
-use crate::answers::AnswerEvaluator;
+use crate::answers::{AnswerEvaluator, AnswerTable, TableBackend};
 use crate::error::CoreError;
 use crate::pool::Pool;
 use crate::{validate_pc, MAX_DENSE_FACTS};
@@ -42,6 +42,34 @@ pub fn full_answer_distribution_pooled(
     match evaluator {
         AnswerEvaluator::Naive => naive_pooled(dist, pc, pool),
         AnswerEvaluator::Butterfly => butterfly_pooled(dist, pc, pool),
+    }
+}
+
+/// Builds the preprocessed [`AnswerTable`] for the requested backend:
+/// dense tables are computed on `pool` (bit-identical to the serial
+/// evaluators for any thread count), sparse tables are the output
+/// support itself (exact, `O(|O|)`). [`TableBackend::Auto`] picks dense
+/// up to [`MAX_DENSE_FACTS`] facts and sparse beyond — the routing that
+/// lifts the dense `2^n` ceiling from the preprocessed selection path.
+pub fn full_answer_table_pooled(
+    dist: &JointDist,
+    pc: f64,
+    evaluator: AnswerEvaluator,
+    pool: &Pool,
+    backend: TableBackend,
+) -> Result<AnswerTable, CoreError> {
+    let dense = match backend {
+        TableBackend::Auto => dist.num_vars() <= MAX_DENSE_FACTS,
+        TableBackend::Dense => true,
+        TableBackend::Sparse => false,
+    };
+    if dense {
+        Ok(AnswerTable::Dense {
+            n: dist.num_vars(),
+            probs: full_answer_distribution_pooled(dist, pc, evaluator, pool)?,
+        })
+    } else {
+        AnswerTable::sparse(dist, pc)
     }
 }
 
@@ -194,6 +222,87 @@ mod tests {
         assert!(matches!(
             full_answer_distribution_butterfly_parallel(&d, 1.2, 2),
             Err(CoreError::InvalidAccuracy(_))
+        ));
+    }
+
+    #[test]
+    fn table_backend_routing() {
+        let d = random_dist(5, 21);
+        let pool = Pool::new(2);
+        let auto = full_answer_table_pooled(
+            &d,
+            0.8,
+            AnswerEvaluator::Butterfly,
+            &pool,
+            TableBackend::Auto,
+        )
+        .unwrap();
+        assert!(matches!(auto, AnswerTable::Dense { .. }));
+        let sparse = full_answer_table_pooled(
+            &d,
+            0.8,
+            AnswerEvaluator::Butterfly,
+            &pool,
+            TableBackend::Sparse,
+        )
+        .unwrap();
+        assert!(matches!(sparse, AnswerTable::Sparse { .. }));
+        // Both backends agree on every task-set distribution.
+        for bits in 0u64..(1 << 5) {
+            let tasks = crowdfusion_jointdist::VarSet(bits);
+            let a = auto.distribution(tasks).unwrap();
+            let b = sparse.distribution(tasks).unwrap();
+            for (x, y) in a.iter().zip(&b) {
+                assert!((x - y).abs() < 1e-12, "backend mismatch at {tasks}");
+            }
+        }
+    }
+
+    #[test]
+    fn table_boundary_auto_switches_at_the_dense_limit() {
+        // n == MAX_DENSE_FACTS stays dense (checked at Pc = 1 so the
+        // 2^26 table is a cheap identity scatter); n == MAX_DENSE_FACTS+1
+        // flips Auto to sparse, while forcing Dense reproduces the old
+        // hard failure.
+        use crowdfusion_jointdist::Assignment;
+        let pool = Pool::serial();
+        let at_limit = JointDist::certain(MAX_DENSE_FACTS, Assignment(0b101)).unwrap();
+        let table = full_answer_table_pooled(
+            &at_limit,
+            1.0,
+            AnswerEvaluator::Butterfly,
+            &pool,
+            TableBackend::Auto,
+        )
+        .unwrap();
+        assert!(matches!(table, AnswerTable::Dense { .. }));
+        assert_eq!(table.len(), 1usize << MAX_DENSE_FACTS);
+
+        let past = JointDist::certain(MAX_DENSE_FACTS + 1, Assignment(0b101)).unwrap();
+        let table = full_answer_table_pooled(
+            &past,
+            0.8,
+            AnswerEvaluator::Butterfly,
+            &pool,
+            TableBackend::Auto,
+        )
+        .unwrap();
+        assert!(matches!(table, AnswerTable::Sparse { .. }));
+        assert_eq!(table.num_facts(), MAX_DENSE_FACTS + 1);
+        assert!(matches!(
+            full_answer_table_pooled(
+                &past,
+                0.8,
+                AnswerEvaluator::Butterfly,
+                &pool,
+                TableBackend::Dense,
+            ),
+            Err(CoreError::TooManyFacts { requested, limit })
+                if requested == MAX_DENSE_FACTS + 1 && limit == MAX_DENSE_FACTS
+        ));
+        assert!(matches!(
+            full_answer_distribution_pooled(&past, 0.8, AnswerEvaluator::Naive, &pool),
+            Err(CoreError::TooManyFacts { .. })
         ));
     }
 }

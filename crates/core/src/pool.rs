@@ -23,14 +23,38 @@ use std::num::NonZeroUsize;
 /// Environment variable overriding [`Pool::from_env`]'s thread count.
 pub const THREADS_ENV: &str = "CROWDFUSION_THREADS";
 
-/// The thread count requested via [`THREADS_ENV`], if the variable is set
-/// to a positive integer. The CLI's `refine --threads` fallback and
-/// [`Pool::from_env`] both resolve the variable through this one lookup.
+/// The thread count requested via [`THREADS_ENV`]. The CLI's
+/// `refine --threads` fallback and [`Pool::from_env`] both resolve the
+/// variable through this one lookup.
+///
+/// Returns `None` when the variable is unset, [`threads_from_value`]
+/// otherwise — so a *set but malformed* value (`0`, non-numeric,
+/// whitespace-only) clamps to 1 worker with a warning on stderr instead
+/// of being silently ignored (which would fall back to the machine's
+/// full parallelism, the opposite of what a value like `0` plausibly
+/// asked for).
 pub fn threads_from_env() -> Option<usize> {
     std::env::var(THREADS_ENV)
         .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&t| t > 0)
+        .map(|raw| threads_from_value(&raw))
+}
+
+/// Parses one [`THREADS_ENV`]-style value. Surrounding whitespace is
+/// ignored (`" 4 "` is 4); anything that does not parse to a positive
+/// integer — `0`, the empty string, whitespace, non-numeric text — is
+/// clamped to 1 with a warning on stderr, matching [`Pool::new`]'s
+/// clamp-don't-panic contract.
+pub fn threads_from_value(raw: &str) -> usize {
+    match raw.trim().parse::<usize>() {
+        Ok(t) if t > 0 => t,
+        _ => {
+            eprintln!(
+                "warning: {THREADS_ENV}={raw:?} is not a positive integer; \
+                 clamping to 1 worker"
+            );
+            1
+        }
+    }
 }
 
 /// A scoped fork–join pool with a fixed worker count.
@@ -231,10 +255,39 @@ mod tests {
     }
 
     #[test]
+    fn env_values_parse_with_explicit_clamping() {
+        // Well-formed values, including surrounding whitespace.
+        assert_eq!(threads_from_value("4"), 4);
+        assert_eq!(threads_from_value(" 8 "), 8);
+        assert_eq!(threads_from_value("1"), 1);
+        // Malformed values clamp to 1 (with a stderr warning) instead of
+        // silently deferring to the machine's full parallelism.
+        assert_eq!(threads_from_value("0"), 1);
+        assert_eq!(threads_from_value(""), 1);
+        assert_eq!(threads_from_value("   "), 1);
+        assert_eq!(threads_from_value("two"), 1);
+        assert_eq!(threads_from_value("-3"), 1);
+        assert_eq!(threads_from_value("4.5"), 1);
+    }
+
+    #[test]
     fn constructors_clamp_and_read_env() {
         assert_eq!(Pool::new(0).threads(), 1);
         assert_eq!(Pool::serial().threads(), 1);
         assert_eq!(Pool::default(), Pool::serial());
+        // The env-var mutation lives in the same test as every other
+        // CROWDFUSION_THREADS *read* in this binary, so no concurrent
+        // test can observe (or race with) the temporary values.
+        std::env::set_var(THREADS_ENV, "3");
+        assert_eq!(threads_from_env(), Some(3));
+        assert_eq!(Pool::from_env().threads(), 3);
+        std::env::set_var(THREADS_ENV, "0");
+        assert_eq!(threads_from_env(), Some(1));
+        assert_eq!(Pool::from_env().threads(), 1);
+        std::env::set_var(THREADS_ENV, "not-a-number");
+        assert_eq!(threads_from_env(), Some(1));
+        std::env::remove_var(THREADS_ENV);
+        assert_eq!(threads_from_env(), None);
         assert!(Pool::from_env().threads() >= 1);
     }
 }

@@ -11,11 +11,21 @@
 
 use crate::error::CoreError;
 use crowdfusion_jointdist::{Factor, FactorGraphBuilder, JointDist, VarSet};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 /// Default penalty for two equivalent statements disagreeing.
 pub const DEFAULT_EQUIV_PENALTY: f64 = 0.35;
 /// Default penalty per extra true statement among conflicting groups.
 pub const DEFAULT_CONFLICT_PENALTY: f64 = 0.75;
+
+/// Importance-sampling draws for sparse priors beyond the dense limit.
+pub const SPARSE_PRIOR_DRAWS: usize = 8_192;
+
+/// Fixed base seed for sparse prior materialisation; combined with the
+/// entity's fact count so priors stay a pure function of their inputs
+/// (reproducible byte for byte across runs and thread counts).
+const SPARSE_PRIOR_SEED: u64 = 0x0043_524F_5746_5553; // "CROWFUS"
 
 /// Builds an independent joint prior from per-fact marginals.
 pub fn independent_prior(marginals: &[f64]) -> Result<JointDist, CoreError> {
@@ -31,6 +41,14 @@ pub fn independent_prior(marginals: &[f64]) -> Result<JointDist, CoreError> {
 /// different groups are softly mutually exclusive ([`Factor::AtMostOne`],
 /// penalty `conflict_penalty` per extra truth) — two different author sets
 /// cannot both be the book's author list.
+///
+/// Up to [`crate::MAX_DENSE_FACTS`] facts the factor graph is
+/// materialised exactly by dense enumeration; beyond that (the book
+/// entities with 26+ facts the paper's efficiency experiments single
+/// out) it switches to the deterministic sparse importance sampler
+/// ([`FactorGraphBuilder::build_sparse`], [`SPARSE_PRIOR_DRAWS`] draws
+/// from a fixed seed), so large entities get a sparse-support prior
+/// instead of a hard `TooManyVariables` failure.
 pub fn grouped_prior(
     marginals: &[f64],
     groups: &[Vec<usize>],
@@ -66,7 +84,12 @@ pub fn grouped_prior(
             penalty: conflict_penalty,
         });
     }
-    Ok(builder.build()?)
+    if n <= crate::MAX_DENSE_FACTS {
+        Ok(builder.build()?)
+    } else {
+        let mut rng = StdRng::seed_from_u64(SPARSE_PRIOR_SEED ^ n as u64);
+        Ok(builder.build_sparse(SPARSE_PRIOR_DRAWS, &mut rng)?)
+    }
 }
 
 /// Convenience wrapper using the default penalties.
@@ -131,5 +154,46 @@ mod tests {
         let p = default_grouped_prior(&[0.5, 0.5, 0.5], &[vec![0, 1], vec![2]]).unwrap();
         assert_eq!(p.num_vars(), 3);
         assert!((p.total_mass() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn large_entities_get_a_sparse_prior() {
+        // 32 facts in four 8-member equivalence groups: dense enumeration
+        // is impossible, the sparse importance sampler takes over — and
+        // still reflects the correlation structure.
+        let n = 32usize;
+        let marginals = vec![0.5; n];
+        let groups: Vec<Vec<usize>> = (0..4).map(|g| (g * 8..(g + 1) * 8).collect()).collect();
+        let p = default_grouped_prior(&marginals, &groups).unwrap();
+        assert_eq!(p.num_vars(), n);
+        assert!(p.support_size() <= SPARSE_PRIOR_DRAWS);
+        assert!((p.total_mass() - 1.0).abs() < 1e-9);
+        // Group members are positively tied.
+        let given_true = p.condition(0, true).unwrap();
+        let given_false = p.condition(0, false).unwrap();
+        assert!(given_true.marginal(1).unwrap() > given_false.marginal(1).unwrap() + 0.1);
+        // Deterministic: same inputs, same prior, byte for byte.
+        let again = default_grouped_prior(&marginals, &groups).unwrap();
+        assert_eq!(p, again);
+    }
+
+    #[test]
+    fn boundary_between_dense_and_sparse_priors() {
+        use crate::MAX_DENSE_FACTS;
+        // n == MAX_DENSE_FACTS still builds densely. Hard 0/1 marginals
+        // keep the check cheap: the enumeration's zero-weight early exit
+        // discards almost every assignment after one factor, collapsing
+        // the support to a single point mass.
+        let mut marginals = vec![0.0; MAX_DENSE_FACTS];
+        marginals[3] = 1.0;
+        let p = grouped_prior(&marginals, &[], 0.3, 0.7).unwrap();
+        assert_eq!(p.num_vars(), MAX_DENSE_FACTS);
+        assert_eq!(p.support_size(), 1);
+        // n == MAX_DENSE_FACTS + 1 routes to the sparse sampler instead
+        // of failing.
+        let marginals = vec![0.5; MAX_DENSE_FACTS + 1];
+        let p = grouped_prior(&marginals, &[vec![0, 1]], 0.3, 0.7).unwrap();
+        assert_eq!(p.num_vars(), MAX_DENSE_FACTS + 1);
+        assert!(p.support_size() <= SPARSE_PRIOR_DRAWS);
     }
 }

@@ -287,6 +287,56 @@ mod tests {
     }
 
     #[test]
+    fn query_mode_handles_entities_beyond_the_dense_limit() {
+        // 32 facts, sparse support: the query-based utilities group by
+        // interest pattern and scatter onto the *task* lattice only, so
+        // entity size never triggers the dense ceiling.
+        let n = 32usize;
+        let entries = (0..64u64).map(|i| {
+            (
+                crowdfusion_jointdist::Assignment(
+                    i.wrapping_mul(0x9E37_79B9_7F4A_7C15) & ((1u64 << n) - 1),
+                ),
+                1.0 + (i % 5) as f64,
+            )
+        });
+        let d = JointDist::from_weights(n, entries).unwrap();
+        let interest = VarSet::from_vars([3, 17, 30]);
+        let q_empty = query_utility(&d, interest, VarSet::EMPTY, 0.8).unwrap();
+        let q_inside = query_utility(&d, interest, VarSet::single(17), 0.8).unwrap();
+        assert!(
+            q_inside >= q_empty - 1e-12,
+            "asking an FOI fact never hurts"
+        );
+        let picked = QueryGreedySelector::new(interest)
+            .select(&d, 0.8, 3, &mut rng())
+            .unwrap();
+        assert!(!picked.is_empty());
+        assert!(picked.iter().all(|&f| f < n));
+    }
+
+    #[test]
+    fn task_width_boundary_at_max_dense_facts() {
+        // The dense ceiling in query mode is about the *task set* width:
+        // |T| == MAX_DENSE_FACTS is accepted (cheap at Pc = 1 where the
+        // channel is the identity), |T| == MAX_DENSE_FACTS + 1 rejected —
+        // on an entity wider than both.
+        use crate::MAX_DENSE_FACTS;
+        let n = MAX_DENSE_FACTS + 2;
+        let d = JointDist::certain(n, crowdfusion_jointdist::Assignment(0b1)).unwrap();
+        let interest = VarSet::single(n - 1);
+        let at_limit = VarSet::all(MAX_DENSE_FACTS);
+        let h = truth_answer_joint_entropy(&d, interest, at_limit, 1.0).unwrap();
+        assert!(h.abs() < 1e-9, "certain truth through a perfect channel");
+        let past_limit = VarSet::all(MAX_DENSE_FACTS + 1);
+        assert!(matches!(
+            truth_answer_joint_entropy(&d, interest, past_limit, 1.0),
+            Err(CoreError::TooManyFacts { requested, limit })
+                if requested == MAX_DENSE_FACTS + 1 && limit == MAX_DENSE_FACTS
+        ));
+    }
+
+    #[test]
     fn h_t_consistency_between_modules() {
         // H(T) from answers.rs equals H(I,T) − H(I | Ans_T)… simpler:
         // verify H(I,T) ≥ H(T) and H(I,T) ≥ H(I).

@@ -1,10 +1,18 @@
 //! Algorithm 1: the `(1 − 1/e)`-approximate greedy task selector, with
-//! Theorem 3 pruning, Algorithm 2 preprocessing, and the selection
-//! engine's cached-scatter + pooled evaluation fast path.
+//! Theorem 3 pruning, Algorithm 2 preprocessing (dense *and* sparse
+//! answer tables), and the selection engine's cached-scatter + pooled
+//! evaluation fast path.
+//!
+//! All configurations share one pooled greedy loop parameterised by a
+//! [`CandidateScorer`]: the paper's brute-force per-candidate evaluation,
+//! the engine's incremental scatter cache (which also serves the sparse
+//! preprocessed path beyond [`crate::MAX_DENSE_FACTS`]), and the dense
+//! Table-IV partition refinement are three scorers behind the same
+//! round/prune/early-exit bookkeeping.
 
-use crate::answers::{answer_entropy, AnswerEvaluator};
+use crate::answers::{answer_entropy, AnswerEvaluator, AnswerTable, TableBackend};
 use crate::error::CoreError;
-use crate::parallel::full_answer_distribution_pooled;
+use crate::parallel::full_answer_table_pooled;
 use crate::pool::Pool;
 use crate::selection::engine::ScatterCache;
 use crate::selection::{validate_selection, TaskSelector};
@@ -62,13 +70,112 @@ impl PruneBound {
     }
 }
 
+/// One greedy configuration's per-candidate scoring strategy.
+///
+/// [`GreedySelector::greedy_loop`] owns the round bookkeeping (pooled
+/// candidate scans, Theorem 3 pruning, forced fills, the Theorem 2 early
+/// exit); implementations own how `H(T ∪ {f})` is computed and what
+/// state to memoise when a candidate is committed. `score` is `&self` so
+/// candidates shard freely across the pool; `commit` runs serially
+/// between rounds.
+trait CandidateScorer: Sync {
+    /// `H(T ∪ {f})` in bits for the current selected set `T`. `scratch`
+    /// is a per-worker buffer reused across candidates.
+    fn score(&self, f: usize, scratch: &mut Vec<f64>) -> f64;
+
+    /// Commits fact `f` as the round's winner (memoise `T ← T ∪ {f}`).
+    fn commit(&mut self, f: usize);
+}
+
+/// The paper's brute-force evaluation: rebuild the answer distribution of
+/// `T ∪ {f}` from the output support every time.
+struct NaiveScorer<'a> {
+    dist: &'a JointDist,
+    pc: f64,
+    evaluator: AnswerEvaluator,
+    selected: VarSet,
+}
+
+impl CandidateScorer for NaiveScorer<'_> {
+    fn score(&self, f: usize, _scratch: &mut Vec<f64>) -> f64 {
+        answer_entropy(self.dist, self.selected.insert(f), self.pc, self.evaluator)
+            .expect("validated before the greedy loop")
+    }
+
+    fn commit(&mut self, f: usize) {
+        self.selected = self.selected.insert(f);
+    }
+}
+
+/// The engine's incremental evaluation: one cached-scatter bucket split
+/// plus a half-size butterfly per candidate. Serves both the direct
+/// butterfly path (cache over the output support, channel `pc`) and the
+/// sparse preprocessed path (cache over an [`AnswerTable`]'s support at
+/// its residual accuracy).
+struct EngineScorer {
+    cache: ScatterCache,
+    pc: f64,
+}
+
+impl CandidateScorer for EngineScorer {
+    fn score(&self, f: usize, scratch: &mut Vec<f64>) -> f64 {
+        self.cache.candidate_entropy(f, self.pc, scratch)
+    }
+
+    fn commit(&mut self, f: usize) {
+        self.cache.extend(f, self.pc);
+    }
+}
+
+/// Algorithm 2 over the dense Table-IV answer table: each candidate
+/// refines the memoised partition of answer patterns by its judgment bit.
+struct PartitionScorer<'a> {
+    table: &'a [f64],
+    part: Vec<u32>,
+    num_parts: usize,
+}
+
+impl<'a> PartitionScorer<'a> {
+    fn new(table: &'a [f64]) -> PartitionScorer<'a> {
+        PartitionScorer {
+            part: vec![0; table.len()],
+            num_parts: 1,
+            table,
+        }
+    }
+}
+
+impl CandidateScorer for PartitionScorer<'_> {
+    fn score(&self, f: usize, acc: &mut Vec<f64>) -> f64 {
+        // Refine the memoised partition by fact f's judgment bit and
+        // compute the resulting answer-marginal entropy.
+        acc.clear();
+        acc.resize(self.num_parts << 1, 0.0);
+        for (idx, &p) in self.table.iter().enumerate() {
+            let bucket = ((self.part[idx] as usize) << 1) | ((idx >> f) & 1);
+            acc[bucket] += p;
+        }
+        entropy_of_probs(acc.iter().copied())
+    }
+
+    fn commit(&mut self, f: usize) {
+        // Memoise the separation of the chosen fact.
+        for (idx, bucket) in self.part.iter_mut().enumerate() {
+            *bucket = (*bucket << 1) | ((idx >> f) & 1) as u32;
+        }
+        self.num_parts <<= 1;
+    }
+}
+
 /// The greedy selector (Algorithm 1) in its four paper configurations plus
-/// the engine-backed fast variants (cached scatter, pooled candidates).
+/// the engine-backed fast variants (cached scatter, pooled candidates,
+/// sparse answer tables).
 #[derive(Debug, Clone)]
 pub struct GreedySelector {
     evaluator: AnswerEvaluator,
     prune: Option<PruneBound>,
     preprocess: bool,
+    backend: TableBackend,
     pool: Pool,
 }
 
@@ -80,6 +187,7 @@ impl GreedySelector {
             evaluator: AnswerEvaluator::Naive,
             prune: None,
             preprocess: false,
+            backend: TableBackend::Auto,
             pool: Pool::serial(),
         }
     }
@@ -92,6 +200,7 @@ impl GreedySelector {
             evaluator: AnswerEvaluator::Butterfly,
             prune: Some(PruneBound::Safe),
             preprocess: false,
+            backend: TableBackend::Auto,
             pool: Pool::serial(),
         }
     }
@@ -110,10 +219,24 @@ impl GreedySelector {
     }
 
     /// Enables Algorithm 2 preprocessing (answer-table partition
-    /// refinement with memoised separations).
+    /// refinement with memoised separations; beyond the dense limit the
+    /// table — and hence the refinement — switches to the sparse
+    /// backend, see [`GreedySelector::with_table_backend`]).
     #[must_use]
     pub fn with_preprocess(mut self) -> GreedySelector {
         self.preprocess = true;
+        self
+    }
+
+    /// Pins the preprocessed path's answer-table backend. The default
+    /// ([`TableBackend::Auto`]) uses the paper's dense Table-IV partition
+    /// refinement up to [`crate::MAX_DENSE_FACTS`] facts and the exact
+    /// sparse support-backed table beyond; forcing
+    /// [`TableBackend::Sparse`] is mainly for cross-validation, forcing
+    /// [`TableBackend::Dense`] restores the pre-sparse hard failure.
+    #[must_use]
+    pub fn with_table_backend(mut self, backend: TableBackend) -> GreedySelector {
+        self.backend = backend;
         self
     }
 
@@ -195,22 +318,12 @@ impl GreedySelector {
         (filled, true)
     }
 
-    /// Greedy selection evaluating each candidate from the output support
-    /// through the engine: the scatter cache makes extending the current
-    /// selected set by one candidate an `O(|O| + 2^|T|)` bucket split plus
-    /// a single-bit channel stage, and the pool shards the independent
-    /// candidates across threads.
-    fn select_direct(
-        &self,
-        dist: &JointDist,
-        pc: f64,
-        k_eff: usize,
-    ) -> Result<Vec<usize>, CoreError> {
-        let n = dist.num_vars();
-        let mut cache = match self.evaluator {
-            AnswerEvaluator::Butterfly => Some(ScatterCache::new(dist)),
-            AnswerEvaluator::Naive => None,
-        };
+    /// The shared greedy loop: pooled candidate scans through `scorer`,
+    /// end-of-round pruning, forced fills and the Theorem 2 early exit.
+    /// Selections are bit-identical for every thread count: candidates
+    /// are scored into per-index slots and reduced serially in fact
+    /// order.
+    fn greedy_loop<S: CandidateScorer>(&self, n: usize, k_eff: usize, mut scorer: S) -> Vec<usize> {
         let mut selected = Vec::with_capacity(k_eff);
         let mut selected_set = VarSet::EMPTY;
         let mut pruned = vec![false; n];
@@ -221,9 +334,8 @@ impl GreedySelector {
         for round in 0..k_eff {
             scores.fill(f64::NEG_INFINITY);
             {
-                let cache = cache.as_ref();
+                let scorer = &scorer;
                 let pruned = &pruned;
-                let evaluator = self.evaluator;
                 self.pool
                     .for_each_chunk(&mut scores, self.pool.chunk_size(n), |base, chunk| {
                         let mut scratch = Vec::new();
@@ -232,11 +344,7 @@ impl GreedySelector {
                             if selected_set.contains(f) || pruned[f] {
                                 continue;
                             }
-                            *slot = match cache {
-                                Some(cache) => cache.candidate_entropy(f, pc, &mut scratch),
-                                None => answer_entropy(dist, selected_set.insert(f), pc, evaluator)
-                                    .expect("validated before the greedy loop"),
-                            };
+                            *slot = scorer.score(f, &mut scratch);
                         }
                     });
             }
@@ -253,26 +361,63 @@ impl GreedySelector {
             }
             selected.push(f);
             selected_set = selected_set.insert(f);
-            if let Some(cache) = cache.as_mut() {
-                cache.extend(f, pc);
-            }
+            scorer.commit(f);
             if !forced {
                 h_current = h;
             }
         }
-        Ok(selected)
+        selected
+    }
+
+    /// Greedy selection evaluating each candidate from the output support
+    /// through the engine: the scatter cache makes extending the current
+    /// selected set by one candidate an `O(|O| + 2^|T|)` bucket split plus
+    /// a single-bit channel stage, and the pool shards the independent
+    /// candidates across threads. Works at any entity size the substrate
+    /// holds (up to 64 facts) — only the task-set width is bounded by the
+    /// dense limit.
+    fn select_direct(
+        &self,
+        dist: &JointDist,
+        pc: f64,
+        k_eff: usize,
+    ) -> Result<Vec<usize>, CoreError> {
+        let n = dist.num_vars();
+        Ok(match self.evaluator {
+            AnswerEvaluator::Butterfly => self.greedy_loop(
+                n,
+                k_eff,
+                EngineScorer {
+                    cache: ScatterCache::new(dist),
+                    pc,
+                },
+            ),
+            AnswerEvaluator::Naive => self.greedy_loop(
+                n,
+                k_eff,
+                NaiveScorer {
+                    dist,
+                    pc,
+                    evaluator: self.evaluator,
+                    selected: VarSet::EMPTY,
+                },
+            ),
+        })
     }
 
     /// Greedy selection over the preprocessed answer table (Algorithm 2).
     ///
-    /// The full answer joint distribution (Table IV) is computed once (on
-    /// the pool — the paper's MapReduce-friendly step); each candidate's
-    /// marginal is then a single scan that refines the current partition
-    /// of answer patterns by the candidate's judgment bit, and those
-    /// independent scans shard across the pool too. The separation of the
-    /// chosen fact is memoised into `part`, so every iteration costs
-    /// `O(n · 2^n / threads)` instead of recomputing marginals from the
-    /// output distribution.
+    /// The answer table is computed once on the pool (the paper's
+    /// MapReduce-friendly step). Dense tables (up to
+    /// [`crate::MAX_DENSE_FACTS`] facts) use the paper's partition
+    /// refinement: each candidate's marginal is a single scan refining the
+    /// current partition of answer patterns by the candidate's judgment
+    /// bit, with the chosen fact's separation memoised — `O(n · 2^n /
+    /// threads)` per round. Beyond the dense limit the table is the exact
+    /// sparse support and candidates evaluate through the engine's
+    /// scatter cache at the table's residual accuracy — `O(n · (|O| +
+    /// 2^|T|) / threads)` per round, which is what lifts the `2^n`
+    /// ceiling from this path.
     fn select_preprocessed(
         &self,
         dist: &JointDist,
@@ -280,74 +425,23 @@ impl GreedySelector {
         k_eff: usize,
     ) -> Result<Vec<usize>, CoreError> {
         let n = dist.num_vars();
-        if n > crate::MAX_DENSE_FACTS {
-            return Err(CoreError::TooManyFacts {
-                requested: n,
-                limit: crate::MAX_DENSE_FACTS,
-            });
-        }
-        // Preprocessing: the answer joint distribution over all n facts.
-        let table = full_answer_distribution_pooled(dist, pc, self.evaluator, &self.pool)?;
-        let mut part: Vec<u32> = vec![0; table.len()];
-        let mut num_parts = 1usize;
-
-        let mut selected = Vec::with_capacity(k_eff);
-        let mut selected_set = VarSet::EMPTY;
-        let mut pruned = vec![false; n];
-        let mut last_h = vec![f64::NEG_INFINITY; n];
-        let mut h_current = 0.0f64;
-        let mut scores = vec![f64::NEG_INFINITY; n];
-
-        for round in 0..k_eff {
-            scores.fill(f64::NEG_INFINITY);
-            {
-                let table = &table;
-                let part = &part;
-                let pruned = &pruned;
-                self.pool
-                    .for_each_chunk(&mut scores, self.pool.chunk_size(n), |base, chunk| {
-                        let mut acc: Vec<f64> = Vec::new();
-                        for (offset, slot) in chunk.iter_mut().enumerate() {
-                            let f = base + offset;
-                            if selected_set.contains(f) || pruned[f] {
-                                continue;
-                            }
-                            // Refine the memoised partition by fact f's
-                            // judgment bit and compute the resulting
-                            // answer-marginal entropy.
-                            acc.clear();
-                            acc.resize(num_parts << 1, 0.0);
-                            for (idx, &p) in table.iter().enumerate() {
-                                let bucket = ((part[idx] as usize) << 1) | ((idx >> f) & 1);
-                                acc[bucket] += p;
-                            }
-                            *slot = entropy_of_probs(acc.iter().copied());
-                        }
-                    });
+        let table = full_answer_table_pooled(dist, pc, self.evaluator, &self.pool, self.backend)?;
+        Ok(match &table {
+            AnswerTable::Dense { probs, .. } => {
+                self.greedy_loop(n, k_eff, PartitionScorer::new(probs))
             }
-            let (best, forced) = self.reduce_round(
-                &scores,
-                selected_set,
-                &mut pruned,
-                &mut last_h,
-                k_eff - round - 1,
-            );
-            let Some((f, h)) = best else { break };
-            if !forced && h - h_current <= GAIN_EPSILON {
-                break;
+            AnswerTable::Sparse { .. } => {
+                let (cache, residual_pc) = ScatterCache::from_table(&table);
+                self.greedy_loop(
+                    n,
+                    k_eff,
+                    EngineScorer {
+                        cache,
+                        pc: residual_pc,
+                    },
+                )
             }
-            // Memoise the separation of the chosen fact.
-            for (idx, bucket) in part.iter_mut().enumerate() {
-                *bucket = (*bucket << 1) | ((idx >> f) & 1) as u32;
-            }
-            num_parts <<= 1;
-            selected.push(f);
-            selected_set = selected_set.insert(f);
-            if !forced {
-                h_current = h;
-            }
-        }
-        Ok(selected)
+        })
     }
 }
 
@@ -365,7 +459,11 @@ impl TaskSelector for GreedySelector {
             None => {}
         }
         if self.preprocess {
-            name.push_str("+pre");
+            name.push_str(match self.backend {
+                TableBackend::Auto => "+pre",
+                TableBackend::Dense => "+pre(dense)",
+                TableBackend::Sparse => "+pre(sparse)",
+            });
         }
         if self.pool.threads() > 1 {
             name.push_str(&format!("@{}t", self.pool.threads()));
@@ -552,6 +650,118 @@ mod tests {
     }
 
     #[test]
+    fn sparse_backend_matches_dense_preprocessing() {
+        // Forcing the sparse table must reproduce the dense partition
+        // refinement's selections wherever both backends apply.
+        let mut seed_rng = StdRng::seed_from_u64(123);
+        for trial in 0..20 {
+            use rand::Rng;
+            let n = 3 + (trial % 5);
+            let entries = (0..(1u64 << n)).map(|a| {
+                (
+                    crowdfusion_jointdist::Assignment(a),
+                    seed_rng.gen_range(0.0..1.0),
+                )
+            });
+            let d = JointDist::from_weights(n, entries).unwrap();
+            for pc in [0.7, 0.85, 1.0] {
+                let dense = GreedySelector::fast()
+                    .with_preprocess()
+                    .with_table_backend(crate::answers::TableBackend::Dense)
+                    .select(&d, pc, 3, &mut rng())
+                    .unwrap();
+                let sparse = GreedySelector::fast()
+                    .with_preprocess()
+                    .with_table_backend(crate::answers::TableBackend::Sparse)
+                    .select(&d, pc, 3, &mut rng())
+                    .unwrap();
+                assert_eq!(dense, sparse, "trial {trial} pc {pc}");
+            }
+        }
+    }
+
+    fn large_sparse_dist(n: usize, support: u64, seed: u64) -> JointDist {
+        use rand::Rng;
+        let mut wrng = StdRng::seed_from_u64(seed);
+        let entries = (0..support).map(|i| {
+            (
+                crowdfusion_jointdist::Assignment(
+                    i.wrapping_mul(0x9E37_79B9_7F4A_7C15) & ((1u64 << n) - 1),
+                ),
+                wrng.gen_range(0.1..1.0),
+            )
+        });
+        JointDist::from_weights(n, entries).unwrap()
+    }
+
+    #[test]
+    fn preprocessed_selection_works_beyond_the_dense_limit() {
+        // A 32-fact entity: the old preprocessed path hard-failed with
+        // TooManyFacts; the sparse backend selects, identically to the
+        // direct engine path and for every thread count.
+        let d = large_sparse_dist(32, 96, 5);
+        let direct = GreedySelector::fast()
+            .select(&d, 0.8, 4, &mut rng())
+            .unwrap();
+        assert_eq!(direct.len(), 4);
+        let reference = GreedySelector::fast()
+            .with_preprocess()
+            .select(&d, 0.8, 4, &mut rng())
+            .unwrap();
+        assert_eq!(
+            reference, direct,
+            "sparse preprocessed must agree with the direct engine"
+        );
+        for threads in [2usize, 4, 7] {
+            let pooled = GreedySelector::engine(threads)
+                .with_preprocess()
+                .select(&d, 0.8, 4, &mut rng())
+                .unwrap();
+            assert_eq!(pooled, reference, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn forced_dense_backend_still_rejects_oversized_entities() {
+        let d = large_sparse_dist(crate::MAX_DENSE_FACTS + 1, 16, 9);
+        assert!(matches!(
+            GreedySelector::fast()
+                .with_preprocess()
+                .with_table_backend(crate::answers::TableBackend::Dense)
+                .select(&d, 0.8, 2, &mut rng()),
+            Err(CoreError::TooManyFacts { requested, limit })
+                if requested == crate::MAX_DENSE_FACTS + 1 && limit == crate::MAX_DENSE_FACTS
+        ));
+        // Auto at the same size succeeds through the sparse table.
+        let tasks = GreedySelector::fast()
+            .with_preprocess()
+            .select(&d, 0.8, 2, &mut rng())
+            .unwrap();
+        assert_eq!(tasks.len(), 2);
+    }
+
+    #[test]
+    fn selection_boundary_at_max_dense_facts() {
+        // n == MAX_DENSE_FACTS (direct path, cheap sparse support) and
+        // n == MAX_DENSE_FACTS + 1 both select; an oversized *task set*
+        // request keeps failing on both sides of the boundary.
+        for n in [crate::MAX_DENSE_FACTS, crate::MAX_DENSE_FACTS + 1] {
+            let d = large_sparse_dist(n, 32, n as u64);
+            let tasks = GreedySelector::fast()
+                .select(&d, 0.8, 3, &mut rng())
+                .unwrap();
+            assert_eq!(tasks.len(), 3, "n = {n}");
+            assert!(tasks.iter().all(|&f| f < n));
+        }
+        let big = large_sparse_dist(crate::MAX_DENSE_FACTS + 4, 32, 2);
+        assert!(matches!(
+            GreedySelector::fast().select(&big, 0.8, crate::MAX_DENSE_FACTS + 1, &mut rng()),
+            Err(CoreError::TooManyFacts { requested, limit })
+                if requested == crate::MAX_DENSE_FACTS + 1 && limit == crate::MAX_DENSE_FACTS
+        ));
+    }
+
+    #[test]
     fn selector_names_are_descriptive() {
         assert_eq!(GreedySelector::paper_approx().name(), "greedy[naive]");
         assert_eq!(
@@ -568,6 +778,13 @@ mod tests {
         assert_eq!(
             GreedySelector::engine(4).name(),
             "greedy[butterfly]+prune(safe)@4t"
+        );
+        assert_eq!(
+            GreedySelector::fast()
+                .with_preprocess()
+                .with_table_backend(crate::answers::TableBackend::Sparse)
+                .name(),
+            "greedy[butterfly]+prune(safe)+pre(sparse)"
         );
     }
 

@@ -11,7 +11,7 @@
 //! any support the sparse [`JointDist`] can hold (up to 64 facts).
 
 use crate::error::CoreError;
-use crate::selection::{validate_selection, TaskSelector};
+use crate::selection::TaskSelector;
 use crowdfusion_jointdist::{JointDist, VarSet};
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
@@ -101,13 +101,15 @@ impl TaskSelector for SampledGreedySelector {
     ) -> Result<Vec<usize>, CoreError> {
         crate::validate_pc(pc)?;
         let n = dist.num_vars();
-        // validate_selection rejects k > MAX_DENSE_FACTS, which is exactly
-        // the regime this selector exists for — only validate pc and clamp.
-        let k_eff = if n <= crate::MAX_DENSE_FACTS {
-            validate_selection(dist, pc, k)?
-        } else {
-            k.min(n)
-        };
+        // No dense-limit check on either side of MAX_DENSE_FACTS: the
+        // estimator only ever holds a histogram of *observed* answer
+        // patterns, so task sets wider than the dense limit are exactly
+        // the regime this selector exists for. (An earlier version
+        // routed n ≤ MAX_DENSE_FACTS through validate_selection, which
+        // would have rejected k_eff > MAX_DENSE_FACTS on the dense side
+        // only — dead code there since k_eff ≤ n, but a behavioural
+        // cliff at the boundary once n itself may exceed the limit.)
+        let k_eff = k.min(n);
         let mut selected = Vec::with_capacity(k_eff);
         let mut selected_set = VarSet::EMPTY;
         for round in 0..k_eff {
@@ -213,6 +215,31 @@ mod tests {
         let set: std::collections::HashSet<_> = picked.iter().copied().collect();
         assert_eq!(set.len(), 5);
         assert!(picked.iter().all(|&f| f < n));
+    }
+
+    #[test]
+    fn behaviour_is_continuous_across_the_dense_boundary() {
+        // n == MAX_DENSE_FACTS and n == MAX_DENSE_FACTS + 1 must behave
+        // identically: k clamps to n, and k = n (wider than the dense
+        // limit on the far side) is accepted — the sampled estimator
+        // never materialises a dense table.
+        for n in [crate::MAX_DENSE_FACTS, crate::MAX_DENSE_FACTS + 1] {
+            let entries = (0..48u64).map(|i| {
+                (
+                    Assignment((i.wrapping_mul(0x9E37_79B9)) & ((1 << n) - 1)),
+                    1.0 + (i % 7) as f64,
+                )
+            });
+            let d = JointDist::from_weights(n, entries).unwrap();
+            let picked = SampledGreedySelector::new(MIN_SAMPLES, 3)
+                .select(&d, 0.8, n + 5, &mut rng())
+                .unwrap();
+            assert_eq!(picked.len(), n, "k must clamp to n at n = {n}");
+            let mut sorted = picked.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), n, "duplicate tasks at n = {n}");
+        }
     }
 
     #[test]

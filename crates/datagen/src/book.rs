@@ -77,6 +77,24 @@ impl BookGenConfig {
         }
     }
 
+    /// The large-entity scenario of the paper's efficiency experiments
+    /// ("books with facts more than 20"): every book carries exactly
+    /// `n_statements` candidate author lists, drawn from a wider author
+    /// pool so the shared-author format variants form sizeable
+    /// correlation groups. Beyond the engine's dense limit
+    /// (`MAX_DENSE_FACTS` = 26) these books exercise the sparse prior
+    /// and sparse answer-table paths end to end.
+    pub fn large(n_statements: usize) -> BookGenConfig {
+        BookGenConfig {
+            n_books: 4,
+            n_sources: 12,
+            n_specialists: 2,
+            authors_per_book: (3, 5),
+            statements_per_book: (n_statements, n_statements),
+            ..BookGenConfig::default()
+        }
+    }
+
     fn validate(&self) {
         assert!(self.n_books > 0, "n_books must be positive");
         assert!(
@@ -691,6 +709,46 @@ mod tests {
                 }
                 TaskClass::Clean => {}
             }
+        }
+    }
+
+    #[test]
+    fn large_books_hit_the_exact_statement_count() {
+        // The n = 32–40 correlated-fact scenario behind the sparse
+        // answer-table workloads: exact sizes, deterministic, and with
+        // genuine shared-author correlation groups (the true variants
+        // always share one group).
+        for n in [32usize, 40] {
+            let cfg = BookGenConfig {
+                n_books: 2,
+                seed: 7,
+                ..BookGenConfig::large(n)
+            };
+            let g = generate(cfg);
+            assert_eq!(g.dataset.entities().len(), 2);
+            for e in g.dataset.entities() {
+                assert_eq!(
+                    e.statements.len(),
+                    n,
+                    "book {} missed the target size",
+                    e.name
+                );
+                let groups = g.correlation_groups(e.id);
+                assert!(
+                    groups.len() >= 2,
+                    "book {} has no conflicting author sets",
+                    e.name
+                );
+                // At least one multi-member group: the shared-author
+                // format variants that drive the correlated prior must
+                // actually be present, not just singleton conflicts.
+                assert!(
+                    groups.iter().any(|grp| grp.len() >= 2),
+                    "book {} has only singleton correlation groups",
+                    e.name
+                );
+            }
+            g.verify_gold_consistency();
         }
     }
 

@@ -219,6 +219,22 @@ impl FactorGraphBuilder {
         self.marginals.len()
     }
 
+    /// Validation shared by [`FactorGraphBuilder::build`] and
+    /// [`FactorGraphBuilder::build_sparse`]: marginal ranges and factor
+    /// well-formedness (the variable-count ceiling differs per backend).
+    fn validate(&self) -> Result<(), JointError> {
+        let n = self.marginals.len();
+        for (var, &p) in self.marginals.iter().enumerate() {
+            if !(0.0..=1.0).contains(&p) || !p.is_finite() {
+                return Err(JointError::MarginalOutOfRange { var, value: p });
+            }
+        }
+        for f in &self.factors {
+            f.validate(n)?;
+        }
+        Ok(())
+    }
+
     /// Materialises the joint distribution by dense enumeration.
     ///
     /// Weight of assignment `a` = `Π_i unary_i(a) · Π_f f.weight(a)`, then
@@ -233,14 +249,7 @@ impl FactorGraphBuilder {
                 limit: MAX_DENSE_VARS,
             });
         }
-        for (var, &p) in self.marginals.iter().enumerate() {
-            if !(0.0..=1.0).contains(&p) || !p.is_finite() {
-                return Err(JointError::MarginalOutOfRange { var, value: p });
-            }
-        }
-        for f in &self.factors {
-            f.validate(n)?;
-        }
+        self.validate()?;
         let count = 1u64 << n;
         let mut weights = Vec::with_capacity(count as usize);
         for bits in 0..count {
@@ -265,6 +274,61 @@ impl FactorGraphBuilder {
             }
         }
         JointDist::from_weights(n, weights).map_err(|e| match e {
+            JointError::EmptySupport => JointError::ZeroMass,
+            other => other,
+        })
+    }
+
+    /// Materialises a **sparse approximation** of the joint distribution by
+    /// self-normalised importance sampling, for variable counts beyond
+    /// [`MAX_DENSE_VARS`] (up to 64).
+    ///
+    /// `draws` assignments are sampled from the independent product of the
+    /// unary marginals (the proposal) and each carries the product of its
+    /// factor weights as an importance weight; the weighted histogram of
+    /// the draws becomes the distribution. The estimator is consistent —
+    /// error vanishes as `O(1/√draws)` — and deterministic in the RNG, so
+    /// sparse priors for large entities are reproducible byte for byte.
+    ///
+    /// Fails like [`FactorGraphBuilder::build`] on malformed inputs, and
+    /// with [`JointError::ZeroMass`] when every draw violates a hard
+    /// (`penalty = 0`) factor — tight hard constraints on a wide proposal
+    /// may need more draws.
+    pub fn build_sparse<R: rand::Rng + ?Sized>(
+        self,
+        draws: usize,
+        rng: &mut R,
+    ) -> Result<JointDist, JointError> {
+        let n = self.marginals.len();
+        if n > 64 {
+            return Err(JointError::TooManyVariables {
+                requested: n,
+                limit: 64,
+            });
+        }
+        if draws == 0 {
+            return Err(JointError::EmptySupport);
+        }
+        self.validate()?;
+        let mut support: std::collections::BTreeMap<Assignment, f64> =
+            std::collections::BTreeMap::new();
+        for _ in 0..draws {
+            let mut a = Assignment::ALL_FALSE;
+            for (var, &p) in self.marginals.iter().enumerate() {
+                a = a.with(var, rng.gen::<f64>() < p);
+            }
+            let mut w = 1.0f64;
+            for f in &self.factors {
+                w *= f.weight(a);
+                if w == 0.0 {
+                    break;
+                }
+            }
+            if w > 0.0 {
+                *support.entry(a).or_insert(0.0) += w;
+            }
+        }
+        JointDist::from_weights(n, support).map_err(|e| match e {
             JointError::EmptySupport => JointError::ZeroMass,
             other => other,
         })
@@ -436,6 +500,106 @@ mod tests {
         assert!(matches!(
             FactorGraphBuilder::new(vec![0.5, 2.0]).build(),
             Err(JointError::MarginalOutOfRange { var: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn build_sparse_converges_to_dense_build() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let builder = FactorGraphBuilder::new(vec![0.6, 0.55, 0.5])
+            .factor(Factor::Equivalent {
+                vars: VarSet::from_vars([0, 1]),
+                penalty: 0.35,
+            })
+            .factor(Factor::AtMostOne {
+                vars: VarSet::from_vars([0, 2]),
+                penalty: 0.75,
+            });
+        let dense = builder.clone().build().unwrap();
+        let sparse = builder
+            .build_sparse(200_000, &mut StdRng::seed_from_u64(11))
+            .unwrap();
+        for (a, p) in dense.iter() {
+            assert!(
+                (sparse.prob(a) - p).abs() < 0.01,
+                "mismatch at {a:?}: {} vs {p}",
+                sparse.prob(a)
+            );
+        }
+    }
+
+    #[test]
+    fn build_sparse_handles_large_variable_counts() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let n = 40;
+        let d = FactorGraphBuilder::new(vec![0.5; n])
+            .factor(Factor::Equivalent {
+                vars: VarSet::from_vars([0, 1, 2]),
+                penalty: 0.2,
+            })
+            .factor(Factor::AtMostOne {
+                vars: VarSet::from_vars([3, 4]),
+                penalty: 0.5,
+            })
+            .build_sparse(4_096, &mut StdRng::seed_from_u64(7))
+            .unwrap();
+        assert_eq!(d.num_vars(), n);
+        assert!(d.support_size() <= 4_096);
+        assert!((d.total_mass() - 1.0).abs() < 1e-9);
+        // The equivalence factor must visibly tie variables 0 and 1.
+        let given_true = d.condition(0, true).unwrap();
+        let given_false = d.condition(0, false).unwrap();
+        assert!(given_true.marginal(1).unwrap() > given_false.marginal(1).unwrap() + 0.1);
+    }
+
+    #[test]
+    fn build_sparse_is_deterministic_in_seed() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let builder = FactorGraphBuilder::new(vec![0.4; 30]).factor(Factor::Implies {
+            premise: 0,
+            conclusion: 1,
+            penalty: 0.3,
+        });
+        let a = builder
+            .clone()
+            .build_sparse(2_000, &mut StdRng::seed_from_u64(5))
+            .unwrap();
+        let b = builder
+            .build_sparse(2_000, &mut StdRng::seed_from_u64(5))
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn build_sparse_validates() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(matches!(
+            FactorGraphBuilder::new(vec![0.5; 65]).build_sparse(100, &mut rng),
+            Err(JointError::TooManyVariables { .. })
+        ));
+        assert!(matches!(
+            FactorGraphBuilder::new(vec![0.5]).build_sparse(0, &mut rng),
+            Err(JointError::EmptySupport)
+        ));
+        assert!(matches!(
+            FactorGraphBuilder::new(vec![1.5]).build_sparse(100, &mut rng),
+            Err(JointError::MarginalOutOfRange { .. })
+        ));
+        // Hard constraints that reject every draw yield ZeroMass.
+        assert!(matches!(
+            FactorGraphBuilder::new(vec![1.0, 0.0])
+                .factor(Factor::Implies {
+                    premise: 0,
+                    conclusion: 1,
+                    penalty: 0.0,
+                })
+                .build_sparse(64, &mut rng),
+            Err(JointError::ZeroMass)
         ));
     }
 

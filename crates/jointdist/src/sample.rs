@@ -74,6 +74,50 @@ impl JointDist {
         }
         JointDist::from_weights(n, support.into_iter().map(|(a, count)| (a, count as f64)))
     }
+
+    /// Builds a **sparse approximation** of this distribution pushed
+    /// through a per-variable binary symmetric channel with per-bit
+    /// correctness `correct` — the sparse counterpart of the dense full
+    /// answer joint distribution (the CrowdFusion paper's Table IV) for
+    /// variable counts beyond [`crate::MAX_DENSE_VARS`].
+    ///
+    /// `draws` (ground truth, noisy observation) pairs are sampled — a
+    /// truth assignment from `self`, then each bit flipped independently
+    /// with probability `1 − correct` — and the empirical histogram of the
+    /// observations becomes the distribution. As with
+    /// [`JointDist::independent_sparse`], the histogram is an unbiased
+    /// Monte-Carlo approximation with error `O(1/√draws)`; weighting the
+    /// sampled support by exact channel probabilities instead would
+    /// condition on the support and bias the result toward the mode.
+    ///
+    /// `correct = 1` reproduces `self`'s own support (up to sampling of
+    /// the truth); `correct = 0.5` converges on the uniform distribution.
+    pub fn noisy_sparse<R: Rng + ?Sized>(
+        &self,
+        correct: f64,
+        draws: usize,
+        rng: &mut R,
+    ) -> Result<JointDist, JointError> {
+        if !(0.0..=1.0).contains(&correct) || !correct.is_finite() {
+            return Err(JointError::InvalidProbability(correct));
+        }
+        if draws == 0 {
+            return Err(JointError::EmptySupport);
+        }
+        let n = self.num_vars();
+        let mut support: BTreeMap<Assignment, u64> = BTreeMap::new();
+        for _ in 0..draws {
+            let truth = self.sample(rng);
+            let mut observed = truth;
+            for var in 0..n {
+                if rng.gen::<f64>() >= correct {
+                    observed = observed.with(var, !observed.get(var));
+                }
+            }
+            *support.entry(observed).or_insert(0) += 1;
+        }
+        JointDist::from_weights(n, support.into_iter().map(|(a, count)| (a, count as f64)))
+    }
 }
 
 #[cfg(test)]
@@ -156,6 +200,72 @@ mod tests {
             .sum::<f64>()
             / 40.0;
         assert!(mean_err < 0.03, "mean marginal error {mean_err}");
+    }
+
+    #[test]
+    fn noisy_sparse_converges_to_dense_answer_distribution() {
+        // Against the exact channel push-forward on a small example: the
+        // answer joint P(Ans) = Σ_o P(o) pc^#Same (1-pc)^#Diff.
+        let d = JointDist::from_weights(
+            2,
+            [
+                (Assignment(0b00), 0.1),
+                (Assignment(0b01), 0.3),
+                (Assignment(0b11), 0.6),
+            ],
+        )
+        .unwrap();
+        let pc = 0.8;
+        let sparse = d
+            .noisy_sparse(pc, 120_000, &mut StdRng::seed_from_u64(5))
+            .unwrap();
+        for pattern in 0u64..4 {
+            let exact: f64 = d
+                .iter()
+                .map(|(o, p)| {
+                    let diff = (o.0 ^ pattern).count_ones() as i32;
+                    p * pc.powi(2 - diff) * (1.0 - pc).powi(diff)
+                })
+                .sum();
+            let got = sparse.prob(Assignment(pattern));
+            assert!(
+                (got - exact).abs() < 0.01,
+                "pattern {pattern:02b}: {got} vs {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn noisy_sparse_identity_channel_resamples_support() {
+        let d = JointDist::from_weights(3, [(Assignment(0b101), 3.0), (Assignment(0b010), 1.0)])
+            .unwrap();
+        let s = d
+            .noisy_sparse(1.0, 10_000, &mut StdRng::seed_from_u64(2))
+            .unwrap();
+        assert!(s.support_size() <= 2);
+        assert!((s.prob(Assignment(0b101)) - 0.75).abs() < 0.02);
+    }
+
+    #[test]
+    fn noisy_sparse_handles_forty_variables() {
+        let marginals: Vec<f64> = (0..40).map(|i| 0.3 + 0.01 * i as f64).collect();
+        let d = JointDist::independent_sparse(&marginals, 2_048, &mut StdRng::seed_from_u64(1))
+            .unwrap();
+        let s = d
+            .noisy_sparse(0.9, 4_096, &mut StdRng::seed_from_u64(3))
+            .unwrap();
+        assert_eq!(s.num_vars(), 40);
+        assert!(s.support_size() <= 4_096);
+        assert!((s.total_mass() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noisy_sparse_validates() {
+        let d = JointDist::uniform(2).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(d.noisy_sparse(1.5, 100, &mut rng).is_err());
+        assert!(d.noisy_sparse(f64::NAN, 100, &mut rng).is_err());
+        assert!(d.noisy_sparse(0.8, 0, &mut rng).is_err());
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! crowdfusion fuse            --dataset books.json --method crh|majority|modified-crh|
 //!                             truthfinder|accu [--out fusion.json]
 //! crowdfusion refine          --dataset books.json [--method NAME] [--k K] [--budget B]
-//!                             [--pc PC] [--selector greedy|random] [--seed S]
+//!                             [--pc PC] [--selector greedy|greedy-pre|random] [--seed S]
 //!                             [--threads N] [--out trace.json] [--csv trace.csv]
 //! crowdfusion demo            # the paper's running example
 //! ```
@@ -51,7 +51,7 @@ USAGE:
   crowdfusion generate-countries --out PATH [--countries N] [--seed S]
   crowdfusion fuse --dataset PATH --method NAME [--out PATH]
   crowdfusion refine --dataset PATH [--method NAME] [--k K] [--budget B]
-                     [--pc PC] [--selector greedy|random] [--seed S]
+                     [--pc PC] [--selector greedy|greedy-pre|random] [--seed S]
                      [--threads N] [--out trace.json] [--csv trace.csv]
   crowdfusion demo
   crowdfusion help
@@ -233,6 +233,10 @@ pub fn run(args: &[String]) -> Result<String, String> {
             // selector inside N entity workers would oversubscribe to ~N².
             let selector: Box<dyn TaskSelector> = match selector_name.as_str() {
                 "greedy" => Box::new(GreedySelector::fast()),
+                // Algorithm 2 preprocessing; beyond MAX_DENSE_FACTS the
+                // answer table switches to the sparse backend, so book
+                // entities with 26+ facts refine end to end.
+                "greedy-pre" => Box::new(GreedySelector::fast().with_preprocess()),
                 "random" => Box::new(RandomSelector),
                 other => return Err(format!("unknown selector {other:?}")),
             };

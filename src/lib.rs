@@ -56,7 +56,7 @@ pub use crowdfusion_jointdist as jointdist;
 pub mod prelude {
     pub use crowdfusion_core::allocation::{run_global, GlobalBudgetConfig};
     pub use crowdfusion_core::answers::{
-        answer_distribution, answer_entropy, posterior, AnswerEvaluator,
+        answer_distribution, answer_entropy, posterior, AnswerEvaluator, AnswerTable, TableBackend,
     };
     pub use crowdfusion_core::metrics::{ConfusionCounts, QualityPoint};
     pub use crowdfusion_core::model::{Fact, FactSet};
