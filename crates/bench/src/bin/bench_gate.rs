@@ -1,0 +1,94 @@
+//! CI bench-regression gate (see `crowdfusion_bench::gate`).
+//!
+//! ```text
+//! bench_gate BASELINE.json FRESH.json [--filter SUBSTR] [--max-regression PCT]
+//! ```
+//!
+//! Compares a fresh `CRITERION_JSON` report against the committed baseline
+//! and exits non-zero when the median mean-time ratio over the rows whose
+//! label contains `SUBSTR` (default `engine`) exceeds `1 + PCT/100`
+//! (default 25%). CI wires it as:
+//!
+//! ```text
+//! bench_gate BENCH_selection.json bench-out/BENCH_selection.json
+//! ```
+
+use crowdfusion_bench::gate::{gate, BenchRow};
+use std::process::ExitCode;
+
+fn load(path: &str) -> Result<Vec<BenchRow>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e:?}"))
+}
+
+fn run() -> Result<bool, String> {
+    let mut positional = Vec::new();
+    let mut filter = "engine".to_string();
+    let mut max_regression = 0.25;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--filter" => {
+                filter = args.next().ok_or("--filter needs a value")?;
+            }
+            "--max-regression" => {
+                let raw = args.next().ok_or("--max-regression needs a value")?;
+                let pct: f64 = raw
+                    .parse()
+                    .map_err(|_| format!("--max-regression {raw:?} is not a number"))?;
+                if !pct.is_finite() || pct < 0.0 {
+                    return Err(format!("--max-regression {raw:?} must be non-negative"));
+                }
+                max_regression = pct / 100.0;
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag {other:?}"));
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+    let [baseline_path, fresh_path] = positional.as_slice() else {
+        return Err(
+            "usage: bench_gate BASELINE.json FRESH.json [--filter SUBSTR] \
+                    [--max-regression PCT]"
+                .to_string(),
+        );
+    };
+
+    let baseline = load(baseline_path)?;
+    let fresh = load(fresh_path)?;
+    let report = gate(&baseline, &fresh, &filter, max_regression)?;
+
+    println!("bench gate: {fresh_path} vs baseline {baseline_path} (filter {filter:?})");
+    println!(
+        "  {:<40} {:>12} {:>12} {:>8}",
+        "label", "baseline", "fresh", "ratio"
+    );
+    for row in &report.rows {
+        println!(
+            "  {:<40} {:>10}ns {:>10}ns {:>8.3}",
+            row.label, row.baseline_ns, row.fresh_ns, row.ratio
+        );
+    }
+    for label in &report.unmatched {
+        println!("  {label:<40} (present in only one report; not gated)");
+    }
+    println!(
+        "  median ratio {:.3} vs allowed {:.3} -> {}",
+        report.median_ratio,
+        report.max_ratio,
+        if report.passed() { "PASS" } else { "FAIL" }
+    );
+    Ok(report.passed())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(message) => {
+            eprintln!("bench_gate: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

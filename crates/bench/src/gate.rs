@@ -1,0 +1,248 @@
+//! The CI bench-regression gate.
+//!
+//! CI's `bench-smoke` job re-runs the `selection` bench into
+//! `bench-out/BENCH_selection.json` and compares it row by row against the
+//! committed `BENCH_selection.json` baseline with the `bench_gate` binary.
+//! The verdict statistic is the **median** mean-time ratio (fresh /
+//! baseline) over the gated rows — individual rows on a shared CI runner
+//! jitter far more than their median, so a single noisy row cannot fail
+//! the build, while a real regression of the engine moves every row and
+//! therefore the median with it. The gate fails when the median exceeds
+//! `1 + max_regression` (CI uses 25%).
+//!
+//! Only rows whose label contains the filter substring (CI: `engine`, the
+//! persistent-pool hot path this gate protects) participate; rows present
+//! in just one file are reported but never gated, so adding or renaming
+//! benches does not break the gate — *losing every gated row does*, loudly,
+//! rather than vacuously passing.
+
+use serde::{Deserialize, Serialize};
+
+/// One bench row of a `CRITERION_JSON` report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchRow {
+    /// Criterion label, e.g. `greedy_evaluators/engine_t4/16`.
+    pub label: String,
+    /// Mean sample time in nanoseconds.
+    pub mean_ns: u64,
+    /// Fastest sample time in nanoseconds.
+    pub min_ns: u64,
+    /// Number of samples taken.
+    pub samples: u64,
+}
+
+/// One gated row: its label and the fresh/baseline mean-time ratio.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowRatio {
+    /// The bench label shared by both reports.
+    pub label: String,
+    /// Baseline mean nanoseconds.
+    pub baseline_ns: u64,
+    /// Fresh mean nanoseconds.
+    pub fresh_ns: u64,
+    /// `fresh_ns / baseline_ns`.
+    pub ratio: f64,
+}
+
+/// The gate's verdict over one baseline/fresh report pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateReport {
+    /// Per-row ratios for every gated (filter-matching, in-both) row.
+    pub rows: Vec<RowRatio>,
+    /// Median of the row ratios.
+    pub median_ratio: f64,
+    /// The failure threshold the median was compared against.
+    pub max_ratio: f64,
+    /// Labels matching the filter that appear in only one report
+    /// (reported for visibility, never gated).
+    pub unmatched: Vec<String>,
+}
+
+impl GateReport {
+    /// Whether the median regression stayed within the allowance.
+    pub fn passed(&self) -> bool {
+        self.median_ratio <= self.max_ratio
+    }
+}
+
+/// Median of a non-empty slice (mean of the two middle values when even).
+fn median(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+/// Gates `fresh` against `baseline`: rows whose label contains `filter`
+/// and appears in both reports are compared by mean time, and the median
+/// ratio must not exceed `1 + max_regression`.
+///
+/// Errors when no row qualifies — a gate with nothing to gate must fail
+/// the build, not pass it — or when a gated baseline row has a zero mean
+/// (a corrupt report).
+pub fn gate(
+    baseline: &[BenchRow],
+    fresh: &[BenchRow],
+    filter: &str,
+    max_regression: f64,
+) -> Result<GateReport, String> {
+    let mut rows = Vec::new();
+    let mut unmatched = Vec::new();
+    for base in baseline.iter().filter(|r| r.label.contains(filter)) {
+        match fresh.iter().find(|r| r.label == base.label) {
+            Some(new) => {
+                if base.mean_ns == 0 {
+                    return Err(format!("baseline row {:?} has a zero mean", base.label));
+                }
+                rows.push(RowRatio {
+                    label: base.label.clone(),
+                    baseline_ns: base.mean_ns,
+                    fresh_ns: new.mean_ns,
+                    ratio: new.mean_ns as f64 / base.mean_ns as f64,
+                });
+            }
+            None => unmatched.push(base.label.clone()),
+        }
+    }
+    for new in fresh.iter().filter(|r| r.label.contains(filter)) {
+        if !baseline.iter().any(|r| r.label == new.label) {
+            unmatched.push(new.label.clone());
+        }
+    }
+    if rows.is_empty() {
+        return Err(format!(
+            "no row matching {filter:?} appears in both reports — nothing to gate"
+        ));
+    }
+    let mut ratios: Vec<f64> = rows.iter().map(|r| r.ratio).collect();
+    ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
+    Ok(GateReport {
+        median_ratio: median(&ratios),
+        max_ratio: 1.0 + max_regression,
+        rows,
+        unmatched,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(label: &str, mean_ns: u64) -> BenchRow {
+        BenchRow {
+            label: label.to_string(),
+            mean_ns,
+            min_ns: mean_ns / 2,
+            samples: 10,
+        }
+    }
+
+    #[test]
+    fn identical_reports_pass_with_unit_median() {
+        let rows = vec![row("g/engine_t1/8", 100), row("g/engine_t4/8", 400)];
+        let report = gate(&rows, &rows, "engine", 0.25).unwrap();
+        assert!(report.passed());
+        assert_eq!(report.median_ratio, 1.0);
+        assert_eq!(report.rows.len(), 2);
+        assert!(report.unmatched.is_empty());
+    }
+
+    #[test]
+    fn one_noisy_row_cannot_fail_the_median() {
+        let baseline = vec![
+            row("g/engine_t1/8", 100),
+            row("g/engine_t2/8", 100),
+            row("g/engine_t4/8", 100),
+        ];
+        let fresh = vec![
+            row("g/engine_t1/8", 300), // 3× outlier on a shared runner
+            row("g/engine_t2/8", 101),
+            row("g/engine_t4/8", 99),
+        ];
+        let report = gate(&baseline, &fresh, "engine", 0.25).unwrap();
+        assert!(report.passed(), "median {}", report.median_ratio);
+        assert!((report.median_ratio - 1.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_regression_beyond_allowance_fails() {
+        let baseline = vec![
+            row("g/engine_t1/8", 100),
+            row("g/engine_t2/8", 200),
+            row("g/engine_t4/8", 300),
+        ];
+        let fresh = vec![
+            row("g/engine_t1/8", 130),
+            row("g/engine_t2/8", 260),
+            row("g/engine_t4/8", 390),
+        ];
+        let report = gate(&baseline, &fresh, "engine", 0.25).unwrap();
+        assert!(!report.passed());
+        assert!((report.median_ratio - 1.3).abs() < 1e-9);
+        // A looser allowance passes the same pair.
+        assert!(gate(&baseline, &fresh, "engine", 0.35).unwrap().passed());
+    }
+
+    #[test]
+    fn even_row_count_uses_the_middle_mean() {
+        let baseline = vec![row("engine/a", 100), row("engine/b", 100)];
+        let fresh = vec![row("engine/a", 110), row("engine/b", 130)];
+        let report = gate(&baseline, &fresh, "engine", 0.25).unwrap();
+        assert!((report.median_ratio - 1.2).abs() < 1e-9);
+        assert!(report.passed());
+    }
+
+    #[test]
+    fn non_engine_rows_are_ignored() {
+        let baseline = vec![row("g/naive/8", 100), row("g/engine_t1/8", 100)];
+        let fresh = vec![row("g/naive/8", 900), row("g/engine_t1/8", 100)];
+        let report = gate(&baseline, &fresh, "engine", 0.25).unwrap();
+        assert!(report.passed());
+        assert_eq!(report.rows.len(), 1);
+    }
+
+    #[test]
+    fn renamed_rows_are_reported_but_not_gated() {
+        let baseline = vec![row("g/engine_t1/8", 100), row("g/engine_t2/8", 100)];
+        let fresh = vec![row("g/engine_t1/8", 100), row("g/engine_v2_t2/8", 100)];
+        let report = gate(&baseline, &fresh, "engine", 0.25).unwrap();
+        assert!(report.passed());
+        assert_eq!(report.rows.len(), 1);
+        assert_eq!(
+            report.unmatched,
+            vec!["g/engine_t2/8".to_string(), "g/engine_v2_t2/8".to_string()]
+        );
+    }
+
+    #[test]
+    fn empty_intersection_is_an_error_not_a_pass() {
+        let baseline = vec![row("g/naive/8", 100)];
+        let fresh = vec![row("g/naive/8", 100)];
+        assert!(gate(&baseline, &fresh, "engine", 0.25).is_err());
+        assert!(gate(&[], &[], "engine", 0.25).is_err());
+    }
+
+    #[test]
+    fn zero_mean_baseline_is_rejected() {
+        let baseline = vec![row("engine/a", 0)];
+        let fresh = vec![row("engine/a", 10)];
+        assert!(gate(&baseline, &fresh, "engine", 0.25).is_err());
+    }
+
+    #[test]
+    fn bench_rows_roundtrip_through_criterion_json() {
+        let json = r#"[
+          {"label": "greedy_evaluators/engine_t1/8", "mean_ns": 12305, "min_ns": 9880, "samples": 10},
+          {"label": "greedy_evaluators/naive/8", "mean_ns": 253619, "min_ns": 230357, "samples": 10}
+        ]"#;
+        let rows: Vec<BenchRow> = serde_json::from_str(json).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].label, "greedy_evaluators/engine_t1/8");
+        assert_eq!(rows[0].mean_ns, 12305);
+        let back: Vec<BenchRow> =
+            serde_json::from_str(&serde_json::to_string(&rows).unwrap()).unwrap();
+        assert_eq!(back, rows);
+    }
+}

@@ -9,6 +9,8 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod gate;
+
 use crowdfusion::pipeline::entity_cases_from_books;
 use crowdfusion::prelude::*;
 use crowdfusion_core::round::EntityCase;

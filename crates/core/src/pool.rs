@@ -1,27 +1,63 @@
-//! The fork–join worker pool behind every sharded computation in the
-//! selection engine.
+//! The persistent work-stealing worker pool behind every sharded
+//! computation in the selection engine.
 //!
 //! The paper observes (Section III-F) that the hot loops of CrowdFusion —
 //! per-pattern Equation 2 sums, per-candidate greedy evaluations,
 //! per-entity experiment rounds — are all embarrassingly parallel. This
 //! module gives those call sites one shared primitive instead of bespoke
-//! `crossbeam::thread::scope` blocks: a [`Pool`] of `threads` workers with
+//! thread plumbing: a [`Pool`] of `threads` workers with
 //! [`Pool::for_each_chunk`] (shard a mutable slice) and
 //! [`Pool::map_reduce`] (map an index range, fold the results in index
 //! order).
 //!
-//! Determinism is the design constraint: every primitive assigns work by
-//! contiguous index ranges and reduces in index order, so results are
-//! identical for any thread count — the property tests in
-//! `tests/engine_parallel.rs` pin this down bit for bit. The pool is
-//! scoped (fork–join per call, no persistent workers): the vendored
-//! `crossbeam` maps onto `std::thread::scope`, and measured spawn cost is
-//! small against the per-round work the engine shards.
+//! # Architecture: persistent workers, channel-fed jobs, chunk stealing
+//!
+//! Workers are spawned **once**, when the pool is built, and live until the
+//! last [`Pool`] clone drops. Each parallel call packages its work as one
+//! *job* — an atomic cursor over `0..num_chunks` index-range chunks plus a
+//! lifetime-erased closure that executes one chunk — and submits it to the
+//! shared mpmc injector channel (`crossbeam::channel`). Every worker holds
+//! a clone of the same receiver, so idle workers *steal* jobs from the
+//! injector, and workers on the same job steal chunks from its cursor via
+//! `fetch_add` until it is exhausted. The submitting thread participates
+//! as a worker on its own job (an N-way sharding keeps costing N − 1
+//! *helpers*, now woken instead of spawned), which also makes nested and
+//! concurrent submissions deadlock-free: a caller never blocks while its
+//! job has unclaimed chunks.
+//!
+//! Determinism is the design constraint: which thread executes a chunk
+//! never affects *what* the chunk computes (chunks write disjoint slice
+//! ranges), and every reduction happens on the caller in strict index
+//! order — so results are identical for any thread count. The property
+//! tests in `tests/engine_parallel.rs` and `tests/batched_rounds.rs` pin
+//! this down bit for bit. See DESIGN.md §4 for the full determinism
+//! contract and job lifecycle.
 
 use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use crossbeam::channel;
 
 /// Environment variable overriding [`Pool::from_env`]'s thread count.
 pub const THREADS_ENV: &str = "CROWDFUSION_THREADS";
+
+/// The one clamping code path behind every thread-count entry point
+/// ([`Pool::new`], [`threads_from_value`], and through them the CLI's
+/// `--threads` fallback): a non-positive request is clamped to 1 worker
+/// with a single stderr warning naming its origin. Callers that can prove
+/// positivity at the type level ([`Pool::new_nonzero`]) skip it entirely.
+fn clamp_threads(requested: Option<usize>, origin: &str) -> usize {
+    match requested {
+        Some(t) if t > 0 => t,
+        _ => {
+            eprintln!("warning: {origin} is not a positive thread count; clamping to 1 worker");
+            1
+        }
+    }
+}
 
 /// The thread count requested via [`THREADS_ENV`]. The CLI's
 /// `refine --threads` fallback and [`Pool::from_env`] both resolve the
@@ -41,31 +77,153 @@ pub fn threads_from_env() -> Option<usize> {
 
 /// Parses one [`THREADS_ENV`]-style value. Surrounding whitespace is
 /// ignored (`" 4 "` is 4); anything that does not parse to a positive
-/// integer — `0`, the empty string, whitespace, non-numeric text — is
-/// clamped to 1 with a warning on stderr, matching [`Pool::new`]'s
-/// clamp-don't-panic contract.
+/// integer — `0`, the empty string, whitespace, non-numeric text — goes
+/// through the same [`clamp_threads`] path as [`Pool::new`]: clamped to 1
+/// with one warning on stderr.
 pub fn threads_from_value(raw: &str) -> usize {
-    match raw.trim().parse::<usize>() {
-        Ok(t) if t > 0 => t,
-        _ => {
-            eprintln!(
-                "warning: {THREADS_ENV}={raw:?} is not a positive integer; \
-                 clamping to 1 worker"
-            );
-            1
+    clamp_threads(
+        raw.trim().parse::<usize>().ok(),
+        &format!("{THREADS_ENV}={raw:?}"),
+    )
+}
+
+/// One submitted parallel call: an atomic cursor over its index-range
+/// chunks, a completion latch, and the lifetime-erased chunk executor.
+///
+/// # Lifecycle and safety
+///
+/// The `task` pointer references a closure on the submitting caller's
+/// stack. The caller guarantees its validity by blocking in
+/// [`Job::wait`] until `remaining == 0`, i.e. until every chunk has been
+/// claimed *and* finished. A worker that pops this job from the injector
+/// *after* completion (the `Arc` keeps the struct itself alive in the
+/// queue) finds the cursor exhausted and never touches `task` — the
+/// cursor can only yield an in-range chunk while `remaining > 0`, which
+/// is exactly while the caller is still pinned in `wait`.
+struct Job {
+    /// Next chunk index to claim; `fetch_add` is the work-stealing step.
+    next: AtomicUsize,
+    /// Total chunks in `0..num_chunks`.
+    num_chunks: usize,
+    /// Chunks not yet finished; the transition to 0 releases the caller.
+    remaining: AtomicUsize,
+    /// Set when a chunk panicked; the caller re-raises after the join.
+    poisoned: AtomicBool,
+    /// The first caught panic payload, re-raised on the caller by
+    /// `resume_unwind` so assertion messages survive the pool boundary
+    /// exactly as they would on the serial inline path.
+    panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    /// Lifetime-erased `run(chunk_index)` closure on the caller's stack.
+    task: *const (dyn Fn(usize) + Sync),
+    /// Completion latch (`remaining == 0`).
+    done: Mutex<bool>,
+    done_cv: Condvar,
+}
+
+// SAFETY: `task` is only dereferenced while the submitting caller is
+// blocked in `Job::wait` (see the struct docs), so the pointee outlives
+// every dereference; the pointee itself is `Sync` so concurrent calls
+// from several workers are sound.
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+impl Job {
+    /// Steals chunks off the cursor until it is exhausted. Run by pool
+    /// workers that popped the job from the injector and by the
+    /// submitting caller itself. A panicking chunk poisons the job
+    /// (remaining chunks are claimed but skipped) instead of unwinding
+    /// through the worker loop, so the caller can re-raise after all
+    /// in-flight chunks drained — never while workers might still hold
+    /// references into its stack frame.
+    fn run(&self) {
+        loop {
+            let chunk = self.next.fetch_add(1, Ordering::Relaxed);
+            if chunk >= self.num_chunks {
+                return;
+            }
+            if !self.poisoned.load(Ordering::Acquire) {
+                // SAFETY: `chunk < num_chunks` implies `remaining > 0`,
+                // so the caller is still parked in `wait` and the task
+                // closure is alive.
+                let task = unsafe { &*self.task };
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(|| task(chunk))) {
+                    let mut slot = self.panic_payload.lock().expect("pool latch poisoned");
+                    slot.get_or_insert(payload);
+                    drop(slot);
+                    self.poisoned.store(true, Ordering::Release);
+                }
+            }
+            if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                *self.done.lock().expect("pool latch poisoned") = true;
+                self.done_cv.notify_all();
+            }
+        }
+    }
+
+    /// Parks the caller until every chunk has finished.
+    fn wait(&self) {
+        let mut done = self.done.lock().expect("pool latch poisoned");
+        while !*done {
+            done = self.done_cv.wait(done).expect("pool latch poisoned");
         }
     }
 }
 
-/// A scoped fork–join pool with a fixed worker count.
+/// The shared half of a pool: the injector sender plus the worker handles,
+/// torn down when the last [`Pool`] clone drops.
+struct PoolShared {
+    /// `Some` until drop; taking it disconnects the channel, which is the
+    /// workers' shutdown signal.
+    injector: Option<channel::Sender<Arc<Job>>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Drop for PoolShared {
+    fn drop(&mut self) {
+        // Disconnect: workers drain any stale queued jobs (all of them
+        // already complete, so the pops are no-ops) and exit their recv
+        // loop, then join. A panic inside a worker's chunk was caught and
+        // converted to job poisoning, so joins only fail if a worker died
+        // outside any job — which is a bug worth surfacing loudly.
+        self.injector = None;
+        for handle in self.workers.drain(..) {
+            handle.join().expect("pool worker died outside a job");
+        }
+    }
+}
+
+/// A persistent channel-fed work-stealing pool with a fixed worker count.
 ///
 /// `Pool::new(1)` (or [`Pool::serial`]) never spawns threads — every
 /// primitive degrades to a plain loop — so serial callers pay no
 /// synchronisation cost and the parallel code path is the only code path.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Clones share the same workers (the handle is an `Arc`); the threads
+/// shut down when the last clone drops.
+#[derive(Clone)]
 pub struct Pool {
     threads: usize,
+    /// `None` for the serial pool; `Some` holds the injector + workers.
+    shared: Option<Arc<PoolShared>>,
 }
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("threads", &self.threads)
+            .field("persistent", &self.shared.is_some())
+            .finish()
+    }
+}
+
+/// Pools compare by worker count — the only observable behavioural
+/// parameter, since results are identical for any thread count.
+impl PartialEq for Pool {
+    fn eq(&self, other: &Pool) -> bool {
+        self.threads == other.threads
+    }
+}
+
+impl Eq for Pool {}
 
 impl Default for Pool {
     fn default() -> Pool {
@@ -74,27 +232,70 @@ impl Default for Pool {
 }
 
 impl Pool {
-    /// A pool with exactly `threads` workers (clamped to at least 1).
+    /// A pool with exactly `threads` workers. A zero request goes through
+    /// the same clamping path as a malformed [`THREADS_ENV`] value: one
+    /// stderr warning, clamped to 1.
     pub fn new(threads: usize) -> Pool {
+        let threads = match NonZeroUsize::new(threads) {
+            Some(t) => t,
+            None => NonZeroUsize::new(clamp_threads(Some(threads), "Pool::new(0)"))
+                .expect("clamp_threads returns at least 1"),
+        };
+        Pool::new_nonzero(threads)
+    }
+
+    /// A pool with exactly `threads` workers, positivity proven at the
+    /// type level — the no-clamp construction path.
+    pub fn new_nonzero(threads: NonZeroUsize) -> Pool {
+        let threads = threads.get();
+        if threads == 1 {
+            return Pool {
+                threads: 1,
+                shared: None,
+            };
+        }
+        let (injector, jobs) = channel::unbounded::<Arc<Job>>();
+        // The submitting caller always participates in its own job, so
+        // N-way sharding needs N − 1 persistent helpers.
+        let workers = (0..threads - 1)
+            .map(|i| {
+                let jobs = jobs.clone();
+                std::thread::Builder::new()
+                    .name(format!("crowdfusion-pool-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = jobs.recv() {
+                            job.run();
+                        }
+                    })
+                    .expect("spawning pool worker")
+            })
+            .collect();
         Pool {
-            threads: threads.max(1),
+            threads,
+            shared: Some(Arc::new(PoolShared {
+                injector: Some(injector),
+                workers,
+            })),
         }
     }
 
     /// The single-threaded pool: primitives run inline, no threads spawn.
     pub fn serial() -> Pool {
-        Pool { threads: 1 }
+        Pool {
+            threads: 1,
+            shared: None,
+        }
     }
 
     /// A pool sized from the environment: `CROWDFUSION_THREADS` if set to
     /// a positive integer, otherwise the machine's available parallelism.
     pub fn from_env() -> Pool {
-        let threads = threads_from_env().unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(NonZeroUsize::get)
-                .unwrap_or(1)
-        });
-        Pool::new(threads)
+        match threads_from_env() {
+            Some(threads) => Pool::new(threads),
+            None => {
+                Pool::new_nonzero(std::thread::available_parallelism().unwrap_or(NonZeroUsize::MIN))
+            }
+        }
     }
 
     /// Number of workers.
@@ -109,46 +310,97 @@ impl Pool {
     /// alignment (the butterfly stages shard on whole transform blocks);
     /// use [`Pool::chunk_size`] for an even split. At most
     /// [`Pool::threads`] workers run regardless of the chunk count
-    /// (excess chunks are dealt round-robin to the workers). Chunking
-    /// never affects results: each element is written by exactly one
-    /// worker.
+    /// (excess chunks are *stolen* off the job's cursor by whichever
+    /// worker frees up first). Chunking never affects results: each
+    /// element is written by exactly one worker.
     pub fn for_each_chunk<T, F>(&self, data: &mut [T], chunk_size: usize, f: F)
     where
         T: Send,
         F: Fn(usize, &mut [T]) + Sync,
     {
         let chunk_size = chunk_size.max(1);
-        if self.threads == 1 || data.len() <= chunk_size {
-            for (c, chunk) in data.chunks_mut(chunk_size).enumerate() {
-                f(c * chunk_size, chunk);
+        let len = data.len();
+        let shared = match &self.shared {
+            Some(shared) if len > chunk_size => shared,
+            _ => {
+                for (c, chunk) in data.chunks_mut(chunk_size).enumerate() {
+                    f(c * chunk_size, chunk);
+                }
+                return;
             }
-            return;
+        };
+        let num_chunks = len.div_ceil(chunk_size);
+
+        // Chunk executor: rematerialise the disjoint sub-slice for chunk
+        // `c` from the raw parts. Raw parts (not the `&mut [T]` itself)
+        // cross the thread boundary because distinct chunks alias no
+        // elements — each index is claimed by exactly one cursor step.
+        struct SendPtr<T>(*mut T);
+        unsafe impl<T: Send> Send for SendPtr<T> {}
+        unsafe impl<T: Send> Sync for SendPtr<T> {}
+        impl<T> SendPtr<T> {
+            // Accessor (rather than field access) so closures capture the
+            // whole wrapper — a closure capturing the bare `*mut T` field
+            // would lose the Send/Sync opt-in.
+            fn get(&self) -> *mut T {
+                self.0
+            }
         }
-        // Deal the chunks round-robin onto at most `threads` work lists.
-        let chunk_count = data.len().div_ceil(chunk_size);
-        let workers = self.threads.min(chunk_count);
-        let mut lists: Vec<Vec<(usize, &mut [T])>> = (0..workers).map(|_| Vec::new()).collect();
-        for (c, chunk) in data.chunks_mut(chunk_size).enumerate() {
-            lists[c % workers].push((c * chunk_size, chunk));
+        let base_ptr = SendPtr(data.as_mut_ptr());
+        let run = move |c: usize| {
+            let start = c * chunk_size;
+            let end = (start + chunk_size).min(len);
+            // SAFETY: `start < len` (the cursor only yields c <
+            // num_chunks) and chunk ranges are pairwise disjoint, so this
+            // is the unique live reference to these elements.
+            let chunk =
+                unsafe { std::slice::from_raw_parts_mut(base_ptr.get().add(start), end - start) };
+            f(start, chunk);
+        };
+
+        // Erase the closure's lifetime for the job struct. The caller
+        // stays on this stack frame until `wait` returns, which is the
+        // validity argument spelled out on `Job`.
+        let task: &(dyn Fn(usize) + Sync) = &run;
+        let task: *const (dyn Fn(usize) + Sync) =
+            unsafe { std::mem::transmute::<_, &'static (dyn Fn(usize) + Sync)>(task) };
+        let job = Arc::new(Job {
+            next: AtomicUsize::new(0),
+            num_chunks,
+            remaining: AtomicUsize::new(num_chunks),
+            poisoned: AtomicBool::new(false),
+            panic_payload: Mutex::new(None),
+            task,
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+        });
+
+        // Wake up to N − 1 helpers (never more than the chunks the caller
+        // can't take itself), then work the job from this thread too.
+        let helpers = (self.threads - 1).min(num_chunks - 1);
+        if let Some(injector) = &shared.injector {
+            for _ in 0..helpers {
+                if injector.send(job.clone()).is_err() {
+                    unreachable!("pool workers outlive every live Pool clone");
+                }
+            }
         }
-        crossbeam::thread::scope(|scope| {
-            // The calling thread is worker 0: it takes the first list
-            // itself, so N-way sharding costs N − 1 spawns.
-            let mut lists = lists.into_iter();
-            let first = lists.next();
-            for list in lists {
-                let f = &f;
-                scope.spawn(move |_| {
-                    for (base, chunk) in list {
-                        f(base, chunk);
-                    }
-                });
+        job.run();
+        job.wait();
+        if job.poisoned.load(Ordering::Acquire) {
+            // Every chunk has drained (wait returned), so re-raising the
+            // first caught payload here — with its original assertion
+            // message — is exactly what an inline panic would have done.
+            let payload = job
+                .panic_payload
+                .lock()
+                .expect("pool latch poisoned")
+                .take();
+            match payload {
+                Some(payload) => std::panic::resume_unwind(payload),
+                None => panic!("pool worker panicked"),
             }
-            for (base, chunk) in first.into_iter().flatten() {
-                f(base, chunk);
-            }
-        })
-        .expect("pool worker panicked");
+        }
     }
 
     /// Maps every index in `0..n` through `map` in parallel, then folds
@@ -217,8 +469,9 @@ mod tests {
 
     #[test]
     fn many_small_chunks_stay_within_the_worker_budget() {
-        // 34 chunks on a 4-thread pool must not fork 34 threads; every
-        // element is still written exactly once with the right base.
+        // 34 chunks on a 4-thread pool: chunks are stolen off one cursor,
+        // and every element is still written exactly once with the right
+        // base.
         let pool = Pool::new(4);
         let mut data = vec![0usize; 100];
         pool.for_each_chunk(&mut data, 3, |base, chunk| {
@@ -228,6 +481,102 @@ mod tests {
             }
         });
         assert!(data.iter().enumerate().all(|(i, &x)| x == i + 1));
+    }
+
+    #[test]
+    fn workers_are_reused_across_many_jobs() {
+        // The persistent-pool contract: thousands of parallel calls on
+        // one pool reuse the same workers (under the scoped design this
+        // test would fork ~6000 threads).
+        let pool = Pool::new(3);
+        let mut total = 0u64;
+        for round in 0..2_000u64 {
+            let mut data = vec![0u64; 12];
+            pool.for_each_chunk(&mut data, 4, |base, chunk| {
+                for (i, slot) in chunk.iter_mut().enumerate() {
+                    *slot = round + (base + i) as u64;
+                }
+            });
+            total += data.iter().sum::<u64>();
+        }
+        let per_round: u64 = (0..12).sum();
+        assert_eq!(total, (0..2_000u64).map(|r| r * 12 + per_round).sum());
+    }
+
+    #[test]
+    fn concurrent_submissions_share_one_pool() {
+        // Several threads submitting to the same pool at once (the shape
+        // of a pooled selector running inside a sharded experiment).
+        let pool = Pool::new(4);
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let pool = pool.clone();
+                s.spawn(move || {
+                    for _ in 0..50 {
+                        let mut data = vec![0u64; 40];
+                        pool.for_each_chunk(&mut data, 7, |base, chunk| {
+                            for (i, slot) in chunk.iter_mut().enumerate() {
+                                *slot = t * 1000 + (base + i) as u64;
+                            }
+                        });
+                        assert!(data
+                            .iter()
+                            .enumerate()
+                            .all(|(i, &x)| x == t * 1000 + i as u64));
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn nested_submission_does_not_deadlock() {
+        // A chunk of an outer job submits an inner job to the same pool:
+        // the inner caller steals its own chunks, so it completes even
+        // with every helper busy.
+        let pool = Pool::new(2);
+        let inner_pool = pool.clone();
+        let mut outer = vec![0u64; 8];
+        pool.for_each_chunk(&mut outer, 4, |base, chunk| {
+            let mut inner = vec![0u64; 16];
+            inner_pool.for_each_chunk(&mut inner, 4, |b, c| {
+                for (i, slot) in c.iter_mut().enumerate() {
+                    *slot = (b + i) as u64;
+                }
+            });
+            let sum: u64 = inner.iter().sum();
+            for slot in chunk.iter_mut() {
+                *slot = sum + base as u64;
+            }
+        });
+        let expect: u64 = (0..16).sum();
+        assert_eq!(outer[0], expect);
+        assert_eq!(outer[7], expect + 4);
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_the_caller() {
+        let pool = Pool::new(3);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let mut data = vec![0u8; 32];
+            pool.for_each_chunk(&mut data, 4, |base, _| {
+                if base == 16 {
+                    panic!("boom");
+                }
+            });
+        }));
+        // The original payload crosses the pool boundary intact — an
+        // assertion message reads the same at any thread count.
+        let payload = result.unwrap_err();
+        assert_eq!(payload.downcast_ref::<&str>(), Some(&"boom"));
+        // The pool survives a poisoned job and stays usable.
+        let mut data = vec![0usize; 10];
+        pool.for_each_chunk(&mut data, 2, |base, chunk| {
+            for (i, slot) in chunk.iter_mut().enumerate() {
+                *slot = base + i;
+            }
+        });
+        assert!(data.iter().enumerate().all(|(i, &x)| x == i));
     }
 
     #[test]
@@ -268,6 +617,37 @@ mod tests {
         assert_eq!(threads_from_value("two"), 1);
         assert_eq!(threads_from_value("-3"), 1);
         assert_eq!(threads_from_value("4.5"), 1);
+    }
+
+    #[test]
+    fn zero_and_nonzero_construction_share_one_clamp_boundary() {
+        // `Pool::new(0)` routes through the same clamp as a malformed env
+        // value; `new_nonzero` is the no-clamp path; both land on the
+        // same 1-worker serial pool at the boundary.
+        let clamped = Pool::new(0);
+        assert_eq!(clamped.threads(), 1);
+        assert!(clamped.shared.is_none(), "clamped pool must be serial");
+        assert_eq!(clamped, Pool::serial());
+        assert_eq!(
+            Pool::new_nonzero(NonZeroUsize::MIN).threads(),
+            Pool::new(1).threads()
+        );
+        let four = Pool::new_nonzero(NonZeroUsize::new(4).unwrap());
+        assert_eq!(four.threads(), 4);
+        assert_eq!(four, Pool::new(4));
+    }
+
+    #[test]
+    fn clones_share_workers_and_compare_by_thread_count() {
+        let pool = Pool::new(3);
+        let clone = pool.clone();
+        assert_eq!(pool, clone);
+        assert!(Arc::ptr_eq(
+            pool.shared.as_ref().unwrap(),
+            clone.shared.as_ref().unwrap()
+        ));
+        assert_eq!(Pool::default(), Pool::serial());
+        assert_ne!(Pool::new(2), Pool::new(3));
     }
 
     #[test]

@@ -171,6 +171,21 @@ pub(crate) struct EntityState<'a> {
     pub(crate) spent: usize,
 }
 
+/// A round that has been selected but not yet answered: the output of
+/// [`EntityState::prepare`], consumed by [`EntityState::absorb`] once the
+/// crowd's judgments are in. Splitting the round at the publish boundary
+/// is what lets [`crate::system::Experiment::run_sharded`] collect every
+/// entity's pending round into one [`crowdfusion_crowd::RoundBatch`] and
+/// pay a single platform round trip per global round.
+pub(crate) struct PendingRound {
+    /// Selected fact indices.
+    pub(crate) tasks: Vec<usize>,
+    /// The crowd-facing tasks (globally unique ids, prompts, classes).
+    pub(crate) crowd_tasks: Vec<Task>,
+    /// Hidden ground truths, parallel to `tasks`.
+    pub(crate) truths: Vec<bool>,
+}
+
 impl<'a> EntityState<'a> {
     pub(crate) fn new(case: &'a EntityCase, config: RoundConfig) -> EntityState<'a> {
         EntityState {
@@ -183,15 +198,17 @@ impl<'a> EntityState<'a> {
         }
     }
 
-    /// Runs one round; returns `None` when the selector yields no tasks
-    /// (`K* = 0`) or the budget is exhausted.
-    pub(crate) fn step<M: AnswerModel>(
+    /// The *select* phase of one round: picks this round's task set and
+    /// builds the crowd-facing batch, without publishing it. Returns
+    /// `None` — and pins `remaining` to 0 so later calls stay `None` —
+    /// when the budget is exhausted or the selector yields no tasks
+    /// (`K* = 0`).
+    pub(crate) fn prepare(
         &mut self,
         selector: &dyn TaskSelector,
-        platform: &mut CrowdPlatform<M>,
         rng: &mut dyn RngCore,
         task_seq: &mut u64,
-    ) -> Result<Option<RoundPoint>, CoreError> {
+    ) -> Result<Option<PendingRound>, CoreError> {
         if self.remaining == 0 {
             return Ok(None);
         }
@@ -214,22 +231,61 @@ impl<'a> EntityState<'a> {
             })
             .collect();
         let truths: Vec<bool> = tasks.iter().map(|&f| self.case.gold.get(f)).collect();
-        let answers = platform.publish(&crowd_tasks, &truths)?;
-        let judgments: Vec<bool> = answers.iter().map(|a| a.value).collect();
+        Ok(Some(PendingRound {
+            tasks,
+            crowd_tasks,
+            truths,
+        }))
+    }
+
+    /// The *update* phase of one round: merges the crowd's `judgments`
+    /// (parallel to `pending.tasks`) into the posterior and closes the
+    /// round's bookkeeping.
+    pub(crate) fn absorb(
+        &mut self,
+        pending: PendingRound,
+        judgments: Vec<bool>,
+    ) -> Result<RoundPoint, CoreError> {
         // In-place merge: the posterior's support is a (reweighted) subset
         // of the current support, so the sorted entry vector is reused. On
         // error the run aborts, so a poisoned `dist` is never observed.
-        posterior_in_place(&mut self.dist, &tasks, &judgments, self.config.pc_assumed)?;
-        self.remaining -= tasks.len();
-        self.spent += tasks.len();
+        posterior_in_place(
+            &mut self.dist,
+            &pending.tasks,
+            &judgments,
+            self.config.pc_assumed,
+        )?;
+        self.remaining -= pending.tasks.len();
+        self.spent += pending.tasks.len();
         self.round += 1;
-        Ok(Some(RoundPoint {
+        Ok(RoundPoint {
             round: self.round,
             cost: self.spent,
             utility: self.dist.utility(),
-            tasks,
+            tasks: pending.tasks,
             answers: judgments,
-        }))
+        })
+    }
+
+    /// Runs one full select–collect–update round against `platform`;
+    /// returns `None` when the selector yields no tasks (`K* = 0`) or the
+    /// budget is exhausted. This is [`EntityState::prepare`] +
+    /// [`CrowdPlatform::publish`] + [`EntityState::absorb`] — the
+    /// per-entity protocol; the batched protocol replaces the middle step
+    /// with one global `publish_batch`.
+    pub(crate) fn step<M: AnswerModel>(
+        &mut self,
+        selector: &dyn TaskSelector,
+        platform: &mut CrowdPlatform<M>,
+        rng: &mut dyn RngCore,
+        task_seq: &mut u64,
+    ) -> Result<Option<RoundPoint>, CoreError> {
+        let Some(pending) = self.prepare(selector, rng, task_seq)? else {
+            return Ok(None);
+        };
+        let answers = platform.publish(&pending.crowd_tasks, &pending.truths)?;
+        let judgments: Vec<bool> = answers.iter().map(|a| a.value).collect();
+        self.absorb(pending, judgments).map(Some)
     }
 }
 

@@ -6,13 +6,21 @@
 //! interleaves rounds across entities — one global round asks every
 //! entity's batch — and records a [`QualityPoint`] (summed utility +
 //! micro-F1 against gold) after each global round.
+//!
+//! [`Experiment::run_sharded`] takes the global round literally: per round,
+//! selection and posterior updates shard across entities on the worker
+//! pool while **all** entities' task sets travel in a single
+//! [`RoundBatch`]/[`CrowdPlatform::publish_batch`] round trip, answered
+//! from per-entity [`AnswerStreams`]. The per-entity protocol
+//! ([`Experiment::run_sharded_per_entity`]) is retained as the
+//! bit-identical reference.
 
 use crate::error::CoreError;
 use crate::metrics::{ConfusionCounts, QualityPoint};
 use crate::pool::Pool;
-use crate::round::{EntityCase, EntityState, RoundConfig};
+use crate::round::{EntityCase, EntityState, PendingRound, RoundConfig};
 use crate::selection::TaskSelector;
-use crowdfusion_crowd::{AnswerModel, CostLedger, CrowdPlatform};
+use crowdfusion_crowd::{AnswerModel, AnswerStreams, CostLedger, CrowdPlatform, RoundBatch};
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -119,7 +127,170 @@ impl Experiment {
         })
     }
 
-    /// Runs the experiment sharded across entities on `pool`.
+    /// The per-entity seed draws shared by both sharded protocols: drawn
+    /// up front in entity order, so the schedule never touches the master
+    /// RNG afterwards and `(platform_seed, selector_seed)` for entity `i`
+    /// is a pure function of the master RNG's state on entry.
+    fn entity_seeds(&self, rng: &mut dyn RngCore) -> Vec<(u64, u64)> {
+        (0..self.cases.len())
+            .map(|_| (rng.next_u64(), rng.next_u64()))
+            .collect()
+    }
+
+    /// Runs the experiment with **batched crowd round trips**, sharded
+    /// across entities on `pool`.
+    ///
+    /// This is the paper's round structure taken literally: one global
+    /// round asks every entity's batch at once. Each global round is a
+    /// three-phase cycle:
+    ///
+    /// 1. **select** (parallel): every live entity picks its round's task
+    ///    set with its own selector RNG stream;
+    /// 2. **collect** (one round trip): the task sets are assembled into a
+    ///    [`RoundBatch`] in entity order and published with a single
+    ///    [`CrowdPlatform::publish_batch`] call — `ledger.batches` counts
+    ///    exactly one per global round — whose answers come back demuxed
+    ///    per entity, drawn from per-entity [`AnswerStreams`];
+    /// 3. **update** (parallel): every entity merges its judgments into
+    ///    its posterior.
+    ///
+    /// Every random stream (selector and crowd) is a pure function of the
+    /// entity index and the master RNG's state on entry — identical to the
+    /// streams [`Experiment::run_sharded_per_entity`] derives — so the
+    /// returned trace is **bit-identical to the per-entity protocol and
+    /// identical for any thread count** (the property tests in
+    /// `tests/batched_rounds.rs` pin both equalities down). It differs
+    /// numerically from [`Experiment::run`], which interleaves one shared
+    /// RNG across entities. The trace has the same global-round structure:
+    /// point `r` aggregates every entity's state after `min(r, rounds_i)`
+    /// rounds.
+    pub fn run_sharded<M: AnswerModel>(
+        &self,
+        selector: &dyn TaskSelector,
+        platform: &mut CrowdPlatform<M>,
+        rng: &mut dyn RngCore,
+        pool: &Pool,
+    ) -> Result<ExperimentTrace, CoreError> {
+        /// Per-entity driver state carried across global rounds.
+        struct Driver<'a> {
+            state: EntityState<'a>,
+            rng: StdRng,
+            task_seq: u64,
+            /// Selected but not yet answered round (phase 1 → 3 handoff).
+            pending: Option<PendingRound>,
+            /// Demuxed judgments for `pending` (phase 2 → 3 handoff).
+            judgments: Option<Vec<bool>>,
+            shard: EntityShard,
+            done: bool,
+            /// First error raised on a pool worker; surfaced after the
+            /// phase joins (entity order keeps the choice deterministic).
+            error: Option<CoreError>,
+        }
+
+        let seeds = self.entity_seeds(rng);
+        let mut streams = AnswerStreams::from_seeds(seeds.iter().map(|&(p, _)| p));
+        let mut drivers: Vec<Driver<'_>> = self
+            .cases
+            .iter()
+            .zip(&seeds)
+            .enumerate()
+            .map(|(i, (case, &(_, selector_seed)))| {
+                let state = EntityState::new(case, self.config);
+                let shard = EntityShard {
+                    prior_utility: state.dist.utility(),
+                    prior_counts: counts_of(&state, case),
+                    rounds: Vec::new(),
+                    ledger: CostLedger::default(),
+                };
+                Driver {
+                    state,
+                    rng: StdRng::seed_from_u64(selector_seed),
+                    task_seq: (i as u64) << 32,
+                    pending: None,
+                    judgments: None,
+                    shard,
+                    done: false,
+                    error: None,
+                }
+            })
+            .collect();
+        let chunk = pool.chunk_size(drivers.len());
+
+        loop {
+            // Phase 1 — select: every live entity prepares its round on
+            // the pool (each driver is touched by exactly one worker).
+            pool.for_each_chunk(&mut drivers, chunk, |_, chunk| {
+                for d in chunk.iter_mut().filter(|d| !d.done) {
+                    match d.state.prepare(selector, &mut d.rng, &mut d.task_seq) {
+                        Ok(Some(pending)) => d.pending = Some(pending),
+                        Ok(None) => d.done = true,
+                        Err(e) => {
+                            d.done = true;
+                            d.error = Some(e);
+                        }
+                    }
+                }
+            });
+            if let Some(e) = drivers.iter_mut().find_map(|d| d.error.take()) {
+                return Err(e);
+            }
+
+            // Phase 2 — collect: one global round trip for every pending
+            // task set, in entity order; demux the answers back.
+            let mut batch = RoundBatch::new();
+            for (i, d) in drivers.iter_mut().enumerate() {
+                if let Some(pending) = d.pending.as_mut() {
+                    batch.push_group(
+                        i,
+                        std::mem::take(&mut pending.crowd_tasks),
+                        std::mem::take(&mut pending.truths),
+                    );
+                }
+            }
+            if batch.is_empty() {
+                break; // every entity exhausted its budget (or selector)
+            }
+            let demuxed = platform.publish_batch(&batch, &mut streams)?;
+            let mut demuxed = demuxed.into_iter();
+            for d in drivers.iter_mut().filter(|d| d.pending.is_some()) {
+                let answers = demuxed.next().expect("one answer group per pending entity");
+                d.judgments = Some(answers.iter().map(|a| a.value).collect());
+            }
+
+            // Phase 3 — update: merge judgments into posteriors on the
+            // pool and close each entity's round bookkeeping.
+            pool.for_each_chunk(&mut drivers, chunk, |_, chunk| {
+                for d in chunk.iter_mut() {
+                    let (Some(pending), Some(judgments)) = (d.pending.take(), d.judgments.take())
+                    else {
+                        continue;
+                    };
+                    match d.state.absorb(pending, judgments) {
+                        Ok(point) => d.shard.rounds.push(ShardRound {
+                            cost_delta: point.tasks.len() as u64,
+                            utility: point.utility,
+                            counts: counts_of(&d.state, d.state.case),
+                        }),
+                        Err(e) => {
+                            d.done = true;
+                            d.error = Some(e);
+                        }
+                    }
+                }
+            });
+            if let Some(e) = drivers.iter_mut().find_map(|d| d.error.take()) {
+                return Err(e);
+            }
+        }
+
+        let shards: Vec<EntityShard> = drivers.into_iter().map(|d| d.shard).collect();
+        Ok(self.assemble_trace(&shards, selector.name()))
+    }
+
+    /// Runs the experiment sharded across entities on `pool`, with
+    /// **per-entity crowd round trips** — the pre-batching protocol, kept
+    /// as the reference implementation the batched path is property-tested
+    /// against (`tests/batched_rounds.rs`).
     ///
     /// Each entity's select–collect–update rounds are independent of every
     /// other entity's, so entity `i` runs to budget exhaustion on its own
@@ -128,25 +299,19 @@ impl Experiment {
     /// derived up front, and task ids from the disjoint block
     /// `(i << 32)..`. Because every random stream is a pure function of
     /// the entity index and the master RNG's state on entry, the returned
-    /// trace is **identical for any thread count** (the property tests pin
-    /// this down), though it differs numerically from [`Experiment::run`],
-    /// which interleaves one shared RNG across entities.
-    ///
-    /// The trace has the same global-round structure as [`Experiment::run`]:
-    /// point `r` aggregates every entity's state after `min(r, rounds_i)`
-    /// rounds. The forks' spend is folded back into `platform`'s ledger.
-    pub fn run_sharded<M: AnswerModel + Clone + Sync>(
+    /// trace is **identical for any thread count** and identical to
+    /// [`Experiment::run_sharded`]. The two protocols differ only in the
+    /// ledger: the forks pay one `batches` tick per entity per round
+    /// (folded back into `platform`'s ledger), the batched path exactly
+    /// one per global round.
+    pub fn run_sharded_per_entity<M: AnswerModel + Clone + Sync>(
         &self,
         selector: &dyn TaskSelector,
         platform: &mut CrowdPlatform<M>,
         rng: &mut dyn RngCore,
         pool: &Pool,
     ) -> Result<ExperimentTrace, CoreError> {
-        // Seeds drawn up front in entity order: the sharded schedule never
-        // touches the master RNG afterwards.
-        let seeds: Vec<(u64, u64)> = (0..self.cases.len())
-            .map(|_| (rng.next_u64(), rng.next_u64()))
-            .collect();
+        let seeds = self.entity_seeds(rng);
         let template: &CrowdPlatform<M> = platform;
         let config = self.config;
         let shards: Result<Vec<EntityShard>, CoreError> = pool.map_reduce(
@@ -187,16 +352,21 @@ impl Experiment {
         for shard in &shards {
             platform.merge_ledger(shard.ledger);
         }
+        Ok(self.assemble_trace(&shards, selector.name()))
+    }
 
-        // Reassemble the global quality-vs-cost series: point r aggregates
-        // each entity after min(r, its round count) rounds.
+    /// Reassembles per-entity shard records into the global
+    /// quality-vs-cost series: point `r` aggregates each entity after
+    /// `min(r, its round count)` rounds. Shared by both sharded protocols
+    /// — identical shards therefore yield identical traces.
+    fn assemble_trace(&self, shards: &[EntityShard], selector: String) -> ExperimentTrace {
         let max_rounds = shards.iter().map(|s| s.rounds.len()).max().unwrap_or(0);
         let mut points = Vec::with_capacity(max_rounds + 1);
         let mut cost = 0u64;
         for r in 0..=max_rounds {
             let mut utility = 0.0;
             let mut counts = ConfusionCounts::default();
-            for shard in &shards {
+            for shard in shards {
                 if r >= 1 && r <= shard.rounds.len() {
                     cost += shard.rounds[r - 1].cost_delta;
                 }
@@ -220,10 +390,7 @@ impl Experiment {
                 recall: counts.recall(),
             });
         }
-        Ok(ExperimentTrace {
-            selector: selector.name(),
-            points,
-        })
+        ExperimentTrace { selector, points }
     }
 
     /// Computes the summed utility and micro-averaged metrics over all
@@ -358,8 +525,8 @@ mod tests {
 
     #[test]
     fn sharded_run_has_serial_trace_structure() {
-        // Same budget accounting and round structure as `run`, and the
-        // forks' spend lands in the master ledger.
+        // Same budget accounting and round structure as `run`; the batched
+        // protocol pays exactly one platform round trip per global round.
         let config = RoundConfig::new(2, 8, 0.8).unwrap();
         let exp = Experiment::new(cases(), config).unwrap();
         let mut p = platform(0.8, 3);
@@ -371,10 +538,39 @@ mod tests {
         assert_eq!(trace.last().cost, 16);
         assert_eq!(trace.points.len(), 5); // prior + 4 rounds
         assert_eq!(p.ledger().judgments, 16);
-        assert_eq!(p.ledger().batches, 8); // 2 entities × 4 rounds
+        assert_eq!(p.ledger().batches, 4); // one publish_batch per global round
         for w in trace.points.windows(2) {
             assert!(w[1].cost > w[0].cost);
         }
+    }
+
+    #[test]
+    fn per_entity_protocol_matches_batched_trace_but_pays_per_entity_batches() {
+        let config = RoundConfig::new(2, 8, 0.8).unwrap();
+        let exp = Experiment::new(cases(), config).unwrap();
+        let batched = {
+            let mut p = platform(0.8, 3);
+            let mut rng = StdRng::seed_from_u64(4);
+            let trace = exp
+                .run_sharded(&GreedySelector::fast(), &mut p, &mut rng, &Pool::new(2))
+                .unwrap();
+            (trace, p.ledger())
+        };
+        let per_entity = {
+            let mut p = platform(0.8, 3);
+            let mut rng = StdRng::seed_from_u64(4);
+            let trace = exp
+                .run_sharded_per_entity(&GreedySelector::fast(), &mut p, &mut rng, &Pool::new(2))
+                .unwrap();
+            (trace, p.ledger())
+        };
+        // Identical quality-vs-cost series and judgment spend...
+        assert_eq!(batched.0.points, per_entity.0.points);
+        assert_eq!(batched.1.judgments, per_entity.1.judgments);
+        // ...but the batched protocol collapses 2 entities × 4 rounds of
+        // round trips into 4 global round trips.
+        assert_eq!(per_entity.1.batches, 8);
+        assert_eq!(batched.1.batches, 4);
     }
 
     #[test]

@@ -1,0 +1,181 @@
+//! Property tests for the batched crowd round-trip protocol.
+//!
+//! Two equalities pin down the tentpole's determinism contract:
+//!
+//! 1. **Batched == per-entity publishing.** [`Experiment::run_sharded`]
+//!    (one [`RoundBatch`]/`publish_batch` round trip per global round,
+//!    answers demuxed from per-entity streams) must produce the
+//!    bit-identical quality-vs-cost trace to
+//!    [`Experiment::run_sharded_per_entity`] (one platform fork per
+//!    entity, one round trip per entity per round — the pre-batching
+//!    protocol, and therefore also the behaviour of the old scoped
+//!    fork–join pool). Only the ledger's `batches` count may differ:
+//!    exactly one per *global* round versus one per *entity* round.
+//! 2. **Thread invariance on the persistent pool.** Both protocols return
+//!    the identical trace for every thread count, because every random
+//!    stream (selector and crowd) is a pure function of the entity index
+//!    and the master RNG's state on entry — never of scheduling order.
+//!
+//! Both properties are exercised over the full selector matrix the CLI
+//! exposes — `greedy`, `greedy-pre`, `random` — at 1, 2 and 4 threads.
+
+use crowdfusion_core::pool::Pool;
+use crowdfusion_core::round::{EntityCase, RoundConfig};
+use crowdfusion_core::selection::{GreedySelector, RandomSelector, TaskSelector};
+use crowdfusion_core::system::Experiment;
+use crowdfusion_crowd::{CostLedger, CrowdPlatform, UniformAccuracy, WorkerPool};
+use crowdfusion_jointdist::{Assignment, JointDist};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The CLI's selector matrix (`refine --selector greedy|greedy-pre|random`),
+/// each built on the given pool so its own candidate scans shard too.
+fn selectors(pool: &Pool) -> Vec<(&'static str, Box<dyn TaskSelector>)> {
+    vec![
+        (
+            "greedy",
+            Box::new(GreedySelector::fast().with_pool(pool.clone())),
+        ),
+        (
+            "greedy-pre",
+            Box::new(
+                GreedySelector::fast()
+                    .with_preprocess()
+                    .with_pool(pool.clone()),
+            ),
+        ),
+        ("random", Box::new(RandomSelector)),
+    ]
+}
+
+/// A deterministic multi-entity experiment derived from `seed`: 3–4 small
+/// independent-fact entities with distinct sizes and gold truths.
+fn experiment_from_seed(seed: u64, pc: f64) -> Experiment {
+    let mut gen = StdRng::seed_from_u64(seed);
+    let entities = 3 + (seed as usize) % 2;
+    let cases: Vec<EntityCase> = (0..entities)
+        .map(|e| {
+            let n = 2 + (e + seed as usize) % 3;
+            let marginals: Vec<f64> = (0..n).map(|_| gen.gen_range(0.05..0.95)).collect();
+            let gold = Assignment(gen.gen_range(0..(1u64 << n)));
+            EntityCase::simple(
+                format!("e{e}"),
+                JointDist::independent(&marginals).unwrap(),
+                gold,
+            )
+        })
+        .collect();
+    let config = RoundConfig::new(2, 6, pc).unwrap();
+    Experiment::new(cases, config).unwrap()
+}
+
+fn platform(pc: f64, seed: u64) -> CrowdPlatform<UniformAccuracy> {
+    CrowdPlatform::new(
+        WorkerPool::uniform(8, pc).unwrap(),
+        UniformAccuracy::new(pc),
+        seed,
+    )
+}
+
+/// One protocol run: trace points + final ledger.
+type RunOutcome = (Vec<crowdfusion_core::metrics::QualityPoint>, CostLedger);
+
+fn run_protocol(
+    exp: &Experiment,
+    selector: &dyn TaskSelector,
+    pc: f64,
+    seed: u64,
+    pool: &Pool,
+    batched: bool,
+) -> RunOutcome {
+    let mut p = platform(pc, seed);
+    let mut master = StdRng::seed_from_u64(seed ^ 0x5eed_cafe);
+    let trace = if batched {
+        exp.run_sharded(selector, &mut p, &mut master, pool)
+            .unwrap()
+    } else {
+        exp.run_sharded_per_entity(selector, &mut p, &mut master, pool)
+            .unwrap()
+    };
+    (trace.points, p.ledger())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn batched_and_per_entity_protocols_are_bit_identical(
+        (seed, pc) in (0u64..1000, 0.6f64..=0.95),
+    ) {
+        let exp = experiment_from_seed(seed, pc);
+        for threads in [1usize, 2, 4] {
+            let pool = Pool::new(threads);
+            for (name, selector) in selectors(&pool) {
+                let (batched, batched_ledger) =
+                    run_protocol(&exp, selector.as_ref(), pc, seed, &pool, true);
+                let (per_entity, per_entity_ledger) =
+                    run_protocol(&exp, selector.as_ref(), pc, seed, &pool, false);
+                // Identical quality-vs-cost series and judgment spend...
+                prop_assert_eq!(
+                    &batched, &per_entity,
+                    "{} diverged between protocols at {} threads", name, threads
+                );
+                prop_assert_eq!(batched_ledger.judgments, per_entity_ledger.judgments);
+                // ...while the batched protocol pays exactly one round trip
+                // per global round (= trace points minus the prior point)
+                // and the per-entity protocol at least that many.
+                prop_assert_eq!(batched_ledger.batches as usize, batched.len() - 1);
+                prop_assert!(per_entity_ledger.batches >= batched_ledger.batches);
+            }
+        }
+    }
+
+    #[test]
+    fn batched_traces_are_thread_count_invariant(
+        (seed, pc) in (0u64..1000, 0.6f64..=0.95),
+    ) {
+        let exp = experiment_from_seed(seed, pc);
+        let reference_pool = Pool::serial();
+        let reference: Vec<RunOutcome> = selectors(&reference_pool)
+            .iter()
+            .map(|(_, s)| run_protocol(&exp, s.as_ref(), pc, seed, &reference_pool, true))
+            .collect();
+        for threads in [2usize, 4] {
+            let pool = Pool::new(threads);
+            for ((name, selector), expect) in selectors(&pool).iter().zip(&reference) {
+                let got = run_protocol(&exp, selector.as_ref(), pc, seed, &pool, true);
+                prop_assert_eq!(
+                    &got, expect,
+                    "{} not thread-invariant at {} threads", name, threads
+                );
+            }
+        }
+    }
+}
+
+/// Non-proptest sanity check on the paper's running example: the batched
+/// protocol reproduces the per-entity trace point for point, and one pool
+/// serves nested submissions (sharded entities whose selectors also shard
+/// their candidate scans on the same workers).
+#[test]
+fn running_example_batched_rounds_reuse_one_pool() {
+    let cases = vec![
+        EntityCase::simple(
+            "hk",
+            crowdfusion_jointdist::presets::paper_running_example(),
+            Assignment(0b0111),
+        ),
+        EntityCase::simple("coin", JointDist::uniform(3).unwrap(), Assignment(0b101)),
+    ];
+    let config = RoundConfig::new(2, 8, 0.8).unwrap();
+    let exp = Experiment::new(cases, config).unwrap();
+    let pool = Pool::new(4);
+    let selector = GreedySelector::fast().with_pool(pool.clone());
+    let (batched, batched_ledger) = run_protocol(&exp, &selector, 0.8, 3, &pool, true);
+    let (per_entity, per_entity_ledger) = run_protocol(&exp, &selector, 0.8, 3, &pool, false);
+    assert_eq!(batched, per_entity);
+    assert_eq!(batched_ledger.judgments, 16);
+    assert_eq!(batched_ledger.batches, 4); // one per global round
+    assert_eq!(per_entity_ledger.batches, 8); // one per entity per round
+}

@@ -139,7 +139,7 @@ proptest! {
             let pool = Pool::new(threads);
             let trace = exp
                 .run_sharded(
-                    &GreedySelector::fast().with_pool(pool),
+                    &GreedySelector::fast().with_pool(pool.clone()),
                     &mut platform,
                     &mut master,
                     &pool,

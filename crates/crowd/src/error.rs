@@ -18,6 +18,13 @@ pub enum CrowdError {
     },
     /// A replication factor of zero was requested.
     ZeroReplication,
+    /// A batched group referenced an answer stream that was never seeded.
+    UnknownStream {
+        /// Stream index requested by the batch group.
+        stream: usize,
+        /// Number of streams actually available.
+        streams: usize,
+    },
 }
 
 impl fmt::Display for CrowdError {
@@ -31,6 +38,12 @@ impl fmt::Display for CrowdError {
                 write!(f, "{tasks} tasks but {truths} ground-truth labels")
             }
             CrowdError::ZeroReplication => write!(f, "replication factor must be at least 1"),
+            CrowdError::UnknownStream { stream, streams } => {
+                write!(
+                    f,
+                    "batch group references answer stream {stream} but only {streams} were seeded"
+                )
+            }
         }
     }
 }

@@ -19,7 +19,9 @@
 //!   [`SkillAccuracy`] (per-worker skill);
 //! * [`CrowdPlatform`] — the gMission stand-in: publishes task batches,
 //!   collects one answer per task (optionally majority-of-`j`), keeps a cost
-//!   ledger;
+//!   ledger; [`RoundBatch`] + [`AnswerStreams`] batch every entity's tasks
+//!   of one global round into a single `publish_batch` round trip with
+//!   per-entity deterministic answer streams;
 //! * [`estimate_accuracy`] — the paper's "estimate the reliability by a
 //!   pre-test with groundtruth" (Section V-C-3).
 
@@ -38,6 +40,6 @@ pub use accuracy::{estimate_accuracy, AccuracyEstimate};
 pub use aggregation::{em_aggregate, majority_aggregate, AggregatedAnswer, EmEstimate};
 pub use answer::{Answer, AnswerModel, ClassAccuracy, SkillAccuracy, UniformAccuracy};
 pub use error::CrowdError;
-pub use platform::{CostLedger, CrowdPlatform};
-pub use task::{Task, TaskClass, TaskId};
+pub use platform::{AnswerStreams, CostLedger, CrowdPlatform};
+pub use task::{BatchGroup, RoundBatch, Task, TaskClass, TaskId};
 pub use worker::{Worker, WorkerId, WorkerPool};

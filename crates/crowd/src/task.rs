@@ -79,6 +79,71 @@ impl Task {
     }
 }
 
+/// One entity's contribution to a global crowdsourcing round: its selected
+/// tasks, their hidden ground truths, and the index of the answer stream
+/// that must serve it (see
+/// [`AnswerStreams`](crate::platform::AnswerStreams)).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchGroup {
+    /// Index of the per-entity answer stream this group draws from.
+    pub stream: usize,
+    /// The tasks published for this entity this round.
+    pub tasks: Vec<Task>,
+    /// Hidden ground truths, parallel to `tasks`.
+    pub truths: Vec<bool>,
+}
+
+/// Every entity's task batch for **one global round** — the paper's "one
+/// global round asks every entity's batch" (Section V-A): instead of one
+/// platform round trip per entity per round, the experiment driver
+/// collects each entity's selected task set into a `RoundBatch` and
+/// publishes them all with a single
+/// [`CrowdPlatform::publish_batch`](crate::platform::CrowdPlatform::publish_batch)
+/// call. Answers come back grouped per entity (the demux), drawn from
+/// per-entity streams so they are bit-identical to per-entity publishing.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RoundBatch {
+    groups: Vec<BatchGroup>,
+}
+
+impl RoundBatch {
+    /// An empty batch.
+    pub fn new() -> RoundBatch {
+        RoundBatch::default()
+    }
+
+    /// Appends one entity's task set for this round. Group order is the
+    /// demux order: answers to the `i`-th pushed group come back at index
+    /// `i` of `publish_batch`'s result.
+    pub fn push_group(&mut self, stream: usize, tasks: Vec<Task>, truths: Vec<bool>) {
+        self.groups.push(BatchGroup {
+            stream,
+            tasks,
+            truths,
+        });
+    }
+
+    /// The per-entity groups, in push order.
+    pub fn groups(&self) -> &[BatchGroup] {
+        &self.groups
+    }
+
+    /// Number of entity groups in the batch.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Whether no entity contributed tasks this round.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Total judgments this round trip will cost (one per task).
+    pub fn task_count(&self) -> usize {
+        self.groups.iter().map(|g| g.tasks.len()).sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -97,5 +162,22 @@ mod tests {
         let labels: std::collections::HashSet<_> =
             TaskClass::ALL.iter().map(|c| c.label()).collect();
         assert_eq!(labels.len(), 4);
+    }
+
+    #[test]
+    fn round_batch_accumulates_groups_in_push_order() {
+        let mut batch = RoundBatch::new();
+        assert!(batch.is_empty());
+        assert_eq!(batch.task_count(), 0);
+        batch.push_group(
+            2,
+            vec![Task::new(0, "a"), Task::new(1, "b")],
+            vec![true, false],
+        );
+        batch.push_group(0, vec![Task::new(2, "c")], vec![true]);
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch.task_count(), 3);
+        assert_eq!(batch.groups()[0].stream, 2);
+        assert_eq!(batch.groups()[1].stream, 0);
     }
 }

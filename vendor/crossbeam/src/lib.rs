@@ -1,10 +1,17 @@
 //! Offline stand-in for [`crossbeam`](https://crates.io/crates/crossbeam).
 //!
-//! Only `crossbeam::thread::scope` is used by this workspace; since Rust
-//! 1.63 the standard library provides scoped threads, so this crate is a
-//! thin adapter reproducing crossbeam's calling convention (`scope` returns
-//! a `Result`, spawned closures receive the scope as an argument so they can
-//! spawn nested work).
+//! Two surfaces of the real crate are reproduced, both with crossbeam's
+//! calling conventions:
+//!
+//! * [`thread::scope`] — scoped fork–join threads. Since Rust 1.63 the
+//!   standard library provides these, so this is a thin adapter (`scope`
+//!   returns a `Result`, spawned closures receive the scope so they can
+//!   spawn nested work).
+//! * [`channel`] — multi-producer **multi-consumer** channels
+//!   (`std::sync::mpsc` is single-consumer, so the stand-in is its own
+//!   small queue). This is the job-injector feeding the persistent worker
+//!   pool in `crowdfusion_core::pool`: every worker holds a clone of the
+//!   same [`channel::Receiver`] and competes for submitted jobs.
 
 #![warn(missing_docs)]
 
@@ -46,6 +53,171 @@ pub mod thread {
     }
 }
 
+pub mod channel {
+    //! Multi-producer multi-consumer FIFO channels (crossbeam's API shape).
+    //!
+    //! The stand-in covers the unbounded flavour only: a `Mutex<VecDeque>`
+    //! plus a `Condvar`, with sender/receiver liveness tracked by two
+    //! counters so a blocked [`Receiver::recv`] wakes (and reports
+    //! disconnection) when the last [`Sender`] drops, and a [`Sender::send`]
+    //! fails once every receiver is gone. Messages already queued when the
+    //! senders disconnect are still delivered — `recv` only errors on an
+    //! *empty* disconnected channel, matching crossbeam.
+
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Shared<T> {
+        queue: Mutex<State<T>>,
+        ready: Condvar,
+    }
+
+    struct State<T> {
+        items: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    /// Error returned by [`Sender::send`] when every receiver is gone; the
+    /// unsent message is handed back.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// every sender is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "receiving on an empty, disconnected channel")
+        }
+    }
+
+    /// The sending half; clone freely to add producers.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half; clone freely to add consumers — each queued
+    /// message is delivered to exactly one of them.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Creates an unbounded mpmc channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(State {
+                items: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            ready: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: shared.clone(),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `msg`, waking one blocked receiver. Fails (returning the
+        /// message) when every receiver has been dropped.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut state = self.shared.queue.lock().expect("channel poisoned");
+            if state.receivers == 0 {
+                return Err(SendError(msg));
+            }
+            state.items.push_back(msg);
+            drop(state);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            self.shared.queue.lock().expect("channel poisoned").senders += 1;
+            Sender {
+                shared: self.shared.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.queue.lock().expect("channel poisoned");
+            state.senders -= 1;
+            if state.senders == 0 {
+                drop(state);
+                // Blocked receivers must observe the disconnection.
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeues the next message, blocking while the channel is empty
+        /// and at least one sender is alive.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.shared.queue.lock().expect("channel poisoned");
+            loop {
+                if let Some(msg) = state.items.pop_front() {
+                    return Ok(msg);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self.shared.ready.wait(state).expect("channel poisoned");
+            }
+        }
+
+        /// Dequeues the next message if one is ready; `None` on an empty
+        /// queue (whether or not senders remain).
+        pub fn try_recv(&self) -> Option<T> {
+            self.shared
+                .queue
+                .lock()
+                .expect("channel poisoned")
+                .items
+                .pop_front()
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Receiver<T> {
+            self.shared
+                .queue
+                .lock()
+                .expect("channel poisoned")
+                .receivers += 1;
+            Receiver {
+                shared: self.shared.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.shared
+                .queue
+                .lock()
+                .expect("channel poisoned")
+                .receivers -= 1;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -77,5 +249,72 @@ mod tests {
         })
         .unwrap();
         assert_eq!(total.load(std::sync::atomic::Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn channel_is_fifo_for_a_single_consumer() {
+        let (tx, rx) = crate::channel::unbounded();
+        for i in 0..8 {
+            tx.send(i).unwrap();
+        }
+        let got: Vec<i32> = (0..8).map(|_| rx.recv().unwrap()).collect();
+        assert_eq!(got, (0..8).collect::<Vec<_>>());
+        assert_eq!(rx.try_recv(), None);
+    }
+
+    #[test]
+    fn cloned_receivers_compete_without_losing_or_duplicating() {
+        let (tx, rx) = crate::channel::unbounded::<u32>();
+        let consumers: Vec<_> = (0..3).map(|_| rx.clone()).collect();
+        drop(rx);
+        let seen = std::sync::Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for rx in &consumers {
+                s.spawn(|| {
+                    while let Ok(v) = rx.recv() {
+                        seen.lock().unwrap().push(v);
+                    }
+                });
+            }
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+            drop(tx); // disconnect wakes all blocked consumers
+        });
+        let mut seen = seen.into_inner().unwrap();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn queued_messages_survive_sender_disconnect() {
+        let (tx, rx) = crate::channel::unbounded();
+        tx.send("a").unwrap();
+        tx.send("b").unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok("a"));
+        assert_eq!(rx.recv(), Ok("b"));
+        assert_eq!(rx.recv(), Err(crate::channel::RecvError));
+    }
+
+    #[test]
+    fn send_fails_once_all_receivers_are_gone() {
+        let (tx, rx) = crate::channel::unbounded();
+        let rx2 = rx.clone();
+        drop(rx);
+        tx.send(1).unwrap();
+        drop(rx2);
+        assert_eq!(tx.send(2), Err(crate::channel::SendError(2)));
+    }
+
+    #[test]
+    fn cloned_senders_keep_the_channel_alive() {
+        let (tx, rx) = crate::channel::unbounded();
+        let tx2 = tx.clone();
+        drop(tx);
+        tx2.send(7u8).unwrap();
+        assert_eq!(rx.recv(), Ok(7));
+        drop(tx2);
+        assert!(rx.recv().is_err());
     }
 }
