@@ -73,6 +73,9 @@ fn run() -> Result<bool, String> {
     for label in &report.unmatched {
         println!("  {label:<40} (present in only one report; not gated)");
     }
+    for label in &report.skipped {
+        eprintln!("bench_gate: warning: skipped degenerate row {label:?} (zero/non-finite mean)");
+    }
     println!(
         "  median ratio {:.3} vs allowed {:.3} -> {}",
         report.median_ratio,

@@ -1,0 +1,292 @@
+//! Service load generator: replays datagen books against a live
+//! `crowdfusion-serve` daemon, N sessions wide, over real TCP loopback.
+//!
+//! ```text
+//! loadgen [--sessions N] [--clients C] [--threads T] [--k K] [--budget B]
+//!         [--pc PC] [--seed S] [--json PATH] [--quick]
+//! ```
+//!
+//! The generated books are fused (modified CRH), shipped to the daemon in
+//! the wire format, and every session is driven to budget exhaustion by a
+//! pool of client threads — each round's answers replayed from the
+//! session's recorded seed and delivered in two partial batches, the
+//! ingestion pattern a real crowd produces. Reported throughput
+//! (sessions/s, answers/s, requests/s) lands in the same `BenchRow` JSON
+//! the criterion benches emit, so the bench-gate tooling can diff it.
+
+use crowdfusion::pipeline::entity_specs_from_books;
+use crowdfusion::prelude::*;
+use crowdfusion_bench::gate::BenchRow;
+use crowdfusion_bench::{fmt_secs, is_quick, standard_books, time_secs};
+use crowdfusion_core::round::RoundConfig;
+use crowdfusion_crowd::AnswerReplay;
+use crowdfusion_service::protocol::{Request, Response, WireAnswer};
+use crowdfusion_service::{serve_tcp, Client, SelectorChoice, Service, ServiceConfig};
+use std::net::TcpListener;
+use std::sync::Arc;
+
+struct Args {
+    sessions: usize,
+    clients: usize,
+    threads: usize,
+    k: usize,
+    budget: usize,
+    pc: f64,
+    seed: u64,
+    json: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let quick = is_quick();
+    let mut parsed = Args {
+        sessions: if quick { 8 } else { 48 },
+        clients: if quick { 2 } else { 4 },
+        threads: crowdfusion_core::pool::threads_from_env().unwrap_or(2),
+        k: 2,
+        budget: if quick { 8 } else { 24 },
+        pc: 0.8,
+        seed: 7,
+        json: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().ok_or(format!("--{name} needs a value"));
+        match arg.as_str() {
+            "--quick" => {} // handled by is_quick()
+            "--sessions" => {
+                parsed.sessions = value("sessions")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--clients" => {
+                parsed.clients = value("clients")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--threads" => {
+                parsed.threads = value("threads")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--k" => parsed.k = value("k")?.parse().map_err(|e| format!("{e}"))?,
+            "--budget" => parsed.budget = value("budget")?.parse().map_err(|e| format!("{e}"))?,
+            "--pc" => parsed.pc = value("pc")?.parse().map_err(|e| format!("{e}"))?,
+            "--seed" => parsed.seed = value("seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--json" => parsed.json = Some(value("json")?),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if parsed.sessions == 0 || parsed.clients == 0 {
+        return Err("--sessions and --clients must be positive".to_string());
+    }
+    Ok(parsed)
+}
+
+/// Drives one session to exhaustion; returns (answers absorbed, requests).
+fn drive_session(
+    client: &mut Client,
+    session: u64,
+    answer_seed: u64,
+    gold: &[bool],
+    pool: &WorkerPool,
+    model: &UniformAccuracy,
+) -> (u64, u64) {
+    let mut replay = AnswerReplay::from_seed(answer_seed);
+    let mut answers_absorbed = 0u64;
+    let mut requests = 0u64;
+    loop {
+        requests += 1;
+        let tasks = match client.roundtrip(&Request::Select { session }).unwrap() {
+            Response::Round { tasks, .. } => tasks,
+            Response::Exhausted { .. } => return (answers_absorbed, requests),
+            other => panic!("unexpected select response {other:?}"),
+        };
+        let crowd_tasks: Vec<Task> = tasks
+            .iter()
+            .map(|t| Task {
+                id: crowdfusion_crowd::TaskId(t.id),
+                prompt: t.prompt.clone(),
+                class: t.class,
+            })
+            .collect();
+        let truths: Vec<bool> = tasks.iter().map(|t| gold[t.fact]).collect();
+        let wire: Vec<WireAnswer> = replay
+            .answers(pool, model, &crowd_tasks, &truths)
+            .unwrap()
+            .iter()
+            .map(|a| WireAnswer {
+                task: a.task.0,
+                value: a.value,
+            })
+            .collect();
+        // Two partial deliveries per round: the streaming ingestion path,
+        // not a single closed-loop batch.
+        let cut = wire.len().div_ceil(2);
+        for batch in [&wire[..cut], &wire[cut..]] {
+            if batch.is_empty() {
+                continue;
+            }
+            requests += 1;
+            match client
+                .roundtrip(&Request::Absorb {
+                    session,
+                    answers: batch.to_vec(),
+                })
+                .unwrap()
+            {
+                Response::Absorbed { accepted, .. } => answers_absorbed += accepted as u64,
+                other => panic!("unexpected absorb response {other:?}"),
+            }
+        }
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("loadgen: {message}");
+            std::process::exit(2);
+        }
+    };
+
+    // Dataset → fusion → wire specs (the refine pipeline's front half).
+    let books = standard_books(args.sessions, (3, 6), args.seed);
+    let fusion = ModifiedCrh::default()
+        .fuse(&books.dataset)
+        .expect("fusion succeeds on generated data");
+    let specs = entity_specs_from_books(&books, &fusion);
+    let golds: Vec<Vec<bool>> = specs.iter().map(|s| s.gold.clone()).collect();
+
+    // Daemon on loopback.
+    let config = RoundConfig::new(args.k, args.budget, args.pc).expect("valid config");
+    let service = Arc::new(Service::new(ServiceConfig {
+        seed: args.seed,
+        defaults: config,
+        threads: args.threads,
+        selector: SelectorChoice::Greedy,
+        snapshot_dir: None,
+    }));
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    let daemon = {
+        let service = Arc::clone(&service);
+        std::thread::spawn(move || serve_tcp(service, listener))
+    };
+
+    println!(
+        "loadgen: {} sessions x budget {} (k = {}, Pc = {}), {} client(s), {} pool thread(s), daemon {addr}",
+        args.sessions, args.budget, args.k, args.pc, args.clients, args.threads
+    );
+
+    // Open every session up front (one batch: priors built on the pool).
+    let mut opener = Client::connect(addr).expect("connect");
+    let (opened, open_secs) = time_secs(|| {
+        match opener
+            .roundtrip(&Request::Open {
+                entities: specs.clone(),
+                k: None,
+                budget: None,
+                pc: None,
+            })
+            .expect("open")
+        {
+            Response::Opened { sessions } => sessions,
+            other => panic!("unexpected open response {other:?}"),
+        }
+    });
+    assert_eq!(opened.len(), args.sessions);
+
+    // Fan the sessions across client threads and drive them all.
+    let worker_pool = WorkerPool::uniform(30, args.pc).expect("worker pool");
+    let model = UniformAccuracy::new(args.pc);
+    let ((answers, requests), drive_secs) = time_secs(|| {
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for chunk in opened.chunks(args.sessions.div_ceil(args.clients)) {
+                let worker_pool = &worker_pool;
+                let model = &model;
+                let golds = &golds;
+                handles.push(scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let mut totals = (0u64, 0u64);
+                    for info in chunk {
+                        let (answers, requests) = drive_session(
+                            &mut client,
+                            info.session,
+                            info.answer_seed,
+                            &golds[info.session as usize],
+                            worker_pool,
+                            model,
+                        );
+                        totals.0 += answers;
+                        totals.1 += requests;
+                    }
+                    totals
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("client thread"))
+                .fold((0u64, 0u64), |acc, t| (acc.0 + t.0, acc.1 + t.1))
+        })
+    });
+    assert_eq!(answers, (args.sessions * args.budget) as u64);
+
+    // Final quality + shutdown.
+    let trace = match opener.roundtrip(&Request::Trace).expect("trace") {
+        Response::Trace { trace } => trace,
+        other => panic!("unexpected trace response {other:?}"),
+    };
+    let _ = opener.roundtrip(&Request::Shutdown);
+    daemon.join().expect("daemon thread").expect("daemon io");
+
+    let per = |count: u64, secs: f64| count as f64 / secs.max(1e-9);
+    println!(
+        "  open    : {} sessions in {} ({:.0} sessions/s)",
+        args.sessions,
+        fmt_secs(open_secs),
+        per(args.sessions as u64, open_secs),
+    );
+    println!(
+        "  drive   : {answers} answers / {requests} requests in {} \
+         ({:.0} sessions/s, {:.0} answers/s, {:.0} requests/s)",
+        fmt_secs(drive_secs),
+        per(args.sessions as u64, drive_secs),
+        per(answers, drive_secs),
+        per(requests, drive_secs),
+    );
+    println!(
+        "  quality : F1 {:.3} -> {:.3} over cost {}",
+        trace.points[0].f1,
+        trace.last().f1,
+        trace.last().cost
+    );
+
+    if let Some(path) = args.json {
+        let ns = |count: u64, secs: f64| ((secs * 1e9) / count.max(1) as f64) as u64;
+        let rows = vec![
+            BenchRow {
+                label: "serve/loadgen/open_per_session".to_string(),
+                mean_ns: ns(args.sessions as u64, open_secs),
+                min_ns: ns(args.sessions as u64, open_secs),
+                samples: args.sessions as u64,
+            },
+            BenchRow {
+                label: "serve/loadgen/session".to_string(),
+                mean_ns: ns(args.sessions as u64, drive_secs),
+                min_ns: ns(args.sessions as u64, drive_secs),
+                samples: args.sessions as u64,
+            },
+            BenchRow {
+                label: "serve/loadgen/answer".to_string(),
+                mean_ns: ns(answers, drive_secs),
+                min_ns: ns(answers, drive_secs),
+                samples: answers,
+            },
+            BenchRow {
+                label: "serve/loadgen/request".to_string(),
+                mean_ns: ns(requests, drive_secs),
+                min_ns: ns(requests, drive_secs),
+                samples: requests,
+            },
+        ];
+        let text = serde_json::to_string_pretty(&rows).expect("rows serialise");
+        std::fs::write(&path, text).expect("write json");
+        println!("  wrote {path}");
+    }
+}

@@ -56,6 +56,9 @@ pub struct GateReport {
     /// Labels matching the filter that appear in only one report
     /// (reported for visibility, never gated).
     pub unmatched: Vec<String>,
+    /// Degenerate rows (zero or non-finite mean in either report) skipped
+    /// with a warning instead of poisoning the median.
+    pub skipped: Vec<String>,
 }
 
 impl GateReport {
@@ -79,9 +82,13 @@ fn median(sorted: &[f64]) -> f64 {
 /// and appears in both reports are compared by mean time, and the median
 /// ratio must not exceed `1 + max_regression`.
 ///
-/// Errors when no row qualifies — a gate with nothing to gate must fail
-/// the build, not pass it — or when a gated baseline row has a zero mean
-/// (a corrupt report).
+/// Degenerate rows — a zero `mean_ns` on either side, or a non-finite
+/// ratio — come from truncated or corrupt reports (a bench that crashed
+/// mid-run, a hand-edited baseline). They are **skipped** and reported in
+/// [`GateReport::skipped`] rather than poisoning the median or hard-failing
+/// a run whose healthy rows still carry a verdict. Errors when no healthy
+/// row remains — a gate with nothing to gate must fail the build, not
+/// pass it.
 pub fn gate(
     baseline: &[BenchRow],
     fresh: &[BenchRow],
@@ -90,17 +97,20 @@ pub fn gate(
 ) -> Result<GateReport, String> {
     let mut rows = Vec::new();
     let mut unmatched = Vec::new();
+    let mut skipped = Vec::new();
     for base in baseline.iter().filter(|r| r.label.contains(filter)) {
         match fresh.iter().find(|r| r.label == base.label) {
             Some(new) => {
-                if base.mean_ns == 0 {
-                    return Err(format!("baseline row {:?} has a zero mean", base.label));
+                let ratio = new.mean_ns as f64 / base.mean_ns as f64;
+                if base.mean_ns == 0 || new.mean_ns == 0 || !ratio.is_finite() {
+                    skipped.push(base.label.clone());
+                    continue;
                 }
                 rows.push(RowRatio {
                     label: base.label.clone(),
                     baseline_ns: base.mean_ns,
                     fresh_ns: new.mean_ns,
-                    ratio: new.mean_ns as f64 / base.mean_ns as f64,
+                    ratio,
                 });
             }
             None => unmatched.push(base.label.clone()),
@@ -112,8 +122,18 @@ pub fn gate(
         }
     }
     if rows.is_empty() {
+        let detail = if skipped.is_empty() {
+            String::new()
+        } else {
+            format!(
+                " ({} degenerate row(s) skipped: {:?})",
+                skipped.len(),
+                skipped
+            )
+        };
         return Err(format!(
-            "no row matching {filter:?} appears in both reports — nothing to gate"
+            "no healthy row matching {filter:?} appears in both reports — \
+             nothing to gate{detail}"
         ));
     }
     let mut ratios: Vec<f64> = rows.iter().map(|r| r.ratio).collect();
@@ -123,6 +143,7 @@ pub fn gate(
         max_ratio: 1.0 + max_regression,
         rows,
         unmatched,
+        skipped,
     })
 }
 
@@ -225,9 +246,48 @@ mod tests {
     }
 
     #[test]
-    fn zero_mean_baseline_is_rejected() {
+    fn degenerate_rows_are_skipped_with_a_warning_not_gated() {
+        // A zero mean on either side marks a corrupt/truncated report row:
+        // it must neither poison the median (0 or ∞ ratio) nor fail a run
+        // whose healthy rows still carry a verdict.
+        let baseline = vec![
+            row("engine/zero-base", 0),
+            row("engine/zero-fresh", 100),
+            row("engine/healthy", 100),
+        ];
+        let fresh = vec![
+            row("engine/zero-base", 10),
+            row("engine/zero-fresh", 0),
+            row("engine/healthy", 110),
+        ];
+        let report = gate(&baseline, &fresh, "engine", 0.25).unwrap();
+        assert_eq!(report.rows.len(), 1);
+        assert_eq!(
+            report.skipped,
+            vec![
+                "engine/zero-base".to_string(),
+                "engine/zero-fresh".to_string()
+            ]
+        );
+        assert!((report.median_ratio - 1.1).abs() < 1e-9);
+        assert!(report.passed());
+    }
+
+    #[test]
+    fn empty_after_skip_is_an_error_not_a_pass() {
+        // Every matching row degenerate: the gate has nothing healthy to
+        // gate and must fail loudly, naming the skipped rows.
+        let baseline = vec![row("engine/a", 0), row("engine/b", 100)];
+        let fresh = vec![row("engine/a", 10), row("engine/b", 0)];
+        let err = gate(&baseline, &fresh, "engine", 0.25).unwrap_err();
+        assert!(err.contains("nothing to gate"), "{err}");
+        assert!(
+            err.contains("engine/a") && err.contains("engine/b"),
+            "{err}"
+        );
+        // Both sides zero (a 0/0 NaN ratio) is skipped the same way.
         let baseline = vec![row("engine/a", 0)];
-        let fresh = vec![row("engine/a", 10)];
+        let fresh = vec![row("engine/a", 0)];
         assert!(gate(&baseline, &fresh, "engine", 0.25).is_err());
     }
 

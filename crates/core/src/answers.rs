@@ -141,6 +141,29 @@ impl AnswerTable {
         })
     }
 
+    /// Thins a sparse table's support to at most `budget` entries — the
+    /// answer-side growth control sharing one algorithm
+    /// ([`crowdfusion_jointdist::thin_support`]) with
+    /// [`crowdfusion_jointdist::JointDist::thin_to`]. The `budget`
+    /// highest-probability patterns are kept (ties toward the smaller
+    /// pattern) and the trimmed mass is reinstated by renormalising the
+    /// kept support, so the table's total mass is preserved exactly; the
+    /// residual channel `pc` then spreads that reinstated mass across the
+    /// answer lattice at evaluation time. Dense tables are returned
+    /// unchanged — they are exact by construction and bounded by the
+    /// dense fact limit, so there is nothing to control.
+    pub fn thin_to(self, budget: usize) -> Result<AnswerTable, CoreError> {
+        match self {
+            AnswerTable::Dense { .. } => Ok(self),
+            AnswerTable::Sparse { n, pc, entries } => {
+                let entries = crowdfusion_jointdist::thin_support(&entries, budget).ok_or(
+                    CoreError::Joint(crowdfusion_jointdist::JointError::EmptySupport),
+                )?;
+                Ok(AnswerTable::Sparse { n, pc, entries })
+            }
+        }
+    }
+
     /// Number of facts the table covers.
     pub fn num_facts(&self) -> usize {
         match *self {
@@ -750,6 +773,34 @@ mod tests {
         for (x, y) in a.iter().zip(&b) {
             assert!((x - y).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn thin_to_preserves_mass_and_agrees_within_budget() {
+        let d = paper_running_example();
+        let sparse = AnswerTable::sparse(&d, 0.8).unwrap();
+        let support = sparse.len();
+        // Within budget: bit-identical, distributions agree exactly.
+        let same = sparse.clone().thin_to(support).unwrap();
+        assert_eq!(same, sparse);
+        let full = VarSet::all(4);
+        let a = sparse.distribution(full).unwrap();
+        let b = same.distribution(full).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < crowdfusion_jointdist::PROB_EPSILON);
+        }
+        // Thinned: support shrinks to the budget, total mass is pinned.
+        let thin = sparse.clone().thin_to(support / 2).unwrap();
+        assert_eq!(thin.len(), support / 2);
+        let mass: f64 = thin.distribution(full).unwrap().iter().sum();
+        assert!((mass - 1.0).abs() < 1e-9, "mass {mass}");
+        // Deterministic: same input, same thinned table.
+        assert_eq!(thin, sparse.clone().thin_to(support / 2).unwrap());
+        // Zero budget is rejected; dense tables pass through unchanged.
+        assert!(sparse.thin_to(0).is_err());
+        let dense = AnswerTable::dense(&d, 0.8, AnswerEvaluator::Butterfly).unwrap();
+        let same_dense = dense.clone().thin_to(1).unwrap();
+        assert_eq!(same_dense, dense);
     }
 
     #[test]

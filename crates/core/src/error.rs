@@ -37,6 +37,21 @@ pub enum CoreError {
     },
     /// The facts-of-interest set is empty (query-based mode).
     EmptyInterestSet,
+    /// An answer was absorbed while no round is open on the session.
+    NoOpenRound,
+    /// An absorbed answer names a task id this session never published.
+    UnknownAnswerTask {
+        /// The offending task id.
+        task: u64,
+    },
+    /// A session id the registry does not know.
+    UnknownSession {
+        /// The offending session id.
+        session: u64,
+    },
+    /// A session snapshot violates its own invariants (corrupt or
+    /// hand-edited snapshot file).
+    InvalidSnapshot(String),
     /// An underlying probability error.
     Joint(JointError),
     /// An underlying crowd-simulation error.
@@ -61,6 +76,16 @@ impl fmt::Display for CoreError {
                 write!(f, "{tasks} tasks but {answers} answers")
             }
             CoreError::EmptyInterestSet => write!(f, "facts-of-interest set is empty"),
+            CoreError::NoOpenRound => write!(f, "no round is open on this session"),
+            CoreError::UnknownAnswerTask { task } => {
+                write!(f, "answer names unpublished task id {task}")
+            }
+            CoreError::UnknownSession { session } => {
+                write!(f, "unknown session id {session}")
+            }
+            CoreError::InvalidSnapshot(reason) => {
+                write!(f, "invalid session snapshot: {reason}")
+            }
             CoreError::Joint(e) => write!(f, "probability error: {e}"),
             CoreError::Crowd(e) => write!(f, "crowd error: {e}"),
         }

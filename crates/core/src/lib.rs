@@ -43,6 +43,7 @@ pub mod prior;
 pub mod query;
 pub mod round;
 pub mod selection;
+pub mod session;
 pub mod system;
 
 pub use allocation::{run_global, GlobalBudgetConfig};
@@ -58,7 +59,11 @@ pub use round::{EntityCase, EntityTrace, RoundConfig, RoundPoint};
 pub use selection::{
     GreedySelector, OptSelector, PruneBound, RandomSelector, SelectorKind, TaskSelector,
 };
-pub use system::{Experiment, ExperimentTrace};
+pub use session::{
+    AbsorbReport, EntitySpec, OpenedSession, PublishedRound, PublishedTask, RegistryMetrics,
+    RegistrySnapshot, SelectOutcome, SessionRegistry, SessionSnapshot, SessionState,
+};
+pub use system::{assemble_trace, EntitySeries, Experiment, ExperimentTrace, RoundQuality};
 
 /// Maximum number of facts per entity for which dense answer-space
 /// operations are permitted (the same bound as

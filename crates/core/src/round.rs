@@ -186,6 +186,51 @@ pub(crate) struct PendingRound {
     pub(crate) truths: Vec<bool>,
 }
 
+/// The shared *select* phase of one round: picks the task set under the
+/// remaining budget and builds the crowd-facing batch, without publishing
+/// it. Returns `None` when the budget is exhausted or the selector yields
+/// no tasks (`K* = 0`). This single code path backs both the borrowing
+/// [`EntityState`] used by the offline experiment runners and the owning
+/// [`crate::session::SessionState`] behind the service — so a service
+/// session and an offline run fed the same RNG streams select bit-identical
+/// rounds by construction.
+pub(crate) fn prepare_round(
+    case: &EntityCase,
+    config: RoundConfig,
+    dist: &JointDist,
+    remaining: usize,
+    selector: &dyn TaskSelector,
+    rng: &mut dyn RngCore,
+    task_seq: &mut u64,
+) -> Result<Option<PendingRound>, CoreError> {
+    if remaining == 0 {
+        return Ok(None);
+    }
+    let ask = config.k.min(case.num_facts()).min(remaining);
+    let tasks = selector.select(dist, config.pc_assumed, ask, rng)?;
+    if tasks.is_empty() {
+        return Ok(None);
+    }
+    let crowd_tasks: Vec<Task> = tasks
+        .iter()
+        .map(|&f| {
+            let id = *task_seq;
+            *task_seq += 1;
+            Task {
+                id: crowdfusion_crowd::TaskId(id),
+                prompt: case.prompts[f].clone(),
+                class: case.classes[f],
+            }
+        })
+        .collect();
+    let truths: Vec<bool> = tasks.iter().map(|&f| case.gold.get(f)).collect();
+    Ok(Some(PendingRound {
+        tasks,
+        crowd_tasks,
+        truths,
+    }))
+}
+
 impl<'a> EntityState<'a> {
     pub(crate) fn new(case: &'a EntityCase, config: RoundConfig) -> EntityState<'a> {
         EntityState {
@@ -198,44 +243,28 @@ impl<'a> EntityState<'a> {
         }
     }
 
-    /// The *select* phase of one round: picks this round's task set and
-    /// builds the crowd-facing batch, without publishing it. Returns
-    /// `None` — and pins `remaining` to 0 so later calls stay `None` —
-    /// when the budget is exhausted or the selector yields no tasks
-    /// (`K* = 0`).
+    /// The *select* phase of one round ([`prepare_round`]). Returns `None`
+    /// — and pins `remaining` to 0 so later calls stay `None` — when the
+    /// budget is exhausted or the selector yields no tasks (`K* = 0`).
     pub(crate) fn prepare(
         &mut self,
         selector: &dyn TaskSelector,
         rng: &mut dyn RngCore,
         task_seq: &mut u64,
     ) -> Result<Option<PendingRound>, CoreError> {
-        if self.remaining == 0 {
-            return Ok(None);
-        }
-        let ask = self.config.k.min(self.case.num_facts()).min(self.remaining);
-        let tasks = selector.select(&self.dist, self.config.pc_assumed, ask, rng)?;
-        if tasks.is_empty() {
+        let pending = prepare_round(
+            self.case,
+            self.config,
+            &self.dist,
+            self.remaining,
+            selector,
+            rng,
+            task_seq,
+        )?;
+        if pending.is_none() {
             self.remaining = 0;
-            return Ok(None);
         }
-        let crowd_tasks: Vec<Task> = tasks
-            .iter()
-            .map(|&f| {
-                let id = *task_seq;
-                *task_seq += 1;
-                Task {
-                    id: crowdfusion_crowd::TaskId(id),
-                    prompt: self.case.prompts[f].clone(),
-                    class: self.case.classes[f],
-                }
-            })
-            .collect();
-        let truths: Vec<bool> = tasks.iter().map(|&f| self.case.gold.get(f)).collect();
-        Ok(Some(PendingRound {
-            tasks,
-            crowd_tasks,
-            truths,
-        }))
+        Ok(pending)
     }
 
     /// The *update* phase of one round: merges the crowd's `judgments`

@@ -1,0 +1,1123 @@
+//! Long-lived refinement sessions: the resumable state machine behind
+//! `crowdfusion-serve`.
+//!
+//! The offline experiment runners ([`crate::system::Experiment`]) drive the
+//! select–collect–update cycle in a closed loop: every round's answers come
+//! back in one synchronous `publish` round trip. A *service* cannot assume
+//! that — crowd answers stream in **incrementally and out of order**:
+//! partial batches, late answers for rounds that already closed, duplicate
+//! deliveries. [`SessionState`] therefore splits the PR 4
+//! `EntityState::prepare`/`absorb` cycle into a resumable state machine:
+//!
+//! * [`SessionState::select`] runs the *select* phase (the shared
+//!   [`crate::round`] `prepare_round` path, so selections are bit-identical
+//!   to the offline drivers) and leaves the round **open**;
+//! * [`SessionState::absorb`] ingests any subset of the open round's
+//!   answers in any order, rejecting duplicates and stale ids; once the
+//!   last answer lands, the round closes with one
+//!   [`posterior_in_place`] merge over the judgments *in selection order* —
+//!   which is why any arrival order yields a bit-identical posterior;
+//! * [`SessionState::snapshot`]/[`SessionState::from_snapshot`] serialise
+//!   the whole machine — posterior, budget ledger, selector RNG state, the
+//!   open round's partial answers — so a daemon can restart mid-round
+//!   without losing a single judgment.
+//!
+//! [`SessionRegistry`] manages many concurrent sessions over one worker
+//! [`Pool`] (priors are built on the pool at `open` time) and derives each
+//! session's RNG streams from a master seed exactly like
+//! [`crate::system::Experiment::run_sharded`] derives its per-entity
+//! streams — so a registry opened with the entities of an offline
+//! experiment, in order, and fed the seeded crowd's answers reproduces the
+//! offline trace bit for bit (see `crates/service/tests`).
+
+use crate::answers::posterior_in_place;
+use crate::error::CoreError;
+use crate::metrics::ConfusionCounts;
+use crate::pool::Pool;
+use crate::prior::default_grouped_prior;
+use crate::round::{prepare_round, EntityCase, RoundConfig, RoundPoint};
+use crate::selection::TaskSelector;
+use crate::system::{assemble_trace, EntitySeries, ExperimentTrace, RoundQuality};
+use crowdfusion_crowd::TaskClass;
+use crowdfusion_jointdist::{Assignment, JointDist};
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// An entity as it crosses the wire into the service: per-fact fusion
+/// marginals plus correlation groups (the inputs of
+/// [`default_grouped_prior`]), crowd-facing metadata, and the hidden gold
+/// truth that drives the (simulated) crowd and the F1 bookkeeping.
+///
+/// The offline pipeline builds [`EntityCase`]s through exactly this type
+/// (`crowdfusion::pipeline` → `datagen::export::wire_entities` →
+/// [`EntitySpec::into_case`]), so a served entity and an offline entity
+/// with the same spec carry bit-identical priors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EntitySpec {
+    /// Display name (book title, country name, …).
+    pub name: String,
+    /// Per-fact machine-fusion marginals `P(f_i = true)`.
+    pub marginals: Vec<f64>,
+    /// Correlation groups of format-variant statements (see
+    /// [`crate::prior::grouped_prior`]).
+    pub groups: Vec<Vec<usize>>,
+    /// Per-fact crowd prompts; empty means generic defaults.
+    pub prompts: Vec<String>,
+    /// Per-fact confusion classes; empty means all clean.
+    pub classes: Vec<TaskClass>,
+    /// Per-fact gold labels.
+    pub gold: Vec<bool>,
+}
+
+impl EntitySpec {
+    /// A minimal spec with generic prompts and clean classes.
+    pub fn simple(name: impl Into<String>, marginals: Vec<f64>, gold: Vec<bool>) -> EntitySpec {
+        EntitySpec {
+            name: name.into(),
+            marginals,
+            groups: Vec::new(),
+            prompts: Vec::new(),
+            classes: Vec::new(),
+            gold,
+        }
+    }
+
+    /// Validates internal consistency (parallel array lengths).
+    pub fn validate(&self) -> Result<(), CoreError> {
+        let n = self.marginals.len();
+        let ok = |len: usize| len == n || len == 0;
+        if self.gold.len() != n || !ok(self.prompts.len()) || !ok(self.classes.len()) {
+            return Err(CoreError::AnswerLengthMismatch {
+                tasks: n,
+                answers: self.gold.len().min(self.prompts.len()),
+            });
+        }
+        for group in &self.groups {
+            for &idx in group {
+                if idx >= n {
+                    return Err(CoreError::TaskOutOfRange { index: idx, n });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Materialises the spec into an [`EntityCase`]: the prior is built
+    /// with [`default_grouped_prior`] (dense up to the fact limit, sparse
+    /// importance sampling beyond), gold labels are packed into an
+    /// [`Assignment`], and missing prompts/classes get the
+    /// [`EntityCase::simple`] defaults.
+    pub fn into_case(self) -> Result<EntityCase, CoreError> {
+        self.validate()?;
+        let n = self.marginals.len();
+        let prior = default_grouped_prior(&self.marginals, &self.groups)?;
+        let mut gold = Assignment::ALL_FALSE;
+        for (i, &truth) in self.gold.iter().enumerate() {
+            gold = gold.with(i, truth);
+        }
+        let name = self.name;
+        let prompts = if self.prompts.is_empty() {
+            (0..n)
+                .map(|i| format!("Is fact {i} of \"{name}\" true?"))
+                .collect()
+        } else {
+            self.prompts
+        };
+        let classes = if self.classes.is_empty() {
+            vec![TaskClass::Clean; n]
+        } else {
+            self.classes
+        };
+        Ok(EntityCase {
+            name,
+            prior,
+            gold,
+            prompts,
+            classes,
+        })
+    }
+}
+
+/// One published (crowd-facing) task of an open round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PublishedTask {
+    /// Globally unique task id (the absorb key).
+    pub id: u64,
+    /// The fact index this task asks about.
+    pub fact: usize,
+    /// The crowd prompt.
+    pub prompt: String,
+    /// The task's confusion class.
+    pub class: TaskClass,
+}
+
+/// A round that has been selected and published but not yet fully
+/// answered.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PublishedRound {
+    /// The 1-based round number this round will close as.
+    pub round: usize,
+    /// The published tasks, in selection order.
+    pub tasks: Vec<PublishedTask>,
+}
+
+/// The outcome of [`SessionState::select`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectOutcome {
+    /// A round is open (freshly selected, or re-fetched while answers are
+    /// still outstanding).
+    Round(PublishedRound),
+    /// The budget is exhausted or the selector stopped (`K* = 0`); no
+    /// further rounds will open.
+    Exhausted,
+}
+
+/// The open round's ingestion state: selected facts, published ids and the
+/// answers received so far (slot `j` belongs to the `j`-th selected task).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpenRound {
+    tasks: Vec<usize>,
+    ids: Vec<u64>,
+    received: Vec<Option<bool>>,
+}
+
+impl OpenRound {
+    /// Number of still-unanswered tasks.
+    pub fn pending(&self) -> usize {
+        self.received.iter().filter(|r| r.is_none()).count()
+    }
+
+    fn validate(&self, n: usize) -> Result<(), CoreError> {
+        if self.tasks.len() != self.ids.len() || self.tasks.len() != self.received.len() {
+            return Err(CoreError::AnswerLengthMismatch {
+                tasks: self.tasks.len(),
+                answers: self.ids.len().min(self.received.len()),
+            });
+        }
+        if let Some(&bad) = self.tasks.iter().find(|&&f| f >= n) {
+            return Err(CoreError::TaskOutOfRange { index: bad, n });
+        }
+        Ok(())
+    }
+}
+
+/// The result of one [`SessionState::absorb`] call.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AbsorbReport {
+    /// Answers applied to the open round.
+    pub accepted: usize,
+    /// Answers rejected as duplicates (already answered, repeated within
+    /// the batch, or late arrivals for a round that already closed).
+    pub duplicates: usize,
+    /// Open-round answers still outstanding after this call.
+    pub pending: usize,
+    /// The closed round's record, when this call completed the round.
+    pub closed: Option<RoundPoint>,
+}
+
+/// A serialisable snapshot of a [`SessionState`] — everything needed to
+/// resume the session after a daemon restart, including the selector RNG
+/// state and the open round's partial answers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionSnapshot {
+    /// The entity under refinement.
+    pub case: EntityCase,
+    /// Round configuration.
+    pub config: RoundConfig,
+    /// Current posterior.
+    pub dist: JointDist,
+    /// Remaining budget in judgments.
+    pub remaining: usize,
+    /// Rounds closed so far.
+    pub round: usize,
+    /// Judgments spent so far.
+    pub spent: usize,
+    /// Raw selector RNG state ([`StdRng::state`]).
+    pub rng_state: [u64; 4],
+    /// Next task id to publish.
+    pub task_seq: u64,
+    /// First task id this session ever published (stale-answer floor).
+    pub first_task_id: u64,
+    /// The open round, if one is mid-flight.
+    pub open: Option<OpenRound>,
+    /// Per-round quality series (trace assembly input).
+    pub series: EntitySeries,
+    /// Full per-round records (tasks + answers).
+    pub points: Vec<RoundPoint>,
+    /// Whether the session has permanently stopped selecting.
+    pub exhausted: bool,
+}
+
+/// The entity's confusion counts at the current posterior.
+fn counts_against_gold(dist: &JointDist, gold: Assignment) -> ConfusionCounts {
+    let mut counts = ConfusionCounts::default();
+    counts.add_marginals(&dist.marginals(), gold);
+    counts
+}
+
+/// One long-lived refinement session: an owned entity, its posterior, the
+/// budget ledger and the resumable round state machine.
+#[derive(Debug, Clone)]
+pub struct SessionState {
+    case: EntityCase,
+    config: RoundConfig,
+    dist: JointDist,
+    remaining: usize,
+    round: usize,
+    spent: usize,
+    rng: StdRng,
+    task_seq: u64,
+    first_task_id: u64,
+    open: Option<OpenRound>,
+    series: EntitySeries,
+    points: Vec<RoundPoint>,
+    exhausted: bool,
+}
+
+impl SessionState {
+    /// Opens a session: `selector_seed` seeds the selector RNG stream and
+    /// `task_seq_base` is the first task id — pass the same values the
+    /// offline sharded runner derives for the entity (stream seed from the
+    /// master RNG, ids from the block `(index << 32)..`) and the session
+    /// will select bit-identical rounds.
+    pub fn new(
+        case: EntityCase,
+        config: RoundConfig,
+        selector_seed: u64,
+        task_seq_base: u64,
+    ) -> Result<SessionState, CoreError> {
+        case.validate()?;
+        let dist = case.prior.clone();
+        let series = EntitySeries {
+            prior_utility: dist.utility(),
+            prior_counts: counts_against_gold(&dist, case.gold),
+            rounds: Vec::new(),
+        };
+        Ok(SessionState {
+            case,
+            config,
+            dist,
+            remaining: config.budget,
+            round: 0,
+            spent: 0,
+            rng: StdRng::seed_from_u64(selector_seed),
+            task_seq: task_seq_base,
+            first_task_id: task_seq_base,
+            open: None,
+            series,
+            points: Vec::new(),
+            exhausted: false,
+        })
+    }
+
+    /// The *select* phase: opens the next round under the session budget,
+    /// or re-fetches the currently open round (so a client that lost the
+    /// response can ask again without burning budget or RNG state).
+    pub fn select(&mut self, selector: &dyn TaskSelector) -> Result<SelectOutcome, CoreError> {
+        if let Some(open) = &self.open {
+            let tasks = open
+                .tasks
+                .iter()
+                .zip(&open.ids)
+                .map(|(&fact, &id)| PublishedTask {
+                    id,
+                    fact,
+                    prompt: self.case.prompts[fact].clone(),
+                    class: self.case.classes[fact],
+                })
+                .collect();
+            return Ok(SelectOutcome::Round(PublishedRound {
+                round: self.round + 1,
+                tasks,
+            }));
+        }
+        if self.exhausted {
+            return Ok(SelectOutcome::Exhausted);
+        }
+        let rng: &mut dyn RngCore = &mut self.rng;
+        let Some(pending) = prepare_round(
+            &self.case,
+            self.config,
+            &self.dist,
+            self.remaining,
+            selector,
+            rng,
+            &mut self.task_seq,
+        )?
+        else {
+            self.exhausted = true;
+            self.remaining = 0;
+            return Ok(SelectOutcome::Exhausted);
+        };
+        let tasks: Vec<PublishedTask> = pending
+            .tasks
+            .iter()
+            .zip(&pending.crowd_tasks)
+            .map(|(&fact, task)| PublishedTask {
+                id: task.id.0,
+                fact,
+                prompt: task.prompt.clone(),
+                class: task.class,
+            })
+            .collect();
+        self.open = Some(OpenRound {
+            ids: tasks.iter().map(|t| t.id).collect(),
+            tasks: pending.tasks,
+            received: vec![None; tasks.len()],
+        });
+        Ok(SelectOutcome::Round(PublishedRound {
+            round: self.round + 1,
+            tasks,
+        }))
+    }
+
+    /// The *update* phase, resumable: ingests `(task id, judgment)` pairs
+    /// in any order and any batching. Duplicates (slots already answered,
+    /// repeats within the batch) and late answers for closed rounds are
+    /// counted and dropped — first answer wins; ids this session never
+    /// published are a hard error and leave the state untouched. When the
+    /// open round's last answer lands the round closes: the judgments are
+    /// merged **in selection order** through the same
+    /// [`posterior_in_place`] path the offline drivers use, so the
+    /// posterior is bit-identical for every arrival order.
+    pub fn absorb(&mut self, answers: &[(u64, bool)]) -> Result<AbsorbReport, CoreError> {
+        if self.open.is_none() && self.round == 0 {
+            return Err(CoreError::NoOpenRound);
+        }
+        // Validate every id before mutating anything: an unknown id fails
+        // the whole batch with no answer applied.
+        for &(id, _) in answers {
+            if id < self.first_task_id || id >= self.task_seq {
+                return Err(CoreError::UnknownAnswerTask { task: id });
+            }
+        }
+        let mut accepted = 0usize;
+        let mut duplicates = 0usize;
+        if let Some(open) = self.open.as_mut() {
+            for &(id, value) in answers {
+                match open.ids.iter().position(|&i| i == id) {
+                    Some(j) if open.received[j].is_none() => {
+                        open.received[j] = Some(value);
+                        accepted += 1;
+                    }
+                    // Already answered, or a late answer for a closed
+                    // round: dropped, first answer wins.
+                    _ => duplicates += 1,
+                }
+            }
+        } else {
+            duplicates = answers.len();
+        }
+        let pending = self.open.as_ref().map_or(0, OpenRound::pending);
+        let closed = if self.open.is_some() && pending == 0 {
+            let open = self.open.take().expect("open round checked above");
+            let judgments: Vec<bool> = open
+                .received
+                .iter()
+                .map(|r| r.expect("round complete"))
+                .collect();
+            posterior_in_place(
+                &mut self.dist,
+                &open.tasks,
+                &judgments,
+                self.config.pc_assumed,
+            )?;
+            self.remaining -= open.tasks.len();
+            self.spent += open.tasks.len();
+            self.round += 1;
+            let point = RoundPoint {
+                round: self.round,
+                cost: self.spent,
+                utility: self.dist.utility(),
+                tasks: open.tasks,
+                answers: judgments,
+            };
+            self.series.rounds.push(RoundQuality {
+                cost_delta: point.tasks.len() as u64,
+                utility: point.utility,
+                counts: counts_against_gold(&self.dist, self.case.gold),
+            });
+            self.points.push(point.clone());
+            Some(point)
+        } else {
+            None
+        };
+        Ok(AbsorbReport {
+            accepted,
+            duplicates,
+            pending,
+            closed,
+        })
+    }
+
+    /// Serialises the full session state.
+    pub fn snapshot(&self) -> SessionSnapshot {
+        SessionSnapshot {
+            case: self.case.clone(),
+            config: self.config,
+            dist: self.dist.clone(),
+            remaining: self.remaining,
+            round: self.round,
+            spent: self.spent,
+            rng_state: self.rng.state(),
+            task_seq: self.task_seq,
+            first_task_id: self.first_task_id,
+            open: self.open.clone(),
+            series: self.series.clone(),
+            points: self.points.clone(),
+            exhausted: self.exhausted,
+        }
+    }
+
+    /// Rebuilds a session from a snapshot; the restored machine continues
+    /// the exact RNG stream and open round of the snapshotted one.
+    ///
+    /// Snapshots cross a trust boundary (`Restore` takes a file path), so
+    /// the budget invariants are re-validated: a corrupt or hand-edited
+    /// snapshot must not restore into a state whose round close would
+    /// underflow the budget arithmetic.
+    pub fn from_snapshot(snap: SessionSnapshot) -> Result<SessionState, CoreError> {
+        snap.case.validate()?;
+        if let Some(open) = &snap.open {
+            open.validate(snap.case.num_facts())?;
+        }
+        let invalid = |reason: String| Err(CoreError::InvalidSnapshot(reason));
+        if snap.spent.checked_add(snap.remaining) != Some(snap.config.budget)
+            && !(snap.exhausted && snap.remaining == 0 && snap.spent <= snap.config.budget)
+        {
+            return invalid(format!(
+                "spent {} + remaining {} does not match budget {}",
+                snap.spent, snap.remaining, snap.config.budget
+            ));
+        }
+        if let Some(open) = &snap.open {
+            if open.tasks.len() > snap.remaining {
+                return invalid(format!(
+                    "open round asks {} tasks but only {} budget remains",
+                    open.tasks.len(),
+                    snap.remaining
+                ));
+            }
+            // Every published id must be answerable: outside the issued
+            // range, `absorb` would reject it forever and the round could
+            // never close (a silent livelock instead of a loud error).
+            for &id in &open.ids {
+                if id < snap.first_task_id || id >= snap.task_seq {
+                    return invalid(format!(
+                        "open round id {id} outside the issued range {}..{}",
+                        snap.first_task_id, snap.task_seq
+                    ));
+                }
+            }
+        }
+        if snap.first_task_id > snap.task_seq {
+            return invalid(format!(
+                "task id floor {} above next task id {}",
+                snap.first_task_id, snap.task_seq
+            ));
+        }
+        Ok(SessionState {
+            rng: StdRng::from_state(snap.rng_state),
+            case: snap.case,
+            config: snap.config,
+            dist: snap.dist,
+            remaining: snap.remaining,
+            round: snap.round,
+            spent: snap.spent,
+            task_seq: snap.task_seq,
+            first_task_id: snap.first_task_id,
+            open: snap.open,
+            series: snap.series,
+            points: snap.points,
+            exhausted: snap.exhausted,
+        })
+    }
+
+    /// Entity name.
+    pub fn name(&self) -> &str {
+        &self.case.name
+    }
+
+    /// Number of facts under refinement.
+    pub fn num_facts(&self) -> usize {
+        self.case.num_facts()
+    }
+
+    /// Current posterior utility `Q(F)`.
+    pub fn utility(&self) -> f64 {
+        self.dist.utility()
+    }
+
+    /// Current posterior entropy in bits.
+    pub fn entropy(&self) -> f64 {
+        self.dist.entropy()
+    }
+
+    /// Rounds closed so far.
+    pub fn rounds(&self) -> usize {
+        self.round
+    }
+
+    /// Judgments spent so far.
+    pub fn spent(&self) -> usize {
+        self.spent
+    }
+
+    /// Judgments left in the budget.
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+
+    /// Answers outstanding on the open round (0 when no round is open).
+    pub fn pending_answers(&self) -> usize {
+        self.open.as_ref().map_or(0, OpenRound::pending)
+    }
+
+    /// Whether a round is currently open.
+    pub fn has_open_round(&self) -> bool {
+        self.open.is_some()
+    }
+
+    /// Whether the session stopped selecting for good.
+    pub fn is_exhausted(&self) -> bool {
+        self.exhausted
+    }
+
+    /// The current posterior.
+    pub fn posterior(&self) -> &JointDist {
+        &self.dist
+    }
+
+    /// Per-round records (tasks, answers, utility) in round order.
+    pub fn points(&self) -> &[RoundPoint] {
+        &self.points
+    }
+
+    /// The per-round quality series (trace assembly input).
+    pub fn series(&self) -> &EntitySeries {
+        &self.series
+    }
+}
+
+/// Summary of a freshly opened session, echoed to the client.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpenedSession {
+    /// The registry-assigned session id.
+    pub session: u64,
+    /// Entity name.
+    pub name: String,
+    /// Number of facts.
+    pub facts: usize,
+    /// The crowd answer-stream seed paired with this session. A simulated
+    /// crowd replaying this seed (see `crowdfusion_crowd::AnswerReplay`)
+    /// answers exactly like the offline sharded runner's per-entity
+    /// stream.
+    pub answer_seed: u64,
+    /// Prior utility.
+    pub utility: f64,
+    /// Prior entropy in bits.
+    pub entropy: f64,
+}
+
+/// Aggregate registry metrics (the service's `metrics` verb).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RegistryMetrics {
+    /// Live sessions.
+    pub sessions: u64,
+    /// Sessions with an open (partially answered) round.
+    pub open_rounds: u64,
+    /// Total rounds closed across sessions.
+    pub rounds: u64,
+    /// Total judgments absorbed across sessions.
+    pub judgments: u64,
+    /// Total budget remaining across sessions.
+    pub remaining: u64,
+    /// Summed posterior utility.
+    pub utility: f64,
+}
+
+/// A serialisable snapshot of the whole registry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegistrySnapshot {
+    /// Master RNG state (future opens continue the same seed schedule).
+    pub master_state: [u64; 4],
+    /// Next session index.
+    pub next_index: u64,
+    /// Default round configuration.
+    pub defaults: RoundConfig,
+    /// Numbered session snapshots.
+    pub sessions: Vec<NumberedSnapshot>,
+}
+
+/// One session's snapshot together with its registry id.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NumberedSnapshot {
+    /// Registry session id.
+    pub session: u64,
+    /// The session's state.
+    pub snapshot: SessionSnapshot,
+}
+
+/// A registry of concurrent refinement sessions sharing one worker pool.
+///
+/// Stream derivation mirrors [`crate::system::Experiment::run_sharded`]:
+/// each opened session draws `(answer_seed, selector_seed)` from the
+/// master RNG in open order and publishes task ids from the disjoint block
+/// `(session_index << 32)..`. A fresh registry seeded like an offline run
+/// and opened with the run's entities in order therefore reproduces the
+/// offline experiment exactly.
+pub struct SessionRegistry {
+    pool: Pool,
+    master: StdRng,
+    defaults: RoundConfig,
+    sessions: BTreeMap<u64, SessionState>,
+    next_index: u64,
+}
+
+impl SessionRegistry {
+    /// Creates a registry with the given master seed, per-session default
+    /// config and worker pool.
+    pub fn new(seed: u64, defaults: RoundConfig, pool: Pool) -> SessionRegistry {
+        SessionRegistry {
+            pool,
+            master: StdRng::seed_from_u64(seed),
+            defaults,
+            sessions: BTreeMap::new(),
+            next_index: 0,
+        }
+    }
+
+    /// The registry's worker pool.
+    pub fn pool(&self) -> &Pool {
+        &self.pool
+    }
+
+    /// The default round configuration.
+    pub fn defaults(&self) -> RoundConfig {
+        self.defaults
+    }
+
+    /// Opens one session per spec: priors are built **in parallel on the
+    /// pool**, then sessions are registered in spec order with seeds drawn
+    /// from the master RNG. Atomic: a spec that fails to build fails the
+    /// whole call with no session opened and no seed drawn.
+    pub fn open_batch(
+        &mut self,
+        specs: Vec<EntitySpec>,
+        config: Option<RoundConfig>,
+    ) -> Result<Vec<OpenedSession>, CoreError> {
+        for spec in &specs {
+            spec.validate()?;
+        }
+        let config = config.unwrap_or(self.defaults);
+        let cases: Result<Vec<EntityCase>, CoreError> = self.pool.map_reduce(
+            specs.len(),
+            |i| specs[i].clone().into_case(),
+            Ok(Vec::with_capacity(specs.len())),
+            |acc: Result<Vec<EntityCase>, CoreError>, case| {
+                let mut acc = acc?;
+                acc.push(case?);
+                Ok(acc)
+            },
+        );
+        let cases = cases?;
+        let mut opened = Vec::with_capacity(cases.len());
+        for case in cases {
+            let answer_seed = self.master.next_u64();
+            let selector_seed = self.master.next_u64();
+            let id = self.next_index;
+            self.next_index += 1;
+            let state = SessionState::new(case, config, selector_seed, id << 32)?;
+            opened.push(OpenedSession {
+                session: id,
+                name: state.name().to_string(),
+                facts: state.num_facts(),
+                answer_seed,
+                utility: state.utility(),
+                entropy: state.entropy(),
+            });
+            self.sessions.insert(id, state);
+        }
+        Ok(opened)
+    }
+
+    /// Looks a session up.
+    pub fn get(&self, session: u64) -> Result<&SessionState, CoreError> {
+        self.sessions
+            .get(&session)
+            .ok_or(CoreError::UnknownSession { session })
+    }
+
+    /// Mutable session lookup.
+    pub fn get_mut(&mut self, session: u64) -> Result<&mut SessionState, CoreError> {
+        self.sessions
+            .get_mut(&session)
+            .ok_or(CoreError::UnknownSession { session })
+    }
+
+    /// Runs the *select* phase on one session.
+    pub fn select(
+        &mut self,
+        session: u64,
+        selector: &dyn TaskSelector,
+    ) -> Result<SelectOutcome, CoreError> {
+        self.get_mut(session)?.select(selector)
+    }
+
+    /// Ingests answers into one session.
+    pub fn absorb(
+        &mut self,
+        session: u64,
+        answers: &[(u64, bool)],
+    ) -> Result<AbsorbReport, CoreError> {
+        self.get_mut(session)?.absorb(answers)
+    }
+
+    /// Number of live sessions.
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Whether no session is open.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+
+    /// Session ids in ascending order.
+    pub fn ids(&self) -> Vec<u64> {
+        self.sessions.keys().copied().collect()
+    }
+
+    /// Assembles the registry-wide quality-vs-cost trace over all sessions
+    /// in id order — the same [`assemble_trace`] the offline runners use,
+    /// so a registry that mirrors an offline experiment yields its exact
+    /// [`ExperimentTrace`].
+    pub fn trace(&self, selector: String) -> ExperimentTrace {
+        let series: Vec<EntitySeries> =
+            self.sessions.values().map(|s| s.series().clone()).collect();
+        assemble_trace(&series, selector)
+    }
+
+    /// Aggregate metrics over all sessions.
+    pub fn metrics(&self) -> RegistryMetrics {
+        let mut m = RegistryMetrics {
+            sessions: self.sessions.len() as u64,
+            open_rounds: 0,
+            rounds: 0,
+            judgments: 0,
+            remaining: 0,
+            utility: 0.0,
+        };
+        for s in self.sessions.values() {
+            m.open_rounds += u64::from(s.has_open_round());
+            m.rounds += s.rounds() as u64;
+            m.judgments += s.spent() as u64;
+            m.remaining += s.remaining() as u64;
+            m.utility += s.utility();
+        }
+        m
+    }
+
+    /// Serialises every session plus the master RNG state.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        RegistrySnapshot {
+            master_state: self.master.state(),
+            next_index: self.next_index,
+            defaults: self.defaults,
+            sessions: self
+                .sessions
+                .iter()
+                .map(|(&session, state)| NumberedSnapshot {
+                    session,
+                    snapshot: state.snapshot(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuilds a registry from a snapshot on the given pool.
+    pub fn from_snapshot(snap: RegistrySnapshot, pool: Pool) -> Result<SessionRegistry, CoreError> {
+        let mut sessions = BTreeMap::new();
+        for numbered in snap.sessions {
+            sessions.insert(
+                numbered.session,
+                SessionState::from_snapshot(numbered.snapshot)?,
+            );
+        }
+        Ok(SessionRegistry {
+            pool,
+            master: StdRng::from_state(snap.master_state),
+            defaults: snap.defaults,
+            sessions,
+            next_index: snap.next_index,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::selection::{GreedySelector, RandomSelector};
+    use crowdfusion_jointdist::presets::paper_running_example;
+
+    fn example_spec() -> EntitySpec {
+        // The running example's marginals with no correlation groups: the
+        // independent prior is what `default_grouped_prior` builds from an
+        // empty group list.
+        EntitySpec::simple(
+            "hk",
+            vec![0.5, 0.6, 0.7, 0.3],
+            vec![true, true, true, false],
+        )
+    }
+
+    fn session(k: usize, budget: usize) -> SessionState {
+        let case = EntityCase::simple(
+            "hk",
+            paper_running_example(),
+            crowdfusion_jointdist::Assignment(0b0111),
+        );
+        let config = RoundConfig::new(k, budget, 0.8).unwrap();
+        SessionState::new(case, config, 7, 0).unwrap()
+    }
+
+    fn round_of(state: &mut SessionState) -> PublishedRound {
+        match state.select(&GreedySelector::fast()).unwrap() {
+            SelectOutcome::Round(r) => r,
+            SelectOutcome::Exhausted => panic!("expected an open round"),
+        }
+    }
+
+    #[test]
+    fn spec_validation_and_defaults() {
+        let mut bad = example_spec();
+        bad.gold.pop();
+        assert!(bad.validate().is_err());
+        let mut bad = example_spec();
+        bad.groups = vec![vec![0, 9]];
+        assert!(bad.validate().is_err());
+        let case = example_spec().into_case().unwrap();
+        assert_eq!(case.num_facts(), 4);
+        case.validate().unwrap();
+        assert!(case.prompts[2].contains("fact 2"));
+    }
+
+    #[test]
+    fn select_is_idempotent_until_answers_arrive() {
+        let mut s = session(2, 8);
+        let first = round_of(&mut s);
+        assert_eq!(first.tasks.len(), 2);
+        assert_eq!(first.round, 1);
+        // Re-polling returns the identical round without advancing RNG or
+        // budget.
+        let again = round_of(&mut s);
+        assert_eq!(first, again);
+        assert_eq!(s.pending_answers(), 2);
+        assert_eq!(s.spent(), 0);
+    }
+
+    #[test]
+    fn out_of_order_partial_and_duplicate_absorption() {
+        let mut s = session(3, 9);
+        let round = round_of(&mut s);
+        let ids: Vec<u64> = round.tasks.iter().map(|t| t.id).collect();
+        // Last answer first: partial batch.
+        let r = s.absorb(&[(ids[2], true)]).unwrap();
+        assert_eq!((r.accepted, r.duplicates, r.pending), (1, 0, 2));
+        assert!(r.closed.is_none());
+        // Duplicate of the already-received answer plus a fresh one.
+        let r = s.absorb(&[(ids[2], false), (ids[0], true)]).unwrap();
+        assert_eq!((r.accepted, r.duplicates, r.pending), (1, 1, 1));
+        // Final answer closes the round.
+        let r = s.absorb(&[(ids[1], false)]).unwrap();
+        assert_eq!(r.pending, 0);
+        let point = r.closed.unwrap();
+        assert_eq!(point.round, 1);
+        assert_eq!(point.cost, 3);
+        // First answer won: the duplicate's conflicting value was dropped.
+        assert!(point.answers[2]);
+        assert_eq!(s.rounds(), 1);
+        assert_eq!(s.remaining(), 6);
+        // A late answer for the closed round is a counted duplicate.
+        let r = s.absorb(&[(ids[0], false)]).unwrap();
+        assert_eq!((r.accepted, r.duplicates), (0, 1));
+    }
+
+    #[test]
+    fn unknown_ids_fail_without_mutation() {
+        let mut s = session(2, 8);
+        assert_eq!(s.absorb(&[(0, true)]).unwrap_err(), CoreError::NoOpenRound);
+        let round = round_of(&mut s);
+        let ids: Vec<u64> = round.tasks.iter().map(|t| t.id).collect();
+        // A batch with one unknown id applies nothing.
+        assert!(matches!(
+            s.absorb(&[(ids[0], true), (99, false)]),
+            Err(CoreError::UnknownAnswerTask { task: 99 })
+        ));
+        assert_eq!(s.pending_answers(), 2);
+    }
+
+    #[test]
+    fn any_arrival_order_matches_in_order_absorption() {
+        let build = |order: &[usize]| {
+            let mut s = session(3, 9);
+            while let SelectOutcome::Round(round) = s.select(&GreedySelector::fast()).unwrap() {
+                // Deterministic fake crowd: judgment = parity of the id.
+                let answers: Vec<(u64, bool)> =
+                    round.tasks.iter().map(|t| (t.id, t.id % 2 == 0)).collect();
+                for &j in order {
+                    if j < answers.len() {
+                        s.absorb(&answers[j..j + 1]).unwrap();
+                    }
+                }
+                // Feed any still-pending answers (orders shorter than the
+                // round) and duplicate the whole batch for good measure.
+                s.absorb(&answers).unwrap();
+            }
+            s
+        };
+        let reference = build(&[0, 1, 2]);
+        for order in [&[2usize, 1, 0][..], &[1, 2, 0], &[2, 0], &[]] {
+            let other = build(order);
+            assert_eq!(reference.posterior(), other.posterior(), "order {order:?}");
+            assert_eq!(reference.points(), other.points());
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_mid_round_continues_identically() {
+        let mut s = session(2, 8);
+        let round = round_of(&mut s);
+        let ids: Vec<u64> = round.tasks.iter().map(|t| t.id).collect();
+        s.absorb(&[(ids[1], true)]).unwrap();
+        // Snapshot with one answer outstanding; roundtrip through JSON.
+        let json = serde_json::to_string(&s.snapshot()).unwrap();
+        let snap: SessionSnapshot = serde_json::from_str(&json).unwrap();
+        let mut restored = SessionState::from_snapshot(snap).unwrap();
+        assert_eq!(restored.pending_answers(), 1);
+        // Drive both to completion with the same answers.
+        let finish = |state: &mut SessionState| {
+            state.absorb(&[(ids[0], false)]).unwrap();
+            while let SelectOutcome::Round(round) = state.select(&GreedySelector::fast()).unwrap() {
+                let answers: Vec<(u64, bool)> =
+                    round.tasks.iter().map(|t| (t.id, t.id % 2 == 1)).collect();
+                state.absorb(&answers).unwrap();
+            }
+        };
+        finish(&mut s);
+        finish(&mut restored);
+        assert_eq!(s.posterior(), restored.posterior());
+        assert_eq!(s.points(), restored.points());
+        assert_eq!(s.spent(), 8);
+    }
+
+    #[test]
+    fn corrupt_snapshots_are_rejected_not_restored() {
+        let mut s = session(2, 8);
+        let round = round_of(&mut s);
+        let good = s.snapshot();
+        // Budget identity broken: remaining inflated.
+        let mut snap = good.clone();
+        snap.remaining = 9;
+        assert!(matches!(
+            SessionState::from_snapshot(snap),
+            Err(CoreError::InvalidSnapshot(_))
+        ));
+        // Open round wider than the remaining budget: closing it would
+        // underflow `remaining -= tasks.len()`.
+        let mut snap = good.clone();
+        snap.remaining = round.tasks.len() - 1;
+        snap.spent = snap.config.budget - snap.remaining;
+        assert!(matches!(
+            SessionState::from_snapshot(snap),
+            Err(CoreError::InvalidSnapshot(_))
+        ));
+        // Task-id bookkeeping inverted.
+        let mut snap = good.clone();
+        snap.first_task_id = snap.task_seq + 1;
+        assert!(matches!(
+            SessionState::from_snapshot(snap),
+            Err(CoreError::InvalidSnapshot(_))
+        ));
+        // An open-round id outside the issued range could never be
+        // answered: the round would be wedged open forever.
+        let mut snap = good.clone();
+        if let Some(open) = snap.open.as_mut() {
+            open.ids[0] = snap.task_seq + 5;
+        }
+        assert!(matches!(
+            SessionState::from_snapshot(snap),
+            Err(CoreError::InvalidSnapshot(_))
+        ));
+        // The untouched snapshot still restores.
+        assert!(SessionState::from_snapshot(good).is_ok());
+    }
+
+    #[test]
+    fn registry_opens_on_the_pool_and_tracks_metrics() {
+        let config = RoundConfig::new(2, 6, 0.8).unwrap();
+        let mut reg = SessionRegistry::new(3, config, Pool::new(2));
+        let opened = reg
+            .open_batch(vec![example_spec(), example_spec()], None)
+            .unwrap();
+        assert_eq!(opened.len(), 2);
+        assert_eq!(opened[0].session, 0);
+        assert_eq!(opened[1].session, 1);
+        assert_ne!(opened[0].answer_seed, opened[1].answer_seed);
+        assert_eq!(reg.len(), 2);
+        assert!(matches!(
+            reg.get(7),
+            Err(CoreError::UnknownSession { session: 7 })
+        ));
+        // Drive session 0 one round.
+        let SelectOutcome::Round(round) = reg.select(0, &RandomSelector).unwrap() else {
+            panic!("round expected");
+        };
+        let answers: Vec<(u64, bool)> = round.tasks.iter().map(|t| (t.id, true)).collect();
+        reg.absorb(0, &answers).unwrap();
+        let m = reg.metrics();
+        assert_eq!(m.sessions, 2);
+        assert_eq!(m.rounds, 1);
+        assert_eq!(m.judgments, 2);
+        assert_eq!(m.open_rounds, 0);
+        // Trace covers both sessions: prior point plus one round.
+        let trace = reg.trace("random".into());
+        assert_eq!(trace.points.len(), 2);
+        assert_eq!(trace.points[0].cost, 0);
+        assert_eq!(trace.last().cost, 2);
+    }
+
+    #[test]
+    fn registry_snapshot_roundtrips_and_continues_the_seed_schedule() {
+        let config = RoundConfig::new(2, 6, 0.8).unwrap();
+        let mut reg = SessionRegistry::new(5, config, Pool::serial());
+        reg.open_batch(vec![example_spec()], None).unwrap();
+        let snap = reg.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let parsed: RegistrySnapshot = serde_json::from_str(&json).unwrap();
+        let mut restored = SessionRegistry::from_snapshot(parsed, Pool::serial()).unwrap();
+        // Opening one more session draws the same seeds in both registries.
+        let a = reg.open_batch(vec![example_spec()], None).unwrap();
+        let b = restored.open_batch(vec![example_spec()], None).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a[0].session, 1);
+    }
+
+    #[test]
+    fn open_batch_is_atomic_on_bad_specs() {
+        let config = RoundConfig::new(2, 6, 0.8).unwrap();
+        let mut reg = SessionRegistry::new(5, config, Pool::serial());
+        let mut bad = example_spec();
+        bad.gold.pop();
+        assert!(reg.open_batch(vec![example_spec(), bad], None).is_err());
+        assert!(reg.is_empty());
+        // The failed open drew no seeds: the next open matches a fresh
+        // registry's first.
+        let a = reg.open_batch(vec![example_spec()], None).unwrap();
+        let mut fresh = SessionRegistry::new(5, config, Pool::serial());
+        let b = fresh.open_batch(vec![example_spec()], None).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -32,20 +32,31 @@ pub struct Experiment {
     config: RoundConfig,
 }
 
-/// One entity's complete sharded run: its prior quality, per-round quality
-/// deltas, and the spend of its platform fork.
-struct EntityShard {
-    prior_utility: f64,
-    prior_counts: ConfusionCounts,
-    rounds: Vec<ShardRound>,
-    ledger: CostLedger,
+/// One entity's complete quality series: its prior quality and per-round
+/// quality deltas. This is the unit [`assemble_trace`] aggregates into the
+/// global quality-vs-cost curve; both sharded offline protocols and the
+/// service's session registry ([`crate::session::SessionRegistry`]) produce
+/// it, so identical per-entity rounds yield identical experiment traces no
+/// matter which driver ran them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct EntitySeries {
+    /// Utility of the prior before any crowdsourcing.
+    pub prior_utility: f64,
+    /// Confusion counts of the prior against gold.
+    pub prior_counts: ConfusionCounts,
+    /// Per-round quality deltas, in round order.
+    pub rounds: Vec<RoundQuality>,
 }
 
-/// One round of one entity in a sharded run.
-struct ShardRound {
-    cost_delta: u64,
-    utility: f64,
-    counts: ConfusionCounts,
+/// One round of one entity in a quality series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RoundQuality {
+    /// Judgments spent this round.
+    pub cost_delta: u64,
+    /// Utility after merging this round's answers.
+    pub utility: f64,
+    /// Confusion counts at this round's posterior.
+    pub counts: ConfusionCounts,
 }
 
 /// The entity's confusion counts at its current posterior.
@@ -180,7 +191,7 @@ impl Experiment {
             pending: Option<PendingRound>,
             /// Demuxed judgments for `pending` (phase 2 → 3 handoff).
             judgments: Option<Vec<bool>>,
-            shard: EntityShard,
+            series: EntitySeries,
             done: bool,
             /// First error raised on a pool worker; surfaced after the
             /// phase joins (entity order keeps the choice deterministic).
@@ -196,11 +207,10 @@ impl Experiment {
             .enumerate()
             .map(|(i, (case, &(_, selector_seed)))| {
                 let state = EntityState::new(case, self.config);
-                let shard = EntityShard {
+                let series = EntitySeries {
                     prior_utility: state.dist.utility(),
                     prior_counts: counts_of(&state, case),
                     rounds: Vec::new(),
-                    ledger: CostLedger::default(),
                 };
                 Driver {
                     state,
@@ -208,7 +218,7 @@ impl Experiment {
                     task_seq: (i as u64) << 32,
                     pending: None,
                     judgments: None,
-                    shard,
+                    series,
                     done: false,
                     error: None,
                 }
@@ -266,7 +276,7 @@ impl Experiment {
                         continue;
                     };
                     match d.state.absorb(pending, judgments) {
-                        Ok(point) => d.shard.rounds.push(ShardRound {
+                        Ok(point) => d.series.rounds.push(RoundQuality {
                             cost_delta: point.tasks.len() as u64,
                             utility: point.utility,
                             counts: counts_of(&d.state, d.state.case),
@@ -283,8 +293,8 @@ impl Experiment {
             }
         }
 
-        let shards: Vec<EntityShard> = drivers.into_iter().map(|d| d.shard).collect();
-        Ok(self.assemble_trace(&shards, selector.name()))
+        let series: Vec<EntitySeries> = drivers.into_iter().map(|d| d.series).collect();
+        Ok(assemble_trace(&series, selector.name()))
     }
 
     /// Runs the experiment sharded across entities on `pool`, with
@@ -314,83 +324,44 @@ impl Experiment {
         let seeds = self.entity_seeds(rng);
         let template: &CrowdPlatform<M> = platform;
         let config = self.config;
-        let shards: Result<Vec<EntityShard>, CoreError> = pool.map_reduce(
+        let shards: Result<Vec<(EntitySeries, CostLedger)>, CoreError> = pool.map_reduce(
             self.cases.len(),
-            |i| -> Result<EntityShard, CoreError> {
+            |i| -> Result<(EntitySeries, CostLedger), CoreError> {
                 let case = &self.cases[i];
                 let (platform_seed, selector_seed) = seeds[i];
                 let mut platform = template.fork_seeded(platform_seed);
                 let mut rng = StdRng::seed_from_u64(selector_seed);
                 let mut task_seq = (i as u64) << 32;
                 let mut state = EntityState::new(case, config);
-                let mut shard = EntityShard {
+                let mut series = EntitySeries {
                     prior_utility: state.dist.utility(),
                     prior_counts: counts_of(&state, case),
                     rounds: Vec::new(),
-                    ledger: CostLedger::default(),
                 };
                 while let Some(point) =
                     state.step(selector, &mut platform, &mut rng, &mut task_seq)?
                 {
-                    shard.rounds.push(ShardRound {
+                    series.rounds.push(RoundQuality {
                         cost_delta: point.tasks.len() as u64,
                         utility: point.utility,
                         counts: counts_of(&state, case),
                     });
                 }
-                shard.ledger = platform.ledger();
-                Ok(shard)
+                Ok((series, platform.ledger()))
             },
             Ok(Vec::with_capacity(self.cases.len())),
-            |acc: Result<Vec<EntityShard>, CoreError>, shard| {
+            |acc: Result<Vec<(EntitySeries, CostLedger)>, CoreError>, shard| {
                 let mut acc = acc?;
                 acc.push(shard?);
                 Ok(acc)
             },
         );
         let shards = shards?;
-        for shard in &shards {
-            platform.merge_ledger(shard.ledger);
+        for (_, ledger) in &shards {
+            platform.merge_ledger(*ledger);
         }
-        Ok(self.assemble_trace(&shards, selector.name()))
-    }
-
-    /// Reassembles per-entity shard records into the global
-    /// quality-vs-cost series: point `r` aggregates each entity after
-    /// `min(r, its round count)` rounds. Shared by both sharded protocols
-    /// — identical shards therefore yield identical traces.
-    fn assemble_trace(&self, shards: &[EntityShard], selector: String) -> ExperimentTrace {
-        let max_rounds = shards.iter().map(|s| s.rounds.len()).max().unwrap_or(0);
-        let mut points = Vec::with_capacity(max_rounds + 1);
-        let mut cost = 0u64;
-        for r in 0..=max_rounds {
-            let mut utility = 0.0;
-            let mut counts = ConfusionCounts::default();
-            for shard in shards {
-                if r >= 1 && r <= shard.rounds.len() {
-                    cost += shard.rounds[r - 1].cost_delta;
-                }
-                match r.min(shard.rounds.len()) {
-                    0 => {
-                        utility += shard.prior_utility;
-                        counts.merge(shard.prior_counts);
-                    }
-                    reached => {
-                        let round = &shard.rounds[reached - 1];
-                        utility += round.utility;
-                        counts.merge(round.counts);
-                    }
-                }
-            }
-            points.push(QualityPoint {
-                cost,
-                utility,
-                f1: counts.f1(),
-                precision: counts.precision(),
-                recall: counts.recall(),
-            });
-        }
-        ExperimentTrace { selector, points }
+        let series: Vec<EntitySeries> = shards.into_iter().map(|(s, _)| s).collect();
+        Ok(assemble_trace(&series, selector.name()))
     }
 
     /// Computes the summed utility and micro-averaged metrics over all
@@ -410,6 +381,46 @@ impl Experiment {
             recall: counts.recall(),
         }
     }
+}
+
+/// Reassembles per-entity quality series into the global quality-vs-cost
+/// curve: point `r` aggregates each entity after `min(r, its round count)`
+/// rounds. Shared by both sharded offline protocols and the service's
+/// session registry — identical series therefore yield identical traces,
+/// which is how the service's determinism contract against
+/// [`Experiment::run_sharded`] is checked end to end.
+pub fn assemble_trace(series: &[EntitySeries], selector: String) -> ExperimentTrace {
+    let max_rounds = series.iter().map(|s| s.rounds.len()).max().unwrap_or(0);
+    let mut points = Vec::with_capacity(max_rounds + 1);
+    let mut cost = 0u64;
+    for r in 0..=max_rounds {
+        let mut utility = 0.0;
+        let mut counts = ConfusionCounts::default();
+        for entity in series {
+            if r >= 1 && r <= entity.rounds.len() {
+                cost += entity.rounds[r - 1].cost_delta;
+            }
+            match r.min(entity.rounds.len()) {
+                0 => {
+                    utility += entity.prior_utility;
+                    counts.merge(entity.prior_counts);
+                }
+                reached => {
+                    let round = &entity.rounds[reached - 1];
+                    utility += round.utility;
+                    counts.merge(round.counts);
+                }
+            }
+        }
+        points.push(QualityPoint {
+            cost,
+            utility,
+            f1: counts.f1(),
+            precision: counts.precision(),
+            recall: counts.recall(),
+        });
+    }
+    ExperimentTrace { selector, points }
 }
 
 #[cfg(test)]

@@ -33,6 +33,7 @@ pub mod aggregation;
 pub mod answer;
 pub mod error;
 pub mod platform;
+pub mod replay;
 pub mod task;
 pub mod worker;
 
@@ -41,5 +42,6 @@ pub use aggregation::{em_aggregate, majority_aggregate, AggregatedAnswer, EmEsti
 pub use answer::{Answer, AnswerModel, ClassAccuracy, SkillAccuracy, UniformAccuracy};
 pub use error::CrowdError;
 pub use platform::{AnswerStreams, CostLedger, CrowdPlatform};
+pub use replay::{dedup_answers, AnswerReplay};
 pub use task::{BatchGroup, RoundBatch, Task, TaskClass, TaskId};
 pub use worker::{Worker, WorkerId, WorkerPool};

@@ -1,0 +1,154 @@
+//! Deterministic answer-stream replay and duplicate rejection — the
+//! service-side crowd utilities.
+//!
+//! The batched experiment protocol records one answer-stream seed per
+//! entity ([`crate::AnswerStreams`]); the serving layer hands that seed to
+//! whichever client simulates the crowd for a session. [`AnswerReplay`]
+//! replays the stream from the recorded seed: it draws through the exact
+//! [`crate::platform`] channel (`answer_one`), so its answers are
+//! bit-identical to a platform fork seeded the same way — which is what
+//! lets a service session reproduce an offline experiment's crowd answer
+//! for answer.
+//!
+//! [`dedup_answers`] is the matching client-side guard: real crowds
+//! redeliver (retries, at-least-once queues), so a client collecting
+//! [`Answer`]s can drop repeats by task id — first answer wins — before
+//! spending wire round trips on them. The serving layer's sessions
+//! independently reject duplicates at ingestion with the same
+//! first-answer-wins rule, so the two layers agree on which answer
+//! counts.
+
+use crate::answer::{Answer, AnswerModel};
+use crate::error::CrowdError;
+use crate::platform::answer_one;
+use crate::task::{Task, TaskId};
+use crate::worker::WorkerPool;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashSet;
+
+/// A deterministic crowd answer stream replayed from a recorded seed.
+///
+/// `AnswerReplay::from_seed(s)` answers exactly like
+/// [`crate::CrowdPlatform::fork_seeded`]`(s)` publishing the same tasks in
+/// the same order (and therefore exactly like stream `i` of
+/// [`crate::AnswerStreams::from_seeds`] when `s` is the `i`-th seed) —
+/// without a platform's ledger bookkeeping, which belongs to the service,
+/// not the client.
+#[derive(Debug, Clone)]
+pub struct AnswerReplay {
+    rng: StdRng,
+}
+
+impl AnswerReplay {
+    /// Starts the stream recorded under `seed`.
+    pub fn from_seed(seed: u64) -> AnswerReplay {
+        AnswerReplay {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Answers one batch of tasks with hidden ground truths `truths`,
+    /// advancing the stream by one draw pair per task.
+    pub fn answers<M: AnswerModel>(
+        &mut self,
+        pool: &WorkerPool,
+        model: &M,
+        tasks: &[Task],
+        truths: &[bool],
+    ) -> Result<Vec<Answer>, CrowdError> {
+        if tasks.len() != truths.len() {
+            return Err(CrowdError::LengthMismatch {
+                tasks: tasks.len(),
+                truths: truths.len(),
+            });
+        }
+        tasks
+            .iter()
+            .zip(truths)
+            .map(|(task, &truth)| answer_one(pool, model, &mut self.rng, task, truth))
+            .collect()
+    }
+}
+
+/// Deduplicates a batch of answers by task id, keeping the **first**
+/// occurrence of each id; returns the kept answers (input order preserved)
+/// and the number of duplicates dropped.
+pub fn dedup_answers(answers: &[Answer]) -> (Vec<Answer>, usize) {
+    let mut seen: HashSet<TaskId> = HashSet::with_capacity(answers.len());
+    let mut kept = Vec::with_capacity(answers.len());
+    for answer in answers {
+        if seen.insert(answer.task) {
+            kept.push(*answer);
+        }
+    }
+    let dropped = answers.len() - kept.len();
+    (kept, dropped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::answer::UniformAccuracy;
+    use crate::platform::CrowdPlatform;
+    use crate::worker::WorkerId;
+
+    fn batch(n: usize) -> (Vec<Task>, Vec<bool>) {
+        let tasks = (0..n)
+            .map(|i| Task::new(i as u64, format!("q{i}")))
+            .collect();
+        let truths = (0..n).map(|i| i % 3 == 0).collect();
+        (tasks, truths)
+    }
+
+    #[test]
+    fn replay_matches_platform_fork_bit_for_bit() {
+        let pool = WorkerPool::uniform(10, 0.75).unwrap();
+        let model = UniformAccuracy::new(0.75);
+        let master = CrowdPlatform::new(pool.clone(), model, 1);
+        for seed in [3u64, 17, 99] {
+            let mut fork = master.fork_seeded(seed);
+            let mut replay = AnswerReplay::from_seed(seed);
+            // Several rounds: the streams must track each other across
+            // batch boundaries, not just on the first call.
+            for round in 0..4 {
+                let (tasks, truths) = batch(3 + round);
+                let expected = fork.publish(&tasks, &truths).unwrap();
+                let got = replay.answers(&pool, &model, &tasks, &truths).unwrap();
+                assert_eq!(got, expected, "seed {seed} round {round}");
+            }
+        }
+    }
+
+    #[test]
+    fn replay_validates_lengths() {
+        let pool = WorkerPool::uniform(4, 0.8).unwrap();
+        let model = UniformAccuracy::new(0.8);
+        let (tasks, _) = batch(3);
+        assert_eq!(
+            AnswerReplay::from_seed(0)
+                .answers(&pool, &model, &tasks, &[true])
+                .unwrap_err(),
+            CrowdError::LengthMismatch {
+                tasks: 3,
+                truths: 1
+            }
+        );
+    }
+
+    #[test]
+    fn dedup_keeps_first_occurrence_in_order() {
+        let mk = |id: u64, value: bool| Answer {
+            task: TaskId(id),
+            worker: WorkerId(0),
+            value,
+        };
+        let answers = vec![mk(5, true), mk(2, false), mk(5, false), mk(2, false)];
+        let (kept, dropped) = dedup_answers(&answers);
+        assert_eq!(dropped, 2);
+        assert_eq!(kept, vec![mk(5, true), mk(2, false)]);
+        let (kept, dropped) = dedup_answers(&[]);
+        assert!(kept.is_empty());
+        assert_eq!(dropped, 0);
+    }
+}

@@ -1,9 +1,12 @@
-//! JSON import/export of generated datasets and experiment artefacts.
+//! JSON import/export of generated datasets and experiment artefacts,
+//! including the `crowdfusion-serve` wire format.
 
 use crate::book::GeneratedBooks;
 use crate::country::CountryFacts;
+use crowdfusion_core::session::EntitySpec;
+use crowdfusion_fusion::{EntityId, FusionResult};
 use std::fs::File;
-use std::io::{BufReader, BufWriter, Write};
+use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
 
 /// Saves a generated book dataset as pretty-printed JSON.
@@ -36,6 +39,81 @@ pub fn load_countries(path: &Path) -> std::io::Result<Vec<CountryFacts>> {
     let file = File::open(path)?;
     serde_json::from_reader(BufReader::new(file))
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+/// Exports one book's claims in the `crowdfusion-serve` wire format: the
+/// fusion method's per-statement marginals plus the book's correlation
+/// groups (the joint-prior inputs), crowd prompts, confusion classes and
+/// gold labels.
+///
+/// This is the single source of the spec the offline pipeline *and* the
+/// service consume (`crowdfusion::pipeline::entity_case_for_book` routes
+/// through it), so a served session and an offline run of the same book
+/// start from bit-identical priors.
+pub fn wire_entity(books: &GeneratedBooks, fusion: &FusionResult, entity: EntityId) -> EntitySpec {
+    let name = books.dataset.entities()[entity.0 as usize].name.clone();
+    let prompts = books
+        .dataset
+        .statements_of(entity)
+        .iter()
+        .map(|s| {
+            format!(
+                "Is \"{}\" the complete author list of \"{name}\"?",
+                books.dataset.statement_text(*s)
+            )
+        })
+        .collect();
+    EntitySpec {
+        marginals: fusion.entity_marginals(&books.dataset, entity),
+        groups: books.correlation_groups(entity),
+        prompts,
+        classes: books.classes_for(entity),
+        gold: books.gold_for(entity),
+        name,
+    }
+}
+
+/// Exports every book's claims in the wire format, in entity order.
+pub fn wire_entities(books: &GeneratedBooks, fusion: &FusionResult) -> Vec<EntitySpec> {
+    books
+        .dataset
+        .entities()
+        .iter()
+        .map(|e| wire_entity(books, fusion, e.id))
+        .collect()
+}
+
+/// Saves wire-format entity specs as line-delimited JSON, one entity per
+/// line. The daemon frames requests, not bare specs, so a saved file is
+/// not piped to it verbatim: a client loads the specs and embeds them in
+/// an `Open` request's `entities` array.
+pub fn save_wire_entities(specs: &[EntitySpec], path: &Path) -> std::io::Result<()> {
+    let file = File::create(path)?;
+    let mut writer = BufWriter::new(file);
+    for spec in specs {
+        let line = serde_json::to_string(spec)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        writer.write_all(line.as_bytes())?;
+        writer.write_all(b"\n")?;
+    }
+    writer.flush()
+}
+
+/// Loads wire-format entity specs from line-delimited JSON (blank lines
+/// are skipped).
+pub fn load_wire_entities(path: &Path) -> std::io::Result<Vec<EntitySpec>> {
+    let file = File::open(path)?;
+    let mut specs = Vec::new();
+    for line in BufReader::new(file).lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let spec = serde_json::from_str(&line)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        specs.push(spec);
+    }
+    Ok(specs)
 }
 
 #[cfg(test)]
@@ -75,5 +153,32 @@ mod tests {
     fn load_missing_file_errors() {
         assert!(load_books(Path::new("/nonexistent/books.json")).is_err());
         assert!(load_countries(Path::new("/nonexistent/countries.json")).is_err());
+        assert!(load_wire_entities(Path::new("/nonexistent/wire.jsonl")).is_err());
+    }
+
+    #[test]
+    fn wire_entities_roundtrip_and_materialise() {
+        use crowdfusion_fusion::{FusionMethod, ModifiedCrh};
+        let books = generate(BookGenConfig::quick());
+        let fusion = ModifiedCrh::default().fuse(&books.dataset).unwrap();
+        let specs = wire_entities(&books, &fusion);
+        assert_eq!(specs.len(), books.dataset.entities().len());
+        for (spec, entity) in specs.iter().zip(books.dataset.entities()) {
+            assert_eq!(spec.marginals.len(), entity.statements.len());
+            spec.validate().unwrap();
+            // Specs materialise into valid cases (the service's `open`).
+            let case = spec.clone().into_case().unwrap();
+            assert_eq!(case.num_facts(), spec.marginals.len());
+        }
+        let dir = std::env::temp_dir().join("crowdfusion-datagen-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wire.jsonl");
+        save_wire_entities(&specs, &path).unwrap();
+        let loaded = load_wire_entities(&path).unwrap();
+        assert_eq!(loaded, specs);
+        // One line per entity: the framing the daemon itself speaks.
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), specs.len());
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -33,7 +33,7 @@ pub mod mask;
 pub mod presets;
 pub mod sample;
 
-pub use dist::JointDist;
+pub use dist::{thin_support, JointDist};
 pub use entropy::{binary_entropy, entropy_of_probs, entropy_of_weights};
 pub use error::JointError;
 pub use factor::{Factor, FactorGraphBuilder};

@@ -1,0 +1,37 @@
+//! `crowdfusion-serve` — the long-lived, multi-tenant refinement service.
+//!
+//! The paper's CrowdFusion loop (select tasks → publish to the crowd →
+//! absorb answers → update the posterior) is inherently an *online*
+//! protocol; this crate puts a serving layer on top of the batched
+//! substrate PR 4 built. A daemon manages many concurrent **sessions**
+//! (one per entity), each a resumable
+//! [`crowdfusion_core::session::SessionState`] holding its posterior, open
+//! task set and budget ledger, and speaks a line-delimited JSON protocol
+//! over TCP and stdio:
+//!
+//! | verb | effect |
+//! |------|--------|
+//! | `Open` | register entities (wire [`crowdfusion_core::session::EntitySpec`]s); priors built in parallel on the worker pool |
+//! | `Select` | the next task batch under the session budget (idempotent while a round is open) |
+//! | `Absorb` | ingest crowd answers incrementally and out of order; duplicates and late answers rejected |
+//! | `Snapshot` / `Restore` | persist / reload every session (posterior, RNG state, partial rounds) |
+//! | `Status` / `Metrics` / `Trace` | per-session and aggregate bookkeeping |
+//! | `Shutdown` | stop the daemon |
+//!
+//! **Determinism contract.** A session fed the same seeded crowd answers
+//! in *any* arrival order produces a trace bit-identical to the offline
+//! [`crowdfusion_core::system::Experiment::run_sharded`] — property-tested
+//! in `tests/determinism.rs` across thread counts, arrival permutations,
+//! duplicated deliveries and snapshot/restore cut points.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod protocol;
+pub mod server;
+pub mod service;
+pub mod snapshot;
+
+pub use protocol::{Request, Response, WireAnswer};
+pub use server::{serve_stdio, serve_tcp, Client};
+pub use service::{SelectorChoice, Service, ServiceConfig};

@@ -1,0 +1,255 @@
+//! The `crowdfusion-serve` wire protocol: line-delimited JSON over TCP or
+//! stdio.
+//!
+//! Every request and every response is one JSON document on one line.
+//! Verbs mirror the session lifecycle: `open` registers entities (priors
+//! built on the pool), `select` returns the next task batch under the
+//! session budget, `absorb` streams crowd answers in — partial batches,
+//! out of order, duplicates rejected — `snapshot`/`restore` persist the
+//! whole daemon, and `status`/`metrics`/`trace` read the bookkeeping out.
+//!
+//! Encoding follows the vendored serde stand-in's conventions: unit enum
+//! variants are their name as a string (`"Metrics"`), struct variants are
+//! a single-key object (`{"Select": {"session": 0}}`).
+
+use crowdfusion_core::round::RoundPoint;
+use crowdfusion_core::session::{EntitySpec, OpenedSession, PublishedTask, RegistryMetrics};
+use crowdfusion_core::system::ExperimentTrace;
+use serde::{Deserialize, Serialize};
+
+/// One streamed crowd answer: the published task id and the judgment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WireAnswer {
+    /// The task id from a `Round` response.
+    pub task: u64,
+    /// The crowd judgment.
+    pub value: bool,
+}
+
+/// A client request (one JSON line).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Registers entities as new sessions; priors are built in parallel on
+    /// the daemon's worker pool. `k`/`budget`/`pc` override the daemon's
+    /// per-session defaults when present.
+    Open {
+        /// Wire-format entity specs, one session each.
+        entities: Vec<EntitySpec>,
+        /// Tasks per round override.
+        k: Option<usize>,
+        /// Per-session budget override.
+        budget: Option<usize>,
+        /// Assumed crowd accuracy override.
+        pc: Option<f64>,
+    },
+    /// Returns the session's open round (idempotent) or selects the next
+    /// one under its budget.
+    Select {
+        /// Target session id.
+        session: u64,
+    },
+    /// Streams crowd answers into the session's open round — any subset,
+    /// any order; duplicates and late answers are counted and dropped.
+    Absorb {
+        /// Target session id.
+        session: u64,
+        /// The answers.
+        answers: Vec<WireAnswer>,
+    },
+    /// Serialises every session (posterior, budget ledger, RNG state, the
+    /// open round's partial answers) to a file on the daemon's disk.
+    Snapshot {
+        /// Destination path.
+        path: String,
+    },
+    /// Replaces the daemon's sessions with a snapshot file's contents.
+    Restore {
+        /// Source path.
+        path: String,
+    },
+    /// Per-session bookkeeping: entropy, rounds, budget spent.
+    Status {
+        /// Target session id.
+        session: u64,
+    },
+    /// Aggregate bookkeeping over all sessions.
+    Metrics,
+    /// The registry-wide quality-vs-cost trace (offline-comparable).
+    Trace,
+    /// Stops the daemon after this response.
+    Shutdown,
+}
+
+/// A daemon response (one JSON line).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// Sessions opened, in spec order, with their crowd answer seeds.
+    Opened {
+        /// One summary per opened session.
+        sessions: Vec<OpenedSession>,
+    },
+    /// The session's open round: answer these tasks via `Absorb`.
+    Round {
+        /// Session id.
+        session: u64,
+        /// 1-based round number the round will close as.
+        round: usize,
+        /// Published tasks in selection order.
+        tasks: Vec<PublishedTask>,
+    },
+    /// The session's budget is exhausted (or its selector stopped); no
+    /// further rounds will open.
+    Exhausted {
+        /// Session id.
+        session: u64,
+        /// Rounds closed over the session's lifetime.
+        rounds: usize,
+        /// Judgments spent.
+        spent: usize,
+    },
+    /// Ingestion report for one `Absorb` call.
+    Absorbed {
+        /// Session id.
+        session: u64,
+        /// Answers applied.
+        accepted: usize,
+        /// Duplicates / late answers dropped.
+        duplicates: usize,
+        /// Open-round answers still outstanding.
+        pending: usize,
+        /// The closed round's record when this call completed the round.
+        closed: Option<RoundPoint>,
+    },
+    /// Snapshot written.
+    Snapshotted {
+        /// Destination path.
+        path: String,
+        /// Sessions serialised.
+        sessions: u64,
+    },
+    /// Snapshot loaded; the daemon's sessions were replaced.
+    Restored {
+        /// Source path.
+        path: String,
+        /// Sessions restored.
+        sessions: u64,
+    },
+    /// Per-session bookkeeping.
+    Status {
+        /// Session id.
+        session: u64,
+        /// Entity name.
+        name: String,
+        /// Number of facts.
+        facts: usize,
+        /// Rounds closed.
+        rounds: usize,
+        /// Judgments spent.
+        spent: usize,
+        /// Budget remaining.
+        remaining: usize,
+        /// Open-round answers outstanding (0 when no round is open).
+        pending: usize,
+        /// Whether the session stopped selecting for good.
+        exhausted: bool,
+        /// Posterior utility `Q(F)`.
+        utility: f64,
+        /// Posterior entropy in bits.
+        entropy: f64,
+    },
+    /// Aggregate metrics.
+    Metrics {
+        /// The registry-wide counters.
+        metrics: RegistryMetrics,
+    },
+    /// The registry-wide quality-vs-cost trace.
+    Trace {
+        /// Assembled exactly like the offline runners assemble theirs.
+        trace: ExperimentTrace,
+    },
+    /// The request failed; nothing was changed unless stated otherwise.
+    Error {
+        /// Human-readable reason.
+        message: String,
+    },
+    /// Acknowledges `Shutdown`; the daemon stops.
+    Bye,
+}
+
+/// Encodes a protocol message as its wire line (no trailing newline).
+pub fn encode<T: Serialize>(message: &T) -> String {
+    serde_json::to_string(message).expect("protocol types serialise infallibly")
+}
+
+/// Decodes one wire line.
+pub fn decode<T: serde::Deserialize>(line: &str) -> Result<T, String> {
+    serde_json::from_str(line).map_err(|e| format!("malformed protocol line: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_roundtrip_through_the_wire() {
+        let requests = vec![
+            Request::Open {
+                entities: vec![EntitySpec::simple("b", vec![0.5, 0.7], vec![true, false])],
+                k: Some(2),
+                budget: None,
+                pc: Some(0.8),
+            },
+            Request::Select { session: 3 },
+            Request::Absorb {
+                session: 3,
+                answers: vec![WireAnswer {
+                    task: 9,
+                    value: true,
+                }],
+            },
+            Request::Snapshot {
+                path: "/tmp/x.json".into(),
+            },
+            Request::Restore {
+                path: "/tmp/x.json".into(),
+            },
+            Request::Status { session: 0 },
+            Request::Metrics,
+            Request::Trace,
+            Request::Shutdown,
+        ];
+        for request in requests {
+            let line = encode(&request);
+            assert!(!line.contains('\n'), "one line per message: {line:?}");
+            let back: Request = decode(&line).unwrap();
+            assert_eq!(back, request);
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip_through_the_wire() {
+        let responses = vec![
+            Response::Error {
+                message: "nope".into(),
+            },
+            Response::Bye,
+            Response::Absorbed {
+                session: 1,
+                accepted: 2,
+                duplicates: 1,
+                pending: 0,
+                closed: None,
+            },
+        ];
+        for response in responses {
+            let back: Response = decode(&encode(&response)).unwrap();
+            assert_eq!(back, response);
+        }
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        assert!(decode::<Request>("{not json").is_err());
+        assert!(decode::<Request>("{\"Frobnicate\": {}}").is_err());
+    }
+}

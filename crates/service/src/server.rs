@@ -1,0 +1,196 @@
+//! Transport loops: the daemon over TCP (`std::net`) and over stdio.
+//!
+//! Both speak the same framing — one JSON request per line in, one JSON
+//! response per line out. TCP serves many concurrent connections
+//! (thread-per-connection over the shared [`Service`]); per-session
+//! determinism is untouched by connection interleaving because every
+//! session owns its RNG streams. A `Shutdown` request stops the daemon:
+//! the handling connection sets the flag and pokes the accept loop awake
+//! with a throwaway connection to its own address.
+
+use crate::service::Service;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread;
+
+/// Serves one already-connected byte stream (the shared line loop).
+fn serve_lines(service: &Service, input: impl BufRead, mut output: impl Write) -> io::Result<()> {
+    for line in input.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = service.handle_line(&line);
+        output.write_all(reply.as_bytes())?;
+        output.write_all(b"\n")?;
+        output.flush()?;
+        if service.shutdown_requested() {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Serves the daemon over stdin/stdout (or any reader/writer pair) until
+/// EOF or `Shutdown`.
+pub fn serve_stdio(service: &Service, input: impl BufRead, output: impl Write) -> io::Result<()> {
+    serve_lines(service, input, output)
+}
+
+fn serve_connection(service: &Service, stream: TcpStream, local: SocketAddr) {
+    let Ok(reader) = stream.try_clone() else {
+        return;
+    };
+    let _ = serve_lines(service, BufReader::new(reader), BufWriter::new(stream));
+    // If this connection carried the Shutdown, the accept loop may be
+    // blocked; a throwaway connection wakes it so it can observe the flag.
+    // A wildcard bind (0.0.0.0 / ::) is not connectable on every
+    // platform, so the poke targets the matching loopback instead.
+    if service.shutdown_requested() {
+        let mut poke = local;
+        if poke.ip().is_unspecified() {
+            poke.set_ip(match poke {
+                SocketAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                SocketAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+            });
+        }
+        let _ = TcpStream::connect(poke);
+    }
+}
+
+/// One live connection: its handler thread plus a stream clone the
+/// daemon can force-close at shutdown.
+struct Connection {
+    handle: thread::JoinHandle<()>,
+    stream: TcpStream,
+}
+
+/// Serves the daemon over TCP until a `Shutdown` request arrives.
+/// Returns the number of connections accepted (the wake-up poke, if any,
+/// is not counted).
+///
+/// The daemon is long-lived, so the accept loop must neither leak nor
+/// die: finished connections are reaped (handle joined, stream clone
+/// dropped) on every accept, bounding resource use by *concurrent* — not
+/// lifetime-total — connections, and a transient `accept` failure
+/// (`ECONNABORTED`, fd pressure, …) is logged and retried instead of
+/// tearing down every in-memory session. On shutdown every still-open
+/// connection is closed, so idle clients cannot keep the daemon alive.
+pub fn serve_tcp(service: Arc<Service>, listener: TcpListener) -> io::Result<usize> {
+    let local = listener.local_addr()?;
+    let mut connections: Vec<Connection> = Vec::new();
+    let mut accepted = 0usize;
+    for stream in listener.incoming() {
+        if service.shutdown_requested() {
+            break;
+        }
+        let stream = match stream {
+            Ok(stream) => stream,
+            Err(e) => {
+                eprintln!("crowdfusion-serve: accept failed (retrying): {e}");
+                // Back off briefly so a persistent error (e.g. fd
+                // exhaustion) cannot spin the loop hot.
+                thread::sleep(std::time::Duration::from_millis(50));
+                continue;
+            }
+        };
+        accepted += 1;
+        // Reap connections whose handler already exited.
+        connections.retain(|c| !c.handle.is_finished());
+        let Ok(clone) = stream.try_clone() else {
+            continue; // the connection is unusable; drop it
+        };
+        let service = Arc::clone(&service);
+        connections.push(Connection {
+            handle: thread::spawn(move || {
+                serve_connection(&service, stream, local);
+            }),
+            stream: clone,
+        });
+    }
+    // Unblock handler threads still parked on idle connections: their
+    // reads return EOF and the threads exit.
+    for connection in &connections {
+        let _ = connection.stream.shutdown(Shutdown::Both);
+    }
+    for connection in connections {
+        let _ = connection.handle.join();
+    }
+    Ok(accepted)
+}
+
+/// A line-oriented TCP client for the daemon — what `loadgen`, the CI
+/// smoke test and ad-hoc drivers use.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a daemon.
+    pub fn connect(addr: SocketAddr) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Sends one request line and reads one response line.
+    pub fn roundtrip(
+        &mut self,
+        request: &crate::protocol::Request,
+    ) -> io::Result<crate::protocol::Response> {
+        let line = crate::protocol::encode(request);
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut reply = String::new();
+        if self.reader.read_line(&mut reply)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection",
+            ));
+        }
+        crate::protocol::decode(reply.trim_end())
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{Request, Response};
+    use crate::service::{SelectorChoice, ServiceConfig};
+    use crowdfusion_core::round::RoundConfig;
+
+    #[test]
+    fn stdio_loop_answers_line_per_line_and_stops_on_shutdown() {
+        let service = Service::new(ServiceConfig {
+            seed: 1,
+            defaults: RoundConfig::new(2, 4, 0.8).unwrap(),
+            threads: 1,
+            selector: SelectorChoice::Random,
+            snapshot_dir: None,
+        });
+        let input = format!(
+            "{}\n\n{}\n{}\n{}\n",
+            crate::protocol::encode(&Request::Metrics),
+            crate::protocol::encode(&Request::Shutdown),
+            // Never reached: the loop stops after Bye.
+            crate::protocol::encode(&Request::Metrics),
+            crate::protocol::encode(&Request::Metrics),
+        );
+        let mut output = Vec::new();
+        serve_stdio(&service, input.as_bytes(), &mut output).unwrap();
+        let text = String::from_utf8(output).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "metrics + bye, then stop: {text:?}");
+        assert_eq!(
+            crate::protocol::decode::<Response>(lines[1]).unwrap(),
+            Response::Bye
+        );
+    }
+}

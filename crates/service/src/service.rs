@@ -1,0 +1,430 @@
+//! The daemon state: a [`SessionRegistry`] behind a mutex, one selector,
+//! and the request dispatcher.
+
+use crate::protocol::{Request, Response};
+use crate::snapshot;
+use crowdfusion_core::pool::Pool;
+use crowdfusion_core::round::RoundConfig;
+use crowdfusion_core::selection::{GreedySelector, RandomSelector, TaskSelector};
+use crowdfusion_core::session::{SelectOutcome, SessionRegistry};
+use crowdfusion_core::CoreError;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// The selector backends the daemon can run — the same matrix the CLI's
+/// offline `refine` exposes, so a served session is comparable to an
+/// offline run of the same backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectorChoice {
+    /// Cached-scatter greedy (Algorithm 1), the default.
+    Greedy,
+    /// Greedy over the preprocessed answer table (Algorithm 2).
+    GreedyPre,
+    /// The random baseline.
+    Random,
+}
+
+impl SelectorChoice {
+    /// Parses the CLI spelling.
+    pub fn parse(name: &str) -> Result<SelectorChoice, String> {
+        match name {
+            "greedy" => Ok(SelectorChoice::Greedy),
+            "greedy-pre" => Ok(SelectorChoice::GreedyPre),
+            "random" => Ok(SelectorChoice::Random),
+            other => Err(format!("unknown selector {other:?}")),
+        }
+    }
+
+    /// Builds the selector. The selector stays serial for the same reason
+    /// the offline sharded runner keeps it serial: session work already
+    /// saturates the pool's workers.
+    fn build(self) -> Box<dyn TaskSelector + Send + Sync> {
+        match self {
+            SelectorChoice::Greedy => Box::new(GreedySelector::fast()),
+            SelectorChoice::GreedyPre => Box::new(GreedySelector::fast().with_preprocess()),
+            SelectorChoice::Random => Box::new(RandomSelector),
+        }
+    }
+}
+
+/// Daemon construction parameters (the CLI `serve` flags).
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Master seed: per-session RNG streams derive from it in open order,
+    /// exactly like the offline sharded runner's entity streams.
+    pub seed: u64,
+    /// Default per-session round configuration (`open` may override).
+    pub defaults: RoundConfig,
+    /// Worker-pool width for prior building and restores.
+    pub threads: usize,
+    /// Task selection backend.
+    pub selector: SelectorChoice,
+    /// Snapshot path confinement. `Some(dir)`: clients may only name bare
+    /// file names, resolved inside `dir` — a network client can then
+    /// never read or write outside it. `None`: client paths are taken
+    /// verbatim — only appropriate when every client is as trusted as the
+    /// operator (the default loopback bind).
+    pub snapshot_dir: Option<std::path::PathBuf>,
+}
+
+/// The long-lived daemon state shared by every connection.
+pub struct Service {
+    registry: Mutex<SessionRegistry>,
+    selector: Box<dyn TaskSelector + Send + Sync>,
+    threads: usize,
+    snapshot_dir: Option<std::path::PathBuf>,
+    shutdown: AtomicBool,
+}
+
+impl Service {
+    /// Builds the daemon: one persistent worker pool, one selector, an
+    /// empty registry.
+    pub fn new(config: ServiceConfig) -> Service {
+        let pool = Pool::new(config.threads);
+        Service {
+            registry: Mutex::new(SessionRegistry::new(config.seed, config.defaults, pool)),
+            selector: config.selector.build(),
+            threads: config.threads,
+            snapshot_dir: config.snapshot_dir,
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    /// Resolves a client-supplied snapshot path under the confinement
+    /// policy (see [`ServiceConfig::snapshot_dir`]).
+    fn resolve_snapshot_path(&self, path: &str) -> Result<std::path::PathBuf, String> {
+        use std::path::Component;
+        let Some(dir) = &self.snapshot_dir else {
+            return Ok(std::path::PathBuf::from(path));
+        };
+        let p = std::path::Path::new(path);
+        let mut components = p.components();
+        let bare_file =
+            matches!(components.next(), Some(Component::Normal(_))) && components.next().is_none();
+        if !bare_file {
+            return Err(format!(
+                "snapshot path {path:?} must be a bare file name \
+                 (snapshots are confined to the daemon's snapshot dir)"
+            ));
+        }
+        Ok(dir.join(p))
+    }
+
+    /// Whether a `Shutdown` request has been served.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Dispatches one request. Every failure maps to [`Response::Error`];
+    /// the connection stays usable.
+    pub fn handle(&self, request: Request) -> Response {
+        match self.dispatch(request) {
+            Ok(response) => response,
+            Err(message) => Response::Error { message },
+        }
+    }
+
+    /// Parses one wire line, dispatches it, encodes the response line.
+    pub fn handle_line(&self, line: &str) -> String {
+        let response = match crate::protocol::decode::<Request>(line) {
+            Ok(request) => self.handle(request),
+            Err(message) => Response::Error { message },
+        };
+        crate::protocol::encode(&response)
+    }
+
+    fn lock_registry(&self) -> Result<std::sync::MutexGuard<'_, SessionRegistry>, String> {
+        self.registry
+            .lock()
+            .map_err(|_| "registry poisoned by an earlier panic; restart the daemon".to_string())
+    }
+
+    fn dispatch(&self, request: Request) -> Result<Response, String> {
+        let err = |e: CoreError| e.to_string();
+        // Snapshot/Restore touch the disk; their serialisation and file
+        // IO run *outside* the registry lock so a large snapshot never
+        // stalls other connections' Select/Absorb traffic — the lock is
+        // held only for the in-memory clone (snapshot) or swap (restore).
+        let request = match request {
+            Request::Snapshot { path } => {
+                let resolved = self.resolve_snapshot_path(&path)?;
+                let snap = self.lock_registry()?.snapshot();
+                let sessions = snap.sessions.len() as u64;
+                snapshot::save(&snap, &resolved)
+                    .map_err(|e| format!("cannot write snapshot {path}: {e}"))?;
+                return Ok(Response::Snapshotted { path, sessions });
+            }
+            Request::Restore { path } => {
+                let resolved = self.resolve_snapshot_path(&path)?;
+                let snap = snapshot::load(&resolved)
+                    .map_err(|e| format!("cannot read snapshot {path}: {e}"))?;
+                let mut registry = self.lock_registry()?;
+                let pool = registry.pool().clone();
+                let restored = SessionRegistry::from_snapshot(snap, pool).map_err(err)?;
+                let sessions = restored.len() as u64;
+                *registry = restored;
+                return Ok(Response::Restored { path, sessions });
+            }
+            other => other,
+        };
+        let mut registry = self.lock_registry()?;
+        match request {
+            Request::Open {
+                entities,
+                k,
+                budget,
+                pc,
+            } => {
+                let defaults = registry.defaults();
+                let config = if k.is_some() || budget.is_some() || pc.is_some() {
+                    Some(
+                        RoundConfig::new(
+                            k.unwrap_or(defaults.k),
+                            budget.unwrap_or(defaults.budget),
+                            pc.unwrap_or(defaults.pc_assumed),
+                        )
+                        .map_err(err)?,
+                    )
+                } else {
+                    None
+                };
+                let sessions = registry.open_batch(entities, config).map_err(err)?;
+                Ok(Response::Opened { sessions })
+            }
+            Request::Select { session } => {
+                match registry
+                    .select(session, self.selector.as_ref())
+                    .map_err(err)?
+                {
+                    SelectOutcome::Round(round) => Ok(Response::Round {
+                        session,
+                        round: round.round,
+                        tasks: round.tasks,
+                    }),
+                    SelectOutcome::Exhausted => {
+                        let state = registry.get(session).map_err(err)?;
+                        Ok(Response::Exhausted {
+                            session,
+                            rounds: state.rounds(),
+                            spent: state.spent(),
+                        })
+                    }
+                }
+            }
+            Request::Absorb { session, answers } => {
+                let answers: Vec<(u64, bool)> = answers.iter().map(|a| (a.task, a.value)).collect();
+                let report = registry.absorb(session, &answers).map_err(err)?;
+                Ok(Response::Absorbed {
+                    session,
+                    accepted: report.accepted,
+                    duplicates: report.duplicates,
+                    pending: report.pending,
+                    closed: report.closed,
+                })
+            }
+            Request::Snapshot { .. } | Request::Restore { .. } => {
+                unreachable!("snapshot verbs are handled before the registry lock")
+            }
+            Request::Status { session } => {
+                let state = registry.get(session).map_err(err)?;
+                Ok(Response::Status {
+                    session,
+                    name: state.name().to_string(),
+                    facts: state.num_facts(),
+                    rounds: state.rounds(),
+                    spent: state.spent(),
+                    remaining: state.remaining(),
+                    pending: state.pending_answers(),
+                    exhausted: state.is_exhausted(),
+                    utility: state.utility(),
+                    entropy: state.entropy(),
+                })
+            }
+            Request::Metrics => Ok(Response::Metrics {
+                metrics: registry.metrics(),
+            }),
+            Request::Trace => Ok(Response::Trace {
+                trace: registry.trace(self.selector.name()),
+            }),
+            Request::Shutdown => {
+                self.shutdown.store(true, Ordering::SeqCst);
+                Ok(Response::Bye)
+            }
+        }
+    }
+
+    /// Worker-pool width (used to size pools for restored registries).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::WireAnswer;
+    use crowdfusion_core::session::EntitySpec;
+
+    fn service() -> Service {
+        Service::new(ServiceConfig {
+            seed: 7,
+            defaults: RoundConfig::new(2, 6, 0.8).unwrap(),
+            threads: 2,
+            selector: SelectorChoice::Greedy,
+            snapshot_dir: None,
+        })
+    }
+
+    fn spec() -> EntitySpec {
+        EntitySpec::simple("b", vec![0.5, 0.6, 0.7], vec![true, false, true])
+    }
+
+    #[test]
+    fn selector_choice_parses_the_cli_matrix() {
+        assert_eq!(
+            SelectorChoice::parse("greedy").unwrap(),
+            SelectorChoice::Greedy
+        );
+        assert_eq!(
+            SelectorChoice::parse("greedy-pre").unwrap(),
+            SelectorChoice::GreedyPre
+        );
+        assert_eq!(
+            SelectorChoice::parse("random").unwrap(),
+            SelectorChoice::Random
+        );
+        assert!(SelectorChoice::parse("oracle").is_err());
+    }
+
+    #[test]
+    fn open_select_absorb_cycle_end_to_end() {
+        let svc = service();
+        let Response::Opened { sessions } = svc.handle(Request::Open {
+            entities: vec![spec()],
+            k: None,
+            budget: None,
+            pc: None,
+        }) else {
+            panic!("open failed");
+        };
+        let id = sessions[0].session;
+        let Response::Round { tasks, round, .. } = svc.handle(Request::Select { session: id })
+        else {
+            panic!("select failed");
+        };
+        assert_eq!(round, 1);
+        assert_eq!(tasks.len(), 2);
+        let answers: Vec<WireAnswer> = tasks
+            .iter()
+            .map(|t| WireAnswer {
+                task: t.id,
+                value: true,
+            })
+            .collect();
+        let Response::Absorbed {
+            accepted,
+            pending,
+            closed,
+            ..
+        } = svc.handle(Request::Absorb {
+            session: id,
+            answers,
+        })
+        else {
+            panic!("absorb failed");
+        };
+        assert_eq!(accepted, 2);
+        assert_eq!(pending, 0);
+        assert!(closed.is_some());
+        let Response::Status { rounds, spent, .. } = svc.handle(Request::Status { session: id })
+        else {
+            panic!("status failed");
+        };
+        assert_eq!((rounds, spent), (1, 2));
+        let Response::Metrics { metrics } = svc.handle(Request::Metrics) else {
+            panic!("metrics failed");
+        };
+        assert_eq!(metrics.judgments, 2);
+    }
+
+    #[test]
+    fn errors_are_responses_not_disconnects() {
+        let svc = service();
+        assert!(matches!(
+            svc.handle(Request::Select { session: 42 }),
+            Response::Error { .. }
+        ));
+        assert!(matches!(
+            svc.handle(Request::Open {
+                entities: vec![spec()],
+                k: Some(0),
+                budget: None,
+                pc: None,
+            }),
+            Response::Error { .. }
+        ));
+        let reply = svc.handle_line("{garbage");
+        assert!(reply.contains("Error"));
+        // Still serving afterwards.
+        assert!(matches!(
+            svc.handle(Request::Metrics),
+            Response::Metrics { .. }
+        ));
+    }
+
+    #[test]
+    fn snapshot_dir_confines_client_paths() {
+        let dir = std::env::temp_dir().join("crowdfusion-service-confine-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut config = ServiceConfig {
+            seed: 7,
+            defaults: RoundConfig::new(2, 6, 0.8).unwrap(),
+            threads: 1,
+            selector: SelectorChoice::Greedy,
+            snapshot_dir: Some(dir.clone()),
+        };
+        let svc = Service::new(config.clone());
+        // Traversal and absolute paths are rejected without touching disk.
+        for bad in ["../escape.json", "/etc/hostname", "a/b.json", ""] {
+            let response = svc.handle(Request::Snapshot {
+                path: bad.to_string(),
+            });
+            assert!(
+                matches!(response, Response::Error { ref message } if message.contains("bare file name")),
+                "path {bad:?} gave {response:?}"
+            );
+        }
+        // A bare file name lands inside the configured directory.
+        assert!(matches!(
+            svc.handle(Request::Snapshot {
+                path: "ok.json".to_string(),
+            }),
+            Response::Snapshotted { .. }
+        ));
+        assert!(dir.join("ok.json").exists());
+        assert!(matches!(
+            svc.handle(Request::Restore {
+                path: "ok.json".to_string(),
+            }),
+            Response::Restored { .. }
+        ));
+        std::fs::remove_file(dir.join("ok.json")).ok();
+        // Unconfined daemons keep verbatim paths (trusted operators).
+        config.snapshot_dir = None;
+        let open = Service::new(config);
+        let path = dir.join("direct.json").to_string_lossy().into_owned();
+        assert!(matches!(
+            open.handle(Request::Snapshot { path: path.clone() }),
+            Response::Snapshotted { .. }
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn shutdown_sets_the_flag() {
+        let svc = service();
+        assert!(!svc.shutdown_requested());
+        assert_eq!(svc.handle(Request::Shutdown), Response::Bye);
+        assert!(svc.shutdown_requested());
+    }
+}

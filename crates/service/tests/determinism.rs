@@ -1,0 +1,246 @@
+//! The service determinism contract, property-tested.
+//!
+//! 1. **Arrival-order invariance (satellite).** Any permutation +
+//!    duplication of a round's answers yields a posterior bit-identical
+//!    to in-order absorption.
+//! 2. **Service == offline (acceptance).** A daemon opened with an
+//!    offline experiment's entities, in order, and fed the seeded crowd's
+//!    answers — scrambled, split into partial batches and partly
+//!    duplicated — produces a trace bit-identical to
+//!    [`Experiment::run_sharded`], at multiple thread counts.
+
+use crowdfusion_core::pool::Pool;
+use crowdfusion_core::round::RoundConfig;
+use crowdfusion_core::selection::GreedySelector;
+use crowdfusion_core::session::{EntitySpec, SelectOutcome, SessionState};
+use crowdfusion_core::system::{Experiment, ExperimentTrace};
+use crowdfusion_crowd::{AnswerReplay, CrowdPlatform, Task, TaskId, UniformAccuracy, WorkerPool};
+use crowdfusion_service::protocol::{Request, Response, WireAnswer};
+use crowdfusion_service::service::{SelectorChoice, ServiceConfig};
+use crowdfusion_service::Service;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+const WORKERS: usize = 8;
+
+/// Deterministic small entities derived from `seed` (mirrors the offline
+/// batched-rounds property tests): 2–3 entities, 2–4 facts, one
+/// correlation group on the larger ones.
+fn specs_from_seed(seed: u64) -> Vec<EntitySpec> {
+    let mut gen = StdRng::seed_from_u64(seed);
+    let entities = 2 + (seed as usize) % 2;
+    (0..entities)
+        .map(|e| {
+            let n = 2 + (e + seed as usize) % 3;
+            let marginals: Vec<f64> = (0..n).map(|_| gen.gen_range(0.05..0.95)).collect();
+            let gold: Vec<bool> = (0..n).map(|_| gen.gen_bool(0.5)).collect();
+            let mut spec = EntitySpec::simple(format!("e{e}"), marginals, gold);
+            if n >= 3 {
+                spec.groups = vec![vec![0, 1]];
+            }
+            spec
+        })
+        .collect()
+}
+
+fn offline_trace(
+    specs: &[EntitySpec],
+    config: RoundConfig,
+    seed: u64,
+    threads: usize,
+) -> ExperimentTrace {
+    let cases = specs
+        .iter()
+        .map(|s| s.clone().into_case().unwrap())
+        .collect();
+    let experiment = Experiment::new(cases, config).unwrap();
+    let mut platform = CrowdPlatform::new(
+        WorkerPool::uniform(WORKERS, config.pc_assumed).unwrap(),
+        UniformAccuracy::new(config.pc_assumed),
+        seed,
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    experiment
+        .run_sharded(
+            &GreedySelector::fast(),
+            &mut platform,
+            &mut rng,
+            &Pool::new(threads),
+        )
+        .unwrap()
+}
+
+/// Drives a daemon end-to-end: opens every spec, then round-robins the
+/// sessions — each open round is answered from the session's seeded
+/// replay stream, then delivered scrambled (`order_seed`): shuffled,
+/// split into two batches, with one answer duplicated in between.
+fn service_trace(
+    specs: &[EntitySpec],
+    config: RoundConfig,
+    seed: u64,
+    threads: usize,
+    order_seed: u64,
+) -> ExperimentTrace {
+    let service = Service::new(ServiceConfig {
+        seed,
+        defaults: config,
+        threads,
+        selector: SelectorChoice::Greedy,
+        snapshot_dir: None,
+    });
+    let Response::Opened { sessions } = service.handle(Request::Open {
+        entities: specs.to_vec(),
+        k: None,
+        budget: None,
+        pc: None,
+    }) else {
+        panic!("open failed");
+    };
+    let pool = WorkerPool::uniform(WORKERS, config.pc_assumed).unwrap();
+    let model = UniformAccuracy::new(config.pc_assumed);
+    let mut replays: Vec<AnswerReplay> = sessions
+        .iter()
+        .map(|s| AnswerReplay::from_seed(s.answer_seed))
+        .collect();
+    let mut scramble = StdRng::seed_from_u64(order_seed);
+    let mut live: Vec<bool> = vec![true; sessions.len()];
+    while live.iter().any(|&l| l) {
+        for (i, info) in sessions.iter().enumerate() {
+            if !live[i] {
+                continue;
+            }
+            let response = service.handle(Request::Select {
+                session: info.session,
+            });
+            let tasks = match response {
+                Response::Round { tasks, .. } => tasks,
+                Response::Exhausted { .. } => {
+                    live[i] = false;
+                    continue;
+                }
+                other => panic!("unexpected select response {other:?}"),
+            };
+            // The simulated crowd answers from the recorded seed stream.
+            let crowd_tasks: Vec<Task> = tasks
+                .iter()
+                .map(|t| Task {
+                    id: TaskId(t.id),
+                    prompt: t.prompt.clone(),
+                    class: t.class,
+                })
+                .collect();
+            let truths: Vec<bool> = tasks.iter().map(|t| specs[i].gold[t.fact]).collect();
+            let answers = replays[i]
+                .answers(&pool, &model, &crowd_tasks, &truths)
+                .unwrap();
+            // Scrambled delivery: shuffle, split, duplicate one answer.
+            let mut wire: Vec<WireAnswer> = answers
+                .iter()
+                .map(|a| WireAnswer {
+                    task: a.task.0,
+                    value: a.value,
+                })
+                .collect();
+            wire.shuffle(&mut scramble);
+            let cut = scramble.gen_range(0..=wire.len());
+            for batch in [&wire[..cut], &wire[..1.min(wire.len())], &wire[cut..]] {
+                if batch.is_empty() {
+                    continue;
+                }
+                match service.handle(Request::Absorb {
+                    session: info.session,
+                    answers: batch.to_vec(),
+                }) {
+                    Response::Absorbed { .. } => {}
+                    other => panic!("unexpected absorb response {other:?}"),
+                }
+            }
+        }
+    }
+    let Response::Trace { trace } = service.handle(Request::Trace) else {
+        panic!("trace failed");
+    };
+    trace
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Satellite: any permutation + duplication of a round's answers
+    /// yields a bit-identical posterior to in-order absorption.
+    #[test]
+    fn permuted_duplicated_absorption_is_bit_identical(
+        seed in 0u64..1000,
+        order_seed in 0u64..1000,
+    ) {
+        let spec = specs_from_seed(seed).remove(0);
+        let config = RoundConfig::new(2, 6, 0.8).unwrap();
+        let drive = |scramble: Option<u64>| {
+            let mut session =
+                SessionState::new(spec.clone().into_case().unwrap(), config, seed, 0).unwrap();
+            let mut rng = scramble.map(StdRng::seed_from_u64);
+            let mut replay = AnswerReplay::from_seed(seed ^ 0xabcd);
+            let pool = WorkerPool::uniform(WORKERS, 0.8).unwrap();
+            let model = UniformAccuracy::new(0.8);
+            while let SelectOutcome::Round(round) =
+                session.select(&GreedySelector::fast()).unwrap()
+            {
+                let crowd_tasks: Vec<Task> = round
+                    .tasks
+                    .iter()
+                    .map(|t| Task {
+                        id: TaskId(t.id),
+                        prompt: t.prompt.clone(),
+                        class: t.class,
+                    })
+                    .collect();
+                let truths: Vec<bool> =
+                    round.tasks.iter().map(|t| spec.gold[t.fact]).collect();
+                let answers = replay.answers(&pool, &model, &crowd_tasks, &truths).unwrap();
+                let mut pairs: Vec<(u64, bool)> =
+                    answers.iter().map(|a| (a.task.0, a.value)).collect();
+                if let Some(rng) = rng.as_mut() {
+                    // Permute and duplicate: every answer delivered twice,
+                    // one at a time, in shuffled order.
+                    pairs.shuffle(rng);
+                    let doubled: Vec<(u64, bool)> =
+                        pairs.iter().chain(pairs.iter()).copied().collect();
+                    for pair in doubled {
+                        session.absorb(&[pair]).unwrap();
+                    }
+                } else {
+                    session.absorb(&pairs).unwrap();
+                }
+            }
+            session
+        };
+        let reference = drive(None);
+        let scrambled = drive(Some(order_seed));
+        prop_assert_eq!(reference.posterior(), scrambled.posterior());
+        prop_assert_eq!(reference.points(), scrambled.points());
+    }
+
+    /// Acceptance: the daemon reproduces the offline sharded experiment
+    /// bit for bit at ≥ 2 thread counts, under scrambled + duplicated
+    /// answer delivery.
+    #[test]
+    fn service_matches_offline_run_sharded_across_threads(
+        seed in 0u64..1000,
+        order_seed in 0u64..1000,
+    ) {
+        let specs = specs_from_seed(seed);
+        let config = RoundConfig::new(2, 6, 0.8).unwrap();
+        let reference = offline_trace(&specs, config, seed, 1);
+        for threads in [1usize, 4] {
+            prop_assert_eq!(
+                &offline_trace(&specs, config, seed, threads),
+                &reference,
+                "offline threads = {}", threads
+            );
+            let served = service_trace(&specs, config, seed, threads, order_seed);
+            prop_assert_eq!(&served, &reference, "service threads = {}", threads);
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Snapshot/restore through the service verbs: a daemon killed mid-round
+//! and restored from its snapshot file finishes with the exact trace an
+//! uninterrupted daemon produces — which, by `tests/determinism.rs`, is
+//! also the offline `run_sharded` trace.
+
+use crowdfusion_core::round::RoundConfig;
+use crowdfusion_core::session::EntitySpec;
+use crowdfusion_crowd::{AnswerReplay, Task, TaskId, UniformAccuracy, WorkerPool};
+use crowdfusion_service::protocol::{Request, Response, WireAnswer};
+use crowdfusion_service::service::{SelectorChoice, ServiceConfig};
+use crowdfusion_service::Service;
+
+const WORKERS: usize = 8;
+const PC: f64 = 0.8;
+
+fn specs() -> Vec<EntitySpec> {
+    vec![
+        EntitySpec::simple("a", vec![0.3, 0.6, 0.8], vec![true, true, false]),
+        EntitySpec::simple("b", vec![0.5, 0.45], vec![false, true]),
+    ]
+}
+
+fn config() -> ServiceConfig {
+    ServiceConfig {
+        seed: 11,
+        defaults: RoundConfig::new(2, 6, PC).unwrap(),
+        threads: 2,
+        selector: SelectorChoice::Greedy,
+        snapshot_dir: None,
+    }
+}
+
+struct Driver {
+    replays: Vec<AnswerReplay>,
+    pool: WorkerPool,
+    model: UniformAccuracy,
+    specs: Vec<EntitySpec>,
+}
+
+impl Driver {
+    fn new(seeds: &[u64]) -> Driver {
+        Driver {
+            replays: seeds.iter().map(|&s| AnswerReplay::from_seed(s)).collect(),
+            pool: WorkerPool::uniform(WORKERS, PC).unwrap(),
+            model: UniformAccuracy::new(PC),
+            specs: specs(),
+        }
+    }
+
+    /// Answers one session's open round from its replay stream.
+    fn answers(
+        &mut self,
+        session: usize,
+        tasks: &[crowdfusion_core::session::PublishedTask],
+    ) -> Vec<WireAnswer> {
+        let crowd_tasks: Vec<Task> = tasks
+            .iter()
+            .map(|t| Task {
+                id: TaskId(t.id),
+                prompt: t.prompt.clone(),
+                class: t.class,
+            })
+            .collect();
+        let truths: Vec<bool> = tasks
+            .iter()
+            .map(|t| self.specs[session].gold[t.fact])
+            .collect();
+        self.replays[session]
+            .answers(&self.pool, &self.model, &crowd_tasks, &truths)
+            .unwrap()
+            .iter()
+            .map(|a| WireAnswer {
+                task: a.task.0,
+                value: a.value,
+            })
+            .collect()
+    }
+
+    /// Runs every session to exhaustion on `service`.
+    fn finish(&mut self, service: &Service, sessions: &[u64]) {
+        let mut live: Vec<bool> = vec![true; sessions.len()];
+        while live.iter().any(|&l| l) {
+            for (i, &session) in sessions.iter().enumerate() {
+                if !live[i] {
+                    continue;
+                }
+                match service.handle(Request::Select { session }) {
+                    Response::Round { tasks, .. } => {
+                        let answers = self.answers(i, &tasks);
+                        service.handle(Request::Absorb { session, answers });
+                    }
+                    Response::Exhausted { .. } => live[i] = false,
+                    other => panic!("unexpected response {other:?}"),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn restored_daemon_finishes_with_the_uninterrupted_trace() {
+    let dir = std::env::temp_dir().join("crowdfusion-service-snapshot-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("registry.json").to_string_lossy().into_owned();
+
+    // Reference: an uninterrupted daemon.
+    let reference = Service::new(config());
+    let Response::Opened { sessions } = reference.handle(Request::Open {
+        entities: specs(),
+        k: None,
+        budget: None,
+        pc: None,
+    }) else {
+        panic!("open failed");
+    };
+    let seeds: Vec<u64> = sessions.iter().map(|s| s.answer_seed).collect();
+    let ids: Vec<u64> = sessions.iter().map(|s| s.session).collect();
+    let mut driver = Driver::new(&seeds);
+    driver.finish(&reference, &ids);
+    let Response::Trace { trace: expected } = reference.handle(Request::Trace) else {
+        panic!("trace failed");
+    };
+
+    // Interrupted: same open, one round driven, then a *partial* absorb on
+    // session 0 — snapshot taken mid-round, daemon dropped.
+    let victim = Service::new(config());
+    let Response::Opened { sessions } = victim.handle(Request::Open {
+        entities: specs(),
+        k: None,
+        budget: None,
+        pc: None,
+    }) else {
+        panic!("open failed");
+    };
+    assert_eq!(
+        seeds,
+        sessions.iter().map(|s| s.answer_seed).collect::<Vec<u64>>(),
+        "same master seed, same seed schedule"
+    );
+    let mut driver = Driver::new(&seeds);
+    let Response::Round { tasks, .. } = victim.handle(Request::Select { session: ids[0] }) else {
+        panic!("round expected");
+    };
+    let answers = driver.answers(0, &tasks);
+    let (first, rest) = answers.split_at(1);
+    let Response::Absorbed { pending, .. } = victim.handle(Request::Absorb {
+        session: ids[0],
+        answers: first.to_vec(),
+    }) else {
+        panic!("absorb failed");
+    };
+    assert!(pending > 0, "the snapshot must catch an open round");
+    let Response::Snapshotted {
+        sessions: count, ..
+    } = victim.handle(Request::Snapshot { path: path.clone() })
+    else {
+        panic!("snapshot failed");
+    };
+    assert_eq!(count, 2);
+    drop(victim);
+
+    // A fresh daemon — different construction seed, so only the snapshot
+    // can explain agreement — restores and finishes.
+    let mut cfg = config();
+    cfg.seed = 999;
+    let revived = Service::new(cfg);
+    let Response::Restored {
+        sessions: count, ..
+    } = revived.handle(Request::Restore { path: path.clone() })
+    else {
+        panic!("restore failed");
+    };
+    assert_eq!(count, 2);
+    // Deliver the rest of the interrupted round (duplicating the answer
+    // that was already absorbed — it must be rejected, not re-applied)...
+    let mut replayed: Vec<WireAnswer> = first.to_vec();
+    replayed.extend_from_slice(rest);
+    let Response::Absorbed {
+        accepted,
+        duplicates,
+        pending,
+        ..
+    } = revived.handle(Request::Absorb {
+        session: ids[0],
+        answers: replayed,
+    })
+    else {
+        panic!("absorb failed");
+    };
+    assert_eq!(duplicates, 1);
+    assert_eq!(accepted, rest.len());
+    assert_eq!(pending, 0);
+    // ...then run everything to exhaustion. The driver's replay streams
+    // continue from where the victim's stopped: the partial round's
+    // answers were already drawn above, and the restored RNG state inside
+    // the snapshot keeps selection aligned.
+    driver.finish(&revived, &ids);
+    let Response::Trace { trace } = revived.handle(Request::Trace) else {
+        panic!("trace failed");
+    };
+    assert_eq!(trace, expected);
+
+    // The restored daemon's future opens continue the snapshotted seed
+    // schedule, not the fresh daemon's.
+    let late_spec = EntitySpec::simple("c", vec![0.5], vec![true]);
+    let Response::Opened {
+        sessions: restored_open,
+    } = revived.handle(Request::Open {
+        entities: vec![late_spec.clone()],
+        k: None,
+        budget: None,
+        pc: None,
+    })
+    else {
+        panic!("open failed");
+    };
+    let uninterrupted = Service::new(config());
+    uninterrupted.handle(Request::Open {
+        entities: specs(),
+        k: None,
+        budget: None,
+        pc: None,
+    });
+    let Response::Opened {
+        sessions: expected_open,
+    } = uninterrupted.handle(Request::Open {
+        entities: vec![late_spec],
+        k: None,
+        budget: None,
+        pc: None,
+    })
+    else {
+        panic!("open failed");
+    };
+    std::fs::remove_file(&path).ok();
+    assert_eq!(restored_open, expected_open);
+}

@@ -1,0 +1,80 @@
+//! TCP transport smoke: a daemon on a loopback socket serves multiple
+//! concurrent connections and stops cleanly on `Shutdown`.
+
+use crowdfusion_core::round::RoundConfig;
+use crowdfusion_core::session::EntitySpec;
+use crowdfusion_service::protocol::{Request, Response, WireAnswer};
+use crowdfusion_service::service::{SelectorChoice, ServiceConfig};
+use crowdfusion_service::{serve_tcp, Client, Service};
+use std::net::TcpListener;
+use std::sync::Arc;
+
+#[test]
+fn tcp_daemon_serves_concurrent_clients_and_shuts_down() {
+    let service = Arc::new(Service::new(ServiceConfig {
+        seed: 5,
+        defaults: RoundConfig::new(2, 4, 0.8).unwrap(),
+        threads: 2,
+        selector: SelectorChoice::Random,
+        snapshot_dir: None,
+    }));
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let daemon = {
+        let service = Arc::clone(&service);
+        std::thread::spawn(move || serve_tcp(service, listener))
+    };
+
+    // Client 1 opens a session and drives one round.
+    let mut one = Client::connect(addr).unwrap();
+    let Response::Opened { sessions } = one
+        .roundtrip(&Request::Open {
+            entities: vec![EntitySpec::simple("t", vec![0.4, 0.7], vec![true, false])],
+            k: None,
+            budget: None,
+            pc: None,
+        })
+        .unwrap()
+    else {
+        panic!("open failed");
+    };
+    let id = sessions[0].session;
+    let Response::Round { tasks, .. } = one.roundtrip(&Request::Select { session: id }).unwrap()
+    else {
+        panic!("select failed");
+    };
+
+    // Client 2, concurrently connected, absorbs the round — sessions are
+    // shared daemon state, not per-connection state.
+    let mut two = Client::connect(addr).unwrap();
+    let answers: Vec<WireAnswer> = tasks
+        .iter()
+        .map(|t| WireAnswer {
+            task: t.id,
+            value: true,
+        })
+        .collect();
+    let Response::Absorbed { pending, .. } = two
+        .roundtrip(&Request::Absorb {
+            session: id,
+            answers,
+        })
+        .unwrap()
+    else {
+        panic!("absorb failed");
+    };
+    assert_eq!(pending, 0);
+
+    // Client 1 sees the absorbed round.
+    let Response::Status { rounds, spent, .. } =
+        one.roundtrip(&Request::Status { session: id }).unwrap()
+    else {
+        panic!("status failed");
+    };
+    assert_eq!((rounds, spent), (1, 2));
+
+    // Shutdown stops the daemon; the serve thread joins.
+    assert_eq!(two.roundtrip(&Request::Shutdown).unwrap(), Response::Bye);
+    let accepted = daemon.join().unwrap().unwrap();
+    assert!(accepted >= 2, "both clients accepted, got {accepted}");
+}

@@ -11,6 +11,9 @@
 //! crowdfusion refine          --dataset books.json [--method NAME] [--k K] [--budget B]
 //!                             [--pc PC] [--selector greedy|greedy-pre|random] [--seed S]
 //!                             [--threads N] [--out trace.json] [--csv trace.csv]
+//! crowdfusion serve           [--addr HOST:PORT] [--transport tcp|stdio] [--threads N]
+//!                             [--selector NAME] [--k K] [--budget B] [--pc PC] [--seed S]
+//!                             [--ready-file PATH] [--snapshot-dir DIR]
 //! crowdfusion demo            # the paper's running example
 //! ```
 //!
@@ -53,11 +56,18 @@ USAGE:
   crowdfusion refine --dataset PATH [--method NAME] [--k K] [--budget B]
                      [--pc PC] [--selector greedy|greedy-pre|random] [--seed S]
                      [--threads N] [--out trace.json] [--csv trace.csv]
+  crowdfusion serve  [--addr HOST:PORT] [--transport tcp|stdio] [--threads N]
+                     [--selector greedy|greedy-pre|random] [--k K] [--budget B]
+                     [--pc PC] [--seed S] [--ready-file PATH] [--snapshot-dir DIR]
   crowdfusion demo
   crowdfusion help
 
 Fusion methods: majority, crh, modified-crh (default), truthfinder, accu.
-Environment: CROWDFUSION_THREADS=N is the default for refine --threads.
+Environment: CROWDFUSION_THREADS=N is the default for refine/serve --threads.
+serve speaks line-delimited JSON (one request per line; see crowdfusion_service)
+over TCP (default 127.0.0.1:7464) or stdio; --ready-file receives the bound
+address once the daemon is listening; --snapshot-dir confines client
+Snapshot/Restore paths to bare file names inside DIR.
 ";
 
 /// Parsed flag map: `--name value` pairs.
@@ -284,6 +294,85 @@ pub fn run(args: &[String]) -> Result<String, String> {
                 last.cost
             ))
         }
+        "serve" => {
+            flags.ensure_known(&[
+                "addr",
+                "transport",
+                "threads",
+                "selector",
+                "k",
+                "budget",
+                "pc",
+                "seed",
+                "ready-file",
+                "snapshot-dir",
+            ])?;
+            let k = flags.take("k", 2usize)?;
+            let budget = flags.take("budget", 60usize)?;
+            let pc = flags.take("pc", 0.8f64)?;
+            let seed = flags.take("seed", 7u64)?;
+            // Same thread sourcing as refine: the flag wins, the
+            // CROWDFUSION_THREADS environment variable is the fallback,
+            // and with neither the daemon runs its pool single-threaded.
+            let threads = flags
+                .optional("threads")
+                .map(|raw| {
+                    raw.parse::<usize>()
+                        .ok()
+                        .filter(|&t| t > 0)
+                        .ok_or_else(|| format!("invalid value {raw:?} for --threads"))
+                })
+                .transpose()?
+                .or_else(crowdfusion_core::pool::threads_from_env)
+                .unwrap_or(1);
+            let selector = crowdfusion_service::SelectorChoice::parse(
+                &flags.take("selector", "greedy".to_string())?,
+            )?;
+            let defaults = crowdfusion_core::round::RoundConfig::new(k, budget, pc)
+                .map_err(|e| e.to_string())?;
+            // With --snapshot-dir, clients may only name bare files
+            // inside it; without, Snapshot/Restore paths are taken
+            // verbatim (appropriate for the default loopback bind only).
+            let config = crowdfusion_service::ServiceConfig {
+                seed,
+                defaults,
+                threads,
+                selector,
+                snapshot_dir: flags.optional("snapshot-dir").map(PathBuf::from),
+            };
+            match flags.take("transport", "tcp".to_string())?.as_str() {
+                "stdio" => {
+                    let service = crowdfusion_service::Service::new(config);
+                    let stdin = std::io::stdin();
+                    crowdfusion_service::serve_stdio(&service, stdin.lock(), std::io::stdout())
+                        .map_err(|e| format!("serve (stdio): {e}"))?;
+                    Ok("crowdfusion-serve (stdio): shut down cleanly".to_string())
+                }
+                "tcp" => {
+                    let addr = flags.take("addr", "127.0.0.1:7464".to_string())?;
+                    let listener = std::net::TcpListener::bind(&addr)
+                        .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+                    let local = listener
+                        .local_addr()
+                        .map_err(|e| format!("cannot resolve bound address: {e}"))?;
+                    if let Some(path) = flags.optional("ready-file") {
+                        std::fs::write(&path, local.to_string())
+                            .map_err(|e| format!("cannot write {path}: {e}"))?;
+                    }
+                    eprintln!("crowdfusion-serve listening on {local} ({threads} thread(s))");
+                    let served = crowdfusion_service::serve_tcp(
+                        std::sync::Arc::new(crowdfusion_service::Service::new(config)),
+                        listener,
+                    )
+                    .map_err(|e| format!("serve (tcp): {e}"))?;
+                    Ok(format!(
+                        "crowdfusion-serve on {local}: served {served} connection(s); \
+                         shut down cleanly"
+                    ))
+                }
+                other => Err(format!("unknown transport {other:?} (tcp or stdio)")),
+            }
+        }
         "demo" => {
             flags.ensure_known(&[])?;
             let facts = crowdfusion_core::model::FactSet::running_example();
@@ -446,6 +535,65 @@ mod tests {
         for f in [&books, &csv1, &csv4] {
             std::fs::remove_file(f).ok();
         }
+    }
+
+    #[test]
+    fn serve_validates_flags() {
+        assert!(run(&args(&["serve", "--selector", "oracle"]))
+            .unwrap_err()
+            .contains("unknown selector"));
+        assert!(run(&args(&["serve", "--transport", "carrier-pigeon"]))
+            .unwrap_err()
+            .contains("unknown transport"));
+        assert!(run(&args(&["serve", "--k", "0"]))
+            .unwrap_err()
+            .contains("task set is empty"));
+        assert!(run(&args(&["serve", "--threads", "0"]))
+            .unwrap_err()
+            .contains("invalid value"));
+        assert!(run(&args(&["serve", "--addr", "999.999.999.999:1"]))
+            .unwrap_err()
+            .contains("cannot bind"));
+    }
+
+    #[test]
+    fn serve_tcp_drives_a_daemon_to_clean_shutdown() {
+        use crowdfusion_service::{Client, Request, Response};
+        let ready = tmp("serve-ready.txt");
+        std::fs::remove_file(&ready).ok();
+        let args_owned = args(&[
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--ready-file",
+            &ready,
+            "--budget",
+            "4",
+        ]);
+        let daemon = std::thread::spawn(move || run(&args_owned));
+        // Wait for the daemon to publish its bound address.
+        let addr = {
+            let mut tries = 0;
+            loop {
+                if let Ok(text) = std::fs::read_to_string(&ready) {
+                    if !text.is_empty() {
+                        break text.parse().unwrap();
+                    }
+                }
+                tries += 1;
+                assert!(tries < 200, "daemon never became ready");
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+        };
+        let mut client = Client::connect(addr).unwrap();
+        assert!(matches!(
+            client.roundtrip(&Request::Metrics).unwrap(),
+            Response::Metrics { .. }
+        ));
+        assert_eq!(client.roundtrip(&Request::Shutdown).unwrap(), Response::Bye);
+        let report = daemon.join().unwrap().unwrap();
+        assert!(report.contains("shut down cleanly"), "{report}");
+        std::fs::remove_file(&ready).ok();
     }
 
     #[test]

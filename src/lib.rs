@@ -17,7 +17,10 @@
 //! * [`datagen`] — synthetic Book / country datasets with gold standards;
 //! * [`core`] — the paper's contribution: Equation 2/3 machinery, NP-hard
 //!   task selection with greedy/pruning/preprocessing, query-based mode,
-//!   round driver and experiment orchestration.
+//!   round driver and experiment orchestration;
+//! * [`service`] — `crowdfusion-serve`: the long-lived multi-session
+//!   refinement daemon (line-delimited JSON over TCP/stdio, streaming
+//!   answer ingestion, snapshot/restore).
 //!
 //! ## Quickstart
 //!
@@ -51,6 +54,7 @@ pub use crowdfusion_crowd as crowd;
 pub use crowdfusion_datagen as datagen;
 pub use crowdfusion_fusion as fusion;
 pub use crowdfusion_jointdist as jointdist;
+pub use crowdfusion_service as service;
 
 /// The most commonly used types and functions, for glob import.
 pub mod prelude {

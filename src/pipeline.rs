@@ -7,9 +7,9 @@
 //! truth) into [`EntityCase`]s ready for the round driver.
 
 use crowdfusion_core::error::CoreError;
-use crowdfusion_core::prior::default_grouped_prior;
 use crowdfusion_core::round::EntityCase;
-use crowdfusion_datagen::GeneratedBooks;
+use crowdfusion_core::session::EntitySpec;
+use crowdfusion_datagen::{export, GeneratedBooks};
 use crowdfusion_fusion::{EntityId, FusionResult};
 use crowdfusion_jointdist::Assignment;
 
@@ -37,35 +37,23 @@ pub fn entity_cases_from_books(
     Ok(cases)
 }
 
-/// Builds the [`EntityCase`] for a single book.
+/// Builds the [`EntityCase`] for a single book, by way of the service
+/// wire format: the same [`EntitySpec`] a `crowdfusion-serve` client
+/// would send for this book ([`export::wire_entity`]) is materialised
+/// through [`EntitySpec::into_case`] — so the offline and served paths
+/// share one prior construction and cannot drift apart.
 pub fn entity_case_for_book(
     books: &GeneratedBooks,
     fusion: &FusionResult,
     entity: EntityId,
 ) -> Result<EntityCase, CoreError> {
-    let marginals = fusion.entity_marginals(&books.dataset, entity);
-    let groups = books.correlation_groups(entity);
-    let prior = default_grouped_prior(&marginals, &groups)?;
-    let gold = gold_assignment(&books.gold_for(entity));
-    let name = books.dataset.entities()[entity.0 as usize].name.clone();
-    let prompts = books
-        .dataset
-        .statements_of(entity)
-        .iter()
-        .map(|s| {
-            format!(
-                "Is \"{}\" the complete author list of \"{name}\"?",
-                books.dataset.statement_text(*s)
-            )
-        })
-        .collect();
-    Ok(EntityCase {
-        name,
-        prior,
-        gold,
-        prompts,
-        classes: books.classes_for(entity),
-    })
+    export::wire_entity(books, fusion, entity).into_case()
+}
+
+/// Exports every book as a service wire-format [`EntitySpec`], in entity
+/// order — the payload a `crowdfusion-serve` `open` takes.
+pub fn entity_specs_from_books(books: &GeneratedBooks, fusion: &FusionResult) -> Vec<EntitySpec> {
+    export::wire_entities(books, fusion)
 }
 
 #[cfg(test)]

@@ -1,0 +1,194 @@
+//! CI serve smoke: start the daemon, drive sessions end-to-end **over
+//! TCP**, and diff the served trace against the offline `refine`
+//! command's CSV artifact — the acceptance check that the serving layer
+//! and the batch pipeline cannot drift apart.
+//!
+//! The flow mirrors a real deployment: `generate-books` writes a dataset,
+//! `refine --threads 2 --csv` produces the offline quality curve, then a
+//! daemon is opened with the same books (fusion marginals shipped in the
+//! wire format) and fed crowd answers replayed from the per-session
+//! recorded seeds — split into partial, duplicated deliveries. The
+//! daemon's `Trace`, rendered through the same CSV writer, must equal the
+//! offline file byte for byte.
+
+use crowdfusion::pipeline::entity_specs_from_books;
+use crowdfusion::service::protocol::{Request, Response, WireAnswer};
+use crowdfusion::service::{Client, SelectorChoice, Service, ServiceConfig};
+use crowdfusion_core::metrics::quality_points_to_csv;
+use crowdfusion_core::round::RoundConfig;
+use crowdfusion_core::session::EntitySpec;
+use crowdfusion_crowd::{AnswerReplay, Task, TaskId, UniformAccuracy, WorkerPool};
+use crowdfusion_datagen::export;
+use crowdfusion_fusion::{FusionMethod, ModifiedCrh};
+use std::net::TcpListener;
+use std::path::Path;
+use std::sync::Arc;
+
+const SEED: u64 = 7;
+const PC: f64 = 0.8;
+const K: usize = 2;
+const BUDGET: usize = 8;
+/// `refine` builds its crowd with a 30-worker uniform pool; the smoke
+/// test's replayed streams must draw from an identical pool.
+const REFINE_WORKERS: usize = 30;
+
+fn tmp(name: &str) -> String {
+    let dir = std::env::temp_dir().join("crowdfusion-serve-smoke");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name).to_string_lossy().into_owned()
+}
+
+fn cli(args: &[&str]) -> String {
+    let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    crowdfusion::cli::run(&owned).expect("cli command succeeds")
+}
+
+#[test]
+fn served_sessions_match_offline_refine_over_tcp() {
+    // 1. Dataset + offline reference through the public CLI.
+    let books_path = tmp("books.json");
+    let offline_csv = tmp("offline.csv");
+    cli(&[
+        "generate-books",
+        "--out",
+        &books_path,
+        "--books",
+        "5",
+        "--seed",
+        "3",
+    ]);
+    cli(&[
+        "refine",
+        "--dataset",
+        &books_path,
+        "--k",
+        "2",
+        "--budget",
+        "8",
+        "--pc",
+        "0.8",
+        "--seed",
+        "7",
+        "--threads",
+        "2",
+        "--csv",
+        &offline_csv,
+    ]);
+    let offline = std::fs::read_to_string(&offline_csv).unwrap();
+
+    // 2. The same books in the service wire format (refine's default
+    //    fusion method is modified CRH).
+    let books = export::load_books(Path::new(&books_path)).unwrap();
+    let fusion = ModifiedCrh::default().fuse(&books.dataset).unwrap();
+    let specs: Vec<EntitySpec> = entity_specs_from_books(&books, &fusion);
+
+    // 3. Daemon on a loopback socket, same seed/config as refine.
+    let service = Arc::new(Service::new(ServiceConfig {
+        seed: SEED,
+        defaults: RoundConfig::new(K, BUDGET, PC).unwrap(),
+        threads: 2,
+        selector: SelectorChoice::Greedy,
+        snapshot_dir: None,
+    }));
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let daemon = {
+        let service = Arc::clone(&service);
+        std::thread::spawn(move || crowdfusion::service::serve_tcp(service, listener))
+    };
+
+    // 4. Open every book in entity order; drive each session to
+    //    exhaustion with crowd answers replayed from the recorded seeds,
+    //    delivered as two partial batches with a duplicated answer.
+    let mut client = Client::connect(addr).unwrap();
+    let Response::Opened { sessions } = client
+        .roundtrip(&Request::Open {
+            entities: specs.clone(),
+            k: None,
+            budget: None,
+            pc: None,
+        })
+        .unwrap()
+    else {
+        panic!("open failed");
+    };
+    assert_eq!(sessions.len(), specs.len());
+    let pool = WorkerPool::uniform(REFINE_WORKERS, PC).unwrap();
+    let model = UniformAccuracy::new(PC);
+    for (spec, info) in specs.iter().zip(&sessions) {
+        let mut replay = AnswerReplay::from_seed(info.answer_seed);
+        loop {
+            let response = client
+                .roundtrip(&Request::Select {
+                    session: info.session,
+                })
+                .unwrap();
+            let tasks = match response {
+                Response::Round { tasks, .. } => tasks,
+                Response::Exhausted { spent, .. } => {
+                    assert_eq!(spent, BUDGET, "session {} spent", info.session);
+                    break;
+                }
+                other => panic!("unexpected select response {other:?}"),
+            };
+            let crowd_tasks: Vec<Task> = tasks
+                .iter()
+                .map(|t| Task {
+                    id: TaskId(t.id),
+                    prompt: t.prompt.clone(),
+                    class: t.class,
+                })
+                .collect();
+            let truths: Vec<bool> = tasks.iter().map(|t| spec.gold[t.fact]).collect();
+            let answers: Vec<WireAnswer> = replay
+                .answers(&pool, &model, &crowd_tasks, &truths)
+                .unwrap()
+                .iter()
+                .map(|a| WireAnswer {
+                    task: a.task.0,
+                    value: a.value,
+                })
+                .collect();
+            // Reversed order + duplicate first delivery: the daemon must
+            // reassemble the round regardless.
+            let mut scrambled: Vec<WireAnswer> = answers.iter().rev().copied().collect();
+            scrambled.push(scrambled[0]);
+            let mut absorbed = 0;
+            let mut duplicates_seen = 0;
+            for batch in scrambled.chunks(2) {
+                let Response::Absorbed {
+                    accepted,
+                    duplicates,
+                    ..
+                } = client
+                    .roundtrip(&Request::Absorb {
+                        session: info.session,
+                        answers: batch.to_vec(),
+                    })
+                    .unwrap()
+                else {
+                    panic!("absorb failed");
+                };
+                absorbed += accepted;
+                duplicates_seen += duplicates;
+            }
+            assert_eq!(absorbed, answers.len());
+            assert_eq!(duplicates_seen, 1);
+        }
+    }
+
+    // 5. The served trace, rendered through the same CSV writer, equals
+    //    the offline refine artifact byte for byte.
+    let Response::Trace { trace } = client.roundtrip(&Request::Trace).unwrap() else {
+        panic!("trace failed");
+    };
+    let served = quality_points_to_csv(&trace.points);
+    assert_eq!(served, offline, "served trace drifted from offline refine");
+
+    // 6. Clean shutdown.
+    assert_eq!(client.roundtrip(&Request::Shutdown).unwrap(), Response::Bye);
+    daemon.join().unwrap().unwrap();
+    for f in [&books_path, &offline_csv] {
+        std::fs::remove_file(f).ok();
+    }
+}

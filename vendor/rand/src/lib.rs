@@ -211,6 +211,18 @@ mod tests {
     }
 
     #[test]
+    fn state_roundtrip_continues_the_stream() {
+        let mut r = StdRng::seed_from_u64(11);
+        for _ in 0..5 {
+            r.next_u64();
+        }
+        let saved = r.state();
+        let tail: Vec<u64> = (0..16).map(|_| r.next_u64()).collect();
+        let mut restored = StdRng::from_state(saved);
+        assert!(tail.iter().all(|&x| x == restored.next_u64()));
+    }
+
+    #[test]
     fn gen_range_respects_bounds() {
         let mut r = StdRng::seed_from_u64(1);
         for _ in 0..1000 {

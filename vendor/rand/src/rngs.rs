@@ -18,6 +18,21 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+impl StdRng {
+    /// The generator's raw internal state, for snapshot/restore of
+    /// long-lived deterministic streams (upstream `rand` offers the same
+    /// capability through serde on the concrete rng types).
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from a state captured with [`StdRng::state`];
+    /// the restored generator continues the exact same sequence.
+    pub fn from_state(s: [u64; 4]) -> StdRng {
+        StdRng { s }
+    }
+}
+
 impl SeedableRng for StdRng {
     fn seed_from_u64(state: u64) -> StdRng {
         let mut sm = state;
