@@ -1,0 +1,229 @@
+//! The unsafe inventory: every `unsafe` site in production code, whether it
+//! carries an adjacent `// SAFETY:` justification, and a machine-readable
+//! JSON rendering that CI diffs against the committed baseline
+//! (`ANALYSIS_unsafe.json`) so new unsafe code cannot land silently.
+
+use crate::lexer::TokKind;
+use crate::scan::SourceFile;
+
+/// One `unsafe` occurrence in production (non-test) code.
+#[derive(Debug, Clone)]
+pub struct UnsafeSite {
+    /// Workspace-relative path.
+    pub file: String,
+    /// Line of the `unsafe` keyword.
+    pub line: u32,
+    /// `"impl"`, `"fn"`, or `"block"`.
+    pub kind: &'static str,
+    /// Whether a `// SAFETY:` comment sits on the same line or within the
+    /// three lines above.
+    pub has_safety: bool,
+    /// The trimmed source line, for human review of the inventory diff.
+    pub context: String,
+}
+
+/// Collects the unsafe sites of one file. A site is justified when some
+/// comment containing `SAFETY:` ends within three lines above the `unsafe`
+/// keyword or sits on its line (trailing form). A trailing comment — one
+/// preceded by code on its own line — covers only that line, so a SAFETY
+/// remark about line N cannot silently bless an unsafe on line N+1.
+pub fn unsafe_sites(sf: &SourceFile) -> Vec<UnsafeSite> {
+    let mut code_lines = std::collections::BTreeSet::new();
+    let mut comments: Vec<(u32, u32, bool, bool)> = Vec::new(); // (line, end_line, trailing, has_safety)
+    for tok in &sf.toks {
+        match &tok.kind {
+            TokKind::Comment(text) => comments.push((
+                tok.line,
+                tok.end_line,
+                code_lines.contains(&tok.line),
+                text.contains("SAFETY:"),
+            )),
+            _ => {
+                code_lines.insert(tok.line);
+            }
+        }
+    }
+    // A `// SAFETY:` justification often wraps over several `//` lines,
+    // which lex as separate comments; extend each SAFETY comment through
+    // the contiguous run of non-trailing comments that follows so the
+    // proximity window measures from where the prose actually ends.
+    let mut safety: Vec<(u32, u32, bool)> = Vec::new(); // (line, end_line, trailing)
+    for (i, &(line, mut end, trailing, has_safety)) in comments.iter().enumerate() {
+        if !has_safety {
+            continue;
+        }
+        if !trailing {
+            for &(n_line, n_end, n_trailing, _) in &comments[i + 1..] {
+                if n_trailing || n_line != end + 1 || code_lines.contains(&n_line) {
+                    break;
+                }
+                end = n_end;
+            }
+        }
+        safety.push((line, end, trailing));
+    }
+    let mut sites = Vec::new();
+    for (idx, tok) in sf.toks.iter().enumerate() {
+        if sf.in_test[idx] || tok.kind != TokKind::Ident("unsafe".to_string()) {
+            continue;
+        }
+        let kind = sf.toks[idx + 1..]
+            .iter()
+            .find(|t| !matches!(t.kind, TokKind::Comment(_)))
+            .map(|t| match &t.kind {
+                TokKind::Ident(s) if s == "impl" || s == "trait" => "impl",
+                TokKind::Ident(s) if s == "fn" => "fn",
+                _ => "block",
+            })
+            .unwrap_or("block");
+        let line = tok.line;
+        let has_safety = safety.iter().any(|&(c_line, c_end, trailing)| {
+            if trailing {
+                c_line == line
+            } else {
+                c_line == line || (c_end < line && line - c_end <= 3)
+            }
+        });
+        let context = sf
+            .lines
+            .get(line as usize - 1)
+            .map(|l| l.trim().to_string())
+            .unwrap_or_default();
+        sites.push(UnsafeSite {
+            file: sf.rel_path.clone(),
+            line,
+            kind,
+            has_safety,
+            context,
+        });
+    }
+    sites
+}
+
+/// Collects and sorts unsafe sites across all files by (file, line).
+pub fn inventory(files: &[SourceFile]) -> Vec<UnsafeSite> {
+    let mut sites: Vec<UnsafeSite> = files.iter().flat_map(unsafe_sites).collect();
+    sites.sort_by(|a, b| (a.file.as_str(), a.line).cmp(&(b.file.as_str(), b.line)));
+    sites
+}
+
+/// Renders the inventory as pretty-printed JSON with a trailing newline.
+/// Key order and formatting are fixed so the output is byte-stable and
+/// diffable in CI.
+pub fn to_json(sites: &[UnsafeSite]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"tool\": \"crowdfusion-analyze\",\n");
+    out.push_str(&format!("  \"total_sites\": {},\n", sites.len()));
+    out.push_str("  \"sites\": [");
+    for (i, site) in sites.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {\n");
+        out.push_str(&format!("      \"file\": {},\n", json_str(&site.file)));
+        out.push_str(&format!("      \"line\": {},\n", site.line));
+        out.push_str(&format!("      \"kind\": {},\n", json_str(site.kind)));
+        out.push_str(&format!("      \"has_safety\": {},\n", site.has_safety));
+        out.push_str(&format!("      \"context\": {}\n", json_str(&site.context)));
+        out.push_str("    }");
+    }
+    if !sites.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::prepare_source;
+
+    #[test]
+    fn safety_comment_within_three_lines_counts() {
+        let src = "\
+// SAFETY: justified here.
+unsafe impl Send for X {}
+fn f() {
+    let p = unsafe { danger() }; // SAFETY: trailing form.
+    let q = unsafe { danger() };
+}
+";
+        let sf = prepare_source("x.rs", "core", src);
+        let sites = unsafe_sites(&sf);
+        assert_eq!(sites.len(), 3);
+        assert_eq!((sites[0].kind, sites[0].has_safety), ("impl", true));
+        assert_eq!((sites[1].kind, sites[1].has_safety), ("block", true));
+        assert_eq!((sites[2].kind, sites[2].has_safety), ("block", false));
+    }
+
+    #[test]
+    fn multi_line_safety_prose_extends_the_window() {
+        // Four `//` lines of justification, then the unsafe: the window
+        // must measure from the end of the comment run, not its start.
+        let src = "\
+// SAFETY: a long argument that wraps
+// across several comment lines and
+// keeps going for a while before the
+// code it justifies finally appears.
+let p = unsafe { danger() };
+";
+        let sf = prepare_source("x.rs", "core", src);
+        let sites = unsafe_sites(&sf);
+        assert_eq!(sites.len(), 1);
+        assert!(sites[0].has_safety);
+    }
+
+    #[test]
+    fn distant_safety_comment_does_not_count() {
+        let src = "// SAFETY: too far away.\n\n\n\n\nunsafe fn f() {}\n";
+        let sf = prepare_source("x.rs", "core", src);
+        let sites = unsafe_sites(&sf);
+        assert_eq!(sites.len(), 1);
+        assert!(!sites[0].has_safety);
+        assert_eq!(sites[0].kind, "fn");
+    }
+
+    #[test]
+    fn unsafe_in_tests_is_not_inventoried() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { unsafe { x() } }\n}\n";
+        let sf = prepare_source("x.rs", "core", src);
+        assert!(unsafe_sites(&sf).is_empty());
+    }
+
+    #[test]
+    fn json_is_stable_and_escaped() {
+        let sites = vec![UnsafeSite {
+            file: "a/b.rs".into(),
+            line: 7,
+            kind: "block",
+            has_safety: true,
+            context: "say \"hi\"\\".into(),
+        }];
+        let json = to_json(&sites);
+        assert!(json.contains("\"total_sites\": 1"));
+        assert!(json.contains("\"say \\\"hi\\\"\\\\\""));
+        assert!(json.ends_with("}\n"));
+        // Empty inventory still renders valid JSON.
+        assert!(to_json(&[]).contains("\"sites\": []"));
+    }
+}

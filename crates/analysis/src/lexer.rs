@@ -1,0 +1,396 @@
+//! A minimal Rust lexer: just enough to walk source as tokens with line
+//! numbers, keeping comments (the lint pass reads `// SAFETY:` and
+//! `// analyze: allow(...)` out of them) and discarding literal *contents*
+//! (so a string containing `HashMap` can never trip a lint).
+//!
+//! Handled: line and (nested) block comments, string/byte-string literals
+//! with escapes, raw strings `r#"…"#` at any hash depth, char literals vs
+//! lifetimes, raw identifiers, and numeric literals (including `1.0e-9`
+//! without eating the `..` of a range).
+
+/// What a token is; literal and numeric contents are deliberately dropped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword.
+    Ident(String),
+    /// A single punctuation character.
+    Punct(char),
+    /// A comment; the text excludes the `//` / `/*` markers.
+    Comment(String),
+    /// A string, char, byte, or numeric literal (contents dropped).
+    Literal,
+}
+
+/// One token with its source position (1-based lines).
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Line the token starts on.
+    pub line: u32,
+    /// Line the token ends on (differs from `line` only for block comments
+    /// and multi-line strings).
+    pub end_line: u32,
+    /// The token itself.
+    pub kind: TokKind,
+}
+
+/// Tokenizes `src`. Unterminated constructs (possible in fixtures, not in
+/// code that compiles) terminate at end of input rather than erroring: the
+/// scanner's job is linting, not validation.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = chars.len();
+
+    let count_lines = |slice: &[char]| slice.iter().filter(|&&c| c == '\n').count() as u32;
+
+    while i < n {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < n && chars[i + 1] == '/' => {
+                let start = i + 2;
+                let mut j = start;
+                while j < n && chars[j] != '\n' {
+                    j += 1;
+                }
+                toks.push(Tok {
+                    line,
+                    end_line: line,
+                    kind: TokKind::Comment(chars[start..j].iter().collect()),
+                });
+                i = j;
+            }
+            '/' if i + 1 < n && chars[i + 1] == '*' => {
+                let start_line = line;
+                let start = i + 2;
+                let mut depth = 1usize;
+                let mut j = start;
+                while j < n && depth > 0 {
+                    if chars[j] == '/' && j + 1 < n && chars[j + 1] == '*' {
+                        depth += 1;
+                        j += 2;
+                    } else if chars[j] == '*' && j + 1 < n && chars[j + 1] == '/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                let body_end = j.saturating_sub(2).max(start);
+                line += count_lines(&chars[i..j]);
+                toks.push(Tok {
+                    line: start_line,
+                    end_line: line,
+                    kind: TokKind::Comment(chars[start..body_end].iter().collect()),
+                });
+                i = j;
+            }
+            '"' => {
+                let start_line = line;
+                let mut j = i + 1;
+                while j < n {
+                    match chars[j] {
+                        '\\' => j += 2,
+                        '"' => {
+                            j += 1;
+                            break;
+                        }
+                        _ => j += 1,
+                    }
+                }
+                let j = j.min(n);
+                line += count_lines(&chars[i..j]);
+                toks.push(Tok {
+                    line: start_line,
+                    end_line: line,
+                    kind: TokKind::Literal,
+                });
+                i = j;
+            }
+            '\'' => {
+                // Lifetime (`'static`) or char literal (`'a'`, `'\n'`)?
+                let next = chars.get(i + 1).copied();
+                let is_lifetime = match next {
+                    Some(c2) if c2.is_alphabetic() || c2 == '_' => {
+                        // `'a'` is a char, `'ab` is a lifetime: decide by
+                        // whether an ident run is followed by a quote.
+                        let mut j = i + 1;
+                        while j < n && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                            j += 1;
+                        }
+                        !(j < n && chars[j] == '\'' && j == i + 2)
+                    }
+                    _ => false,
+                };
+                if is_lifetime {
+                    let mut j = i + 1;
+                    while j < n && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                        j += 1;
+                    }
+                    toks.push(Tok {
+                        line,
+                        end_line: line,
+                        kind: TokKind::Literal,
+                    });
+                    i = j;
+                } else {
+                    let mut j = i + 1;
+                    while j < n {
+                        match chars[j] {
+                            '\\' => j += 2,
+                            '\'' => {
+                                j += 1;
+                                break;
+                            }
+                            _ => j += 1,
+                        }
+                    }
+                    toks.push(Tok {
+                        line,
+                        end_line: line,
+                        kind: TokKind::Literal,
+                    });
+                    i = j.min(n);
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                // Raw string / raw ident / byte string prefixes first.
+                if (c == 'r' || c == 'b') && is_raw_string_start(&chars, i) {
+                    let (j, crossed) = consume_raw_string(&chars, i);
+                    let start_line = line;
+                    line += crossed;
+                    toks.push(Tok {
+                        line: start_line,
+                        end_line: line,
+                        kind: TokKind::Literal,
+                    });
+                    i = j;
+                    continue;
+                }
+                if c == 'b' && matches!(chars.get(i + 1), Some('"') | Some('\'')) {
+                    // Re-dispatch on the quote; the `b` adds nothing.
+                    i += 1;
+                    continue;
+                }
+                if c == 'r' && chars.get(i + 1) == Some(&'#') && is_ident_start(chars.get(i + 2)) {
+                    let mut j = i + 2;
+                    while j < n && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                        j += 1;
+                    }
+                    toks.push(Tok {
+                        line,
+                        end_line: line,
+                        kind: TokKind::Ident(chars[i + 2..j].iter().collect()),
+                    });
+                    i = j;
+                    continue;
+                }
+                let mut j = i;
+                while j < n && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                    j += 1;
+                }
+                toks.push(Tok {
+                    line,
+                    end_line: line,
+                    kind: TokKind::Ident(chars[i..j].iter().collect()),
+                });
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i;
+                while j < n {
+                    let d = chars[j];
+                    if d.is_alphanumeric() || d == '_' {
+                        j += 1;
+                    } else if d == '.' && chars.get(j + 1).is_some_and(|c2| c2.is_ascii_digit()) {
+                        // `1.5` continues the literal; `0..n` does not.
+                        j += 1;
+                    } else if (d == '+' || d == '-')
+                        && matches!(chars.get(j.wrapping_sub(1)), Some('e') | Some('E'))
+                    {
+                        // Exponent sign inside `1.0e-9`.
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(Tok {
+                    line,
+                    end_line: line,
+                    kind: TokKind::Literal,
+                });
+                i = j;
+            }
+            other => {
+                toks.push(Tok {
+                    line,
+                    end_line: line,
+                    kind: TokKind::Punct(other),
+                });
+                i += 1;
+            }
+        }
+    }
+    toks
+}
+
+fn is_ident_start(c: Option<&char>) -> bool {
+    c.is_some_and(|&c| c.is_alphabetic() || c == '_')
+}
+
+/// Does position `i` (at `r` or `b`) start a raw string (`r"`, `r#"`,
+/// `br"`, `br#"`)?
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+        if chars.get(j) != Some(&'r') {
+            return false;
+        }
+    }
+    if chars.get(j) != Some(&'r') {
+        return false;
+    }
+    j += 1;
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+/// Consumes a raw string starting at `i`; returns (end index, newlines
+/// crossed).
+fn consume_raw_string(chars: &[char], i: usize) -> (usize, u32) {
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+    }
+    j += 1; // the `r`
+    let mut hashes = 0usize;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    j += 1; // opening quote
+    let mut crossed = 0u32;
+    while j < chars.len() {
+        if chars[j] == '\n' {
+            crossed += 1;
+            j += 1;
+            continue;
+        }
+        if chars[j] == '"' {
+            let mut k = j + 1;
+            let mut seen = 0usize;
+            while seen < hashes && chars.get(k) == Some(&'#') {
+                seen += 1;
+                k += 1;
+            }
+            if seen == hashes {
+                return (k, crossed);
+            }
+        }
+        j += 1;
+    }
+    (chars.len(), crossed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn literals_never_leak_idents() {
+        // `HashMap` inside strings, chars, raw strings, and comments must
+        // not appear as an identifier token.
+        let src = r####"
+            let a = "HashMap in a string";
+            let b = r#"HashMap in a raw string "quoted" inside"#;
+            let c = 'H';
+            let d = b"HashMap bytes";
+        "####;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()), "{ids:?}");
+        assert!(ids.contains(&"let".to_string()));
+    }
+
+    #[test]
+    fn comments_are_kept_with_text() {
+        let src = "// SAFETY: fine\nlet x = 1; /* block\ncomment */\n";
+        let toks = lex(src);
+        let comments: Vec<(&str, u32, u32)> = toks
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokKind::Comment(s) => Some((s.as_str(), t.line, t.end_line)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(comments.len(), 2);
+        assert!(comments[0].0.contains("SAFETY:"));
+        assert_eq!(comments[0].1, 1);
+        assert_eq!((comments[1].1, comments[1].2), (2, 3));
+    }
+
+    #[test]
+    fn nested_block_comments_terminate_correctly() {
+        let src = "/* outer /* inner */ still comment */ HashMap";
+        let ids = idents(src);
+        assert_eq!(ids, vec!["HashMap"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        // A `'static` must not swallow the rest of the line as a "char".
+        let src = "&'static str; let c = 'x'; let esc = '\\n'; HashMap";
+        let ids = idents(src);
+        assert!(ids.contains(&"str".to_string()));
+        assert!(ids.contains(&"HashMap".to_string()));
+    }
+
+    #[test]
+    fn numeric_literals_do_not_eat_ranges() {
+        let src = "for i in 0..n { let e = 1.0e-9; }";
+        let ids = idents(src);
+        assert_eq!(ids, vec!["for", "i", "in", "n", "let", "e"]);
+        // The `..` survives as two puncts.
+        let dots = lex(src)
+            .iter()
+            .filter(|t| t.kind == TokKind::Punct('.'))
+            .count();
+        assert_eq!(dots, 2);
+    }
+
+    #[test]
+    fn raw_identifiers_yield_the_bare_name() {
+        let ids = idents("let r#type = 3; r#fn();");
+        assert!(ids.contains(&"type".to_string()));
+        assert!(ids.contains(&"fn".to_string()));
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_tokens() {
+        let src = "let a = \"line\n1\";\nHashMap";
+        let toks = lex(src);
+        let hash = toks
+            .iter()
+            .find(|t| t.kind == TokKind::Ident("HashMap".into()))
+            .unwrap();
+        assert_eq!(hash.line, 3);
+    }
+}

@@ -1,0 +1,46 @@
+//! `crowdfusion_analysis` — the workspace's own static-analysis pass.
+//!
+//! CrowdFusion's headline guarantee is bit-identical traces across thread
+//! counts, backends, and restarts (DESIGN.md §6). The compiler cannot check
+//! that contract, so this crate does: a zero-external-dep token-level lint
+//! pass over every production source file, plus a machine-readable
+//! inventory of `unsafe` sites that CI diffs against a committed baseline.
+//!
+//! Rules (see [`lints::Rule`]):
+//!
+//! - `hash-iter` — `HashMap`/`HashSet` in trace-affecting crates; hash
+//!   iteration order is per-process and poisons any fold over it.
+//!   Membership-only uses are annotated `// analyze: allow(hash-iter)`.
+//! - `wall-clock` — `Instant`/`SystemTime` outside bench code.
+//! - `entropy-rng` — `from_entropy`/`thread_rng`/`rand::random`.
+//! - `adhoc-thread` — `thread::{spawn,scope,Builder}`; concurrency must
+//!   route through the pool so float reductions combine in index order.
+//! - `unsafe-no-safety` — an `unsafe` site with no adjacent `// SAFETY:`.
+//! - `unused-allow` — an annotation that suppressed nothing (annotations
+//!   cannot go stale silently).
+//!
+//! The binary (`crowdfusion-analyze`) prints findings as
+//! `path:line: [rule] message`, writes the unsafe inventory with `--json`,
+//! and exits nonzero under `--deny-findings` — that is the CI gate.
+//!
+//! ```
+//! use crowdfusion_analysis::scan::prepare_source;
+//! use crowdfusion_analysis::lints::{analyze_file, Rule};
+//!
+//! let sf = prepare_source("demo.rs", "core", "let m = HashMap::new();\n");
+//! let findings = analyze_file(&sf);
+//! assert_eq!(findings.len(), 1);
+//! assert_eq!(findings[0].rule, Rule::HashIter);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod inventory;
+pub mod lexer;
+pub mod lints;
+pub mod scan;
+
+pub use inventory::{inventory, to_json, unsafe_sites, UnsafeSite};
+pub use lints::{analyze_file, analyze_files, rules_for_crate, Finding, Rule};
+pub use scan::{prepare_source, scan_workspace, SourceFile};

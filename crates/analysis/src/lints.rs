@@ -1,0 +1,338 @@
+//! The determinism/unsafe lint rules and the engine that applies them.
+//!
+//! Rules are token-pattern based and deliberately over-approximate (any
+//! `HashMap` identifier, not just provably-iterated ones — iteration is
+//! undecidable at token level). The pressure valve is the annotation
+//! `// analyze: allow(rule)`, which suppresses exactly one finding on its
+//! own line or the next code line; annotations that suppress nothing are
+//! themselves findings, so stale exemptions cannot accumulate.
+
+use crate::inventory::unsafe_sites;
+use crate::lexer::TokKind;
+use crate::scan::SourceFile;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The lint rules. `UnusedAllow` is meta: it fires on annotations that
+/// suppressed nothing and is always active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// `HashMap`/`HashSet` in trace-affecting code: iteration order varies
+    /// per process (seeded `RandomState`), so any fold over it can leak
+    /// nondeterminism into traces. Use `BTreeMap`/`BTreeSet`, or annotate
+    /// membership-only uses.
+    HashIter,
+    /// `Instant`/`SystemTime` outside bench code: traces must not depend
+    /// on real time.
+    WallClock,
+    /// `from_entropy`/`thread_rng`/`rand::random`: randomness not derived
+    /// from the run's fixed seed.
+    EntropyRng,
+    /// `thread::{spawn,scope,Builder}` in trace-affecting code: concurrency
+    /// must route through the pool, whose reducer combines in index order.
+    AdhocThread,
+    /// An `unsafe` site without an adjacent `// SAFETY:` comment.
+    UnsafeNoSafety,
+    /// An `// analyze: allow(...)` annotation that suppressed no finding.
+    UnusedAllow,
+}
+
+impl Rule {
+    /// The kebab-case name used in output and in `allow(...)` annotations.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::HashIter => "hash-iter",
+            Rule::WallClock => "wall-clock",
+            Rule::EntropyRng => "entropy-rng",
+            Rule::AdhocThread => "adhoc-thread",
+            Rule::UnsafeNoSafety => "unsafe-no-safety",
+            Rule::UnusedAllow => "unused-allow",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One lint hit, pointing at a workspace-relative file and line.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Which rules run for a crate. Determinism rules cover every trace-
+/// affecting crate; `bench` is exempt from them (benchmarks time things and
+/// may thread freely — their output is never part of a trace). Unsafe
+/// hygiene and entropy rules run everywhere. Unknown crate names get the
+/// full set: fail closed.
+pub fn rules_for_crate(crate_name: &str) -> &'static [Rule] {
+    const FULL: &[Rule] = &[
+        Rule::HashIter,
+        Rule::WallClock,
+        Rule::EntropyRng,
+        Rule::AdhocThread,
+        Rule::UnsafeNoSafety,
+    ];
+    const BENCH: &[Rule] = &[Rule::EntropyRng, Rule::UnsafeNoSafety];
+    match crate_name {
+        "bench" => BENCH,
+        _ => FULL,
+    }
+}
+
+/// Runs every active rule over one file, applies its `allow` annotations
+/// (each suppresses at most one finding), and reports unused annotations.
+/// Findings come back sorted by (line, rule).
+pub fn analyze_file(sf: &SourceFile) -> Vec<Finding> {
+    let rules = rules_for_crate(&sf.crate_name);
+    let mut findings = pattern_findings(sf, rules);
+
+    if rules.contains(&Rule::UnsafeNoSafety) {
+        for site in unsafe_sites(sf) {
+            if !site.has_safety {
+                findings.push(Finding {
+                    file: sf.rel_path.clone(),
+                    line: site.line,
+                    rule: Rule::UnsafeNoSafety,
+                    message: format!(
+                        "`unsafe` {} without an adjacent `// SAFETY:` comment",
+                        site.kind
+                    ),
+                });
+            }
+        }
+    }
+
+    // Annotation pass: each allow may consume exactly one finding whose
+    // rule name matches and whose line is one the annotation targets.
+    let mut used = vec![false; sf.allows.len()];
+    findings.retain(|f| {
+        for (i, allow) in sf.allows.iter().enumerate() {
+            if !used[i] && allow.rule == f.rule.name() && allow.target_lines.contains(&f.line) {
+                used[i] = true;
+                return false;
+            }
+        }
+        true
+    });
+    for (i, allow) in sf.allows.iter().enumerate() {
+        if !used[i] {
+            findings.push(Finding {
+                file: sf.rel_path.clone(),
+                line: allow.comment_line,
+                rule: Rule::UnusedAllow,
+                message: format!(
+                    "`// analyze: allow({})` suppresses no finding; remove it",
+                    allow.rule
+                ),
+            });
+        }
+    }
+
+    findings.sort_by_key(|f| (f.line, f.rule));
+    findings
+}
+
+/// Runs [`analyze_file`] over every file; results keep the scan's sorted
+/// file order.
+pub fn analyze_files(files: &[SourceFile]) -> Vec<Finding> {
+    files.iter().flat_map(analyze_file).collect()
+}
+
+/// The token-pattern rules (everything except unsafe hygiene, which works
+/// off the inventory). One finding per (rule, line) even if a line mentions
+/// a pattern twice — an annotation then clears the whole line for that rule.
+fn pattern_findings(sf: &SourceFile, rules: &[Rule]) -> Vec<Finding> {
+    // Comments dropped: sequence patterns must see through interleaved
+    // comments. `use` declarations are skipped entirely — imports don't
+    // execute, and flagging them would double-bill every real use site.
+    let code: Vec<(usize, &TokKind, u32)> = sf
+        .toks
+        .iter()
+        .enumerate()
+        .filter(|(idx, t)| !sf.in_test[*idx] && !matches!(t.kind, TokKind::Comment(_)))
+        .map(|(idx, t)| (idx, &t.kind, t.line))
+        .collect();
+
+    let mut seen: BTreeSet<(Rule, u32)> = BTreeSet::new();
+    let mut findings = Vec::new();
+    let mut emit = |rule: Rule, line: u32, message: &str| {
+        if rules.contains(&rule) && seen.insert((rule, line)) {
+            findings.push(Finding {
+                file: sf.rel_path.clone(),
+                line,
+                rule,
+                message: message.to_string(),
+            });
+        }
+    };
+
+    let ident_at = |k: usize| match code.get(k) {
+        Some((_, TokKind::Ident(s), _)) => Some(s.as_str()),
+        _ => None,
+    };
+    let path_sep_at = |k: usize| {
+        matches!(code.get(k), Some((_, TokKind::Punct(':'), _)))
+            && matches!(code.get(k + 1), Some((_, TokKind::Punct(':'), _)))
+    };
+
+    let mut in_use = false;
+    for (k, &(_, kind, line)) in code.iter().enumerate() {
+        match kind {
+            TokKind::Ident(s) if s == "use" => {
+                in_use = true;
+                continue;
+            }
+            TokKind::Punct(';') if in_use => {
+                in_use = false;
+                continue;
+            }
+            _ if in_use => continue,
+            _ => {}
+        }
+        let TokKind::Ident(s) = kind else { continue };
+        match s.as_str() {
+            "HashMap" | "HashSet" => emit(
+                Rule::HashIter,
+                line,
+                "hash-order collection in a trace-affecting crate; iteration order is \
+                 nondeterministic — use BTreeMap/BTreeSet, or mark membership-only use \
+                 with `// analyze: allow(hash-iter)`",
+            ),
+            "Instant" | "SystemTime" => emit(
+                Rule::WallClock,
+                line,
+                "wall-clock read outside bench code; traces must not depend on real time",
+            ),
+            "from_entropy" | "thread_rng" => emit(
+                Rule::EntropyRng,
+                line,
+                "entropy-seeded RNG; all randomness must derive from the run's fixed seed",
+            ),
+            "rand" if path_sep_at(k + 1) && ident_at(k + 3) == Some("random") => emit(
+                Rule::EntropyRng,
+                line,
+                "entropy-seeded RNG; all randomness must derive from the run's fixed seed",
+            ),
+            "thread"
+                if path_sep_at(k + 1)
+                    && matches!(ident_at(k + 3), Some("spawn" | "scope" | "Builder")) =>
+            {
+                emit(
+                    Rule::AdhocThread,
+                    line,
+                    "ad-hoc thread primitive in a trace-affecting crate; concurrency must \
+                     route through the pool so reductions combine in index order",
+                )
+            }
+            _ => {}
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::prepare_source;
+
+    fn run(crate_name: &str, src: &str) -> Vec<Finding> {
+        analyze_file(&prepare_source("x.rs", crate_name, src))
+    }
+
+    #[test]
+    fn use_declarations_are_not_flagged() {
+        let f = run("core", "use std::collections::HashMap;\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn hash_ident_outside_use_is_flagged_once_per_line() {
+        let f = run("core", "let m: HashMap<u32, HashMap<u32, u32>> = x();\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::HashIter);
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn thread_sequence_sees_through_comments() {
+        let f = run("core", "std::thread /* why */ :: spawn(|| {});\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::AdhocThread);
+    }
+
+    #[test]
+    fn bench_crate_skips_determinism_rules_only() {
+        let src = "let t = Instant::now();\nlet m = HashMap::new();\nlet r = thread_rng();\n";
+        let f = run("bench", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, Rule::EntropyRng);
+    }
+
+    #[test]
+    fn unknown_crate_fails_closed() {
+        let f = run("some-new-crate", "let t = SystemTime::now();\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::WallClock);
+    }
+
+    #[test]
+    fn allow_consumes_exactly_one_finding() {
+        let src = "\
+// analyze: allow(hash-iter)
+let a: HashSet<u32> = HashSet::new();
+let b: HashSet<u32> = HashSet::new();
+";
+        let f = run("core", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!((f[0].rule, f[0].line), (Rule::HashIter, 3));
+    }
+
+    #[test]
+    fn unused_allow_is_a_finding() {
+        let f = run("core", "// analyze: allow(wall-clock)\nlet x = 1;\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!((f[0].rule, f[0].line), (Rule::UnusedAllow, 1));
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { let m = HashMap::new(); }\n}\n";
+        assert!(run("core", src).is_empty());
+    }
+
+    #[test]
+    fn rand_random_path_is_entropy() {
+        let f = run("core", "let x: u64 = rand::random();\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::EntropyRng);
+    }
+
+    #[test]
+    fn unsafe_without_safety_is_reported_with_kind() {
+        let f = run("core", "unsafe impl Send for X {}\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::UnsafeNoSafety);
+        assert!(f[0].message.contains("impl"));
+    }
+}

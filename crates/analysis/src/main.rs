@@ -1,0 +1,100 @@
+//! `crowdfusion-analyze`: run the determinism/unsafe lint pass over the
+//! workspace.
+//!
+//! ```text
+//! crowdfusion-analyze [--root <dir>] [--json <out-file>] [--deny-findings]
+//! ```
+//!
+//! - `--root` — workspace root to scan (default: the workspace containing
+//!   this crate, falling back to the current directory).
+//! - `--json` — write the unsafe-site inventory to `<out-file>`; CI diffs
+//!   it against the committed `ANALYSIS_unsafe.json`.
+//! - `--deny-findings` — exit 1 if any finding survives annotations. CI
+//!   runs with this flag; locally the default is report-only.
+
+use crowdfusion_analysis::{analyze_files, inventory, scan_workspace, to_json};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut json_out: Option<PathBuf> = None;
+    let mut deny = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = Some(PathBuf::from(v)),
+                None => return usage("--root needs a value"),
+            },
+            "--json" => match args.next() {
+                Some(v) => json_out = Some(PathBuf::from(v)),
+                None => return usage("--json needs a value"),
+            },
+            "--deny-findings" => deny = true,
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let root = root.unwrap_or_else(default_root);
+    let files = match scan_workspace(&root) {
+        Ok(files) => files,
+        Err(e) => {
+            eprintln!("crowdfusion-analyze: cannot scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let findings = analyze_files(&files);
+    for f in &findings {
+        println!("{f}");
+    }
+
+    let sites = inventory(&files);
+    let missing = sites.iter().filter(|s| !s.has_safety).count();
+    if let Some(path) = &json_out {
+        if let Err(e) = std::fs::write(path, to_json(&sites)) {
+            eprintln!("crowdfusion-analyze: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    println!(
+        "crowdfusion-analyze: {} file(s), {} finding(s); {} unsafe site(s), {} missing SAFETY",
+        files.len(),
+        findings.len(),
+        sites.len(),
+        missing
+    );
+
+    if deny && !findings.is_empty() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// The workspace root when run via `cargo run -p crowdfusion_analysis`:
+/// two levels above this crate's manifest.
+fn default_root() -> PathBuf {
+    let manifest: PathBuf = env!("CARGO_MANIFEST_DIR").into();
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("crowdfusion-analyze: {err}");
+    }
+    eprintln!("usage: crowdfusion-analyze [--root <dir>] [--json <out-file>] [--deny-findings]");
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}

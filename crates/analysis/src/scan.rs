@@ -1,0 +1,333 @@
+//! Workspace walking and per-file preprocessing: which files to scan, which
+//! token regions are `#[cfg(test)]` / `#[test]` (exempt from lints), and
+//! where `// analyze: allow(rule)` annotations sit.
+
+use crate::lexer::{lex, Tok, TokKind};
+use std::path::{Path, PathBuf};
+
+/// One source file, lexed, with its lint-exempt regions and annotations
+/// resolved.
+pub struct SourceFile {
+    /// Path relative to the workspace root, `/`-separated.
+    pub rel_path: String,
+    /// The crate this file belongs to (e.g. `core`, `root`, `analysis`).
+    pub crate_name: String,
+    /// All tokens, in order.
+    pub toks: Vec<Tok>,
+    /// Raw source lines (for inventory context snippets).
+    pub lines: Vec<String>,
+    /// For each token, whether it sits inside a test-only region.
+    pub in_test: Vec<bool>,
+    /// `analyze: allow(rule)` annotations found outside test regions.
+    pub allows: Vec<Allow>,
+}
+
+/// A parsed `// analyze: allow(rule)` annotation.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// The rule name inside the parentheses, verbatim.
+    pub rule: String,
+    /// Line the comment itself is on.
+    pub comment_line: u32,
+    /// Line the annotation applies to: the comment's own line (trailing
+    /// form) plus the next line that carries code (preceding form). A
+    /// finding on either line consumes the annotation.
+    pub target_lines: Vec<u32>,
+}
+
+/// Walks the workspace at `root` and lexes every non-test production source
+/// file: `src/` of the root package plus `crates/*/src`. `vendor/` is
+/// intentionally out of scope (stand-ins mimic external APIs, including
+/// nondeterministic ones), as are `tests/` and `benches/` trees. Files are
+/// returned in sorted path order so findings are stable.
+pub fn scan_workspace(root: &Path) -> std::io::Result<Vec<SourceFile>> {
+    let mut units: Vec<(String, PathBuf)> = vec![("root".to_string(), root.join("src"))];
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut names: Vec<String> = std::fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().join("src").is_dir())
+            .filter_map(|e| e.file_name().into_string().ok())
+            .collect();
+        names.sort();
+        for name in names {
+            let src = crates_dir.join(&name).join("src");
+            units.push((name, src));
+        }
+    }
+
+    let mut files = Vec::new();
+    for (crate_name, src_dir) in units {
+        let mut paths = Vec::new();
+        collect_rs_files(&src_dir, &mut paths)?;
+        paths.sort();
+        for path in paths {
+            let text = std::fs::read_to_string(&path)?;
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .collect::<Vec<_>>()
+                .join("/");
+            files.push(prepare_source(&rel, &crate_name, &text));
+        }
+    }
+    Ok(files)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lexes `text` and resolves test regions and annotations. Public so tests
+/// can run the pipeline on fixture strings.
+pub fn prepare_source(rel_path: &str, crate_name: &str, text: &str) -> SourceFile {
+    let toks = lex(text);
+    let in_test = mark_test_regions(&toks);
+    let allows = collect_allows(&toks, &in_test);
+    SourceFile {
+        rel_path: rel_path.to_string(),
+        crate_name: crate_name.to_string(),
+        toks,
+        lines: text.lines().map(str::to_string).collect(),
+        in_test,
+        allows,
+    }
+}
+
+/// Marks every token covered by a `#[test]`- or `#[cfg(test)]`-decorated
+/// item (the attribute, the item header, and its `{…}` body or terminating
+/// `;`). Token-level, so it keys off attribute shape, not expansion:
+/// `#[cfg(test)]` and `#[cfg(all(test, …))]` count; `#[cfg(not(test))]`
+/// does not.
+fn mark_test_regions(toks: &[Tok]) -> Vec<bool> {
+    let mut in_test = vec![false; toks.len()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].kind != TokKind::Punct('#') {
+            i += 1;
+            continue;
+        }
+        // Attribute: `#[ ... ]` (we ignore inner `#![...]` — a file-level
+        // test cfg would exclude the whole file, which no production source
+        // here uses).
+        let Some((attr_idents, attr_end)) = read_attr(toks, i) else {
+            i += 1;
+            continue;
+        };
+        if !attr_is_test(&attr_idents) {
+            i = attr_end;
+            continue;
+        }
+        // Covered region: from `#` through the decorated item. Skip any
+        // further attributes, then scan to the end of the item: the first
+        // `;` at depth 0 or the matching brace of the first `{`.
+        let mut j = attr_end;
+        while j < toks.len() && toks[j].kind == TokKind::Punct('#') {
+            match read_attr(toks, j) {
+                Some((_, e)) => j = e,
+                None => break,
+            }
+        }
+        let mut depth = 0i32;
+        let mut end = toks.len();
+        while j < toks.len() {
+            match toks[j].kind {
+                TokKind::Punct('{') => depth += 1,
+                TokKind::Punct('}') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = j + 1;
+                        break;
+                    }
+                }
+                TokKind::Punct(';') if depth == 0 => {
+                    end = j + 1;
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        for flag in in_test.iter_mut().take(end).skip(i) {
+            *flag = true;
+        }
+        i = end;
+    }
+    in_test
+}
+
+/// Reads an outer attribute starting at the `#` at `start`; returns the
+/// identifier tokens inside it and the index one past the closing `]`.
+fn read_attr(toks: &[Tok], start: usize) -> Option<(Vec<String>, usize)> {
+    if toks.get(start + 1).map(|t| &t.kind) != Some(&TokKind::Punct('[')) {
+        return None;
+    }
+    let mut idents = Vec::new();
+    let mut depth = 0i32;
+    let mut j = start + 1;
+    while j < toks.len() {
+        match &toks[j].kind {
+            TokKind::Punct('[') => depth += 1,
+            TokKind::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((idents, j + 1));
+                }
+            }
+            TokKind::Ident(s) => idents.push(s.clone()),
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+fn attr_is_test(idents: &[String]) -> bool {
+    let has = |w: &str| idents.iter().any(|s| s == w);
+    // `#[test]` (possibly with companions like `#[ignore]` handled as
+    // separate attributes) or any `cfg` mentioning `test` positively.
+    if idents.len() == 1 && idents[0] == "test" {
+        return true;
+    }
+    has("cfg") && has("test") && !has("not")
+}
+
+/// Extracts `analyze: allow(rule)` annotations from comments outside test
+/// regions. The annotation guards its own line (for trailing-comment form)
+/// and the next line holding a code token (for the preceding-line form).
+fn collect_allows(toks: &[Tok], in_test: &[bool]) -> Vec<Allow> {
+    let mut allows = Vec::new();
+    for (idx, tok) in toks.iter().enumerate() {
+        if in_test[idx] {
+            continue;
+        }
+        let TokKind::Comment(text) = &tok.kind else {
+            continue;
+        };
+        let Some(rule) = parse_allow(text) else {
+            continue;
+        };
+        let mut target_lines = vec![tok.line];
+        // The next non-comment token's line, if it is past this comment's
+        // last line (i.e. the annotation precedes the code it covers).
+        if let Some(next) = toks[idx + 1..]
+            .iter()
+            .find(|t| !matches!(t.kind, TokKind::Comment(_)))
+        {
+            if next.line > tok.end_line || (next.line >= tok.end_line && next.line != tok.line) {
+                target_lines.push(next.line);
+            }
+        }
+        allows.push(Allow {
+            rule,
+            comment_line: tok.line,
+            target_lines,
+        });
+    }
+    allows
+}
+
+/// Parses `analyze: allow(rule-name)` out of a comment body; whitespace
+/// around the pieces is tolerated.
+fn parse_allow(comment: &str) -> Option<String> {
+    let rest = comment.trim().strip_prefix("analyze:")?.trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let (rule, _) = rest.split_once(')')?;
+    let rule = rule.trim();
+    if rule.is_empty() {
+        None
+    } else {
+        Some(rule.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prep(src: &str) -> SourceFile {
+        prepare_source("x.rs", "core", src)
+    }
+
+    #[test]
+    fn cfg_test_module_is_marked() {
+        let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\nfn prod2() {}\n";
+        let sf = prep(src);
+        let flag_of = |name: &str| {
+            sf.toks
+                .iter()
+                .zip(&sf.in_test)
+                .find(|(t, _)| t.kind == TokKind::Ident(name.into()))
+                .map(|(_, &f)| f)
+                .unwrap()
+        };
+        assert!(!flag_of("prod"));
+        assert!(flag_of("helper"));
+        assert!(!flag_of("prod2"));
+    }
+
+    #[test]
+    fn cfg_not_test_is_production() {
+        let sf = prep("#[cfg(not(test))]\nfn only_prod() {}\n");
+        assert!(sf.in_test.iter().all(|&f| !f));
+    }
+
+    #[test]
+    fn test_fn_with_extra_attrs_is_marked() {
+        let src = "#[test]\n#[ignore]\nfn t() { body(); }\nfn after() {}\n";
+        let sf = prep(src);
+        let body = sf
+            .toks
+            .iter()
+            .zip(&sf.in_test)
+            .find(|(t, _)| t.kind == TokKind::Ident("body".into()))
+            .unwrap();
+        assert!(*body.1);
+        let after = sf
+            .toks
+            .iter()
+            .zip(&sf.in_test)
+            .find(|(t, _)| t.kind == TokKind::Ident("after".into()))
+            .unwrap();
+        assert!(!*after.1);
+    }
+
+    #[test]
+    fn allow_annotations_resolve_both_forms() {
+        let src = "\
+use std::collections::HashSet;
+// analyze: allow(hash-iter)
+let seen: HashSet<u64> = HashSet::new();
+let trailing = 1; // analyze: allow(wall-clock)
+";
+        let sf = prep(src);
+        assert_eq!(sf.allows.len(), 2);
+        assert_eq!(sf.allows[0].rule, "hash-iter");
+        assert_eq!(sf.allows[0].comment_line, 2);
+        assert!(sf.allows[0].target_lines.contains(&3));
+        assert_eq!(sf.allows[1].rule, "wall-clock");
+        assert!(sf.allows[1].target_lines.contains(&4));
+    }
+
+    #[test]
+    fn allows_inside_test_regions_are_ignored() {
+        let src = "#[cfg(test)]\nmod tests {\n    // analyze: allow(hash-iter)\n    fn t() {}\n}\n";
+        let sf = prep(src);
+        assert!(sf.allows.is_empty());
+    }
+}

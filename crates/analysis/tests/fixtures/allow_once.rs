@@ -1,0 +1,18 @@
+//! Fixture: one annotation suppresses exactly one finding.
+
+pub fn dedup(xs: &[u64]) -> usize {
+    // analyze: allow(hash-iter)
+    let mut seen: HashSet<u64> = HashSet::new();
+    let mut kept = 0;
+    for &x in xs {
+        if seen.insert(x) {
+            kept += 1;
+        }
+    }
+    kept
+}
+
+pub fn second_offender() -> usize {
+    let other: HashSet<u64> = HashSet::new();
+    other.len()
+}

@@ -1,0 +1,9 @@
+//! Fixture: entropy-seeded randomness outside the run's fixed seed.
+
+pub fn roll() -> u64 {
+    let mut rng = SmallRng::from_entropy();
+    let a: u64 = rand::random();
+    let b = thread_rng().next_u64();
+    let _ = rng;
+    a ^ b
+}

@@ -1,0 +1,13 @@
+//! Fixture: iteration over hash-order collections in trace-affecting code.
+
+pub fn entropy_over_groups(groups: HashMap<u64, Vec<f64>>) -> f64 {
+    let mut h = 0.0;
+    for w in groups.values() {
+        for &p in w {
+            h -= p * p.log2();
+        }
+    }
+    let seen: HashSet<u64> = HashSet::new();
+    let _ = seen;
+    h
+}

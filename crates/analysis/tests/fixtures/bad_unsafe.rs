@@ -1,0 +1,12 @@
+//! Fixture: `unsafe` sites with and without SAFETY justification.
+
+pub struct Wrapper(*mut u8);
+
+unsafe impl Send for Wrapper {}
+
+// SAFETY: no data races; the pointer is uniquely owned.
+unsafe impl Sync for Wrapper {}
+
+pub fn read(w: &Wrapper) -> u8 {
+    unsafe { *w.0 }
+}

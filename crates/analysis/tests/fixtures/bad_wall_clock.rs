@@ -1,0 +1,8 @@
+//! Fixture: wall-clock reads in trace-affecting code.
+
+pub fn stamp() -> u64 {
+    let t0 = Instant::now();
+    let wall = SystemTime::now();
+    let _ = (t0, wall);
+    0
+}

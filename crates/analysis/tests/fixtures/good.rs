@@ -1,0 +1,29 @@
+//! Fixture: clean trace-affecting code — zero findings expected.
+
+pub fn entropy_sorted(groups: &BTreeMap<u64, Vec<f64>>) -> f64 {
+    let mut h = 0.0;
+    for w in groups.values() {
+        for &p in w {
+            if p > 0.0 {
+                h -= p * p.log2();
+            }
+        }
+    }
+    h
+}
+
+// SAFETY: the buffer outlives the call and chunk indices are disjoint.
+pub unsafe fn write_chunk(buf: *mut f64, at: usize, v: f64) {
+    *buf.add(at) = v;
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn hash_in_tests_is_fine() {
+        let m: HashMap<u32, u32> = HashMap::new();
+        assert!(m.is_empty());
+    }
+}

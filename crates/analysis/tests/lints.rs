@@ -1,0 +1,100 @@
+//! Fixture tests: each lint class must catch its known-bad snippet at the
+//! exact lines, the known-good snippet must be silent, and an `allow`
+//! annotation must suppress precisely one finding.
+
+use crowdfusion_analysis::{analyze_file, prepare_source, unsafe_sites, Finding, Rule};
+
+fn run(src: &str) -> Vec<Finding> {
+    analyze_file(&prepare_source("fixture.rs", "core", src))
+}
+
+fn hits(findings: &[Finding]) -> Vec<(Rule, u32)> {
+    findings.iter().map(|f| (f.rule, f.line)).collect()
+}
+
+#[test]
+fn hash_iter_fixture_is_caught_at_exact_lines() {
+    let findings = run(include_str!("fixtures/bad_hash_iter.rs"));
+    assert_eq!(
+        hits(&findings),
+        vec![(Rule::HashIter, 3), (Rule::HashIter, 10)],
+        "{findings:#?}"
+    );
+}
+
+#[test]
+fn unsafe_fixture_flags_only_unjustified_sites() {
+    let src = include_str!("fixtures/bad_unsafe.rs");
+    let findings = run(src);
+    assert_eq!(
+        hits(&findings),
+        vec![(Rule::UnsafeNoSafety, 5), (Rule::UnsafeNoSafety, 11)],
+        "{findings:#?}"
+    );
+    // The inventory still records all three sites, with the justified one
+    // marked as such.
+    let sites = unsafe_sites(&prepare_source("fixture.rs", "core", src));
+    assert_eq!(sites.len(), 3);
+    let by_line: Vec<(u32, &str, bool)> = sites
+        .iter()
+        .map(|s| (s.line, s.kind, s.has_safety))
+        .collect();
+    assert_eq!(
+        by_line,
+        vec![(5, "impl", false), (8, "impl", true), (11, "block", false)]
+    );
+}
+
+#[test]
+fn wall_clock_fixture_is_caught_at_exact_lines() {
+    let findings = run(include_str!("fixtures/bad_wall_clock.rs"));
+    assert_eq!(
+        hits(&findings),
+        vec![(Rule::WallClock, 4), (Rule::WallClock, 5)],
+        "{findings:#?}"
+    );
+}
+
+#[test]
+fn entropy_fixture_is_caught_at_exact_lines() {
+    let findings = run(include_str!("fixtures/bad_entropy.rs"));
+    assert_eq!(
+        hits(&findings),
+        vec![
+            (Rule::EntropyRng, 4),
+            (Rule::EntropyRng, 5),
+            (Rule::EntropyRng, 6)
+        ],
+        "{findings:#?}"
+    );
+}
+
+#[test]
+fn good_fixture_is_silent() {
+    let src = include_str!("fixtures/good.rs");
+    let findings = run(src);
+    assert!(findings.is_empty(), "{findings:#?}");
+    // Its single unsafe fn is inventoried as justified.
+    let sites = unsafe_sites(&prepare_source("fixture.rs", "core", src));
+    assert_eq!(sites.len(), 1);
+    assert!(sites[0].has_safety);
+    assert_eq!(sites[0].kind, "fn");
+}
+
+#[test]
+fn allow_suppresses_exactly_one_finding() {
+    let findings = run(include_str!("fixtures/allow_once.rs"));
+    // The annotated HashSet on line 5 is forgiven; the second offender on
+    // line 16 is not, and the annotation itself is counted as used.
+    assert_eq!(hits(&findings), vec![(Rule::HashIter, 16)], "{findings:#?}");
+}
+
+#[test]
+fn bench_crate_is_exempt_from_wall_clock() {
+    let findings = analyze_file(&prepare_source(
+        "fixture.rs",
+        "bench",
+        include_str!("fixtures/bad_wall_clock.rs"),
+    ));
+    assert!(findings.is_empty(), "{findings:#?}");
+}

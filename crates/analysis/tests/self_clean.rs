@@ -1,0 +1,49 @@
+//! The analyzer run over the real workspace: zero findings, and the
+//! committed unsafe inventory must match a fresh scan byte-for-byte. This
+//! is the same gate CI applies via `crowdfusion-analyze --deny-findings`,
+//! kept as a test so `cargo test` alone catches drift.
+
+use crowdfusion_analysis::{analyze_files, inventory, scan_workspace, to_json};
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crates/analysis sits two levels under the workspace root")
+        .to_path_buf()
+}
+
+#[test]
+fn workspace_has_zero_findings() {
+    let files = scan_workspace(&workspace_root()).expect("scan workspace");
+    assert!(
+        files.len() > 20,
+        "suspiciously few files scanned ({}) — wrong root?",
+        files.len()
+    );
+    let findings = analyze_files(&files);
+    assert!(
+        findings.is_empty(),
+        "the tree must be lint-clean; fix or annotate:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn committed_unsafe_inventory_is_current() {
+    let root = workspace_root();
+    let files = scan_workspace(&root).expect("scan workspace");
+    let fresh = to_json(&inventory(&files));
+    let committed = std::fs::read_to_string(root.join("ANALYSIS_unsafe.json"))
+        .expect("ANALYSIS_unsafe.json is committed at the workspace root");
+    assert_eq!(
+        fresh, committed,
+        "unsafe inventory drifted; regenerate with:\n  \
+         cargo run -p crowdfusion_analysis -- --json ANALYSIS_unsafe.json"
+    );
+}

@@ -120,11 +120,14 @@ struct Job {
     done_cv: Condvar,
 }
 
-// SAFETY: `task` is only dereferenced while the submitting caller is
-// blocked in `Job::wait` (see the struct docs), so the pointee outlives
-// every dereference; the pointee itself is `Sync` so concurrent calls
-// from several workers are sound.
+// SAFETY: the raw `task` pointer is what blocks the auto-impl. It is only
+// dereferenced while the submitting caller is blocked in `Job::wait` (see
+// the struct docs), so the pointee outlives every dereference on any
+// thread the job moves to; all other fields are `Send` themselves.
 unsafe impl Send for Job {}
+// SAFETY: shared access is sound for the same reason: the pointee is
+// `Sync`, so `&Job` handed to several workers only ever yields `&dyn
+// Fn(usize)` calls the closure itself declares safe to run concurrently.
 unsafe impl Sync for Job {}
 
 impl Job {
@@ -260,6 +263,9 @@ impl Pool {
         let workers = (0..threads - 1)
             .map(|i| {
                 let jobs = jobs.clone();
+                // analyze: allow(adhoc-thread) — this IS the pool: the one
+                // place allowed to create threads; everything else routes
+                // its parallelism through here.
                 std::thread::Builder::new()
                     .name(format!("crowdfusion-pool-{i}"))
                     .spawn(move || {
@@ -336,7 +342,14 @@ impl Pool {
         // cross the thread boundary because distinct chunks alias no
         // elements — each index is claimed by exactly one cursor step.
         struct SendPtr<T>(*mut T);
+        // SAFETY: the wrapper only crosses threads inside this function,
+        // where each worker touches the pairwise-disjoint chunk range it
+        // claimed off the cursor — no element is reachable from two
+        // threads; `T: Send` makes moving those elements' access sound.
         unsafe impl<T: Send> Send for SendPtr<T> {}
+        // SAFETY: `&SendPtr` exposes only the raw pointer value (`get`),
+        // never a `&T`/`&mut T`; dereferences go through the per-chunk
+        // disjointness argument above.
         unsafe impl<T: Send> Sync for SendPtr<T> {}
         impl<T> SendPtr<T> {
             // Accessor (rather than field access) so closures capture the
@@ -358,10 +371,12 @@ impl Pool {
             f(start, chunk);
         };
 
-        // Erase the closure's lifetime for the job struct. The caller
-        // stays on this stack frame until `wait` returns, which is the
-        // validity argument spelled out on `Job`.
         let task: &(dyn Fn(usize) + Sync) = &run;
+        // SAFETY: lifetime erasure only — the `'static` is a lie the Job
+        // never acts on: the caller stays on this stack frame until
+        // `wait` returns, and `Job::run` holds the only dereferences (the
+        // validity argument spelled out on `Job`), so `run` outlives every
+        // use of the erased pointer.
         let task: *const (dyn Fn(usize) + Sync) =
             unsafe { std::mem::transmute::<_, &'static (dyn Fn(usize) + Sync)>(task) };
         let job = Arc::new(Job {

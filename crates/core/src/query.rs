@@ -20,7 +20,7 @@ use crate::selection::{validate_selection, TaskSelector};
 use crate::MAX_DENSE_FACTS;
 use crowdfusion_jointdist::{JointDist, VarSet};
 use rand::RngCore;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Gains below this threshold terminate the greedy loop early. Unlike the
 /// general case (Theorem 2), zero gains are *common* here: a fact
@@ -56,8 +56,11 @@ pub fn truth_answer_joint_entropy(
         });
     }
     // Group outputs by their restriction to I; per group, scatter onto the
-    // task-pattern lattice and push through the answer channel.
-    let mut groups: HashMap<u64, Vec<f64>> = HashMap::new();
+    // task-pattern lattice and push through the answer channel. The map is
+    // ordered: the entropy accumulation below folds f64s in group order,
+    // and hash order would make the rounding (hence the trace) vary per
+    // process.
+    let mut groups: BTreeMap<u64, Vec<f64>> = BTreeMap::new();
     let patterns = 1usize << t;
     for (o, p) in dist.iter() {
         let key = o.extract(interest);
@@ -186,6 +189,52 @@ mod tests {
                 "H(F,{tasks}) = {h}, expected {expected}"
             );
         }
+    }
+
+    #[test]
+    fn joint_entropy_is_bit_identical_to_sorted_order_reference() {
+        // Regression for a nondeterminism bug: the group fold used to run
+        // in `HashMap` iteration order, so the f64 rounding — and hence
+        // the refinement trace — could differ between processes (the
+        // hasher is seeded per process). The fold must match a reference
+        // that accumulates in ascending group-key order, bit for bit.
+        let d = paper_running_example();
+        let interest = VarSet::from_vars([0, 2]);
+        let tasks = VarSet::from_vars([1, 2, 3]);
+        let pc = 0.8;
+
+        let t = tasks.len();
+        let patterns = 1usize << t;
+        let mut groups: Vec<(u64, Vec<f64>)> = Vec::new();
+        for (o, p) in d.iter() {
+            let key = o.extract(interest);
+            let idx = match groups.binary_search_by_key(&key, |g| g.0) {
+                Ok(i) => i,
+                Err(i) => {
+                    groups.insert(i, (key, vec![0.0; patterns]));
+                    i
+                }
+            };
+            groups[idx].1[o.extract(tasks) as usize] += p;
+        }
+        let mut expected = 0.0f64;
+        for (_, w) in groups.iter_mut() {
+            bsc_transform_in_place(w, t, pc);
+            for &p in w.iter() {
+                if p > 0.0 {
+                    expected -= p * p.log2();
+                }
+            }
+        }
+        let expected = expected.max(0.0);
+
+        let h = truth_answer_joint_entropy(&d, interest, tasks, pc).unwrap();
+        assert_eq!(
+            h.to_bits(),
+            expected.to_bits(),
+            "group fold must accumulate in ascending key order \
+             (got {h:e}, reference {expected:e})"
+        );
     }
 
     #[test]

@@ -15,7 +15,7 @@ use crate::selection::TaskSelector;
 use crowdfusion_jointdist::{JointDist, VarSet};
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Minimum sample count accepted (below this the plug-in estimate is
 /// meaningless).
@@ -46,7 +46,9 @@ pub fn sampled_answer_entropy<R: Rng + ?Sized>(
         return Ok(0.0);
     }
     let t = tasks.len();
-    let mut counts: HashMap<u64, u64> = HashMap::new();
+    // Ordered map: the entropy sum and the Miller–Madow correction below
+    // fold f64s in key order; hash order would vary the rounding per run.
+    let mut counts: BTreeMap<u64, u64> = BTreeMap::new();
     for _ in 0..samples {
         let truth = dist.sample(rng);
         let mut answer = truth.extract(tasks);

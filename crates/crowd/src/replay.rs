@@ -75,6 +75,8 @@ impl AnswerReplay {
 /// occurrence of each id; returns the kept answers (input order preserved)
 /// and the number of duplicates dropped.
 pub fn dedup_answers(answers: &[Answer]) -> (Vec<Answer>, usize) {
+    // analyze: allow(hash-iter) — membership-only filter; output order
+    // comes from the input slice, never from the set.
     let mut seen: HashSet<TaskId> = HashSet::with_capacity(answers.len());
     let mut kept = Vec::with_capacity(answers.len());
     for answer in answers {

@@ -381,6 +381,8 @@ fn draft_statements<R: Rng + ?Sized>(
     // Deduplicate texts (rare collisions between variants) and top back up
     // with fresh wrong-author variants until the requested count is met —
     // large books (the paper's "> 20 facts" case) need the exact size.
+    // analyze: allow(hash-iter) — membership-only dedup guard; `retain`
+    // keeps the drafts' own order.
     let mut seen = std::collections::HashSet::new();
     drafts.retain(|d| seen.insert(d.text.clone()));
     let mut attempts = 0;
@@ -558,6 +560,8 @@ impl GeneratedBooks {
         let mut gold = Vec::new();
         let mut classes = Vec::new();
         let mut textbook = Vec::new();
+        // analyze: allow(hash-iter) — keyed lookup only (old id → new id);
+        // iteration never happens, so order cannot leak.
         let mut stmt_map = std::collections::HashMap::new();
         for &old_e in keep {
             let new_e = builder.add_entity(self.dataset.entities()[old_e.0 as usize].name.clone());

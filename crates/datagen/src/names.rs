@@ -187,6 +187,8 @@ pub fn draw_authors<R: Rng + ?Sized>(rng: &mut R, count: usize) -> Vec<AuthorNam
         FIRST_NAMES.len()
     );
     let mut picked = Vec::with_capacity(count);
+    // analyze: allow(hash-iter) — membership-only collision guard; picks
+    // are ordered by the seeded RNG draws, not by the set.
     let mut used = std::collections::HashSet::new();
     while picked.len() < count {
         let f = FIRST_NAMES[rng.gen_range(0..FIRST_NAMES.len())];

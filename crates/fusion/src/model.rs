@@ -156,6 +156,7 @@ pub struct DatasetBuilder {
     entities: Vec<Entity>,
     statements: Vec<Statement>,
     claims: Vec<Claim>,
+    // analyze: allow(hash-iter) — membership-only duplicate guard, never iterated.
     seen_claims: HashSet<(u32, u32)>,
 }
 
@@ -230,24 +231,19 @@ impl DatasetBuilder {
     /// Finalises the dataset, computing the grouped indexes.
     pub fn build(self) -> Dataset {
         let mut claims_by_statement = vec![Vec::new(); self.statements.len()];
-        let mut sources_by_entity: Vec<HashSet<SourceId>> =
-            vec![HashSet::new(); self.entities.len()];
+        let mut sources_by_entity: Vec<Vec<SourceId>> = vec![Vec::new(); self.entities.len()];
         for c in &self.claims {
             claims_by_statement[c.statement.0 as usize].push(c.source);
             let entity = self.statements[c.statement.0 as usize].entity;
-            sources_by_entity[entity.0 as usize].insert(c.source);
+            sources_by_entity[entity.0 as usize].push(c.source);
         }
         for sources in &mut claims_by_statement {
             sources.sort_unstable();
         }
-        let sources_by_entity = sources_by_entity
-            .into_iter()
-            .map(|set| {
-                let mut v: Vec<SourceId> = set.into_iter().collect();
-                v.sort_unstable();
-                v
-            })
-            .collect();
+        for sources in &mut sources_by_entity {
+            sources.sort_unstable();
+            sources.dedup();
+        }
         Dataset {
             sources: self.sources,
             entities: self.entities,

@@ -103,6 +103,9 @@ pub fn serve_tcp(service: Arc<Service>, listener: TcpListener) -> io::Result<usi
         };
         let service = Arc::clone(&service);
         connections.push(Connection {
+            // analyze: allow(adhoc-thread) — connection plumbing, not
+            // computation: refinement work inside a session still runs on
+            // the session's pool, so traces stay schedule-independent.
             handle: thread::spawn(move || {
                 serve_connection(&service, stream, local);
             }),

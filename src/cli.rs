@@ -41,7 +41,7 @@ use crowdfusion_fusion::{
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
 /// Usage text printed by `help` and on argument errors.
@@ -70,12 +70,13 @@ address once the daemon is listening; --snapshot-dir confines client
 Snapshot/Restore paths to bare file names inside DIR.
 ";
 
-/// Parsed flag map: `--name value` pairs.
-struct Flags(HashMap<String, String>);
+/// Parsed flag map: `--name value` pairs. Ordered so diagnostics (e.g.
+/// which unknown flag gets reported) don't depend on hash order.
+struct Flags(BTreeMap<String, String>);
 
 impl Flags {
     fn parse(args: &[String]) -> Result<Flags, String> {
-        let mut map = HashMap::new();
+        let mut map = BTreeMap::new();
         let mut it = args.iter();
         while let Some(flag) = it.next() {
             let Some(name) = flag.strip_prefix("--") else {

@@ -1,0 +1,164 @@
+//! Model-checked mpmc channel mirroring the vendored
+//! `crossbeam::channel::unbounded` surface the pool uses: `send`, blocking
+//! `recv` with disconnect detection, cloneable ends. Send, recv, and
+//! sender-drop (disconnection) are yield points.
+
+use crate::scheduler::{in_model, with_current, ResId};
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+struct State<T> {
+    items: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    /// Scheduler resource blocked receivers wait on.
+    res: ResId,
+}
+
+/// Error returned by [`Sender::send`] when every receiver is gone; the
+/// unsent message is handed back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sending on a disconnected channel")
+    }
+}
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and every
+/// sender is gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "receiving on an empty, disconnected channel")
+    }
+}
+
+/// The sending half; clone to add producers. Dropping the last sender
+/// disconnects the channel and wakes blocked receivers.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiving half; clone to add consumers — each message is delivered
+/// to exactly one of them.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Creates an unbounded model-checked mpmc channel (must be called inside
+/// a model).
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            items: VecDeque::new(),
+            senders: 1,
+            receivers: 1,
+        }),
+        res: with_current(|sched, _| sched.alloc_res()),
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+impl<T> Shared<T> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+        self.state.lock().expect("loom channel storage poisoned")
+    }
+}
+
+impl<T> Sender<T> {
+    /// Enqueues `value` (one quantum) and wakes blocked receivers. Fails
+    /// when every receiver has dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        with_current(|sched, tid| {
+            sched.yield_point(tid);
+            let mut state = self.shared.lock();
+            if state.receivers == 0 {
+                return Err(SendError(value));
+            }
+            state.items.push_back(value);
+            drop(state);
+            sched.wake_all(self.shared.res);
+            Ok(())
+        })
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Dequeues the next message, blocking (in the model) while the channel
+    /// is empty; errors once it is empty *and* disconnected.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        with_current(|sched, tid| {
+            sched.yield_point(tid);
+            loop {
+                let mut state = self.shared.lock();
+                if let Some(value) = state.items.pop_front() {
+                    return Ok(value);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                drop(state);
+                sched.block_on(self.shared.res, tid);
+            }
+        })
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Sender<T> {
+        // Hand-over of an existing reference, not a scheduling-observable
+        // event: no yield point, matching Arc semantics.
+        self.shared.lock().senders += 1;
+        Sender {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Receiver<T> {
+        self.shared.lock().receivers += 1;
+        Receiver {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        // Disconnection is observable (it terminates receiver loops), so
+        // dropping the last sender is a yield point — except during an
+        // abort unwind or teardown outside the model.
+        let last = {
+            let mut state = self.shared.lock();
+            state.senders -= 1;
+            state.senders == 0
+        };
+        if last && in_model() && !std::thread::panicking() {
+            with_current(|sched, tid| {
+                sched.yield_point(tid);
+                sched.wake_all(self.shared.res);
+            });
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.shared.lock().receivers -= 1;
+    }
+}

@@ -1,0 +1,61 @@
+//! Offline stand-in for [`loom`](https://crates.io/crates/loom): a bounded
+//! exhaustive **interleaving** model checker for concurrent code.
+//!
+//! A model is an ordinary closure that spawns [`thread`]s and communicates
+//! through the shim primitives in [`sync`] and [`channel`]. Every shim
+//! operation — an atomic access, a mutex acquire/release, a condvar
+//! wait/notify, a channel send/recv, a spawn or join — is a *yield point*:
+//! the thread parks there and only proceeds when the scheduler grants it a
+//! quantum. Exactly one model thread runs at a time, so an execution is
+//! fully described by its sequence of grant decisions. [`explore`] runs the
+//! model repeatedly, depth-first over all decision sequences, until the
+//! space is exhausted or a schedule budget is hit — assertions inside the
+//! model therefore hold *for every explored interleaving*, not just the
+//! ones the OS happened to produce.
+//!
+//! # What this checks, and what it does not
+//!
+//! * **Checked**: all interleavings of shim operations under sequentially
+//!   consistent semantics — lost updates, double executions, lost wakeups,
+//!   deadlocks (detected and reported with the blocked-thread set), and
+//!   ordinary assertion failures, in any schedule.
+//! * **Not checked**: weak-memory reorderings. `Ordering` arguments are
+//!   accepted for API compatibility and ignored; every access is explored
+//!   as seq-cst. (The real loom models the C11 memory model; this stand-in
+//!   trades that for zero dependencies and a few hundred lines.)
+//!
+//! Models must be deterministic apart from scheduling: no wall-clock reads,
+//! no entropy-seeded randomness. Replay of a decision prefix must reproduce
+//! the same reachable ops, which is also what makes a reported failing
+//! schedule meaningful. A nondeterministic model is detected (the replay
+//! prefix stops matching the runnable set) and reported as an error.
+//!
+//! # Example
+//!
+//! ```
+//! use loom::sync::atomic::{AtomicUsize, Ordering};
+//! use loom::sync::Arc;
+//!
+//! let report = loom::explore(1_000, || {
+//!     let counter = Arc::new(AtomicUsize::new(0));
+//!     let c2 = Arc::clone(&counter);
+//!     let t = loom::thread::spawn(move || {
+//!         c2.fetch_add(1, Ordering::SeqCst);
+//!     });
+//!     counter.fetch_add(1, Ordering::SeqCst);
+//!     t.join();
+//!     assert_eq!(counter.load(Ordering::SeqCst), 2);
+//! });
+//! assert!(report.complete);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod scheduler;
+
+pub mod channel;
+pub mod sync;
+pub mod thread;
+
+pub use scheduler::{explore, model, Report, DEFAULT_SCHEDULE_BUDGET};

@@ -1,0 +1,539 @@
+//! The cooperative scheduler and the depth-first schedule explorer.
+//!
+//! One execution: model threads are real OS threads, but exactly one holds
+//! the *grant* at any moment. A thread reaching a yield point parks and
+//! notifies the controller; the controller waits until every thread is
+//! parked, blocked, or finished, then grants one parked thread the next
+//! quantum. The grant sequence is recorded as a trace of [`Choice`]s (who
+//! ran, who else was runnable); depth-first search over untried
+//! alternatives enumerates every interleaving.
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Hard per-execution step cap: a model that exceeds it almost certainly
+/// loops forever under some schedule, which the explorer reports instead of
+/// hanging.
+const MAX_STEPS_PER_EXECUTION: usize = 100_000;
+
+/// Default budget used by [`model`].
+pub const DEFAULT_SCHEDULE_BUDGET: usize = 10_000;
+
+/// Sentinel payload used to wind down the remaining model threads once an
+/// execution aborts (assertion failure, deadlock, step cap). Filtered from
+/// panic-hook output and never reported to the user.
+struct LoomAbort;
+
+/// Resource identifier (a mutex, condvar, channel, or join latch).
+pub(crate) type ResId = usize;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    /// Holds the grant and is executing its quantum.
+    Running,
+    /// Parked at a yield point; eligible for the next grant.
+    Parked,
+    /// Waiting on a resource; ineligible until woken.
+    Blocked(ResId),
+    Finished,
+}
+
+/// One scheduling decision: the granted thread and the full runnable set it
+/// was chosen from (the DFS alternatives).
+struct Choice {
+    chosen: usize,
+    alternatives: Vec<usize>,
+}
+
+struct Inner {
+    statuses: Vec<Status>,
+    /// The thread currently between a grant and its next park, if any.
+    active: Option<usize>,
+    /// Mutex-style resources: `held[r]` while some thread owns `r`.
+    held: Vec<bool>,
+    /// Per-thread join latch resource, woken when the thread finishes.
+    join_res: Vec<ResId>,
+    trace: Vec<Choice>,
+    /// Replayed decisions for this execution; beyond it, lowest-tid-first.
+    prefix: Vec<usize>,
+    step: usize,
+    /// Set on assertion failure / deadlock / step cap: remaining threads
+    /// are woken to unwind with [`LoomAbort`].
+    abort: bool,
+    /// First real panic payload (not `LoomAbort`), re-raised by `explore`.
+    panic_payload: Option<Box<dyn std::any::Any + Send>>,
+    real_handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+pub(crate) struct Scheduler {
+    inner: Mutex<Inner>,
+    cv: Condvar,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Scheduler>, usize)>> = const { RefCell::new(None) };
+}
+
+/// Runs `f` with the current model thread's scheduler handle and id.
+/// Panics when called outside a model execution — shim primitives only work
+/// inside [`explore`].
+pub(crate) fn with_current<R>(f: impl FnOnce(&Arc<Scheduler>, usize) -> R) -> R {
+    CURRENT.with(|c| {
+        let borrow = c.borrow();
+        let (sched, tid) = borrow
+            .as_ref()
+            .expect("loom primitive used outside loom::explore / loom::model");
+        f(sched, *tid)
+    })
+}
+
+/// True when the calling thread is a model thread (used by shim `Drop`
+/// impls, which must tolerate running during teardown outside a model).
+pub(crate) fn in_model() -> bool {
+    CURRENT.with(|c| c.borrow().is_some())
+}
+
+impl Scheduler {
+    fn new(prefix: Vec<usize>) -> Scheduler {
+        Scheduler {
+            inner: Mutex::new(Inner {
+                statuses: Vec::new(),
+                active: None,
+                held: Vec::new(),
+                join_res: Vec::new(),
+                trace: Vec::new(),
+                prefix,
+                step: 0,
+                abort: false,
+                panic_payload: None,
+                real_handles: Vec::new(),
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().expect("loom scheduler lock poisoned")
+    }
+
+    /// Registers a new model thread (status Parked) and allocates its join
+    /// latch. Returns the new thread id.
+    pub(crate) fn register_thread(&self) -> usize {
+        let mut inner = self.lock();
+        let tid = inner.statuses.len();
+        inner.statuses.push(Status::Parked);
+        let res = inner.held.len();
+        inner.held.push(false);
+        inner.join_res.push(res);
+        tid
+    }
+
+    pub(crate) fn join_res_of(&self, tid: usize) -> ResId {
+        self.lock().join_res[tid]
+    }
+
+    /// Allocates a fresh blocking resource (mutex, condvar, channel).
+    pub(crate) fn alloc_res(&self) -> ResId {
+        let mut inner = self.lock();
+        let res = inner.held.len();
+        inner.held.push(false);
+        res
+    }
+
+    /// Parks the calling thread at a yield point and returns once the
+    /// controller grants it the next quantum.
+    pub(crate) fn yield_point(&self, tid: usize) {
+        let mut inner = self.lock();
+        inner.statuses[tid] = Status::Parked;
+        if inner.active == Some(tid) {
+            inner.active = None;
+        }
+        self.cv.notify_all();
+        while inner.statuses[tid] != Status::Running {
+            inner = self.cv.wait(inner).expect("loom scheduler lock poisoned");
+        }
+        self.check_abort(inner);
+    }
+
+    /// Blocks the calling thread on `res` (releasing its grant) and returns
+    /// once it has been woken *and* granted a fresh quantum.
+    pub(crate) fn block_on(&self, res: ResId, tid: usize) {
+        let mut inner = self.lock();
+        inner.statuses[tid] = Status::Blocked(res);
+        if inner.active == Some(tid) {
+            inner.active = None;
+        }
+        self.cv.notify_all();
+        while inner.statuses[tid] != Status::Running {
+            inner = self.cv.wait(inner).expect("loom scheduler lock poisoned");
+        }
+        self.check_abort(inner);
+    }
+
+    /// While holding a grant: acquire `res` if free. Returns whether it was
+    /// acquired.
+    pub(crate) fn try_acquire(&self, res: ResId) -> bool {
+        let mut inner = self.lock();
+        if inner.held[res] {
+            false
+        } else {
+            inner.held[res] = true;
+            true
+        }
+    }
+
+    /// While holding a grant: release `res` and make its waiters runnable.
+    pub(crate) fn release(&self, res: ResId) {
+        let mut inner = self.lock();
+        inner.held[res] = false;
+        Self::wake_waiters(&mut inner, res);
+        self.cv.notify_all();
+    }
+
+    /// While holding a grant: make every thread blocked on `res` runnable
+    /// without touching the held bit (condvar notify, channel send).
+    pub(crate) fn wake_all(&self, res: ResId) {
+        let mut inner = self.lock();
+        Self::wake_waiters(&mut inner, res);
+        self.cv.notify_all();
+    }
+
+    /// While holding a grant: wake the lowest-tid thread blocked on `res`.
+    pub(crate) fn wake_one(&self, res: ResId) {
+        let mut inner = self.lock();
+        if let Some(status) = inner
+            .statuses
+            .iter_mut()
+            .find(|s| **s == Status::Blocked(res))
+        {
+            *status = Status::Parked;
+        }
+        self.cv.notify_all();
+    }
+
+    /// Atomically: release the mutex resource `mutex`, wake its waiters,
+    /// and block the caller on the condvar resource `cv_res`. This is the
+    /// one operation that must not be split, or a notify between release
+    /// and block would be lost — the very bug class the checker exists to
+    /// find.
+    pub(crate) fn condvar_wait(&self, cv_res: ResId, mutex: ResId, tid: usize) {
+        let mut inner = self.lock();
+        inner.held[mutex] = false;
+        Self::wake_waiters(&mut inner, mutex);
+        inner.statuses[tid] = Status::Blocked(cv_res);
+        if inner.active == Some(tid) {
+            inner.active = None;
+        }
+        self.cv.notify_all();
+        while inner.statuses[tid] != Status::Running {
+            inner = self.cv.wait(inner).expect("loom scheduler lock poisoned");
+        }
+        self.check_abort(inner);
+    }
+
+    fn wake_waiters(inner: &mut Inner, res: ResId) {
+        for status in inner.statuses.iter_mut() {
+            if *status == Status::Blocked(res) {
+                *status = Status::Parked;
+            }
+        }
+    }
+
+    /// Marks the calling thread finished, records a real panic payload (if
+    /// any) and wakes joiners. `LoomAbort` payloads are the wind-down
+    /// signal, not failures, and are dropped.
+    pub(crate) fn finish(&self, tid: usize, payload: Option<Box<dyn std::any::Any + Send>>) {
+        let mut inner = self.lock();
+        inner.statuses[tid] = Status::Finished;
+        if inner.active == Some(tid) {
+            inner.active = None;
+        }
+        if let Some(payload) = payload {
+            if !payload.is::<LoomAbort>() {
+                if inner.panic_payload.is_none() {
+                    inner.panic_payload = Some(payload);
+                }
+                inner.abort = true;
+            }
+        }
+        let res = inner.join_res[tid];
+        Self::wake_waiters(&mut inner, res);
+        self.cv.notify_all();
+    }
+
+    pub(crate) fn is_finished(&self, tid: usize) -> bool {
+        self.lock().statuses[tid] == Status::Finished
+    }
+
+    pub(crate) fn push_real_handle(&self, handle: std::thread::JoinHandle<()>) {
+        self.lock().real_handles.push(handle);
+    }
+
+    /// Called with the lock held after a wait loop: if the execution is
+    /// aborting, unwind this thread with the wind-down sentinel.
+    fn check_abort(&self, inner: std::sync::MutexGuard<'_, Inner>) {
+        if inner.abort && !std::thread::panicking() {
+            drop(inner);
+            std::panic::panic_any(LoomAbort);
+        }
+    }
+
+    /// Raises an execution-level failure: records `msg` as the payload,
+    /// flips `abort`, and wakes every live thread so it can wind down.
+    fn fail(&self, msg: String) {
+        let mut inner = self.lock();
+        if inner.panic_payload.is_none() {
+            inner.panic_payload = Some(Box::new(msg));
+        }
+        inner.abort = true;
+        for status in inner.statuses.iter_mut() {
+            if matches!(*status, Status::Parked | Status::Blocked(_)) {
+                *status = Status::Running;
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    /// The controller loop: drives one execution to completion and returns
+    /// its trace. Runs on the exploring (non-model) thread.
+    fn drive(&self) -> Vec<Choice> {
+        loop {
+            let mut inner = self.lock();
+            // Wait until no thread is inside a quantum.
+            while inner.active.is_some() {
+                inner = self.cv.wait(inner).expect("loom scheduler lock poisoned");
+            }
+            if inner.abort {
+                // Wind-down: keep waking every still-live thread (threads
+                // mid-quantum may park once more before they observe the
+                // abort) until the execution drains.
+                loop {
+                    for status in inner.statuses.iter_mut() {
+                        if matches!(*status, Status::Parked | Status::Blocked(_)) {
+                            *status = Status::Running;
+                        }
+                    }
+                    self.cv.notify_all();
+                    if inner.statuses.iter().all(|s| *s == Status::Finished) {
+                        break;
+                    }
+                    inner = self.cv.wait(inner).expect("loom scheduler lock poisoned");
+                }
+                break;
+            }
+            if inner.statuses.iter().all(|s| *s == Status::Finished) {
+                break;
+            }
+            let runnable: Vec<usize> = inner
+                .statuses
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| **s == Status::Parked)
+                .map(|(t, _)| t)
+                .collect();
+            if runnable.is_empty() {
+                let blocked: Vec<String> = inner
+                    .statuses
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(t, s)| match s {
+                        Status::Blocked(r) => Some(format!("thread {t} blocked on resource {r}")),
+                        _ => None,
+                    })
+                    .collect();
+                drop(inner);
+                self.fail(format!(
+                    "loom: deadlock detected — no runnable thread ({})",
+                    blocked.join(", ")
+                ));
+                continue;
+            }
+            if inner.step >= MAX_STEPS_PER_EXECUTION {
+                drop(inner);
+                self.fail(format!(
+                    "loom: execution exceeded {MAX_STEPS_PER_EXECUTION} steps — \
+                     the model likely loops under this schedule"
+                ));
+                continue;
+            }
+            let step = inner.step;
+            let chosen = if step < inner.prefix.len() {
+                let c = inner.prefix[step];
+                if !runnable.contains(&c) {
+                    drop(inner);
+                    self.fail(format!(
+                        "loom: replay diverged at step {step} (thread {c} not runnable) — \
+                         the model is nondeterministic (wall clock or entropy inside the model?)"
+                    ));
+                    continue;
+                }
+                c
+            } else {
+                runnable[0]
+            };
+            inner.trace.push(Choice {
+                chosen,
+                alternatives: runnable,
+            });
+            inner.step += 1;
+            inner.statuses[chosen] = Status::Running;
+            inner.active = Some(chosen);
+            self.cv.notify_all();
+        }
+        // Drain the real OS threads before reporting anything.
+        let handles = {
+            let mut inner = self.lock();
+            std::mem::take(&mut inner.real_handles)
+        };
+        for handle in handles {
+            let _ = handle.join();
+        }
+        let mut inner = self.lock();
+        if let Some(payload) = inner.panic_payload.take() {
+            drop(inner);
+            resume_unwind(payload);
+        }
+        std::mem::take(&mut inner.trace)
+    }
+}
+
+/// Spawns the model thread `tid` running `body` on a real OS thread that
+/// parks until its first grant.
+fn spawn_model_thread(
+    sched: &Arc<Scheduler>,
+    tid: usize,
+    body: impl FnOnce() + Send + 'static,
+) -> std::thread::JoinHandle<()> {
+    let sched = Arc::clone(sched);
+    std::thread::Builder::new()
+        .name(format!("loom-model-{tid}"))
+        .spawn(move || {
+            CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&sched), tid)));
+            // Wait for the first grant (the thread starts Parked).
+            {
+                let mut inner = sched.lock();
+                while inner.statuses[tid] != Status::Running {
+                    inner = sched.cv.wait(inner).expect("loom scheduler lock poisoned");
+                }
+                let aborting = inner.abort;
+                drop(inner);
+                if aborting {
+                    sched.finish(tid, None);
+                    CURRENT.with(|c| *c.borrow_mut() = None);
+                    return;
+                }
+            }
+            let result = catch_unwind(AssertUnwindSafe(body));
+            sched.finish(tid, result.err());
+            CURRENT.with(|c| *c.borrow_mut() = None);
+        })
+        .expect("spawning loom model thread")
+}
+
+/// Registers and spawns a child model thread from inside a model (the
+/// [`crate::thread::spawn`] implementation).
+pub(crate) fn spawn_child(body: impl FnOnce() + Send + 'static) -> usize {
+    with_current(|sched, tid| {
+        sched.yield_point(tid);
+        let child = sched.register_thread();
+        let handle = spawn_model_thread(sched, child, body);
+        sched.push_real_handle(handle);
+        child
+    })
+}
+
+/// The result of an exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Report {
+    /// Number of distinct schedules executed.
+    pub schedules: usize,
+    /// Whether the schedule space was exhausted (`false`: the budget was
+    /// hit first; every *executed* schedule still passed its assertions).
+    pub complete: bool,
+}
+
+/// Installs (once, process-wide) a panic hook that silences the internal
+/// wind-down sentinel and forwards everything else to the previous hook.
+fn install_hook_once() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<LoomAbort>().is_none() {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Explores interleavings of `body` depth-first, up to `max_schedules`
+/// executions. Panics (with the model's own panic payload, or a deadlock /
+/// divergence report) if any explored schedule fails; otherwise returns how
+/// far the exploration got.
+pub fn explore<F>(max_schedules: usize, body: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    assert!(max_schedules > 0, "schedule budget must be positive");
+    install_hook_once();
+    let body = Arc::new(body);
+    let mut prefix: Vec<usize> = Vec::new();
+    let mut schedules = 0usize;
+    loop {
+        let sched = Arc::new(Scheduler::new(std::mem::take(&mut prefix)));
+        let root = sched.register_thread();
+        debug_assert_eq!(root, 0);
+        let body_run = Arc::clone(&body);
+        let handle = spawn_model_thread(&sched, root, move || body_run());
+        sched.push_real_handle(handle);
+        let trace = sched.drive();
+        schedules += 1;
+        match next_prefix(&trace) {
+            None => {
+                return Report {
+                    schedules,
+                    complete: true,
+                }
+            }
+            Some(_) if schedules >= max_schedules => {
+                return Report {
+                    schedules,
+                    complete: false,
+                }
+            }
+            Some(p) => prefix = p,
+        }
+    }
+}
+
+/// Exhaustively checks `body` under the default budget
+/// ([`DEFAULT_SCHEDULE_BUDGET`]); panics if the space cannot be exhausted
+/// within it — shrink the model or call [`explore`] with an explicit budget
+/// for a bounded (sound-but-incomplete) check.
+pub fn model<F>(body: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let report = explore(DEFAULT_SCHEDULE_BUDGET, body);
+    assert!(
+        report.complete,
+        "loom::model: schedule space not exhausted after {} schedules — \
+         shrink the model or use loom::explore with an explicit budget",
+        report.schedules
+    );
+}
+
+/// The deepest-first DFS successor of a trace: re-run the longest prefix
+/// that still has an untried alternative, taking the next-larger thread id
+/// at that step.
+fn next_prefix(trace: &[Choice]) -> Option<Vec<usize>> {
+    for i in (0..trace.len()).rev() {
+        if let Some(&next) = trace[i].alternatives.iter().find(|&&a| a > trace[i].chosen) {
+            let mut p: Vec<usize> = trace[..i].iter().map(|c| c.chosen).collect();
+            p.push(next);
+            return Some(p);
+        }
+    }
+    None
+}

@@ -1,0 +1,233 @@
+//! Shim synchronisation primitives: every operation is a yield point
+//! explored by the scheduler.
+//!
+//! `Arc` is re-exported from std unchanged — reference counting is not a
+//! scheduling-observable effect in this stand-in.
+
+pub use std::sync::Arc;
+
+use crate::scheduler::{in_model, with_current, ResId};
+
+pub mod atomic {
+    //! Interleaving-explored atomics. `Ordering` is accepted and ignored:
+    //! all accesses are explored as seq-cst (see the crate docs).
+
+    pub use std::sync::atomic::Ordering;
+
+    use crate::scheduler::with_current;
+
+    /// One private yield point per atomic operation.
+    fn op_point() {
+        with_current(|sched, tid| sched.yield_point(tid));
+    }
+
+    macro_rules! shim_atomic {
+        ($name:ident, $std:ty, $val:ty) => {
+            /// Model-checked atomic; each access is one scheduling quantum.
+            #[derive(Debug, Default)]
+            pub struct $name {
+                cell: $std,
+            }
+
+            impl $name {
+                /// Creates the atomic. Construction is not a yield point.
+                pub fn new(v: $val) -> $name {
+                    $name {
+                        cell: <$std>::new(v),
+                    }
+                }
+
+                /// Loads the value (one quantum).
+                pub fn load(&self, _order: Ordering) -> $val {
+                    op_point();
+                    self.cell.load(Ordering::SeqCst)
+                }
+
+                /// Stores `v` (one quantum).
+                pub fn store(&self, v: $val, _order: Ordering) {
+                    op_point();
+                    self.cell.store(v, Ordering::SeqCst)
+                }
+
+                /// Swaps in `v`, returning the previous value (one quantum).
+                pub fn swap(&self, v: $val, _order: Ordering) -> $val {
+                    op_point();
+                    self.cell.swap(v, Ordering::SeqCst)
+                }
+            }
+        };
+    }
+
+    shim_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+    shim_atomic!(AtomicBool, std::sync::atomic::AtomicBool, bool);
+
+    impl AtomicUsize {
+        /// Atomic add, returning the previous value (one quantum).
+        pub fn fetch_add(&self, v: usize, _order: Ordering) -> usize {
+            op_point();
+            self.cell.fetch_add(v, Ordering::SeqCst)
+        }
+
+        /// Atomic subtract, returning the previous value (one quantum).
+        pub fn fetch_sub(&self, v: usize, _order: Ordering) -> usize {
+            op_point();
+            self.cell.fetch_sub(v, Ordering::SeqCst)
+        }
+
+        /// Compare-and-exchange (one quantum); `Ok(previous)` on success.
+        pub fn compare_exchange(
+            &self,
+            current: usize,
+            new: usize,
+            _success: Ordering,
+            _failure: Ordering,
+        ) -> Result<usize, usize> {
+            op_point();
+            self.cell
+                .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+        }
+    }
+}
+
+/// A model-checked mutex.
+///
+/// Divergence from std: [`Mutex::lock`] returns the guard directly — there
+/// is no poisoning, because any panic in a model thread aborts the whole
+/// execution and is re-raised by the explorer.
+#[derive(Debug)]
+pub struct Mutex<T> {
+    res: ResId,
+    data: std::sync::Mutex<T>,
+}
+
+/// RAII guard for [`Mutex`]; releasing it (drop) is a yield point.
+pub struct MutexGuard<'a, T> {
+    mutex: &'a Mutex<T>,
+    std: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates the mutex, registering it with the current execution's
+    /// scheduler (must be called inside a model).
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex {
+            res: with_current(|sched, _| sched.alloc_res()),
+            data: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Acquires the mutex, blocking (in the model) while another model
+    /// thread holds it.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        with_current(|sched, tid| {
+            sched.yield_point(tid);
+            while !sched.try_acquire(self.res) {
+                sched.block_on(self.res, tid);
+            }
+        });
+        MutexGuard {
+            mutex: self,
+            std: Some(self.data.lock().expect("loom mutex storage poisoned")),
+        }
+    }
+
+    /// Re-acquires after a condvar wakeup: the caller already holds a fresh
+    /// grant, so there is no leading yield point.
+    fn reacquire(&self) -> MutexGuard<'_, T> {
+        with_current(|sched, tid| {
+            while !sched.try_acquire(self.res) {
+                sched.block_on(self.res, tid);
+            }
+        });
+        MutexGuard {
+            mutex: self,
+            std: Some(self.data.lock().expect("loom mutex storage poisoned")),
+        }
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.std.as_ref().expect("guard accessed after wait")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.std.as_mut().expect("guard accessed after wait")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.std = None;
+        // During an abort unwind (or teardown outside the model) release
+        // the model resource without a yield point — there is no schedule
+        // left to explore.
+        if in_model() && !std::thread::panicking() {
+            with_current(|sched, tid| {
+                sched.yield_point(tid);
+                sched.release(self.mutex.res);
+            });
+        }
+    }
+}
+
+/// A model-checked condition variable. No spurious wakeups: waiters wake
+/// only on [`Condvar::notify_one`] / [`Condvar::notify_all`] — write the
+/// usual predicate loop anyway, exactly as the checked production code
+/// does.
+#[derive(Debug)]
+pub struct Condvar {
+    res: ResId,
+}
+
+impl Condvar {
+    /// Creates the condvar, registering it with the current execution's
+    /// scheduler (must be called inside a model).
+    pub fn new() -> Condvar {
+        Condvar {
+            res: with_current(|sched, _| sched.alloc_res()),
+        }
+    }
+
+    /// Atomically releases `guard`'s mutex and waits for a notification,
+    /// then re-acquires the mutex before returning.
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        let mutex = guard.mutex;
+        let cv_res = self.res;
+        // Drop the storage lock now; the model-level release happens
+        // atomically with blocking inside `condvar_wait`, so `forget`
+        // skips the guard's own release-on-drop.
+        guard.std = None;
+        std::mem::forget(guard);
+        with_current(|sched, tid| {
+            sched.yield_point(tid);
+            sched.condvar_wait(cv_res, mutex.res, tid);
+        });
+        mutex.reacquire()
+    }
+
+    /// Wakes every waiter (one quantum).
+    pub fn notify_all(&self) {
+        with_current(|sched, tid| {
+            sched.yield_point(tid);
+            sched.wake_all(self.res);
+        });
+    }
+
+    /// Wakes the lowest-id waiter (one quantum).
+    pub fn notify_one(&self) {
+        with_current(|sched, tid| {
+            sched.yield_point(tid);
+            sched.wake_one(self.res);
+        });
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Condvar {
+        Condvar::new()
+    }
+}

@@ -1,0 +1,48 @@
+//! Model threads: [`spawn`] and [`JoinHandle`], scheduled cooperatively by
+//! the explorer. Spawn and join are yield points.
+
+use crate::scheduler::{spawn_child, with_current};
+use std::sync::{Arc, Mutex};
+
+/// Handle to a spawned model thread; [`JoinHandle::join`] blocks (in the
+/// model) until it finishes and returns its result.
+pub struct JoinHandle<T> {
+    tid: usize,
+    slot: Arc<Mutex<Option<T>>>,
+}
+
+/// Spawns a model thread running `f`. The closure must be `'static` — share
+/// state via [`crate::sync::Arc`], exactly as with `std::thread::spawn`.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let slot = Arc::new(Mutex::new(None));
+    let slot_in = Arc::clone(&slot);
+    let tid = spawn_child(move || {
+        let value = f();
+        *slot_in.lock().expect("loom join slot poisoned") = Some(value);
+    });
+    JoinHandle { tid, slot }
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits (as a model operation) for the thread to finish and returns
+    /// its value. A panic in the target thread aborts the whole execution
+    /// with that payload, so `join` itself never returns an error.
+    pub fn join(self) -> T {
+        with_current(|sched, tid| {
+            sched.yield_point(tid);
+            let res = sched.join_res_of(self.tid);
+            while !sched.is_finished(self.tid) {
+                sched.block_on(res, tid);
+            }
+        });
+        self.slot
+            .lock()
+            .expect("loom join slot poisoned")
+            .take()
+            .expect("loom: joined thread finished without a result (it panicked)")
+    }
+}

@@ -1,0 +1,221 @@
+//! The checker checking itself: correct models must pass under every
+//! schedule, and deliberately broken models must be caught — a model
+//! checker that cannot find a seeded bug proves nothing.
+
+use loom::sync::atomic::{AtomicUsize, Ordering};
+use loom::sync::{Arc, Condvar, Mutex};
+use std::collections::BTreeSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+#[test]
+fn serial_body_explores_exactly_one_schedule() {
+    let report = loom::explore(10, || {
+        let x = AtomicUsize::new(1);
+        assert_eq!(x.load(Ordering::SeqCst), 1);
+    });
+    assert_eq!(report.schedules, 1);
+    assert!(report.complete);
+}
+
+#[test]
+fn atomic_increments_never_lose_updates() {
+    let report = loom::explore(10_000, || {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c2 = Arc::clone(&counter);
+        let t = loom::thread::spawn(move || {
+            c2.fetch_add(1, Ordering::SeqCst);
+        });
+        counter.fetch_add(1, Ordering::SeqCst);
+        t.join();
+        assert_eq!(counter.load(Ordering::SeqCst), 2);
+    });
+    assert!(report.complete, "tiny model must be exhaustible");
+    assert!(
+        report.schedules >= 2,
+        "both increment orders must be explored, got {}",
+        report.schedules
+    );
+}
+
+#[test]
+fn exploration_is_exhaustive_over_sc_outcomes() {
+    // The classic store-buffering shape. Under sequentially consistent
+    // interleavings (what this checker explores) the outcome (0, 0) is
+    // impossible; the other three must all be reached.
+    let outcomes: Arc<std::sync::Mutex<BTreeSet<(usize, usize)>>> =
+        Arc::new(std::sync::Mutex::new(BTreeSet::new()));
+    let sink = Arc::clone(&outcomes);
+    let report = loom::explore(10_000, move || {
+        let x = Arc::new(AtomicUsize::new(0));
+        let y = Arc::new(AtomicUsize::new(0));
+        let (x2, y2) = (Arc::clone(&x), Arc::clone(&y));
+        let t = loom::thread::spawn(move || {
+            x2.store(1, Ordering::SeqCst);
+            y2.load(Ordering::SeqCst)
+        });
+        y.store(1, Ordering::SeqCst);
+        let r1 = x.load(Ordering::SeqCst);
+        let r2 = t.join();
+        sink.lock().unwrap().insert((r1, r2));
+    });
+    assert!(report.complete);
+    let seen = outcomes.lock().unwrap();
+    assert!(!seen.contains(&(0, 0)), "SC forbids (0,0), got {seen:?}");
+    for want in [(0, 1), (1, 0), (1, 1)] {
+        assert!(
+            seen.contains(&want),
+            "missing SC outcome {want:?}: {seen:?}"
+        );
+    }
+}
+
+#[test]
+fn checker_finds_a_seeded_lost_update() {
+    // Unsynchronised read-modify-write: some interleaving loses one of the
+    // two increments, and the in-model assertion must trip on it.
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        loom::explore(10_000, || {
+            let counter = Arc::new(AtomicUsize::new(0));
+            let c2 = Arc::clone(&counter);
+            let t = loom::thread::spawn(move || {
+                let v = c2.load(Ordering::SeqCst);
+                c2.store(v + 1, Ordering::SeqCst);
+            });
+            let v = counter.load(Ordering::SeqCst);
+            counter.store(v + 1, Ordering::SeqCst);
+            t.join();
+            assert_eq!(counter.load(Ordering::SeqCst), 2, "lost update");
+        });
+    }));
+    let payload = result.expect_err("the lost-update schedule must be found");
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_default();
+    assert!(msg.contains("lost update"), "unexpected payload: {msg}");
+}
+
+#[test]
+fn mutex_serialises_read_modify_write() {
+    let report = loom::explore(10_000, || {
+        let counter = Arc::new(Mutex::new(0usize));
+        let c2 = Arc::clone(&counter);
+        let t = loom::thread::spawn(move || {
+            let mut guard = c2.lock();
+            *guard += 1;
+        });
+        {
+            let mut guard = counter.lock();
+            *guard += 1;
+        }
+        t.join();
+        assert_eq!(*counter.lock(), 2);
+    });
+    assert!(report.complete);
+    assert!(report.schedules >= 2);
+}
+
+#[test]
+fn condvar_latch_never_misses_a_wakeup() {
+    // The pool's completion-latch shape: done flag under a mutex, waiter in
+    // a predicate loop, setter flips then notifies. Deadlock detection
+    // makes a lost wakeup a hard failure in whichever schedule loses it.
+    let report = loom::explore(10_000, || {
+        struct Latch {
+            done: Mutex<bool>,
+            cv: Condvar,
+        }
+        let latch = Arc::new(Latch {
+            done: Mutex::new(false),
+            cv: Condvar::new(),
+        });
+        let l2 = Arc::clone(&latch);
+        let t = loom::thread::spawn(move || {
+            *l2.done.lock() = true;
+            l2.cv.notify_all();
+        });
+        let mut done = latch.done.lock();
+        while !*done {
+            done = latch.cv.wait(done);
+        }
+        drop(done);
+        t.join();
+    });
+    assert!(report.complete);
+    assert!(report.schedules >= 2);
+}
+
+#[test]
+fn checker_finds_abba_deadlock() {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        loom::explore(10_000, || {
+            let a = Arc::new(Mutex::new(()));
+            let b = Arc::new(Mutex::new(()));
+            let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+            let t = loom::thread::spawn(move || {
+                let _gb = b2.lock();
+                let _ga = a2.lock();
+            });
+            {
+                let _ga = a.lock();
+                let _gb = b.lock();
+            }
+            t.join();
+        });
+    }));
+    let payload = result.expect_err("the ABBA schedule must deadlock");
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_default();
+    assert!(msg.contains("deadlock"), "unexpected payload: {msg}");
+}
+
+#[test]
+fn channel_delivers_every_message_once_and_reports_disconnect() {
+    let report = loom::explore(10_000, || {
+        let (tx, rx) = loom::channel::unbounded::<usize>();
+        let consumer = loom::thread::spawn(move || {
+            let mut got = Vec::new();
+            while let Ok(v) = rx.recv() {
+                got.push(v);
+            }
+            got
+        });
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        drop(tx); // disconnect wakes the blocked consumer
+        let got = consumer.join();
+        assert_eq!(got, vec![1, 2], "FIFO per sender, nothing lost");
+    });
+    assert!(report.complete);
+    assert!(report.schedules >= 2);
+}
+
+#[test]
+fn budget_exhaustion_reports_incomplete() {
+    let report = loom::explore(3, || {
+        let x = Arc::new(AtomicUsize::new(0));
+        let x2 = Arc::clone(&x);
+        let t = loom::thread::spawn(move || {
+            x2.fetch_add(1, Ordering::SeqCst);
+            x2.fetch_add(1, Ordering::SeqCst);
+        });
+        x.fetch_add(1, Ordering::SeqCst);
+        x.fetch_add(1, Ordering::SeqCst);
+        t.join();
+        assert_eq!(x.load(Ordering::SeqCst), 4);
+    });
+    assert_eq!(report.schedules, 3, "budget is a hard cap");
+    assert!(!report.complete);
+}
+
+#[test]
+fn model_asserts_exhaustion() {
+    // `model` is the exhaustive entry point; a tiny model passes.
+    loom::model(|| {
+        let x = AtomicUsize::new(0);
+        x.store(7, Ordering::SeqCst);
+        assert_eq!(x.load(Ordering::SeqCst), 7);
+    });
+}
