@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! loadgen [--sessions N] [--clients C] [--threads T] [--k K] [--budget B]
-//!         [--pc PC] [--seed S] [--json PATH] [--quick]
+//!         [--pc PC] [--seed S] [--json PATH] [--wal-dir DIR] [--quick]
 //! ```
 //!
 //! The generated books are fused (modified CRH), shipped to the daemon in
@@ -13,6 +13,12 @@
 //! ingestion pattern a real crowd produces. Reported throughput
 //! (sessions/s, answers/s, requests/s) lands in the same `BenchRow` JSON
 //! the criterion benches emit, so the bench-gate tooling can diff it.
+//!
+//! `--wal-dir` runs the daemon crash-safe (every mutation journalled —
+//! the durability overhead shows up directly in the request throughput)
+//! and additionally measures **recovery time**: the populated directory
+//! is copied aside before shutdown and a fresh daemon is booted from the
+//! copy, timing the full snapshot-load + journal-replay path.
 
 use crowdfusion::pipeline::entity_specs_from_books;
 use crowdfusion::prelude::*;
@@ -21,7 +27,9 @@ use crowdfusion_bench::{fmt_secs, is_quick, standard_books, time_secs};
 use crowdfusion_core::round::RoundConfig;
 use crowdfusion_crowd::AnswerReplay;
 use crowdfusion_service::protocol::{Request, Response, WireAnswer};
-use crowdfusion_service::{serve_tcp, Client, SelectorChoice, Service, ServiceConfig};
+use crowdfusion_service::{
+    serve_tcp, Client, DurabilityConfig, SelectorChoice, Service, ServiceConfig,
+};
 use std::net::TcpListener;
 use std::sync::Arc;
 
@@ -34,6 +42,7 @@ struct Args {
     pc: f64,
     seed: u64,
     json: Option<String>,
+    wal_dir: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -47,6 +56,7 @@ fn parse_args() -> Result<Args, String> {
         pc: 0.8,
         seed: 7,
         json: None,
+        wal_dir: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -67,6 +77,7 @@ fn parse_args() -> Result<Args, String> {
             "--pc" => parsed.pc = value("pc")?.parse().map_err(|e| format!("{e}"))?,
             "--seed" => parsed.seed = value("seed")?.parse().map_err(|e| format!("{e}"))?,
             "--json" => parsed.json = Some(value("json")?),
+            "--wal-dir" => parsed.wal_dir = Some(value("wal-dir")?),
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
@@ -154,13 +165,12 @@ fn main() {
 
     // Daemon on loopback.
     let config = RoundConfig::new(args.k, args.budget, args.pc).expect("valid config");
-    let service = Arc::new(Service::new(ServiceConfig {
-        seed: args.seed,
-        defaults: config,
-        threads: args.threads,
-        selector: SelectorChoice::Greedy,
-        snapshot_dir: None,
-    }));
+    let mut service_config =
+        ServiceConfig::new(args.seed, config, args.threads, SelectorChoice::Greedy);
+    if let Some(dir) = &args.wal_dir {
+        service_config.durability = Some(DurabilityConfig::new(dir));
+    }
+    let service = Arc::new(Service::new(service_config.clone()).expect("service boots"));
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
     let addr = listener.local_addr().expect("local addr");
     let daemon = {
@@ -178,6 +188,7 @@ fn main() {
     let (opened, open_secs) = time_secs(|| {
         match opener
             .roundtrip(&Request::Open {
+                request: None,
                 entities: specs.clone(),
                 k: None,
                 budget: None,
@@ -232,8 +243,31 @@ fn main() {
         Response::Trace { trace } => trace,
         other => panic!("unexpected trace response {other:?}"),
     };
+    // Crash-recovery timing: copy the live WAL directory aside *before*
+    // the graceful shutdown drains it into a final snapshot, so the copy
+    // looks like a kill -9 (snapshot + journal tail) and the measured
+    // boot exercises the real snapshot-load + journal-replay path.
+    let recovery_copy = args.wal_dir.as_ref().map(|dir| {
+        let copy = std::path::Path::new(dir).with_extension("recover");
+        let _ = std::fs::remove_dir_all(&copy);
+        std::fs::create_dir_all(&copy).expect("create recovery copy dir");
+        for file in std::fs::read_dir(dir).expect("read wal dir") {
+            let file = file.expect("dir entry");
+            std::fs::copy(file.path(), copy.join(file.file_name())).expect("copy wal file");
+        }
+        copy
+    });
     let _ = opener.roundtrip(&Request::Shutdown);
     daemon.join().expect("daemon thread").expect("daemon io");
+
+    let recovery = recovery_copy.map(|copy| {
+        let mut boot_config = service_config.clone();
+        boot_config.durability = Some(DurabilityConfig::new(&copy));
+        let (revived, secs) = time_secs(|| Service::new(boot_config).expect("recovery boots"));
+        drop(revived);
+        let _ = std::fs::remove_dir_all(&copy);
+        secs
+    });
 
     let per = |count: u64, secs: f64| count as f64 / secs.max(1e-9);
     println!(
@@ -256,10 +290,18 @@ fn main() {
         trace.last().f1,
         trace.last().cost
     );
+    if let Some(secs) = recovery {
+        println!(
+            "  recover : {} sessions in {} ({:.2} ms/session)",
+            args.sessions,
+            fmt_secs(secs),
+            secs * 1e3 / args.sessions as f64,
+        );
+    }
 
     if let Some(path) = args.json {
         let ns = |count: u64, secs: f64| ((secs * 1e9) / count.max(1) as f64) as u64;
-        let rows = vec![
+        let mut rows = vec![
             BenchRow {
                 label: "serve/loadgen/open_per_session".to_string(),
                 mean_ns: ns(args.sessions as u64, open_secs),
@@ -285,6 +327,14 @@ fn main() {
                 samples: requests,
             },
         ];
+        if let Some(secs) = recovery {
+            rows.push(BenchRow {
+                label: "serve/loadgen/recover_per_session".to_string(),
+                mean_ns: ns(args.sessions as u64, secs),
+                min_ns: ns(args.sessions as u64, secs),
+                samples: args.sessions as u64,
+            });
+        }
         let text = serde_json::to_string_pretty(&rows).expect("rows serialise");
         std::fs::write(&path, text).expect("write json");
         println!("  wrote {path}");

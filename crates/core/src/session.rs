@@ -775,6 +775,17 @@ impl SessionRegistry {
         self.get_mut(session)?.absorb(answers)
     }
 
+    /// Removes a session from the registry (TTL eviction / administrative
+    /// drop), returning its final state for any closing bookkeeping. The
+    /// master RNG is untouched: seeds already drawn stay drawn, so
+    /// sessions opened after an eviction continue the same seed schedule
+    /// as if the evicted session were still live.
+    pub fn evict(&mut self, session: u64) -> Result<SessionState, CoreError> {
+        self.sessions
+            .remove(&session)
+            .ok_or(CoreError::UnknownSession { session })
+    }
+
     /// Number of live sessions.
     pub fn len(&self) -> usize {
         self.sessions.len()
@@ -1103,6 +1114,31 @@ mod tests {
         let b = restored.open_batch(vec![example_spec()], None).unwrap();
         assert_eq!(a, b);
         assert_eq!(a[0].session, 1);
+    }
+
+    #[test]
+    fn evict_removes_the_session_but_not_its_drawn_seeds() {
+        let config = RoundConfig::new(2, 6, 0.8).unwrap();
+        let mut reg = SessionRegistry::new(5, config, Pool::serial());
+        reg.open_batch(vec![example_spec(), example_spec()], None)
+            .unwrap();
+        let evicted = reg.evict(0).unwrap();
+        assert_eq!(evicted.name(), "hk");
+        assert_eq!(reg.len(), 1);
+        assert!(matches!(
+            reg.evict(0),
+            Err(CoreError::UnknownSession { session: 0 })
+        ));
+        // Seeds drawn for the evicted session stay drawn: the next open in
+        // an evicting registry matches the next open in a non-evicting one.
+        let mut shadow = SessionRegistry::new(5, config, Pool::serial());
+        shadow
+            .open_batch(vec![example_spec(), example_spec()], None)
+            .unwrap();
+        let a = reg.open_batch(vec![example_spec()], None).unwrap();
+        let b = shadow.open_batch(vec![example_spec()], None).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a[0].session, 2);
     }
 
     #[test]

@@ -1,0 +1,90 @@
+//! Logical time for the serving layer.
+//!
+//! Everything below the server edge — TTL eviction, deadline bookkeeping,
+//! recovery — consumes time as an opaque millisecond [`Tick`] handed in by
+//! a [`Clock`], never by reading the wall clock itself. That keeps the
+//! determinism story intact (`crowdfusion-analyze`'s `wall-clock` rule
+//! stays clean everywhere except the two annotated lines in this module)
+//! and makes every time-driven behaviour unit-testable: a [`Clock::manual`]
+//! clock only moves when a test advances it.
+//!
+//! Eviction driven by a [`Clock::system`] clock is inherently edge
+//! nondeterminism; what recovery must (and does) preserve is not *when* a
+//! session was evicted but *that* it was — the service journals an explicit
+//! `Evict` effect at sweep time, so replay never consults a clock.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A millisecond timestamp on a clock's own axis. Ticks from different
+/// clocks are not comparable; only differences on one clock mean anything.
+pub type Tick = u64;
+
+/// A monotonic millisecond clock: either the process wall clock (server
+/// edge) or a manually advanced counter (tests, deterministic harnesses).
+#[derive(Debug, Clone)]
+pub enum Clock {
+    /// Test clock: reads return the counter, which only [`Clock::advance`]
+    /// moves. Clones share the counter.
+    Manual(Arc<AtomicU64>),
+    /// Real time, measured from the clock's construction instant.
+    // analyze: allow(wall-clock) — the one sanctioned wall-clock source;
+    // everything downstream consumes opaque ticks.
+    System(std::time::Instant),
+}
+
+impl Clock {
+    /// A manual clock starting at tick 0.
+    pub fn manual() -> Clock {
+        Clock::Manual(Arc::new(AtomicU64::new(0)))
+    }
+
+    /// The process wall clock (use only at the server edge).
+    pub fn system() -> Clock {
+        // analyze: allow(wall-clock) — see the variant's annotation.
+        Clock::System(std::time::Instant::now())
+    }
+
+    /// Current tick in milliseconds since the clock's origin.
+    pub fn now_ms(&self) -> Tick {
+        match self {
+            Clock::Manual(counter) => counter.load(Ordering::SeqCst),
+            Clock::System(origin) => origin.elapsed().as_millis() as u64,
+        }
+    }
+
+    /// Advances a manual clock by `ms`. No-op on a system clock (real time
+    /// cannot be steered).
+    pub fn advance(&self, ms: u64) {
+        if let Clock::Manual(counter) = self {
+            counter.fetch_add(ms, Ordering::SeqCst);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_moves_only_when_advanced() {
+        let clock = Clock::manual();
+        assert_eq!(clock.now_ms(), 0);
+        clock.advance(250);
+        assert_eq!(clock.now_ms(), 250);
+        // Clones share the counter: advancing one moves the other.
+        let other = clock.clone();
+        other.advance(50);
+        assert_eq!(clock.now_ms(), 300);
+    }
+
+    #[test]
+    fn system_clock_is_monotonic_and_unsteerable() {
+        let clock = Clock::system();
+        let a = clock.now_ms();
+        clock.advance(1_000_000); // must be ignored
+        let b = clock.now_ms();
+        assert!(b < 1_000_000, "advance() must not move a system clock");
+        assert!(b >= a);
+    }
+}

@@ -23,15 +23,36 @@
 //! [`crowdfusion_core::system::Experiment::run_sharded`] — property-tested
 //! in `tests/determinism.rs` across thread counts, arrival permutations,
 //! duplicated deliveries and snapshot/restore cut points.
+//!
+//! **Crash safety.** With a durability directory configured, every
+//! mutating effect is journalled (length+CRC-framed, fsync-batched —
+//! [`journal`]) before it is applied, and the registry auto-snapshots
+//! periodically with journal truncation ([`durable`]). A killed daemon
+//! restarts from `snapshot + journal replay` with traces bit-identical
+//! to an uninterrupted run; torn tail records are detected and dropped.
+//! The [`fault`] module injects crashes, torn writes and connection
+//! drops on a deterministic schedule — `tests/chaos.rs` asserts exact
+//! recovery at every kill point. Ingest is hardened for at-least-once
+//! crowds: `Open` carries an idempotency token, server-side `Absorb`
+//! routes through `crowdfusion_crowd::dedup_answers`, sessions expire on
+//! a logical [`clock`], and the protocol reader bounds line length.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod clock;
+pub mod durable;
+pub mod fault;
+pub mod journal;
 pub mod protocol;
 pub mod server;
 pub mod service;
 pub mod snapshot;
 
+pub use clock::Clock;
+pub use durable::{DurabilityConfig, DurableSnapshot};
+pub use fault::{FaultAction, FaultPlan, FaultPoint, SimulatedCrash};
+pub use journal::Effect;
 pub use protocol::{Request, Response, WireAnswer};
-pub use server::{serve_stdio, serve_tcp, Client};
+pub use server::{serve_stdio, serve_tcp, Client, RetryPolicy};
 pub use service::{SelectorChoice, Service, ServiceConfig};

@@ -33,6 +33,11 @@ pub enum Request {
     /// the daemon's worker pool. `k`/`budget`/`pc` override the daemon's
     /// per-session defaults when present.
     Open {
+        /// Idempotency token for at-least-once delivery: a retried `Open`
+        /// carrying the same id returns the original `Opened` response
+        /// instead of opening duplicate sessions. `None` opts out (every
+        /// call opens fresh sessions, as before this field existed).
+        request: Option<u64>,
         /// Wire-format entity specs, one session each.
         entities: Vec<EntitySpec>,
         /// Tasks per round override.
@@ -194,6 +199,7 @@ mod tests {
     fn requests_roundtrip_through_the_wire() {
         let requests = vec![
             Request::Open {
+                request: Some(7),
                 entities: vec![EntitySpec::simple("b", vec![0.5, 0.7], vec![true, false])],
                 k: Some(2),
                 budget: None,
@@ -245,6 +251,24 @@ mod tests {
             let back: Response = decode(&encode(&response)).unwrap();
             assert_eq!(back, response);
         }
+    }
+
+    #[test]
+    fn open_lines_from_before_request_ids_still_decode() {
+        // Clients predating the `request` field omit it entirely; the
+        // missing field must read back as `None`, not a decode error.
+        let line = r#"{"Open": {"entities": [], "k": 2, "budget": null, "pc": null}}"#;
+        let back: Request = decode(line).unwrap();
+        assert_eq!(
+            back,
+            Request::Open {
+                request: None,
+                entities: vec![],
+                k: Some(2),
+                budget: None,
+                pc: None,
+            }
+        );
     }
 
     #[test]

@@ -7,29 +7,134 @@
 //! session owns its RNG streams. A `Shutdown` request stops the daemon:
 //! the handling connection sets the flag and pokes the accept loop awake
 //! with a throwaway connection to its own address.
+//!
+//! The reader is hardened against misbehaving peers: lines are read
+//! through a bounded accumulator (an oversized line is drained and
+//! answered with a protocol error instead of ballooning daemon memory),
+//! invalid UTF-8 gets an error response rather than a disconnect, and an
+//! optional read deadline closes connections that go silent mid-session.
+//! One connection's garbage never disturbs another's session state.
 
+use crate::fault::{FaultAction, FaultPoint};
+use crate::protocol::{Request, Response};
 use crate::service::Service;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::Arc;
 use std::thread;
+use std::time::Duration;
+
+/// One bounded read off the wire.
+enum LineRead {
+    /// A complete line within the cap (without its newline).
+    Line(Vec<u8>),
+    /// The line exceeded the cap; the excess was drained to its newline.
+    Oversized,
+    /// Clean end of stream.
+    Eof,
+}
+
+/// Reads one `\n`-terminated line, never buffering more than `max` bytes.
+/// An over-long line is discarded up to (and including) its newline so the
+/// connection can keep serving subsequent requests.
+fn read_line_bounded(input: &mut impl BufRead, max: usize) -> io::Result<LineRead> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let chunk = input.fill_buf()?;
+        if chunk.is_empty() {
+            return if line.is_empty() {
+                Ok(LineRead::Eof)
+            } else {
+                // An unterminated final line still counts (stdio pipes).
+                Ok(LineRead::Line(line))
+            };
+        }
+        if let Some(pos) = chunk.iter().position(|&b| b == b'\n') {
+            if line.len() + pos > max {
+                input.consume(pos + 1);
+                return Ok(LineRead::Oversized);
+            }
+            line.extend_from_slice(&chunk[..pos]);
+            input.consume(pos + 1);
+            return Ok(LineRead::Line(line));
+        }
+        let take = chunk.len();
+        if line.len() + take > max {
+            // Over the cap with no newline in sight: drop what we hold and
+            // drain the rest of the line without accumulating it.
+            line.clear();
+            line.shrink_to_fit();
+            input.consume(take);
+            loop {
+                let chunk = input.fill_buf()?;
+                if chunk.is_empty() {
+                    return Ok(LineRead::Oversized);
+                }
+                match chunk.iter().position(|&b| b == b'\n') {
+                    Some(pos) => {
+                        input.consume(pos + 1);
+                        return Ok(LineRead::Oversized);
+                    }
+                    None => {
+                        let len = chunk.len();
+                        input.consume(len);
+                    }
+                }
+            }
+        }
+        line.extend_from_slice(chunk);
+        input.consume(take);
+    }
+}
+
+/// Whether a read error means "the peer went quiet past the deadline".
+fn is_deadline(err: &io::Error) -> bool {
+    matches!(
+        err.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
 
 /// Serves one already-connected byte stream (the shared line loop).
-fn serve_lines(service: &Service, input: impl BufRead, mut output: impl Write) -> io::Result<()> {
-    for line in input.lines() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
+fn serve_lines(
+    service: &Service,
+    mut input: impl BufRead,
+    mut output: impl Write,
+) -> io::Result<()> {
+    let max = service.max_line_bytes();
+    loop {
+        let read = match read_line_bounded(&mut input, max) {
+            Ok(read) => read,
+            // A deadline expiry is a normal close, not a transport error.
+            Err(err) if is_deadline(&err) => return Ok(()),
+            Err(err) => return Err(err),
+        };
+        // Injected connection fault: drop the link as though the network
+        // did, leaving whatever the service already applied in place —
+        // the at-least-once story the client retry layer is tested under.
+        if let Some(FaultAction::Drop) = service.fault_plan().check(FaultPoint::ConnectionRead) {
+            return Ok(());
         }
-        let reply = service.handle_line(&line);
+        let reply = match read {
+            LineRead::Eof => return Ok(()),
+            LineRead::Oversized => crate::protocol::encode(&Response::Error {
+                message: format!("protocol line exceeds the {max}-byte limit"),
+            }),
+            LineRead::Line(bytes) => match String::from_utf8(bytes) {
+                Err(_) => crate::protocol::encode(&Response::Error {
+                    message: "protocol line is not valid UTF-8".to_string(),
+                }),
+                Ok(line) if line.trim().is_empty() => continue,
+                Ok(line) => service.handle_line(&line),
+            },
+        };
         output.write_all(reply.as_bytes())?;
         output.write_all(b"\n")?;
         output.flush()?;
         if service.shutdown_requested() {
-            break;
+            return Ok(());
         }
     }
-    Ok(())
 }
 
 /// Serves the daemon over stdin/stdout (or any reader/writer pair) until
@@ -39,10 +144,23 @@ pub fn serve_stdio(service: &Service, input: impl BufRead, output: impl Write) -
 }
 
 fn serve_connection(service: &Service, stream: TcpStream, local: SocketAddr) {
+    // A connection that goes silent past the deadline is closed; its
+    // sessions stay (TTL eviction owns their lifetime, not the socket's).
+    if let Some(ms) = service.read_deadline_ms() {
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(ms)));
+    }
     let Ok(reader) = stream.try_clone() else {
         return;
     };
+    let Ok(closer) = stream.try_clone() else {
+        return;
+    };
     let _ = serve_lines(service, BufReader::new(reader), BufWriter::new(stream));
+    // The accept loop holds its own clone of this socket (to force-close
+    // idle peers at daemon shutdown), and clones keep the connection open
+    // after our reader/writer drop. Shut the socket itself down so the
+    // peer sees EOF the moment this handler is done with it.
+    let _ = closer.shutdown(Shutdown::Both);
     // If this connection carried the Shutdown, the accept loop may be
     // blocked; a throwaway connection wakes it so it can observe the flag.
     // A wildcard bind (0.0.0.0 / ::) is not connectable on every
@@ -91,7 +209,7 @@ pub fn serve_tcp(service: Arc<Service>, listener: TcpListener) -> io::Result<usi
                 eprintln!("crowdfusion-serve: accept failed (retrying): {e}");
                 // Back off briefly so a persistent error (e.g. fd
                 // exhaustion) cannot spin the loop hot.
-                thread::sleep(std::time::Duration::from_millis(50));
+                thread::sleep(Duration::from_millis(50));
                 continue;
             }
         };
@@ -123,9 +241,64 @@ pub fn serve_tcp(service: Arc<Service>, listener: TcpListener) -> io::Result<usi
     Ok(accepted)
 }
 
+/// Retry tuning for [`Client::roundtrip_retrying`]: deterministic capped
+/// exponential backoff — delay before attempt `n` (0-based) is
+/// `min(base_ms << n, cap_ms)`. No jitter: the daemon serialises writes
+/// behind one lock, so retry storms do not compound, and determinism is
+/// worth more to the test matrix than desynchronisation.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts (the first try included). Minimum 1.
+    pub attempts: u32,
+    /// Backoff base in milliseconds.
+    pub base_ms: u64,
+    /// Backoff ceiling in milliseconds.
+    pub cap_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 4,
+            base_ms: 10,
+            cap_ms: 500,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The delay before attempt `attempt` (0-based; attempt 0 never
+    /// waits).
+    pub fn delay_ms(&self, attempt: u32) -> u64 {
+        if attempt == 0 {
+            return 0;
+        }
+        // 128-bit intermediate: `u64 << n` silently wraps for large n
+        // (checked_shl only rejects the shift count, not value overflow).
+        let raw = (self.base_ms as u128) << (attempt - 1).min(64);
+        raw.min(self.cap_ms as u128) as u64
+    }
+}
+
+/// Whether a transport error is worth a reconnect-and-retry: the kinds a
+/// dropped connection or expired deadline produce. Anything else (say,
+/// a malformed response) is a real bug and surfaces immediately.
+fn is_retryable(err: &io::Error) -> bool {
+    matches!(
+        err.kind(),
+        io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::BrokenPipe
+            | io::ErrorKind::WouldBlock
+            | io::ErrorKind::TimedOut
+    )
+}
+
 /// A line-oriented TCP client for the daemon — what `loadgen`, the CI
 /// smoke test and ad-hoc drivers use.
 pub struct Client {
+    addr: SocketAddr,
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
 }
@@ -136,16 +309,20 @@ impl Client {
         let stream = TcpStream::connect(addr)?;
         let reader = BufReader::new(stream.try_clone()?);
         Ok(Client {
+            addr,
             reader,
             writer: BufWriter::new(stream),
         })
     }
 
+    /// Drops the current connection and dials the daemon again.
+    pub fn reconnect(&mut self) -> io::Result<()> {
+        *self = Client::connect(self.addr)?;
+        Ok(())
+    }
+
     /// Sends one request line and reads one response line.
-    pub fn roundtrip(
-        &mut self,
-        request: &crate::protocol::Request,
-    ) -> io::Result<crate::protocol::Response> {
+    pub fn roundtrip(&mut self, request: &Request) -> io::Result<Response> {
         let line = crate::protocol::encode(request);
         self.writer.write_all(line.as_bytes())?;
         self.writer.write_all(b"\n")?;
@@ -160,6 +337,44 @@ impl Client {
         crate::protocol::decode(reply.trim_end())
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
     }
+
+    /// [`Client::roundtrip`] under at-least-once delivery: on a dropped
+    /// connection or expired deadline, reconnects and resends after the
+    /// policy's capped backoff. Only safe for requests that are
+    /// idempotent on redelivery — reads, `Select` on an open round,
+    /// `Absorb` (session-level dedup absorbs the repeat), and `Open`
+    /// carrying an idempotency token. A caller retrying a token-less
+    /// `Open` gets duplicate sessions, by design.
+    pub fn roundtrip_retrying(
+        &mut self,
+        request: &Request,
+        policy: RetryPolicy,
+    ) -> io::Result<Response> {
+        let attempts = policy.attempts.max(1);
+        let mut last = None;
+        for attempt in 0..attempts {
+            let delay = policy.delay_ms(attempt);
+            if delay > 0 {
+                thread::sleep(Duration::from_millis(delay));
+            }
+            if last.is_some() {
+                // The old connection is dead; a failed redial counts as
+                // this attempt's failure and backs off again.
+                if let Err(err) = self.reconnect() {
+                    last = Some(err);
+                    continue;
+                }
+            }
+            match self.roundtrip(request) {
+                Ok(response) => return Ok(response),
+                Err(err) if is_retryable(&err) && attempt + 1 < attempts => {
+                    last = Some(err);
+                }
+                Err(err) => return Err(err),
+            }
+        }
+        Err(last.expect("retry loop exits early unless every attempt failed"))
+    }
 }
 
 #[cfg(test)]
@@ -169,15 +384,29 @@ mod tests {
     use crate::service::{SelectorChoice, ServiceConfig};
     use crowdfusion_core::round::RoundConfig;
 
+    fn service_one() -> Service {
+        Service::new(ServiceConfig::new(
+            1,
+            RoundConfig::new(2, 4, 0.8).unwrap(),
+            1,
+            SelectorChoice::Random,
+        ))
+        .unwrap()
+    }
+
+    fn run_lines(service: &Service, input: &[u8]) -> Vec<String> {
+        let mut output = Vec::new();
+        serve_stdio(service, input, &mut output).unwrap();
+        String::from_utf8(output)
+            .unwrap()
+            .lines()
+            .map(str::to_string)
+            .collect()
+    }
+
     #[test]
     fn stdio_loop_answers_line_per_line_and_stops_on_shutdown() {
-        let service = Service::new(ServiceConfig {
-            seed: 1,
-            defaults: RoundConfig::new(2, 4, 0.8).unwrap(),
-            threads: 1,
-            selector: SelectorChoice::Random,
-            snapshot_dir: None,
-        });
+        let service = service_one();
         let input = format!(
             "{}\n\n{}\n{}\n{}\n",
             crate::protocol::encode(&Request::Metrics),
@@ -186,14 +415,129 @@ mod tests {
             crate::protocol::encode(&Request::Metrics),
             crate::protocol::encode(&Request::Metrics),
         );
-        let mut output = Vec::new();
-        serve_stdio(&service, input.as_bytes(), &mut output).unwrap();
-        let text = String::from_utf8(output).unwrap();
-        let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), 2, "metrics + bye, then stop: {text:?}");
+        let lines = run_lines(&service, input.as_bytes());
+        assert_eq!(lines.len(), 2, "metrics + bye, then stop: {lines:?}");
         assert_eq!(
-            crate::protocol::decode::<Response>(lines[1]).unwrap(),
+            crate::protocol::decode::<Response>(&lines[1]).unwrap(),
             Response::Bye
         );
+    }
+
+    #[test]
+    fn oversized_lines_get_an_error_and_the_connection_survives() {
+        let mut config = ServiceConfig::new(
+            1,
+            RoundConfig::new(2, 4, 0.8).unwrap(),
+            1,
+            SelectorChoice::Random,
+        );
+        config.max_line_bytes = 64;
+        let service = Service::new(config).unwrap();
+        // A line far past the cap (and past any single fill_buf chunk),
+        // followed by a legitimate request on the SAME stream.
+        let mut input = vec![b'x'; 1 << 16];
+        input.push(b'\n');
+        input.extend_from_slice(crate::protocol::encode(&Request::Metrics).as_bytes());
+        input.push(b'\n');
+        let lines = run_lines(&service, &input);
+        assert_eq!(lines.len(), 2);
+        let Response::Error { message } = crate::protocol::decode::<Response>(&lines[0]).unwrap()
+        else {
+            panic!("oversized line must answer with an error: {lines:?}");
+        };
+        assert!(message.contains("64-byte"), "got {message:?}");
+        assert!(matches!(
+            crate::protocol::decode::<Response>(&lines[1]).unwrap(),
+            Response::Metrics { .. }
+        ));
+    }
+
+    #[test]
+    fn oversized_line_exactly_at_the_cap_boundary_is_kept() {
+        let mut config = ServiceConfig::new(
+            1,
+            RoundConfig::new(2, 4, 0.8).unwrap(),
+            1,
+            SelectorChoice::Random,
+        );
+        let probe = crate::protocol::encode(&Request::Metrics);
+        config.max_line_bytes = probe.len();
+        let service = Service::new(config).unwrap();
+        // Exactly at the cap: allowed. One byte over: rejected.
+        let input = format!("{probe}\n {probe}\n");
+        let lines = run_lines(&service, input.as_bytes());
+        assert_eq!(lines.len(), 2);
+        assert!(matches!(
+            crate::protocol::decode::<Response>(&lines[0]).unwrap(),
+            Response::Metrics { .. }
+        ));
+        assert!(matches!(
+            crate::protocol::decode::<Response>(&lines[1]).unwrap(),
+            Response::Error { .. }
+        ));
+    }
+
+    #[test]
+    fn invalid_utf8_gets_an_error_not_a_disconnect() {
+        let service = service_one();
+        let mut input = vec![0xff, 0xfe, b'{', 0x80];
+        input.push(b'\n');
+        input.extend_from_slice(crate::protocol::encode(&Request::Metrics).as_bytes());
+        input.push(b'\n');
+        let lines = run_lines(&service, &input);
+        assert_eq!(lines.len(), 2);
+        let Response::Error { message } = crate::protocol::decode::<Response>(&lines[0]).unwrap()
+        else {
+            panic!("binary junk must answer with an error");
+        };
+        assert!(message.contains("UTF-8"));
+        assert!(matches!(
+            crate::protocol::decode::<Response>(&lines[1]).unwrap(),
+            Response::Metrics { .. }
+        ));
+    }
+
+    #[test]
+    fn unterminated_final_line_still_answers() {
+        let service = service_one();
+        let lines = run_lines(
+            &service,
+            crate::protocol::encode(&Request::Metrics).as_bytes(),
+        );
+        assert_eq!(lines.len(), 1);
+        assert!(matches!(
+            crate::protocol::decode::<Response>(&lines[0]).unwrap(),
+            Response::Metrics { .. }
+        ));
+    }
+
+    #[test]
+    fn retry_policy_backoff_is_capped_exponential() {
+        let policy = RetryPolicy {
+            attempts: 8,
+            base_ms: 10,
+            cap_ms: 70,
+        };
+        let delays: Vec<u64> = (0..6).map(|a| policy.delay_ms(a)).collect();
+        assert_eq!(delays, vec![0, 10, 20, 40, 70, 70]);
+        // Huge attempt numbers saturate instead of overflowing.
+        assert_eq!(policy.delay_ms(200), 70);
+    }
+
+    #[test]
+    fn retryable_kinds_are_the_connection_failures() {
+        for kind in [
+            io::ErrorKind::UnexpectedEof,
+            io::ErrorKind::ConnectionReset,
+            io::ErrorKind::ConnectionAborted,
+            io::ErrorKind::BrokenPipe,
+            io::ErrorKind::WouldBlock,
+            io::ErrorKind::TimedOut,
+        ] {
+            assert!(is_retryable(&io::Error::new(kind, "x")), "{kind:?}");
+        }
+        for kind in [io::ErrorKind::InvalidData, io::ErrorKind::NotFound] {
+            assert!(!is_retryable(&io::Error::new(kind, "x")), "{kind:?}");
+        }
     }
 }

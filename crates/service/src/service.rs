@@ -1,15 +1,55 @@
-//! The daemon state: a [`SessionRegistry`] behind a mutex, one selector,
-//! and the request dispatcher.
+//! The daemon state: a [`SessionRegistry`] plus its durability engine
+//! behind one mutex, one selector, and the journalled request dispatcher.
+//!
+//! **Dispatch protocol** (the write path, when durability is on):
+//!
+//! 1. pre-validate — errors here are rejected without a journal entry;
+//! 2. journal the [`Effect`] (the record is durable before anything
+//!    mutates);
+//! 3. apply the effect to in-memory state;
+//! 4. count it against the auto-snapshot cadence, snapshotting + journal-
+//!    truncating when due.
+//!
+//! A crash between (2) and (3) is repaired by replay on restart; a
+//! journalled effect whose *apply* fails (e.g. an `Absorb` naming an
+//! unknown task id) fails identically when replayed, so attempted
+//! mutations are safe to journal. Reads (`Status`, `Metrics`, `Trace`,
+//! the client-directed `Snapshot` export) and idempotent re-reads
+//! (`Select` on an already-open round) skip the journal entirely.
+//!
+//! At-least-once ingest: `Open` accepts an idempotency token — retried
+//! tokens return the recorded `Opened` payload from a ledger that
+//! persists in the durable snapshot; `Select` is idempotent while a
+//! round is open; `Absorb` routes through
+//! [`crowdfusion_crowd::dedup_answers`] and the session's own
+//! first-answer-wins ingestion, so redelivered batches collapse to one.
+//! Sessions idle past the configured TTL are evicted by a sweep that
+//! journals an explicit [`Effect::Evict`] — replay never consults the
+//! clock.
 
+use crate::clock::{Clock, Tick};
+use crate::durable::{
+    recover, CompletedOpen, Durability, DurabilityConfig, DurableSnapshot, Recovery,
+};
+use crate::fault::{as_simulated_crash, FaultPlan, FaultPoint, SimulatedCrash};
+use crate::journal::Effect;
 use crate::protocol::{Request, Response};
 use crate::snapshot;
 use crowdfusion_core::pool::Pool;
 use crowdfusion_core::round::RoundConfig;
 use crowdfusion_core::selection::{GreedySelector, RandomSelector, TaskSelector};
-use crowdfusion_core::session::{SelectOutcome, SessionRegistry};
+use crowdfusion_core::session::{AbsorbReport, OpenedSession, SelectOutcome, SessionRegistry};
 use crowdfusion_core::CoreError;
+use crowdfusion_crowd::{dedup_answers, Answer, TaskId, WorkerId};
+use std::collections::BTreeMap;
+use std::io;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
+
+/// Default cap on one protocol line (1 MiB) — large enough for wide
+/// `Open` batches, small enough that a hostile connection cannot balloon
+/// the daemon's memory.
+pub const DEFAULT_MAX_LINE_BYTES: usize = 1 << 20;
 
 /// The selector backends the daemon can run — the same matrix the CLI's
 /// offline `refine` exposes, so a served session is comparable to an
@@ -65,29 +105,291 @@ pub struct ServiceConfig {
     /// verbatim — only appropriate when every client is as trusted as the
     /// operator (the default loopback bind).
     pub snapshot_dir: Option<std::path::PathBuf>,
+    /// Crash safety: `Some` journals every mutation into this directory
+    /// and auto-snapshots on its cadence; [`Service::new`] then recovers
+    /// whatever state the directory already holds. `None` serves from
+    /// memory only (the pre-durability behaviour).
+    pub durability: Option<DurabilityConfig>,
+    /// Deterministic fault schedule (tests); [`FaultPlan::none`] in
+    /// production.
+    pub faults: FaultPlan,
+    /// Time source for TTL eviction. The system clock belongs at the
+    /// server edge only; tests drive a manual clock.
+    pub clock: Clock,
+    /// Evict sessions idle longer than this many clock ticks (ms).
+    /// `None` disables eviction.
+    pub session_ttl_ms: Option<u64>,
+    /// Per-connection read deadline in ms; a connection silent past it is
+    /// closed. `None` waits forever.
+    pub read_deadline_ms: Option<u64>,
+    /// Reject protocol lines longer than this many bytes.
+    pub max_line_bytes: usize,
+}
+
+impl ServiceConfig {
+    /// The baseline configuration: no durability, no fault plan, system
+    /// clock, no TTL or read deadline, default line cap.
+    pub fn new(
+        seed: u64,
+        defaults: RoundConfig,
+        threads: usize,
+        selector: SelectorChoice,
+    ) -> ServiceConfig {
+        ServiceConfig {
+            seed,
+            defaults,
+            threads,
+            selector,
+            snapshot_dir: None,
+            durability: None,
+            faults: FaultPlan::none(),
+            clock: Clock::system(),
+            session_ttl_ms: None,
+            read_deadline_ms: None,
+            max_line_bytes: DEFAULT_MAX_LINE_BYTES,
+        }
+    }
+}
+
+/// What applying an [`Effect`] produced (the payload the response is
+/// built from).
+enum EffectOutcome {
+    Opened(Vec<OpenedSession>),
+    Selected(SelectOutcome),
+    Absorbed(AbsorbReport),
+    Evicted,
+}
+
+/// Dispatch failure: a client-visible error message, or an injected
+/// crash that must unwind past the response path entirely.
+enum Fail {
+    Msg(String),
+    Crash(SimulatedCrash),
+}
+
+/// Maps an I/O error out of the durability layer: injected crashes
+/// unwind, real failures become client-visible errors.
+fn io_fail(err: io::Error, what: &str) -> Fail {
+    match as_simulated_crash(&err) {
+        Some(crash) => Fail::Crash(crash),
+        None => Fail::Msg(format!("cannot {what}: {err}")),
+    }
+}
+
+/// The mutable half of the daemon, guarded by one mutex.
+struct Inner {
+    registry: SessionRegistry,
+    durable: Option<Durability>,
+    /// Idempotency ledger: completed `Open`s by request token.
+    opens: BTreeMap<u64, Vec<OpenedSession>>,
+    /// Last tick each session was touched (TTL bookkeeping).
+    last_active: BTreeMap<u64, Tick>,
+}
+
+impl Inner {
+    /// Applies one effect to in-memory state. Deterministic given the
+    /// registry state and the effect — the property journal replay leans
+    /// on. `now` only feeds the TTL bookkeeping, never the outcome.
+    fn apply(
+        &mut self,
+        selector: &dyn TaskSelector,
+        effect: &Effect,
+        now: Tick,
+    ) -> Result<EffectOutcome, CoreError> {
+        match effect {
+            Effect::Open {
+                request,
+                entities,
+                k,
+                budget,
+                pc,
+            } => {
+                let defaults = self.registry.defaults();
+                let config = if k.is_some() || budget.is_some() || pc.is_some() {
+                    Some(RoundConfig::new(
+                        k.unwrap_or(defaults.k),
+                        budget.unwrap_or(defaults.budget),
+                        pc.unwrap_or(defaults.pc_assumed),
+                    )?)
+                } else {
+                    None
+                };
+                let sessions = self.registry.open_batch(entities.clone(), config)?;
+                for opened in &sessions {
+                    self.last_active.insert(opened.session, now);
+                }
+                if let Some(token) = request {
+                    self.opens.insert(*token, sessions.clone());
+                }
+                Ok(EffectOutcome::Opened(sessions))
+            }
+            Effect::Select { session } => {
+                let outcome = self.registry.select(*session, selector)?;
+                self.last_active.insert(*session, now);
+                Ok(EffectOutcome::Selected(outcome))
+            }
+            Effect::Absorb { session, answers } => {
+                // In-batch duplicates collapse through the crowd layer's
+                // documented first-answer-wins dedup; the session then
+                // rejects cross-batch repeats with the same rule, so the
+                // two layers always agree on which answer counted.
+                let as_answers: Vec<Answer> = answers
+                    .iter()
+                    .map(|a| Answer {
+                        task: TaskId(a.task),
+                        worker: WorkerId(0),
+                        value: a.value,
+                    })
+                    .collect();
+                let (kept, dropped) = dedup_answers(&as_answers);
+                let pairs: Vec<(u64, bool)> = kept.iter().map(|a| (a.task.0, a.value)).collect();
+                let mut report = self.registry.absorb(*session, &pairs)?;
+                report.duplicates += dropped;
+                self.last_active.insert(*session, now);
+                Ok(EffectOutcome::Absorbed(report))
+            }
+            Effect::Evict { sessions } => {
+                for &session in sessions {
+                    // Already-gone sessions are fine: replay of an evict
+                    // that raced a restore, say, should not fail.
+                    let _ = self.registry.evict(session);
+                    self.last_active.remove(&session);
+                }
+                Ok(EffectOutcome::Evicted)
+            }
+        }
+    }
+
+    /// The durable snapshot of everything in memory right now.
+    fn durable_snapshot(&self, applied_seq: u64) -> DurableSnapshot {
+        DurableSnapshot {
+            applied_seq,
+            registry: self.registry.snapshot(),
+            opens: self
+                .opens
+                .iter()
+                .map(|(&request, sessions)| CompletedOpen {
+                    request,
+                    sessions: sessions.clone(),
+                })
+                .collect(),
+        }
+    }
 }
 
 /// The long-lived daemon state shared by every connection.
 pub struct Service {
-    registry: Mutex<SessionRegistry>,
+    inner: Mutex<Inner>,
     selector: Box<dyn TaskSelector + Send + Sync>,
     threads: usize,
     snapshot_dir: Option<std::path::PathBuf>,
+    clock: Clock,
+    session_ttl_ms: Option<u64>,
+    read_deadline_ms: Option<u64>,
+    max_line_bytes: usize,
+    faults: FaultPlan,
     shutdown: AtomicBool,
 }
 
 impl Service {
-    /// Builds the daemon: one persistent worker pool, one selector, an
-    /// empty registry.
-    pub fn new(config: ServiceConfig) -> Service {
+    /// Builds the daemon: one persistent worker pool, one selector, and —
+    /// with durability configured — whatever state the durability
+    /// directory holds, recovered as `snapshot + journal replay` and
+    /// immediately re-compacted into a fresh snapshot. Fails only on
+    /// durability I/O (including injected crashes during recovery: the
+    /// chaos harness treats a failed boot as another death and boots
+    /// again).
+    pub fn new(config: ServiceConfig) -> io::Result<Service> {
         let pool = Pool::new(config.threads);
-        Service {
-            registry: Mutex::new(SessionRegistry::new(config.seed, config.defaults, pool)),
-            selector: config.selector.build(),
+        let selector = config.selector.build();
+        let clock = config.clock;
+        let faults = config.faults;
+
+        let mut inner = match config.durability {
+            None => Inner {
+                registry: SessionRegistry::new(config.seed, config.defaults, pool),
+                durable: None,
+                opens: BTreeMap::new(),
+                last_active: BTreeMap::new(),
+            },
+            Some(durability) => {
+                let recovery = recover(&durability.dir)?;
+                let mut inner = Self::recovered_inner(
+                    &recovery,
+                    config.seed,
+                    config.defaults,
+                    pool,
+                    selector.as_ref(),
+                )?;
+                let mut durable = Durability::open(durability, faults.clone(), &recovery)?;
+                // Compact: one fresh snapshot covering everything just
+                // recovered, so the journal restarts empty and a torn
+                // tail (already dropped by recovery) is truncated away.
+                let snapshot = inner.durable_snapshot(durable.last_seq());
+                durable.snapshot_now(&snapshot)?;
+                inner.durable = Some(durable);
+                inner
+            }
+        };
+
+        // Recovery has no record of wall time; every recovered session's
+        // TTL restarts at boot.
+        let now = clock.now_ms();
+        for session in inner.registry.ids() {
+            inner.last_active.insert(session, now);
+        }
+
+        Ok(Service {
+            inner: Mutex::new(inner),
+            selector,
             threads: config.threads,
             snapshot_dir: config.snapshot_dir,
+            clock,
+            session_ttl_ms: config.session_ttl_ms,
+            read_deadline_ms: config.read_deadline_ms,
+            max_line_bytes: config.max_line_bytes,
+            faults,
             shutdown: AtomicBool::new(false),
+        })
+    }
+
+    /// Rebuilds in-memory state from a recovery: the snapshot's registry
+    /// (or a fresh one) with every post-snapshot journal record replayed
+    /// through the same apply path live dispatch uses. Replay ignores
+    /// per-effect errors: an effect that failed to apply before the crash
+    /// fails identically now.
+    fn recovered_inner(
+        recovery: &Recovery,
+        seed: u64,
+        defaults: RoundConfig,
+        pool: Pool,
+        selector: &dyn TaskSelector,
+    ) -> io::Result<Inner> {
+        let mut opens = BTreeMap::new();
+        let registry = match &recovery.snapshot {
+            Some(snapshot) => {
+                for open in &snapshot.opens {
+                    opens.insert(open.request, open.sessions.clone());
+                }
+                SessionRegistry::from_snapshot(snapshot.registry.clone(), pool).map_err(|e| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("durable snapshot failed validation: {e}"),
+                    )
+                })?
+            }
+            None => SessionRegistry::new(seed, defaults, pool),
+        };
+        let mut inner = Inner {
+            registry,
+            durable: None,
+            opens,
+            last_active: BTreeMap::new(),
+        };
+        for record in &recovery.replay {
+            let _ = inner.apply(selector, &record.effect, 0);
         }
+        Ok(inner)
     }
 
     /// Resolves a client-supplied snapshot path under the confinement
@@ -116,11 +418,26 @@ impl Service {
     }
 
     /// Dispatches one request. Every failure maps to [`Response::Error`];
-    /// the connection stays usable.
+    /// the connection stays usable. (Injected crashes also surface as
+    /// errors here — harnesses that must observe them use
+    /// [`Service::try_handle`].)
     pub fn handle(&self, request: Request) -> Response {
-        match self.dispatch(request) {
+        match self.try_handle(request) {
             Ok(response) => response,
-            Err(message) => Response::Error { message },
+            Err(crash) => Response::Error {
+                message: crash.to_string(),
+            },
+        }
+    }
+
+    /// Dispatches one request, letting an injected [`SimulatedCrash`]
+    /// unwind to the caller — the chaos harness treats that as process
+    /// death and rebuilds the service from its durability directory.
+    pub fn try_handle(&self, request: Request) -> Result<Response, SimulatedCrash> {
+        match self.dispatch(request) {
+            Ok(response) => Ok(response),
+            Err(Fail::Msg(message)) => Ok(Response::Error { message }),
+            Err(Fail::Crash(crash)) => Err(crash),
         }
     }
 
@@ -133,101 +450,227 @@ impl Service {
         crate::protocol::encode(&response)
     }
 
-    fn lock_registry(&self) -> Result<std::sync::MutexGuard<'_, SessionRegistry>, String> {
-        self.registry
-            .lock()
-            .map_err(|_| "registry poisoned by an earlier panic; restart the daemon".to_string())
+    fn lock_inner(&self) -> Result<std::sync::MutexGuard<'_, Inner>, Fail> {
+        self.inner.lock().map_err(|_| {
+            Fail::Msg("service state poisoned by an earlier panic; restart the daemon".to_string())
+        })
     }
 
-    fn dispatch(&self, request: Request) -> Result<Response, String> {
-        let err = |e: CoreError| e.to_string();
-        // Snapshot/Restore touch the disk; their serialisation and file
-        // IO run *outside* the registry lock so a large snapshot never
-        // stalls other connections' Select/Absorb traffic — the lock is
-        // held only for the in-memory clone (snapshot) or swap (restore).
-        let request = match request {
-            Request::Snapshot { path } => {
-                let resolved = self.resolve_snapshot_path(&path)?;
-                let snap = self.lock_registry()?.snapshot();
-                let sessions = snap.sessions.len() as u64;
-                snapshot::save(&snap, &resolved)
-                    .map_err(|e| format!("cannot write snapshot {path}: {e}"))?;
-                return Ok(Response::Snapshotted { path, sessions });
+    /// The write path: journal → injected-fault window → apply →
+    /// auto-snapshot cadence. See the module docs for the crash-window
+    /// argument.
+    fn commit(&self, inner: &mut Inner, effect: Effect) -> Result<EffectOutcome, Fail> {
+        let now = self.clock.now_ms();
+        if let Some(durable) = inner.durable.as_mut() {
+            durable
+                .journal(effect.clone())
+                .map_err(|e| io_fail(e, "append to the journal"))?;
+        }
+        self.faults
+            .crash_if_scheduled(FaultPoint::EffectApply)
+            .map_err(Fail::Crash)?;
+        let outcome = inner
+            .apply(self.selector.as_ref(), &effect, now)
+            .map_err(|e| Fail::Msg(e.to_string()));
+        // The cadence counts journalled effects whether or not the apply
+        // succeeded — both are in the journal, both replay.
+        if let Some(durable) = inner.durable.as_mut() {
+            if durable.effect_applied() {
+                let snapshot = DurableSnapshot {
+                    applied_seq: durable.last_seq(),
+                    registry: inner.registry.snapshot(),
+                    opens: inner
+                        .opens
+                        .iter()
+                        .map(|(&request, sessions)| CompletedOpen {
+                            request,
+                            sessions: sessions.clone(),
+                        })
+                        .collect(),
+                };
+                durable
+                    .snapshot_now(&snapshot)
+                    .map_err(|e| io_fail(e, "write the auto-snapshot"))?;
             }
-            Request::Restore { path } => {
-                let resolved = self.resolve_snapshot_path(&path)?;
-                let snap = snapshot::load(&resolved)
-                    .map_err(|e| format!("cannot read snapshot {path}: {e}"))?;
-                let mut registry = self.lock_registry()?;
-                let pool = registry.pool().clone();
-                let restored = SessionRegistry::from_snapshot(snap, pool).map_err(err)?;
-                let sessions = restored.len() as u64;
-                *registry = restored;
-                return Ok(Response::Restored { path, sessions });
-            }
-            other => other,
+        }
+        outcome
+    }
+
+    /// Evicts sessions idle past the TTL, journalling the eviction as an
+    /// explicit effect so replay never consults the clock.
+    fn sweep_ttl(&self, inner: &mut Inner) -> Result<(), Fail> {
+        let Some(ttl) = self.session_ttl_ms else {
+            return Ok(());
         };
-        let mut registry = self.lock_registry()?;
+        let now = self.clock.now_ms();
+        let expired: Vec<u64> = inner
+            .last_active
+            .iter()
+            .filter(|&(_, &touched)| now.saturating_sub(touched) > ttl)
+            .map(|(&session, _)| session)
+            .collect();
+        if expired.is_empty() {
+            return Ok(());
+        }
+        self.commit(inner, Effect::Evict { sessions: expired })?;
+        Ok(())
+    }
+
+    fn dispatch(&self, request: Request) -> Result<Response, Fail> {
+        let err = |e: CoreError| Fail::Msg(e.to_string());
+        // The client-directed snapshot export serialises and writes
+        // *outside* the lock so a large export never stalls other
+        // connections' traffic — the lock is held only for the clone.
+        if let Request::Snapshot { path } = request {
+            let resolved = self.resolve_snapshot_path(&path).map_err(Fail::Msg)?;
+            let snap = {
+                let mut inner = self.lock_inner()?;
+                self.sweep_ttl(&mut inner)?;
+                inner.registry.snapshot()
+            };
+            let sessions = snap.sessions.len() as u64;
+            snapshot::save(&snap, &resolved)
+                .map_err(|e| Fail::Msg(format!("cannot write snapshot {path}: {e}")))?;
+            return Ok(Response::Snapshotted { path, sessions });
+        }
+        if let Request::Restore { path } = request {
+            let resolved = self.resolve_snapshot_path(&path).map_err(Fail::Msg)?;
+            let snap = snapshot::load(&resolved)
+                .map_err(|e| Fail::Msg(format!("cannot read snapshot {path}: {e}")))?;
+            let mut guard = self.lock_inner()?;
+            let inner: &mut Inner = &mut guard;
+            let pool = inner.registry.pool().clone();
+            let restored = SessionRegistry::from_snapshot(snap, pool).map_err(err)?;
+            let sessions = restored.len() as u64;
+            inner.registry = restored;
+            // The ledger described sessions that no longer exist.
+            inner.opens.clear();
+            let now = self.clock.now_ms();
+            inner.last_active = inner
+                .registry
+                .ids()
+                .into_iter()
+                .map(|session| (session, now))
+                .collect();
+            // Durability barrier: the restore replaces history, so the
+            // restored state becomes the new recovery base at once.
+            if let Some(durable) = inner.durable.as_mut() {
+                let snapshot = DurableSnapshot {
+                    applied_seq: durable.last_seq(),
+                    registry: inner.registry.snapshot(),
+                    opens: Vec::new(),
+                };
+                durable
+                    .snapshot_now(&snapshot)
+                    .map_err(|e| io_fail(e, "persist the restored state"))?;
+            }
+            return Ok(Response::Restored { path, sessions });
+        }
+
+        let mut guard = self.lock_inner()?;
+        let inner: &mut Inner = &mut guard;
+        self.sweep_ttl(inner)?;
         match request {
             Request::Open {
+                request,
                 entities,
                 k,
                 budget,
                 pc,
             } => {
-                let defaults = registry.defaults();
-                let config = if k.is_some() || budget.is_some() || pc.is_some() {
-                    Some(
-                        RoundConfig::new(
-                            k.unwrap_or(defaults.k),
-                            budget.unwrap_or(defaults.budget),
-                            pc.unwrap_or(defaults.pc_assumed),
-                        )
-                        .map_err(err)?,
+                // At-least-once: a retried token returns the recorded
+                // payload, opening nothing.
+                if let Some(token) = request {
+                    if let Some(sessions) = inner.opens.get(&token) {
+                        return Ok(Response::Opened {
+                            sessions: sessions.clone(),
+                        });
+                    }
+                }
+                // Pre-validate so malformed opens are rejected before the
+                // journal sees them.
+                for spec in &entities {
+                    spec.validate().map_err(err)?;
+                }
+                if k.is_some() || budget.is_some() || pc.is_some() {
+                    let defaults = inner.registry.defaults();
+                    RoundConfig::new(
+                        k.unwrap_or(defaults.k),
+                        budget.unwrap_or(defaults.budget),
+                        pc.unwrap_or(defaults.pc_assumed),
                     )
-                } else {
-                    None
-                };
-                let sessions = registry.open_batch(entities, config).map_err(err)?;
-                Ok(Response::Opened { sessions })
+                    .map_err(err)?;
+                }
+                let outcome = self.commit(
+                    inner,
+                    Effect::Open {
+                        request,
+                        entities,
+                        k,
+                        budget,
+                        pc,
+                    },
+                )?;
+                match outcome {
+                    EffectOutcome::Opened(sessions) => Ok(Response::Opened { sessions }),
+                    _ => unreachable!("open applies to Opened"),
+                }
             }
             Request::Select { session } => {
-                match registry
-                    .select(session, self.selector.as_ref())
-                    .map_err(err)?
-                {
-                    SelectOutcome::Round(round) => Ok(Response::Round {
+                // Journal only when selection will mutate (draw RNG, open
+                // a round, or flip to exhausted); re-reading an open round
+                // and polling an exhausted session are pure reads.
+                let state = inner.registry.get(session).map_err(err)?;
+                let mutates = !state.has_open_round() && !state.is_exhausted();
+                let effect = Effect::Select { session };
+                let outcome = if mutates {
+                    self.commit(inner, effect)?
+                } else {
+                    let now = self.clock.now_ms();
+                    inner
+                        .apply(self.selector.as_ref(), &effect, now)
+                        .map_err(err)?
+                };
+                match outcome {
+                    EffectOutcome::Selected(SelectOutcome::Round(round)) => Ok(Response::Round {
                         session,
                         round: round.round,
                         tasks: round.tasks,
                     }),
-                    SelectOutcome::Exhausted => {
-                        let state = registry.get(session).map_err(err)?;
+                    EffectOutcome::Selected(SelectOutcome::Exhausted) => {
+                        let state = inner.registry.get(session).map_err(err)?;
                         Ok(Response::Exhausted {
                             session,
                             rounds: state.rounds(),
                             spent: state.spent(),
                         })
                     }
+                    _ => unreachable!("select applies to Selected"),
                 }
             }
             Request::Absorb { session, answers } => {
-                let answers: Vec<(u64, bool)> = answers.iter().map(|a| (a.task, a.value)).collect();
-                let report = registry.absorb(session, &answers).map_err(err)?;
-                Ok(Response::Absorbed {
-                    session,
-                    accepted: report.accepted,
-                    duplicates: report.duplicates,
-                    pending: report.pending,
-                    closed: report.closed,
-                })
+                // The session must exist before the batch is journalled;
+                // in-batch errors (unknown ids, no open round) journal and
+                // fail identically on replay.
+                inner.registry.get(session).map_err(err)?;
+                let outcome = self.commit(inner, Effect::Absorb { session, answers })?;
+                match outcome {
+                    EffectOutcome::Absorbed(report) => Ok(Response::Absorbed {
+                        session,
+                        accepted: report.accepted,
+                        duplicates: report.duplicates,
+                        pending: report.pending,
+                        closed: report.closed,
+                    }),
+                    _ => unreachable!("absorb applies to Absorbed"),
+                }
             }
             Request::Snapshot { .. } | Request::Restore { .. } => {
-                unreachable!("snapshot verbs are handled before the registry lock")
+                unreachable!("snapshot verbs are handled before the main lock scope")
             }
             Request::Status { session } => {
-                let state = registry.get(session).map_err(err)?;
-                Ok(Response::Status {
+                let state = inner.registry.get(session).map_err(err)?;
+                let response = Response::Status {
                     session,
                     name: state.name().to_string(),
                     facts: state.num_facts(),
@@ -238,15 +681,49 @@ impl Service {
                     exhausted: state.is_exhausted(),
                     utility: state.utility(),
                     entropy: state.entropy(),
-                })
+                };
+                // A status poll counts as activity: watching a session
+                // keeps it alive.
+                let now = self.clock.now_ms();
+                inner.last_active.insert(session, now);
+                Ok(response)
             }
             Request::Metrics => Ok(Response::Metrics {
-                metrics: registry.metrics(),
+                metrics: inner.registry.metrics(),
             }),
             Request::Trace => Ok(Response::Trace {
-                trace: registry.trace(self.selector.name()),
+                trace: inner.registry.trace(self.selector.name()),
             }),
             Request::Shutdown => {
+                // Drain: open rounds and partial answers persist in a
+                // final snapshot instead of dying with the process. A
+                // *real* I/O failure here still shuts down — the journal
+                // already holds everything the snapshot would (synced
+                // below) — but an injected crash unwinds like any other.
+                if let Some(durable) = inner.durable.as_mut() {
+                    let snapshot = DurableSnapshot {
+                        applied_seq: durable.last_seq(),
+                        registry: inner.registry.snapshot(),
+                        opens: inner
+                            .opens
+                            .iter()
+                            .map(|(&request, sessions)| CompletedOpen {
+                                request,
+                                sessions: sessions.clone(),
+                            })
+                            .collect(),
+                    };
+                    if let Err(e) = durable.snapshot_now(&snapshot) {
+                        if let Some(crash) = as_simulated_crash(&e) {
+                            return Err(Fail::Crash(crash));
+                        }
+                        let _ = durable.sync();
+                        eprintln!(
+                            "crowdfusion-serve: final snapshot failed ({e}); \
+                             shutting down on the synced journal"
+                        );
+                    }
+                }
                 self.shutdown.store(true, Ordering::SeqCst);
                 Ok(Response::Bye)
             }
@@ -257,26 +734,70 @@ impl Service {
     pub fn threads(&self) -> usize {
         self.threads
     }
+
+    /// The per-connection read deadline, if one is configured.
+    pub fn read_deadline_ms(&self) -> Option<u64> {
+        self.read_deadline_ms
+    }
+
+    /// The protocol line-length cap.
+    pub fn max_line_bytes(&self) -> usize {
+        self.max_line_bytes
+    }
+
+    /// The fault schedule (transports consult the connection points).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::protocol::WireAnswer;
+    use crate::protocol::WireAnswer as WA;
     use crowdfusion_core::session::EntitySpec;
+    use std::sync::atomic::AtomicU64;
+
+    static NEXT_DIR: AtomicU64 = AtomicU64::new(0);
+
+    fn temp_dir(label: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "crowdfusion-service-{label}-{}-{}",
+            std::process::id(),
+            NEXT_DIR.fetch_add(1, Ordering::SeqCst)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn base_config() -> ServiceConfig {
+        ServiceConfig::new(
+            7,
+            RoundConfig::new(2, 6, 0.8).unwrap(),
+            2,
+            SelectorChoice::Greedy,
+        )
+    }
 
     fn service() -> Service {
-        Service::new(ServiceConfig {
-            seed: 7,
-            defaults: RoundConfig::new(2, 6, 0.8).unwrap(),
-            threads: 2,
-            selector: SelectorChoice::Greedy,
-            snapshot_dir: None,
-        })
+        Service::new(base_config()).unwrap()
     }
 
     fn spec() -> EntitySpec {
         EntitySpec::simple("b", vec![0.5, 0.6, 0.7], vec![true, false, true])
+    }
+
+    fn open_one(svc: &Service, request: Option<u64>) -> Vec<OpenedSession> {
+        let Response::Opened { sessions } = svc.handle(Request::Open {
+            request,
+            entities: vec![spec()],
+            k: None,
+            budget: None,
+            pc: None,
+        }) else {
+            panic!("open failed");
+        };
+        sessions
     }
 
     #[test]
@@ -299,14 +820,7 @@ mod tests {
     #[test]
     fn open_select_absorb_cycle_end_to_end() {
         let svc = service();
-        let Response::Opened { sessions } = svc.handle(Request::Open {
-            entities: vec![spec()],
-            k: None,
-            budget: None,
-            pc: None,
-        }) else {
-            panic!("open failed");
-        };
+        let sessions = open_one(&svc, None);
         let id = sessions[0].session;
         let Response::Round { tasks, round, .. } = svc.handle(Request::Select { session: id })
         else {
@@ -314,9 +828,9 @@ mod tests {
         };
         assert_eq!(round, 1);
         assert_eq!(tasks.len(), 2);
-        let answers: Vec<WireAnswer> = tasks
+        let answers: Vec<WA> = tasks
             .iter()
-            .map(|t| WireAnswer {
+            .map(|t| WA {
                 task: t.id,
                 value: true,
             })
@@ -356,6 +870,7 @@ mod tests {
         ));
         assert!(matches!(
             svc.handle(Request::Open {
+                request: None,
                 entities: vec![spec()],
                 k: Some(0),
                 budget: None,
@@ -373,17 +888,184 @@ mod tests {
     }
 
     #[test]
-    fn snapshot_dir_confines_client_paths() {
-        let dir = std::env::temp_dir().join("crowdfusion-service-confine-test");
-        std::fs::create_dir_all(&dir).unwrap();
-        let mut config = ServiceConfig {
-            seed: 7,
-            defaults: RoundConfig::new(2, 6, 0.8).unwrap(),
-            threads: 1,
-            selector: SelectorChoice::Greedy,
-            snapshot_dir: Some(dir.clone()),
+    fn retried_open_token_replays_the_original_response() {
+        let svc = service();
+        let first = open_one(&svc, Some(11));
+        let retry = open_one(&svc, Some(11));
+        assert_eq!(first, retry, "token retry must not open new sessions");
+        let Response::Metrics { metrics } = svc.handle(Request::Metrics) else {
+            panic!("metrics failed");
         };
-        let svc = Service::new(config.clone());
+        assert_eq!(metrics.sessions, 1);
+        // A different token (and no token at all) opens fresh sessions.
+        let other = open_one(&svc, Some(12));
+        assert_ne!(first[0].session, other[0].session);
+        open_one(&svc, None);
+        let Response::Metrics { metrics } = svc.handle(Request::Metrics) else {
+            panic!("metrics failed");
+        };
+        assert_eq!(metrics.sessions, 3);
+    }
+
+    #[test]
+    fn absorb_routes_in_batch_duplicates_through_crowd_dedup() {
+        // Regression for the ingest boundary: a batch that repeats a task
+        // id keeps the FIRST occurrence (even when values conflict) and
+        // counts the rest as duplicates — exactly dedup_answers' rule.
+        let svc = service();
+        let id = open_one(&svc, None)[0].session;
+        let Response::Round { tasks, .. } = svc.handle(Request::Select { session: id }) else {
+            panic!("select failed");
+        };
+        let t0 = tasks[0].id;
+        let batch = vec![
+            WA {
+                task: t0,
+                value: true,
+            },
+            WA {
+                task: t0,
+                value: false, // conflicting redelivery, dropped
+            },
+            WA {
+                task: t0,
+                value: true, // agreeing redelivery, also dropped
+            },
+        ];
+        let Response::Absorbed {
+            accepted,
+            duplicates,
+            pending,
+            ..
+        } = svc.handle(Request::Absorb {
+            session: id,
+            answers: batch,
+        })
+        else {
+            panic!("absorb failed");
+        };
+        assert_eq!((accepted, duplicates, pending), (1, 2, 1));
+        // Re-delivering the whole original answer across batches is also
+        // one duplicate per repeat (session-level dedup).
+        let Response::Absorbed {
+            accepted,
+            duplicates,
+            ..
+        } = svc.handle(Request::Absorb {
+            session: id,
+            answers: vec![WA {
+                task: t0,
+                value: false,
+            }],
+        })
+        else {
+            panic!("absorb failed");
+        };
+        assert_eq!((accepted, duplicates), (0, 1));
+    }
+
+    #[test]
+    fn idle_sessions_are_evicted_on_the_manual_clock() {
+        let clock = Clock::manual();
+        let mut config = base_config();
+        config.clock = clock.clone();
+        config.session_ttl_ms = Some(1_000);
+        let svc = Service::new(config).unwrap();
+        let id = open_one(&svc, None)[0].session;
+        // Touch within the TTL: stays alive.
+        clock.advance(900);
+        assert!(matches!(
+            svc.handle(Request::Status { session: id }),
+            Response::Status { .. }
+        ));
+        clock.advance(999);
+        assert!(matches!(
+            svc.handle(Request::Status { session: id }),
+            Response::Status { .. }
+        ));
+        // Idle past the TTL: the next request sweeps it away.
+        clock.advance(1_001);
+        assert!(matches!(
+            svc.handle(Request::Status { session: id }),
+            Response::Error { .. }
+        ));
+        let Response::Metrics { metrics } = svc.handle(Request::Metrics) else {
+            panic!("metrics failed");
+        };
+        assert_eq!(metrics.sessions, 0);
+    }
+
+    #[test]
+    fn durable_service_recovers_sessions_across_restart() {
+        let dir = temp_dir("restart");
+        let mut config = base_config();
+        config.durability = Some(DurabilityConfig::new(&dir));
+        let svc = Service::new(config.clone()).unwrap();
+        let id = open_one(&svc, Some(5))[0].session;
+        let Response::Round { tasks, .. } = svc.handle(Request::Select { session: id }) else {
+            panic!("select failed");
+        };
+        // Absorb one of two answers, then DROP the service: no shutdown,
+        // no drain — the journal alone must carry the partial round.
+        let Response::Absorbed { pending, .. } = svc.handle(Request::Absorb {
+            session: id,
+            answers: vec![WA {
+                task: tasks[0].id,
+                value: true,
+            }],
+        }) else {
+            panic!("absorb failed");
+        };
+        assert_eq!(pending, 1);
+        drop(svc);
+
+        let revived = Service::new(config).unwrap();
+        let Response::Status { pending, spent, .. } =
+            revived.handle(Request::Status { session: id })
+        else {
+            panic!("status failed");
+        };
+        assert_eq!((pending, spent), (1, 0), "partial round must survive");
+        // The idempotency ledger also survived.
+        let retry = open_one(&revived, Some(5));
+        assert_eq!(retry[0].session, id);
+        let Response::Metrics { metrics } = revived.handle(Request::Metrics) else {
+            panic!("metrics failed");
+        };
+        assert_eq!(metrics.sessions, 1);
+    }
+
+    #[test]
+    fn shutdown_drains_to_a_final_snapshot() {
+        let dir = temp_dir("drain");
+        let mut config = base_config();
+        config.durability = Some(DurabilityConfig::new(&dir));
+        let svc = Service::new(config.clone()).unwrap();
+        let id = open_one(&svc, None)[0].session;
+        svc.handle(Request::Select { session: id });
+        assert_eq!(svc.handle(Request::Shutdown), Response::Bye);
+        assert!(svc.shutdown_requested());
+        drop(svc);
+        // The journal is empty (truncated by the final snapshot) and the
+        // snapshot alone restores the open round.
+        let recovered = crate::durable::recover(&dir).unwrap();
+        assert!(recovered.replay.is_empty());
+        assert!(recovered.snapshot.is_some());
+        let revived = Service::new(config).unwrap();
+        let Response::Status { pending, .. } = revived.handle(Request::Status { session: id })
+        else {
+            panic!("status failed");
+        };
+        assert_eq!(pending, 2, "open round drained into the snapshot");
+    }
+
+    #[test]
+    fn snapshot_dir_confines_client_paths() {
+        let dir = temp_dir("confine");
+        let mut config = base_config();
+        config.threads = 1;
+        config.snapshot_dir = Some(dir.clone());
+        let svc = Service::new(config.clone()).unwrap();
         // Traversal and absolute paths are rejected without touching disk.
         for bad in ["../escape.json", "/etc/hostname", "a/b.json", ""] {
             let response = svc.handle(Request::Snapshot {
@@ -411,7 +1093,7 @@ mod tests {
         std::fs::remove_file(dir.join("ok.json")).ok();
         // Unconfined daemons keep verbatim paths (trusted operators).
         config.snapshot_dir = None;
-        let open = Service::new(config);
+        let open = Service::new(config).unwrap();
         let path = dir.join("direct.json").to_string_lossy().into_owned();
         assert!(matches!(
             open.handle(Request::Snapshot { path: path.clone() }),

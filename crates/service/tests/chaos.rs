@@ -1,0 +1,381 @@
+//! Deterministic chaos: kill the daemon at every durability fault point
+//! and assert recovery is **bit-identical** to an uninterrupted run.
+//!
+//! The harness drives a fixed workload (open with an idempotency token,
+//! then round-robin select/absorb to exhaustion with split batches)
+//! against a durable service carrying a scheduled [`FaultPlan`]. When a
+//! request unwinds with a [`SimulatedCrash`], the harness does exactly
+//! what a supervisor would: drops the service value on the floor (no
+//! drain, no destructor cleanup of the journal), boots a fresh
+//! [`Service`] from the same durability directory — recovery itself may
+//! crash again; the boot loop retries, sharing the plan's occurrence
+//! counters — and **redelivers the failed request**, the at-least-once
+//! contract every crowd client runs under.
+//!
+//! The final [`Request::Trace`] must equal the no-durability,
+//! no-fault reference *on the encoded wire line*, i.e. byte for byte,
+//! for every fault plan in the matrix (mid-journal-append, mid-apply =
+//! mid-Absorb, mid-snapshot-write/-rename/-truncate, torn snapshot
+//! writes, and multi-crash combinations) at worker-pool widths 1 and 4.
+//! Each plan also asserts its faults actually fired — a kill point that
+//! dead-codes away fails the suite instead of silently weakening it.
+
+use crowdfusion_core::round::RoundConfig;
+use crowdfusion_core::session::EntitySpec;
+use crowdfusion_crowd::{AnswerReplay, Task, TaskId, UniformAccuracy, WorkerPool};
+use crowdfusion_service::protocol::{Request, Response, WireAnswer};
+use crowdfusion_service::{
+    DurabilityConfig, FaultAction, FaultPlan, FaultPoint, SelectorChoice, Service, ServiceConfig,
+};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const WORKERS: usize = 8;
+const PC: f64 = 0.8;
+const SEED: u64 = 23;
+
+static NEXT_DIR: AtomicU64 = AtomicU64::new(0);
+
+fn temp_dir(label: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "crowdfusion-chaos-{label}-{}-{}",
+        std::process::id(),
+        NEXT_DIR.fetch_add(1, Ordering::SeqCst)
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn specs() -> Vec<EntitySpec> {
+    let mut correlated = EntitySpec::simple(
+        "a",
+        vec![0.3, 0.6, 0.8, 0.45],
+        vec![true, true, false, true],
+    );
+    correlated.groups = vec![vec![0, 1]];
+    vec![
+        correlated,
+        EntitySpec::simple("b", vec![0.5, 0.45], vec![false, true]),
+        EntitySpec::simple("c", vec![0.7, 0.2, 0.55], vec![true, false, false]),
+    ]
+}
+
+fn base_config(threads: usize) -> ServiceConfig {
+    ServiceConfig::new(
+        SEED,
+        RoundConfig::new(2, 6, PC).unwrap(),
+        threads,
+        SelectorChoice::Greedy,
+    )
+}
+
+/// The supervisor: boots (and re-boots) services over one durability
+/// directory, retrying when recovery itself is killed.
+struct Supervisor {
+    config: ServiceConfig,
+    service: Option<Service>,
+    boots: usize,
+}
+
+impl Supervisor {
+    fn new(config: ServiceConfig) -> Supervisor {
+        Supervisor {
+            config,
+            service: None,
+            boots: 0,
+        }
+    }
+
+    fn boot(&mut self) -> &Service {
+        // Recovery can hit scheduled faults too (the compaction snapshot
+        // passes the same write/rename/truncate points); each failed boot
+        // is one more process death, so just keep restarting. The plan is
+        // finite, so this terminates.
+        for _ in 0..64 {
+            self.boots += 1;
+            match Service::new(self.config.clone()) {
+                Ok(service) => {
+                    self.service = Some(service);
+                    return self.service.as_ref().unwrap();
+                }
+                Err(err) => {
+                    assert!(
+                        crowdfusion_service::fault::is_simulated_crash(&err),
+                        "recovery died on a real error: {err}"
+                    );
+                }
+            }
+        }
+        panic!("boot loop did not converge; fault plan fires forever?");
+    }
+
+    /// Sends `request`, redelivering it across as many crash/reboot
+    /// cycles as it takes (at-least-once).
+    fn deliver(&mut self, request: Request) -> Response {
+        loop {
+            if self.service.is_none() {
+                self.boot();
+            }
+            match self.service.as_ref().unwrap().try_handle(request.clone()) {
+                Ok(response) => return response,
+                Err(_crash) => {
+                    // Process death: the service value is dropped without
+                    // any orderly shutdown.
+                    self.service = None;
+                }
+            }
+        }
+    }
+}
+
+/// Drives the full workload through `deliver`, returning the encoded
+/// final trace line (byte-level equality is the acceptance bar).
+fn run_workload(mut deliver: impl FnMut(Request) -> Response) -> String {
+    let specs = specs();
+    let Response::Opened { sessions } = deliver(Request::Open {
+        request: Some(1),
+        entities: specs.clone(),
+        k: None,
+        budget: None,
+        pc: None,
+    }) else {
+        panic!("open failed");
+    };
+    assert_eq!(sessions.len(), specs.len());
+    let pool = WorkerPool::uniform(WORKERS, PC).unwrap();
+    let model = UniformAccuracy::new(PC);
+    let mut replays: Vec<AnswerReplay> = sessions
+        .iter()
+        .map(|s| AnswerReplay::from_seed(s.answer_seed))
+        .collect();
+    // The crowd-side answer cache: answers for a round are drawn from the
+    // replay stream ONCE, keyed by (session, round), so a crash that
+    // forces redelivery re-sends the same answers rather than drawing
+    // fresh ones — which is exactly what a real crowd's completed
+    // assignments are.
+    let mut drawn: BTreeMap<(u64, usize), Vec<WireAnswer>> = BTreeMap::new();
+    let mut live: Vec<bool> = vec![true; sessions.len()];
+    while live.iter().any(|&l| l) {
+        for (i, info) in sessions.iter().enumerate() {
+            if !live[i] {
+                continue;
+            }
+            let response = deliver(Request::Select {
+                session: info.session,
+            });
+            let (round, tasks) = match response {
+                Response::Round { round, tasks, .. } => (round, tasks),
+                Response::Exhausted { .. } => {
+                    live[i] = false;
+                    continue;
+                }
+                other => panic!("unexpected select response {other:?}"),
+            };
+            let answers = drawn.entry((info.session, round)).or_insert_with(|| {
+                let crowd_tasks: Vec<Task> = tasks
+                    .iter()
+                    .map(|t| Task {
+                        id: TaskId(t.id),
+                        prompt: t.prompt.clone(),
+                        class: t.class,
+                    })
+                    .collect();
+                let truths: Vec<bool> = tasks.iter().map(|t| specs[i].gold[t.fact]).collect();
+                replays[i]
+                    .answers(&pool, &model, &crowd_tasks, &truths)
+                    .unwrap()
+                    .iter()
+                    .map(|a| WireAnswer {
+                        task: a.task.0,
+                        value: a.value,
+                    })
+                    .collect()
+            });
+            // Two partial deliveries per round (the streaming shape).
+            let cut = answers.len().div_ceil(2);
+            let batches: Vec<Vec<WireAnswer>> = [&answers[..cut], &answers[cut..]]
+                .iter()
+                .filter(|b| !b.is_empty())
+                .map(|b| b.to_vec())
+                .collect();
+            for batch in batches {
+                match deliver(Request::Absorb {
+                    session: info.session,
+                    answers: batch,
+                }) {
+                    Response::Absorbed { .. } => {}
+                    other => panic!("unexpected absorb response {other:?}"),
+                }
+            }
+        }
+    }
+    let Response::Trace { trace } = deliver(Request::Trace) else {
+        panic!("trace failed");
+    };
+    crowdfusion_service::protocol::encode(&trace)
+}
+
+/// The uninterrupted, durability-free reference trace.
+fn reference_trace(threads: usize) -> String {
+    let service = Service::new(base_config(threads)).unwrap();
+    run_workload(|request| service.handle(request))
+}
+
+/// One chaos scenario: the workload under `plan`, killed and recovered,
+/// must match the reference byte for byte and fire exactly
+/// `expect_fired` faults across `min_boots`+ daemon incarnations.
+fn assert_recovers(label: &str, threads: usize, plan: FaultPlan, expect_fired: u64) {
+    let reference = reference_trace(threads);
+    let dir = temp_dir(label);
+    let mut config = base_config(threads);
+    let mut durability = DurabilityConfig::new(&dir);
+    // A tight cadence so the snapshot path runs (and its fault points
+    // arrive) many times within the small workload.
+    durability.snapshot_every = 3;
+    config.durability = Some(durability);
+    config.faults = plan.clone();
+    let mut supervisor = Supervisor::new(config);
+    let recovered = run_workload(|request| supervisor.deliver(request));
+    assert_eq!(
+        recovered, reference,
+        "[{label}] recovered trace must be byte-identical (threads = {threads})"
+    );
+    assert_eq!(
+        plan.fired(),
+        expect_fired,
+        "[{label}] every scheduled fault must actually fire"
+    );
+    let expected_boots = 1 + expect_fired as usize;
+    assert!(
+        supervisor.boots >= expected_boots.min(2),
+        "[{label}] expected recovery boots, saw {}",
+        supervisor.boots
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The kill-point matrix from the issue: mid-journal-append, mid-apply
+/// (= mid-Absorb, since most journalled effects are absorbs), and every
+/// mid-snapshot window, at pool widths 1 and 4.
+#[test]
+fn every_kill_point_recovers_bit_identically() {
+    for threads in [1usize, 4] {
+        for occurrence in [1u64, 2, 7] {
+            assert_recovers(
+                "journal-append",
+                threads,
+                FaultPlan::none().on(FaultPoint::JournalAppend, occurrence, FaultAction::Crash),
+                1,
+            );
+            assert_recovers(
+                "effect-apply",
+                threads,
+                FaultPlan::none().on(FaultPoint::EffectApply, occurrence, FaultAction::Crash),
+                1,
+            );
+        }
+        assert_recovers(
+            "snapshot-write",
+            threads,
+            FaultPlan::none().on(FaultPoint::SnapshotWrite, 2, FaultAction::Crash),
+            1,
+        );
+        assert_recovers(
+            "snapshot-rename",
+            threads,
+            FaultPlan::none().on(FaultPoint::SnapshotRename, 2, FaultAction::Crash),
+            1,
+        );
+        assert_recovers(
+            "journal-truncate",
+            threads,
+            FaultPlan::none().on(FaultPoint::JournalTruncate, 2, FaultAction::Crash),
+            1,
+        );
+    }
+}
+
+#[test]
+fn torn_writes_recover_bit_identically() {
+    for threads in [1usize, 4] {
+        // A snapshot write that tears mid-file: recovery must fall back to
+        // the previous snapshot + journal, not read the torn tmp.
+        assert_recovers(
+            "torn-snapshot",
+            threads,
+            FaultPlan::none().on(
+                FaultPoint::SnapshotWrite,
+                2,
+                FaultAction::Torn { keep_bytes: 40 },
+            ),
+            1,
+        );
+        // A journal append that tears mid-frame: the torn tail must be
+        // detected (checksum) and dropped, and the redelivered request
+        // re-journalled cleanly.
+        assert_recovers(
+            "torn-journal",
+            threads,
+            FaultPlan::none().on(
+                FaultPoint::JournalAppend,
+                4,
+                FaultAction::Torn { keep_bytes: 5 },
+            ),
+            1,
+        );
+    }
+}
+
+#[test]
+fn repeated_crashes_in_one_run_still_recover() {
+    for threads in [1usize, 4] {
+        // Three deaths at three different windows of the same run — the
+        // last one during a *recovery* incarnation's own snapshot path if
+        // the cadence lands there; the shared occurrence counters make
+        // the schedule deterministic either way.
+        assert_recovers(
+            "multi-crash",
+            threads,
+            FaultPlan::none()
+                .on(FaultPoint::JournalAppend, 2, FaultAction::Crash)
+                .on(FaultPoint::EffectApply, 5, FaultAction::Crash)
+                .on(
+                    FaultPoint::SnapshotWrite,
+                    3,
+                    FaultAction::Torn { keep_bytes: 11 },
+                ),
+            3,
+        );
+    }
+}
+
+#[test]
+fn kill_mid_workload_then_cold_restart_resumes_the_same_trace() {
+    // Not a scheduled fault this time: stop driving halfway, drop the
+    // daemon (kill -9 equivalent), boot a fresh one from the directory
+    // and drive the REST of the workload. The combined trace must equal
+    // the uninterrupted reference — the recovery path joins two half
+    // runs seamlessly.
+    let reference = reference_trace(2);
+    let dir = temp_dir("cold-restart");
+    let mut config = base_config(2);
+    let mut durability = DurabilityConfig::new(&dir);
+    durability.snapshot_every = 4;
+    config.durability = Some(durability);
+
+    let mut incarnation = Some(Service::new(config.clone()).unwrap());
+    let mut requests_served = 0usize;
+    let recovered = run_workload(|request| {
+        requests_served += 1;
+        if requests_served == 9 {
+            // Unceremonious death between requests.
+            incarnation = None;
+            incarnation = Some(Service::new(config.clone()).unwrap());
+        }
+        incarnation.as_ref().unwrap().handle(request)
+    });
+    assert_eq!(recovered, reference);
+    assert!(requests_served > 9, "the kill must land mid-workload");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -83,14 +83,15 @@ fn service_trace(
     threads: usize,
     order_seed: u64,
 ) -> ExperimentTrace {
-    let service = Service::new(ServiceConfig {
+    let service = Service::new(ServiceConfig::new(
         seed,
-        defaults: config,
+        config,
         threads,
-        selector: SelectorChoice::Greedy,
-        snapshot_dir: None,
-    });
+        SelectorChoice::Greedy,
+    ))
+    .unwrap();
     let Response::Opened { sessions } = service.handle(Request::Open {
+        request: None,
         entities: specs.to_vec(),
         k: None,
         budget: None,

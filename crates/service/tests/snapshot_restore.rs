@@ -21,13 +21,12 @@ fn specs() -> Vec<EntitySpec> {
 }
 
 fn config() -> ServiceConfig {
-    ServiceConfig {
-        seed: 11,
-        defaults: RoundConfig::new(2, 6, PC).unwrap(),
-        threads: 2,
-        selector: SelectorChoice::Greedy,
-        snapshot_dir: None,
-    }
+    ServiceConfig::new(
+        11,
+        RoundConfig::new(2, 6, PC).unwrap(),
+        2,
+        SelectorChoice::Greedy,
+    )
 }
 
 struct Driver {
@@ -104,8 +103,9 @@ fn restored_daemon_finishes_with_the_uninterrupted_trace() {
     let path = dir.join("registry.json").to_string_lossy().into_owned();
 
     // Reference: an uninterrupted daemon.
-    let reference = Service::new(config());
+    let reference = Service::new(config()).unwrap();
     let Response::Opened { sessions } = reference.handle(Request::Open {
+        request: None,
         entities: specs(),
         k: None,
         budget: None,
@@ -123,8 +123,9 @@ fn restored_daemon_finishes_with_the_uninterrupted_trace() {
 
     // Interrupted: same open, one round driven, then a *partial* absorb on
     // session 0 — snapshot taken mid-round, daemon dropped.
-    let victim = Service::new(config());
+    let victim = Service::new(config()).unwrap();
     let Response::Opened { sessions } = victim.handle(Request::Open {
+        request: None,
         entities: specs(),
         k: None,
         budget: None,
@@ -163,7 +164,7 @@ fn restored_daemon_finishes_with_the_uninterrupted_trace() {
     // can explain agreement — restores and finishes.
     let mut cfg = config();
     cfg.seed = 999;
-    let revived = Service::new(cfg);
+    let revived = Service::new(cfg).unwrap();
     let Response::Restored {
         sessions: count, ..
     } = revived.handle(Request::Restore { path: path.clone() })
@@ -206,6 +207,7 @@ fn restored_daemon_finishes_with_the_uninterrupted_trace() {
     let Response::Opened {
         sessions: restored_open,
     } = revived.handle(Request::Open {
+        request: None,
         entities: vec![late_spec.clone()],
         k: None,
         budget: None,
@@ -214,8 +216,9 @@ fn restored_daemon_finishes_with_the_uninterrupted_trace() {
     else {
         panic!("open failed");
     };
-    let uninterrupted = Service::new(config());
+    let uninterrupted = Service::new(config()).unwrap();
     uninterrupted.handle(Request::Open {
+        request: None,
         entities: specs(),
         k: None,
         budget: None,
@@ -224,6 +227,7 @@ fn restored_daemon_finishes_with_the_uninterrupted_trace() {
     let Response::Opened {
         sessions: expected_open,
     } = uninterrupted.handle(Request::Open {
+        request: None,
         entities: vec![late_spec],
         k: None,
         budget: None,

@@ -1,35 +1,54 @@
 //! TCP transport smoke: a daemon on a loopback socket serves multiple
-//! concurrent connections and stops cleanly on `Shutdown`.
+//! concurrent connections, survives injected connection drops via the
+//! client's retry layer, enforces read deadlines, and stops cleanly on
+//! `Shutdown`.
 
 use crowdfusion_core::round::RoundConfig;
 use crowdfusion_core::session::EntitySpec;
 use crowdfusion_service::protocol::{Request, Response, WireAnswer};
 use crowdfusion_service::service::{SelectorChoice, ServiceConfig};
-use crowdfusion_service::{serve_tcp, Client, Service};
+use crowdfusion_service::{
+    serve_tcp, Client, FaultAction, FaultPlan, FaultPoint, RetryPolicy, Service,
+};
 use std::net::TcpListener;
 use std::sync::Arc;
 
-#[test]
-fn tcp_daemon_serves_concurrent_clients_and_shuts_down() {
-    let service = Arc::new(Service::new(ServiceConfig {
-        seed: 5,
-        defaults: RoundConfig::new(2, 4, 0.8).unwrap(),
-        threads: 2,
-        selector: SelectorChoice::Random,
-        snapshot_dir: None,
-    }));
+fn config() -> ServiceConfig {
+    ServiceConfig::new(
+        5,
+        RoundConfig::new(2, 4, 0.8).unwrap(),
+        2,
+        SelectorChoice::Random,
+    )
+}
+
+fn spawn_daemon(
+    service: Arc<Service>,
+) -> (
+    std::net::SocketAddr,
+    std::thread::JoinHandle<std::io::Result<usize>>,
+) {
     let listener = TcpListener::bind("127.0.0.1:0").unwrap();
     let addr = listener.local_addr().unwrap();
-    let daemon = {
-        let service = Arc::clone(&service);
-        std::thread::spawn(move || serve_tcp(service, listener))
-    };
+    let daemon = std::thread::spawn(move || serve_tcp(service, listener));
+    (addr, daemon)
+}
+
+fn spec() -> EntitySpec {
+    EntitySpec::simple("t", vec![0.4, 0.7], vec![true, false])
+}
+
+#[test]
+fn tcp_daemon_serves_concurrent_clients_and_shuts_down() {
+    let service = Arc::new(Service::new(config()).unwrap());
+    let (addr, daemon) = spawn_daemon(service);
 
     // Client 1 opens a session and drives one round.
     let mut one = Client::connect(addr).unwrap();
     let Response::Opened { sessions } = one
         .roundtrip(&Request::Open {
-            entities: vec![EntitySpec::simple("t", vec![0.4, 0.7], vec![true, false])],
+            request: None,
+            entities: vec![spec()],
             k: None,
             budget: None,
             pc: None,
@@ -77,4 +96,92 @@ fn tcp_daemon_serves_concurrent_clients_and_shuts_down() {
     assert_eq!(two.roundtrip(&Request::Shutdown).unwrap(), Response::Bye);
     let accepted = daemon.join().unwrap().unwrap();
     assert!(accepted >= 2, "both clients accepted, got {accepted}");
+}
+
+#[test]
+fn client_retry_rides_out_injected_connection_drops() {
+    // The daemon drops the connection on the 2nd and 3rd line reads; the
+    // retrying client reconnects and redelivers. The redelivered requests
+    // are all idempotent (a token-carrying Open, then a Select on the
+    // resulting open round), so the session ends up exactly once.
+    let mut config = config();
+    config.faults = FaultPlan::none()
+        .on(FaultPoint::ConnectionRead, 2, FaultAction::Drop)
+        .on(FaultPoint::ConnectionRead, 3, FaultAction::Drop);
+    let service = Arc::new(Service::new(config).unwrap());
+    let (addr, daemon) = spawn_daemon(Arc::clone(&service));
+    let policy = RetryPolicy {
+        attempts: 5,
+        base_ms: 1,
+        cap_ms: 5,
+    };
+
+    let mut client = Client::connect(addr).unwrap();
+    let open = Request::Open {
+        request: Some(77),
+        entities: vec![spec()],
+        k: None,
+        budget: None,
+        pc: None,
+    };
+    let Response::Opened { sessions } = client.roundtrip_retrying(&open, policy).unwrap() else {
+        panic!("open failed");
+    };
+    let id = sessions[0].session;
+    // This roundtrip eats both drops (each drop costs one reconnect).
+    let Response::Round { tasks, .. } = client
+        .roundtrip_retrying(&Request::Select { session: id }, policy)
+        .unwrap()
+    else {
+        panic!("select failed");
+    };
+    assert_eq!(tasks.len(), 2);
+    // Exactly one session exists despite the redeliveries.
+    let Response::Metrics { metrics } = client
+        .roundtrip_retrying(&Request::Metrics, policy)
+        .unwrap()
+    else {
+        panic!("metrics failed");
+    };
+    assert_eq!(metrics.sessions, 1);
+    assert_eq!(service.fault_plan().fired(), 2, "both drops must fire");
+
+    assert_eq!(
+        client
+            .roundtrip_retrying(&Request::Shutdown, policy)
+            .unwrap(),
+        Response::Bye
+    );
+    daemon.join().unwrap().unwrap();
+}
+
+#[test]
+fn silent_connections_are_closed_at_the_read_deadline() {
+    let mut config = config();
+    config.read_deadline_ms = Some(50);
+    let service = Arc::new(Service::new(config).unwrap());
+    let (addr, daemon) = spawn_daemon(service);
+
+    // A client that connects and never speaks: the daemon hangs up.
+    let mut silent = Client::connect(addr).unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(200));
+    let err = silent.roundtrip(&Request::Metrics).unwrap_err();
+    assert!(
+        matches!(
+            err.kind(),
+            std::io::ErrorKind::UnexpectedEof
+                | std::io::ErrorKind::ConnectionReset
+                | std::io::ErrorKind::BrokenPipe
+        ),
+        "expected a closed connection, got {err:?}"
+    );
+
+    // A fresh, prompt connection is served normally.
+    let mut prompt = Client::connect(addr).unwrap();
+    assert!(matches!(
+        prompt.roundtrip(&Request::Metrics).unwrap(),
+        Response::Metrics { .. }
+    ));
+    assert_eq!(prompt.roundtrip(&Request::Shutdown).unwrap(), Response::Bye);
+    daemon.join().unwrap().unwrap();
 }

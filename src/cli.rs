@@ -14,6 +14,9 @@
 //! crowdfusion serve           [--addr HOST:PORT] [--transport tcp|stdio] [--threads N]
 //!                             [--selector NAME] [--k K] [--budget B] [--pc PC] [--seed S]
 //!                             [--ready-file PATH] [--snapshot-dir DIR]
+//!                             [--wal-dir DIR] [--snapshot-every N] [--sync-every N]
+//!                             [--session-ttl-ms MS] [--read-deadline-ms MS]
+//!                             [--max-line-bytes N]
 //! crowdfusion demo            # the paper's running example
 //! ```
 //!
@@ -59,6 +62,9 @@ USAGE:
   crowdfusion serve  [--addr HOST:PORT] [--transport tcp|stdio] [--threads N]
                      [--selector greedy|greedy-pre|random] [--k K] [--budget B]
                      [--pc PC] [--seed S] [--ready-file PATH] [--snapshot-dir DIR]
+                     [--wal-dir DIR] [--snapshot-every N] [--sync-every N]
+                     [--session-ttl-ms MS] [--read-deadline-ms MS]
+                     [--max-line-bytes N]
   crowdfusion demo
   crowdfusion help
 
@@ -67,7 +73,12 @@ Environment: CROWDFUSION_THREADS=N is the default for refine/serve --threads.
 serve speaks line-delimited JSON (one request per line; see crowdfusion_service)
 over TCP (default 127.0.0.1:7464) or stdio; --ready-file receives the bound
 address once the daemon is listening; --snapshot-dir confines client
-Snapshot/Restore paths to bare file names inside DIR.
+Snapshot/Restore paths to bare file names inside DIR. --wal-dir makes the
+daemon crash-safe: mutations are journalled there before they apply, the
+registry auto-snapshots every --snapshot-every effects (journal fsync
+batched per --sync-every appends), and a restart recovers every session.
+--session-ttl-ms evicts idle sessions; --read-deadline-ms closes silent
+connections; --max-line-bytes bounds one protocol line.
 ";
 
 /// Parsed flag map: `--name value` pairs. Ordered so diagnostics (e.g.
@@ -307,6 +318,12 @@ pub fn run(args: &[String]) -> Result<String, String> {
                 "seed",
                 "ready-file",
                 "snapshot-dir",
+                "wal-dir",
+                "snapshot-every",
+                "sync-every",
+                "session-ttl-ms",
+                "read-deadline-ms",
+                "max-line-bytes",
             ])?;
             let k = flags.take("k", 2usize)?;
             let budget = flags.take("budget", 60usize)?;
@@ -334,16 +351,47 @@ pub fn run(args: &[String]) -> Result<String, String> {
             // With --snapshot-dir, clients may only name bare files
             // inside it; without, Snapshot/Restore paths are taken
             // verbatim (appropriate for the default loopback bind only).
-            let config = crowdfusion_service::ServiceConfig {
-                seed,
-                defaults,
-                threads,
-                selector,
-                snapshot_dir: flags.optional("snapshot-dir").map(PathBuf::from),
-            };
+            let mut config =
+                crowdfusion_service::ServiceConfig::new(seed, defaults, threads, selector);
+            config.snapshot_dir = flags.optional("snapshot-dir").map(PathBuf::from);
+            // --wal-dir turns on crash safety: every mutation is
+            // journalled there and the daemon auto-snapshots on the
+            // --snapshot-every cadence; restarting with the same
+            // directory recovers all sessions (snapshot + journal
+            // replay), including mid-round partial answers.
+            if let Some(dir) = flags.optional("wal-dir") {
+                let mut durability = crowdfusion_service::DurabilityConfig::new(dir);
+                durability.snapshot_every =
+                    flags.take("snapshot-every", durability.snapshot_every)?;
+                durability.sync_every = flags.take("sync-every", durability.sync_every)?.max(1);
+                config.durability = Some(durability);
+            } else if flags.optional("snapshot-every").is_some()
+                || flags.optional("sync-every").is_some()
+            {
+                return Err(
+                    "--snapshot-every/--sync-every require --wal-dir (nothing to journal into)"
+                        .to_string(),
+                );
+            }
+            if let Some(raw) = flags.optional("session-ttl-ms") {
+                let ttl: u64 = raw
+                    .parse()
+                    .map_err(|_| format!("invalid value {raw:?} for --session-ttl-ms"))?;
+                config.session_ttl_ms = Some(ttl);
+            }
+            if let Some(raw) = flags.optional("read-deadline-ms") {
+                let deadline: u64 = raw
+                    .parse()
+                    .ok()
+                    .filter(|&ms| ms > 0)
+                    .ok_or_else(|| format!("invalid value {raw:?} for --read-deadline-ms"))?;
+                config.read_deadline_ms = Some(deadline);
+            }
+            config.max_line_bytes = flags.take("max-line-bytes", config.max_line_bytes)?;
             match flags.take("transport", "tcp".to_string())?.as_str() {
                 "stdio" => {
-                    let service = crowdfusion_service::Service::new(config);
+                    let service = crowdfusion_service::Service::new(config)
+                        .map_err(|e| format!("serve: cannot recover durable state: {e}"))?;
                     let stdin = std::io::stdin();
                     crowdfusion_service::serve_stdio(&service, stdin.lock(), std::io::stdout())
                         .map_err(|e| format!("serve (stdio): {e}"))?;
@@ -361,11 +409,11 @@ pub fn run(args: &[String]) -> Result<String, String> {
                             .map_err(|e| format!("cannot write {path}: {e}"))?;
                     }
                     eprintln!("crowdfusion-serve listening on {local} ({threads} thread(s))");
-                    let served = crowdfusion_service::serve_tcp(
-                        std::sync::Arc::new(crowdfusion_service::Service::new(config)),
-                        listener,
-                    )
-                    .map_err(|e| format!("serve (tcp): {e}"))?;
+                    let service = crowdfusion_service::Service::new(config)
+                        .map_err(|e| format!("serve: cannot recover durable state: {e}"))?;
+                    let served =
+                        crowdfusion_service::serve_tcp(std::sync::Arc::new(service), listener)
+                            .map_err(|e| format!("serve (tcp): {e}"))?;
                     Ok(format!(
                         "crowdfusion-serve on {local}: served {served} connection(s); \
                          shut down cleanly"

@@ -83,13 +83,15 @@ fn served_sessions_match_offline_refine_over_tcp() {
     let specs: Vec<EntitySpec> = entity_specs_from_books(&books, &fusion);
 
     // 3. Daemon on a loopback socket, same seed/config as refine.
-    let service = Arc::new(Service::new(ServiceConfig {
-        seed: SEED,
-        defaults: RoundConfig::new(K, BUDGET, PC).unwrap(),
-        threads: 2,
-        selector: SelectorChoice::Greedy,
-        snapshot_dir: None,
-    }));
+    let service = Arc::new(
+        Service::new(ServiceConfig::new(
+            SEED,
+            RoundConfig::new(K, BUDGET, PC).unwrap(),
+            2,
+            SelectorChoice::Greedy,
+        ))
+        .unwrap(),
+    );
     let listener = TcpListener::bind("127.0.0.1:0").unwrap();
     let addr = listener.local_addr().unwrap();
     let daemon = {
@@ -103,6 +105,7 @@ fn served_sessions_match_offline_refine_over_tcp() {
     let mut client = Client::connect(addr).unwrap();
     let Response::Opened { sessions } = client
         .roundtrip(&Request::Open {
+            request: None,
             entities: specs.clone(),
             k: None,
             budget: None,
