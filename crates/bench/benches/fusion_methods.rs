@@ -1,27 +1,23 @@
-//! Criterion: the truth-discovery substrate — one full fusion pass of each
-//! initialiser over the standard synthetic Book dataset.
+//! Criterion: the truth-discovery substrate — one full fusion pass of
+//! every registered strategy over the standard synthetic Book dataset.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use crowdfusion_bench::standard_books;
-use crowdfusion_fusion::{AccuVote, Crh, FusionMethod, MajorityVote, ModifiedCrh, TruthFinder};
+use crowdfusion_fusion::StrategyRegistry;
 
 fn bench_fusion(c: &mut Criterion) {
     let mut group = c.benchmark_group("fusion_methods");
+    let registry = StrategyRegistry::standard();
     for &n_books in &[50usize, 200] {
         let books = standard_books(n_books, (3, 8), 1);
-        let methods: Vec<Box<dyn FusionMethod>> = vec![
-            Box::new(MajorityVote),
-            Box::new(Crh::default()),
-            Box::new(ModifiedCrh::default()),
-            Box::new(TruthFinder::default()),
-            Box::new(AccuVote::default()),
-        ];
-        for method in methods {
-            group.bench_with_input(
-                BenchmarkId::new(method.name(), n_books),
-                &n_books,
-                |b, _| b.iter(|| std::hint::black_box(method.fuse(&books.dataset).unwrap())),
-            );
+        // Iterating the registry (not a hand-kept list) means a newly
+        // registered strategy is benchmarked — and regression-gated via
+        // BENCH_fusion.json — without touching this file.
+        for name in registry.names() {
+            let method = registry.build(name).unwrap();
+            group.bench_with_input(BenchmarkId::new(name, n_books), &n_books, |b, _| {
+                b.iter(|| std::hint::black_box(method.fuse(&books.dataset).unwrap()))
+            });
         }
     }
     group.finish();

@@ -69,6 +69,11 @@ pub struct EntitySpec {
     pub classes: Vec<TaskClass>,
     /// Per-fact gold labels.
     pub gold: Vec<bool>,
+    /// Name of the fusion method that produced `marginals`, when the
+    /// producer recorded one. Carried as provenance through snapshots and
+    /// journal replay; `None` (how specs serialized before this field
+    /// existed deserialize) means the daemon's default method.
+    pub method: Option<String>,
 }
 
 impl EntitySpec {
@@ -81,6 +86,7 @@ impl EntitySpec {
             prompts: Vec::new(),
             classes: Vec::new(),
             gold,
+            method: None,
         }
     }
 

@@ -589,6 +589,111 @@ impl GeneratedBooks {
         }
     }
 
+    /// Rebuilds this dataset with attribute-typed claims, the shape the
+    /// per-attribute resolvers consume: every existing author-list
+    /// statement is typed `authors`, and each book gains conflicting
+    /// `pages` (candidate page counts) and `published` (candidate
+    /// publication dates) statements claimed by the same sources — the
+    /// three attribute names `DataFusionStrategy::standard` routes.
+    ///
+    /// Attribute data is strictly opt-in: the plain [`generate`] output is
+    /// byte-identical to what it was before attributes existed, and this
+    /// rebuild is deterministic in `seed`.
+    pub fn with_attributes(&self, seed: u64) -> GeneratedBooks {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut builder = DatasetBuilder::new();
+        for s in self.dataset.sources() {
+            builder.add_source(s.name.clone());
+        }
+        let n_sources = self.dataset.sources().len();
+        let mut gold = Vec::new();
+        let mut classes = Vec::new();
+        // analyze: allow(hash-iter) — keyed lookup only (old id → new id);
+        // iteration never happens, so order cannot leak.
+        let mut stmt_map = std::collections::HashMap::new();
+        let mut typed_claims: Vec<(crowdfusion_fusion::SourceId, StatementId)> = Vec::new();
+        for old_e in self.dataset.entities() {
+            let new_e = builder.add_entity(old_e.name.clone());
+            for &old_s in &old_e.statements {
+                let new_s = builder
+                    .add_attributed_statement(
+                        new_e,
+                        "authors",
+                        self.dataset.statement_text(old_s).to_string(),
+                    )
+                    .expect("entity exists");
+                stmt_map.insert(old_s, new_s);
+                gold.push(self.gold[old_s.0 as usize]);
+                classes.push(self.classes[old_s.0 as usize]);
+            }
+            // Conflicting page counts: the true count plus an off-by-a-few
+            // variant and a gross outlier.
+            let pages = rng.gen_range(80usize..600);
+            let near = pages + rng.gen_range(1usize..10);
+            let page_candidates = [(pages, true), (near, false), (pages * 3, false)];
+            let mut typed: Vec<(StatementId, bool)> = Vec::new();
+            for (value, truth) in page_candidates {
+                let id = builder
+                    .add_attributed_statement(new_e, "pages", format!("{value}"))
+                    .expect("entity exists");
+                gold.push(truth);
+                classes.push(TaskClass::Clean);
+                typed.push((id, truth));
+            }
+            // Conflicting publication dates: the true date against a stale
+            // earlier edition's.
+            let year = rng.gen_range(1985u32..2015);
+            let month = rng.gen_range(1u32..=12);
+            let day = rng.gen_range(1u32..=28);
+            let stale_year = year - rng.gen_range(1u32..8);
+            for (y, truth) in [(year, true), (stale_year, false)] {
+                let id = builder
+                    .add_attributed_statement(
+                        new_e,
+                        "published",
+                        format!("{y:04}-{month:02}-{day:02}"),
+                    )
+                    .expect("entity exists");
+                gold.push(truth);
+                classes.push(TaskClass::Clean);
+                typed.push((id, truth));
+            }
+            // Sources back the typed statements with the same rough
+            // reliability story as the author claims: mostly right.
+            let truths: Vec<StatementId> =
+                typed.iter().filter(|(_, t)| *t).map(|(s, _)| *s).collect();
+            let lies: Vec<StatementId> =
+                typed.iter().filter(|(_, t)| !*t).map(|(s, _)| *s).collect();
+            for sid in 0..n_sources {
+                if rng.gen::<f64>() >= self.config.participation {
+                    continue;
+                }
+                let pool = if rng.gen::<f64>() < 0.65 {
+                    &truths
+                } else {
+                    &lies
+                };
+                let choice = pool[rng.gen_range(0..pool.len())];
+                typed_claims.push((crowdfusion_fusion::SourceId(sid as u32), choice));
+            }
+        }
+        for c in self.dataset.claims() {
+            builder
+                .add_claim(c.source, stmt_map[&c.statement])
+                .expect("valid claim");
+        }
+        for (source, statement) in typed_claims {
+            builder.add_claim(source, statement).expect("valid claim");
+        }
+        GeneratedBooks {
+            dataset: builder.build(),
+            gold,
+            classes,
+            textbook: self.textbook.clone(),
+            config: self.config.clone(),
+        }
+    }
+
     /// The `count` books with the fewest statements (paper Figure 2 uses
     /// "40 books, which contains the least number of statements").
     pub fn smallest_books(&self, count: usize) -> Vec<EntityId> {
@@ -598,20 +703,30 @@ impl GeneratedBooks {
         ids
     }
 
-    /// Sanity check: every gold label matches author-set equivalence with
-    /// the book's canonical true statement. Returns the number of checked
-    /// statements (used by tests).
+    /// Sanity check: every author-list gold label matches author-set
+    /// equivalence with the book's canonical true statement. Returns the
+    /// number of checked statements (used by tests). Statements typed with
+    /// a non-author attribute (see [`GeneratedBooks::with_attributes`])
+    /// carry value gold, not list-equivalence gold, and are skipped.
     pub fn verify_gold_consistency(&self) -> usize {
+        let is_author =
+            |s: StatementId| matches!(self.dataset.statement_attribute(s), None | Some("authors"));
         let mut checked = 0;
         for entity in self.dataset.entities() {
             let stmts = entity.statements.as_slice();
             // The canonical truth is the gold-true statement with the
             // maximal author-set (all true variants share one author set).
-            let Some(&truth) = stmts.iter().find(|s| self.gold[s.0 as usize]) else {
+            let Some(&truth) = stmts
+                .iter()
+                .find(|&&s| is_author(s) && self.gold[s.0 as usize])
+            else {
                 continue;
             };
             let truth_text = self.dataset.statement_text(truth).to_string();
             for &s in stmts {
+                if !is_author(s) {
+                    continue;
+                }
                 let equal = lists_equivalent(&truth_text, self.dataset.statement_text(s));
                 assert_eq!(
                     equal,
@@ -801,6 +916,47 @@ mod tests {
         let mut sorted = sizes.clone();
         sorted.sort_unstable();
         assert_eq!(sizes, sorted);
+    }
+
+    #[test]
+    fn with_attributes_types_every_statement_and_stays_deterministic() {
+        let g = generate(BookGenConfig::quick());
+        let a = g.with_attributes(9);
+        assert_eq!(a, g.with_attributes(9), "attribute rebuild must be pure");
+        assert_ne!(a, g.with_attributes(10));
+        // Every statement is typed; every book carries all three routed
+        // attributes, and array lengths stay parallel.
+        assert_eq!(a.gold.len(), a.dataset.statements().len());
+        assert_eq!(a.classes.len(), a.dataset.statements().len());
+        for e in a.dataset.entities() {
+            let mut attrs = std::collections::BTreeSet::new();
+            for &s in &e.statements {
+                attrs.insert(a.dataset.statement_attribute(s).expect("statement typed"));
+            }
+            assert_eq!(
+                attrs.into_iter().collect::<Vec<_>>(),
+                vec!["authors", "pages", "published"]
+            );
+            // Exactly one gold-true page count and one gold-true date.
+            for attr in ["pages", "published"] {
+                let truths = e
+                    .statements
+                    .iter()
+                    .filter(|&&s| {
+                        a.dataset.statement_attribute(s) == Some(attr) && a.gold[s.0 as usize]
+                    })
+                    .count();
+                assert_eq!(truths, 1, "{attr} of {} has {truths} truths", e.name);
+            }
+        }
+        // The author statements carried over in order with their labels.
+        a.verify_gold_consistency();
+        // Typed data is what the composite consumes end to end.
+        use crowdfusion_fusion::FusionMethod;
+        let r = crowdfusion_fusion::DataFusionStrategy::standard()
+            .fuse(&a.dataset)
+            .unwrap();
+        assert_eq!(r.probs().len(), a.dataset.statements().len());
     }
 
     #[test]

@@ -70,6 +70,7 @@ pub fn wire_entity(books: &GeneratedBooks, fusion: &FusionResult, entity: Entity
         classes: books.classes_for(entity),
         gold: books.gold_for(entity),
         name,
+        method: Some(fusion.method().to_string()),
     }
 }
 

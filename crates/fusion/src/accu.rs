@@ -9,6 +9,7 @@
 
 use crate::error::FusionError;
 use crate::model::Dataset;
+use crate::provenance::ProvenanceLedger;
 use crate::result::{FusionMethod, FusionResult};
 
 /// Configuration for the ACCU-style Bayesian voter.
@@ -35,12 +36,18 @@ impl Default for AccuVote {
 /// Accuracies are clamped away from {0, 1} to keep log-odds finite.
 const ACC_CLAMP: f64 = 1e-3;
 
-impl FusionMethod for AccuVote {
-    fn name(&self) -> &'static str {
-        "accu"
-    }
+/// Outcome of the ACCU fixed-point iteration: per-statement posteriors plus
+/// the final per-source accuracies and iteration count.
+struct AccuRun {
+    posterior: Vec<f64>,
+    accuracy: Vec<f64>,
+    iterations: usize,
+}
 
-    fn fuse(&self, dataset: &Dataset) -> Result<FusionResult, FusionError> {
+impl AccuVote {
+    /// The posterior/accuracy fixed-point iteration — the shared core of
+    /// `fuse` and `fuse_with_provenance`.
+    fn run(&self, dataset: &Dataset) -> Result<AccuRun, FusionError> {
         if !(0.0..1.0).contains(&self.initial_accuracy) || self.initial_accuracy <= 0.0 {
             return Err(FusionError::InvalidParameter {
                 name: "initial_accuracy",
@@ -61,8 +68,10 @@ impl FusionMethod for AccuVote {
         let n_statements = dataset.statements().len();
         let mut accuracy = vec![self.initial_accuracy; n_sources];
         let mut posterior = vec![0.5f64; n_statements];
+        let mut iterations = 0;
 
-        for _ in 0..self.max_iters {
+        for iter in 0..self.max_iters {
+            iterations = iter + 1;
             // Value scores per entity, soft-maxed into posteriors.
             for entity in dataset.entities() {
                 let stmts = &entity.statements;
@@ -113,7 +122,38 @@ impl FusionMethod for AccuVote {
                 break;
             }
         }
-        Ok(FusionResult::new(self.name(), posterior))
+        Ok(AccuRun {
+            posterior,
+            accuracy,
+            iterations,
+        })
+    }
+}
+
+impl FusionMethod for AccuVote {
+    fn name(&self) -> &'static str {
+        "accu"
+    }
+
+    fn fuse(&self, dataset: &Dataset) -> Result<FusionResult, FusionError> {
+        let run = self.run(dataset)?;
+        Ok(FusionResult::new(self.name(), run.posterior))
+    }
+
+    fn fuse_with_provenance(
+        &self,
+        dataset: &Dataset,
+    ) -> Result<(FusionResult, ProvenanceLedger), FusionError> {
+        let run = self.run(dataset)?;
+        let result = FusionResult::new(self.name(), run.posterior);
+        let ledger = ProvenanceLedger::from_source_weights(
+            dataset,
+            self.name(),
+            &run.accuracy,
+            &result,
+            Some(run.iterations),
+        );
+        Ok((result, ledger))
     }
 }
 
@@ -169,6 +209,15 @@ mod tests {
         b.add_claim(bad, f).unwrap();
         let r = AccuVote::default().fuse(&b.build()).unwrap();
         assert!(r.prob(t) > r.prob(f));
+    }
+
+    #[test]
+    fn provenance_exposes_learned_accuracies() {
+        let d = two_book_dataset();
+        let (result, ledger) = AccuVote::default().fuse_with_provenance(&d).unwrap();
+        assert_eq!(result, AccuVote::default().fuse(&d).unwrap());
+        assert!(ledger.iterations.unwrap() >= 1);
+        assert!(ledger.source_weights.values().all(|&a| a > 0.0 && a < 1.0));
     }
 
     #[test]

@@ -22,6 +22,7 @@
 use crate::error::FusionError;
 use crate::majority::MajorityVote;
 use crate::model::Dataset;
+use crate::provenance::ProvenanceLedger;
 use crate::result::{FusionMethod, FusionResult};
 
 /// Classic single-truth CRH: per entity, exactly the top-scoring statement is
@@ -146,6 +147,15 @@ fn assign_weights(dataset: &Dataset, truths: &[bool]) -> Vec<f64> {
     weights
 }
 
+/// Outcome of the CRH alternation: the final weighted scores plus the
+/// converged source weights and the iteration count — the provenance a
+/// [`ProvenanceLedger`] records.
+struct CrhRun {
+    scores: Vec<f64>,
+    weights: Vec<f64>,
+    iterations: usize,
+}
+
 /// Runs the CRH alternation from an initial truth marking. `multi_truth`
 /// selects the inclusion rule used during truth computation.
 fn run_crh(
@@ -154,7 +164,7 @@ fn run_crh(
     multi_truth: bool,
     max_iters: usize,
     tolerance: f64,
-) -> Result<Vec<f64>, FusionError> {
+) -> Result<CrhRun, FusionError> {
     if dataset.claims().is_empty() {
         return Err(FusionError::NoClaims);
     }
@@ -162,7 +172,9 @@ fn run_crh(
         weights: vec![1.0; dataset.sources().len()],
         truths: initial_truths,
     };
-    for _ in 0..max_iters {
+    let mut iterations = 0;
+    for iter in 0..max_iters {
+        iterations = iter + 1;
         // Weight assignment from current truths.
         let new_weights = assign_weights(dataset, &state.truths);
         let residual = new_weights
@@ -220,15 +232,17 @@ fn run_crh(
             break;
         }
     }
-    Ok(weighted_scores(dataset, &state.weights))
+    Ok(CrhRun {
+        scores: weighted_scores(dataset, &state.weights),
+        weights: state.weights,
+        iterations,
+    })
 }
 
-impl FusionMethod for Crh {
-    fn name(&self) -> &'static str {
-        "crh"
-    }
-
-    fn fuse(&self, dataset: &Dataset) -> Result<FusionResult, FusionError> {
+impl Crh {
+    /// Validates parameters, seeds the truth marking and runs the CRH
+    /// alternation — the shared core of `fuse` and `fuse_with_provenance`.
+    fn seeded_run(&self, dataset: &Dataset) -> Result<CrhRun, FusionError> {
         if self.tolerance <= 0.0 {
             return Err(FusionError::InvalidParameter {
                 name: "tolerance",
@@ -248,22 +262,46 @@ impl FusionMethod for Crh {
                 truths[best.0 as usize] = true;
             }
         }
-        let scores = run_crh(dataset, truths, false, self.max_iters, self.tolerance)?;
+        run_crh(dataset, truths, false, self.max_iters, self.tolerance)
+    }
+}
+
+impl FusionMethod for Crh {
+    fn name(&self) -> &'static str {
+        "crh"
+    }
+
+    fn fuse(&self, dataset: &Dataset) -> Result<FusionResult, FusionError> {
+        let run = self.seeded_run(dataset)?;
         Ok(FusionResult::from_entity_shares(
             self.name(),
-            scores,
+            run.scores,
             dataset,
             0.9,
         ))
     }
+
+    fn fuse_with_provenance(
+        &self,
+        dataset: &Dataset,
+    ) -> Result<(FusionResult, ProvenanceLedger), FusionError> {
+        let run = self.seeded_run(dataset)?;
+        let result = FusionResult::from_entity_shares(self.name(), run.scores, dataset, 0.9);
+        let ledger = ProvenanceLedger::from_source_weights(
+            dataset,
+            self.name(),
+            &run.weights,
+            &result,
+            Some(run.iterations),
+        );
+        Ok((result, ledger))
+    }
 }
 
-impl FusionMethod for ModifiedCrh {
-    fn name(&self) -> &'static str {
-        "modified-crh"
-    }
-
-    fn fuse(&self, dataset: &Dataset) -> Result<FusionResult, FusionError> {
+impl ModifiedCrh {
+    /// Validates parameters, marks the top fraction and runs the multi-truth
+    /// CRH alternation — shared by `fuse` and `fuse_with_provenance`.
+    fn seeded_run(&self, dataset: &Dataset) -> Result<CrhRun, FusionError> {
         if !(0.0..=1.0).contains(&self.top_fraction) {
             return Err(FusionError::InvalidParameter {
                 name: "top_fraction",
@@ -280,13 +318,39 @@ impl FusionMethod for ModifiedCrh {
         let truths = MajorityVote::mark_top_fraction(dataset, self.top_fraction);
         // … then apply weight assignment, missing-value normalisation and
         // truth computation from the CRH framework (multi-truth rule).
-        let scores = run_crh(dataset, truths, true, self.max_iters, self.tolerance)?;
+        run_crh(dataset, truths, true, self.max_iters, self.tolerance)
+    }
+}
+
+impl FusionMethod for ModifiedCrh {
+    fn name(&self) -> &'static str {
+        "modified-crh"
+    }
+
+    fn fuse(&self, dataset: &Dataset) -> Result<FusionResult, FusionError> {
+        let run = self.seeded_run(dataset)?;
         Ok(FusionResult::from_entity_shares(
             self.name(),
-            scores,
+            run.scores,
             dataset,
             0.9,
         ))
+    }
+
+    fn fuse_with_provenance(
+        &self,
+        dataset: &Dataset,
+    ) -> Result<(FusionResult, ProvenanceLedger), FusionError> {
+        let run = self.seeded_run(dataset)?;
+        let result = FusionResult::from_entity_shares(self.name(), run.scores, dataset, 0.9);
+        let ledger = ProvenanceLedger::from_source_weights(
+            dataset,
+            self.name(),
+            &run.weights,
+            &result,
+            Some(run.iterations),
+        );
+        Ok((result, ledger))
     }
 }
 
@@ -415,6 +479,27 @@ mod tests {
             ModifiedCrh::default().fuse(&d).unwrap_err(),
             FusionError::NoClaims
         );
+    }
+
+    #[test]
+    fn provenance_is_bit_identical_to_fuse_and_records_weights() {
+        let d = reliability_dataset();
+        for (result, ledger, plain) in [
+            {
+                let (r, l) = Crh::default().fuse_with_provenance(&d).unwrap();
+                (r, l, Crh::default().fuse(&d).unwrap())
+            },
+            {
+                let (r, l) = ModifiedCrh::default().fuse_with_provenance(&d).unwrap();
+                (r, l, ModifiedCrh::default().fuse(&d).unwrap())
+            },
+        ] {
+            assert_eq!(result, plain);
+            assert!(ledger.iterations.unwrap() >= 1);
+            // CRH learned that `good` is more reliable than `bad2`.
+            assert!(ledger.source_weights["good"] > ledger.source_weights["bad2"]);
+            assert_eq!(ledger.statements.len(), d.statements().len());
+        }
     }
 
     #[test]

@@ -36,6 +36,14 @@ pub enum FusionError {
         /// Final residual (max parameter change in the last iteration).
         residual: f64,
     },
+    /// A method name was looked up in a [`crate::registry::StrategyRegistry`]
+    /// that has no builder registered under it.
+    UnknownMethod {
+        /// The name that failed to resolve.
+        name: String,
+        /// Every registered name, in the registry's deterministic order.
+        registered: Vec<&'static str>,
+    },
 }
 
 impl fmt::Display for FusionError {
@@ -57,6 +65,11 @@ impl fmt::Display for FusionError {
             } => write!(
                 f,
                 "no convergence after {iterations} iterations (residual {residual:.2e})"
+            ),
+            FusionError::UnknownMethod { name, registered } => write!(
+                f,
+                "unknown fusion method '{name}' (registered: {})",
+                registered.join(", ")
             ),
         }
     }
@@ -83,5 +96,17 @@ mod tests {
         }
         .to_string()
         .contains("damping"));
+    }
+
+    #[test]
+    fn unknown_method_lists_registered_names() {
+        let e = FusionError::UnknownMethod {
+            name: "lda".into(),
+            registered: vec!["crh", "majority"],
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("unknown fusion method"));
+        assert!(msg.contains("lda"));
+        assert!(msg.contains("crh, majority"));
     }
 }

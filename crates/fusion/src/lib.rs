@@ -16,7 +16,15 @@
 //!   author-list data (Section V-A: top-50 % majority marking, weight
 //!   assignment, missing-value normalisation, truth computation);
 //! * author-list text utilities ([`text`]) used for gold-standard
-//!   equivalence and TruthFinder's implication function.
+//!   equivalence and TruthFinder's implication function;
+//! * per-attribute conflict [`resolvers`] (voting family, numeric/date,
+//!   list-union) and the composite [`resolvers::DataFusionStrategy`]
+//!   mapping attribute → resolver over a fallback method;
+//! * the [`registry::StrategyRegistry`] — the single name → builder map
+//!   every consumer (`fuse`, `refine`, `serve`, benches) resolves methods
+//!   through;
+//! * a [`ProvenanceLedger`] per run (which sources won each fact and why)
+//!   and the [`FusionReport`] JSON emitted by `fuse --report`.
 //!
 //! The output of every method is a [`FusionResult`]: a per-statement marginal
 //! probability of being true, which downstream code (crowdfusion-core) lifts
@@ -30,6 +38,10 @@ pub mod crh;
 pub mod error;
 pub mod majority;
 pub mod model;
+pub mod provenance;
+pub mod registry;
+pub mod report;
+pub mod resolvers;
 pub mod result;
 pub mod text;
 pub mod truthfinder;
@@ -41,6 +53,10 @@ pub use majority::MajorityVote;
 pub use model::{
     Claim, Dataset, DatasetBuilder, Entity, EntityId, Source, SourceId, Statement, StatementId,
 };
+pub use provenance::{ProvenanceLedger, StatementProvenance};
+pub use registry::{StrategyRegistry, DEFAULT_METHOD};
+pub use report::FusionReport;
+pub use resolvers::{ConflictResolver, DataFusionStrategy, ResolverMethod};
 pub use result::{FusionMethod, FusionResult, UniformPrior};
 pub use truthfinder::TruthFinder;
 

@@ -44,8 +44,12 @@ pub struct Entity {
 }
 
 /// A candidate value statement for an entity. In fact-triple form this is
-/// `{entity, attribute, text}`; the attribute is implicit (one attribute per
-/// dataset, e.g. "complete full name author list").
+/// `{entity, attribute, text}`. Historically the attribute was implicit (one
+/// attribute per dataset, e.g. "complete full name author list"); statements
+/// may now carry an explicit attribute so per-attribute conflict resolvers
+/// (`resolvers`) can route them. `None` means the dataset's default
+/// attribute, and old serialized datasets (no `attribute` key) load as
+/// `None`.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Statement {
     /// The statement's global id (its index in [`Dataset::statements`]).
@@ -54,6 +58,9 @@ pub struct Statement {
     pub entity: EntityId,
     /// The claimed value (e.g. an author-list string).
     pub text: String,
+    /// The attribute this statement proposes a value for (`None` = the
+    /// dataset's single implicit attribute).
+    pub attribute: Option<String>,
 }
 
 /// A source asserting a statement.
@@ -133,6 +140,12 @@ impl Dataset {
         &self.statements[id.0 as usize].text
     }
 
+    /// Looks up a statement's attribute (`None` = the dataset's default
+    /// attribute).
+    pub fn statement_attribute(&self, id: StatementId) -> Option<&str> {
+        self.statements[id.0 as usize].attribute.as_deref()
+    }
+
     /// Looks up the entity a statement belongs to.
     pub fn statement_entity(&self, id: StatementId) -> EntityId {
         self.statements[id.0 as usize].entity
@@ -187,11 +200,33 @@ impl DatasetBuilder {
         id
     }
 
-    /// Registers a statement for an entity and returns its id.
+    /// Registers a statement for an entity (default attribute) and returns
+    /// its id.
     pub fn add_statement(
         &mut self,
         entity: EntityId,
         text: impl Into<String>,
+    ) -> Result<StatementId, FusionError> {
+        self.push_statement(entity, None, text.into())
+    }
+
+    /// Registers a statement for an explicit attribute of an entity and
+    /// returns its id. Per-attribute resolvers (`crate::resolvers`) group
+    /// statements by this attribute name.
+    pub fn add_attributed_statement(
+        &mut self,
+        entity: EntityId,
+        attribute: impl Into<String>,
+        text: impl Into<String>,
+    ) -> Result<StatementId, FusionError> {
+        self.push_statement(entity, Some(attribute.into()), text.into())
+    }
+
+    fn push_statement(
+        &mut self,
+        entity: EntityId,
+        attribute: Option<String>,
+        text: String,
     ) -> Result<StatementId, FusionError> {
         let Some(e) = self.entities.get_mut(entity.0 as usize) else {
             return Err(FusionError::UnknownEntity(entity.0));
@@ -201,7 +236,8 @@ impl DatasetBuilder {
         self.statements.push(Statement {
             id,
             entity,
-            text: text.into(),
+            text,
+            attribute,
         });
         Ok(id)
     }
@@ -363,6 +399,24 @@ mod tests {
         assert_eq!(d.entities_with_min_statements(3), vec![EntityId(0)]);
         assert_eq!(d.entities_with_min_statements(2).len(), 2);
         assert!(d.entities_with_min_statements(4).is_empty());
+    }
+
+    #[test]
+    fn attributed_statements_round_trip() {
+        let mut b = DatasetBuilder::new();
+        let e = b.add_entity("x");
+        let plain = b.add_statement(e, "v").unwrap();
+        let attr = b.add_attributed_statement(e, "pages", "320").unwrap();
+        assert_eq!(
+            b.add_attributed_statement(EntityId(9), "pages", "1"),
+            Err(FusionError::UnknownEntity(9))
+        );
+        let d = b.build();
+        assert_eq!(d.statement_attribute(plain), None);
+        assert_eq!(d.statement_attribute(attr), Some("pages"));
+        let json = serde_json::to_string(&d).unwrap();
+        let back: Dataset = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, d);
     }
 
     #[test]

@@ -1,0 +1,166 @@
+//! The strategy registry: one source of truth mapping method names to
+//! [`FusionMethod`] builders.
+//!
+//! Registration contract: builders are plain `fn() -> Box<dyn FusionMethod>`
+//! pointers keyed by `&'static str`; a builder must return a method whose
+//! [`FusionMethod::name`] equals its key and whose default construction is
+//! deterministic (no environment, clock or RNG reads). Names list in
+//! `BTreeMap` (lexicographic) order, so `names()` and unknown-method error
+//! messages are byte-stable.
+//!
+//! Every consumer — `fuse`, `refine`, `serve`, the benches — resolves
+//! methods here instead of keeping its own name → constructor map.
+
+use crate::accu::AccuVote;
+use crate::crh::{Crh, ModifiedCrh};
+use crate::error::FusionError;
+use crate::majority::MajorityVote;
+use crate::resolvers::{
+    DataFusionStrategy, FavourSources, ListUnion, MostRecent, NumericAverage, NumericMedian,
+    ResolverMethod, TrustVoting, Voting, WeightedVoting,
+};
+use crate::result::{FusionMethod, UniformPrior};
+use crate::truthfinder::TruthFinder;
+use std::collections::BTreeMap;
+
+/// The method every consumer defaults to when none is named: the paper's
+/// modified CRH initialiser.
+pub const DEFAULT_METHOD: &str = "modified-crh";
+
+/// A name-keyed collection of fusion-method builders. See the module docs
+/// for the registration contract.
+pub struct StrategyRegistry {
+    builders: BTreeMap<&'static str, fn() -> Box<dyn FusionMethod>>,
+}
+
+impl StrategyRegistry {
+    /// An empty registry.
+    pub fn new() -> StrategyRegistry {
+        StrategyRegistry {
+            builders: BTreeMap::new(),
+        }
+    }
+
+    /// The standard registry: every shipped method under its canonical name
+    /// — the five global methods (`uniform`, `majority`, `crh`,
+    /// `modified-crh`, `truthfinder`, `accu`), the eight per-attribute
+    /// resolvers lifted to whole-dataset methods, and the `per-attribute`
+    /// composite ([`DataFusionStrategy::standard`]).
+    pub fn standard() -> StrategyRegistry {
+        let mut r = StrategyRegistry::new();
+        r.register("uniform", || Box::new(UniformPrior));
+        r.register("majority", || Box::new(MajorityVote));
+        r.register("crh", || Box::new(Crh::default()));
+        r.register("modified-crh", || Box::new(ModifiedCrh::default()));
+        r.register("truthfinder", || Box::new(TruthFinder::default()));
+        r.register("accu", || Box::new(AccuVote::default()));
+        r.register("vote", || Box::new(ResolverMethod::new(Voting)));
+        r.register("weighted-vote", || {
+            Box::new(ResolverMethod::new(WeightedVoting))
+        });
+        r.register("trust-vote", || Box::new(ResolverMethod::new(TrustVoting)));
+        r.register("favour-sources", || {
+            Box::new(ResolverMethod::new(FavourSources::default()))
+        });
+        r.register("numeric-average", || {
+            Box::new(ResolverMethod::new(NumericAverage))
+        });
+        r.register("numeric-median", || {
+            Box::new(ResolverMethod::new(NumericMedian))
+        });
+        r.register("most-recent", || Box::new(ResolverMethod::new(MostRecent)));
+        r.register("list-union", || Box::new(ResolverMethod::new(ListUnion)));
+        r.register("per-attribute", || Box::new(DataFusionStrategy::standard()));
+        r
+    }
+
+    /// Registers (or replaces) a builder under `name`.
+    pub fn register(&mut self, name: &'static str, builder: fn() -> Box<dyn FusionMethod>) {
+        self.builders.insert(name, builder);
+    }
+
+    /// Every registered name, in deterministic (lexicographic) order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.builders.keys().copied().collect()
+    }
+
+    /// Whether `name` is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.builders.contains_key(name)
+    }
+
+    /// Builds the method registered under `name`; unknown names error with
+    /// the full registered list.
+    pub fn build(&self, name: &str) -> Result<Box<dyn FusionMethod>, FusionError> {
+        match self.builders.get(name) {
+            Some(builder) => Ok(builder()),
+            None => Err(FusionError::UnknownMethod {
+                name: name.to_string(),
+                registered: self.names(),
+            }),
+        }
+    }
+}
+
+impl Default for StrategyRegistry {
+    fn default() -> StrategyRegistry {
+        StrategyRegistry::standard()
+    }
+}
+
+impl std::fmt::Debug for StrategyRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StrategyRegistry")
+            .field("names", &self.names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::testutil::two_book_dataset;
+
+    #[test]
+    fn every_registered_builder_matches_its_key() {
+        let r = StrategyRegistry::standard();
+        assert!(r.names().len() >= 15);
+        for name in r.names() {
+            assert_eq!(r.build(name).unwrap().name(), name);
+        }
+        assert!(r.contains(DEFAULT_METHOD));
+    }
+
+    #[test]
+    fn names_are_sorted_and_stable() {
+        let names = StrategyRegistry::standard().names();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+        assert_eq!(names, StrategyRegistry::standard().names());
+    }
+
+    #[test]
+    fn unknown_name_lists_the_registry() {
+        let r = StrategyRegistry::standard();
+        let Err(err) = r.build("lda") else {
+            panic!("'lda' must not resolve");
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("unknown fusion method"));
+        assert!(msg.contains("modified-crh"));
+        assert!(msg.contains("per-attribute"));
+    }
+
+    #[test]
+    fn every_method_runs_on_the_toy_dataset() {
+        let d = two_book_dataset();
+        for name in StrategyRegistry::standard().names() {
+            let method = StrategyRegistry::standard().build(name).unwrap();
+            let (result, ledger) = method.fuse_with_provenance(&d).unwrap();
+            assert_eq!(result.probs().len(), d.statements().len());
+            assert_eq!(ledger.statements.len(), d.statements().len());
+            assert_eq!(ledger.method, name);
+        }
+    }
+}

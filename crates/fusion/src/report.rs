@@ -1,0 +1,222 @@
+//! The JSON fusion report: dataset shape, per-attribute coverage, conflict
+//! statistics and full provenance for one fusion run.
+//!
+//! Reports serialize deterministically (`BTreeMap` keys, no clocks, no
+//! environment reads), so the same dataset and method produce byte-identical
+//! JSON across runs and thread counts — CI diffs a freshly generated report
+//! against a committed fixture.
+
+use crate::model::Dataset;
+use crate::provenance::ProvenanceLedger;
+use crate::result::FusionResult;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Key under which statements without an explicit attribute are reported.
+pub const DEFAULT_ATTRIBUTE: &str = "(default)";
+
+/// Coverage of one attribute across the dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttributeCoverage {
+    /// Entities with at least one statement for this attribute.
+    pub entities: usize,
+    /// Statements proposing a value for this attribute.
+    pub statements: usize,
+    /// Claims on those statements.
+    pub claims: usize,
+    /// Entities where sources propose ≥ 2 conflicting values for this
+    /// attribute.
+    pub conflicted_entities: usize,
+    /// Fraction of all entities covered by this attribute.
+    pub coverage: f64,
+}
+
+/// Conflict statistics over the whole dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConflictStats {
+    /// Entities with ≥ 2 candidate statements (any attribute).
+    pub conflicted_entities: usize,
+    /// Largest statement count of any entity.
+    pub max_statements_per_entity: usize,
+    /// Mean statement count per entity.
+    pub mean_statements_per_entity: f64,
+    /// Statements whose final probability clears 0.5.
+    pub predicted_true: usize,
+}
+
+/// The full fusion report. See the module docs for determinism guarantees.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FusionReport {
+    /// Report schema tag, bumped on breaking shape changes.
+    pub schema: String,
+    /// Name of the method that produced the run.
+    pub method: String,
+    /// Number of sources in the dataset.
+    pub sources: usize,
+    /// Number of entities.
+    pub entities: usize,
+    /// Number of candidate statements.
+    pub statements: usize,
+    /// Number of claims.
+    pub claims: usize,
+    /// Claim density: `claims / (sources × entities)` — the fraction of
+    /// source–entity pairs where the source asserts something.
+    pub density: f64,
+    /// Statement accuracy against a gold standard, when the caller has one.
+    pub accuracy: Option<f64>,
+    /// Per-attribute coverage, keyed by attribute name
+    /// ([`DEFAULT_ATTRIBUTE`] for untyped statements).
+    pub attributes: BTreeMap<String, AttributeCoverage>,
+    /// Dataset-wide conflict statistics.
+    pub conflicts: ConflictStats,
+    /// Which sources won each statement and why.
+    pub provenance: ProvenanceLedger,
+}
+
+impl FusionReport {
+    /// Builds the report for a finished run.
+    pub fn generate(
+        dataset: &Dataset,
+        result: &FusionResult,
+        provenance: ProvenanceLedger,
+    ) -> FusionReport {
+        let n_entities = dataset.entities().len();
+        let mut attributes: BTreeMap<String, AttributeCoverage> = BTreeMap::new();
+        for entity in dataset.entities() {
+            // Per-entity statement count by attribute, to spot conflicts.
+            let mut per_attr: BTreeMap<&str, usize> = BTreeMap::new();
+            for &s in &entity.statements {
+                let attr = dataset.statement_attribute(s).unwrap_or(DEFAULT_ATTRIBUTE);
+                *per_attr.entry(attr).or_insert(0) += 1;
+                let cov = attributes
+                    .entry(attr.to_string())
+                    .or_insert(AttributeCoverage {
+                        entities: 0,
+                        statements: 0,
+                        claims: 0,
+                        conflicted_entities: 0,
+                        coverage: 0.0,
+                    });
+                cov.statements += 1;
+                cov.claims += dataset.supporters(s).len();
+            }
+            for (attr, count) in per_attr {
+                let cov = attributes.get_mut(attr).expect("attribute seen above");
+                cov.entities += 1;
+                if count >= 2 {
+                    cov.conflicted_entities += 1;
+                }
+            }
+        }
+        for cov in attributes.values_mut() {
+            cov.coverage = if n_entities > 0 {
+                cov.entities as f64 / n_entities as f64
+            } else {
+                0.0
+            };
+        }
+
+        let statement_counts: Vec<usize> = dataset
+            .entities()
+            .iter()
+            .map(|e| e.statements.len())
+            .collect();
+        let conflicts = ConflictStats {
+            conflicted_entities: statement_counts.iter().filter(|&&n| n >= 2).count(),
+            max_statements_per_entity: statement_counts.iter().copied().max().unwrap_or(0),
+            mean_statements_per_entity: if n_entities > 0 {
+                statement_counts.iter().sum::<usize>() as f64 / n_entities as f64
+            } else {
+                0.0
+            },
+            predicted_true: provenance.predicted_true(),
+        };
+
+        let pairs = dataset.sources().len() * n_entities;
+        FusionReport {
+            schema: "crowdfusion.fusion-report/v1".to_string(),
+            method: result.method().to_string(),
+            sources: dataset.sources().len(),
+            entities: n_entities,
+            statements: dataset.statements().len(),
+            claims: dataset.claims().len(),
+            density: if pairs > 0 {
+                dataset.claims().len() as f64 / pairs as f64
+            } else {
+                0.0
+            },
+            accuracy: None,
+            attributes,
+            conflicts,
+            provenance,
+        }
+    }
+
+    /// Pretty-printed JSON with a trailing newline — the exact bytes
+    /// `fuse --report` writes.
+    pub fn to_json_pretty(&self) -> String {
+        let mut s = serde_json::to_string_pretty(self).expect("report serializes");
+        s.push('\n');
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::testutil::{two_book_dataset, two_book_gold};
+    use crate::result::FusionMethod;
+
+    #[test]
+    fn report_counts_the_toy_dataset() {
+        let d = two_book_dataset();
+        let (r, ledger) = crate::majority::MajorityVote
+            .fuse_with_provenance(&d)
+            .unwrap();
+        let mut report = FusionReport::generate(&d, &r, ledger);
+        report.accuracy = Some(r.accuracy_against(&two_book_gold()));
+        assert_eq!(report.method, "majority");
+        assert_eq!(report.sources, 3);
+        assert_eq!(report.entities, 2);
+        assert_eq!(report.statements, 5);
+        assert_eq!(report.claims, 6);
+        assert!((report.density - 1.0).abs() < 1e-12);
+        assert_eq!(report.conflicts.conflicted_entities, 2);
+        assert_eq!(report.conflicts.max_statements_per_entity, 3);
+        let default_attr = &report.attributes[DEFAULT_ATTRIBUTE];
+        assert_eq!(default_attr.statements, 5);
+        assert_eq!(default_attr.entities, 2);
+        assert!((default_attr.coverage - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn typed_attributes_get_their_own_rows() {
+        let d = crate::resolvers::testutil::attributed_dataset();
+        let (r, ledger) = crate::resolvers::DataFusionStrategy::standard()
+            .fuse_with_provenance(&d)
+            .unwrap();
+        let report = FusionReport::generate(&d, &r, ledger);
+        assert_eq!(report.attributes.len(), 3);
+        let pages = &report.attributes["pages"];
+        assert_eq!(pages.entities, 1);
+        assert_eq!(pages.statements, 3);
+        assert_eq!(pages.conflicted_entities, 1);
+        assert!((pages.coverage - 0.5).abs() < 1e-12);
+        // Only book 0 carries dates; book 1 is authors-only.
+        assert_eq!(report.attributes["published"].entities, 1);
+    }
+
+    #[test]
+    fn report_json_round_trips_byte_stably() {
+        let d = two_book_dataset();
+        let (r, ledger) = crate::crh::Crh::default().fuse_with_provenance(&d).unwrap();
+        let report = FusionReport::generate(&d, &r, ledger.clone());
+        let json = report.to_json_pretty();
+        assert_eq!(
+            json,
+            FusionReport::generate(&d, &r, ledger).to_json_pretty()
+        );
+        let back: FusionReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+}

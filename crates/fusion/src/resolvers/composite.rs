@@ -1,0 +1,187 @@
+//! The composite strategy: attribute → resolver mapping over a registered
+//! fallback method — PyDI's `DataFusionStrategy` shape on our dataset model.
+
+use super::{attribute_groups, calibrate_group, ConflictResolver};
+use crate::error::FusionError;
+use crate::model::Dataset;
+use crate::provenance::{statement_record, ProvenanceLedger};
+use crate::result::{FusionMethod, FusionResult};
+use std::collections::BTreeMap;
+
+/// A per-attribute fusion strategy: each mapped attribute is scored by its
+/// own [`ConflictResolver`]; every other statement (unmapped attributes and
+/// the default attribute) keeps the probability the fallback
+/// [`FusionMethod`] assigns.
+///
+/// The fallback runs once over the whole dataset — including mapped
+/// statements, whose probabilities are then overwritten group-by-group with
+/// the resolver's calibrated scores. Provenance records carry the resolver
+/// name per statement, so a report shows exactly which strategy decided
+/// each fact.
+pub struct DataFusionStrategy {
+    name: &'static str,
+    mapping: BTreeMap<String, Box<dyn ConflictResolver>>,
+    fallback: Box<dyn FusionMethod>,
+}
+
+impl DataFusionStrategy {
+    /// An empty mapping over `fallback`, registered under `name`.
+    pub fn new(name: &'static str, fallback: Box<dyn FusionMethod>) -> DataFusionStrategy {
+        DataFusionStrategy {
+            name,
+            mapping: BTreeMap::new(),
+            fallback,
+        }
+    }
+
+    /// Routes `attribute` to `resolver`.
+    pub fn with_resolver(
+        mut self,
+        attribute: impl Into<String>,
+        resolver: Box<dyn ConflictResolver>,
+    ) -> DataFusionStrategy {
+        self.mapping.insert(attribute.into(), resolver);
+        self
+    }
+
+    /// The standard composite registered as `per-attribute`: author lists by
+    /// union coverage, page counts by median closeness, publication dates by
+    /// recency — the attribute names the book generator emits — with
+    /// modified CRH as fallback for everything else.
+    pub fn standard() -> DataFusionStrategy {
+        DataFusionStrategy::new(
+            "per-attribute",
+            Box::new(crate::crh::ModifiedCrh::default()),
+        )
+        .with_resolver("authors", Box::new(super::ListUnion))
+        .with_resolver("pages", Box::new(super::NumericMedian))
+        .with_resolver("published", Box::new(super::MostRecent))
+    }
+
+    /// Source weights per mapped attribute, computed once per fuse.
+    fn resolver_weights(&self, dataset: &Dataset) -> BTreeMap<&str, Vec<f64>> {
+        self.mapping
+            .iter()
+            .map(|(attr, r)| (attr.as_str(), r.source_weights(dataset)))
+            .collect()
+    }
+
+    /// Overwrites mapped groups of `probs` with calibrated resolver scores;
+    /// calls `on_group` for each rewritten group so provenance can follow.
+    fn apply_resolvers(
+        &self,
+        dataset: &Dataset,
+        probs: &mut [f64],
+        weights: &BTreeMap<&str, Vec<f64>>,
+        mut on_group: impl FnMut(&str, &[crate::model::StatementId], &[f64]),
+    ) {
+        for entity in dataset.entities() {
+            for (attr, group) in attribute_groups(dataset, entity) {
+                let Some(attr) = attr else { continue };
+                let Some(resolver) = self.mapping.get(attr) else {
+                    continue;
+                };
+                let w = &weights[attr];
+                let mut scores = resolver.resolve(dataset, &group, w);
+                calibrate_group(&mut scores, 0.9);
+                for (&s, &score) in group.iter().zip(&scores) {
+                    probs[s.0 as usize] = score;
+                }
+                on_group(resolver.name(), &group, w);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for DataFusionStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DataFusionStrategy")
+            .field("name", &self.name)
+            .field("attributes", &self.mapping.keys().collect::<Vec<_>>())
+            .field("fallback", &self.fallback.name())
+            .finish()
+    }
+}
+
+impl FusionMethod for DataFusionStrategy {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn fuse(&self, dataset: &Dataset) -> Result<FusionResult, FusionError> {
+        let base = self.fallback.fuse(dataset)?;
+        let mut probs = base.probs().to_vec();
+        let weights = self.resolver_weights(dataset);
+        self.apply_resolvers(dataset, &mut probs, &weights, |_, _, _| {});
+        Ok(FusionResult::new(self.name(), probs))
+    }
+
+    fn fuse_with_provenance(
+        &self,
+        dataset: &Dataset,
+    ) -> Result<(FusionResult, ProvenanceLedger), FusionError> {
+        let (base, mut ledger) = self.fallback.fuse_with_provenance(dataset)?;
+        let mut probs = base.probs().to_vec();
+        let weights = self.resolver_weights(dataset);
+        let mut rewritten = Vec::new();
+        self.apply_resolvers(dataset, &mut probs, &weights, |resolver, group, w| {
+            rewritten.push((resolver.to_string(), group.to_vec(), w.to_vec()));
+        });
+        let result = FusionResult::new(self.name(), probs);
+        ledger.method = self.name().to_string();
+        for (resolver, group, w) in rewritten {
+            for s in group {
+                ledger
+                    .statements
+                    .insert(s.0, statement_record(dataset, &resolver, &w, &result, s));
+            }
+        }
+        Ok((result, ledger))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::attributed_dataset;
+    use super::*;
+    use crate::model::StatementId;
+
+    #[test]
+    fn mapped_attributes_use_their_resolver_and_the_rest_use_the_fallback() {
+        let d = attributed_dataset();
+        let composite = DataFusionStrategy::standard();
+        let r = composite.fuse(&d).unwrap();
+        let fallback = crate::crh::ModifiedCrh::default().fuse(&d).unwrap();
+        // The default-attribute author statements keep fallback scores.
+        for s in [0u32, 1, 7, 8] {
+            assert_eq!(r.prob(StatementId(s)), fallback.prob(StatementId(s)));
+        }
+        // pages rerouted to median closeness: the outlier 1200 is crushed.
+        assert!(r.prob(StatementId(2)) > r.prob(StatementId(4)));
+        // published rerouted to recency: the newer date wins.
+        assert!(r.prob(StatementId(5)) > r.prob(StatementId(6)));
+        assert_eq!(r.method(), "per-attribute");
+    }
+
+    #[test]
+    fn provenance_names_the_deciding_resolver_per_statement() {
+        let d = attributed_dataset();
+        let (result, ledger) = DataFusionStrategy::standard()
+            .fuse_with_provenance(&d)
+            .unwrap();
+        assert_eq!(result, DataFusionStrategy::standard().fuse(&d).unwrap());
+        assert_eq!(ledger.method, "per-attribute");
+        assert_eq!(ledger.statements[&0].resolver, "modified-crh");
+        assert_eq!(ledger.statements[&2].resolver, "numeric-median");
+        assert_eq!(ledger.statements[&5].resolver, "most-recent");
+    }
+
+    #[test]
+    fn unmapped_composite_equals_its_fallback() {
+        let d = attributed_dataset();
+        let bare = DataFusionStrategy::new("bare", Box::new(crate::majority::MajorityVote));
+        let r = bare.fuse(&d).unwrap();
+        let mv = crate::majority::MajorityVote.fuse(&d).unwrap();
+        assert_eq!(r.probs(), mv.probs());
+    }
+}

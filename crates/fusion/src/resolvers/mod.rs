@@ -1,0 +1,279 @@
+//! Per-attribute conflict resolvers, after the data-fusion framing of Dong
+//! et al. ("Data Fusion: Resolving Conflicts from Multiple Sources") and the
+//! PyDI `DataFusionStrategy` shape.
+//!
+//! A [`ConflictResolver`] scores one *attribute group* — the statements an
+//! entity's sources propose for a single attribute — instead of running a
+//! global iterative model. [`ResolverMethod`] lifts any resolver into a
+//! [`FusionMethod`]: it walks every entity, groups its statements by
+//! attribute ([`attribute_groups`]), scores each group, rescales so each
+//! group's top statement gets 0.9 (preserving ratios, mirroring
+//! [`FusionResult::from_entity_shares`] but *per group* so attributes don't
+//! bleed into each other), and clamps everything through
+//! [`crate::PROB_FLOOR`].
+//!
+//! Determinism rules for resolvers: no randomness, no clocks, no hash-order
+//! iteration — groups arrive in statement-id order, attribute order is
+//! `BTreeMap` order (default attribute first), and `source_weights` must be
+//! a pure function of the dataset. Every shipped resolver scores in `[0, 1]`
+//! before calibration.
+
+mod composite;
+mod listwise;
+mod numeric;
+mod voting;
+
+pub use composite::DataFusionStrategy;
+pub use listwise::ListUnion;
+pub use numeric::{MostRecent, NumericAverage, NumericMedian};
+pub use voting::{FavourSources, TrustVoting, Voting, WeightedVoting};
+
+use crate::error::FusionError;
+use crate::model::{Dataset, Entity, StatementId};
+use crate::provenance::ProvenanceLedger;
+use crate::result::{FusionMethod, FusionResult};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A per-attribute conflict-resolution strategy.
+///
+/// Implementations are stateless and deterministic; see the module docs for
+/// the contract.
+pub trait ConflictResolver {
+    /// Machine-readable resolver name — also the name the lifted
+    /// [`ResolverMethod`] registers under.
+    fn name(&self) -> &'static str;
+
+    /// Per-source weights this resolver uses over `dataset`, indexed by
+    /// [`crate::SourceId`]. Computed once per fuse; recorded as provenance
+    /// contribution weights. Weightless resolvers return all `1.0`.
+    fn source_weights(&self, dataset: &Dataset) -> Vec<f64> {
+        vec![1.0; dataset.sources().len()]
+    }
+
+    /// Scores one attribute group (statement ids of a single entity and
+    /// attribute, in id order) given the precomputed `weights`. Returns one
+    /// raw score per group member, parallel to `group`.
+    fn resolve(&self, dataset: &Dataset, group: &[StatementId], weights: &[f64]) -> Vec<f64>;
+}
+
+/// Groups an entity's statements by attribute, default attribute (`None`)
+/// first, then attribute names in lexicographic order; statements stay in id
+/// order within each group.
+pub fn attribute_groups<'a>(
+    dataset: &'a Dataset,
+    entity: &Entity,
+) -> Vec<(Option<&'a str>, Vec<StatementId>)> {
+    let mut groups: BTreeMap<Option<&str>, Vec<StatementId>> = BTreeMap::new();
+    for &s in &entity.statements {
+        groups
+            .entry(dataset.statement_attribute(s))
+            .or_default()
+            .push(s);
+    }
+    groups.into_iter().collect()
+}
+
+/// Rescales one group's raw scores so the top score becomes `top`,
+/// preserving ratios — the per-group analogue of
+/// [`FusionResult::from_entity_shares`]. No-op when every score is ≤ 0.
+pub(crate) fn calibrate_group(scores: &mut [f64], top: f64) {
+    let max = scores.iter().copied().fold(0.0f64, f64::max);
+    if max > 0.0 {
+        let scale = top / max;
+        for s in scores {
+            *s *= scale;
+        }
+    }
+}
+
+/// Weighted vote share of each group member among the sources claiming
+/// *inside the group*: `score(s) = Σ w(supporters of s) / Σ w(group
+/// voters)`. The shared scoring core of all four voting-family resolvers
+/// (they differ only in their weights).
+pub(crate) fn weighted_group_vote(
+    dataset: &Dataset,
+    group: &[StatementId],
+    weights: &[f64],
+) -> Vec<f64> {
+    let voters: BTreeSet<u32> = group
+        .iter()
+        .flat_map(|&s| dataset.supporters(s).iter().map(|src| src.0))
+        .collect();
+    let total: f64 = voters.iter().map(|&v| weights[v as usize]).sum();
+    if total <= 0.0 {
+        return vec![0.0; group.len()];
+    }
+    group
+        .iter()
+        .map(|&s| {
+            dataset
+                .supporters(s)
+                .iter()
+                .map(|src| weights[src.0 as usize])
+                .sum::<f64>()
+                / total
+        })
+        .collect()
+}
+
+/// Lifts a [`ConflictResolver`] into a [`FusionMethod`] by applying it to
+/// every attribute group of every entity. See the module docs.
+#[derive(Debug, Clone)]
+pub struct ResolverMethod<R> {
+    resolver: R,
+}
+
+impl<R: ConflictResolver> ResolverMethod<R> {
+    /// Wraps `resolver`.
+    pub fn new(resolver: R) -> ResolverMethod<R> {
+        ResolverMethod { resolver }
+    }
+
+    /// Runs the resolver over every attribute group, returning the
+    /// calibrated per-statement scores and the resolver's source weights.
+    fn scores(&self, dataset: &Dataset) -> Result<(Vec<f64>, Vec<f64>), FusionError> {
+        if dataset.claims().is_empty() {
+            return Err(FusionError::NoClaims);
+        }
+        let weights = self.resolver.source_weights(dataset);
+        let mut probs = vec![0.0; dataset.statements().len()];
+        for entity in dataset.entities() {
+            for (_, group) in attribute_groups(dataset, entity) {
+                let mut scores = self.resolver.resolve(dataset, &group, &weights);
+                calibrate_group(&mut scores, 0.9);
+                for (&s, score) in group.iter().zip(scores) {
+                    probs[s.0 as usize] = score;
+                }
+            }
+        }
+        Ok((probs, weights))
+    }
+}
+
+impl<R: ConflictResolver> FusionMethod for ResolverMethod<R> {
+    fn name(&self) -> &'static str {
+        self.resolver.name()
+    }
+
+    fn fuse(&self, dataset: &Dataset) -> Result<FusionResult, FusionError> {
+        let (probs, _) = self.scores(dataset)?;
+        Ok(FusionResult::new(self.name(), probs))
+    }
+
+    fn fuse_with_provenance(
+        &self,
+        dataset: &Dataset,
+    ) -> Result<(FusionResult, ProvenanceLedger), FusionError> {
+        let (probs, weights) = self.scores(dataset)?;
+        let result = FusionResult::new(self.name(), probs);
+        let ledger =
+            ProvenanceLedger::from_source_weights(dataset, self.name(), &weights, &result, None);
+        Ok((result, ledger))
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+    use crate::model::DatasetBuilder;
+
+    /// A two-book dataset whose statements span three typed attributes
+    /// (author list, numeric page count, publication date) plus the default
+    /// attribute, claimed by four sources of differing quality.
+    pub fn attributed_dataset() -> Dataset {
+        let mut b = DatasetBuilder::new();
+        let good = b.add_source("good.com");
+        let okay = b.add_source("okay.net");
+        let noisy = b.add_source("noisy.org");
+        let lone = b.add_source("lone.io");
+        let book0 = b.add_entity("Book Zero");
+        let book1 = b.add_entity("Book One");
+
+        // Default attribute: author lists.
+        let a0 = b.add_statement(book0, "Ada Lovelace; Alan Turing").unwrap();
+        let a1 = b.add_statement(book0, "Grace Hopper").unwrap();
+        // pages: numeric.
+        let p0 = b.add_attributed_statement(book0, "pages", "320").unwrap();
+        let p1 = b.add_attributed_statement(book0, "pages", "318").unwrap();
+        let p2 = b.add_attributed_statement(book0, "pages", "1200").unwrap();
+        // published: dates.
+        let d0 = b
+            .add_attributed_statement(book0, "published", "2001-05-20")
+            .unwrap();
+        let d1 = b
+            .add_attributed_statement(book0, "published", "1999-01-02")
+            .unwrap();
+        // Book 1: authors only.
+        let a2 = b.add_statement(book1, "Edsger Dijkstra").unwrap();
+        let a3 = b.add_statement(book1, "Edsgar Dykstra").unwrap();
+
+        for (src, stmts) in [
+            (good, vec![a0, p0, d0, a2]),
+            (okay, vec![a0, p1, d0, a2]),
+            (noisy, vec![a1, p2, d1, a3]),
+            (lone, vec![a0, p0, d1]),
+        ] {
+            for s in stmts {
+                b.add_claim(src, s).unwrap();
+            }
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::attributed_dataset;
+    use super::*;
+    use crate::model::DatasetBuilder;
+
+    #[test]
+    fn attribute_groups_are_ordered_and_complete() {
+        let d = attributed_dataset();
+        let groups = attribute_groups(&d, &d.entities()[0]);
+        let names: Vec<Option<&str>> = groups.iter().map(|(a, _)| *a).collect();
+        assert_eq!(names, vec![None, Some("pages"), Some("published")]);
+        let total: usize = groups.iter().map(|(_, g)| g.len()).sum();
+        assert_eq!(total, d.entities()[0].statements.len());
+        // Statements stay in id order within each group.
+        for (_, g) in &groups {
+            assert!(g.windows(2).all(|w| w[0].0 < w[1].0));
+        }
+    }
+
+    #[test]
+    fn calibration_scales_top_to_target() {
+        let mut scores = vec![0.2, 0.4, 0.1];
+        calibrate_group(&mut scores, 0.9);
+        assert!((scores[1] - 0.9).abs() < 1e-12);
+        assert!((scores[0] - 0.45).abs() < 1e-12);
+        let mut zeros = vec![0.0, 0.0];
+        calibrate_group(&mut zeros, 0.9);
+        assert_eq!(zeros, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn resolver_methods_reject_empty_claims() {
+        let mut b = DatasetBuilder::new();
+        let e = b.add_entity("x");
+        b.add_statement(e, "v").unwrap();
+        let d = b.build();
+        assert_eq!(
+            ResolverMethod::new(Voting).fuse(&d).unwrap_err(),
+            FusionError::NoClaims
+        );
+    }
+
+    #[test]
+    fn group_vote_normalises_within_group() {
+        let d = attributed_dataset();
+        let weights = vec![1.0; d.sources().len()];
+        // pages group of book 0: ids 2, 3, 4 with supporters {good, lone},
+        // {okay}, {noisy} — four voters.
+        let group = vec![StatementId(2), StatementId(3), StatementId(4)];
+        let scores = weighted_group_vote(&d, &group, &weights);
+        assert!((scores[0] - 0.5).abs() < 1e-12);
+        assert!((scores[1] - 0.25).abs() < 1e-12);
+        assert!((scores[2] - 0.25).abs() < 1e-12);
+    }
+}

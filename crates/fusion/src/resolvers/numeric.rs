@@ -1,0 +1,233 @@
+//! Typed resolvers for numeric and date attributes: closeness to the
+//! claim-weighted average or median, and most-recent-date preference.
+//!
+//! All three parse statement text leniently (first numeric token /
+//! `YYYY[-MM[-DD]]` prefix) and fall back to plain vote shares for groups
+//! where nothing parses, so they degrade gracefully on non-typed data.
+
+use super::{weighted_group_vote, ConflictResolver};
+use crate::model::{Dataset, StatementId};
+
+/// Extracts the first numeric token of a statement's text: `"320"`,
+/// `"320 pages"` and `"approx 320.5"` all parse to a value; text without a
+/// digit does not.
+pub(crate) fn parse_number(text: &str) -> Option<f64> {
+    for token in text.split(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-')) {
+        if token.chars().any(|c| c.is_ascii_digit()) {
+            if let Ok(v) = token.parse::<f64>() {
+                return Some(v);
+            }
+        }
+    }
+    None
+}
+
+/// Parses a date written as `YYYY`, `YYYY-MM` or `YYYY-MM-DD` (also with
+/// `/` separators) into approximate days-since-year-0, good enough for
+/// ordering and age differences.
+pub(crate) fn parse_date_days(text: &str) -> Option<f64> {
+    let mut parts = text
+        .trim()
+        .split(['-', '/'])
+        .map(|p| p.trim().parse::<u32>());
+    let year = match parts.next() {
+        Some(Ok(y)) if (1000..=9999).contains(&y) => y,
+        _ => return None,
+    };
+    let month = match parts.next() {
+        None => 1,
+        Some(Ok(m)) if (1..=12).contains(&m) => m,
+        _ => return None,
+    };
+    let day = match parts.next() {
+        None => 1,
+        Some(Ok(d)) if (1..=31).contains(&d) => d,
+        _ => return None,
+    };
+    if parts.next().is_some() {
+        return None;
+    }
+    Some(year as f64 * 365.25 + (month - 1) as f64 * 30.44 + day as f64)
+}
+
+/// The claim-weighted sequence of parsed values in a group: every claim on a
+/// parseable statement contributes one sample carrying its source's weight.
+fn claimed_samples(
+    dataset: &Dataset,
+    group: &[StatementId],
+    weights: &[f64],
+    parse: impl Fn(&str) -> Option<f64>,
+) -> Vec<(f64, f64)> {
+    let mut samples = Vec::new();
+    for &s in group {
+        if let Some(v) = parse(dataset.statement_text(s)) {
+            for src in dataset.supporters(s) {
+                samples.push((v, weights[src.0 as usize]));
+            }
+        }
+    }
+    samples
+}
+
+/// Scores a parseable value by closeness to `center`:
+/// `1 / (1 + |v − center| / scale)` with `scale = max(|center|, 1)` — the
+/// consensus value scores 1, a value off by 100 % of the center scores 0.5.
+/// Unparseable statements score 0.
+fn closeness_scores(
+    dataset: &Dataset,
+    group: &[StatementId],
+    center: f64,
+    parse: impl Fn(&str) -> Option<f64>,
+) -> Vec<f64> {
+    let scale = center.abs().max(1.0);
+    group
+        .iter()
+        .map(|&s| match parse(dataset.statement_text(s)) {
+            Some(v) => 1.0 / (1.0 + (v - center).abs() / scale),
+            None => 0.0,
+        })
+        .collect()
+}
+
+/// Numeric resolver scoring closeness to the claim-weighted *mean* of the
+/// group's claimed values.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NumericAverage;
+
+impl ConflictResolver for NumericAverage {
+    fn name(&self) -> &'static str {
+        "numeric-average"
+    }
+
+    fn resolve(&self, dataset: &Dataset, group: &[StatementId], weights: &[f64]) -> Vec<f64> {
+        let samples = claimed_samples(dataset, group, weights, parse_number);
+        let total_w: f64 = samples.iter().map(|(_, w)| w).sum();
+        if total_w <= 0.0 {
+            return weighted_group_vote(dataset, group, weights);
+        }
+        let mean = samples.iter().map(|(v, w)| v * w).sum::<f64>() / total_w;
+        closeness_scores(dataset, group, mean, parse_number)
+    }
+}
+
+/// Numeric resolver scoring closeness to the *median* claimed value
+/// (claim-expanded; even counts average the two middles) — robust to a
+/// single wild outlier source.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NumericMedian;
+
+impl ConflictResolver for NumericMedian {
+    fn name(&self) -> &'static str {
+        "numeric-median"
+    }
+
+    fn resolve(&self, dataset: &Dataset, group: &[StatementId], weights: &[f64]) -> Vec<f64> {
+        let mut values: Vec<f64> = claimed_samples(dataset, group, weights, parse_number)
+            .into_iter()
+            .map(|(v, _)| v)
+            .collect();
+        if values.is_empty() {
+            return weighted_group_vote(dataset, group, weights);
+        }
+        values.sort_by(f64::total_cmp);
+        let n = values.len();
+        let median = if n % 2 == 1 {
+            values[n / 2]
+        } else {
+            (values[n / 2 - 1] + values[n / 2]) / 2.0
+        };
+        closeness_scores(dataset, group, median, parse_number)
+    }
+}
+
+/// Date resolver preferring the most recent claimed date: the latest date
+/// scores 1, older dates decay as `1 / (1 + age_in_years)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MostRecent;
+
+impl ConflictResolver for MostRecent {
+    fn name(&self) -> &'static str {
+        "most-recent"
+    }
+
+    fn resolve(&self, dataset: &Dataset, group: &[StatementId], weights: &[f64]) -> Vec<f64> {
+        let latest = claimed_samples(dataset, group, weights, parse_date_days)
+            .into_iter()
+            .map(|(v, _)| v)
+            .fold(f64::NEG_INFINITY, f64::max);
+        if !latest.is_finite() {
+            return weighted_group_vote(dataset, group, weights);
+        }
+        group
+            .iter()
+            .map(|&s| match parse_date_days(dataset.statement_text(s)) {
+                Some(d) if d <= latest => 1.0 / (1.0 + (latest - d) / 365.25),
+                // A date newer than every *claimed* date (unclaimed
+                // statement): treat as exactly current.
+                Some(_) => 1.0,
+                None => 0.0,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::attributed_dataset;
+    use super::super::ResolverMethod;
+    use super::*;
+    use crate::result::FusionMethod;
+
+    #[test]
+    fn number_and_date_parsing() {
+        assert_eq!(parse_number("320"), Some(320.0));
+        assert_eq!(parse_number("320 pages"), Some(320.0));
+        assert_eq!(parse_number("approx 12.5"), Some(12.5));
+        assert_eq!(parse_number("no digits"), None);
+        assert_eq!(parse_date_days("2001"), parse_date_days("2001-01-01"));
+        assert!(parse_date_days("2001-05-20") > parse_date_days("1999/01/02"));
+        assert_eq!(parse_date_days("Ada Lovelace"), None);
+        assert_eq!(parse_date_days("2001-13-01"), None);
+        assert_eq!(parse_date_days("2001-01-01-01"), None);
+    }
+
+    #[test]
+    fn median_shrugs_off_the_outlier() {
+        let d = attributed_dataset();
+        let r = ResolverMethod::new(NumericMedian).fuse(&d).unwrap();
+        // pages: 320 (×2 claims), 318, 1200. Median = 320; 318 is close,
+        // the 1200 outlier scores low.
+        assert!(r.prob(StatementId(2)) > r.prob(StatementId(4)));
+        assert!(r.prob(StatementId(3)) > r.prob(StatementId(4)));
+    }
+
+    #[test]
+    fn average_is_pulled_by_the_outlier_but_still_ranks_consensus_first() {
+        let d = attributed_dataset();
+        let r = ResolverMethod::new(NumericAverage).fuse(&d).unwrap();
+        assert!(r.prob(StatementId(2)) > r.prob(StatementId(4)));
+    }
+
+    #[test]
+    fn most_recent_prefers_the_later_date() {
+        let d = attributed_dataset();
+        let r = ResolverMethod::new(MostRecent).fuse(&d).unwrap();
+        // published: 2001-05-20 vs 1999-01-02.
+        assert!(r.prob(StatementId(5)) > r.prob(StatementId(6)));
+    }
+
+    #[test]
+    fn unparseable_groups_fall_back_to_voting() {
+        let d = attributed_dataset();
+        // Author statements carry no numbers or dates, so the numeric and
+        // date resolvers degrade to vote shares there: the corroborated
+        // author list still wins.
+        for r in [
+            ResolverMethod::new(NumericAverage).fuse(&d).unwrap(),
+            ResolverMethod::new(NumericMedian).fuse(&d).unwrap(),
+            ResolverMethod::new(MostRecent).fuse(&d).unwrap(),
+        ] {
+            assert!(r.prob(StatementId(0)) > r.prob(StatementId(1)));
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! The voting family of resolvers: plain, claim-weighted, trust-weighted
+//! and source-preference voting. All four score a group with
+//! [`weighted_group_vote`](super::weighted_group_vote) and differ only in
+//! how they weight sources.
+
+use super::{weighted_group_vote, ConflictResolver};
+use crate::model::{Dataset, StatementId};
+
+/// Plain voting: every source weighs 1, a statement's score is the fraction
+/// of the group's voters asserting it.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Voting;
+
+impl ConflictResolver for Voting {
+    fn name(&self) -> &'static str {
+        "vote"
+    }
+
+    fn resolve(&self, dataset: &Dataset, group: &[StatementId], weights: &[f64]) -> Vec<f64> {
+        weighted_group_vote(dataset, group, weights)
+    }
+}
+
+/// Claim-weighted voting: prolific sources count more. A source asserting
+/// `n` claims weighs `1 + ln(1 + n)` — coverage earns logarithmically
+/// diminishing credit, so one encyclopedic source cannot silence the field.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WeightedVoting;
+
+impl ConflictResolver for WeightedVoting {
+    fn name(&self) -> &'static str {
+        "weighted-vote"
+    }
+
+    fn source_weights(&self, dataset: &Dataset) -> Vec<f64> {
+        dataset
+            .claims_per_source()
+            .into_iter()
+            .map(|n| 1.0 + (1.0 + n as f64).ln())
+            .collect()
+    }
+
+    fn resolve(&self, dataset: &Dataset, group: &[StatementId], weights: &[f64]) -> Vec<f64> {
+        weighted_group_vote(dataset, group, weights)
+    }
+}
+
+/// Trust voting: source weights are bootstrapped agreement rates. A
+/// statement is *majority-backed* when its supporter count is the maximum in
+/// its entity; a source's trust is the Laplace-smoothed fraction of its
+/// claims that land on majority-backed statements, `(agree + 1) /
+/// (claims + 2)`. Sources that habitually dissent from the per-entity
+/// majority are discounted in every group they vote in.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TrustVoting;
+
+impl ConflictResolver for TrustVoting {
+    fn name(&self) -> &'static str {
+        "trust-vote"
+    }
+
+    fn source_weights(&self, dataset: &Dataset) -> Vec<f64> {
+        let mut majority_backed = vec![false; dataset.statements().len()];
+        for entity in dataset.entities() {
+            let max = entity
+                .statements
+                .iter()
+                .map(|&s| dataset.supporters(s).len())
+                .max()
+                .unwrap_or(0);
+            if max == 0 {
+                continue;
+            }
+            for &s in &entity.statements {
+                if dataset.supporters(s).len() == max {
+                    majority_backed[s.0 as usize] = true;
+                }
+            }
+        }
+        let mut agree = vec![0usize; dataset.sources().len()];
+        let mut claims = vec![0usize; dataset.sources().len()];
+        for c in dataset.claims() {
+            claims[c.source.0 as usize] += 1;
+            if majority_backed[c.statement.0 as usize] {
+                agree[c.source.0 as usize] += 1;
+            }
+        }
+        agree
+            .iter()
+            .zip(&claims)
+            .map(|(&a, &n)| (a as f64 + 1.0) / (n as f64 + 2.0))
+            .collect()
+    }
+
+    fn resolve(&self, dataset: &Dataset, group: &[StatementId], weights: &[f64]) -> Vec<f64> {
+        weighted_group_vote(dataset, group, weights)
+    }
+}
+
+/// Preference voting: sources earlier in a configured preference order
+/// dominate later ones. A listed source at rank `r` (0-based, `k` listed)
+/// weighs `(k − r + 1) · |sources|` — any listed source outvotes every
+/// unlisted source combined; unlisted sources weigh 1. With an empty
+/// preference list the preference order is every source name in
+/// lexicographic order — a deterministic default that keeps the registered
+/// method meaningful on any dataset.
+#[derive(Debug, Clone, Default)]
+pub struct FavourSources {
+    /// Source names in decreasing order of preference. Names not present in
+    /// the dataset are ignored.
+    pub preferred: Vec<String>,
+}
+
+impl FavourSources {
+    /// Prefers the given source names, most trusted first.
+    pub fn new(preferred: Vec<String>) -> FavourSources {
+        FavourSources { preferred }
+    }
+}
+
+impl ConflictResolver for FavourSources {
+    fn name(&self) -> &'static str {
+        "favour-sources"
+    }
+
+    fn source_weights(&self, dataset: &Dataset) -> Vec<f64> {
+        let order: Vec<&str> = if self.preferred.is_empty() {
+            let mut names: Vec<&str> = dataset.sources().iter().map(|s| s.name.as_str()).collect();
+            names.sort_unstable();
+            names
+        } else {
+            self.preferred.iter().map(String::as_str).collect()
+        };
+        let k = order.len();
+        let n = dataset.sources().len() as f64;
+        dataset
+            .sources()
+            .iter()
+            .map(|s| match order.iter().position(|&n| n == s.name) {
+                Some(r) => (k - r + 1) as f64 * n,
+                None => 1.0,
+            })
+            .collect()
+    }
+
+    fn resolve(&self, dataset: &Dataset, group: &[StatementId], weights: &[f64]) -> Vec<f64> {
+        weighted_group_vote(dataset, group, weights)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::attributed_dataset;
+    use super::super::ResolverMethod;
+    use super::*;
+    use crate::model::DatasetBuilder;
+    use crate::result::FusionMethod;
+
+    #[test]
+    fn plain_vote_favours_corroboration() {
+        let d = attributed_dataset();
+        let r = ResolverMethod::new(Voting).fuse(&d).unwrap();
+        // Authors of book 0: a0 has 3 supporters, a1 has 1.
+        assert!(r.prob(StatementId(0)) > r.prob(StatementId(1)));
+        // pages: 320 (2 supporters) beats both single-supporter variants.
+        assert!(r.prob(StatementId(2)) > r.prob(StatementId(3)));
+        assert!(r.prob(StatementId(2)) > r.prob(StatementId(4)));
+    }
+
+    #[test]
+    fn weighted_vote_weights_grow_with_claims() {
+        let d = attributed_dataset();
+        let w = WeightedVoting.source_weights(&d);
+        // good (4 claims) outweighs lone (3 claims).
+        assert!(w[0] > w[3]);
+        assert!(w.iter().all(|&x| x > 1.0));
+    }
+
+    #[test]
+    fn trust_vote_discounts_dissenters() {
+        let d = attributed_dataset();
+        let w = TrustVoting.source_weights(&d);
+        // noisy.org (index 2) always dissents from the majority; good.com
+        // (index 0) always agrees.
+        assert!(w[0] > w[2]);
+        // Trust is a smoothed rate in (0, 1).
+        assert!(w.iter().all(|&t| t > 0.0 && t < 1.0));
+    }
+
+    #[test]
+    fn trust_vote_flips_a_contested_majority() {
+        // Two habitual dissenters outnumber one corroborated source on the
+        // last entity; trust voting sides with the corroborated source.
+        let mut b = DatasetBuilder::new();
+        let good = b.add_source("good");
+        let okay = b.add_source("okay");
+        let bad1 = b.add_source("bad1");
+        let bad2 = b.add_source("bad2");
+        for i in 0..4 {
+            let e = b.add_entity(format!("e{i}"));
+            let t = b.add_statement(e, format!("t{i}")).unwrap();
+            let f1 = b.add_statement(e, format!("f1-{i}")).unwrap();
+            let f2 = b.add_statement(e, format!("f2-{i}")).unwrap();
+            b.add_claim(good, t).unwrap();
+            b.add_claim(okay, t).unwrap();
+            b.add_claim(bad1, f1).unwrap();
+            b.add_claim(bad2, f2).unwrap();
+        }
+        let e = b.add_entity("contested");
+        let t = b.add_statement(e, "true").unwrap();
+        let f = b.add_statement(e, "false").unwrap();
+        b.add_claim(good, t).unwrap();
+        b.add_claim(bad1, f).unwrap();
+        b.add_claim(bad2, f).unwrap();
+        let d = b.build();
+        let plain = ResolverMethod::new(Voting).fuse(&d).unwrap();
+        let trust = ResolverMethod::new(TrustVoting).fuse(&d).unwrap();
+        assert!(plain.prob(f) > plain.prob(t));
+        assert!(trust.prob(t) > trust.prob(f));
+    }
+
+    #[test]
+    fn favour_sources_override_vote_counts() {
+        let d = attributed_dataset();
+        // Prefer the dissenting source: its lone author claim should now
+        // beat the three-way corroborated one.
+        let favour = ResolverMethod::new(FavourSources::new(vec!["noisy.org".into()]));
+        let r = favour.fuse(&d).unwrap();
+        assert!(r.prob(StatementId(1)) > r.prob(StatementId(0)));
+        // Default preference order is lexicographic and deterministic.
+        let w = FavourSources::default().source_weights(&d);
+        let w2 = FavourSources::default().source_weights(&d);
+        assert_eq!(w, w2);
+        // good.com sorts first of the four names, so it gets the top weight.
+        assert!(w[0] > w[1] && w[0] > w[2] && w[0] > w[3]);
+    }
+}

@@ -2,6 +2,7 @@
 
 use crate::error::FusionError;
 use crate::model::{Dataset, EntityId, StatementId};
+use crate::provenance::ProvenanceLedger;
 use crate::PROB_FLOOR;
 use serde::{Deserialize, Serialize};
 
@@ -113,6 +114,24 @@ pub trait FusionMethod {
     /// Runs the method over the dataset, producing per-statement truth
     /// probabilities.
     fn fuse(&self, dataset: &Dataset) -> Result<FusionResult, FusionError>;
+
+    /// Runs the method and additionally returns a [`ProvenanceLedger`]:
+    /// which sources won each statement, their final contribution weights,
+    /// and the iteration of convergence where applicable.
+    ///
+    /// The default implementation calls [`FusionMethod::fuse`] and records
+    /// uniform source weights; methods that estimate per-source reliability
+    /// (CRH, TruthFinder, ACCU, the per-attribute resolvers) override it to
+    /// expose their real weights. The returned [`FusionResult`] is always
+    /// identical to what `fuse` produces.
+    fn fuse_with_provenance(
+        &self,
+        dataset: &Dataset,
+    ) -> Result<(FusionResult, ProvenanceLedger), FusionError> {
+        let result = self.fuse(dataset)?;
+        let ledger = ProvenanceLedger::uniform(dataset, self.name(), &result);
+        Ok((result, ledger))
+    }
 }
 
 /// The trivial initialiser: every statement gets probability 0.5 — the

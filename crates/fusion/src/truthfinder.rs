@@ -15,6 +15,7 @@
 
 use crate::error::FusionError;
 use crate::model::Dataset;
+use crate::provenance::ProvenanceLedger;
 use crate::result::{FusionMethod, FusionResult};
 use crate::text::jaccard;
 
@@ -82,12 +83,18 @@ impl TruthFinder {
 const MAX_TAU: f64 = 13.0; // −ln(1e−6) ≈ 13.8
 const MAX_SCORE: f64 = 60.0;
 
-impl FusionMethod for TruthFinder {
-    fn name(&self) -> &'static str {
-        "truthfinder"
-    }
+/// Outcome of the trust/confidence iteration: the converged statement
+/// confidences plus the final source-trust vector and iteration count.
+struct TfRun {
+    confidence: Vec<f64>,
+    trust: Vec<f64>,
+    iterations: usize,
+}
 
-    fn fuse(&self, dataset: &Dataset) -> Result<FusionResult, FusionError> {
+impl TruthFinder {
+    /// The trust/confidence fixed-point iteration — the shared core of
+    /// `fuse` and `fuse_with_provenance`.
+    fn run(&self, dataset: &Dataset) -> Result<TfRun, FusionError> {
         self.validate()?;
         if dataset.claims().is_empty() {
             return Err(FusionError::NoClaims);
@@ -172,7 +179,11 @@ impl FusionMethod for TruthFinder {
             };
             trust = new_trust;
             if residual < self.tolerance {
-                return Ok(FusionResult::new(self.name(), confidence));
+                return Ok(TfRun {
+                    confidence,
+                    trust,
+                    iterations,
+                });
             }
         }
         // Return the last iterate but flag non-convergence via error when the
@@ -183,7 +194,38 @@ impl FusionMethod for TruthFinder {
                 residual,
             });
         }
-        Ok(FusionResult::new(self.name(), confidence))
+        Ok(TfRun {
+            confidence,
+            trust,
+            iterations,
+        })
+    }
+}
+
+impl FusionMethod for TruthFinder {
+    fn name(&self) -> &'static str {
+        "truthfinder"
+    }
+
+    fn fuse(&self, dataset: &Dataset) -> Result<FusionResult, FusionError> {
+        let run = self.run(dataset)?;
+        Ok(FusionResult::new(self.name(), run.confidence))
+    }
+
+    fn fuse_with_provenance(
+        &self,
+        dataset: &Dataset,
+    ) -> Result<(FusionResult, ProvenanceLedger), FusionError> {
+        let run = self.run(dataset)?;
+        let result = FusionResult::new(self.name(), run.confidence);
+        let ledger = ProvenanceLedger::from_source_weights(
+            dataset,
+            self.name(),
+            &run.trust,
+            &result,
+            Some(run.iterations),
+        );
+        Ok((result, ledger))
     }
 }
 
@@ -230,6 +272,17 @@ mod tests {
         let r = TruthFinder::default().fuse(&b.build()).unwrap();
         assert!(r.prob(v1) > r.prob(v3));
         assert!(r.prob(v2) > r.prob(v3));
+    }
+
+    #[test]
+    fn provenance_exposes_trust_and_iterations() {
+        let d = two_book_dataset();
+        let (result, ledger) = TruthFinder::default().fuse_with_provenance(&d).unwrap();
+        assert_eq!(result, TruthFinder::default().fuse(&d).unwrap());
+        assert!(ledger.iterations.unwrap() >= 1);
+        assert_eq!(ledger.source_weights.len(), d.sources().len());
+        // Trust values live in (0, 1).
+        assert!(ledger.source_weights.values().all(|&t| t > 0.0 && t < 1.0));
     }
 
     #[test]

@@ -2,7 +2,8 @@
 
 use crowdfusion_fusion::text::{canonical_list, jaccard, lists_equivalent, split_authors};
 use crowdfusion_fusion::{
-    AccuVote, Crh, DatasetBuilder, FusionMethod, MajorityVote, ModifiedCrh, TruthFinder,
+    AccuVote, Crh, DatasetBuilder, FusionMethod, FusionReport, MajorityVote, ModifiedCrh,
+    StrategyRegistry, TruthFinder,
 };
 use proptest::prelude::*;
 
@@ -81,6 +82,45 @@ proptest! {
                 (Err(_), Err(_)) => {}
                 _ => prop_assert!(false, "non-deterministic failure"),
             }
+        }
+    }
+
+    #[test]
+    fn registry_built_methods_match_direct_construction(d in arb_dataset()) {
+        // The registry is pure plumbing: a method built by name must be
+        // bit-identical to the directly constructed backend — results AND
+        // provenance, success or failure.
+        let registry = StrategyRegistry::standard();
+        for direct in all_methods() {
+            let named = registry.build(direct.name()).unwrap();
+            match (direct.fuse(&d), named.fuse(&d)) {
+                (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+                (Err(_), Err(_)) => continue,
+                _ => prop_assert!(false, "{}: registry changed the outcome", direct.name()),
+            }
+            let (_, la) = direct.fuse_with_provenance(&d).unwrap();
+            let (_, lb) = named.fuse_with_provenance(&d).unwrap();
+            prop_assert_eq!(la, lb);
+        }
+    }
+
+    #[test]
+    fn ledger_and_report_json_are_byte_stable(d in arb_dataset()) {
+        // Provenance and reports must serialize to identical bytes on
+        // repeated runs — the property CI's fixture diff leans on.
+        for name in ["majority", "crh", "modified-crh", "vote", "per-attribute"] {
+            let registry = StrategyRegistry::standard();
+            let method = registry.build(name).unwrap();
+            let (result, ledger) = method.fuse_with_provenance(&d).unwrap();
+            let (result2, ledger2) = registry.build(name).unwrap().fuse_with_provenance(&d).unwrap();
+            prop_assert_eq!(&result, &result2);
+            prop_assert_eq!(
+                serde_json::to_string(&ledger).unwrap(),
+                serde_json::to_string(&ledger2).unwrap()
+            );
+            let report = FusionReport::generate(&d, &result, ledger);
+            let again = FusionReport::generate(&d, &result2, ledger2);
+            prop_assert_eq!(report.to_json_pretty(), again.to_json_pretty());
         }
     }
 

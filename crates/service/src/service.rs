@@ -99,6 +99,12 @@ pub struct ServiceConfig {
     pub threads: usize,
     /// Task selection backend.
     pub selector: SelectorChoice,
+    /// Name of the fusion method clients are expected to have produced
+    /// their marginals with (the `serve --method` flag). Validated against
+    /// the [`crowdfusion_fusion::StrategyRegistry`] at construction;
+    /// `Open` specs naming a method are validated against the same
+    /// registry, and specs without one are treated as this default.
+    pub method: String,
     /// Snapshot path confinement. `Some(dir)`: clients may only name bare
     /// file names, resolved inside `dir` — a network client can then
     /// never read or write outside it. `None`: client paths are taken
@@ -140,6 +146,7 @@ impl ServiceConfig {
             defaults,
             threads,
             selector,
+            method: crowdfusion_fusion::DEFAULT_METHOD.to_string(),
             snapshot_dir: None,
             durability: None,
             faults: FaultPlan::none(),
@@ -281,6 +288,9 @@ impl Inner {
 pub struct Service {
     inner: Mutex<Inner>,
     selector: Box<dyn TaskSelector + Send + Sync>,
+    /// The daemon's default fusion-method name (see
+    /// [`ServiceConfig::method`]).
+    method: String,
     threads: usize,
     snapshot_dir: Option<std::path::PathBuf>,
     clock: Clock,
@@ -300,6 +310,11 @@ impl Service {
     /// chaos harness treats a failed boot as another death and boots
     /// again).
     pub fn new(config: ServiceConfig) -> io::Result<Service> {
+        // The method name is operator input (`serve --method`): an unknown
+        // name must fail the boot, not the first client to open a session.
+        if let Err(e) = crowdfusion_fusion::StrategyRegistry::standard().build(&config.method) {
+            return Err(io::Error::new(io::ErrorKind::InvalidInput, e.to_string()));
+        }
         let pool = Pool::new(config.threads);
         let selector = config.selector.build();
         let clock = config.clock;
@@ -342,6 +357,7 @@ impl Service {
         Ok(Service {
             inner: Mutex::new(inner),
             selector,
+            method: config.method,
             threads: config.threads,
             snapshot_dir: config.snapshot_dir,
             clock,
@@ -588,9 +604,16 @@ impl Service {
                     }
                 }
                 // Pre-validate so malformed opens are rejected before the
-                // journal sees them.
+                // journal sees them. A spec naming a fusion method must
+                // name a registered one (absent = the daemon's default).
+                let registry = crowdfusion_fusion::StrategyRegistry::standard();
                 for spec in &entities {
                     spec.validate().map_err(err)?;
+                    if let Some(method) = &spec.method {
+                        registry
+                            .build(method)
+                            .map_err(|e| Fail::Msg(e.to_string()))?;
+                    }
                 }
                 if k.is_some() || budget.is_some() || pc.is_some() {
                     let defaults = inner.registry.defaults();
@@ -735,6 +758,11 @@ impl Service {
         self.threads
     }
 
+    /// The daemon's default fusion-method name.
+    pub fn method(&self) -> &str {
+        &self.method
+    }
+
     /// The per-connection read deadline, if one is configured.
     pub fn read_deadline_ms(&self) -> Option<u64> {
         self.read_deadline_ms
@@ -859,6 +887,53 @@ mod tests {
             panic!("metrics failed");
         };
         assert_eq!(metrics.judgments, 2);
+    }
+
+    #[test]
+    fn method_names_are_validated_at_boot_and_open() {
+        // Boot: an unknown --method fails construction with the registry's
+        // full listing, before any client connects.
+        let mut config = base_config();
+        config.method = "lda".to_string();
+        let Err(err) = Service::new(config) else {
+            panic!("unknown method must fail the boot");
+        };
+        assert!(err.to_string().contains("unknown fusion method"));
+        assert!(err.to_string().contains("modified-crh"));
+
+        // A non-default registered method boots and is visible.
+        let mut config = base_config();
+        config.method = "truthfinder".to_string();
+        let svc = Service::new(config).unwrap();
+        assert_eq!(svc.method(), "truthfinder");
+
+        // Open: specs naming a registered method pass; unknown names are
+        // rejected before the journal would see them.
+        let mut tagged = spec();
+        tagged.method = Some("per-attribute".to_string());
+        let Response::Opened { sessions } = svc.handle(Request::Open {
+            request: None,
+            entities: vec![tagged],
+            k: None,
+            budget: None,
+            pc: None,
+        }) else {
+            panic!("tagged open failed");
+        };
+        assert_eq!(sessions.len(), 1);
+        let mut bogus = spec();
+        bogus.method = Some("lda".to_string());
+        let response = svc.handle(Request::Open {
+            request: None,
+            entities: vec![bogus],
+            k: None,
+            budget: None,
+            pc: None,
+        });
+        assert!(
+            matches!(response, Response::Error { ref message } if message.contains("unknown fusion method")),
+            "{response:?}"
+        );
     }
 
     #[test]

@@ -54,20 +54,29 @@ fn specs() -> Vec<EntitySpec> {
         vec![true, true, false, true],
     );
     correlated.groups = vec![vec![0, 1]];
+    // Mixed method provenance: tagged specs must survive journal replay
+    // and snapshot recovery exactly like untagged (pre-method) ones.
+    correlated.method = Some("truthfinder".to_string());
+    let mut composite = EntitySpec::simple("c", vec![0.7, 0.2, 0.55], vec![true, false, false]);
+    composite.method = Some("per-attribute".to_string());
     vec![
         correlated,
         EntitySpec::simple("b", vec![0.5, 0.45], vec![false, true]),
-        EntitySpec::simple("c", vec![0.7, 0.2, 0.55], vec![true, false, false]),
+        composite,
     ]
 }
 
 fn base_config(threads: usize) -> ServiceConfig {
-    ServiceConfig::new(
+    let mut config = ServiceConfig::new(
         SEED,
         RoundConfig::new(2, 6, PC).unwrap(),
         threads,
         SelectorChoice::Greedy,
-    )
+    );
+    // The whole chaos matrix runs on a non-default daemon method: crash
+    // recovery must round-trip `serve --method` state like any other.
+    config.method = "truthfinder".to_string();
+    config
 }
 
 /// The supervisor: boots (and re-boots) services over one durability

@@ -6,13 +6,14 @@
 //! crowdfusion generate-books  --out books.json [--books N] [--sources N] [--seed S]
 //!                             [--min-statements N] [--max-statements N]
 //! crowdfusion generate-countries --out countries.json [--countries N] [--seed S]
-//! crowdfusion fuse            --dataset books.json --method crh|majority|modified-crh|
-//!                             truthfinder|accu [--out fusion.json]
+//! crowdfusion fuse            --dataset books.json --method NAME [--out fusion.json]
+//!                             [--report report.json]
 //! crowdfusion refine          --dataset books.json [--method NAME] [--k K] [--budget B]
 //!                             [--pc PC] [--selector greedy|greedy-pre|random] [--seed S]
 //!                             [--threads N] [--out trace.json] [--csv trace.csv]
 //! crowdfusion serve           [--addr HOST:PORT] [--transport tcp|stdio] [--threads N]
-//!                             [--selector NAME] [--k K] [--budget B] [--pc PC] [--seed S]
+//!                             [--selector NAME] [--method NAME]
+//!                             [--k K] [--budget B] [--pc PC] [--seed S]
 //!                             [--ready-file PATH] [--snapshot-dir DIR]
 //!                             [--wal-dir DIR] [--snapshot-every N] [--sync-every N]
 //!                             [--session-ttl-ms MS] [--read-deadline-ms MS]
@@ -40,7 +41,7 @@ use crowdfusion_datagen::book::generate as generate_books;
 use crowdfusion_datagen::country::generate as generate_countries;
 use crowdfusion_datagen::{export, BookGenConfig, CountryGenConfig, GeneratedBooks};
 use crowdfusion_fusion::{
-    AccuVote, Crh, FusionMethod, FusionResult, MajorityVote, ModifiedCrh, TruthFinder,
+    FusionMethod, FusionReport, FusionResult, StrategyRegistry, DEFAULT_METHOD,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -54,13 +55,15 @@ crowdfusion — crowdsourced data fusion refinement (ICDE 2017 reproduction)
 USAGE:
   crowdfusion generate-books --out PATH [--books N] [--sources N] [--seed S]
                              [--min-statements N] [--max-statements N]
+                             [--attributes true|false]
   crowdfusion generate-countries --out PATH [--countries N] [--seed S]
-  crowdfusion fuse --dataset PATH --method NAME [--out PATH]
+  crowdfusion fuse --dataset PATH --method NAME [--out PATH] [--report PATH]
   crowdfusion refine --dataset PATH [--method NAME] [--k K] [--budget B]
                      [--pc PC] [--selector greedy|greedy-pre|random] [--seed S]
                      [--threads N] [--out trace.json] [--csv trace.csv]
   crowdfusion serve  [--addr HOST:PORT] [--transport tcp|stdio] [--threads N]
-                     [--selector greedy|greedy-pre|random] [--k K] [--budget B]
+                     [--selector greedy|greedy-pre|random] [--method NAME]
+                     [--k K] [--budget B]
                      [--pc PC] [--seed S] [--ready-file PATH] [--snapshot-dir DIR]
                      [--wal-dir DIR] [--snapshot-every N] [--sync-every N]
                      [--session-ttl-ms MS] [--read-deadline-ms MS]
@@ -68,7 +71,16 @@ USAGE:
   crowdfusion demo
   crowdfusion help
 
-Fusion methods: majority, crh, modified-crh (default), truthfinder, accu.
+Fusion methods (the strategy registry; modified-crh is the default):
+  uniform, majority, crh, modified-crh, truthfinder, accu — global methods;
+  vote, weighted-vote, trust-vote, favour-sources — voting resolvers;
+  numeric-average, numeric-median, most-recent, list-union — typed resolvers;
+  per-attribute — the composite (authors/pages/published routed to their
+  resolvers, modified-crh fallback).
+fuse --report PATH writes the JSON fusion report (density, per-attribute
+coverage, conflict stats, full provenance) — byte-stable across runs and
+thread counts. serve --method NAME validates the daemon's default method
+against the registry at startup.
 Environment: CROWDFUSION_THREADS=N is the default for refine/serve --threads.
 serve speaks line-delimited JSON (one request per line; see crowdfusion_service)
 over TCP (default 127.0.0.1:7464) or stdio; --ready-file receives the bound
@@ -133,15 +145,12 @@ impl Flags {
     }
 }
 
+/// Resolves a method name through the one [`StrategyRegistry`] every
+/// consumer shares; unknown names error with the full registered list.
 fn build_method(name: &str) -> Result<Box<dyn FusionMethod>, String> {
-    match name {
-        "majority" => Ok(Box::new(MajorityVote)),
-        "crh" => Ok(Box::new(Crh::default())),
-        "modified-crh" => Ok(Box::new(ModifiedCrh::default())),
-        "truthfinder" => Ok(Box::new(TruthFinder::default())),
-        "accu" => Ok(Box::new(AccuVote::default())),
-        other => Err(format!("unknown fusion method {other:?}")),
-    }
+    StrategyRegistry::standard()
+        .build(name)
+        .map_err(|e| e.to_string())
 }
 
 fn load_books(path: &str) -> Result<GeneratedBooks, String> {
@@ -168,8 +177,10 @@ pub fn run(args: &[String]) -> Result<String, String> {
                 "seed",
                 "min-statements",
                 "max-statements",
+                "attributes",
             ])?;
             let out = flags.required("out")?;
+            let seed = flags.take("seed", 42u64)?;
             let config = BookGenConfig {
                 n_books: flags.take("books", 100usize)?,
                 n_sources: flags.take("sources", 10usize)?,
@@ -177,10 +188,16 @@ pub fn run(args: &[String]) -> Result<String, String> {
                     flags.take("min-statements", 3usize)?,
                     flags.take("max-statements", 8usize)?,
                 ),
-                seed: flags.take("seed", 42u64)?,
+                seed,
                 ..BookGenConfig::default()
             };
-            let books = generate_books(config);
+            let mut books = generate_books(config);
+            // --attributes true rebuilds the dataset with typed claims
+            // (authors/pages/published) for the per-attribute resolvers;
+            // plain output is byte-identical to pre-attribute builds.
+            if flags.take("attributes", false)? {
+                books = books.with_attributes(seed);
+            }
             export::save_books(&books, Path::new(&out)).map_err(|e| e.to_string())?;
             Ok(format!(
                 "wrote {} books / {} statements / {} claims to {out}\nraw claims correct: {:.1}%",
@@ -202,15 +219,24 @@ pub fn run(args: &[String]) -> Result<String, String> {
             Ok(format!("wrote {} countries to {out}", countries.len()))
         }
         "fuse" => {
-            flags.ensure_known(&["dataset", "method", "out"])?;
+            flags.ensure_known(&["dataset", "method", "out", "report"])?;
             let books = load_books(&flags.required("dataset")?)?;
             let method = build_method(&flags.required("method")?)?;
-            let result: FusionResult = method
-                .fuse(&books.dataset)
+            // The provenance-carrying path returns the exact FusionResult
+            // `fuse` would (a tested invariant of every method), so taking
+            // it unconditionally keeps plain runs byte-identical.
+            let (result, ledger): (FusionResult, _) = method
+                .fuse_with_provenance(&books.dataset)
                 .map_err(|e| format!("fusion failed: {e}"))?;
             let accuracy = result.accuracy_against(&books.gold);
             if let Some(out) = flags.optional("out") {
                 write_json(&result, &out)?;
+            }
+            if let Some(path) = flags.optional("report") {
+                let mut report = FusionReport::generate(&books.dataset, &result, ledger);
+                report.accuracy = Some(accuracy);
+                std::fs::write(&path, report.to_json_pretty())
+                    .map_err(|e| format!("cannot write {path}: {e}"))?;
             }
             Ok(format!(
                 "{}: statement accuracy vs gold = {accuracy:.3} over {} statements",
@@ -224,10 +250,11 @@ pub fn run(args: &[String]) -> Result<String, String> {
                 "threads",
             ])?;
             let books = load_books(&flags.required("dataset")?)?;
-            let method = build_method(&flags.take("method", "modified-crh".to_string())?)?;
-            let fusion = method
-                .fuse(&books.dataset)
-                .map_err(|e| format!("fusion failed: {e}"))?;
+            let method_name = flags.take("method", DEFAULT_METHOD.to_string())?;
+            // Registry lookup + fuse in one step, shared with the offline
+            // pipeline (same path a `fuse` of the same name runs).
+            let fusion =
+                crate::pipeline::fuse_books(&books, &method_name).map_err(|e| e.to_string())?;
             let cases = entity_cases_from_books(&books, &fusion).map_err(|e| e.to_string())?;
             let k = flags.take("k", 2usize)?;
             let budget = flags.take("budget", 60usize)?;
@@ -312,6 +339,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
                 "transport",
                 "threads",
                 "selector",
+                "method",
                 "k",
                 "budget",
                 "pc",
@@ -353,6 +381,12 @@ pub fn run(args: &[String]) -> Result<String, String> {
             // verbatim (appropriate for the default loopback bind only).
             let mut config =
                 crowdfusion_service::ServiceConfig::new(seed, defaults, threads, selector);
+            // The daemon's default fusion method: validate eagerly so an
+            // unknown name fails here (flag parity with refine) rather
+            // than deep inside Service::new's boot error.
+            let method = flags.take("method", DEFAULT_METHOD.to_string())?;
+            build_method(&method)?;
+            config.method = method;
             config.snapshot_dir = flags.optional("snapshot-dir").map(PathBuf::from);
             // --wal-dir turns on crash safety: every mutation is
             // journalled there and the daemon auto-snapshots on the
@@ -587,10 +621,76 @@ mod tests {
     }
 
     #[test]
+    fn usage_lists_every_registered_method() {
+        // The USAGE text is a constant, so it can drift from the registry;
+        // this pins them together.
+        for name in StrategyRegistry::standard().names() {
+            assert!(USAGE.contains(name), "USAGE is missing method {name:?}");
+        }
+    }
+
+    #[test]
+    fn fuse_report_is_byte_stable_and_method_agnostic() {
+        let books = tmp("books-report.json");
+        run(&args(&["generate-books", "--out", &books, "--books", "5"])).unwrap();
+        let report_a = tmp("report-a.json");
+        let report_b = tmp("report-b.json");
+        let fuse = |method: &str, report: &str| {
+            run(&args(&[
+                "fuse",
+                "--dataset",
+                &books,
+                "--method",
+                method,
+                "--report",
+                report,
+            ]))
+            .unwrap();
+            std::fs::read_to_string(report).unwrap()
+        };
+        // Two identical runs emit identical bytes.
+        let first = fuse("crh", &report_a);
+        assert_eq!(first, fuse("crh", &report_b));
+        assert!(first.contains("\"schema\": \"crowdfusion.fusion-report/v1\""));
+        assert!(first.contains("\"provenance\""));
+        assert!(first.contains("\"accuracy\""));
+        // The composite also reports end to end.
+        let composite = fuse("per-attribute", &report_b);
+        assert!(composite.contains("\"method\": \"per-attribute\""));
+        for f in [&books, &report_a, &report_b] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn refine_runs_atop_registry_strategies() {
+        let books = tmp("books-methods.json");
+        run(&args(&["generate-books", "--out", &books, "--books", "3"])).unwrap();
+        for method in ["vote", "per-attribute"] {
+            let report = run(&args(&[
+                "refine",
+                "--dataset",
+                &books,
+                "--method",
+                method,
+                "--budget",
+                "4",
+            ]))
+            .unwrap();
+            assert!(report.contains(method), "{report}");
+            assert!(report.contains("refined"), "{report}");
+        }
+        std::fs::remove_file(&books).ok();
+    }
+
+    #[test]
     fn serve_validates_flags() {
         assert!(run(&args(&["serve", "--selector", "oracle"]))
             .unwrap_err()
             .contains("unknown selector"));
+        assert!(run(&args(&["serve", "--method", "lda"]))
+            .unwrap_err()
+            .contains("unknown fusion method"));
         assert!(run(&args(&["serve", "--transport", "carrier-pigeon"]))
             .unwrap_err()
             .contains("unknown transport"));
@@ -618,6 +718,8 @@ mod tests {
             &ready,
             "--budget",
             "4",
+            "--method",
+            "truthfinder",
         ]);
         let daemon = std::thread::spawn(move || run(&args_owned));
         // Wait for the daemon to publish its bound address.

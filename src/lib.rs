@@ -11,7 +11,9 @@
 //! * [`jointdist`] — joint distributions over Bernoulli facts (the paper's
 //!   output sets), entropy, factor-graph priors, sampling;
 //! * [`fusion`] — truth-discovery substrate: claims datasets, majority
-//!   voting, CRH (+ the paper's modified CRH), TruthFinder, ACCU;
+//!   voting, CRH (+ the paper's modified CRH), TruthFinder, ACCU,
+//!   per-attribute conflict resolvers, the strategy registry every
+//!   consumer resolves method names through, and run provenance/reports;
 //! * [`crowd`] — the crowdsourcing substrate: workers, Bernoulli answer
 //!   models, platform simulator, accuracy pre-tests;
 //! * [`datagen`] — synthetic Book / country datasets with gold standards;
@@ -79,7 +81,8 @@ pub mod prelude {
     };
     pub use crowdfusion_datagen::{BookGenConfig, CountryGenConfig, GeneratedBooks};
     pub use crowdfusion_fusion::{
-        AccuVote, Crh, Dataset, FusionMethod, FusionResult, MajorityVote, ModifiedCrh, TruthFinder,
+        AccuVote, Crh, DataFusionStrategy, Dataset, FusionMethod, FusionReport, FusionResult,
+        MajorityVote, ModifiedCrh, ProvenanceLedger, StrategyRegistry, TruthFinder,
     };
     pub use crowdfusion_jointdist::{
         binary_entropy, Assignment, Factor, FactorGraphBuilder, JointDist, VarSet,

@@ -10,8 +10,19 @@ use crowdfusion_core::error::CoreError;
 use crowdfusion_core::round::EntityCase;
 use crowdfusion_core::session::EntitySpec;
 use crowdfusion_datagen::{export, GeneratedBooks};
-use crowdfusion_fusion::{EntityId, FusionResult};
+use crowdfusion_fusion::{EntityId, FusionError, FusionResult, StrategyRegistry};
 use crowdfusion_jointdist::Assignment;
+
+/// Runs the named fusion strategy over the books' dataset — the machine
+/// half of `refine --method NAME`. The name resolves through the one
+/// [`StrategyRegistry`] every consumer shares, so the pipeline is not
+/// pinned to any particular backend; unknown names error with the full
+/// registered list.
+pub fn fuse_books(books: &GeneratedBooks, method: &str) -> Result<FusionResult, FusionError> {
+    StrategyRegistry::standard()
+        .build(method)?
+        .fuse(&books.dataset)
+}
 
 /// Builds the gold [`Assignment`] of one book from its per-statement gold
 /// labels.
@@ -71,9 +82,21 @@ mod tests {
     }
 
     #[test]
+    fn fuse_books_matches_the_direct_backend() {
+        let books = generate(BookGenConfig::quick());
+        let direct = ModifiedCrh::default().fuse(&books.dataset).unwrap();
+        let named = fuse_books(&books, "modified-crh").unwrap();
+        assert_eq!(named, direct);
+        assert!(fuse_books(&books, "lda")
+            .unwrap_err()
+            .to_string()
+            .contains("unknown fusion method"));
+    }
+
+    #[test]
     fn cases_align_with_books() {
         let books = generate(BookGenConfig::quick());
-        let fusion = ModifiedCrh::default().fuse(&books.dataset).unwrap();
+        let fusion = fuse_books(&books, crowdfusion_fusion::DEFAULT_METHOD).unwrap();
         let cases = entity_cases_from_books(&books, &fusion).unwrap();
         assert_eq!(cases.len(), books.dataset.entities().len());
         for (case, entity) in cases.iter().zip(books.dataset.entities()) {

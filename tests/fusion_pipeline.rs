@@ -1,8 +1,9 @@
 //! Integration test: fusion substrate → prior construction → refinement.
 
-use crowdfusion::fusion::UniformPrior;
+use crowdfusion::fusion::StrategyRegistry;
 use crowdfusion::pipeline::{entity_cases_from_books, gold_assignment};
 use crowdfusion::prelude::*;
+use rand::SeedableRng;
 
 fn books() -> GeneratedBooks {
     crowdfusion::datagen::book::generate(BookGenConfig::quick())
@@ -11,15 +12,11 @@ fn books() -> GeneratedBooks {
 #[test]
 fn all_fusion_methods_produce_valid_cases() {
     let books = books();
-    let methods: Vec<Box<dyn FusionMethod>> = vec![
-        Box::new(MajorityVote),
-        Box::new(Crh::default()),
-        Box::new(ModifiedCrh::default()),
-        Box::new(TruthFinder::default()),
-        Box::new(AccuVote::default()),
-        Box::new(UniformPrior),
-    ];
-    for method in methods {
+    // Every registered strategy — including the per-attribute composite
+    // and the resolver-backed methods — must feed the prior pipeline.
+    let registry = StrategyRegistry::standard();
+    for name in registry.names() {
+        let method = registry.build(name).unwrap();
         let result = method.fuse(&books.dataset).unwrap();
         assert_eq!(result.probs().len(), books.dataset.statements().len());
         for &p in result.probs() {
@@ -36,6 +33,44 @@ fn all_fusion_methods_produce_valid_cases() {
             assert!((case.prior.total_mass() - 1.0).abs() < 1e-9);
             case.validate().unwrap();
         }
+    }
+}
+
+#[test]
+fn registry_backends_refine_thread_count_invariantly() {
+    // A registry-built backend must be indistinguishable from the direct
+    // construction all the way through refinement: identical cases,
+    // identical sharded traces, at 1 and 4 worker threads.
+    let books = books();
+    let direct = Crh::default().fuse(&books.dataset).unwrap();
+    let named = crowdfusion::pipeline::fuse_books(&books, "crh").unwrap();
+    assert_eq!(direct, named);
+
+    let config = RoundConfig::new(2, 4, 0.8).unwrap();
+    let mut traces = Vec::new();
+    for result in [&direct, &named] {
+        for threads in [1usize, 4] {
+            let cases = entity_cases_from_books(&books, result).unwrap();
+            let experiment = Experiment::new(cases, config).unwrap();
+            let mut platform = CrowdPlatform::new(
+                WorkerPool::uniform(30, 0.8).unwrap(),
+                UniformAccuracy::new(0.8),
+                7,
+            );
+            let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+            let trace = experiment
+                .run_sharded(
+                    &GreedySelector::fast(),
+                    &mut platform,
+                    &mut rng,
+                    &crowdfusion::core::Pool::new(threads),
+                )
+                .unwrap();
+            traces.push(trace);
+        }
+    }
+    for t in &traces[1..] {
+        assert_eq!(&traces[0], t, "trace diverged across backend/threads");
     }
 }
 

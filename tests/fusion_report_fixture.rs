@@ -1,0 +1,56 @@
+//! The committed fusion-report fixture: the exact `generate-books` +
+//! `fuse --method crh --report` invocation CI's smoke step runs must
+//! reproduce `tests/fixtures/fusion_report_crh.json` byte for byte. A
+//! diff here means the report schema, the fusion output, or the seeded
+//! dataset changed — all of which require updating the committed fixture
+//! (and saying so) in the same commit.
+
+use crowdfusion::cli::run;
+
+fn args(list: &[&str]) -> Vec<String> {
+    list.iter().map(|s| s.to_string()).collect()
+}
+
+#[test]
+fn crh_report_matches_committed_fixture() {
+    let dir = std::env::temp_dir().join("crowdfusion-report-fixture-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let books = dir.join("books.json").display().to_string();
+    let report = dir.join("report.json").display().to_string();
+
+    // Keep these argument lists in lockstep with the "Fusion report smoke"
+    // step in .github/workflows/ci.yml.
+    run(&args(&[
+        "generate-books",
+        "--out",
+        &books,
+        "--books",
+        "20",
+        "--sources",
+        "8",
+        "--seed",
+        "42",
+        "--attributes",
+        "true",
+    ]))
+    .unwrap();
+    run(&args(&[
+        "fuse",
+        "--dataset",
+        &books,
+        "--method",
+        "crh",
+        "--report",
+        &report,
+    ]))
+    .unwrap();
+
+    let fresh = std::fs::read_to_string(&report).unwrap();
+    std::fs::remove_file(&books).ok();
+    std::fs::remove_file(&report).ok();
+    let committed = include_str!("fixtures/fusion_report_crh.json");
+    assert_eq!(
+        fresh, committed,
+        "fuse --report output drifted from tests/fixtures/fusion_report_crh.json"
+    );
+}
