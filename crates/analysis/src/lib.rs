@@ -15,6 +15,9 @@
 //! - `entropy-rng` — `from_entropy`/`thread_rng`/`rand::random`.
 //! - `adhoc-thread` — `thread::{spawn,scope,Builder}`; concurrency must
 //!   route through the pool so float reductions combine in index order.
+//! - `adhoc-nonblocking` — `set_nonblocking`/`O_NONBLOCK` outside
+//!   `vendor/polling`; sockets go nonblocking only through the poller's
+//!   registration path.
 //! - `unsafe-no-safety` — an `unsafe` site with no adjacent `// SAFETY:`.
 //! - `unused-allow` — an annotation that suppressed nothing (annotations
 //!   cannot go stale silently).

@@ -31,6 +31,10 @@ pub enum Rule {
     /// `thread::{spawn,scope,Builder}` in trace-affecting code: concurrency
     /// must route through the pool, whose reducer combines in index order.
     AdhocThread,
+    /// `set_nonblocking`/`O_NONBLOCK` outside `vendor/polling`: readiness
+    /// I/O must go through the poller's registration path, which owns the
+    /// nonblocking transition, so no socket is half-configured.
+    AdhocNonblocking,
     /// An `unsafe` site without an adjacent `// SAFETY:` comment.
     UnsafeNoSafety,
     /// An `// analyze: allow(...)` annotation that suppressed no finding.
@@ -45,6 +49,7 @@ impl Rule {
             Rule::WallClock => "wall-clock",
             Rule::EntropyRng => "entropy-rng",
             Rule::AdhocThread => "adhoc-thread",
+            Rule::AdhocNonblocking => "adhoc-nonblocking",
             Rule::UnsafeNoSafety => "unsafe-no-safety",
             Rule::UnusedAllow => "unused-allow",
         }
@@ -83,17 +88,22 @@ impl fmt::Display for Finding {
 /// Which rules run for a crate. Determinism rules cover every trace-
 /// affecting crate; `bench` is exempt from them (benchmarks time things and
 /// may thread freely — their output is never part of a trace). Unsafe
-/// hygiene and entropy rules run everywhere. Unknown crate names get the
-/// full set: fail closed.
+/// hygiene, entropy and nonblocking-socket rules run everywhere. Unknown
+/// crate names get the full set: fail closed.
 pub fn rules_for_crate(crate_name: &str) -> &'static [Rule] {
     const FULL: &[Rule] = &[
         Rule::HashIter,
         Rule::WallClock,
         Rule::EntropyRng,
         Rule::AdhocThread,
+        Rule::AdhocNonblocking,
         Rule::UnsafeNoSafety,
     ];
-    const BENCH: &[Rule] = &[Rule::EntropyRng, Rule::UnsafeNoSafety];
+    const BENCH: &[Rule] = &[
+        Rule::EntropyRng,
+        Rule::AdhocNonblocking,
+        Rule::UnsafeNoSafety,
+    ];
     match crate_name {
         "bench" => BENCH,
         _ => FULL,
@@ -219,6 +229,12 @@ fn pattern_findings(sf: &SourceFile, rules: &[Rule]) -> Vec<Finding> {
                  nondeterministic — use BTreeMap/BTreeSet, or mark membership-only use \
                  with `// analyze: allow(hash-iter)`",
             ),
+            "set_nonblocking" | "O_NONBLOCK" => emit(
+                Rule::AdhocNonblocking,
+                line,
+                "raw nonblocking-socket control outside vendor/polling; readiness I/O \
+                 must acquire O_NONBLOCK through the poller's registration path",
+            ),
             "Instant" | "SystemTime" => emit(
                 Rule::WallClock,
                 line,
@@ -319,6 +335,33 @@ let b: HashSet<u32> = HashSet::new();
     fn test_code_is_exempt() {
         let src = "#[cfg(test)]\nmod tests {\n    fn t() { let m = HashMap::new(); }\n}\n";
         assert!(run("core", src).is_empty());
+    }
+
+    #[test]
+    fn raw_nonblocking_control_is_flagged_everywhere() {
+        // The method call and the libc constant both fire, in every crate
+        // class — readiness I/O owns the nonblocking transition.
+        for crate_name in ["service", "bench"] {
+            let f = run(crate_name, "stream.set_nonblocking(true)?;\n");
+            assert_eq!(f.len(), 1, "{crate_name}: {f:?}");
+            assert_eq!(f[0].rule, Rule::AdhocNonblocking);
+        }
+        let f = run("core", "let flags = old | libc::O_NONBLOCK;\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::AdhocNonblocking);
+    }
+
+    #[test]
+    fn nonblocking_tokens_in_comments_and_allows_are_clean() {
+        // Prose mentioning the constant is not a finding, and the
+        // annotation works like any other rule's.
+        let f = run("service", "// the only path to O_NONBLOCK is register\n");
+        assert!(f.is_empty(), "{f:?}");
+        let f = run(
+            "service",
+            "// analyze: allow(adhoc-nonblocking)\nsock.set_nonblocking(true)?;\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
     }
 
     #[test]

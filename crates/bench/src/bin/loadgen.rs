@@ -3,35 +3,51 @@
 //!
 //! ```text
 //! loadgen [--sessions N] [--clients C] [--threads T] [--k K] [--budget B]
-//!         [--pc PC] [--seed S] [--json PATH] [--wal-dir DIR] [--quick]
+//!         [--pc PC] [--seed S] [--json PATH] [--wal-dir DIR]
+//!         [--group-commit] [--matrix] [--quick]
 //! ```
 //!
 //! The generated books are fused (modified CRH), shipped to the daemon in
 //! the wire format, and every session is driven to budget exhaustion by a
 //! pool of client threads — each round's answers replayed from the
 //! session's recorded seed and delivered in two partial batches, the
-//! ingestion pattern a real crowd produces. Reported throughput
-//! (sessions/s, answers/s, requests/s) lands in the same `BenchRow` JSON
-//! the criterion benches emit, so the bench-gate tooling can diff it.
+//! ingestion pattern a real crowd produces. The whole drive rides the
+//! typed client API (`client.open_all(..)` / `session.select()` /
+//! `session.absorb(..)`), so the bench also exercises the public surface
+//! integrators use. Reported throughput (sessions/s, answers/s,
+//! requests/s) lands in the same `BenchRow` JSON the criterion benches
+//! emit, so the bench-gate tooling can diff it.
 //!
 //! `--wal-dir` runs the daemon crash-safe (every mutation journalled —
 //! the durability overhead shows up directly in the request throughput)
 //! and additionally measures **recovery time**: the populated directory
 //! is copied aside before shutdown and a fresh daemon is booted from the
 //! copy, timing the full snapshot-load + journal-replay path.
+//! `--group-commit` switches the journal to one fsync per event-loop
+//! ready-batch instead of per record.
+//!
+//! `--matrix` appends the concurrent-session scaling matrix: extra
+//! many-client × many-session workloads (up to 10 000 sessions resident
+//! in the sharded registry at once, driven one round each) whose rows
+//! join the `serve/loadgen` gate under `serve/loadgen/matrix/...`.
 
 use crowdfusion::pipeline::entity_specs_from_books;
 use crowdfusion::prelude::*;
 use crowdfusion_bench::gate::BenchRow;
 use crowdfusion_bench::{fmt_secs, is_quick, standard_books, time_secs};
-use crowdfusion_core::round::RoundConfig;
 use crowdfusion_crowd::AnswerReplay;
-use crowdfusion_service::protocol::{Request, Response, WireAnswer};
+use crowdfusion_service::protocol::{Request, Response};
 use crowdfusion_service::{
-    serve_tcp, Client, DurabilityConfig, SelectorChoice, Service, ServiceConfig,
+    serve_tcp, Client, DurabilityConfig, OpenOptions, Selected, ServeConfig, Service,
 };
 use std::net::TcpListener;
 use std::sync::Arc;
+
+/// The `--matrix` scaling combos: (sessions, clients). The 10k row is
+/// the headline — ten thousand sessions resident in the sharded
+/// registry at once on a 4-core runner — with a smaller row below it so
+/// the gate's median sees the scaling trend, not one point.
+const MATRIX: &[(usize, usize)] = &[(2_500, 8), (10_000, 16)];
 
 struct Args {
     sessions: usize,
@@ -43,6 +59,8 @@ struct Args {
     seed: u64,
     json: Option<String>,
     wal_dir: Option<String>,
+    group_commit: bool,
+    matrix: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -57,6 +75,8 @@ fn parse_args() -> Result<Args, String> {
         seed: 7,
         json: None,
         wal_dir: None,
+        group_commit: false,
+        matrix: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -78,16 +98,40 @@ fn parse_args() -> Result<Args, String> {
             "--seed" => parsed.seed = value("seed")?.parse().map_err(|e| format!("{e}"))?,
             "--json" => parsed.json = Some(value("json")?),
             "--wal-dir" => parsed.wal_dir = Some(value("wal-dir")?),
+            "--group-commit" => parsed.group_commit = true,
+            "--matrix" => parsed.matrix = true,
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
     if parsed.sessions == 0 || parsed.clients == 0 {
         return Err("--sessions and --clients must be positive".to_string());
     }
+    if parsed.group_commit && parsed.wal_dir.is_none() {
+        return Err("--group-commit requires --wal-dir".to_string());
+    }
     Ok(parsed)
 }
 
-/// Drives one session to exhaustion; returns (answers absorbed, requests).
+/// One workload the generator drives end to end: its bench-row label
+/// prefix plus everything needed to boot a daemon and exhaust every
+/// session.
+struct Workload {
+    label: String,
+    sessions: usize,
+    clients: usize,
+    threads: usize,
+    k: usize,
+    budget: usize,
+    pc: f64,
+    seed: u64,
+    wal_dir: Option<String>,
+    group_commit: bool,
+    /// Copy the WAL aside pre-shutdown and time a cold boot from it.
+    measure_recovery: bool,
+}
+
+/// Drives one session to exhaustion through the typed handle; returns
+/// (answers absorbed, requests issued).
 fn drive_session(
     client: &mut Client,
     session: u64,
@@ -99,12 +143,12 @@ fn drive_session(
     let mut replay = AnswerReplay::from_seed(answer_seed);
     let mut answers_absorbed = 0u64;
     let mut requests = 0u64;
+    let mut handle = client.session(session);
     loop {
         requests += 1;
-        let tasks = match client.roundtrip(&Request::Select { session }).unwrap() {
-            Response::Round { tasks, .. } => tasks,
-            Response::Exhausted { .. } => return (answers_absorbed, requests),
-            other => panic!("unexpected select response {other:?}"),
+        let tasks = match handle.select().unwrap() {
+            Selected::Round { tasks, .. } => tasks,
+            Selected::Exhausted { .. } => return (answers_absorbed, requests),
         };
         let crowd_tasks: Vec<Task> = tasks
             .iter()
@@ -115,61 +159,47 @@ fn drive_session(
             })
             .collect();
         let truths: Vec<bool> = tasks.iter().map(|t| gold[t.fact]).collect();
-        let wire: Vec<WireAnswer> = replay
+        let pairs: Vec<(u64, bool)> = replay
             .answers(pool, model, &crowd_tasks, &truths)
             .unwrap()
             .iter()
-            .map(|a| WireAnswer {
-                task: a.task.0,
-                value: a.value,
-            })
+            .map(|a| (a.task.0, a.value))
             .collect();
         // Two partial deliveries per round: the streaming ingestion path,
         // not a single closed-loop batch.
-        let cut = wire.len().div_ceil(2);
-        for batch in [&wire[..cut], &wire[cut..]] {
+        let cut = pairs.len().div_ceil(2);
+        for batch in [&pairs[..cut], &pairs[cut..]] {
             if batch.is_empty() {
                 continue;
             }
             requests += 1;
-            match client
-                .roundtrip(&Request::Absorb {
-                    session,
-                    answers: batch.to_vec(),
-                })
-                .unwrap()
-            {
-                Response::Absorbed { accepted, .. } => answers_absorbed += accepted as u64,
-                other => panic!("unexpected absorb response {other:?}"),
-            }
+            answers_absorbed += handle.absorb(batch).unwrap().accepted as u64;
         }
     }
 }
 
-fn main() {
-    let args = match parse_args() {
-        Ok(args) => args,
-        Err(message) => {
-            eprintln!("loadgen: {message}");
-            std::process::exit(2);
-        }
-    };
-
+/// Boots a daemon, opens every session, drives them all to exhaustion,
+/// and returns the workload's gate rows (printing its report as it goes).
+fn run_workload(w: &Workload) -> Vec<BenchRow> {
     // Dataset → fusion → wire specs (the refine pipeline's front half).
-    let books = standard_books(args.sessions, (3, 6), args.seed);
+    let books = standard_books(w.sessions, (3, 6), w.seed);
     let fusion = ModifiedCrh::default()
         .fuse(&books.dataset)
         .expect("fusion succeeds on generated data");
     let specs = entity_specs_from_books(&books, &fusion);
     let golds: Vec<Vec<bool>> = specs.iter().map(|s| s.gold.clone()).collect();
 
-    // Daemon on loopback.
-    let config = RoundConfig::new(args.k, args.budget, args.pc).expect("valid config");
-    let mut service_config =
-        ServiceConfig::new(args.seed, config, args.threads, SelectorChoice::Greedy);
-    if let Some(dir) = &args.wal_dir {
-        service_config.durability = Some(DurabilityConfig::new(dir));
+    // Daemon on loopback, configured through the serve builder — the
+    // same validation path `serve --config` takes.
+    let mut serve = ServeConfig::new()
+        .seed(w.seed)
+        .round(w.k, w.budget, w.pc)
+        .threads(w.threads)
+        .group_commit(w.group_commit);
+    if let Some(dir) = &w.wal_dir {
+        serve = serve.wal_dir(dir);
     }
+    let service_config = serve.build().expect("valid serve config");
     let service = Arc::new(Service::new(service_config.clone()).expect("service boots"));
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
     let addr = listener.local_addr().expect("local addr");
@@ -179,36 +209,43 @@ fn main() {
     };
 
     println!(
-        "loadgen: {} sessions x budget {} (k = {}, Pc = {}), {} client(s), {} pool thread(s), daemon {addr}",
-        args.sessions, args.budget, args.k, args.pc, args.clients, args.threads
+        "{}: {} sessions x budget {} (k = {}, Pc = {}), {} client(s), {} pool thread(s), daemon {addr}",
+        w.label, w.sessions, w.budget, w.k, w.pc, w.clients, w.threads
     );
 
-    // Open every session up front (one batch: priors built on the pool).
+    // Open every session up front (batched so a 10k-session matrix row
+    // stays under the wire's line cap; priors built on the pool); the
+    // version handshake pins the negotiated envelope before any payload
+    // flows.
     let mut opener = Client::connect(addr).expect("connect");
+    opener.hello().expect("version handshake");
     let (opened, open_secs) = time_secs(|| {
-        match opener
-            .roundtrip(&Request::Open {
-                request: None,
-                entities: specs.clone(),
-                k: None,
-                budget: None,
-                pc: None,
-            })
-            .expect("open")
-        {
-            Response::Opened { sessions } => sessions,
-            other => panic!("unexpected open response {other:?}"),
+        let mut opened = Vec::with_capacity(w.sessions);
+        for chunk in specs.chunks(512) {
+            opened.extend(
+                opener
+                    .open_all(chunk.to_vec(), OpenOptions::default())
+                    .expect("open"),
+            );
         }
+        opened
     });
-    assert_eq!(opened.len(), args.sessions);
+    assert_eq!(opened.len(), w.sessions);
+
+    // Every opened session is resident in the registry at once — the
+    // concurrency the matrix rows exist to measure.
+    match opener.roundtrip(&Request::Metrics).expect("metrics") {
+        Response::Metrics { metrics } => assert_eq!(metrics.sessions, w.sessions as u64),
+        other => panic!("unexpected metrics response {other:?}"),
+    }
 
     // Fan the sessions across client threads and drive them all.
-    let worker_pool = WorkerPool::uniform(30, args.pc).expect("worker pool");
-    let model = UniformAccuracy::new(args.pc);
+    let worker_pool = WorkerPool::uniform(30, w.pc).expect("worker pool");
+    let model = UniformAccuracy::new(w.pc);
     let ((answers, requests), drive_secs) = time_secs(|| {
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
-            for chunk in opened.chunks(args.sessions.div_ceil(args.clients)) {
+            for chunk in opened.chunks(w.sessions.div_ceil(w.clients)) {
                 let worker_pool = &worker_pool;
                 let model = &model;
                 let golds = &golds;
@@ -236,7 +273,7 @@ fn main() {
                 .fold((0u64, 0u64), |acc, t| (acc.0 + t.0, acc.1 + t.1))
         })
     });
-    assert_eq!(answers, (args.sessions * args.budget) as u64);
+    assert_eq!(answers, (w.sessions * w.budget) as u64);
 
     // Final quality + shutdown.
     let trace = match opener.roundtrip(&Request::Trace).expect("trace") {
@@ -247,16 +284,20 @@ fn main() {
     // the graceful shutdown drains it into a final snapshot, so the copy
     // looks like a kill -9 (snapshot + journal tail) and the measured
     // boot exercises the real snapshot-load + journal-replay path.
-    let recovery_copy = args.wal_dir.as_ref().map(|dir| {
-        let copy = std::path::Path::new(dir).with_extension("recover");
-        let _ = std::fs::remove_dir_all(&copy);
-        std::fs::create_dir_all(&copy).expect("create recovery copy dir");
-        for file in std::fs::read_dir(dir).expect("read wal dir") {
-            let file = file.expect("dir entry");
-            std::fs::copy(file.path(), copy.join(file.file_name())).expect("copy wal file");
-        }
-        copy
-    });
+    let recovery_copy = w
+        .wal_dir
+        .as_ref()
+        .filter(|_| w.measure_recovery)
+        .map(|dir| {
+            let copy = std::path::Path::new(dir).with_extension("recover");
+            let _ = std::fs::remove_dir_all(&copy);
+            std::fs::create_dir_all(&copy).expect("create recovery copy dir");
+            for file in std::fs::read_dir(dir).expect("read wal dir") {
+                let file = file.expect("dir entry");
+                std::fs::copy(file.path(), copy.join(file.file_name())).expect("copy wal file");
+            }
+            copy
+        });
     let _ = opener.roundtrip(&Request::Shutdown);
     daemon.join().expect("daemon thread").expect("daemon io");
 
@@ -272,15 +313,15 @@ fn main() {
     let per = |count: u64, secs: f64| count as f64 / secs.max(1e-9);
     println!(
         "  open    : {} sessions in {} ({:.0} sessions/s)",
-        args.sessions,
+        w.sessions,
         fmt_secs(open_secs),
-        per(args.sessions as u64, open_secs),
+        per(w.sessions as u64, open_secs),
     );
     println!(
         "  drive   : {answers} answers / {requests} requests in {} \
          ({:.0} sessions/s, {:.0} answers/s, {:.0} requests/s)",
         fmt_secs(drive_secs),
-        per(args.sessions as u64, drive_secs),
+        per(w.sessions as u64, drive_secs),
         per(answers, drive_secs),
         per(requests, drive_secs),
     );
@@ -293,48 +334,76 @@ fn main() {
     if let Some(secs) = recovery {
         println!(
             "  recover : {} sessions in {} ({:.2} ms/session)",
-            args.sessions,
+            w.sessions,
             fmt_secs(secs),
-            secs * 1e3 / args.sessions as f64,
+            secs * 1e3 / w.sessions as f64,
         );
     }
 
-    if let Some(path) = args.json {
-        let ns = |count: u64, secs: f64| ((secs * 1e9) / count.max(1) as f64) as u64;
-        let mut rows = vec![
-            BenchRow {
-                label: "serve/loadgen/open_per_session".to_string(),
-                mean_ns: ns(args.sessions as u64, open_secs),
-                min_ns: ns(args.sessions as u64, open_secs),
-                samples: args.sessions as u64,
-            },
-            BenchRow {
-                label: "serve/loadgen/session".to_string(),
-                mean_ns: ns(args.sessions as u64, drive_secs),
-                min_ns: ns(args.sessions as u64, drive_secs),
-                samples: args.sessions as u64,
-            },
-            BenchRow {
-                label: "serve/loadgen/answer".to_string(),
-                mean_ns: ns(answers, drive_secs),
-                min_ns: ns(answers, drive_secs),
-                samples: answers,
-            },
-            BenchRow {
-                label: "serve/loadgen/request".to_string(),
-                mean_ns: ns(requests, drive_secs),
-                min_ns: ns(requests, drive_secs),
-                samples: requests,
-            },
-        ];
-        if let Some(secs) = recovery {
-            rows.push(BenchRow {
-                label: "serve/loadgen/recover_per_session".to_string(),
-                mean_ns: ns(args.sessions as u64, secs),
-                min_ns: ns(args.sessions as u64, secs),
-                samples: args.sessions as u64,
-            });
+    let ns = |count: u64, secs: f64| ((secs * 1e9) / count.max(1) as f64) as u64;
+    let row = |suffix: &str, count: u64, secs: f64| BenchRow {
+        label: format!("{}/{suffix}", w.label),
+        mean_ns: ns(count, secs),
+        min_ns: ns(count, secs),
+        samples: count,
+    };
+    let mut rows = vec![
+        row("open_per_session", w.sessions as u64, open_secs),
+        row("session", w.sessions as u64, drive_secs),
+        row("answer", answers, drive_secs),
+        row("request", requests, drive_secs),
+    ];
+    if let Some(secs) = recovery {
+        rows.push(row("recover_per_session", w.sessions as u64, secs));
+    }
+    rows
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("loadgen: {message}");
+            std::process::exit(2);
         }
+    };
+
+    let mut rows = run_workload(&Workload {
+        label: "serve/loadgen".to_string(),
+        sessions: args.sessions,
+        clients: args.clients,
+        threads: args.threads,
+        k: args.k,
+        budget: args.budget,
+        pc: args.pc,
+        seed: args.seed,
+        wal_dir: args.wal_dir.clone(),
+        group_commit: args.group_commit,
+        measure_recovery: true,
+    });
+
+    if args.matrix {
+        // The scaling matrix drives each session for exactly one round
+        // (budget = k): the measurement is how the daemon behaves with
+        // thousands of sessions resident at once, not per-session depth.
+        for &(sessions, clients) in MATRIX {
+            rows.extend(run_workload(&Workload {
+                label: format!("serve/loadgen/matrix/s{sessions}c{clients}"),
+                sessions,
+                clients,
+                threads: args.threads,
+                k: args.k,
+                budget: args.k,
+                pc: args.pc,
+                seed: args.seed,
+                wal_dir: None,
+                group_commit: false,
+                measure_recovery: false,
+            }));
+        }
+    }
+
+    if let Some(path) = args.json {
         let text = serde_json::to_string_pretty(&rows).expect("rows serialise");
         std::fs::write(&path, text).expect("write json");
         println!("  wrote {path}");

@@ -44,6 +44,7 @@ pub mod query;
 pub mod round;
 pub mod selection;
 pub mod session;
+pub mod shard;
 pub mod system;
 
 pub use allocation::{run_global, GlobalBudgetConfig};
@@ -63,6 +64,7 @@ pub use session::{
     AbsorbReport, EntitySpec, OpenedSession, PublishedRound, PublishedTask, RegistryMetrics,
     RegistrySnapshot, SelectOutcome, SessionRegistry, SessionSnapshot, SessionState,
 };
+pub use shard::ShardedRegistry;
 pub use system::{assemble_trace, EntitySeries, Experiment, ExperimentTrace, RoundQuality};
 
 /// Maximum number of facts per entity for which dense answer-space

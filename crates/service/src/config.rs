@@ -1,0 +1,412 @@
+//! [`ServeConfig`]: the daemon's one-stop construction surface.
+//!
+//! The `serve` command grew past ten flags; this type replaces that
+//! sprawl with a single validated builder that (a) chains fluent
+//! setters, (b) round-trips through JSON — `serve --config FILE` loads
+//! one, and a *partial* file is fine: absent fields keep their defaults,
+//! unknown fields are rejected by name — and (c) compiles down to the
+//! [`ServiceConfig`] the [`Service`](crate::Service) boots from via
+//! [`ServeConfig::build`], where every cross-field rule is checked in
+//! one place.
+//!
+//! Transport concerns (`addr`, `transport`, `ready_file`) live here too
+//! so one JSON document describes a complete daemon, but they are *not*
+//! part of the built [`ServiceConfig`] — the CLI reads them back through
+//! the accessor-free public fields.
+
+use crate::clock::Clock;
+use crate::durable::DurabilityConfig;
+use crate::service::{SelectorChoice, ServiceConfig, DEFAULT_MAX_LINE_BYTES, DEFAULT_SHARDS};
+use crowdfusion_core::round::RoundConfig;
+use serde::{Deserialize, Error as SerdeError, Serialize, Value};
+use std::path::PathBuf;
+
+/// How the daemon accepts clients.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transport {
+    /// Line-delimited JSON over TCP (the default).
+    Tcp,
+    /// Line-delimited JSON over stdin/stdout.
+    Stdio,
+}
+
+impl Transport {
+    /// Parses the CLI/JSON spelling.
+    pub fn parse(name: &str) -> Result<Transport, String> {
+        match name {
+            "tcp" => Ok(Transport::Tcp),
+            "stdio" => Ok(Transport::Stdio),
+            other => Err(format!("unknown transport {other:?} (tcp or stdio)")),
+        }
+    }
+
+    /// The CLI/JSON spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            Transport::Tcp => "tcp",
+            Transport::Stdio => "stdio",
+        }
+    }
+}
+
+/// Everything `crowdfusion serve` needs, as one declarative document.
+///
+/// Construct with [`ServeConfig::new`], refine with the fluent setters,
+/// and turn into a bootable [`ServiceConfig`] with [`ServeConfig::build`]
+/// — the only place validation happens, so a config deserialised from
+/// JSON and one built in code pass through identical checks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Master seed for per-session RNG streams.
+    pub seed: u64,
+    /// Default tasks per round.
+    pub k: usize,
+    /// Default per-session judgment budget.
+    pub budget: usize,
+    /// Default assumed crowd accuracy.
+    pub pc: f64,
+    /// Worker-pool width. `None` falls back to `CROWDFUSION_THREADS`,
+    /// then 1 — the same sourcing the `refine` command uses.
+    pub threads: Option<usize>,
+    /// Registry shard (lock-stripe) count; purely a concurrency knob.
+    pub shards: usize,
+    /// Task selection backend (`greedy`, `greedy-pre`, `random`).
+    pub selector: String,
+    /// Default fusion method name.
+    pub method: String,
+    /// TCP bind address.
+    pub addr: String,
+    /// `tcp` or `stdio`.
+    pub transport: String,
+    /// When set, the bound address is written here once listening.
+    pub ready_file: Option<String>,
+    /// Snapshot path confinement directory (see
+    /// [`ServiceConfig::snapshot_dir`]).
+    pub snapshot_dir: Option<String>,
+    /// Crash safety: journal every mutation into this directory.
+    pub wal_dir: Option<String>,
+    /// Auto-snapshot cadence (effects between snapshots; 0 disables).
+    pub snapshot_every: usize,
+    /// Fsync the journal every this-many appends (min 1).
+    pub sync_every: usize,
+    /// Batch journal fsyncs per transport ready-batch (see
+    /// [`DurabilityConfig::group_commit`]).
+    pub group_commit: bool,
+    /// Evict sessions idle longer than this many ms.
+    pub session_ttl_ms: Option<u64>,
+    /// Close connections silent longer than this many ms.
+    pub read_deadline_ms: Option<u64>,
+    /// Reject protocol lines longer than this many bytes.
+    pub max_line_bytes: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig::new()
+    }
+}
+
+impl ServeConfig {
+    /// The defaults the bare `serve` command has always used.
+    pub fn new() -> ServeConfig {
+        ServeConfig {
+            seed: 7,
+            k: 2,
+            budget: 60,
+            pc: 0.8,
+            threads: None,
+            shards: DEFAULT_SHARDS,
+            selector: "greedy".to_string(),
+            method: crowdfusion_fusion::DEFAULT_METHOD.to_string(),
+            addr: "127.0.0.1:7464".to_string(),
+            transport: "tcp".to_string(),
+            ready_file: None,
+            snapshot_dir: None,
+            wal_dir: None,
+            snapshot_every: 256,
+            sync_every: 1,
+            group_commit: false,
+            session_ttl_ms: None,
+            read_deadline_ms: None,
+            max_line_bytes: DEFAULT_MAX_LINE_BYTES,
+        }
+    }
+
+    /// Sets the master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the default round shape (`k` tasks, `budget` judgments,
+    /// crowd accuracy `pc`); validated in [`ServeConfig::build`].
+    pub fn round(mut self, k: usize, budget: usize, pc: f64) -> Self {
+        self.k = k;
+        self.budget = budget;
+        self.pc = pc;
+        self
+    }
+
+    /// Sets the worker-pool width explicitly.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Sets the registry shard count.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Sets the selector backend by its CLI spelling.
+    pub fn selector(mut self, selector: &str) -> Self {
+        self.selector = selector.to_string();
+        self
+    }
+
+    /// Sets the default fusion method.
+    pub fn method(mut self, method: &str) -> Self {
+        self.method = method.to_string();
+        self
+    }
+
+    /// Sets the TCP bind address.
+    pub fn addr(mut self, addr: &str) -> Self {
+        self.addr = addr.to_string();
+        self
+    }
+
+    /// Turns on crash safety, journalling into `dir`.
+    pub fn wal_dir(mut self, dir: &str) -> Self {
+        self.wal_dir = Some(dir.to_string());
+        self
+    }
+
+    /// Turns on transport-batched journal fsync.
+    pub fn group_commit(mut self, on: bool) -> Self {
+        self.group_commit = on;
+        self
+    }
+
+    /// Sets the session idle TTL in milliseconds.
+    pub fn session_ttl_ms(mut self, ttl: u64) -> Self {
+        self.session_ttl_ms = Some(ttl);
+        self
+    }
+
+    /// Sets the connection read deadline in milliseconds.
+    pub fn read_deadline_ms(mut self, deadline: u64) -> Self {
+        self.read_deadline_ms = Some(deadline);
+        self
+    }
+
+    /// Loads a config from a JSON document. Partial documents are fine:
+    /// absent fields keep their defaults; unknown fields are errors (a
+    /// typo must not silently fall back to a default).
+    pub fn from_json(text: &str) -> Result<ServeConfig, String> {
+        serde_json::from_str(text).map_err(|e| format!("invalid serve config: {e}"))
+    }
+
+    /// Renders the config as pretty JSON (a template for `--config`).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("serve configs serialise infallibly")
+    }
+
+    /// The parsed transport.
+    pub fn transport(&self) -> Result<Transport, String> {
+        Transport::parse(&self.transport)
+    }
+
+    /// Validates every field and cross-field rule, producing the
+    /// [`ServiceConfig`] the daemon boots from. The transport fields
+    /// (`addr`, `transport`, `ready_file`) are validated but not part of
+    /// the result — read them off the config directly.
+    pub fn build(&self) -> Result<ServiceConfig, String> {
+        self.transport()?;
+        let selector = SelectorChoice::parse(&self.selector)?;
+        let defaults = RoundConfig::new(self.k, self.budget, self.pc).map_err(|e| e.to_string())?;
+        let threads = match self.threads {
+            Some(0) => return Err("threads must be positive".to_string()),
+            Some(threads) => threads,
+            None => crowdfusion_core::pool::threads_from_env().unwrap_or(1),
+        };
+        if self.shards == 0 {
+            return Err("shards must be positive".to_string());
+        }
+        if self.max_line_bytes == 0 {
+            return Err("max_line_bytes must be positive".to_string());
+        }
+        if self.read_deadline_ms == Some(0) {
+            return Err("read_deadline_ms must be positive".to_string());
+        }
+        if self.sync_every == 0 {
+            return Err("sync_every must be positive".to_string());
+        }
+        // An unknown method must fail at build time, not at first Open.
+        crowdfusion_fusion::StrategyRegistry::standard()
+            .build(&self.method)
+            .map_err(|e| e.to_string())?;
+        let mut config = ServiceConfig::new(self.seed, defaults, threads, selector);
+        config.shards = self.shards;
+        config.method = self.method.clone();
+        config.snapshot_dir = self.snapshot_dir.as_ref().map(PathBuf::from);
+        if let Some(dir) = &self.wal_dir {
+            let mut durability = DurabilityConfig::new(dir);
+            durability.snapshot_every = self.snapshot_every;
+            durability.sync_every = self.sync_every;
+            durability.group_commit = self.group_commit;
+            config.durability = Some(durability);
+        } else if self.group_commit {
+            return Err("group_commit requires wal_dir (nothing to journal)".to_string());
+        }
+        config.session_ttl_ms = self.session_ttl_ms;
+        config.read_deadline_ms = self.read_deadline_ms;
+        config.max_line_bytes = self.max_line_bytes;
+        config.clock = Clock::system();
+        Ok(config)
+    }
+}
+
+impl Serialize for ServeConfig {
+    fn to_value(&self) -> Value {
+        fn opt<T: Serialize>(v: &Option<T>) -> Value {
+            v.as_ref().map_or(Value::Null, Serialize::to_value)
+        }
+        Value::Map(vec![
+            ("seed".to_string(), self.seed.to_value()),
+            ("k".to_string(), self.k.to_value()),
+            ("budget".to_string(), self.budget.to_value()),
+            ("pc".to_string(), self.pc.to_value()),
+            ("threads".to_string(), opt(&self.threads)),
+            ("shards".to_string(), self.shards.to_value()),
+            ("selector".to_string(), self.selector.to_value()),
+            ("method".to_string(), self.method.to_value()),
+            ("addr".to_string(), self.addr.to_value()),
+            ("transport".to_string(), self.transport.to_value()),
+            ("ready_file".to_string(), opt(&self.ready_file)),
+            ("snapshot_dir".to_string(), opt(&self.snapshot_dir)),
+            ("wal_dir".to_string(), opt(&self.wal_dir)),
+            ("snapshot_every".to_string(), self.snapshot_every.to_value()),
+            ("sync_every".to_string(), self.sync_every.to_value()),
+            ("group_commit".to_string(), self.group_commit.to_value()),
+            ("session_ttl_ms".to_string(), opt(&self.session_ttl_ms)),
+            ("read_deadline_ms".to_string(), opt(&self.read_deadline_ms)),
+            ("max_line_bytes".to_string(), self.max_line_bytes.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for ServeConfig {
+    // Hand-rolled so partial documents merge over the defaults — the
+    // derive would demand every field.
+    fn from_value(v: &Value) -> Result<ServeConfig, SerdeError> {
+        let map = v
+            .as_map()
+            .ok_or_else(|| SerdeError::custom(format!("expected an object, found {}", v.kind())))?;
+        let mut config = ServeConfig::new();
+        for (key, value) in map {
+            match key.as_str() {
+                "seed" => config.seed = Deserialize::from_value(value)?,
+                "k" => config.k = Deserialize::from_value(value)?,
+                "budget" => config.budget = Deserialize::from_value(value)?,
+                "pc" => config.pc = Deserialize::from_value(value)?,
+                "threads" => config.threads = Deserialize::from_value(value)?,
+                "shards" => config.shards = Deserialize::from_value(value)?,
+                "selector" => config.selector = Deserialize::from_value(value)?,
+                "method" => config.method = Deserialize::from_value(value)?,
+                "addr" => config.addr = Deserialize::from_value(value)?,
+                "transport" => config.transport = Deserialize::from_value(value)?,
+                "ready_file" => config.ready_file = Deserialize::from_value(value)?,
+                "snapshot_dir" => config.snapshot_dir = Deserialize::from_value(value)?,
+                "wal_dir" => config.wal_dir = Deserialize::from_value(value)?,
+                "snapshot_every" => config.snapshot_every = Deserialize::from_value(value)?,
+                "sync_every" => config.sync_every = Deserialize::from_value(value)?,
+                "group_commit" => config.group_commit = Deserialize::from_value(value)?,
+                "session_ttl_ms" => config.session_ttl_ms = Deserialize::from_value(value)?,
+                "read_deadline_ms" => config.read_deadline_ms = Deserialize::from_value(value)?,
+                "max_line_bytes" => config.max_line_bytes = Deserialize::from_value(value)?,
+                other => {
+                    return Err(SerdeError::custom(format!(
+                        "unknown serve config field {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_build_and_round_trip() {
+        let config = ServeConfig::new();
+        let built = config.build().unwrap();
+        assert_eq!(built.seed, 7);
+        assert_eq!(built.shards, DEFAULT_SHARDS);
+        assert_eq!(built.max_line_bytes, DEFAULT_MAX_LINE_BYTES);
+        assert!(built.durability.is_none());
+        let back = ServeConfig::from_json(&config.to_json()).unwrap();
+        assert_eq!(back, config);
+    }
+
+    #[test]
+    fn builder_setters_flow_into_the_service_config() {
+        let config = ServeConfig::new()
+            .seed(42)
+            .round(3, 30, 0.9)
+            .threads(4)
+            .shards(2)
+            .selector("random")
+            .wal_dir("/tmp/wal")
+            .group_commit(true)
+            .session_ttl_ms(5_000)
+            .read_deadline_ms(250);
+        let built = config.build().unwrap();
+        assert_eq!(built.seed, 42);
+        assert_eq!(built.threads, 4);
+        assert_eq!(built.shards, 2);
+        assert_eq!(built.session_ttl_ms, Some(5_000));
+        assert_eq!(built.read_deadline_ms, Some(250));
+        let durability = built.durability.unwrap();
+        assert!(durability.group_commit);
+        assert_eq!(durability.dir, std::path::Path::new("/tmp/wal"));
+    }
+
+    #[test]
+    fn partial_json_merges_over_defaults_and_typos_are_rejected() {
+        let config = ServeConfig::from_json(r#"{"seed": 11, "shards": 2}"#).unwrap();
+        assert_eq!(config.seed, 11);
+        assert_eq!(config.shards, 2);
+        assert_eq!(config.budget, 60, "absent fields keep their defaults");
+        let err = ServeConfig::from_json(r#"{"shard_count": 2}"#).unwrap_err();
+        assert!(err.contains("shard_count"), "got {err}");
+    }
+
+    #[test]
+    fn build_rejects_invalid_configs() {
+        for config in [
+            ServeConfig::new().round(0, 60, 0.8),
+            ServeConfig::new().round(2, 60, 0.2),
+            ServeConfig::new().threads(0),
+            ServeConfig::new().shards(0),
+            ServeConfig::new().selector("oracle"),
+            ServeConfig::new().method("lda"),
+            ServeConfig::new().read_deadline_ms(0),
+            ServeConfig::new().group_commit(true),
+        ] {
+            assert!(config.build().is_err(), "must reject {config:?}");
+        }
+        // The message names the offending knob, not just "invalid".
+        let err = ServeConfig::new().group_commit(true).build().unwrap_err();
+        assert!(err.contains("wal_dir"), "got {err:?}");
+        let err = ServeConfig::new().method("lda").build().unwrap_err();
+        assert!(err.contains("lda"), "got {err:?}");
+        let mut bad_transport = ServeConfig::new();
+        bad_transport.transport = "carrier-pigeon".to_string();
+        assert!(bad_transport.build().is_err());
+    }
+}

@@ -50,17 +50,27 @@ pub struct DurabilityConfig {
     /// effects. `0` disables auto-snapshots: the journal grows until
     /// shutdown's final snapshot.
     pub snapshot_every: usize,
-    /// Fsync the journal every this-many appends (min 1).
+    /// Fsync the journal every this-many appends (min 1). Ignored when
+    /// `group_commit` is on.
     pub sync_every: usize,
+    /// Group commit: appends never fsync inline; the transport calls
+    /// `Service::flush_wal` once per ready-batch, so one fsync covers
+    /// every shard's pending appends. Journal-before-apply ordering is
+    /// untouched — the record is *written* before the effect applies;
+    /// only its durability is batched. Snapshots still sync the journal
+    /// first, so the recovery invariant holds at every cadence point.
+    pub group_commit: bool,
 }
 
 impl DurabilityConfig {
-    /// Defaults: snapshot every 256 effects, fsync every append.
+    /// Defaults: snapshot every 256 effects, fsync every append, no
+    /// group commit.
     pub fn new(dir: impl Into<PathBuf>) -> DurabilityConfig {
         DurabilityConfig {
             dir: dir.into(),
             snapshot_every: 256,
             sync_every: 1,
+            group_commit: false,
         }
     }
 }
@@ -159,10 +169,17 @@ impl Durability {
         faults: FaultPlan,
         recovery: &Recovery,
     ) -> io::Result<Durability> {
+        // Group commit defers every fsync to the explicit sync() the
+        // transport drives once per ready-batch.
+        let sync_every = if config.group_commit {
+            usize::MAX
+        } else {
+            config.sync_every
+        };
         let writer = JournalWriter::open(
             &config.dir.join(JOURNAL_FILE),
             recovery.valid_len,
-            config.sync_every,
+            sync_every,
             faults.clone(),
         )?;
         Ok(Durability {

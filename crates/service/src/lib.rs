@@ -41,6 +41,7 @@
 #![warn(clippy::all)]
 
 pub mod clock;
+pub mod config;
 pub mod durable;
 pub mod fault;
 pub mod journal;
@@ -50,9 +51,12 @@ pub mod service;
 pub mod snapshot;
 
 pub use clock::Clock;
+pub use config::{ServeConfig, Transport};
 pub use durable::{DurabilityConfig, DurableSnapshot};
 pub use fault::{FaultAction, FaultPlan, FaultPoint, SimulatedCrash};
 pub use journal::Effect;
-pub use protocol::{Request, Response, WireAnswer};
-pub use server::{serve_stdio, serve_tcp, Client, RetryPolicy};
-pub use service::{SelectorChoice, Service, ServiceConfig};
+pub use protocol::{Framing, Request, Response, WireAnswer, WIRE_VERSION_MAX, WIRE_VERSION_MIN};
+pub use server::{
+    serve_stdio, serve_tcp, Absorbed, Client, OpenOptions, RetryPolicy, Selected, Session,
+};
+pub use service::{SelectorChoice, Service, ServiceConfig, DEFAULT_SHARDS};

@@ -11,11 +11,33 @@
 //! Encoding follows the vendored serde stand-in's conventions: unit enum
 //! variants are their name as a string (`"Metrics"`), struct variants are
 //! a single-key object (`{"Select": {"session": 0}}`).
+//!
+//! # Versioned framing
+//!
+//! The wire is versioned: a client may wrap any request in an envelope,
+//! `{"v": 1, "body": {"Select": {"session": 0}}}`, and the daemon
+//! answers in the same envelope. A client may also negotiate up front
+//! with [`Request::Hello`] and gets [`Response::Welcome`] naming the
+//! agreed version plus the daemon's supported range. An envelope naming
+//! a version outside the range gets a structured
+//! [`Response::UnsupportedVersion`], never a silent drop.
+//!
+//! Bare (un-enveloped) lines are the pre-versioning wire format and are
+//! accepted as version 1 for one release; their replies are bare too, so
+//! byte-for-byte compatibility with old clients is preserved. A
+//! top-level `"v"` key is what distinguishes an envelope — bare requests
+//! are single-key objects named after a capitalised variant, so the two
+//! framings cannot collide.
 
 use crowdfusion_core::round::RoundPoint;
 use crowdfusion_core::session::{EntitySpec, OpenedSession, PublishedTask, RegistryMetrics};
 use crowdfusion_core::system::ExperimentTrace;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
+
+/// Oldest wire version this daemon still speaks.
+pub const WIRE_VERSION_MIN: u64 = 1;
+/// Newest wire version this daemon speaks.
+pub const WIRE_VERSION_MAX: u64 = 1;
 
 /// One streamed crowd answer: the published task id and the judgment.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -29,6 +51,13 @@ pub struct WireAnswer {
 /// A client request (one JSON line).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Request {
+    /// Protocol negotiation: the client names the wire version it wants
+    /// to speak; the daemon answers `Welcome` (agreed) or
+    /// `UnsupportedVersion` (with the supported range).
+    Hello {
+        /// The wire version the client proposes.
+        v: u64,
+    },
     /// Registers entities as new sessions; priors are built in parallel on
     /// the daemon's worker pool. `k`/`budget`/`pc` override the daemon's
     /// per-session defaults when present.
@@ -88,6 +117,24 @@ pub enum Request {
 /// A daemon response (one JSON line).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Response {
+    /// `Hello` accepted: the connection speaks version `v`.
+    Welcome {
+        /// The agreed wire version.
+        v: u64,
+        /// Oldest version the daemon speaks.
+        min: u64,
+        /// Newest version the daemon speaks.
+        max: u64,
+    },
+    /// The client asked for a wire version the daemon does not speak.
+    UnsupportedVersion {
+        /// The version the client asked for.
+        requested: u64,
+        /// Oldest version the daemon speaks.
+        min: u64,
+        /// Newest version the daemon speaks.
+        max: u64,
+    },
     /// Sessions opened, in spec order, with their crowd answer seeds.
     Opened {
         /// One summary per opened session.
@@ -191,6 +238,127 @@ pub fn decode<T: serde::Deserialize>(line: &str) -> Result<T, String> {
     serde_json::from_str(line).map_err(|e| format!("malformed protocol line: {e}"))
 }
 
+/// How a request line was framed; replies echo the same framing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Framing {
+    /// A bare pre-versioning line, accepted as version 1 for one
+    /// release; the reply is bare too.
+    Legacy,
+    /// A `{"v": N, "body": …}` envelope; the reply carries the same
+    /// version.
+    Versioned(u64),
+}
+
+impl Framing {
+    /// The wire version this framing speaks.
+    pub fn version(self) -> u64 {
+        match self {
+            Framing::Legacy => 1,
+            Framing::Versioned(v) => v,
+        }
+    }
+}
+
+/// Whether `v` is a wire version this build speaks.
+pub fn version_supported(v: u64) -> bool {
+    (WIRE_VERSION_MIN..=WIRE_VERSION_MAX).contains(&v)
+}
+
+/// The structured refusal for a version outside the supported range.
+pub fn unsupported_version(requested: u64) -> Response {
+    Response::UnsupportedVersion {
+        requested,
+        min: WIRE_VERSION_MIN,
+        max: WIRE_VERSION_MAX,
+    }
+}
+
+/// Decodes one request line, envelope-aware. Returns the framing the
+/// reply must use plus either the request or the ready-made error
+/// response (malformed line, unsupported version, envelope without a
+/// body). The error side never loses the framing: a well-formed envelope
+/// with a bad body is still answered in that envelope.
+pub fn decode_framed(line: &str) -> (Framing, Result<Request, Response>) {
+    let value: Value = match serde_json::from_str(line) {
+        Ok(value) => value,
+        Err(e) => {
+            return (
+                Framing::Legacy,
+                Err(Response::Error {
+                    message: format!("malformed protocol line: {e}"),
+                }),
+            )
+        }
+    };
+    let Some(version_field) = value.get_field("v") else {
+        // No top-level "v": a bare legacy line (request variants are
+        // capitalised, so the keys cannot collide).
+        return (
+            Framing::Legacy,
+            decode::<Request>(line).map_err(|message| Response::Error { message }),
+        );
+    };
+    let version = match version_field {
+        Value::Int(v) if *v >= 0 => *v as u64,
+        Value::UInt(v) => *v,
+        other => {
+            return (
+                Framing::Versioned(WIRE_VERSION_MAX),
+                Err(Response::Error {
+                    message: format!("envelope \"v\" must be an integer, got {}", other.kind()),
+                }),
+            )
+        }
+    };
+    if !version_supported(version) {
+        return (
+            Framing::Versioned(WIRE_VERSION_MAX),
+            Err(unsupported_version(version)),
+        );
+    }
+    let framing = Framing::Versioned(version);
+    let Some(body) = value.get_field("body") else {
+        return (
+            framing,
+            Err(Response::Error {
+                message: "envelope is missing its \"body\" field".to_string(),
+            }),
+        );
+    };
+    match Request::from_value(body) {
+        Ok(request) => (framing, Ok(request)),
+        Err(e) => (
+            framing,
+            Err(Response::Error {
+                message: format!("malformed protocol line: {e}"),
+            }),
+        ),
+    }
+}
+
+/// Encodes a response under the framing its request arrived in.
+pub fn encode_framed(framing: Framing, response: &Response) -> String {
+    match framing {
+        Framing::Legacy => encode(response),
+        Framing::Versioned(v) => {
+            let envelope = Value::Map(vec![
+                ("v".to_string(), response_version_value(v)),
+                ("body".to_string(), response.to_value()),
+            ]);
+            encode(&envelope)
+        }
+    }
+}
+
+/// The envelope's version field, kept canonical (small unsigned values
+/// normalise to `Int` in the vendored value model).
+fn response_version_value(v: u64) -> Value {
+    match i64::try_from(v) {
+        Ok(v) => Value::Int(v),
+        Err(_) => Value::UInt(v),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -275,5 +443,77 @@ mod tests {
     fn malformed_lines_are_rejected() {
         assert!(decode::<Request>("{not json").is_err());
         assert!(decode::<Request>("{\"Frobnicate\": {}}").is_err());
+    }
+
+    #[test]
+    fn bare_lines_from_old_clients_still_speak_version_one() {
+        // Pinned pre-envelope client bytes: these exact lines worked
+        // before versioning shipped and must keep working for one
+        // release, answered bare (no envelope) so old readers parse.
+        for line in [
+            r#"{"Select": {"session": 3}}"#,
+            r#""Metrics""#,
+            r#"{"Open": {"entities": [], "k": 2, "budget": null, "pc": null}}"#,
+        ] {
+            let (framing, decoded) = decode_framed(line);
+            assert_eq!(framing, Framing::Legacy);
+            assert_eq!(framing.version(), 1);
+            decoded.unwrap_or_else(|e| panic!("legacy line {line:?} must decode, got {e:?}"));
+        }
+        assert_eq!(
+            encode_framed(Framing::Legacy, &Response::Bye),
+            encode(&Response::Bye),
+            "legacy replies must stay byte-identical to the old wire"
+        );
+    }
+
+    #[test]
+    fn enveloped_lines_round_trip_with_their_version() {
+        let line = r#"{"v": 1, "body": {"Select": {"session": 3}}}"#;
+        let (framing, decoded) = decode_framed(line);
+        assert_eq!(framing, Framing::Versioned(1));
+        assert_eq!(decoded.unwrap(), Request::Select { session: 3 });
+        let reply = encode_framed(framing, &Response::Bye);
+        let value: Value = serde_json::from_str(&reply).unwrap();
+        assert_eq!(value.get_field("v"), Some(&Value::Int(1)));
+        assert_eq!(
+            Response::from_value(value.get_field("body").unwrap()).unwrap(),
+            Response::Bye
+        );
+    }
+
+    #[test]
+    fn unknown_versions_get_the_supported_range_back() {
+        let line = r#"{"v": 9, "body": "Metrics"}"#;
+        let (framing, decoded) = decode_framed(line);
+        assert_eq!(framing, Framing::Versioned(WIRE_VERSION_MAX));
+        assert_eq!(
+            decoded.unwrap_err(),
+            Response::UnsupportedVersion {
+                requested: 9,
+                min: WIRE_VERSION_MIN,
+                max: WIRE_VERSION_MAX,
+            }
+        );
+    }
+
+    #[test]
+    fn broken_envelopes_keep_their_framing() {
+        // A well-formed envelope with a bad body is answered *in* the
+        // envelope — the client committed to versioned framing.
+        let (framing, decoded) = decode_framed(r#"{"v": 1, "body": {"Frobnicate": {}}}"#);
+        assert_eq!(framing, Framing::Versioned(1));
+        assert!(matches!(decoded, Err(Response::Error { .. })));
+        let (framing, decoded) = decode_framed(r#"{"v": 1}"#);
+        assert_eq!(framing, Framing::Versioned(1));
+        let Err(Response::Error { message }) = decoded else {
+            panic!("missing body must error");
+        };
+        assert!(message.contains("body"), "got {message:?}");
+        // A non-integer version cannot pick a framing version; the reply
+        // uses the newest the daemon speaks.
+        let (framing, decoded) = decode_framed(r#"{"v": "one", "body": "Metrics"}"#);
+        assert_eq!(framing, Framing::Versioned(WIRE_VERSION_MAX));
+        assert!(matches!(decoded, Err(Response::Error { .. })));
     }
 }

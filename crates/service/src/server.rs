@@ -1,26 +1,41 @@
 //! Transport loops: the daemon over TCP (`std::net`) and over stdio.
 //!
 //! Both speak the same framing — one JSON request per line in, one JSON
-//! response per line out. TCP serves many concurrent connections
-//! (thread-per-connection over the shared [`Service`]); per-session
-//! determinism is untouched by connection interleaving because every
-//! session owns its RNG streams. A `Shutdown` request stops the daemon:
-//! the handling connection sets the flag and pokes the accept loop awake
-//! with a throwaway connection to its own address.
+//! response per line out. TCP is served by a small fixed pool of
+//! *reactor* threads driving a readiness event loop (`vendor/polling`,
+//! the epoll/poll stand-in) instead of a thread per connection, so ten
+//! thousand idle sessions cost ten thousand small buffers, not ten
+//! thousand stacks. Reactor 0 owns the listener and deals new
+//! connections round-robin to its peers through waker-poked inboxes;
+//! each connection then lives on one reactor as a line-buffer state
+//! machine. Per-session determinism is untouched by connection
+//! interleaving because every session owns its RNG streams.
 //!
-//! The reader is hardened against misbehaving peers: lines are read
-//! through a bounded accumulator (an oversized line is drained and
-//! answered with a protocol error instead of ballooning daemon memory),
-//! invalid UTF-8 gets an error response rather than a disconnect, and an
-//! optional read deadline closes connections that go silent mid-session.
-//! One connection's garbage never disturbs another's session state.
+//! The loop also implements group commit: all requests decoded from one
+//! readiness batch are handled first (each journalling its effect), then
+//! a single [`Service::flush_wal`] makes the whole batch durable, and
+//! only then are the queued responses flushed to sockets — one fsync
+//! per batch instead of one per request, with no reply ever racing
+//! ahead of its journal record.
+//!
+//! The reader is hardened against misbehaving peers exactly like the
+//! blocking loop: lines accumulate through a bounded buffer (an
+//! oversized line is drained and answered with a protocol error instead
+//! of ballooning daemon memory), invalid UTF-8 gets an error response
+//! rather than a disconnect, and the optional read deadline is enforced
+//! by the reactors' timer sweep off the service [`Clock`] — not
+//! `SO_RCVTIMEO` — closing connections that go silent mid-session. One
+//! connection's garbage never disturbs another's session state.
 
 use crate::fault::{FaultAction, FaultPoint};
 use crate::protocol::{Request, Response};
 use crate::service::Service;
-use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use polling::{Event, Interest, Poller, Waker};
+use std::collections::BTreeMap;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::Duration;
 
@@ -143,102 +158,501 @@ pub fn serve_stdio(service: &Service, input: impl BufRead, output: impl Write) -
     serve_lines(service, input, output)
 }
 
-fn serve_connection(service: &Service, stream: TcpStream, local: SocketAddr) {
-    // A connection that goes silent past the deadline is closed; its
-    // sessions stay (TTL eviction owns their lifetime, not the socket's).
-    if let Some(ms) = service.read_deadline_ms() {
-        let _ = stream.set_read_timeout(Some(Duration::from_millis(ms)));
-    }
-    let Ok(reader) = stream.try_clone() else {
-        return;
-    };
-    let Ok(closer) = stream.try_clone() else {
-        return;
-    };
-    let _ = serve_lines(service, BufReader::new(reader), BufWriter::new(stream));
-    // The accept loop holds its own clone of this socket (to force-close
-    // idle peers at daemon shutdown), and clones keep the connection open
-    // after our reader/writer drop. Shut the socket itself down so the
-    // peer sees EOF the moment this handler is done with it.
-    let _ = closer.shutdown(Shutdown::Both);
-    // If this connection carried the Shutdown, the accept loop may be
-    // blocked; a throwaway connection wakes it so it can observe the flag.
-    // A wildcard bind (0.0.0.0 / ::) is not connectable on every
-    // platform, so the poke targets the matching loopback instead.
-    if service.shutdown_requested() {
-        let mut poke = local;
-        if poke.ip().is_unspecified() {
-            poke.set_ip(match poke {
-                SocketAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
-                SocketAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
-            });
-        }
-        let _ = TcpStream::connect(poke);
+/// Poller token of the listening socket (reactor 0 only).
+const TOKEN_LISTENER: usize = 0;
+/// Poller token of each reactor's waker pipe.
+const TOKEN_WAKER: usize = 1;
+/// First token handed to an accepted connection.
+const FIRST_CONN_TOKEN: usize = 2;
+/// Ceiling on reactor threads: connection I/O is cheap, so a handful of
+/// loops saturates the network path even on wide machines.
+const MAX_REACTORS: usize = 8;
+/// Poll timeout when no read deadline bounds the wait. Wakers make an
+/// unbounded wait safe; the cap is a belt against a lost wake ever
+/// parking a reactor forever.
+const IDLE_POLL_MS: u64 = 1000;
+
+/// Locks a mutex, riding through poisoning — a panicking reactor must
+/// not wedge its peers' connection hand-off.
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|poison| poison.into_inner())
+}
+
+/// One connection's state on its reactor: the line-buffer state machine
+/// the blocking loop kept on its stack, made explicit.
+struct Conn {
+    stream: TcpStream,
+    /// Bytes of the current (incomplete) line.
+    rbuf: Vec<u8>,
+    /// Responses queued for the socket; flushed after the batch commits.
+    wbuf: Vec<u8>,
+    /// How much of `wbuf` has already reached the socket.
+    wpos: usize,
+    /// In oversized-line drain mode: discard until the next newline,
+    /// then answer with a protocol error.
+    draining: bool,
+    /// Service-clock stamp of the last byte read (read-deadline sweep).
+    last_activity: u64,
+    /// Whether the poller registration currently asks for writability.
+    want_write: bool,
+    /// Close once `wbuf` is drained (EOF seen, or an injected drop).
+    closing: bool,
+}
+
+impl Conn {
+    fn pending(&self) -> bool {
+        self.wpos < self.wbuf.len()
     }
 }
 
-/// One live connection: its handler thread plus a stream clone the
-/// daemon can force-close at shutdown.
-struct Connection {
-    handle: thread::JoinHandle<()>,
-    stream: TcpStream,
+/// What a readiness-driven read pass decided about the connection.
+enum ReadOutcome {
+    /// Keep serving.
+    Open,
+    /// Tear the connection down without delivering queued replies — the
+    /// injected network drop, or a transport error.
+    CloseNow,
+    /// Flush queued replies, then close (peer EOF).
+    CloseAfterFlush,
+}
+
+fn queue_reply(conn: &mut Conn, reply: &str) {
+    conn.wbuf.extend_from_slice(reply.as_bytes());
+    conn.wbuf.push(b'\n');
+}
+
+/// Handles one complete line, queueing the reply. Returns how many
+/// requests were handled (0 for the skipped empty line).
+fn respond(service: &Service, conn: &mut Conn, bytes: Vec<u8>) -> usize {
+    let reply = match String::from_utf8(bytes) {
+        Err(_) => crate::protocol::encode(&Response::Error {
+            message: "protocol line is not valid UTF-8".to_string(),
+        }),
+        Ok(line) if line.trim().is_empty() => return 0,
+        Ok(line) => service.handle_line(&line),
+    };
+    queue_reply(conn, &reply);
+    1
+}
+
+fn oversized_reply(max: usize) -> String {
+    crate::protocol::encode(&Response::Error {
+        message: format!("protocol line exceeds the {max}-byte limit"),
+    })
+}
+
+/// Feeds freshly-read bytes through the line state machine — the
+/// event-loop twin of [`read_line_bounded`] + the dispatch in
+/// [`serve_lines`], with identical cap, drain, fault and empty-line
+/// semantics. Returns `Some` when the connection must close.
+fn ingest(
+    service: &Service,
+    conn: &mut Conn,
+    mut rest: &[u8],
+    handled: &mut usize,
+) -> Option<ReadOutcome> {
+    let max = service.max_line_bytes();
+    while let Some(pos) = rest.iter().position(|&b| b == b'\n') {
+        let (head, tail) = rest.split_at(pos);
+        rest = &tail[1..];
+        let oversized = if conn.draining {
+            conn.draining = false;
+            true
+        } else if conn.rbuf.len() + head.len() > max {
+            conn.rbuf.clear();
+            true
+        } else {
+            conn.rbuf.extend_from_slice(head);
+            false
+        };
+        // Injected connection fault, checked once per line event exactly
+        // like the blocking reader: drop the link as though the network
+        // did, leaving whatever the service already applied in place —
+        // the at-least-once story the client retry layer is tested under.
+        if let Some(FaultAction::Drop) = service.fault_plan().check(FaultPoint::ConnectionRead) {
+            return Some(ReadOutcome::CloseNow);
+        }
+        if oversized {
+            queue_reply(conn, &oversized_reply(max));
+            *handled += 1;
+        } else {
+            let line = std::mem::take(&mut conn.rbuf);
+            *handled += respond(service, conn, line);
+        }
+    }
+    // No newline in the remainder: accumulate within the cap, or switch
+    // to drain mode and stop buffering the flood.
+    if conn.draining {
+        // Still draining: discard.
+    } else if conn.rbuf.len() + rest.len() > max {
+        conn.rbuf.clear();
+        conn.rbuf.shrink_to_fit();
+        conn.draining = true;
+    } else {
+        conn.rbuf.extend_from_slice(rest);
+    }
+    None
+}
+
+/// Reads a readable connection until `WouldBlock`, EOF or error,
+/// pushing bytes through [`ingest`].
+fn pump_reads(service: &Service, conn: &mut Conn, handled: &mut usize) -> ReadOutcome {
+    let mut buf = [0u8; 8192];
+    loop {
+        match conn.stream.read(&mut buf) {
+            Ok(0) => {
+                // The EOF read gets a fault check too, matching the
+                // blocking reader's per-read check.
+                if let Some(FaultAction::Drop) =
+                    service.fault_plan().check(FaultPoint::ConnectionRead)
+                {
+                    return ReadOutcome::CloseNow;
+                }
+                if conn.draining {
+                    // EOF cut the drain short; the oversized line still
+                    // gets its error, as the blocking reader answered it.
+                    conn.draining = false;
+                    queue_reply(conn, &oversized_reply(service.max_line_bytes()));
+                    *handled += 1;
+                } else if !conn.rbuf.is_empty() {
+                    // An unterminated final line still counts.
+                    let line = std::mem::take(&mut conn.rbuf);
+                    *handled += respond(service, conn, line);
+                }
+                return ReadOutcome::CloseAfterFlush;
+            }
+            Ok(n) => {
+                if let Some(outcome) = ingest(service, conn, &buf[..n], handled) {
+                    return outcome;
+                }
+            }
+            Err(err) if err.kind() == io::ErrorKind::WouldBlock => return ReadOutcome::Open,
+            Err(err) if err.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return ReadOutcome::CloseNow,
+        }
+    }
+}
+
+/// Writes as much queued output as the socket will take.
+/// `Ok(true)` means fully drained.
+fn flush_conn(conn: &mut Conn) -> io::Result<bool> {
+    while conn.pending() {
+        match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+            Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+            Ok(n) => conn.wpos += n,
+            Err(err) if err.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+            Err(err) if err.kind() == io::ErrorKind::Interrupted => continue,
+            Err(err) => return Err(err),
+        }
+    }
+    conn.wbuf.clear();
+    conn.wpos = 0;
+    Ok(true)
+}
+
+/// One event-loop thread. Reactor 0 additionally owns the listener and
+/// distributes accepted connections round-robin across all reactors.
+struct Reactor {
+    index: usize,
+    service: Arc<Service>,
+    poller: Poller,
+    listener: Option<TcpListener>,
+    conns: BTreeMap<usize, Conn>,
+    next_token: usize,
+    /// Streams dealt to this reactor by reactor 0, pending adoption.
+    inbox: Arc<Mutex<Vec<TcpStream>>>,
+    /// Every reactor's inbox, indexed like `wakers` (used by reactor 0).
+    inboxes: Arc<Vec<Arc<Mutex<Vec<TcpStream>>>>>,
+    /// Every reactor's waker, `wakers[index]` being this reactor's own.
+    wakers: Arc<Vec<Waker>>,
+    accepted: Arc<AtomicUsize>,
+    /// Round-robin deal cursor (reactor 0 only).
+    deal: usize,
+}
+
+impl Reactor {
+    /// Registers a fresh connection on this reactor's poller.
+    fn adopt(&mut self, stream: TcpStream, now: u64) {
+        let token = self.next_token;
+        // Registration makes the socket non-blocking as a side effect —
+        // the only sanctioned path to O_NONBLOCK outside vendor/polling.
+        if self
+            .poller
+            .register(&stream, token, Interest::READABLE)
+            .is_err()
+        {
+            let _ = stream.shutdown(Shutdown::Both);
+            return;
+        }
+        self.next_token += 1;
+        self.conns.insert(
+            token,
+            Conn {
+                stream,
+                rbuf: Vec::new(),
+                wbuf: Vec::new(),
+                wpos: 0,
+                draining: false,
+                last_activity: now,
+                want_write: false,
+                closing: false,
+            },
+        );
+    }
+
+    fn drain_inbox(&mut self, now: u64) {
+        let streams: Vec<TcpStream> = std::mem::take(&mut *lock(&self.inbox));
+        for stream in streams {
+            self.adopt(stream, now);
+        }
+    }
+
+    /// Accepts every pending connection (reactor 0), dealing them
+    /// round-robin: ours are adopted directly, peers get an inbox push
+    /// and a wake.
+    fn accept_all(&mut self, now: u64) {
+        loop {
+            let Some(listener) = self.listener.as_ref() else {
+                return;
+            };
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    self.accepted.fetch_add(1, Ordering::Relaxed);
+                    let target = self.deal % self.inboxes.len();
+                    self.deal = self.deal.wrapping_add(1);
+                    if target == self.index {
+                        self.adopt(stream, now);
+                    } else {
+                        lock(&self.inboxes[target]).push(stream);
+                        self.wakers[target].wake();
+                    }
+                }
+                Err(err) if err.kind() == io::ErrorKind::WouldBlock => return,
+                Err(err) if err.kind() == io::ErrorKind::Interrupted => continue,
+                Err(err) => {
+                    // Transient failure (ECONNABORTED, fd pressure, …):
+                    // log and back off briefly so a persistent error
+                    // cannot spin the loop hot, then let the next
+                    // readiness round retry.
+                    eprintln!("crowdfusion-serve: accept failed (retrying): {err}");
+                    thread::sleep(Duration::from_millis(50));
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Closes a connection: deregister, then shut the socket down so the
+    /// peer sees EOF immediately (clones elsewhere cannot hold it open).
+    fn close_conn(&mut self, token: usize) {
+        if let Some(conn) = self.conns.remove(&token) {
+            let _ = self.poller.deregister(&conn.stream);
+            let _ = conn.stream.shutdown(Shutdown::Both);
+        }
+    }
+
+    /// How long the next wait may park: bounded by the nearest read
+    /// deadline when one is configured.
+    fn wait_timeout(&self, now: u64) -> Duration {
+        let mut ms = IDLE_POLL_MS;
+        if let Some(limit) = self.service.read_deadline_ms() {
+            for conn in self.conns.values() {
+                let age = now.saturating_sub(conn.last_activity);
+                ms = ms.min(limit.saturating_sub(age).max(1));
+            }
+        }
+        Duration::from_millis(ms)
+    }
+
+    /// Flush pass: pushes queued replies out, retires fully-drained
+    /// closing connections, and keeps poller interest in sync with
+    /// whether output is still pending.
+    fn flush_pass(&mut self) {
+        let mut closes: Vec<usize> = Vec::new();
+        for (&token, conn) in self.conns.iter_mut() {
+            if conn.pending() {
+                match flush_conn(conn) {
+                    Ok(_) => {}
+                    Err(_) => {
+                        closes.push(token);
+                        continue;
+                    }
+                }
+            }
+            if conn.closing && !conn.pending() {
+                closes.push(token);
+                continue;
+            }
+            let want = conn.pending();
+            if want != conn.want_write {
+                let interest = if want {
+                    Interest::BOTH
+                } else {
+                    Interest::READABLE
+                };
+                if self
+                    .poller
+                    .reregister(&conn.stream, token, interest)
+                    .is_ok()
+                {
+                    conn.want_write = want;
+                } else {
+                    closes.push(token);
+                }
+            }
+        }
+        for token in closes {
+            self.close_conn(token);
+        }
+    }
+
+    /// Closes every connection that has outlived the read deadline. Its
+    /// sessions stay — TTL eviction owns their lifetime, not the socket.
+    fn sweep_deadlines(&mut self) {
+        let Some(limit) = self.service.read_deadline_ms() else {
+            return;
+        };
+        let now = self.service.clock().now_ms();
+        let expired: Vec<usize> = self
+            .conns
+            .iter()
+            .filter(|(_, conn)| now.saturating_sub(conn.last_activity) > limit)
+            .map(|(&token, _)| token)
+            .collect();
+        for token in expired {
+            self.close_conn(token);
+        }
+    }
+
+    fn run(mut self) {
+        let mut events: Vec<Event> = Vec::new();
+        let mut round: Vec<Event> = Vec::new();
+        loop {
+            let now = self.service.clock().now_ms();
+            let timeout = Some(self.wait_timeout(now));
+            if let Err(err) = self.poller.wait(&mut events, timeout) {
+                if err.kind() == io::ErrorKind::Interrupted {
+                    continue;
+                }
+                eprintln!(
+                    "crowdfusion-serve: reactor {} poll failed: {err}",
+                    self.index
+                );
+                break;
+            }
+            round.clear();
+            round.extend(events.iter().copied());
+            let now = self.service.clock().now_ms();
+            let mut handled = 0usize;
+            for event in &round {
+                match event.token {
+                    TOKEN_LISTENER => self.accept_all(now),
+                    TOKEN_WAKER => {
+                        self.wakers[self.index].clear();
+                        self.drain_inbox(now);
+                    }
+                    token => {
+                        if !event.readable {
+                            continue; // writable-only: the flush pass covers it
+                        }
+                        let service = Arc::clone(&self.service);
+                        let Some(conn) = self.conns.get_mut(&token) else {
+                            continue; // closed earlier this round
+                        };
+                        conn.last_activity = now;
+                        match pump_reads(&service, conn, &mut handled) {
+                            ReadOutcome::Open => {}
+                            ReadOutcome::CloseNow => self.close_conn(token),
+                            ReadOutcome::CloseAfterFlush => {
+                                if let Some(conn) = self.conns.get_mut(&token) {
+                                    conn.closing = true;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            // Group commit: one sync covers every effect this batch
+            // journalled, before any of its replies reaches a socket.
+            if handled > 0 {
+                if let Err(err) = self.service.flush_wal() {
+                    eprintln!("crowdfusion-serve: journal flush failed: {err}");
+                }
+            }
+            self.flush_pass();
+            self.sweep_deadlines();
+            if self.service.shutdown_requested() {
+                // Wake the other reactors so they observe the flag.
+                for waker in self.wakers.iter() {
+                    waker.wake();
+                }
+                break;
+            }
+        }
+        // Final drain: push out whatever queued (the `Bye`, typically),
+        // then close everything so idle clients see EOF immediately.
+        let tokens: Vec<usize> = self.conns.keys().copied().collect();
+        for token in tokens {
+            if let Some(conn) = self.conns.get_mut(&token) {
+                let _ = flush_conn(conn);
+            }
+            self.close_conn(token);
+        }
+    }
 }
 
 /// Serves the daemon over TCP until a `Shutdown` request arrives.
-/// Returns the number of connections accepted (the wake-up poke, if any,
-/// is not counted).
+/// Returns the number of connections accepted.
 ///
-/// The daemon is long-lived, so the accept loop must neither leak nor
-/// die: finished connections are reaped (handle joined, stream clone
-/// dropped) on every accept, bounding resource use by *concurrent* — not
-/// lifetime-total — connections, and a transient `accept` failure
-/// (`ECONNABORTED`, fd pressure, …) is logged and retried instead of
-/// tearing down every in-memory session. On shutdown every still-open
-/// connection is closed, so idle clients cannot keep the daemon alive.
+/// The daemon is long-lived, so the serving layer must neither leak nor
+/// die: connections live as small buffered state machines on a fixed
+/// pool of reactor event loops (resource use is bounded by *concurrent*
+/// connections and reactor count, not lifetime totals), and a transient
+/// `accept` failure (`ECONNABORTED`, fd pressure, …) is logged and
+/// retried instead of tearing down every in-memory session. On shutdown
+/// every still-open connection is flushed and closed, so idle clients
+/// cannot keep the daemon alive.
 pub fn serve_tcp(service: Arc<Service>, listener: TcpListener) -> io::Result<usize> {
-    let local = listener.local_addr()?;
-    let mut connections: Vec<Connection> = Vec::new();
-    let mut accepted = 0usize;
-    for stream in listener.incoming() {
-        if service.shutdown_requested() {
-            break;
-        }
-        let stream = match stream {
-            Ok(stream) => stream,
-            Err(e) => {
-                eprintln!("crowdfusion-serve: accept failed (retrying): {e}");
-                // Back off briefly so a persistent error (e.g. fd
-                // exhaustion) cannot spin the loop hot.
-                thread::sleep(Duration::from_millis(50));
-                continue;
-            }
+    let reactor_count = service.threads().clamp(1, MAX_REACTORS);
+    let accepted = Arc::new(AtomicUsize::new(0));
+    let mut pollers = Vec::with_capacity(reactor_count);
+    let mut wakers = Vec::with_capacity(reactor_count);
+    let mut inboxes = Vec::with_capacity(reactor_count);
+    for _ in 0..reactor_count {
+        let mut poller = Poller::new()?;
+        wakers.push(Waker::new(&mut poller, TOKEN_WAKER)?);
+        pollers.push(poller);
+        inboxes.push(Arc::new(Mutex::new(Vec::new())));
+    }
+    pollers[0].register(&listener, TOKEN_LISTENER, Interest::READABLE)?;
+    let wakers = Arc::new(wakers);
+    let inboxes = Arc::new(inboxes);
+    let mut listener = Some(listener);
+    let mut handles = Vec::with_capacity(reactor_count);
+    for (index, poller) in pollers.into_iter().enumerate() {
+        let reactor = Reactor {
+            index,
+            service: Arc::clone(&service),
+            poller,
+            listener: if index == 0 { listener.take() } else { None },
+            conns: BTreeMap::new(),
+            next_token: FIRST_CONN_TOKEN,
+            inbox: Arc::clone(&inboxes[index]),
+            inboxes: Arc::clone(&inboxes),
+            wakers: Arc::clone(&wakers),
+            accepted: Arc::clone(&accepted),
+            deal: 0,
         };
-        accepted += 1;
-        // Reap connections whose handler already exited.
-        connections.retain(|c| !c.handle.is_finished());
-        let Ok(clone) = stream.try_clone() else {
-            continue; // the connection is unusable; drop it
-        };
-        let service = Arc::clone(&service);
-        connections.push(Connection {
-            // analyze: allow(adhoc-thread) — connection plumbing, not
-            // computation: refinement work inside a session still runs on
-            // the session's pool, so traces stay schedule-independent.
-            handle: thread::spawn(move || {
-                serve_connection(&service, stream, local);
-            }),
-            stream: clone,
-        });
+        // analyze: allow(adhoc-thread) — reactor threads are connection
+        // plumbing, not computation: refinement work inside a session
+        // still runs on the session's pool, so traces stay
+        // schedule-independent.
+        handles.push(thread::spawn(move || reactor.run()));
     }
-    // Unblock handler threads still parked on idle connections: their
-    // reads return EOF and the threads exit.
-    for connection in &connections {
-        let _ = connection.stream.shutdown(Shutdown::Both);
+    for handle in handles {
+        let _ = handle.join();
     }
-    for connection in connections {
-        let _ = connection.handle.join();
-    }
-    Ok(accepted)
+    Ok(accepted.load(Ordering::Relaxed))
 }
 
 /// Retry tuning for [`Client::roundtrip_retrying`]: deterministic capped
@@ -338,6 +752,63 @@ impl Client {
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
     }
 
+    /// Negotiates the wire version up front. Returns the daemon's
+    /// supported `(min, max)` range on success; an
+    /// `UnsupportedVersion` refusal surfaces as `InvalidData`.
+    pub fn hello(&mut self) -> io::Result<(u64, u64)> {
+        match self.roundtrip(&Request::Hello {
+            v: crate::protocol::WIRE_VERSION_MAX,
+        })? {
+            Response::Welcome { min, max, .. } => Ok((min, max)),
+            Response::UnsupportedVersion { min, max, .. } => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("daemon speaks wire versions {min}..={max}"),
+            )),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Opens sessions for `specs`, returning typed ids. The options
+    /// carry the idempotency token and per-session overrides.
+    pub fn open_all(
+        &mut self,
+        specs: Vec<crowdfusion_core::session::EntitySpec>,
+        options: OpenOptions,
+    ) -> io::Result<Vec<crowdfusion_core::session::OpenedSession>> {
+        match self.roundtrip(&Request::Open {
+            request: options.request,
+            entities: specs,
+            k: options.k,
+            budget: options.budget,
+            pc: options.pc,
+        })? {
+            Response::Opened { sessions } => Ok(sessions),
+            Response::Error { message } => Err(protocol_error(message)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Opens one session and returns its typed handle — the entry into
+    /// the `client.open(..)?.select()?` chain.
+    pub fn open(
+        &mut self,
+        spec: crowdfusion_core::session::EntitySpec,
+        options: OpenOptions,
+    ) -> io::Result<Session<'_>> {
+        let opened = self.open_all(vec![spec], options)?;
+        let id = opened
+            .first()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "daemon opened no session"))?
+            .session;
+        Ok(Session { client: self, id })
+    }
+
+    /// A typed handle onto an already-open session id (e.g. one of an
+    /// [`Client::open_all`] batch, or a session another client opened).
+    pub fn session(&mut self, id: u64) -> Session<'_> {
+        Session { client: self, id }
+    }
+
     /// [`Client::roundtrip`] under at-least-once delivery: on a dropped
     /// connection or expired deadline, reconnects and resends after the
     /// policy's capped backoff. Only safe for requests that are
@@ -374,6 +845,141 @@ impl Client {
             }
         }
         Err(last.expect("retry loop exits early unless every attempt failed"))
+    }
+}
+
+/// A daemon error response surfaced through the typed client API.
+fn protocol_error(message: String) -> io::Error {
+    io::Error::other(message)
+}
+
+/// A response of the wrong shape — a daemon bug or a framing mix-up,
+/// never retried.
+fn unexpected(response: &Response) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("unexpected response {response:?}"),
+    )
+}
+
+/// Per-open options for the typed client API: the idempotency token and
+/// the per-session overrides the wire `Open` carries.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OpenOptions {
+    /// Idempotency token for at-least-once delivery.
+    pub request: Option<u64>,
+    /// Tasks-per-round override.
+    pub k: Option<usize>,
+    /// Budget override.
+    pub budget: Option<usize>,
+    /// Crowd-accuracy override.
+    pub pc: Option<f64>,
+}
+
+impl OpenOptions {
+    /// Sets the idempotency token.
+    pub fn request(mut self, token: u64) -> Self {
+        self.request = Some(token);
+        self
+    }
+}
+
+/// What a typed `select` produced.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Selected {
+    /// An open round: answer these tasks via [`Session::absorb`].
+    Round {
+        /// 1-based round number the round will close as.
+        round: usize,
+        /// Published tasks in selection order.
+        tasks: Vec<crowdfusion_core::session::PublishedTask>,
+    },
+    /// The session stopped selecting for good.
+    Exhausted {
+        /// Rounds closed over the session's lifetime.
+        rounds: usize,
+        /// Judgments spent.
+        spent: usize,
+    },
+}
+
+/// One `absorb` call's ingestion report, typed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Absorbed {
+    /// Answers applied.
+    pub accepted: usize,
+    /// Duplicates / late answers dropped.
+    pub duplicates: usize,
+    /// Open-round answers still outstanding.
+    pub pending: usize,
+    /// The closed round's record when this call completed the round.
+    pub closed: Option<crowdfusion_core::round::RoundPoint>,
+}
+
+/// A typed handle on one daemon session: the session id plus the client
+/// connection, so the open → select → absorb loop reads as method calls
+/// instead of hand-built `Request` values.
+pub struct Session<'c> {
+    client: &'c mut Client,
+    id: u64,
+}
+
+impl Session<'_> {
+    /// The daemon-assigned session id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Returns the open round (idempotent) or selects the next one.
+    pub fn select(&mut self) -> io::Result<Selected> {
+        match self
+            .client
+            .roundtrip(&Request::Select { session: self.id })?
+        {
+            Response::Round { round, tasks, .. } => Ok(Selected::Round { round, tasks }),
+            Response::Exhausted { rounds, spent, .. } => Ok(Selected::Exhausted { rounds, spent }),
+            Response::Error { message } => Err(protocol_error(message)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Streams crowd answers into the open round.
+    pub fn absorb(&mut self, answers: &[(u64, bool)]) -> io::Result<Absorbed> {
+        let answers = answers
+            .iter()
+            .map(|&(task, value)| crate::protocol::WireAnswer { task, value })
+            .collect();
+        match self.client.roundtrip(&Request::Absorb {
+            session: self.id,
+            answers,
+        })? {
+            Response::Absorbed {
+                accepted,
+                duplicates,
+                pending,
+                closed,
+                ..
+            } => Ok(Absorbed {
+                accepted,
+                duplicates,
+                pending,
+                closed,
+            }),
+            Response::Error { message } => Err(protocol_error(message)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Per-session bookkeeping, raw (the full wire `Status` payload).
+    pub fn status(&mut self) -> io::Result<Response> {
+        match self
+            .client
+            .roundtrip(&Request::Status { session: self.id })?
+        {
+            status @ Response::Status { .. } => Ok(status),
+            Response::Error { message } => Err(protocol_error(message)),
+            other => Err(unexpected(&other)),
+        }
     }
 }
 

@@ -1,5 +1,6 @@
-//! The daemon state: a [`SessionRegistry`] plus its durability engine
-//! behind one mutex, one selector, and the journalled request dispatcher.
+//! The daemon state: a lock-striped [`ShardedRegistry`] plus its
+//! durability engine, one selector, and the journalled request
+//! dispatcher.
 //!
 //! **Dispatch protocol** (the write path, when durability is on):
 //!
@@ -16,6 +17,29 @@
 //! mutations are safe to journal. Reads (`Status`, `Metrics`, `Trace`,
 //! the client-directed `Snapshot` export) and idempotent re-reads
 //! (`Select` on an already-open round) skip the journal entirely.
+//!
+//! **Lock hierarchy** (acquire strictly in this order; every path holds a
+//! strict subset):
+//!
+//! 1. `order` — serialises the effects that touch the master seed
+//!    schedule or many shards at once (`Open`, TTL `Evict`): journal
+//!    order must equal master-RNG draw order for replay to reproduce the
+//!    seed schedule;
+//! 2. `registry` (an `RwLock`) — commits hold it *shared* across
+//!    journal+apply; consistent whole-state operations (auto-snapshot,
+//!    restore, shutdown drain) hold it *exclusive*, which guarantees no
+//!    journalled-but-unapplied effect exists while `applied_seq` is
+//!    stamped;
+//! 3. `shard_order[i]` — serialises journal+apply per registry shard, so
+//!    a session's journal order equals its apply order;
+//! 4. leaves — `durable`, `opens`, `last_active`, and the registry's own
+//!    internal stripes; none acquires anything above it.
+//!
+//! The auto-snapshot cadence is *deferred*: a commit that brings the
+//! cadence due releases its effect locks first, then takes the registry
+//! exclusively and snapshots — still within the same request dispatch,
+//! so the fault-point arrival order a serial caller observes is identical
+//! to the single-lock daemon's.
 //!
 //! At-least-once ingest: `Open` accepts an idempotency token — retried
 //! tokens return the recorded `Opened` payload from a ledger that
@@ -38,18 +62,25 @@ use crate::snapshot;
 use crowdfusion_core::pool::Pool;
 use crowdfusion_core::round::RoundConfig;
 use crowdfusion_core::selection::{GreedySelector, RandomSelector, TaskSelector};
-use crowdfusion_core::session::{AbsorbReport, OpenedSession, SelectOutcome, SessionRegistry};
+use crowdfusion_core::session::{AbsorbReport, OpenedSession, SelectOutcome};
+use crowdfusion_core::shard::ShardedRegistry;
 use crowdfusion_core::CoreError;
 use crowdfusion_crowd::{dedup_answers, Answer, TaskId, WorkerId};
 use std::collections::BTreeMap;
 use std::io;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Default cap on one protocol line (1 MiB) — large enough for wide
 /// `Open` batches, small enough that a hostile connection cannot balloon
 /// the daemon's memory.
 pub const DEFAULT_MAX_LINE_BYTES: usize = 1 << 20;
+
+/// Default registry shard (lock-stripe) count. Eight stripes keep the
+/// 4-core CI box's reactors out of each other's way without bloating the
+/// per-daemon footprint; shard count is a pure tuning knob — snapshots
+/// and traces are shard-count independent.
+pub const DEFAULT_SHARDS: usize = 8;
 
 /// The selector backends the daemon can run — the same matrix the CLI's
 /// offline `refine` exposes, so a served session is comparable to an
@@ -97,6 +128,9 @@ pub struct ServiceConfig {
     pub defaults: RoundConfig,
     /// Worker-pool width for prior building and restores.
     pub threads: usize,
+    /// Registry shard (lock-stripe) count. Purely a concurrency knob:
+    /// traces, metrics and snapshots are bit-identical at any value.
+    pub shards: usize,
     /// Task selection backend.
     pub selector: SelectorChoice,
     /// Name of the fusion method clients are expected to have produced
@@ -134,7 +168,7 @@ pub struct ServiceConfig {
 
 impl ServiceConfig {
     /// The baseline configuration: no durability, no fault plan, system
-    /// clock, no TTL or read deadline, default line cap.
+    /// clock, no TTL or read deadline, default line cap and shard count.
     pub fn new(
         seed: u64,
         defaults: RoundConfig,
@@ -145,6 +179,7 @@ impl ServiceConfig {
             seed,
             defaults,
             threads,
+            shards: DEFAULT_SHARDS,
             selector,
             method: crowdfusion_fusion::DEFAULT_METHOD.to_string(),
             snapshot_dir: None,
@@ -183,115 +218,127 @@ fn io_fail(err: io::Error, what: &str) -> Fail {
     }
 }
 
-/// The mutable half of the daemon, guarded by one mutex.
-struct Inner {
-    registry: SessionRegistry,
-    durable: Option<Durability>,
-    /// Idempotency ledger: completed `Open`s by request token.
-    opens: BTreeMap<u64, Vec<OpenedSession>>,
-    /// Last tick each session was touched (TTL bookkeeping).
-    last_active: BTreeMap<u64, Tick>,
+/// Locks a service-level mutex, recovering from poisoning. The registry's
+/// own stripes panic on poison (a panic mid-apply is a library bug); the
+/// service-level maps and the durability handle are only ever mutated in
+/// single, non-panicking steps, so continuing past a poisoned guard is
+/// sound.
+fn lease<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
-impl Inner {
-    /// Applies one effect to in-memory state. Deterministic given the
-    /// registry state and the effect — the property journal replay leans
-    /// on. `now` only feeds the TTL bookkeeping, never the outcome.
-    fn apply(
-        &mut self,
-        selector: &dyn TaskSelector,
-        effect: &Effect,
-        now: Tick,
-    ) -> Result<EffectOutcome, CoreError> {
-        match effect {
-            Effect::Open {
-                request,
-                entities,
-                k,
-                budget,
-                pc,
-            } => {
-                let defaults = self.registry.defaults();
-                let config = if k.is_some() || budget.is_some() || pc.is_some() {
-                    Some(RoundConfig::new(
-                        k.unwrap_or(defaults.k),
-                        budget.unwrap_or(defaults.budget),
-                        pc.unwrap_or(defaults.pc_assumed),
-                    )?)
-                } else {
-                    None
-                };
-                let sessions = self.registry.open_batch(entities.clone(), config)?;
-                for opened in &sessions {
-                    self.last_active.insert(opened.session, now);
-                }
-                if let Some(token) = request {
-                    self.opens.insert(*token, sessions.clone());
-                }
-                Ok(EffectOutcome::Opened(sessions))
-            }
-            Effect::Select { session } => {
-                let outcome = self.registry.select(*session, selector)?;
-                self.last_active.insert(*session, now);
-                Ok(EffectOutcome::Selected(outcome))
-            }
-            Effect::Absorb { session, answers } => {
-                // In-batch duplicates collapse through the crowd layer's
-                // documented first-answer-wins dedup; the session then
-                // rejects cross-batch repeats with the same rule, so the
-                // two layers always agree on which answer counted.
-                let as_answers: Vec<Answer> = answers
-                    .iter()
-                    .map(|a| Answer {
-                        task: TaskId(a.task),
-                        worker: WorkerId(0),
-                        value: a.value,
-                    })
-                    .collect();
-                let (kept, dropped) = dedup_answers(&as_answers);
-                let pairs: Vec<(u64, bool)> = kept.iter().map(|a| (a.task.0, a.value)).collect();
-                let mut report = self.registry.absorb(*session, &pairs)?;
-                report.duplicates += dropped;
-                self.last_active.insert(*session, now);
-                Ok(EffectOutcome::Absorbed(report))
-            }
-            Effect::Evict { sessions } => {
-                for &session in sessions {
-                    // Already-gone sessions are fine: replay of an evict
-                    // that raced a restore, say, should not fail.
-                    let _ = self.registry.evict(session);
-                    self.last_active.remove(&session);
-                }
-                Ok(EffectOutcome::Evicted)
-            }
-        }
-    }
+fn lease_read<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(|e| e.into_inner())
+}
 
-    /// The durable snapshot of everything in memory right now.
-    fn durable_snapshot(&self, applied_seq: u64) -> DurableSnapshot {
-        DurableSnapshot {
-            applied_seq,
-            registry: self.registry.snapshot(),
-            opens: self
-                .opens
+fn lease_write<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Applies one effect to in-memory state. Deterministic given the
+/// registry state and the effect — the property journal replay leans on.
+/// `now` only feeds the TTL bookkeeping, never the outcome. Free of any
+/// service-level serialisation: the *caller* holds whatever ordering
+/// locks the effect class requires.
+fn apply_effect(
+    selector: &dyn TaskSelector,
+    registry: &ShardedRegistry,
+    opens: &Mutex<BTreeMap<u64, Vec<OpenedSession>>>,
+    last_active: &Mutex<BTreeMap<u64, Tick>>,
+    effect: &Effect,
+    now: Tick,
+) -> Result<EffectOutcome, CoreError> {
+    match effect {
+        Effect::Open {
+            request,
+            entities,
+            k,
+            budget,
+            pc,
+        } => {
+            let defaults = registry.defaults();
+            let config = if k.is_some() || budget.is_some() || pc.is_some() {
+                Some(RoundConfig::new(
+                    k.unwrap_or(defaults.k),
+                    budget.unwrap_or(defaults.budget),
+                    pc.unwrap_or(defaults.pc_assumed),
+                )?)
+            } else {
+                None
+            };
+            let sessions = registry.open_batch(entities.clone(), config)?;
+            {
+                let mut last_active = lease(last_active);
+                for opened in &sessions {
+                    last_active.insert(opened.session, now);
+                }
+            }
+            if let Some(token) = request {
+                lease(opens).insert(*token, sessions.clone());
+            }
+            Ok(EffectOutcome::Opened(sessions))
+        }
+        Effect::Select { session } => {
+            let outcome = registry.select(*session, selector)?;
+            lease(last_active).insert(*session, now);
+            Ok(EffectOutcome::Selected(outcome))
+        }
+        Effect::Absorb { session, answers } => {
+            // In-batch duplicates collapse through the crowd layer's
+            // documented first-answer-wins dedup; the session then
+            // rejects cross-batch repeats with the same rule, so the
+            // two layers always agree on which answer counted.
+            let as_answers: Vec<Answer> = answers
                 .iter()
-                .map(|(&request, sessions)| CompletedOpen {
-                    request,
-                    sessions: sessions.clone(),
+                .map(|a| Answer {
+                    task: TaskId(a.task),
+                    worker: WorkerId(0),
+                    value: a.value,
                 })
-                .collect(),
+                .collect();
+            let (kept, dropped) = dedup_answers(&as_answers);
+            let pairs: Vec<(u64, bool)> = kept.iter().map(|a| (a.task.0, a.value)).collect();
+            let mut report = registry.absorb(*session, &pairs)?;
+            report.duplicates += dropped;
+            lease(last_active).insert(*session, now);
+            Ok(EffectOutcome::Absorbed(report))
+        }
+        Effect::Evict { sessions } => {
+            let mut last_active = lease(last_active);
+            for &session in sessions {
+                // Already-gone sessions are fine: replay of an evict
+                // that raced a restore, say, should not fail.
+                let _ = registry.evict(session);
+                last_active.remove(&session);
+            }
+            Ok(EffectOutcome::Evicted)
         }
     }
 }
 
 /// The long-lived daemon state shared by every connection.
 pub struct Service {
-    inner: Mutex<Inner>,
+    /// Shared for commits (journal+apply under `shard_order`/`order`),
+    /// exclusive for consistent whole-state work (auto-snapshot, restore,
+    /// shutdown drain).
+    registry: RwLock<ShardedRegistry>,
+    /// The durability engine (journal writer + snapshot cadence). Leaf.
+    durable: Mutex<Option<Durability>>,
+    /// Idempotency ledger: completed `Open`s by request token. Leaf.
+    opens: Mutex<BTreeMap<u64, Vec<OpenedSession>>>,
+    /// Last tick each session was touched (TTL bookkeeping). Leaf.
+    last_active: Mutex<BTreeMap<u64, Tick>>,
+    /// Serialises master-schedule / multi-shard effects (`Open`, `Evict`)
+    /// so journal order equals master-RNG draw order.
+    order: Mutex<()>,
+    /// Per-shard journal+apply serialisation for `Select`/`Absorb`.
+    shard_order: Vec<Mutex<()>>,
     selector: Box<dyn TaskSelector + Send + Sync>,
     /// The daemon's default fusion-method name (see
     /// [`ServiceConfig::method`]).
     method: String,
     threads: usize,
+    shards: usize,
     snapshot_dir: Option<std::path::PathBuf>,
     clock: Clock,
     session_ttl_ms: Option<u64>,
@@ -319,46 +366,63 @@ impl Service {
         let selector = config.selector.build();
         let clock = config.clock;
         let faults = config.faults;
+        let shards = config.shards.max(1);
 
-        let mut inner = match config.durability {
-            None => Inner {
-                registry: SessionRegistry::new(config.seed, config.defaults, pool),
-                durable: None,
-                opens: BTreeMap::new(),
-                last_active: BTreeMap::new(),
-            },
+        let opens = Mutex::new(BTreeMap::new());
+        let last_active = Mutex::new(BTreeMap::new());
+        let (registry, durable) = match config.durability {
+            None => (
+                ShardedRegistry::new(config.seed, config.defaults, pool, shards),
+                None,
+            ),
             Some(durability) => {
                 let recovery = recover(&durability.dir)?;
-                let mut inner = Self::recovered_inner(
+                let registry = Self::recovered_registry(
                     &recovery,
                     config.seed,
                     config.defaults,
                     pool,
+                    shards,
                     selector.as_ref(),
+                    &opens,
+                    &last_active,
                 )?;
                 let mut durable = Durability::open(durability, faults.clone(), &recovery)?;
                 // Compact: one fresh snapshot covering everything just
                 // recovered, so the journal restarts empty and a torn
                 // tail (already dropped by recovery) is truncated away.
-                let snapshot = inner.durable_snapshot(durable.last_seq());
+                let snapshot = DurableSnapshot {
+                    applied_seq: durable.last_seq(),
+                    registry: registry.snapshot(),
+                    opens: ledger_snapshot(&opens),
+                };
                 durable.snapshot_now(&snapshot)?;
-                inner.durable = Some(durable);
-                inner
+                (registry, Some(durable))
             }
         };
 
         // Recovery has no record of wall time; every recovered session's
         // TTL restarts at boot.
         let now = clock.now_ms();
-        for session in inner.registry.ids() {
-            inner.last_active.insert(session, now);
+        {
+            let mut last_active = lease(&last_active);
+            last_active.clear();
+            for session in registry.ids() {
+                last_active.insert(session, now);
+            }
         }
 
         Ok(Service {
-            inner: Mutex::new(inner),
+            registry: RwLock::new(registry),
+            durable: Mutex::new(durable),
+            opens,
+            last_active,
+            order: Mutex::new(()),
+            shard_order: (0..shards).map(|_| Mutex::new(())).collect(),
             selector,
             method: config.method,
             threads: config.threads,
+            shards,
             snapshot_dir: config.snapshot_dir,
             clock,
             session_ttl_ms: config.session_ttl_ms,
@@ -374,38 +438,39 @@ impl Service {
     /// through the same apply path live dispatch uses. Replay ignores
     /// per-effect errors: an effect that failed to apply before the crash
     /// fails identically now.
-    fn recovered_inner(
+    #[allow(clippy::too_many_arguments)]
+    fn recovered_registry(
         recovery: &Recovery,
         seed: u64,
         defaults: RoundConfig,
         pool: Pool,
+        shards: usize,
         selector: &dyn TaskSelector,
-    ) -> io::Result<Inner> {
-        let mut opens = BTreeMap::new();
+        opens: &Mutex<BTreeMap<u64, Vec<OpenedSession>>>,
+        last_active: &Mutex<BTreeMap<u64, Tick>>,
+    ) -> io::Result<ShardedRegistry> {
         let registry = match &recovery.snapshot {
             Some(snapshot) => {
+                let mut ledger = lease(opens);
                 for open in &snapshot.opens {
-                    opens.insert(open.request, open.sessions.clone());
+                    ledger.insert(open.request, open.sessions.clone());
                 }
-                SessionRegistry::from_snapshot(snapshot.registry.clone(), pool).map_err(|e| {
-                    io::Error::new(
-                        io::ErrorKind::InvalidData,
-                        format!("durable snapshot failed validation: {e}"),
-                    )
-                })?
+                drop(ledger);
+                ShardedRegistry::from_snapshot(snapshot.registry.clone(), pool, shards).map_err(
+                    |e| {
+                        io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("durable snapshot failed validation: {e}"),
+                        )
+                    },
+                )?
             }
-            None => SessionRegistry::new(seed, defaults, pool),
-        };
-        let mut inner = Inner {
-            registry,
-            durable: None,
-            opens,
-            last_active: BTreeMap::new(),
+            None => ShardedRegistry::new(seed, defaults, pool, shards),
         };
         for record in &recovery.replay {
-            let _ = inner.apply(selector, &record.effect, 0);
+            let _ = apply_effect(selector, &registry, opens, last_active, &record.effect, 0);
         }
-        Ok(inner)
+        Ok(registry)
     }
 
     /// Resolves a client-supplied snapshot path under the confinement
@@ -459,68 +524,119 @@ impl Service {
 
     /// Parses one wire line, dispatches it, encodes the response line.
     pub fn handle_line(&self, line: &str) -> String {
-        let response = match crate::protocol::decode::<Request>(line) {
+        let (framing, decoded) = crate::protocol::decode_framed(line);
+        let response = match decoded {
             Ok(request) => self.handle(request),
-            Err(message) => Response::Error { message },
+            Err(refusal) => refusal,
         };
-        crate::protocol::encode(&response)
+        crate::protocol::encode_framed(framing, &response)
     }
 
-    fn lock_inner(&self) -> Result<std::sync::MutexGuard<'_, Inner>, Fail> {
-        self.inner.lock().map_err(|_| {
-            Fail::Msg("service state poisoned by an earlier panic; restart the daemon".to_string())
-        })
+    /// The shard-order stripe owning a session id. Stripe count always
+    /// equals the registry's shard count (restores preserve it).
+    fn shard_lock(&self, session: u64) -> &Mutex<()> {
+        &self.shard_order[(session % self.shard_order.len() as u64) as usize]
     }
 
-    /// The write path: journal → injected-fault window → apply →
-    /// auto-snapshot cadence. See the module docs for the crash-window
-    /// argument.
-    fn commit(&self, inner: &mut Inner, effect: Effect) -> Result<EffectOutcome, Fail> {
+    /// The write path: journal → injected-fault window → apply. The caller
+    /// holds the effect's serialisation locks (`order` or a
+    /// `shard_order` stripe) plus the shared registry guard across this
+    /// call, then *releases them* before acting on the returned
+    /// `snapshot_due` flag via [`Service::write_auto_snapshot`] — the
+    /// snapshot needs the registry exclusively.
+    fn commit(
+        &self,
+        registry: &ShardedRegistry,
+        effect: Effect,
+    ) -> (Result<EffectOutcome, Fail>, bool) {
         let now = self.clock.now_ms();
-        if let Some(durable) = inner.durable.as_mut() {
-            durable
-                .journal(effect.clone())
-                .map_err(|e| io_fail(e, "append to the journal"))?;
+        {
+            let mut durable = lease(&self.durable);
+            if let Some(durable) = durable.as_mut() {
+                if let Err(e) = durable.journal(effect.clone()) {
+                    return (Err(io_fail(e, "append to the journal")), false);
+                }
+            }
         }
-        self.faults
-            .crash_if_scheduled(FaultPoint::EffectApply)
-            .map_err(Fail::Crash)?;
-        let outcome = inner
-            .apply(self.selector.as_ref(), &effect, now)
-            .map_err(|e| Fail::Msg(e.to_string()));
+        if let Err(crash) = self.faults.crash_if_scheduled(FaultPoint::EffectApply) {
+            return (Err(Fail::Crash(crash)), false);
+        }
+        let outcome = apply_effect(
+            self.selector.as_ref(),
+            registry,
+            &self.opens,
+            &self.last_active,
+            &effect,
+            now,
+        )
+        .map_err(|e| Fail::Msg(e.to_string()));
         // The cadence counts journalled effects whether or not the apply
         // succeeded — both are in the journal, both replay.
-        if let Some(durable) = inner.durable.as_mut() {
-            if durable.effect_applied() {
-                let snapshot = DurableSnapshot {
-                    applied_seq: durable.last_seq(),
-                    registry: inner.registry.snapshot(),
-                    opens: inner
-                        .opens
-                        .iter()
-                        .map(|(&request, sessions)| CompletedOpen {
-                            request,
-                            sessions: sessions.clone(),
-                        })
-                        .collect(),
-                };
-                durable
-                    .snapshot_now(&snapshot)
-                    .map_err(|e| io_fail(e, "write the auto-snapshot"))?;
-            }
+        let due = {
+            let mut durable = lease(&self.durable);
+            durable.as_mut().is_some_and(Durability::effect_applied)
+        };
+        (outcome, due)
+    }
+
+    /// Writes the auto-snapshot the cadence flagged as due. Takes the
+    /// registry exclusively, so every journalled effect is applied and
+    /// `applied_seq` is exact. Runs with *no other lock held* by the
+    /// caller.
+    fn write_auto_snapshot(&self) -> Result<(), Fail> {
+        let registry = lease_write(&self.registry);
+        let mut durable = lease(&self.durable);
+        let Some(durable) = durable.as_mut() else {
+            return Ok(());
+        };
+        let snapshot = DurableSnapshot {
+            applied_seq: durable.last_seq(),
+            registry: registry.snapshot(),
+            opens: ledger_snapshot(&self.opens),
+        };
+        durable
+            .snapshot_now(&snapshot)
+            .map_err(|e| io_fail(e, "write the auto-snapshot"))
+    }
+
+    /// Resolves a finished commit: the deferred cadence snapshot first
+    /// (its injected crashes must unwind exactly where the single-lock
+    /// daemon crashed), then the effect's own outcome.
+    fn finish_commit(
+        &self,
+        outcome: Result<EffectOutcome, Fail>,
+        due: bool,
+    ) -> Result<EffectOutcome, Fail> {
+        if due {
+            self.write_auto_snapshot()?;
         }
         outcome
     }
 
+    /// Forces batched journal appends to disk. The group-commit hook: a
+    /// transport running the durability layer with `group_commit` on
+    /// calls this once per ready-batch — one fsync covers every shard's
+    /// pending appends — before flushing the batch's responses.
+    pub fn flush_wal(&self) -> io::Result<()> {
+        match lease(&self.durable).as_mut() {
+            Some(durable) => durable.sync(),
+            None => Ok(()),
+        }
+    }
+
     /// Evicts sessions idle past the TTL, journalling the eviction as an
     /// explicit effect so replay never consults the clock.
-    fn sweep_ttl(&self, inner: &mut Inner) -> Result<(), Fail> {
+    fn sweep_ttl(&self) -> Result<(), Fail> {
         let Some(ttl) = self.session_ttl_ms else {
             return Ok(());
         };
         let now = self.clock.now_ms();
-        let expired: Vec<u64> = inner
-            .last_active
+        // Expiry is decided under `order` so a sweep and an `Open` agree
+        // on journal order; a concurrently *touched* session can still
+        // lose the race and be swept — the journalled Evict keeps replay
+        // deterministic either way.
+        let order = lease(&self.order);
+        let expired: Vec<u64> = lease(&self.last_active)
             .iter()
             .filter(|&(_, &touched)| now.saturating_sub(touched) > ttl)
             .map(|(&session, _)| session)
@@ -528,22 +644,38 @@ impl Service {
         if expired.is_empty() {
             return Ok(());
         }
-        self.commit(inner, Effect::Evict { sessions: expired })?;
+        let (outcome, due) = {
+            let registry = lease_read(&self.registry);
+            self.commit(&registry, Effect::Evict { sessions: expired })
+        };
+        drop(order);
+        self.finish_commit(outcome, due)?;
         Ok(())
     }
 
     fn dispatch(&self, request: Request) -> Result<Response, Fail> {
         let err = |e: CoreError| Fail::Msg(e.to_string());
+        // Version negotiation touches no session state — answer before
+        // TTL sweeps or registry locks.
+        if let Request::Hello { v } = request {
+            return Ok(if crate::protocol::version_supported(v) {
+                Response::Welcome {
+                    v,
+                    min: crate::protocol::WIRE_VERSION_MIN,
+                    max: crate::protocol::WIRE_VERSION_MAX,
+                }
+            } else {
+                crate::protocol::unsupported_version(v)
+            });
+        }
         // The client-directed snapshot export serialises and writes
-        // *outside* the lock so a large export never stalls other
-        // connections' traffic — the lock is held only for the clone.
+        // *outside* the registry guard so a large export never stalls
+        // other connections' traffic — the guard is held only for the
+        // clone.
         if let Request::Snapshot { path } = request {
             let resolved = self.resolve_snapshot_path(&path).map_err(Fail::Msg)?;
-            let snap = {
-                let mut inner = self.lock_inner()?;
-                self.sweep_ttl(&mut inner)?;
-                inner.registry.snapshot()
-            };
+            self.sweep_ttl()?;
+            let snap = lease_read(&self.registry).snapshot();
             let sessions = snap.sessions.len() as u64;
             snapshot::save(&snap, &resolved)
                 .map_err(|e| Fail::Msg(format!("cannot write snapshot {path}: {e}")))?;
@@ -553,27 +685,28 @@ impl Service {
             let resolved = self.resolve_snapshot_path(&path).map_err(Fail::Msg)?;
             let snap = snapshot::load(&resolved)
                 .map_err(|e| Fail::Msg(format!("cannot read snapshot {path}: {e}")))?;
-            let mut guard = self.lock_inner()?;
-            let inner: &mut Inner = &mut guard;
-            let pool = inner.registry.pool().clone();
-            let restored = SessionRegistry::from_snapshot(snap, pool).map_err(err)?;
+            // Exclusive: a restore replaces the whole registry, and no
+            // commit may straddle the swap.
+            let mut registry = lease_write(&self.registry);
+            let pool = registry.pool().clone();
+            let restored = ShardedRegistry::from_snapshot(snap, pool, self.shards).map_err(err)?;
             let sessions = restored.len() as u64;
-            inner.registry = restored;
+            *registry = restored;
             // The ledger described sessions that no longer exist.
-            inner.opens.clear();
+            lease(&self.opens).clear();
             let now = self.clock.now_ms();
-            inner.last_active = inner
-                .registry
+            *lease(&self.last_active) = registry
                 .ids()
                 .into_iter()
                 .map(|session| (session, now))
                 .collect();
             // Durability barrier: the restore replaces history, so the
             // restored state becomes the new recovery base at once.
-            if let Some(durable) = inner.durable.as_mut() {
+            let mut durable = lease(&self.durable);
+            if let Some(durable) = durable.as_mut() {
                 let snapshot = DurableSnapshot {
                     applied_seq: durable.last_seq(),
-                    registry: inner.registry.snapshot(),
+                    registry: registry.snapshot(),
                     opens: Vec::new(),
                 };
                 durable
@@ -583,9 +716,7 @@ impl Service {
             return Ok(Response::Restored { path, sessions });
         }
 
-        let mut guard = self.lock_inner()?;
-        let inner: &mut Inner = &mut guard;
-        self.sweep_ttl(inner)?;
+        self.sweep_ttl()?;
         match request {
             Request::Open {
                 request,
@@ -594,90 +725,125 @@ impl Service {
                 budget,
                 pc,
             } => {
+                // Pre-validate so malformed opens are rejected before the
+                // journal sees them. A spec naming a fusion method must
+                // name a registered one (absent = the daemon's default).
+                let fusion = crowdfusion_fusion::StrategyRegistry::standard();
+                for spec in &entities {
+                    spec.validate().map_err(err)?;
+                    if let Some(method) = &spec.method {
+                        fusion.build(method).map_err(|e| Fail::Msg(e.to_string()))?;
+                    }
+                }
+                let order = lease(&self.order);
                 // At-least-once: a retried token returns the recorded
-                // payload, opening nothing.
+                // payload, opening nothing. Checked under `order` so two
+                // racing retries cannot both open.
                 if let Some(token) = request {
-                    if let Some(sessions) = inner.opens.get(&token) {
+                    if let Some(sessions) = lease(&self.opens).get(&token) {
                         return Ok(Response::Opened {
                             sessions: sessions.clone(),
                         });
                     }
                 }
-                // Pre-validate so malformed opens are rejected before the
-                // journal sees them. A spec naming a fusion method must
-                // name a registered one (absent = the daemon's default).
-                let registry = crowdfusion_fusion::StrategyRegistry::standard();
-                for spec in &entities {
-                    spec.validate().map_err(err)?;
-                    if let Some(method) = &spec.method {
-                        registry
-                            .build(method)
-                            .map_err(|e| Fail::Msg(e.to_string()))?;
+                let (outcome, due) = {
+                    let registry = lease_read(&self.registry);
+                    if k.is_some() || budget.is_some() || pc.is_some() {
+                        let defaults = registry.defaults();
+                        RoundConfig::new(
+                            k.unwrap_or(defaults.k),
+                            budget.unwrap_or(defaults.budget),
+                            pc.unwrap_or(defaults.pc_assumed),
+                        )
+                        .map_err(err)?;
                     }
-                }
-                if k.is_some() || budget.is_some() || pc.is_some() {
-                    let defaults = inner.registry.defaults();
-                    RoundConfig::new(
-                        k.unwrap_or(defaults.k),
-                        budget.unwrap_or(defaults.budget),
-                        pc.unwrap_or(defaults.pc_assumed),
+                    self.commit(
+                        &registry,
+                        Effect::Open {
+                            request,
+                            entities,
+                            k,
+                            budget,
+                            pc,
+                        },
                     )
-                    .map_err(err)?;
-                }
-                let outcome = self.commit(
-                    inner,
-                    Effect::Open {
-                        request,
-                        entities,
-                        k,
-                        budget,
-                        pc,
-                    },
-                )?;
-                match outcome {
+                };
+                drop(order);
+                match self.finish_commit(outcome, due)? {
                     EffectOutcome::Opened(sessions) => Ok(Response::Opened { sessions }),
                     _ => unreachable!("open applies to Opened"),
                 }
             }
             Request::Select { session } => {
-                // Journal only when selection will mutate (draw RNG, open
-                // a round, or flip to exhausted); re-reading an open round
-                // and polling an exhausted session are pure reads.
-                let state = inner.registry.get(session).map_err(err)?;
-                let mutates = !state.has_open_round() && !state.is_exhausted();
-                let effect = Effect::Select { session };
-                let outcome = if mutates {
-                    self.commit(inner, effect)?
-                } else {
-                    let now = self.clock.now_ms();
-                    inner
-                        .apply(self.selector.as_ref(), &effect, now)
-                        .map_err(err)?
+                let (payload, due) = {
+                    let registry = lease_read(&self.registry);
+                    let _shard = lease(self.shard_lock(session));
+                    // Journal only when selection will mutate (draw RNG,
+                    // open a round, or flip to exhausted); re-reading an
+                    // open round and polling an exhausted session are pure
+                    // reads.
+                    let mutates = registry
+                        .with_session(session, |s| !s.has_open_round() && !s.is_exhausted())
+                        .map_err(err)?;
+                    let effect = Effect::Select { session };
+                    let (outcome, due) = if mutates {
+                        self.commit(&registry, effect)
+                    } else {
+                        let now = self.clock.now_ms();
+                        let outcome = apply_effect(
+                            self.selector.as_ref(),
+                            &registry,
+                            &self.opens,
+                            &self.last_active,
+                            &effect,
+                            now,
+                        )
+                        .map_err(err);
+                        (outcome, false)
+                    };
+                    // Build the response while the stripe is still held so
+                    // the exhausted payload reflects this very selection.
+                    let payload = match outcome {
+                        Ok(EffectOutcome::Selected(SelectOutcome::Round(round))) => {
+                            Ok(Response::Round {
+                                session,
+                                round: round.round,
+                                tasks: round.tasks,
+                            })
+                        }
+                        Ok(EffectOutcome::Selected(SelectOutcome::Exhausted)) => {
+                            let (rounds, spent) = registry
+                                .with_session(session, |s| (s.rounds(), s.spent()))
+                                .map_err(err)?;
+                            Ok(Response::Exhausted {
+                                session,
+                                rounds,
+                                spent,
+                            })
+                        }
+                        Ok(_) => unreachable!("select applies to Selected"),
+                        Err(e) => Err(e),
+                    };
+                    (payload, due)
                 };
-                match outcome {
-                    EffectOutcome::Selected(SelectOutcome::Round(round)) => Ok(Response::Round {
-                        session,
-                        round: round.round,
-                        tasks: round.tasks,
-                    }),
-                    EffectOutcome::Selected(SelectOutcome::Exhausted) => {
-                        let state = inner.registry.get(session).map_err(err)?;
-                        Ok(Response::Exhausted {
-                            session,
-                            rounds: state.rounds(),
-                            spent: state.spent(),
-                        })
-                    }
-                    _ => unreachable!("select applies to Selected"),
+                if due {
+                    self.write_auto_snapshot()?;
                 }
+                payload
             }
             Request::Absorb { session, answers } => {
-                // The session must exist before the batch is journalled;
-                // in-batch errors (unknown ids, no open round) journal and
-                // fail identically on replay.
-                inner.registry.get(session).map_err(err)?;
-                let outcome = self.commit(inner, Effect::Absorb { session, answers })?;
-                match outcome {
+                let (outcome, due) = {
+                    let registry = lease_read(&self.registry);
+                    let shard = lease(self.shard_lock(session));
+                    // The session must exist before the batch is
+                    // journalled; in-batch errors (unknown ids, no open
+                    // round) journal and fail identically on replay.
+                    registry.with_session(session, |_| ()).map_err(err)?;
+                    let result = self.commit(&registry, Effect::Absorb { session, answers });
+                    drop(shard);
+                    result
+                };
+                match self.finish_commit(outcome, due)? {
                     EffectOutcome::Absorbed(report) => Ok(Response::Absorbed {
                         session,
                         accepted: report.accepted,
@@ -688,34 +854,36 @@ impl Service {
                     _ => unreachable!("absorb applies to Absorbed"),
                 }
             }
-            Request::Snapshot { .. } | Request::Restore { .. } => {
-                unreachable!("snapshot verbs are handled before the main lock scope")
+            Request::Hello { .. } | Request::Snapshot { .. } | Request::Restore { .. } => {
+                unreachable!("hello and snapshot verbs are handled before the main dispatch")
             }
             Request::Status { session } => {
-                let state = inner.registry.get(session).map_err(err)?;
-                let response = Response::Status {
-                    session,
-                    name: state.name().to_string(),
-                    facts: state.num_facts(),
-                    rounds: state.rounds(),
-                    spent: state.spent(),
-                    remaining: state.remaining(),
-                    pending: state.pending_answers(),
-                    exhausted: state.is_exhausted(),
-                    utility: state.utility(),
-                    entropy: state.entropy(),
-                };
+                let registry = lease_read(&self.registry);
+                let response = registry
+                    .with_session(session, |state| Response::Status {
+                        session,
+                        name: state.name().to_string(),
+                        facts: state.num_facts(),
+                        rounds: state.rounds(),
+                        spent: state.spent(),
+                        remaining: state.remaining(),
+                        pending: state.pending_answers(),
+                        exhausted: state.is_exhausted(),
+                        utility: state.utility(),
+                        entropy: state.entropy(),
+                    })
+                    .map_err(err)?;
                 // A status poll counts as activity: watching a session
                 // keeps it alive.
                 let now = self.clock.now_ms();
-                inner.last_active.insert(session, now);
+                lease(&self.last_active).insert(session, now);
                 Ok(response)
             }
             Request::Metrics => Ok(Response::Metrics {
-                metrics: inner.registry.metrics(),
+                metrics: lease_read(&self.registry).metrics(),
             }),
             Request::Trace => Ok(Response::Trace {
-                trace: inner.registry.trace(self.selector.name()),
+                trace: lease_read(&self.registry).trace(self.selector.name()),
             }),
             Request::Shutdown => {
                 // Drain: open rounds and partial answers persist in a
@@ -723,18 +891,13 @@ impl Service {
                 // *real* I/O failure here still shuts down — the journal
                 // already holds everything the snapshot would (synced
                 // below) — but an injected crash unwinds like any other.
-                if let Some(durable) = inner.durable.as_mut() {
+                let registry = lease_write(&self.registry);
+                let mut durable = lease(&self.durable);
+                if let Some(durable) = durable.as_mut() {
                     let snapshot = DurableSnapshot {
                         applied_seq: durable.last_seq(),
-                        registry: inner.registry.snapshot(),
-                        opens: inner
-                            .opens
-                            .iter()
-                            .map(|(&request, sessions)| CompletedOpen {
-                                request,
-                                sessions: sessions.clone(),
-                            })
-                            .collect(),
+                        registry: registry.snapshot(),
+                        opens: ledger_snapshot(&self.opens),
                     };
                     if let Err(e) = durable.snapshot_now(&snapshot) {
                         if let Some(crash) = as_simulated_crash(&e) {
@@ -758,6 +921,11 @@ impl Service {
         self.threads
     }
 
+    /// Registry shard (lock-stripe) count.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
     /// The daemon's default fusion-method name.
     pub fn method(&self) -> &str {
         &self.method
@@ -766,6 +934,13 @@ impl Service {
     /// The per-connection read deadline, if one is configured.
     pub fn read_deadline_ms(&self) -> Option<u64> {
         self.read_deadline_ms
+    }
+
+    /// The daemon's time source. Transports stamp connection activity
+    /// through it so read deadlines stay off the raw wall clock (tests
+    /// drive a manual clock).
+    pub fn clock(&self) -> &Clock {
+        &self.clock
     }
 
     /// The protocol line-length cap.
@@ -777,6 +952,17 @@ impl Service {
     pub fn fault_plan(&self) -> &FaultPlan {
         &self.faults
     }
+}
+
+/// Clones the idempotency ledger into its snapshot form.
+fn ledger_snapshot(opens: &Mutex<BTreeMap<u64, Vec<OpenedSession>>>) -> Vec<CompletedOpen> {
+    lease(opens)
+        .iter()
+        .map(|(&request, sessions)| CompletedOpen {
+            request,
+            sessions: sessions.clone(),
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -1183,5 +1369,107 @@ mod tests {
         assert!(!svc.shutdown_requested());
         assert_eq!(svc.handle(Request::Shutdown), Response::Bye);
         assert!(svc.shutdown_requested());
+    }
+
+    #[test]
+    fn shard_count_is_invisible_in_traces_and_snapshots() {
+        // The same workload at 1, 2 and 8 shards produces byte-identical
+        // traces, metrics and snapshots.
+        let mut outputs = Vec::new();
+        for shards in [1usize, 2, 8] {
+            let mut config = base_config();
+            config.shards = shards;
+            let svc = Service::new(config).unwrap();
+            for _ in 0..3 {
+                let id = open_one(&svc, None)[0].session;
+                let Response::Round { tasks, .. } = svc.handle(Request::Select { session: id })
+                else {
+                    panic!("select failed");
+                };
+                let answers: Vec<WA> = tasks
+                    .iter()
+                    .map(|t| WA {
+                        task: t.id,
+                        value: true,
+                    })
+                    .collect();
+                svc.handle(Request::Absorb {
+                    session: id,
+                    answers,
+                });
+            }
+            let trace = crate::protocol::encode(&svc.handle(Request::Trace));
+            let metrics = crate::protocol::encode(&svc.handle(Request::Metrics));
+            outputs.push((trace, metrics));
+        }
+        assert_eq!(outputs[0], outputs[1]);
+        assert_eq!(outputs[0], outputs[2]);
+    }
+
+    #[test]
+    fn group_commit_defers_fsync_until_flush_wal() {
+        // With group_commit on, journalled effects survive only after the
+        // explicit flush; the append path itself never fsyncs. (Appends
+        // still hit the page cache, so this asserts the *flush contract*:
+        // flush_wal succeeds and a restart recovers everything.)
+        let dir = temp_dir("group-commit");
+        let mut config = base_config();
+        let mut durability = DurabilityConfig::new(&dir);
+        durability.group_commit = true;
+        config.durability = Some(durability);
+        let svc = Service::new(config.clone()).unwrap();
+        let id = open_one(&svc, None)[0].session;
+        svc.handle(Request::Select { session: id });
+        svc.flush_wal().unwrap();
+        drop(svc);
+        let revived = Service::new(config).unwrap();
+        let Response::Status { pending, .. } = revived.handle(Request::Status { session: id })
+        else {
+            panic!("status failed");
+        };
+        assert_eq!(pending, 2, "group-committed effects must recover");
+    }
+
+    #[test]
+    fn hello_negotiates_the_wire_version() {
+        let svc = service();
+        assert_eq!(
+            svc.handle(Request::Hello { v: 1 }),
+            Response::Welcome {
+                v: 1,
+                min: crate::protocol::WIRE_VERSION_MIN,
+                max: crate::protocol::WIRE_VERSION_MAX,
+            }
+        );
+        assert_eq!(
+            svc.handle(Request::Hello { v: 99 }),
+            Response::UnsupportedVersion {
+                requested: 99,
+                min: crate::protocol::WIRE_VERSION_MIN,
+                max: crate::protocol::WIRE_VERSION_MAX,
+            }
+        );
+    }
+
+    #[test]
+    fn handle_line_echoes_the_request_framing() {
+        use serde::{Deserialize, Value};
+        let svc = service();
+        // Bare in, bare out — byte-identical to the pre-envelope wire.
+        let bare = svc.handle_line(&crate::protocol::encode(&Request::Metrics));
+        assert_eq!(bare, crate::protocol::encode(&svc.handle(Request::Metrics)));
+        // Enveloped in, enveloped out, same version.
+        let versioned = svc.handle_line(r#"{"v": 1, "body": "Metrics"}"#);
+        let value: Value = serde_json::from_str(&versioned).unwrap();
+        assert_eq!(value.get_field("v"), Some(&Value::Int(1)));
+        assert!(value.get_field("body").is_some());
+        // An unsupported version is refused with the supported range.
+        let refused = svc.handle_line(r#"{"v": 7, "body": "Metrics"}"#);
+        let value: Value = serde_json::from_str(&refused).unwrap();
+        let body = value.get_field("body").unwrap();
+        assert_eq!(
+            Response::from_value(body).unwrap(),
+            crate::protocol::unsupported_version(7)
+        );
     }
 }

@@ -8,6 +8,11 @@
 //!    answers — scrambled, split into partial batches and partly
 //!    duplicated — produces a trace bit-identical to
 //!    [`Experiment::run_sharded`], at multiple thread counts.
+//! 3. **Shard-count invariance (tentpole).** The lock-striped registry
+//!    at 2 and 8 shards reproduces the single-registry (1-shard) daemon
+//!    bit for bit at 1 and 4 pool threads — including a snapshot taken
+//!    mid-round and restored into a daemon with a *different* shard
+//!    count, since shard assignment is pure routing, never state.
 
 use crowdfusion_core::pool::Pool;
 use crowdfusion_core::round::RoundConfig;
@@ -166,6 +171,123 @@ fn service_trace(
     trace
 }
 
+/// Like [`service_trace`], with an explicit shard count and an optional
+/// mid-round handoff: after the first delivered batch of the first
+/// round, the registry is snapshotted (open partial round and all) and
+/// restored into a *fresh* daemon striped across `restore_shards`.
+#[allow(clippy::too_many_arguments)]
+fn sharded_service_trace(
+    specs: &[EntitySpec],
+    config: RoundConfig,
+    seed: u64,
+    threads: usize,
+    shards: usize,
+    order_seed: u64,
+    restore_shards: Option<usize>,
+) -> ExperimentTrace {
+    let make = |shards: usize| {
+        let mut service_config = ServiceConfig::new(seed, config, threads, SelectorChoice::Greedy);
+        service_config.shards = shards;
+        Service::new(service_config).unwrap()
+    };
+    let mut service = make(shards);
+    let Response::Opened { sessions } = service.handle(Request::Open {
+        request: None,
+        entities: specs.to_vec(),
+        k: None,
+        budget: None,
+        pc: None,
+    }) else {
+        panic!("open failed");
+    };
+    let pool = WorkerPool::uniform(WORKERS, config.pc_assumed).unwrap();
+    let model = UniformAccuracy::new(config.pc_assumed);
+    let mut replays: Vec<AnswerReplay> = sessions
+        .iter()
+        .map(|s| AnswerReplay::from_seed(s.answer_seed))
+        .collect();
+    let mut scramble = StdRng::seed_from_u64(order_seed);
+    let mut pending_handoff = restore_shards;
+    let mut live: Vec<bool> = vec![true; sessions.len()];
+    while live.iter().any(|&l| l) {
+        for (i, info) in sessions.iter().enumerate() {
+            if !live[i] {
+                continue;
+            }
+            let response = service.handle(Request::Select {
+                session: info.session,
+            });
+            let tasks = match response {
+                Response::Round { tasks, .. } => tasks,
+                Response::Exhausted { .. } => {
+                    live[i] = false;
+                    continue;
+                }
+                other => panic!("unexpected select response {other:?}"),
+            };
+            let crowd_tasks: Vec<Task> = tasks
+                .iter()
+                .map(|t| Task {
+                    id: TaskId(t.id),
+                    prompt: t.prompt.clone(),
+                    class: t.class,
+                })
+                .collect();
+            let truths: Vec<bool> = tasks.iter().map(|t| specs[i].gold[t.fact]).collect();
+            let answers = replays[i]
+                .answers(&pool, &model, &crowd_tasks, &truths)
+                .unwrap();
+            let mut wire: Vec<WireAnswer> = answers
+                .iter()
+                .map(|a| WireAnswer {
+                    task: a.task.0,
+                    value: a.value,
+                })
+                .collect();
+            wire.shuffle(&mut scramble);
+            let cut = scramble.gen_range(0..=wire.len());
+            for batch in [&wire[..cut], &wire[..1.min(wire.len())], &wire[cut..]] {
+                if !batch.is_empty() {
+                    match service.handle(Request::Absorb {
+                        session: info.session,
+                        answers: batch.to_vec(),
+                    }) {
+                        Response::Absorbed { .. } => {}
+                        other => panic!("unexpected absorb response {other:?}"),
+                    }
+                }
+                // Mid-round handoff: snapshot the partially answered
+                // round and restore it into a daemon with a different
+                // stripe count.
+                if let Some(to) = pending_handoff.take() {
+                    let path = std::env::temp_dir()
+                        .join(format!(
+                            "cf-shard-handoff-{seed}-{order_seed}-{shards}-{to}-{threads}.snap"
+                        ))
+                        .to_string_lossy()
+                        .into_owned();
+                    let Response::Snapshotted { .. } =
+                        service.handle(Request::Snapshot { path: path.clone() })
+                    else {
+                        panic!("snapshot failed");
+                    };
+                    service = make(to);
+                    let Response::Restored { .. } =
+                        service.handle(Request::Restore { path: path.clone() })
+                    else {
+                        panic!("restore failed");
+                    };
+                    std::fs::remove_file(&path).ok();
+                }
+            }
+        }
+    }
+    let Response::Trace { trace } = service.handle(Request::Trace) else {
+        panic!("trace failed");
+    };
+    trace
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
@@ -242,6 +364,39 @@ proptest! {
             );
             let served = service_trace(&specs, config, seed, threads, order_seed);
             prop_assert_eq!(&served, &reference, "service threads = {}", threads);
+        }
+    }
+
+    /// Tentpole: the lock-striped registry is invisible in the trace.
+    /// Every shard count × thread count reproduces the single-registry
+    /// daemon bit for bit, and a snapshot taken mid-round restores into
+    /// a daemon with a different shard count without perturbing it.
+    #[test]
+    fn sharded_daemon_matches_single_registry_daemon(
+        seed in 0u64..1000,
+        order_seed in 0u64..1000,
+    ) {
+        let specs = specs_from_seed(seed);
+        let config = RoundConfig::new(2, 6, 0.8).unwrap();
+        // The single-registry reference: one shard, one pool thread.
+        let reference =
+            sharded_service_trace(&specs, config, seed, 1, 1, order_seed, None);
+        for shards in [2usize, 8] {
+            for threads in [1usize, 4] {
+                let served =
+                    sharded_service_trace(&specs, config, seed, threads, shards, order_seed, None);
+                prop_assert_eq!(
+                    &served, &reference,
+                    "shards = {}, threads = {}", shards, threads
+                );
+            }
+        }
+        // Mid-round snapshots cross shard counts freely: assignment is
+        // routing, not state.
+        for (from, to) in [(1usize, 8usize), (2, 8), (8, 2)] {
+            let served =
+                sharded_service_trace(&specs, config, seed, 4, from, order_seed, Some(to));
+            prop_assert_eq!(&served, &reference, "restore {} -> {} shards", from, to);
         }
     }
 }

@@ -5,10 +5,11 @@
 
 use crowdfusion_core::round::RoundConfig;
 use crowdfusion_core::session::EntitySpec;
-use crowdfusion_service::protocol::{Request, Response, WireAnswer};
+use crowdfusion_service::protocol::{Request, Response};
 use crowdfusion_service::service::{SelectorChoice, ServiceConfig};
 use crowdfusion_service::{
-    serve_tcp, Client, FaultAction, FaultPlan, FaultPoint, RetryPolicy, Service,
+    serve_tcp, Client, FaultAction, FaultPlan, FaultPoint, OpenOptions, RetryPolicy, Selected,
+    Service,
 };
 use std::net::TcpListener;
 use std::sync::Arc;
@@ -43,51 +44,25 @@ fn tcp_daemon_serves_concurrent_clients_and_shuts_down() {
     let service = Arc::new(Service::new(config()).unwrap());
     let (addr, daemon) = spawn_daemon(service);
 
-    // Client 1 opens a session and drives one round.
+    // Client 1 opens a session and drives one round — the typed
+    // `open → select → absorb` chain, after a version handshake.
     let mut one = Client::connect(addr).unwrap();
-    let Response::Opened { sessions } = one
-        .roundtrip(&Request::Open {
-            request: None,
-            entities: vec![spec()],
-            k: None,
-            budget: None,
-            pc: None,
-        })
-        .unwrap()
-    else {
-        panic!("open failed");
-    };
-    let id = sessions[0].session;
-    let Response::Round { tasks, .. } = one.roundtrip(&Request::Select { session: id }).unwrap()
-    else {
+    assert_eq!(one.hello().unwrap(), (1, 1));
+    let mut session = one.open(spec(), OpenOptions::default()).unwrap();
+    let id = session.id();
+    let Selected::Round { tasks, .. } = session.select().unwrap() else {
         panic!("select failed");
     };
 
     // Client 2, concurrently connected, absorbs the round — sessions are
     // shared daemon state, not per-connection state.
     let mut two = Client::connect(addr).unwrap();
-    let answers: Vec<WireAnswer> = tasks
-        .iter()
-        .map(|t| WireAnswer {
-            task: t.id,
-            value: true,
-        })
-        .collect();
-    let Response::Absorbed { pending, .. } = two
-        .roundtrip(&Request::Absorb {
-            session: id,
-            answers,
-        })
-        .unwrap()
-    else {
-        panic!("absorb failed");
-    };
-    assert_eq!(pending, 0);
+    let answers: Vec<(u64, bool)> = tasks.iter().map(|t| (t.id, true)).collect();
+    let report = two.session(id).absorb(&answers).unwrap();
+    assert_eq!(report.pending, 0);
 
     // Client 1 sees the absorbed round.
-    let Response::Status { rounds, spent, .. } =
-        one.roundtrip(&Request::Status { session: id }).unwrap()
-    else {
+    let Response::Status { rounds, spent, .. } = one.session(id).status().unwrap() else {
         panic!("status failed");
     };
     assert_eq!((rounds, spent), (1, 2));
@@ -184,4 +159,74 @@ fn silent_connections_are_closed_at_the_read_deadline() {
     ));
     assert_eq!(prompt.roundtrip(&Request::Shutdown).unwrap(), Response::Bye);
     daemon.join().unwrap().unwrap();
+}
+
+#[test]
+fn mid_line_silence_is_reaped_at_the_deadline() {
+    // A peer that trickles half a request and stalls must not park a
+    // reactor slot forever: the loop's timer sweeps it at the deadline
+    // exactly like a peer that never spoke, and the partial line is
+    // discarded unanswered.
+    use std::io::{Read, Write};
+
+    let mut config = config();
+    config.read_deadline_ms = Some(50);
+    let service = Arc::new(Service::new(config).unwrap());
+    let (addr, daemon) = spawn_daemon(service);
+
+    let mut stalled = std::net::TcpStream::connect(addr).unwrap();
+    stalled.write_all(b"{\"Metr").unwrap(); // no terminating newline
+    std::thread::sleep(std::time::Duration::from_millis(200));
+    let mut buf = [0u8; 64];
+    match stalled.read(&mut buf) {
+        Ok(0) => {} // clean EOF: the daemon hung up without replying
+        Ok(n) => panic!("daemon answered a partial line with {:?}", &buf[..n]),
+        Err(err) => assert!(
+            matches!(
+                err.kind(),
+                std::io::ErrorKind::ConnectionReset | std::io::ErrorKind::BrokenPipe
+            ),
+            "expected a closed connection, got {err:?}"
+        ),
+    }
+
+    let mut prompt = Client::connect(addr).unwrap();
+    assert_eq!(prompt.roundtrip(&Request::Shutdown).unwrap(), Response::Bye);
+    daemon.join().unwrap().unwrap();
+}
+
+#[test]
+fn shutdown_closes_every_connection_socket() {
+    // PR 7's handler-exit contract, re-verified on the event loop: when
+    // the daemon stops, every live socket gets a transport-level
+    // shutdown, so an idle peer observes EOF promptly instead of
+    // blocking on a dead connection.
+    use std::io::Read;
+
+    let service = Arc::new(Service::new(config()).unwrap());
+    let (addr, daemon) = spawn_daemon(service);
+
+    // An idle bystander connection, and a second client that stops the
+    // daemon.
+    let mut idle = std::net::TcpStream::connect(addr).unwrap();
+    idle.set_read_timeout(Some(std::time::Duration::from_secs(5)))
+        .unwrap();
+    let mut driver = Client::connect(addr).unwrap();
+    assert_eq!(driver.roundtrip(&Request::Shutdown).unwrap(), Response::Bye);
+    daemon.join().unwrap().unwrap();
+
+    // The bystander's read resolves (EOF or reset) rather than hanging
+    // until its own timeout: the daemon shut the socket down on exit.
+    let mut buf = [0u8; 16];
+    match idle.read(&mut buf) {
+        Ok(0) => {}
+        Ok(n) => panic!("unexpected bytes on an idle connection: {:?}", &buf[..n]),
+        Err(err) => assert!(
+            matches!(
+                err.kind(),
+                std::io::ErrorKind::ConnectionReset | std::io::ErrorKind::BrokenPipe
+            ),
+            "expected a closed connection, got {err:?}"
+        ),
+    }
 }

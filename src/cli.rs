@@ -11,13 +11,13 @@
 //! crowdfusion refine          --dataset books.json [--method NAME] [--k K] [--budget B]
 //!                             [--pc PC] [--selector greedy|greedy-pre|random] [--seed S]
 //!                             [--threads N] [--out trace.json] [--csv trace.csv]
-//! crowdfusion serve           [--addr HOST:PORT] [--transport tcp|stdio] [--threads N]
-//!                             [--selector NAME] [--method NAME]
+//! crowdfusion serve           [--config FILE] [--addr HOST:PORT] [--transport tcp|stdio]
+//!                             [--threads N] [--shards N] [--selector NAME] [--method NAME]
 //!                             [--k K] [--budget B] [--pc PC] [--seed S]
 //!                             [--ready-file PATH] [--snapshot-dir DIR]
 //!                             [--wal-dir DIR] [--snapshot-every N] [--sync-every N]
-//!                             [--session-ttl-ms MS] [--read-deadline-ms MS]
-//!                             [--max-line-bytes N]
+//!                             [--group-commit BOOL] [--session-ttl-ms MS]
+//!                             [--read-deadline-ms MS] [--max-line-bytes N]
 //! crowdfusion demo            # the paper's running example
 //! ```
 //!
@@ -61,13 +61,14 @@ USAGE:
   crowdfusion refine --dataset PATH [--method NAME] [--k K] [--budget B]
                      [--pc PC] [--selector greedy|greedy-pre|random] [--seed S]
                      [--threads N] [--out trace.json] [--csv trace.csv]
-  crowdfusion serve  [--addr HOST:PORT] [--transport tcp|stdio] [--threads N]
+  crowdfusion serve  [--config FILE] [--addr HOST:PORT] [--transport tcp|stdio]
+                     [--threads N] [--shards N]
                      [--selector greedy|greedy-pre|random] [--method NAME]
                      [--k K] [--budget B]
                      [--pc PC] [--seed S] [--ready-file PATH] [--snapshot-dir DIR]
                      [--wal-dir DIR] [--snapshot-every N] [--sync-every N]
-                     [--session-ttl-ms MS] [--read-deadline-ms MS]
-                     [--max-line-bytes N]
+                     [--group-commit BOOL] [--session-ttl-ms MS]
+                     [--read-deadline-ms MS] [--max-line-bytes N]
   crowdfusion demo
   crowdfusion help
 
@@ -90,7 +91,11 @@ daemon crash-safe: mutations are journalled there before they apply, the
 registry auto-snapshots every --snapshot-every effects (journal fsync
 batched per --sync-every appends), and a restart recovers every session.
 --session-ttl-ms evicts idle sessions; --read-deadline-ms closes silent
-connections; --max-line-bytes bounds one protocol line.
+connections; --max-line-bytes bounds one protocol line. serve --config FILE
+loads all of the above from one JSON document (partial files merge over the
+defaults; explicit flags still win); --shards sets the registry lock-stripe
+count (traces are identical at any value); --group-commit true batches
+journal fsyncs per event-loop ready-batch.
 ";
 
 /// Parsed flag map: `--name value` pairs. Ordered so diagnostics (e.g.
@@ -335,9 +340,11 @@ pub fn run(args: &[String]) -> Result<String, String> {
         }
         "serve" => {
             flags.ensure_known(&[
+                "config",
                 "addr",
                 "transport",
                 "threads",
+                "shards",
                 "selector",
                 "method",
                 "k",
@@ -349,58 +356,55 @@ pub fn run(args: &[String]) -> Result<String, String> {
                 "wal-dir",
                 "snapshot-every",
                 "sync-every",
+                "group-commit",
                 "session-ttl-ms",
                 "read-deadline-ms",
                 "max-line-bytes",
             ])?;
-            let k = flags.take("k", 2usize)?;
-            let budget = flags.take("budget", 60usize)?;
-            let pc = flags.take("pc", 0.8f64)?;
-            let seed = flags.take("seed", 7u64)?;
-            // Same thread sourcing as refine: the flag wins, the
-            // CROWDFUSION_THREADS environment variable is the fallback,
-            // and with neither the daemon runs its pool single-threaded.
-            let threads = flags
-                .optional("threads")
-                .map(|raw| {
-                    raw.parse::<usize>()
-                        .ok()
-                        .filter(|&t| t > 0)
-                        .ok_or_else(|| format!("invalid value {raw:?} for --threads"))
-                })
-                .transpose()?
-                .or_else(crowdfusion_core::pool::threads_from_env)
-                .unwrap_or(1);
-            let selector = crowdfusion_service::SelectorChoice::parse(
-                &flags.take("selector", "greedy".to_string())?,
-            )?;
-            let defaults = crowdfusion_core::round::RoundConfig::new(k, budget, pc)
-                .map_err(|e| e.to_string())?;
-            // With --snapshot-dir, clients may only name bare files
-            // inside it; without, Snapshot/Restore paths are taken
-            // verbatim (appropriate for the default loopback bind only).
-            let mut config =
-                crowdfusion_service::ServiceConfig::new(seed, defaults, threads, selector);
-            // The daemon's default fusion method: validate eagerly so an
-            // unknown name fails here (flag parity with refine) rather
-            // than deep inside Service::new's boot error.
-            let method = flags.take("method", DEFAULT_METHOD.to_string())?;
-            build_method(&method)?;
-            config.method = method;
-            config.snapshot_dir = flags.optional("snapshot-dir").map(PathBuf::from);
-            // --wal-dir turns on crash safety: every mutation is
-            // journalled there and the daemon auto-snapshots on the
-            // --snapshot-every cadence; restarting with the same
-            // directory recovers all sessions (snapshot + journal
-            // replay), including mid-round partial answers.
+            // One declarative document, then flags override field by
+            // field: `--config serve.json --shards 2` serves the file's
+            // daemon with two shards.
+            let mut serve = match flags.optional("config") {
+                Some(path) => {
+                    let text = std::fs::read_to_string(&path)
+                        .map_err(|e| format!("cannot read {path}: {e}"))?;
+                    crowdfusion_service::ServeConfig::from_json(&text)
+                        .map_err(|e| format!("{path}: {e}"))?
+                }
+                None => crowdfusion_service::ServeConfig::new(),
+            };
+            serve.seed = flags.take("seed", serve.seed)?;
+            serve.k = flags.take("k", serve.k)?;
+            serve.budget = flags.take("budget", serve.budget)?;
+            serve.pc = flags.take("pc", serve.pc)?;
+            if let Some(raw) = flags.optional("threads") {
+                let threads: usize = raw
+                    .parse()
+                    .ok()
+                    .filter(|&t| t > 0)
+                    .ok_or_else(|| format!("invalid value {raw:?} for --threads"))?;
+                serve.threads = Some(threads);
+            }
+            serve.shards = flags.take("shards", serve.shards)?;
+            serve.selector = flags.take("selector", serve.selector.clone())?;
+            serve.method = flags.take("method", serve.method.clone())?;
+            serve.addr = flags.take("addr", serve.addr.clone())?;
+            serve.transport = flags.take("transport", serve.transport.clone())?;
+            if let Some(path) = flags.optional("ready-file") {
+                serve.ready_file = Some(path);
+            }
+            if let Some(dir) = flags.optional("snapshot-dir") {
+                serve.snapshot_dir = Some(dir);
+            }
             if let Some(dir) = flags.optional("wal-dir") {
-                let mut durability = crowdfusion_service::DurabilityConfig::new(dir);
-                durability.snapshot_every =
-                    flags.take("snapshot-every", durability.snapshot_every)?;
-                durability.sync_every = flags.take("sync-every", durability.sync_every)?.max(1);
-                config.durability = Some(durability);
-            } else if flags.optional("snapshot-every").is_some()
-                || flags.optional("sync-every").is_some()
+                serve.wal_dir = Some(dir);
+            }
+            serve.snapshot_every = flags.take("snapshot-every", serve.snapshot_every)?;
+            serve.sync_every = flags.take("sync-every", serve.sync_every)?;
+            serve.group_commit = flags.take("group-commit", serve.group_commit)?;
+            if serve.wal_dir.is_none()
+                && (flags.optional("snapshot-every").is_some()
+                    || flags.optional("sync-every").is_some())
             {
                 return Err(
                     "--snapshot-every/--sync-every require --wal-dir (nothing to journal into)"
@@ -411,7 +415,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
                 let ttl: u64 = raw
                     .parse()
                     .map_err(|_| format!("invalid value {raw:?} for --session-ttl-ms"))?;
-                config.session_ttl_ms = Some(ttl);
+                serve.session_ttl_ms = Some(ttl);
             }
             if let Some(raw) = flags.optional("read-deadline-ms") {
                 let deadline: u64 = raw
@@ -419,11 +423,14 @@ pub fn run(args: &[String]) -> Result<String, String> {
                     .ok()
                     .filter(|&ms| ms > 0)
                     .ok_or_else(|| format!("invalid value {raw:?} for --read-deadline-ms"))?;
-                config.read_deadline_ms = Some(deadline);
+                serve.read_deadline_ms = Some(deadline);
             }
-            config.max_line_bytes = flags.take("max-line-bytes", config.max_line_bytes)?;
-            match flags.take("transport", "tcp".to_string())?.as_str() {
-                "stdio" => {
+            serve.max_line_bytes = flags.take("max-line-bytes", serve.max_line_bytes)?;
+            // One validation pass for flags and file alike.
+            let config = serve.build()?;
+            let threads = config.threads;
+            match serve.transport()? {
+                crowdfusion_service::Transport::Stdio => {
                     let service = crowdfusion_service::Service::new(config)
                         .map_err(|e| format!("serve: cannot recover durable state: {e}"))?;
                     let stdin = std::io::stdin();
@@ -431,18 +438,21 @@ pub fn run(args: &[String]) -> Result<String, String> {
                         .map_err(|e| format!("serve (stdio): {e}"))?;
                     Ok("crowdfusion-serve (stdio): shut down cleanly".to_string())
                 }
-                "tcp" => {
-                    let addr = flags.take("addr", "127.0.0.1:7464".to_string())?;
-                    let listener = std::net::TcpListener::bind(&addr)
-                        .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+                crowdfusion_service::Transport::Tcp => {
+                    let listener = std::net::TcpListener::bind(&serve.addr)
+                        .map_err(|e| format!("cannot bind {}: {e}", serve.addr))?;
                     let local = listener
                         .local_addr()
                         .map_err(|e| format!("cannot resolve bound address: {e}"))?;
-                    if let Some(path) = flags.optional("ready-file") {
-                        std::fs::write(&path, local.to_string())
+                    if let Some(path) = &serve.ready_file {
+                        std::fs::write(path, local.to_string())
                             .map_err(|e| format!("cannot write {path}: {e}"))?;
                     }
-                    eprintln!("crowdfusion-serve listening on {local} ({threads} thread(s))");
+                    eprintln!(
+                        "crowdfusion-serve listening on {local} \
+                         ({threads} thread(s), {} shard(s))",
+                        serve.shards
+                    );
                     let service = crowdfusion_service::Service::new(config)
                         .map_err(|e| format!("serve: cannot recover durable state: {e}"))?;
                     let served =
@@ -453,7 +463,6 @@ pub fn run(args: &[String]) -> Result<String, String> {
                          shut down cleanly"
                     ))
                 }
-                other => Err(format!("unknown transport {other:?} (tcp or stdio)")),
             }
         }
         "demo" => {

@@ -12,8 +12,8 @@
 //! offline file byte for byte.
 
 use crowdfusion::pipeline::entity_specs_from_books;
-use crowdfusion::service::protocol::{Request, Response, WireAnswer};
-use crowdfusion::service::{Client, SelectorChoice, Service, ServiceConfig};
+use crowdfusion::service::protocol::{Request, Response};
+use crowdfusion::service::{Client, OpenOptions, Selected, SelectorChoice, Service, ServiceConfig};
 use crowdfusion_core::metrics::quality_points_to_csv;
 use crowdfusion_core::round::RoundConfig;
 use crowdfusion_core::session::EntitySpec;
@@ -101,38 +101,27 @@ fn served_sessions_match_offline_refine_over_tcp() {
 
     // 4. Open every book in entity order; drive each session to
     //    exhaustion with crowd answers replayed from the recorded seeds,
-    //    delivered as two partial batches with a duplicated answer.
+    //    delivered as two partial batches with a duplicated answer. The
+    //    whole drive goes through the typed session-handle API — the
+    //    surface integrators program against.
     let mut client = Client::connect(addr).unwrap();
-    let Response::Opened { sessions } = client
-        .roundtrip(&Request::Open {
-            request: None,
-            entities: specs.clone(),
-            k: None,
-            budget: None,
-            pc: None,
-        })
-        .unwrap()
-    else {
-        panic!("open failed");
-    };
+    client.hello().unwrap();
+    let sessions = client
+        .open_all(specs.clone(), OpenOptions::default())
+        .unwrap();
     assert_eq!(sessions.len(), specs.len());
     let pool = WorkerPool::uniform(REFINE_WORKERS, PC).unwrap();
     let model = UniformAccuracy::new(PC);
     for (spec, info) in specs.iter().zip(&sessions) {
         let mut replay = AnswerReplay::from_seed(info.answer_seed);
+        let mut handle = client.session(info.session);
         loop {
-            let response = client
-                .roundtrip(&Request::Select {
-                    session: info.session,
-                })
-                .unwrap();
-            let tasks = match response {
-                Response::Round { tasks, .. } => tasks,
-                Response::Exhausted { spent, .. } => {
+            let tasks = match handle.select().unwrap() {
+                Selected::Round { tasks, .. } => tasks,
+                Selected::Exhausted { spent, .. } => {
                     assert_eq!(spent, BUDGET, "session {} spent", info.session);
                     break;
                 }
-                other => panic!("unexpected select response {other:?}"),
             };
             let crowd_tasks: Vec<Task> = tasks
                 .iter()
@@ -143,37 +132,22 @@ fn served_sessions_match_offline_refine_over_tcp() {
                 })
                 .collect();
             let truths: Vec<bool> = tasks.iter().map(|t| spec.gold[t.fact]).collect();
-            let answers: Vec<WireAnswer> = replay
+            let answers: Vec<(u64, bool)> = replay
                 .answers(&pool, &model, &crowd_tasks, &truths)
                 .unwrap()
                 .iter()
-                .map(|a| WireAnswer {
-                    task: a.task.0,
-                    value: a.value,
-                })
+                .map(|a| (a.task.0, a.value))
                 .collect();
             // Reversed order + duplicate first delivery: the daemon must
             // reassemble the round regardless.
-            let mut scrambled: Vec<WireAnswer> = answers.iter().rev().copied().collect();
+            let mut scrambled: Vec<(u64, bool)> = answers.iter().rev().copied().collect();
             scrambled.push(scrambled[0]);
             let mut absorbed = 0;
             let mut duplicates_seen = 0;
             for batch in scrambled.chunks(2) {
-                let Response::Absorbed {
-                    accepted,
-                    duplicates,
-                    ..
-                } = client
-                    .roundtrip(&Request::Absorb {
-                        session: info.session,
-                        answers: batch.to_vec(),
-                    })
-                    .unwrap()
-                else {
-                    panic!("absorb failed");
-                };
-                absorbed += accepted;
-                duplicates_seen += duplicates;
+                let report = handle.absorb(batch).unwrap();
+                absorbed += report.accepted;
+                duplicates_seen += report.duplicates;
             }
             assert_eq!(absorbed, answers.len());
             assert_eq!(duplicates_seen, 1);

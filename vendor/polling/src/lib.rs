@@ -1,0 +1,704 @@
+//! Offline stand-in for a [`mio`](https://crates.io/crates/mio)-style
+//! readiness poller.
+//!
+//! The build environment has no crates.io access, so this crate vendors the
+//! minimal surface the serving layer's event loop needs: a level-triggered
+//! [`Poller`] over non-blocking file descriptors with `register` /
+//! `reregister` / `deregister` / `wait`, plus a pipe-based [`Waker`] for
+//! cross-thread wake-ups. On Linux the default backend is `epoll(7)`;
+//! everywhere (including Linux, selectable for tests) a portable `poll(2)`
+//! backend is available. Both are level-triggered: an event repeats on
+//! every `wait` until the readiness condition is drained.
+//!
+//! Ownership of non-blocking setup lives *here*: [`Poller::register`] puts
+//! the descriptor into non-blocking mode itself (via `fcntl`), so callers
+//! never touch `O_NONBLOCK` directly — the workspace's `adhoc-nonblocking`
+//! lint flags any raw non-blocking setup outside this crate.
+//!
+//! No `libc` crate exists in the vendor set, so the syscalls are declared
+//! directly as `extern "C"` items with the kernel ABI types spelled out
+//! locally. Every unsafe block documents why the call is sound.
+
+#![warn(missing_docs)]
+
+use std::io;
+use std::os::fd::{AsRawFd, RawFd};
+use std::sync::Arc;
+use std::time::Duration;
+
+mod sys {
+    //! Raw syscall surface. Types mirror the C ABI on the platforms the
+    //! workspace targets (64-bit Unix).
+
+    pub type CInt = i32;
+    pub type CShort = i16;
+    pub type Nfds = u64;
+
+    pub const F_GETFL: CInt = 3;
+    pub const F_SETFL: CInt = 4;
+
+    #[cfg(target_os = "linux")]
+    pub const O_NONBLOCK: CInt = 0o4000;
+    #[cfg(not(target_os = "linux"))]
+    pub const O_NONBLOCK: CInt = 0x0004;
+
+    pub const POLLIN: CShort = 0x001;
+    pub const POLLOUT: CShort = 0x004;
+    pub const POLLERR: CShort = 0x008;
+    pub const POLLHUP: CShort = 0x010;
+
+    pub const EINTR: CInt = 4;
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct PollFd {
+        pub fd: CInt,
+        pub events: CShort,
+        pub revents: CShort,
+    }
+
+    extern "C" {
+        pub fn fcntl(fd: CInt, cmd: CInt, arg: CInt) -> CInt;
+        pub fn poll(fds: *mut PollFd, nfds: Nfds, timeout: CInt) -> CInt;
+        pub fn close(fd: CInt) -> CInt;
+        pub fn read(fd: CInt, buf: *mut u8, count: usize) -> isize;
+        pub fn write(fd: CInt, buf: *const u8, count: usize) -> isize;
+        pub fn pipe(fds: *mut CInt) -> CInt;
+    }
+
+    #[cfg(target_os = "linux")]
+    pub mod epoll {
+        use super::CInt;
+
+        pub const EPOLL_CLOEXEC: CInt = 0o2000000;
+        pub const EPOLL_CTL_ADD: CInt = 1;
+        pub const EPOLL_CTL_DEL: CInt = 2;
+        pub const EPOLL_CTL_MOD: CInt = 3;
+        pub const EPOLLIN: u32 = 0x001;
+        pub const EPOLLOUT: u32 = 0x004;
+        pub const EPOLLERR: u32 = 0x008;
+        pub const EPOLLHUP: u32 = 0x010;
+
+        // The kernel's epoll_event is packed on x86-64 (a 32-bit ABI
+        // leftover) and naturally aligned elsewhere.
+        #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+        #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+        #[derive(Clone, Copy)]
+        pub struct EpollEvent {
+            pub events: u32,
+            pub data: u64,
+        }
+
+        extern "C" {
+            pub fn epoll_create1(flags: CInt) -> CInt;
+            pub fn epoll_ctl(epfd: CInt, op: CInt, fd: CInt, event: *mut EpollEvent) -> CInt;
+            pub fn epoll_wait(
+                epfd: CInt,
+                events: *mut EpollEvent,
+                maxevents: CInt,
+                timeout: CInt,
+            ) -> CInt;
+        }
+    }
+}
+
+/// Which readiness conditions a registration asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    read: bool,
+    write: bool,
+}
+
+impl Interest {
+    /// Readable-only interest.
+    pub const READABLE: Interest = Interest {
+        read: true,
+        write: false,
+    };
+    /// Writable-only interest.
+    pub const WRITABLE: Interest = Interest {
+        read: false,
+        write: true,
+    };
+    /// Readable and writable.
+    pub const BOTH: Interest = Interest {
+        read: true,
+        write: true,
+    };
+}
+
+/// One readiness event out of [`Poller::wait`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// The token the descriptor was registered under.
+    pub token: usize,
+    /// Reading will not block (includes EOF: a read returning 0).
+    pub readable: bool,
+    /// Writing will not block.
+    pub writable: bool,
+}
+
+/// Sets a descriptor non-blocking. Private on purpose: registration is the
+/// only path, so non-blocking setup cannot leak into caller code.
+fn set_fd_nonblocking(fd: RawFd) -> io::Result<()> {
+    // SAFETY: F_GETFL on an owned, open descriptor reads its status flags
+    // and touches no memory.
+    let flags = unsafe { sys::fcntl(fd, sys::F_GETFL, 0) };
+    if flags < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    // SAFETY: F_SETFL only updates the descriptor's status flags; the
+    // argument is the flag word just read, plus the non-blocking bit.
+    if unsafe { sys::fcntl(fd, sys::F_SETFL, flags | sys::O_NONBLOCK) } < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(())
+}
+
+/// Backend selector for [`Poller::with_backend`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// The platform default: `epoll` on Linux, `poll(2)` elsewhere.
+    Default,
+    /// Force the portable `poll(2)` backend.
+    Poll,
+}
+
+enum Impl {
+    #[cfg(target_os = "linux")]
+    Epoll(RawFd),
+    Poll,
+}
+
+/// A level-triggered readiness poller over non-blocking descriptors.
+///
+/// Registered descriptors are keyed by caller-chosen `usize` tokens.
+/// The poller does **not** own the descriptors; callers must `deregister`
+/// before closing them (the `poll` backend would otherwise report `EBADF`
+/// via an error event, and epoll would drop the registration silently).
+pub struct Poller {
+    backend: Impl,
+    /// fd → (token, interest); also the fd set for the poll backend.
+    /// Ordered so poll(2) scans are deterministic.
+    registry: std::collections::BTreeMap<RawFd, (usize, Interest)>,
+}
+
+impl Poller {
+    /// Creates a poller on the platform-default backend.
+    pub fn new() -> io::Result<Poller> {
+        Poller::with_backend(Backend::Default)
+    }
+
+    /// Creates a poller on an explicit backend (tests exercise the
+    /// portable fallback on every platform).
+    pub fn with_backend(backend: Backend) -> io::Result<Poller> {
+        let backend = match backend {
+            #[cfg(target_os = "linux")]
+            Backend::Default => {
+                // SAFETY: epoll_create1 allocates a new epoll instance;
+                // CLOEXEC keeps it out of spawned children.
+                let epfd = unsafe { sys::epoll::epoll_create1(sys::epoll::EPOLL_CLOEXEC) };
+                if epfd < 0 {
+                    return Err(io::Error::last_os_error());
+                }
+                Impl::Epoll(epfd)
+            }
+            #[cfg(not(target_os = "linux"))]
+            Backend::Default => Impl::Poll,
+            Backend::Poll => Impl::Poll,
+        };
+        Ok(Poller {
+            backend,
+            registry: std::collections::BTreeMap::new(),
+        })
+    }
+
+    /// Registers a descriptor under `token`, switching it to non-blocking
+    /// mode. One registration per descriptor; re-registering an fd that is
+    /// already present is an error (use [`Poller::reregister`]).
+    pub fn register(
+        &mut self,
+        source: &impl AsRawFd,
+        token: usize,
+        interest: Interest,
+    ) -> io::Result<()> {
+        let fd = source.as_raw_fd();
+        if self.registry.contains_key(&fd) {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                format!("fd {fd} is already registered"),
+            ));
+        }
+        set_fd_nonblocking(fd)?;
+        #[cfg(target_os = "linux")]
+        if let Impl::Epoll(epfd) = self.backend {
+            let mut ev = sys::epoll::EpollEvent {
+                events: epoll_mask(interest),
+                data: token as u64,
+            };
+            // SAFETY: epfd is a live epoll instance owned by self, fd is a
+            // live descriptor, and `ev` outlives the call (the kernel
+            // copies it).
+            if unsafe { sys::epoll::epoll_ctl(epfd, sys::epoll::EPOLL_CTL_ADD, fd, &mut ev) } < 0 {
+                return Err(io::Error::last_os_error());
+            }
+        }
+        self.registry.insert(fd, (token, interest));
+        Ok(())
+    }
+
+    /// Updates the token and interest of an already-registered descriptor.
+    pub fn reregister(
+        &mut self,
+        source: &impl AsRawFd,
+        token: usize,
+        interest: Interest,
+    ) -> io::Result<()> {
+        let fd = source.as_raw_fd();
+        if !self.registry.contains_key(&fd) {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("fd {fd} is not registered"),
+            ));
+        }
+        #[cfg(target_os = "linux")]
+        if let Impl::Epoll(epfd) = self.backend {
+            let mut ev = sys::epoll::EpollEvent {
+                events: epoll_mask(interest),
+                data: token as u64,
+            };
+            // SAFETY: same contract as EPOLL_CTL_ADD above; MOD requires
+            // the fd to be present, which the registry check guarantees.
+            if unsafe { sys::epoll::epoll_ctl(epfd, sys::epoll::EPOLL_CTL_MOD, fd, &mut ev) } < 0 {
+                return Err(io::Error::last_os_error());
+            }
+        }
+        self.registry.insert(fd, (token, interest));
+        Ok(())
+    }
+
+    /// Removes a descriptor from the poller. Call before closing the fd.
+    pub fn deregister(&mut self, source: &impl AsRawFd) -> io::Result<()> {
+        let fd = source.as_raw_fd();
+        if self.registry.remove(&fd).is_none() {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("fd {fd} is not registered"),
+            ));
+        }
+        #[cfg(target_os = "linux")]
+        if let Impl::Epoll(epfd) = self.backend {
+            // SAFETY: removing a live fd from a live epoll instance; the
+            // event argument is ignored for DEL on modern kernels and may
+            // be null.
+            if unsafe {
+                sys::epoll::epoll_ctl(epfd, sys::epoll::EPOLL_CTL_DEL, fd, std::ptr::null_mut())
+            } < 0
+            {
+                return Err(io::Error::last_os_error());
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of registered descriptors.
+    pub fn len(&self) -> usize {
+        self.registry.len()
+    }
+
+    /// Whether nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.registry.is_empty()
+    }
+
+    /// Waits for readiness, appending events to `events` (which is cleared
+    /// first) and returning how many fired. `None` blocks indefinitely;
+    /// `Some(d)` waits at most `d` (rounded up to the next millisecond so a
+    /// sub-millisecond timeout cannot spin hot). Interrupted waits
+    /// (`EINTR`) are retried internally.
+    pub fn wait(
+        &mut self,
+        events: &mut Vec<Event>,
+        timeout: Option<Duration>,
+    ) -> io::Result<usize> {
+        events.clear();
+        let timeout_ms: sys::CInt = match timeout {
+            None => -1,
+            Some(d) => {
+                let ms = d.as_millis();
+                let ms = if ms == 0 && d.as_nanos() > 0 { 1 } else { ms };
+                ms.min(sys::CInt::MAX as u128) as sys::CInt
+            }
+        };
+        match self.backend {
+            #[cfg(target_os = "linux")]
+            Impl::Epoll(epfd) => {
+                let cap = self.registry.len().clamp(1, 1024);
+                let mut buf = vec![sys::epoll::EpollEvent { events: 0, data: 0 }; cap];
+                let n = loop {
+                    // SAFETY: `buf` is a live, properly-sized array of
+                    // EpollEvent; the kernel writes at most `cap` entries.
+                    let n = unsafe {
+                        sys::epoll::epoll_wait(epfd, buf.as_mut_ptr(), cap as sys::CInt, timeout_ms)
+                    };
+                    if n >= 0 {
+                        break n as usize;
+                    }
+                    let err = io::Error::last_os_error();
+                    if err.raw_os_error() != Some(sys::EINTR) {
+                        return Err(err);
+                    }
+                };
+                for ev in &buf[..n] {
+                    // Copy out of the (possibly packed) struct before use.
+                    let mask = ev.events;
+                    let data = ev.data;
+                    let err = mask & (sys::epoll::EPOLLERR | sys::epoll::EPOLLHUP) != 0;
+                    events.push(Event {
+                        token: data as usize,
+                        // Error/hangup surface as readable+writable so the
+                        // owner's next I/O attempt observes the failure —
+                        // the level-triggered contract mio documents.
+                        readable: mask & sys::epoll::EPOLLIN != 0 || err,
+                        writable: mask & sys::epoll::EPOLLOUT != 0 || err,
+                    });
+                }
+                Ok(events.len())
+            }
+            Impl::Poll => {
+                let mut fds: Vec<sys::PollFd> = self
+                    .registry
+                    .iter()
+                    .map(|(&fd, &(_, interest))| sys::PollFd {
+                        fd,
+                        events: {
+                            let mut e = 0;
+                            if interest.read {
+                                e |= sys::POLLIN;
+                            }
+                            if interest.write {
+                                e |= sys::POLLOUT;
+                            }
+                            e
+                        },
+                        revents: 0,
+                    })
+                    .collect();
+                if fds.is_empty() {
+                    // poll(2) with no fds still honours the timeout; match
+                    // that so a loop with nothing registered can't spin.
+                    if timeout_ms != 0 {
+                        // SAFETY: a zero-length poll only sleeps.
+                        let rc = unsafe { sys::poll(std::ptr::null_mut(), 0, timeout_ms) };
+                        if rc < 0 {
+                            let err = io::Error::last_os_error();
+                            if err.raw_os_error() != Some(sys::EINTR) {
+                                return Err(err);
+                            }
+                        }
+                    }
+                    return Ok(0);
+                }
+                loop {
+                    // SAFETY: `fds` is a live array of PollFd structs whose
+                    // length is passed alongside; poll writes only revents.
+                    let n =
+                        unsafe { sys::poll(fds.as_mut_ptr(), fds.len() as sys::Nfds, timeout_ms) };
+                    if n >= 0 {
+                        break;
+                    }
+                    let err = io::Error::last_os_error();
+                    if err.raw_os_error() != Some(sys::EINTR) {
+                        return Err(err);
+                    }
+                }
+                for pfd in &fds {
+                    if pfd.revents == 0 {
+                        continue;
+                    }
+                    let (token, _) = self.registry[&pfd.fd];
+                    let err = pfd.revents & (sys::POLLERR | sys::POLLHUP) != 0;
+                    events.push(Event {
+                        token,
+                        readable: pfd.revents & sys::POLLIN != 0 || err,
+                        writable: pfd.revents & sys::POLLOUT != 0 || err,
+                    });
+                }
+                Ok(events.len())
+            }
+        }
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        #[cfg(target_os = "linux")]
+        if let Impl::Epoll(epfd) = self.backend {
+            // SAFETY: closing the epoll fd this poller created and owns.
+            unsafe { sys::close(epfd) };
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+fn epoll_mask(interest: Interest) -> u32 {
+    let mut mask = 0;
+    if interest.read {
+        mask |= sys::epoll::EPOLLIN;
+    }
+    if interest.write {
+        mask |= sys::epoll::EPOLLOUT;
+    }
+    mask
+}
+
+struct WakerFds {
+    read_fd: RawFd,
+    write_fd: RawFd,
+}
+
+impl Drop for WakerFds {
+    fn drop(&mut self) {
+        // SAFETY: closing the pipe ends this waker created and owns.
+        unsafe {
+            sys::close(self.read_fd);
+            sys::close(self.write_fd);
+        }
+    }
+}
+
+/// A cross-thread wake-up handle: `wake()` makes the paired [`Poller`]'s
+/// `wait` return with an event carrying the waker's token. Clones share
+/// the underlying pipe. The waker stays registered for the poller's
+/// lifetime; drop the poller first (or never — both ends close when the
+/// last clone drops).
+#[derive(Clone)]
+pub struct Waker {
+    fds: Arc<WakerFds>,
+}
+
+impl Waker {
+    /// Creates a waker and registers its read end with `poller` under
+    /// `token`.
+    pub fn new(poller: &mut Poller, token: usize) -> io::Result<Waker> {
+        let mut pair: [sys::CInt; 2] = [0, 0];
+        // SAFETY: pipe() writes exactly two descriptors into the array.
+        if unsafe { sys::pipe(pair.as_mut_ptr()) } < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let fds = WakerFds {
+            read_fd: pair[0],
+            write_fd: pair[1],
+        };
+        // The write end must be non-blocking too: a wake() against a full
+        // pipe should drop the byte (a wake is already pending), not block.
+        set_fd_nonblocking(fds.write_fd)?;
+        struct Raw(RawFd);
+        impl AsRawFd for Raw {
+            fn as_raw_fd(&self) -> RawFd {
+                self.0
+            }
+        }
+        poller.register(&Raw(fds.read_fd), token, Interest::READABLE)?;
+        Ok(Waker { fds: Arc::new(fds) })
+    }
+
+    /// Wakes the poller. Safe from any thread; coalesces with wakes not
+    /// yet drained.
+    pub fn wake(&self) {
+        let byte = 1u8;
+        // SAFETY: writing one byte from a live stack buffer into an owned,
+        // open pipe fd. A full pipe returns EAGAIN, which is fine — a wake
+        // is already pending.
+        unsafe { sys::write(self.fds.write_fd, &byte, 1) };
+    }
+
+    /// Drains pending wake bytes (call when the waker's token fires, or
+    /// the level-triggered poller will keep reporting it readable).
+    pub fn clear(&self) {
+        let mut buf = [0u8; 64];
+        loop {
+            // SAFETY: reading into a live stack buffer from the owned,
+            // non-blocking pipe read end; returns <= buf.len().
+            let n = unsafe { sys::read(self.fds.read_fd, buf.as_mut_ptr(), buf.len()) };
+            if n < (buf.len() as isize) {
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+
+    fn backends() -> Vec<Backend> {
+        vec![Backend::Default, Backend::Poll]
+    }
+
+    #[test]
+    fn listener_becomes_readable_on_connect() {
+        for backend in backends() {
+            let mut poller = Poller::with_backend(backend).unwrap();
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let addr = listener.local_addr().unwrap();
+            poller.register(&listener, 7, Interest::READABLE).unwrap();
+
+            let mut events = Vec::new();
+            // Nothing pending yet: a short wait times out empty.
+            let n = poller
+                .wait(&mut events, Some(Duration::from_millis(10)))
+                .unwrap();
+            assert_eq!(n, 0, "{backend:?}");
+
+            let _client = TcpStream::connect(addr).unwrap();
+            let n = poller
+                .wait(&mut events, Some(Duration::from_secs(5)))
+                .unwrap();
+            assert_eq!(n, 1, "{backend:?}");
+            assert_eq!(events[0].token, 7);
+            assert!(events[0].readable);
+
+            // Level-triggered: the pending accept keeps reporting.
+            let n = poller
+                .wait(&mut events, Some(Duration::from_millis(50)))
+                .unwrap();
+            assert_eq!(n, 1, "{backend:?} must stay level-triggered");
+
+            // Accepting drains the condition.
+            listener.accept().unwrap();
+            let n = poller
+                .wait(&mut events, Some(Duration::from_millis(10)))
+                .unwrap();
+            assert_eq!(n, 0, "{backend:?}");
+        }
+    }
+
+    #[test]
+    fn registered_streams_are_nonblocking_and_data_fires_readable() {
+        for backend in backends() {
+            let mut poller = Poller::with_backend(backend).unwrap();
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+            let (mut served, _) = listener.accept().unwrap();
+            poller.register(&served, 3, Interest::READABLE).unwrap();
+
+            // Registration made the fd non-blocking: a read with no data
+            // returns WouldBlock instead of hanging.
+            let mut buf = [0u8; 8];
+            let err = served.read(&mut buf).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::WouldBlock, "{backend:?}");
+
+            client.write_all(b"x").unwrap();
+            let mut events = Vec::new();
+            let n = poller
+                .wait(&mut events, Some(Duration::from_secs(5)))
+                .unwrap();
+            assert_eq!(n, 1);
+            assert!(events[0].readable);
+            assert_eq!(served.read(&mut buf).unwrap(), 1);
+
+            // Peer close surfaces as readable (EOF), the shape the event
+            // loop's close detection leans on.
+            drop(client);
+            let n = poller
+                .wait(&mut events, Some(Duration::from_secs(5)))
+                .unwrap();
+            assert_eq!(n, 1);
+            assert!(events[0].readable);
+            assert_eq!(served.read(&mut buf).unwrap(), 0, "EOF");
+            poller.deregister(&served).unwrap();
+            assert!(poller.is_empty());
+        }
+    }
+
+    #[test]
+    fn writable_interest_fires_for_an_open_socket() {
+        for backend in backends() {
+            let mut poller = Poller::with_backend(backend).unwrap();
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+            let _served = listener.accept().unwrap();
+            poller.register(&client, 9, Interest::BOTH).unwrap();
+            let mut events = Vec::new();
+            let n = poller
+                .wait(&mut events, Some(Duration::from_secs(5)))
+                .unwrap();
+            assert_eq!(n, 1, "{backend:?}");
+            assert!(events[0].writable);
+        }
+    }
+
+    #[test]
+    fn reregister_switches_interest_and_token() {
+        for backend in backends() {
+            let mut poller = Poller::with_backend(backend).unwrap();
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+            let _served = listener.accept().unwrap();
+            poller.register(&client, 1, Interest::READABLE).unwrap();
+            let mut events = Vec::new();
+            let n = poller
+                .wait(&mut events, Some(Duration::from_millis(20)))
+                .unwrap();
+            assert_eq!(n, 0, "{backend:?}: no data, no readable event");
+            poller.reregister(&client, 2, Interest::WRITABLE).unwrap();
+            let n = poller
+                .wait(&mut events, Some(Duration::from_secs(5)))
+                .unwrap();
+            assert_eq!(n, 1);
+            assert_eq!(events[0].token, 2);
+            assert!(events[0].writable);
+        }
+    }
+
+    #[test]
+    fn double_register_and_unknown_deregister_are_errors() {
+        let mut poller = Poller::new().unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        poller.register(&listener, 0, Interest::READABLE).unwrap();
+        assert!(poller.register(&listener, 1, Interest::READABLE).is_err());
+        poller.deregister(&listener).unwrap();
+        assert!(poller.deregister(&listener).is_err());
+        let other = TcpListener::bind("127.0.0.1:0").unwrap();
+        assert!(poller.reregister(&other, 5, Interest::BOTH).is_err());
+    }
+
+    #[test]
+    fn waker_wakes_across_threads_and_clears() {
+        for backend in backends() {
+            let mut poller = Poller::with_backend(backend).unwrap();
+            let waker = Waker::new(&mut poller, 99).unwrap();
+            let remote = waker.clone();
+            let handle = std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(20));
+                remote.wake();
+                remote.wake(); // coalesces
+            });
+            let mut events = Vec::new();
+            let n = poller
+                .wait(&mut events, Some(Duration::from_secs(5)))
+                .unwrap();
+            assert_eq!(n, 1, "{backend:?}");
+            assert_eq!(events[0].token, 99);
+            waker.clear();
+            let n = poller
+                .wait(&mut events, Some(Duration::from_millis(20)))
+                .unwrap();
+            assert_eq!(n, 0, "{backend:?}: cleared waker is quiet");
+            handle.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn empty_poller_honours_the_timeout() {
+        let mut poller = Poller::with_backend(Backend::Poll).unwrap();
+        let mut events = Vec::new();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(5)))
+            .unwrap();
+        assert_eq!(n, 0);
+    }
+}
