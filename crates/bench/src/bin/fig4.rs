@@ -14,6 +14,13 @@
 //! cross-checked to be bit-identical across thread counts.
 //!
 //! Run with: `cargo run --release -p crowdfusion-bench --bin fig4 [--quick]`
+//!
+//! `--query-mode` switches to the budgeted quality curves: for each
+//! large-n book the FOI-aware round driver
+//! ([`crowdfusion_core::query::run_query_rounds`]) spends the budget
+//! round by round and the binary emits a `n,cost,plan_q,entropy,accuracy`
+//! CSV on stdout (planned utility asserted monotone — CI diffs the
+//! artifact).
 
 use crowdfusion::prelude::*;
 use crowdfusion_bench::{
@@ -108,8 +115,67 @@ fn large_n_query_mode(quick: bool) {
     }
 }
 
+/// The budgeted quality curves behind the global scheduler: for each
+/// large-n book, [`run_query_rounds`] drives the full FOI-aware
+/// select–collect–update loop and records budget → quality points. The
+/// planned-utility column must be monotone non-decreasing (information
+/// never hurts under the corrected Equation 7) — asserted here so the CI
+/// artifact can simply be diffed.
+fn query_mode_curves(quick: bool) -> String {
+    let sizes: &[usize] = if quick { &[32] } else { &[32, 36, 40] };
+    let budget = if quick { 12 } else { 20 };
+    let (pc, k) = (0.9, 4);
+    let mut csv = String::from("n,cost,plan_q,entropy,accuracy\n");
+    for &n in sizes {
+        let (case, interest) = large_book_case(n, 101);
+        let config = RoundConfig::new(k, budget, pc).expect("valid round config");
+        let mut platform = CrowdPlatform::new(
+            WorkerPool::uniform(30, pc).expect("valid pc"),
+            UniformAccuracy::new(pc),
+            909,
+        );
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut task_seq = 0;
+        let curve = run_query_rounds(
+            &case,
+            interest,
+            config,
+            &mut platform,
+            &mut rng,
+            &mut task_seq,
+        )
+        .expect("query rounds run at large n");
+        assert!(curve.len() >= 2, "the curve must move past the prior");
+        for pair in curve.windows(2) {
+            assert!(
+                pair[1].cost > pair[0].cost,
+                "curve points must spend strictly increasing budget"
+            );
+            assert!(
+                pair[1].plan_utility >= pair[0].plan_utility - 1e-12,
+                "planned utility regressed at n = {n}: {} -> {}",
+                pair[0].plan_utility,
+                pair[1].plan_utility
+            );
+        }
+        for p in &curve {
+            csv.push_str(&format!(
+                "{n},{},{:.6},{:.6},{:.4}\n",
+                p.cost, p.plan_utility, p.entropy, p.accuracy
+            ));
+        }
+    }
+    csv
+}
+
 fn main() {
     let quick = is_quick();
+    // `--query-mode` prints ONLY the budget → quality CSV (stable across
+    // runs; CI captures and diffs it).
+    if std::env::args().any(|a| a == "--query-mode") {
+        print!("{}", query_mode_curves(quick));
+        return;
+    }
     pc_sweep(quick);
     large_n_query_mode(quick);
 }

@@ -4,7 +4,7 @@
 //! ```text
 //! loadgen [--sessions N] [--clients C] [--threads T] [--k K] [--budget B]
 //!         [--pc PC] [--seed S] [--json PATH] [--wal-dir DIR]
-//!         [--group-commit] [--matrix] [--quick]
+//!         [--group-commit] [--matrix] [--sched] [--quick]
 //! ```
 //!
 //! The generated books are fused (modified CRH), shipped to the daemon in
@@ -30,6 +30,12 @@
 //! many-client × many-session workloads (up to 10 000 sessions resident
 //! in the sharded registry at once, driven one round each) whose rows
 //! join the `serve/loadgen` gate under `serve/loadgen/matrix/...`.
+//!
+//! `--sched` appends the global-scheduler workload: the daemon runs in
+//! `--budget-mode global` with one shared pool sized to cover every
+//! session, and competing clients drain it entirely through the
+//! `Schedule` verb (admissions/s, answers/s, requests/s rows under
+//! `serve/loadgen/sched/...`).
 
 use crowdfusion::pipeline::entity_specs_from_books;
 use crowdfusion::prelude::*;
@@ -61,6 +67,7 @@ struct Args {
     wal_dir: Option<String>,
     group_commit: bool,
     matrix: bool,
+    sched: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -77,6 +84,7 @@ fn parse_args() -> Result<Args, String> {
         wal_dir: None,
         group_commit: false,
         matrix: false,
+        sched: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -100,6 +108,7 @@ fn parse_args() -> Result<Args, String> {
             "--wal-dir" => parsed.wal_dir = Some(value("wal-dir")?),
             "--group-commit" => parsed.group_commit = true,
             "--matrix" => parsed.matrix = true,
+            "--sched" => parsed.sched = true,
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
@@ -359,6 +368,168 @@ fn run_workload(w: &Workload) -> Vec<BenchRow> {
     rows
 }
 
+/// The global-scheduler workload: one shared judgment pool sized to
+/// cover every session exactly, spent entirely through the `Schedule`
+/// verb by competing clients. Each client loops schedule → absorb until
+/// `NoWork`; per-session answer replay streams are shared behind mutexes
+/// (a session's rounds are serialised by the scheduler, so there is
+/// never contention on one stream — only on the map). Reported rows:
+/// admissions/s, answers/s, requests/s under `serve/loadgen/sched/`.
+fn run_sched_workload(args: &Args) -> Vec<BenchRow> {
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Mutex;
+
+    let label = "serve/loadgen/sched";
+    let books = standard_books(args.sessions, (3, 6), args.seed);
+    let fusion = ModifiedCrh::default()
+        .fuse(&books.dataset)
+        .expect("fusion succeeds on generated data");
+    let specs = entity_specs_from_books(&books, &fusion);
+    let golds: Vec<Vec<bool>> = specs.iter().map(|s| s.gold.clone()).collect();
+    let global_budget = (args.sessions * args.budget) as u64;
+
+    let serve = ServeConfig::new()
+        .seed(args.seed)
+        .round(args.k, args.budget, args.pc)
+        .threads(args.threads)
+        .global_budget(global_budget);
+    let service_config = serve.build().expect("valid serve config");
+    let service = Arc::new(Service::new(service_config).expect("service boots"));
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    let daemon = {
+        let service = Arc::clone(&service);
+        std::thread::spawn(move || serve_tcp(service, listener))
+    };
+
+    println!(
+        "{label}: {} sessions competing for one pool of {global_budget} judgments \
+         (k = {}, Pc = {}), {} client(s), {} pool thread(s), daemon {addr}",
+        args.sessions, args.k, args.pc, args.clients, args.threads
+    );
+
+    let mut opener = Client::connect(addr).expect("connect");
+    opener.hello().expect("version handshake");
+    let mut opened = Vec::with_capacity(args.sessions);
+    for chunk in specs.chunks(512) {
+        opened.extend(
+            opener
+                .open_all(chunk.to_vec(), OpenOptions::default())
+                .expect("open"),
+        );
+    }
+    assert_eq!(opened.len(), args.sessions);
+    let replays: HashMap<u64, Mutex<AnswerReplay>> = opened
+        .iter()
+        .map(|s| {
+            (
+                s.session,
+                Mutex::new(AnswerReplay::from_seed(s.answer_seed)),
+            )
+        })
+        .collect();
+
+    let worker_pool = WorkerPool::uniform(30, args.pc).expect("worker pool");
+    let model = UniformAccuracy::new(args.pc);
+    let admissions = AtomicU64::new(0);
+    let answers = AtomicU64::new(0);
+    let requests = AtomicU64::new(0);
+    let ((), drive_secs) = time_secs(|| {
+        std::thread::scope(|scope| {
+            for _ in 0..args.clients {
+                let (worker_pool, model) = (&worker_pool, &model);
+                let (replays, golds) = (&replays, &golds);
+                let (admissions, answers, requests) = (&admissions, &answers, &requests);
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    loop {
+                        requests.fetch_add(1, Ordering::Relaxed);
+                        let (session, tasks) = match client
+                            .roundtrip(&Request::Schedule { request: None })
+                            .expect("schedule")
+                        {
+                            Response::NoWork { .. } => return,
+                            Response::Round { session, tasks, .. } => (session, tasks),
+                            other => panic!("unexpected schedule response {other:?}"),
+                        };
+                        admissions.fetch_add(1, Ordering::Relaxed);
+                        let crowd_tasks: Vec<Task> = tasks
+                            .iter()
+                            .map(|t| Task {
+                                id: crowdfusion_crowd::TaskId(t.id),
+                                prompt: t.prompt.clone(),
+                                class: t.class,
+                            })
+                            .collect();
+                        let gold = &golds[session as usize];
+                        let truths: Vec<bool> = tasks.iter().map(|t| gold[t.fact]).collect();
+                        let pairs: Vec<(u64, bool)> = {
+                            let mut replay = replays[&session].lock().expect("replay stream");
+                            replay
+                                .answers(worker_pool, model, &crowd_tasks, &truths)
+                                .unwrap()
+                                .iter()
+                                .map(|a| (a.task.0, a.value))
+                                .collect()
+                        };
+                        let mut handle = client.session(session);
+                        let cut = pairs.len().div_ceil(2);
+                        for batch in [&pairs[..cut], &pairs[cut..]] {
+                            if batch.is_empty() {
+                                continue;
+                            }
+                            requests.fetch_add(1, Ordering::Relaxed);
+                            let absorbed = handle.absorb(batch).expect("absorb").accepted as u64;
+                            answers.fetch_add(absorbed, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        })
+    });
+    let admissions = admissions.into_inner();
+    let answers = answers.into_inner();
+    let requests = requests.into_inner();
+    // The pool was sized to cover every session's budget exactly, so the
+    // scheduler must have spent all of it.
+    assert_eq!(answers, global_budget, "the pool must be fully spent");
+    match opener
+        .roundtrip(&Request::BudgetStatus)
+        .expect("budget status")
+    {
+        Response::Budget {
+            spent, remaining, ..
+        } => assert_eq!((spent, remaining), (global_budget, 0)),
+        other => panic!("unexpected budget response {other:?}"),
+    }
+    let _ = opener.roundtrip(&Request::Shutdown);
+    daemon.join().expect("daemon thread").expect("daemon io");
+
+    let per = |count: u64, secs: f64| count as f64 / secs.max(1e-9);
+    println!(
+        "  drive   : {admissions} admissions / {answers} answers / {requests} requests in {} \
+         ({:.0} admissions/s, {:.0} answers/s, {:.0} requests/s)",
+        fmt_secs(drive_secs),
+        per(admissions, drive_secs),
+        per(answers, drive_secs),
+        per(requests, drive_secs),
+    );
+
+    let ns = |count: u64, secs: f64| ((secs * 1e9) / count.max(1) as f64) as u64;
+    let row = |suffix: &str, count: u64| BenchRow {
+        label: format!("{label}/{suffix}"),
+        mean_ns: ns(count, drive_secs),
+        min_ns: ns(count, drive_secs),
+        samples: count,
+    };
+    vec![
+        row("admission", admissions),
+        row("answer", answers),
+        row("request", requests),
+    ]
+}
+
 fn main() {
     let args = match parse_args() {
         Ok(args) => args,
@@ -401,6 +572,10 @@ fn main() {
                 measure_recovery: false,
             }));
         }
+    }
+
+    if args.sched {
+        rows.extend(run_sched_workload(&args));
     }
 
     if let Some(path) = args.json {

@@ -63,7 +63,7 @@ pub fn single_task_gain(dist: &JointDist, fact: usize, pc: f64) -> Result<f64, C
 }
 
 /// The best `(fact, gain)` for an entity, or `None` for a zero-fact entity.
-fn best_task(dist: &JointDist, pc: f64) -> Result<Option<(usize, f64)>, CoreError> {
+pub fn best_task(dist: &JointDist, pc: f64) -> Result<Option<(usize, f64)>, CoreError> {
     let mut best: Option<(usize, f64)> = None;
     for f in 0..dist.num_vars() {
         let gain = single_task_gain(dist, f, pc)?;
@@ -109,17 +109,24 @@ pub fn run_global<M: AnswerModel>(
     let mut task_seq = 0u64;
 
     while spent < config.total_budget {
-        // Rank every entity's best single task by expected gain.
-        let mut ranked: Vec<(usize, usize, f64)> = Vec::new(); // (entity, fact, gain)
+        // Rank every entity's best single task through the scheduler's
+        // gain queue: highest gain first, deterministic tie-break by
+        // entity index — the exact admission order `serve --budget-mode
+        // global` uses across sessions.
+        let mut queue = crate::sched::GainQueue::new();
         for (e, dist) in dists.iter().enumerate() {
             if let Some((fact, gain)) = best_task(dist, config.pc_assumed)? {
-                ranked.push((e, fact, gain));
+                queue.insert(e as u64, fact, gain);
             }
         }
-        // Highest gain first; deterministic tie-break by entity index.
-        ranked.sort_by(|a, b| b.2.total_cmp(&a.2).then(a.0.cmp(&b.0)));
         let take = config.batch.min(config.total_budget - spent);
-        ranked.truncate(take);
+        let mut ranked: Vec<(usize, usize, f64)> = Vec::new(); // (entity, fact, gain)
+        while ranked.len() < take {
+            match queue.pop_best() {
+                Some(entry) => ranked.push((entry.session as usize, entry.fact, entry.gain())),
+                None => break,
+            }
+        }
         if ranked.is_empty() || ranked.iter().all(|&(_, _, gain)| gain <= 1e-12) {
             break; // nothing left worth asking
         }

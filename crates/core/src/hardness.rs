@@ -14,10 +14,44 @@
 //! making the reduction testable. Fact counts are bounded by the dense
 //! limits, so it is a *demonstration* (NP-hardness is about asymptotics),
 //! but every step of the paper's proof is exercised for real.
+//!
+//! It also hosts the practical face of the same idea: [`factor_hardness`],
+//! a cheap `[0, 1]` difficulty score for an entity computed from its fusion
+//! marginals, which the sparse-prior builder uses to scale its sampling
+//! effort with how hard the entity actually is.
 
 use crate::answers::{answer_entropy, AnswerEvaluator};
 use crate::error::CoreError;
-use crowdfusion_jointdist::{Assignment, JointDist, VarSet};
+use crowdfusion_jointdist::{binary_entropy, Assignment, JointDist, VarSet};
+
+/// How hard an entity is to refine, in `[0, 1]`, from its fusion marginals
+/// and correlation groups — *before* any joint prior is materialised.
+///
+/// The base score is the mean binary entropy of the marginals: an entity
+/// whose facts are all near 0 or 1 scores ~0 (a handful of judgments
+/// settles it), one whose facts sit at 0.5 scores 1 (every judgment
+/// fights maximal uncertainty). Correlation groups inflate the score by up
+/// to 50% of the fraction of facts entangled in multi-member groups,
+/// because correlated facts make the posterior landscape multimodal and
+/// need a richer sample to capture. The result drives the adaptive
+/// sparse-prior draw count in [`crate::prior`].
+pub fn factor_hardness(marginals: &[f64], groups: &[Vec<usize>]) -> f64 {
+    if marginals.is_empty() {
+        return 0.0;
+    }
+    let base = marginals
+        .iter()
+        .map(|&m| binary_entropy(m.clamp(0.0, 1.0)))
+        .sum::<f64>()
+        / marginals.len() as f64;
+    let grouped: usize = groups
+        .iter()
+        .filter(|g| g.len() > 1)
+        .map(|g| g.iter().filter(|&&f| f < marginals.len()).count())
+        .sum();
+    let density = grouped as f64 / marginals.len() as f64;
+    (base * (1.0 + 0.5 * density)).min(1.0)
+}
 
 /// Maximum number of PARTITION items the dense construction supports:
 /// the reduction needs `2^s` facts, and fact masks are 64-bit.
@@ -110,6 +144,44 @@ pub fn solve_partition(numbers: &[u64]) -> Result<Option<Vec<usize>>, CoreError>
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn hardness_orders_easy_below_hard() {
+        let easy = factor_hardness(&[0.01, 0.99, 0.02], &[]);
+        let medium = factor_hardness(&[0.2, 0.8, 0.3], &[]);
+        let hard = factor_hardness(&[0.5, 0.5, 0.5], &[]);
+        assert!(easy < medium, "{easy} < {medium}");
+        assert!(medium < hard, "{medium} < {hard}");
+        assert!((hard - 1.0).abs() < 1e-12, "all-0.5 marginals max out");
+        assert!(easy < 0.2, "near-certain facts are easy: {easy}");
+    }
+
+    #[test]
+    fn hardness_bounds_and_degenerate_inputs() {
+        assert_eq!(factor_hardness(&[], &[]), 0.0);
+        assert_eq!(factor_hardness(&[0.0, 1.0], &[]), 0.0);
+        // Out-of-range marginals are clamped, not NaN.
+        let h = factor_hardness(&[-0.5, 1.5, 0.5], &[]);
+        assert!(h.is_finite() && (0.0..=1.0).contains(&h));
+        // Cap at 1 even with group inflation.
+        let h = factor_hardness(&[0.5, 0.5], &[vec![0, 1]]);
+        assert!((h - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlation_groups_inflate_hardness() {
+        let marginals = [0.1, 0.9, 0.15, 0.85];
+        let flat = factor_hardness(&marginals, &[]);
+        let singleton = factor_hardness(&marginals, &[vec![0]]);
+        assert_eq!(flat, singleton, "singleton groups don't correlate");
+        let grouped = factor_hardness(&marginals, &[vec![0, 1]]);
+        let dense = factor_hardness(&marginals, &[vec![0, 1], vec![2, 3]]);
+        assert!(flat < grouped, "{flat} < {grouped}");
+        assert!(grouped < dense, "{grouped} < {dense}");
+        // Out-of-range fact indices in a group are ignored.
+        let oob = factor_hardness(&marginals, &[vec![0, 99]]);
+        assert!(oob > flat && oob < grouped);
+    }
 
     #[test]
     fn instance_shape_follows_proof() {

@@ -26,7 +26,10 @@
 //! * [`parallel`] — pool-sharded preprocessing (the paper notes the step
 //!   is MapReduce-friendly);
 //! * [`selection::engine`] — the cached-scatter incremental evaluator
-//!   behind the fast greedy configurations.
+//!   behind the fast greedy configurations;
+//! * [`sched`] — the cross-session budget scheduler primitives (marginal
+//!   gain, deterministic gain queue, budget ledger) the serving daemon's
+//!   global budget mode is built on.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -42,6 +45,7 @@ pub mod pool;
 pub mod prior;
 pub mod query;
 pub mod round;
+pub mod sched;
 pub mod selection;
 pub mod session;
 pub mod shard;
@@ -55,8 +59,9 @@ pub use error::CoreError;
 pub use metrics::{ConfusionCounts, QualityPoint};
 pub use model::{Fact, FactSet};
 pub use pool::Pool;
-pub use query::QueryGreedySelector;
+pub use query::{run_query_rounds, QueryCurvePoint, QueryGreedySelector};
 pub use round::{EntityCase, EntityTrace, RoundConfig, RoundPoint};
+pub use sched::{BudgetLedger, GainEntry, GainQueue};
 pub use selection::{
     GreedySelector, OptSelector, PruneBound, RandomSelector, SelectorKind, TaskSelector,
 };

@@ -19,8 +19,28 @@ pub const DEFAULT_EQUIV_PENALTY: f64 = 0.35;
 /// Default penalty per extra true statement among conflicting groups.
 pub const DEFAULT_CONFLICT_PENALTY: f64 = 0.75;
 
-/// Importance-sampling draws for sparse priors beyond the dense limit.
+/// Maximum importance-sampling draws for sparse priors beyond the dense
+/// limit (reached by maximally hard entities; easier entities draw less,
+/// see [`adaptive_sparse_draws`]).
 pub const SPARSE_PRIOR_DRAWS: usize = 8_192;
+
+/// Minimum importance-sampling draws for sparse priors: even a trivially
+/// easy entity keeps enough support to represent its residual uncertainty.
+pub const SPARSE_PRIOR_MIN_DRAWS: usize = 1_024;
+
+/// Draw budget for one entity's sparse prior, scaled by
+/// [`crate::hardness::factor_hardness`]: a near-settled entity draws
+/// [`SPARSE_PRIOR_MIN_DRAWS`] samples (its posterior mass concentrates on
+/// a handful of assignments anyway), a maximally uncertain one the full
+/// [`SPARSE_PRIOR_DRAWS`]. Entities whose marginals all sit at 0.5 — the
+/// regime every stress test and the paper's large-book experiments use —
+/// score hardness 1.0 exactly, so their priors are bit-identical to the
+/// historical fixed-cap behaviour.
+pub fn adaptive_sparse_draws(marginals: &[f64], groups: &[Vec<usize>]) -> usize {
+    let hardness = crate::hardness::factor_hardness(marginals, groups);
+    let span = (SPARSE_PRIOR_DRAWS - SPARSE_PRIOR_MIN_DRAWS) as f64;
+    SPARSE_PRIOR_MIN_DRAWS + (hardness * span).round() as usize
+}
 
 /// Fixed base seed for sparse prior materialisation; combined with the
 /// entity's fact count so priors stay a pure function of their inputs
@@ -46,9 +66,10 @@ pub fn independent_prior(marginals: &[f64]) -> Result<JointDist, CoreError> {
 /// materialised exactly by dense enumeration; beyond that (the book
 /// entities with 26+ facts the paper's efficiency experiments single
 /// out) it switches to the deterministic sparse importance sampler
-/// ([`FactorGraphBuilder::build_sparse`], [`SPARSE_PRIOR_DRAWS`] draws
-/// from a fixed seed), so large entities get a sparse-support prior
-/// instead of a hard `TooManyVariables` failure.
+/// ([`FactorGraphBuilder::build_sparse`], [`adaptive_sparse_draws`] draws
+/// from a fixed seed — hardness-scaled between [`SPARSE_PRIOR_MIN_DRAWS`]
+/// and [`SPARSE_PRIOR_DRAWS`]), so large entities get a sparse-support
+/// prior instead of a hard `TooManyVariables` failure.
 pub fn grouped_prior(
     marginals: &[f64],
     groups: &[Vec<usize>],
@@ -87,16 +108,17 @@ pub fn grouped_prior(
     if n <= crate::MAX_DENSE_FACTS {
         Ok(builder.build()?)
     } else {
+        let draws = adaptive_sparse_draws(marginals, groups);
         let mut rng = StdRng::seed_from_u64(SPARSE_PRIOR_SEED ^ n as u64);
-        let prior = builder.build_sparse(SPARSE_PRIOR_DRAWS, &mut rng)?;
+        let prior = builder.build_sparse(draws, &mut rng)?;
         // Growth control: the sampler dedups its draws, so today the
         // support cannot exceed the draw budget — but richer generators
-        // (adaptive draw counts, merged priors) can. The within-budget
-        // guard skips `thin_to`'s defensive clone on the common path.
-        if prior.support_size() <= SPARSE_PRIOR_DRAWS {
+        // (merged priors, future samplers) can. The within-budget guard
+        // skips `thin_to`'s defensive clone on the common path.
+        if prior.support_size() <= draws {
             Ok(prior)
         } else {
-            Ok(prior.thin_to(SPARSE_PRIOR_DRAWS)?)
+            Ok(prior.thin_to(draws)?)
         }
     }
 }
@@ -209,6 +231,64 @@ mod tests {
         for (a, b) in prior.marginals().iter().zip(thinned.marginals()) {
             assert!((a - b).abs() < 0.05, "{a} vs {b}");
         }
+    }
+
+    #[test]
+    fn adaptive_draws_scale_with_hardness() {
+        // Easy (near-certain) entities draw fewer samples than hard
+        // (maximally uncertain) ones, monotonically, inside the bounds.
+        let n = 30usize;
+        let easy = adaptive_sparse_draws(&vec![0.02; n], &[]);
+        let medium = adaptive_sparse_draws(&vec![0.2; n], &[]);
+        let hard = adaptive_sparse_draws(&vec![0.5; n], &[]);
+        assert!(easy < medium, "{easy} < {medium}");
+        assert!(medium < hard, "{medium} < {hard}");
+        assert!(easy >= SPARSE_PRIOR_MIN_DRAWS);
+        assert_eq!(
+            hard, SPARSE_PRIOR_DRAWS,
+            "0.5-marginal entities keep the historical fixed cap"
+        );
+        // Certain facts need only the floor.
+        let certain = adaptive_sparse_draws(&vec![0.0; n], &[]);
+        assert_eq!(certain, SPARSE_PRIOR_MIN_DRAWS);
+        // Correlation groups make an entity draw more.
+        let flat = adaptive_sparse_draws(&vec![0.3; n], &[]);
+        let grouped = adaptive_sparse_draws(&vec![0.3; n], &[vec![0, 1, 2]]);
+        assert!(flat < grouped, "{flat} < {grouped}");
+    }
+
+    #[test]
+    fn adaptive_prior_matches_fixed_cap_reference_within_epsilon() {
+        use crowdfusion_jointdist::PROB_EPSILON;
+        // A hard-0/1 entity collapses to a single support point whatever
+        // the draw count, so the adaptive prior must match a reference
+        // built with the historical fixed cap to within PROB_EPSILON.
+        let n = 30usize;
+        let mut marginals = vec![0.0; n];
+        marginals[7] = 1.0;
+        marginals[19] = 1.0;
+        assert_eq!(
+            adaptive_sparse_draws(&marginals, &[]),
+            SPARSE_PRIOR_MIN_DRAWS
+        );
+        let adaptive = grouped_prior(&marginals, &[], 0.3, 0.7).unwrap();
+        let mut rng = StdRng::seed_from_u64(SPARSE_PRIOR_SEED ^ n as u64);
+        let reference = FactorGraphBuilder::new(marginals.clone())
+            .build_sparse(SPARSE_PRIOR_DRAWS, &mut rng)
+            .unwrap();
+        assert_eq!(adaptive.support_size(), 1);
+        assert_eq!(reference.support_size(), 1);
+        for (a, r) in adaptive.marginals().iter().zip(reference.marginals()) {
+            assert!((a - r).abs() <= PROB_EPSILON, "{a} vs {r}");
+        }
+        // And the maximally hard regime *is* the fixed cap: bit-identical.
+        let marginals = vec![0.5; n];
+        let adaptive = grouped_prior(&marginals, &[], 0.3, 0.7).unwrap();
+        let mut rng = StdRng::seed_from_u64(SPARSE_PRIOR_SEED ^ n as u64);
+        let reference = FactorGraphBuilder::new(marginals)
+            .build_sparse(SPARSE_PRIOR_DRAWS, &mut rng)
+            .unwrap();
+        assert_eq!(adaptive, reference);
     }
 
     #[test]

@@ -14,10 +14,12 @@
 //! reversed; the implemented direction (`Q(I|T) ≤ Q(I|T')` for `T ⊆ T'`,
 //! "information never hurts") is the one its own proof sketch supports.
 
-use crate::answers::bsc_transform_in_place;
+use crate::answers::{bsc_transform_in_place, posterior_in_place};
 use crate::error::CoreError;
+use crate::round::{prepare_round, EntityCase, RoundConfig};
 use crate::selection::{validate_selection, TaskSelector};
 use crate::MAX_DENSE_FACTS;
+use crowdfusion_crowd::{AnswerModel, CrowdPlatform};
 use crowdfusion_jointdist::{JointDist, VarSet};
 use rand::RngCore;
 use std::collections::BTreeMap;
@@ -159,6 +161,90 @@ impl TaskSelector for QueryGreedySelector {
         }
         Ok(selected)
     }
+}
+
+/// One point of a budgeted quality curve in query mode: how much the FOI
+/// is known after `cost` judgments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryCurvePoint {
+    /// Cumulative judgments spent.
+    pub cost: usize,
+    /// The *planned* utility `Q(I|T)` of the cumulative task set against
+    /// the prior — monotone non-decreasing along the curve (information
+    /// never hurts), independent of what the crowd actually answered.
+    pub plan_utility: f64,
+    /// Entropy `H(I)` of the FOI under the current posterior, in bits.
+    pub entropy: f64,
+    /// Fraction of FOI facts whose posterior marginal rounds to the gold
+    /// truth.
+    pub accuracy: f64,
+}
+
+/// The FOI-aware round driver: runs the select–collect–update loop of
+/// Figure 1 with [`QueryGreedySelector`] steering every round toward the
+/// facts of interest, and records a budget → quality curve.
+///
+/// Each round re-plans on the evolving posterior (so answers steer later
+/// selections), spends `min(k, n, remaining)` judgments, and appends a
+/// [`QueryCurvePoint`]: `plan_utility` is evaluated against the *prior*
+/// over the cumulative task set — a growing chain, so the planned curve is
+/// monotone by the corrected Equation 7 — while `entropy`/`accuracy` track
+/// the realised posterior. The loop stops early when no fact still informs
+/// the FOI (`GAIN_EPSILON`) or when the cumulative task set would exceed
+/// the dense answer-lattice width ([`MAX_DENSE_FACTS`]); the first point
+/// is always the zero-cost prior.
+pub fn run_query_rounds<M: AnswerModel>(
+    case: &EntityCase,
+    interest: VarSet,
+    config: RoundConfig,
+    platform: &mut CrowdPlatform<M>,
+    rng: &mut dyn RngCore,
+    task_seq: &mut u64,
+) -> Result<Vec<QueryCurvePoint>, CoreError> {
+    case.validate()?;
+    if interest.is_empty() {
+        return Err(CoreError::EmptyInterestSet);
+    }
+    let selector = QueryGreedySelector::new(interest);
+    let mut dist = case.prior.clone();
+    let mut cumulative = VarSet::EMPTY;
+    let mut remaining = config.budget;
+    let mut spent = 0usize;
+
+    let measure = |dist: &JointDist, cumulative: VarSet, spent: usize| -> Result<_, CoreError> {
+        let mut correct = 0usize;
+        for f in interest.iter() {
+            let truth = dist.marginal(f)? >= 0.5;
+            correct += usize::from(truth == case.gold.get(f));
+        }
+        Ok(QueryCurvePoint {
+            cost: spent,
+            plan_utility: query_utility(&case.prior, interest, cumulative, config.pc_assumed)?,
+            entropy: dist.restrict(interest)?.entropy(),
+            accuracy: correct as f64 / interest.len() as f64,
+        })
+    };
+
+    let mut points = vec![measure(&dist, cumulative, 0)?];
+    while remaining > 0 {
+        let Some(pending) =
+            prepare_round(case, config, &dist, remaining, &selector, rng, task_seq)?
+        else {
+            break; // FOI settled or budget gone
+        };
+        let next_cumulative = cumulative.union(VarSet::from_vars(pending.tasks.iter().copied()));
+        if next_cumulative.len() > MAX_DENSE_FACTS {
+            break; // planned curve would leave the dense answer lattice
+        }
+        let answers = platform.publish(&pending.crowd_tasks, &pending.truths)?;
+        let judgments: Vec<bool> = answers.iter().map(|a| a.value).collect();
+        posterior_in_place(&mut dist, &pending.tasks, &judgments, config.pc_assumed)?;
+        spent += pending.tasks.len();
+        remaining -= pending.tasks.len();
+        cumulative = next_cumulative;
+        points.push(measure(&dist, cumulative, spent)?);
+    }
+    Ok(points)
 }
 
 #[cfg(test)]
@@ -382,6 +468,114 @@ mod tests {
             truth_answer_joint_entropy(&d, interest, past_limit, 1.0),
             Err(CoreError::TooManyFacts { requested, limit })
                 if requested == MAX_DENSE_FACTS + 1 && limit == MAX_DENSE_FACTS
+        ));
+    }
+
+    #[test]
+    fn query_round_driver_emits_a_monotone_planned_curve() {
+        use crate::round::EntityCase;
+        use crowdfusion_crowd::{UniformAccuracy, WorkerPool};
+        let case = EntityCase::simple(
+            "Hong Kong",
+            paper_running_example(),
+            crowdfusion_jointdist::Assignment(0b0111),
+        );
+        let interest = VarSet::from_vars([1, 2]);
+        let config = crate::round::RoundConfig::new(2, 10, 0.9).unwrap();
+        let mut platform = CrowdPlatform::new(
+            WorkerPool::uniform(8, 0.9).unwrap(),
+            UniformAccuracy::new(0.9),
+            11,
+        );
+        let mut seq = 0u64;
+        let points = run_query_rounds(
+            &case,
+            interest,
+            config,
+            &mut platform,
+            &mut StdRng::seed_from_u64(4),
+            &mut seq,
+        )
+        .unwrap();
+        assert!(points.len() >= 2, "at least prior + one round");
+        assert_eq!(points[0].cost, 0);
+        for w in points.windows(2) {
+            assert!(w[1].cost > w[0].cost, "costs strictly increase");
+            assert!(
+                w[1].plan_utility >= w[0].plan_utility - 1e-12,
+                "planned curve must be monotone: {} then {}",
+                w[0].plan_utility,
+                w[1].plan_utility
+            );
+        }
+        for p in &points {
+            assert!((0.0..=1.0).contains(&p.accuracy));
+            assert!(p.entropy >= -1e-12);
+        }
+        // A reliable crowd leaves the FOI better known than the prior did.
+        let last = points.last().unwrap();
+        assert!(last.entropy < points[0].entropy);
+        assert_eq!(last.accuracy, 1.0, "0.9-accurate crowd settles 2 facts");
+
+        // Determinism: identical inputs, identical curve.
+        let mut platform = CrowdPlatform::new(
+            WorkerPool::uniform(8, 0.9).unwrap(),
+            UniformAccuracy::new(0.9),
+            11,
+        );
+        let mut seq = 0u64;
+        let again = run_query_rounds(
+            &case,
+            interest,
+            config,
+            &mut platform,
+            &mut StdRng::seed_from_u64(4),
+            &mut seq,
+        )
+        .unwrap();
+        assert_eq!(points, again);
+    }
+
+    #[test]
+    fn query_round_driver_stops_when_foi_is_settled() {
+        use crate::round::EntityCase;
+        use crowdfusion_crowd::{UniformAccuracy, WorkerPool};
+        // Independent facts, FOI already certain: nothing informs it, so
+        // no budget is spent and the curve is the single prior point.
+        let d = FactorGraphBuilder::new(vec![1.0, 0.5, 0.5])
+            .build()
+            .unwrap();
+        let case = EntityCase::simple("settled", d, crowdfusion_jointdist::Assignment(0b001));
+        let config = crate::round::RoundConfig::new(2, 10, 0.9).unwrap();
+        let mut platform = CrowdPlatform::new(
+            WorkerPool::uniform(8, 0.9).unwrap(),
+            UniformAccuracy::new(0.9),
+            0,
+        );
+        let mut seq = 0u64;
+        let points = run_query_rounds(
+            &case,
+            VarSet::single(0),
+            config,
+            &mut platform,
+            &mut StdRng::seed_from_u64(0),
+            &mut seq,
+        )
+        .unwrap();
+        assert_eq!(points.len(), 1);
+        assert_eq!(platform.ledger().judgments, 0);
+        assert_eq!(points[0].accuracy, 1.0);
+        // And an empty interest set is rejected up front.
+        assert!(matches!(
+            run_query_rounds(
+                &case,
+                VarSet::EMPTY,
+                config,
+                &mut platform,
+                &mut StdRng::seed_from_u64(0),
+                &mut seq,
+            ),
+            Err(CoreError::EmptyInterestSet)
         ));
     }
 

@@ -1,0 +1,125 @@
+//! The global crowd-budget ledger.
+//!
+//! A [`BudgetLedger`] is deliberately tiny — two integers — because it must
+//! ride every durability surface the serving layer has: it is embedded in
+//! snapshots, reconstructed from WAL replay (each journalled `Schedule`
+//! effect charges the judgments of the round it opened), and compared
+//! byte-for-byte across shard and thread counts by the chaos and
+//! determinism suites.
+
+use serde::{Deserialize, Serialize};
+
+/// Charging more judgments than the ledger has left.
+///
+/// The scheduler never lets this happen on the live path (admission checks
+/// `remaining()` first); surfacing it as an error instead of saturating
+/// keeps WAL replay honest — a journal that overcharges is corrupt, not
+/// merely unlucky.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LedgerError {
+    /// Judgments the charge asked for.
+    pub requested: u64,
+    /// Judgments that were actually left.
+    pub remaining: u64,
+}
+
+impl std::fmt::Display for LedgerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "budget overcharge: requested {} with {} remaining",
+            self.requested, self.remaining
+        )
+    }
+}
+
+impl std::error::Error for LedgerError {}
+
+/// Spent/remaining accounting for a shared crowd budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BudgetLedger {
+    /// Total judgments the operator granted for the daemon's lifetime.
+    pub budget: u64,
+    /// Judgments charged so far. Invariant: `spent <= budget`.
+    pub spent: u64,
+}
+
+impl BudgetLedger {
+    /// A fresh ledger with nothing spent.
+    pub fn new(budget: u64) -> BudgetLedger {
+        BudgetLedger { budget, spent: 0 }
+    }
+
+    /// Judgments still available.
+    pub fn remaining(&self) -> u64 {
+        self.budget - self.spent
+    }
+
+    /// Whether the budget is fully spent.
+    pub fn is_exhausted(&self) -> bool {
+        self.spent >= self.budget
+    }
+
+    /// Charges `judgments` against the budget, failing if that would
+    /// overspend (in which case the ledger is unchanged).
+    pub fn charge(&mut self, judgments: u64) -> Result<(), LedgerError> {
+        let remaining = self.remaining();
+        if judgments > remaining {
+            return Err(LedgerError {
+                requested: judgments,
+                remaining,
+            });
+        }
+        self.spent += judgments;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_until_exhausted() {
+        let mut ledger = BudgetLedger::new(5);
+        assert_eq!(ledger.remaining(), 5);
+        assert!(!ledger.is_exhausted());
+        ledger.charge(3).unwrap();
+        assert_eq!(ledger.remaining(), 2);
+        ledger.charge(2).unwrap();
+        assert!(ledger.is_exhausted());
+        assert_eq!(ledger.remaining(), 0);
+    }
+
+    #[test]
+    fn overcharge_is_an_error_and_leaves_state_alone() {
+        let mut ledger = BudgetLedger::new(4);
+        ledger.charge(3).unwrap();
+        let err = ledger.charge(2).unwrap_err();
+        assert_eq!(
+            err,
+            LedgerError {
+                requested: 2,
+                remaining: 1
+            }
+        );
+        assert_eq!(ledger.spent, 3, "failed charge must not move the ledger");
+        assert!(err.to_string().contains("overcharge"));
+    }
+
+    #[test]
+    fn zero_budget_is_born_exhausted() {
+        let ledger = BudgetLedger::new(0);
+        assert!(ledger.is_exhausted());
+        assert_eq!(ledger.remaining(), 0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut ledger = BudgetLedger::new(9);
+        ledger.charge(4).unwrap();
+        let json = serde_json::to_string(&ledger).unwrap();
+        let back: BudgetLedger = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, ledger);
+    }
+}

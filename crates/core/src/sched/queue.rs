@@ -1,0 +1,224 @@
+//! The deterministic gain-ordered priority queue.
+//!
+//! Admission order is the scheduler's whole contract: the session with the
+//! highest marginal gain goes first, ties break on the lowest session id,
+//! and the intra-entity fact tie-break already happened when the gain was
+//! computed (lowest fact wins, see [`super::entity_gain`]). To make that
+//! order bit-stable across platforms and replay paths, gains are carried as
+//! the IEEE-754 bit pattern of a non-negative `f64`: for `x, y >= 0`,
+//! `x < y  ⇔  x.to_bits() < y.to_bits()`, so integer comparison on the
+//! encoded form reproduces float comparison exactly — with no NaN or `-0.0`
+//! edge cases once clamped.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Encodes a gain (bits of expected entropy reduction) as an
+/// order-preserving `u64`. Non-positive gains (including `-0.0`) all map to
+/// `0`; NaN cannot arise from entropy differences but would be rejected by
+/// the clamp too.
+pub fn gain_bits(gain: f64) -> u64 {
+    if gain > 0.0 {
+        gain.to_bits()
+    } else {
+        0
+    }
+}
+
+/// Decodes [`gain_bits`] back to the gain value (for display and status
+/// reporting; the queue itself never needs the float).
+pub fn gain_from_bits(bits: u64) -> f64 {
+    if bits == 0 {
+        0.0
+    } else {
+        f64::from_bits(bits)
+    }
+}
+
+/// One scheduled candidate: a session, the fact its gain came from, and the
+/// gain in both encodings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GainEntry {
+    /// Session (= entity, in serve's one-entity-per-session model) id.
+    pub session: u64,
+    /// The fact whose single-task gain won within the entity.
+    pub fact: usize,
+    /// Order-preserving encoding of the gain.
+    pub bits: u64,
+}
+
+impl GainEntry {
+    /// The gain in bits-of-entropy, decoded.
+    pub fn gain(&self) -> f64 {
+        gain_from_bits(self.bits)
+    }
+}
+
+/// Priority queue over sessions keyed by `(gain_bits desc, session asc)`.
+///
+/// Both sides are `BTree`-backed so iteration order is deterministic and
+/// the structure is a pure function of its insert/remove history — no
+/// hashing, no allocation-order effects.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GainQueue {
+    /// `(!bits, session)` — complementing the bits turns descending-gain
+    /// into the BTreeSet's natural ascending order.
+    order: BTreeSet<(u64, u64)>,
+    /// session → (bits, fact), for O(log n) replacement and removal.
+    entries: BTreeMap<u64, (u64, usize)>,
+}
+
+impl GainQueue {
+    /// An empty queue.
+    pub fn new() -> GainQueue {
+        GainQueue::default()
+    }
+
+    /// Number of queued sessions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Inserts or replaces a session's candidate task and gain.
+    pub fn insert(&mut self, session: u64, fact: usize, gain: f64) {
+        let bits = gain_bits(gain);
+        if let Some((old_bits, _)) = self.entries.insert(session, (bits, fact)) {
+            self.order.remove(&(!old_bits, session));
+        }
+        self.order.insert((!bits, session));
+    }
+
+    /// Removes a session (no-op when absent). Returns whether it was
+    /// present.
+    pub fn remove(&mut self, session: u64) -> bool {
+        match self.entries.remove(&session) {
+            Some((bits, _)) => {
+                self.order.remove(&(!bits, session));
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The current best candidate without removing it.
+    pub fn peek(&self) -> Option<GainEntry> {
+        let &(inv, session) = self.order.iter().next()?;
+        let &(bits, fact) = self.entries.get(&session).expect("order/entries in sync");
+        debug_assert_eq!(!inv, bits);
+        Some(GainEntry {
+            session,
+            fact,
+            bits,
+        })
+    }
+
+    /// Removes and returns the current best candidate.
+    pub fn pop_best(&mut self) -> Option<GainEntry> {
+        let entry = self.peek()?;
+        self.remove(entry.session);
+        Some(entry)
+    }
+
+    /// The queued entry for one session, if any.
+    pub fn get(&self, session: u64) -> Option<GainEntry> {
+        let &(bits, fact) = self.entries.get(&session)?;
+        Some(GainEntry {
+            session,
+            fact,
+            bits,
+        })
+    }
+
+    /// All entries in admission order (best first). Used by status
+    /// reporting; allocates a fresh vec.
+    pub fn ranked(&self) -> Vec<GainEntry> {
+        self.order
+            .iter()
+            .map(|&(_, session)| self.get(session).expect("order/entries in sync"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gain_bits_is_monotone_on_non_negatives() {
+        let gains = [0.0, 1e-300, 1e-12, 0.3, 0.9999, 1.0, 7.5];
+        for w in gains.windows(2) {
+            assert!(
+                gain_bits(w[0]) < gain_bits(w[1]) || w[0] == w[1],
+                "{} vs {}",
+                w[0],
+                w[1]
+            );
+        }
+        // Clamp: negative zero and negative gains collapse to 0.
+        assert_eq!(gain_bits(-0.0), 0);
+        assert_eq!(gain_bits(-1.0), 0);
+        assert_eq!(gain_from_bits(gain_bits(0.75)), 0.75);
+        assert_eq!(gain_from_bits(0), 0.0);
+    }
+
+    #[test]
+    fn pops_in_descending_gain_order() {
+        let mut q = GainQueue::new();
+        q.insert(3, 0, 0.2);
+        q.insert(1, 2, 0.9);
+        q.insert(2, 1, 0.5);
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop_best().map(|e| e.session)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn equal_gains_break_on_lowest_session() {
+        let mut q = GainQueue::new();
+        q.insert(9, 0, 0.5);
+        q.insert(4, 1, 0.5);
+        q.insert(7, 2, 0.5);
+        let order: Vec<u64> = q.ranked().iter().map(|e| e.session).collect();
+        assert_eq!(order, vec![4, 7, 9]);
+    }
+
+    #[test]
+    fn insert_replaces_and_reorders() {
+        let mut q = GainQueue::new();
+        q.insert(1, 0, 0.9);
+        q.insert(2, 0, 0.5);
+        assert_eq!(q.peek().unwrap().session, 1);
+        // Session 1's entity got easier; it must fall behind session 2.
+        q.insert(1, 3, 0.1);
+        assert_eq!(q.len(), 2);
+        let top = q.peek().unwrap();
+        assert_eq!(top.session, 2);
+        assert_eq!(q.get(1).unwrap().fact, 3);
+        assert!((q.get(1).unwrap().gain() - 0.1).abs() < 1e-15);
+    }
+
+    #[test]
+    fn remove_is_idempotent() {
+        let mut q = GainQueue::new();
+        q.insert(5, 0, 0.3);
+        assert!(q.remove(5));
+        assert!(!q.remove(5));
+        assert!(q.peek().is_none());
+        assert!(q.pop_best().is_none());
+    }
+
+    #[test]
+    fn zero_gain_sessions_still_queue_after_positive_ones() {
+        let mut q = GainQueue::new();
+        q.insert(1, 0, 0.0);
+        q.insert(2, 0, 0.4);
+        assert_eq!(q.pop_best().unwrap().session, 2);
+        let last = q.pop_best().unwrap();
+        assert_eq!(last.session, 1);
+        assert_eq!(last.bits, 0);
+    }
+}

@@ -145,6 +145,41 @@ impl ScatterCache {
         }))
     }
 
+    /// `H(T)` of the currently committed task set, in bits — the cached
+    /// transform *is* the answer distribution over `T`, so this is one
+    /// pass over `y` with no scatter work.
+    pub fn committed_entropy(&self) -> f64 {
+        entropy_of_probs(self.y.iter().copied())
+    }
+
+    /// The incremental-gain hook behind the cross-session scheduler: the
+    /// best `(fact, gain)` over `0..num_facts` where
+    /// `gain = H(T ∪ {f}) − H(T) − H(Pc)`, clamped at zero — the mutual
+    /// information the next answer on `f` would buy beyond channel noise
+    /// (at depth 0 this is exactly
+    /// [`crate::allocation::single_task_gain`], but evaluated on the
+    /// cache so sparse supports beyond the dense limit work too).
+    ///
+    /// Ties break on the lowest fact index, making the result a pure
+    /// function of the distribution. Returns `None` for zero facts.
+    pub fn best_marginal_gain(
+        &self,
+        num_facts: usize,
+        pc: f64,
+        scratch: &mut Vec<f64>,
+    ) -> Option<(usize, f64)> {
+        let base = self.committed_entropy() + crowdfusion_jointdist::binary_entropy(pc);
+        let mut best: Option<(usize, f64)> = None;
+        for f in 0..num_facts {
+            let gain = (self.candidate_entropy(f, pc, scratch) - base).max(0.0);
+            match best {
+                Some((_, g)) if gain <= g => {}
+                _ => best = Some((f, gain)),
+            }
+        }
+        best
+    }
+
     /// Commits fact `f` as the round's winner: extends the cached
     /// patterns by `f`'s judgment bit and the cached transform by the
     /// single-bit channel stage. `O(|O| + 2^|T|)`.

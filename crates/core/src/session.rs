@@ -322,6 +322,22 @@ impl SessionState {
     /// or re-fetches the currently open round (so a client that lost the
     /// response can ask again without burning budget or RNG state).
     pub fn select(&mut self, selector: &dyn TaskSelector) -> Result<SelectOutcome, CoreError> {
+        self.select_capped(selector, None)
+    }
+
+    /// [`select`](Self::select) with an external task cap: the round's
+    /// size is bounded by `min(k, remaining, cap)`. The global budget
+    /// scheduler uses this to stop a round from overspending the shared
+    /// ledger. A zero cap is a caller error (`EmptyTaskSet`) rather than
+    /// session exhaustion — the session itself may still have budget, the
+    /// *scheduler* ran out, and marking the session exhausted would
+    /// corrupt its budget identity. Re-fetching an open round ignores the
+    /// cap (the round's judgments are already charged).
+    pub fn select_capped(
+        &mut self,
+        selector: &dyn TaskSelector,
+        cap: Option<usize>,
+    ) -> Result<SelectOutcome, CoreError> {
         if let Some(open) = &self.open {
             let tasks = open
                 .tasks
@@ -342,12 +358,17 @@ impl SessionState {
         if self.exhausted {
             return Ok(SelectOutcome::Exhausted);
         }
+        let limit = match cap {
+            Some(0) => return Err(CoreError::EmptyTaskSet),
+            Some(cap) => self.remaining.min(cap),
+            None => self.remaining,
+        };
         let rng: &mut dyn RngCore = &mut self.rng;
         let Some(pending) = prepare_round(
             &self.case,
             self.config,
             &self.dist,
-            self.remaining,
+            limit,
             selector,
             rng,
             &mut self.task_seq,
@@ -581,6 +602,17 @@ impl SessionState {
         self.open.as_ref().map_or(0, OpenRound::pending)
     }
 
+    /// Tasks published on the open round (0 when no round is open) — the
+    /// judgments a global budget ledger has charged for it.
+    pub fn open_round_tasks(&self) -> usize {
+        self.open.as_ref().map_or(0, |o| o.tasks.len())
+    }
+
+    /// The crowd accuracy this session plans and updates with.
+    pub fn pc_assumed(&self) -> f64 {
+        self.config.pc_assumed
+    }
+
     /// Whether a round is currently open.
     pub fn has_open_round(&self) -> bool {
         self.open.is_some()
@@ -770,6 +802,17 @@ impl SessionRegistry {
         selector: &dyn TaskSelector,
     ) -> Result<SelectOutcome, CoreError> {
         self.get_mut(session)?.select(selector)
+    }
+
+    /// Runs the *select* phase on one session under an external task cap
+    /// (see [`SessionState::select_capped`]).
+    pub fn select_capped(
+        &mut self,
+        session: u64,
+        selector: &dyn TaskSelector,
+        cap: Option<usize>,
+    ) -> Result<SelectOutcome, CoreError> {
+        self.get_mut(session)?.select_capped(selector, cap)
     }
 
     /// Ingests answers into one session.

@@ -160,11 +160,22 @@ impl ShardedRegistry {
         session: u64,
         selector: &dyn TaskSelector,
     ) -> Result<SelectOutcome, CoreError> {
+        self.select_capped(session, selector, None)
+    }
+
+    /// Runs the *select* phase on one session under an external task cap
+    /// (see [`SessionState::select_capped`]; owning shard lock only).
+    pub fn select_capped(
+        &self,
+        session: u64,
+        selector: &dyn TaskSelector,
+        cap: Option<usize>,
+    ) -> Result<SelectOutcome, CoreError> {
         let mut shard = lock(self.shard_of(session));
         shard
             .get_mut(&session)
             .ok_or(CoreError::UnknownSession { session })?
-            .select(selector)
+            .select_capped(selector, cap)
     }
 
     /// Ingests answers into one session (owning shard lock only).

@@ -16,6 +16,7 @@
 
 use crate::clock::Clock;
 use crate::durable::DurabilityConfig;
+use crate::sched::BudgetMode;
 use crate::service::{SelectorChoice, ServiceConfig, DEFAULT_MAX_LINE_BYTES, DEFAULT_SHARDS};
 use crowdfusion_core::round::RoundConfig;
 use serde::{Deserialize, Error as SerdeError, Serialize, Value};
@@ -98,6 +99,12 @@ pub struct ServeConfig {
     pub read_deadline_ms: Option<u64>,
     /// Reject protocol lines longer than this many bytes.
     pub max_line_bytes: usize,
+    /// `per-session` (the default) or `global` — see
+    /// [`crate::sched::BudgetMode`].
+    pub budget_mode: String,
+    /// The shared judgment pool for `global` budget mode (must be
+    /// positive there; must stay 0 in `per-session` mode).
+    pub global_budget: u64,
 }
 
 impl Default for ServeConfig {
@@ -129,6 +136,8 @@ impl ServeConfig {
             session_ttl_ms: None,
             read_deadline_ms: None,
             max_line_bytes: DEFAULT_MAX_LINE_BYTES,
+            budget_mode: "per-session".to_string(),
+            global_budget: 0,
         }
     }
 
@@ -201,6 +210,14 @@ impl ServeConfig {
         self
     }
 
+    /// Switches to the global budget scheduler with a shared pool of
+    /// `budget` judgments.
+    pub fn global_budget(mut self, budget: u64) -> Self {
+        self.budget_mode = "global".to_string();
+        self.global_budget = budget;
+        self
+    }
+
     /// Loads a config from a JSON document. Partial documents are fine:
     /// absent fields keep their defaults; unknown fields are errors (a
     /// typo must not silently fall back to a default).
@@ -243,6 +260,13 @@ impl ServeConfig {
         if self.sync_every == 0 {
             return Err("sync_every must be positive".to_string());
         }
+        let budget_mode = BudgetMode::parse(&self.budget_mode)?;
+        if budget_mode.is_global() && self.global_budget == 0 {
+            return Err("global budget mode needs global_budget >= 1".to_string());
+        }
+        if !budget_mode.is_global() && self.global_budget != 0 {
+            return Err("global_budget requires budget_mode \"global\"".to_string());
+        }
         // An unknown method must fail at build time, not at first Open.
         crowdfusion_fusion::StrategyRegistry::standard()
             .build(&self.method)
@@ -263,6 +287,8 @@ impl ServeConfig {
         config.session_ttl_ms = self.session_ttl_ms;
         config.read_deadline_ms = self.read_deadline_ms;
         config.max_line_bytes = self.max_line_bytes;
+        config.budget_mode = budget_mode;
+        config.global_budget = self.global_budget;
         config.clock = Clock::system();
         Ok(config)
     }
@@ -293,6 +319,8 @@ impl Serialize for ServeConfig {
             ("session_ttl_ms".to_string(), opt(&self.session_ttl_ms)),
             ("read_deadline_ms".to_string(), opt(&self.read_deadline_ms)),
             ("max_line_bytes".to_string(), self.max_line_bytes.to_value()),
+            ("budget_mode".to_string(), self.budget_mode.to_value()),
+            ("global_budget".to_string(), self.global_budget.to_value()),
         ])
     }
 }
@@ -326,6 +354,8 @@ impl Deserialize for ServeConfig {
                 "session_ttl_ms" => config.session_ttl_ms = Deserialize::from_value(value)?,
                 "read_deadline_ms" => config.read_deadline_ms = Deserialize::from_value(value)?,
                 "max_line_bytes" => config.max_line_bytes = Deserialize::from_value(value)?,
+                "budget_mode" => config.budget_mode = Deserialize::from_value(value)?,
+                "global_budget" => config.global_budget = Deserialize::from_value(value)?,
                 other => {
                     return Err(SerdeError::custom(format!(
                         "unknown serve config field {other:?}"
@@ -397,6 +427,7 @@ mod tests {
             ServeConfig::new().method("lda"),
             ServeConfig::new().read_deadline_ms(0),
             ServeConfig::new().group_commit(true),
+            ServeConfig::new().global_budget(0),
         ] {
             assert!(config.build().is_err(), "must reject {config:?}");
         }
@@ -408,5 +439,25 @@ mod tests {
         let mut bad_transport = ServeConfig::new();
         bad_transport.transport = "carrier-pigeon".to_string();
         assert!(bad_transport.build().is_err());
+    }
+
+    #[test]
+    fn budget_mode_round_trips_and_cross_validates() {
+        let config = ServeConfig::new().global_budget(120);
+        let built = config.build().unwrap();
+        assert!(built.budget_mode.is_global());
+        assert_eq!(built.global_budget, 120);
+        let back = ServeConfig::from_json(&config.to_json()).unwrap();
+        assert_eq!(back, config);
+
+        // A pool without the mode is a silent no-op waiting to happen.
+        let mut orphan_pool = ServeConfig::new();
+        orphan_pool.global_budget = 50;
+        let err = orphan_pool.build().unwrap_err();
+        assert!(err.contains("budget_mode"), "got {err:?}");
+
+        let mut bad_mode = ServeConfig::new();
+        bad_mode.budget_mode = "shared".to_string();
+        assert!(bad_mode.build().is_err());
     }
 }

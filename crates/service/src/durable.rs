@@ -29,8 +29,9 @@
 
 use crate::fault::{FaultAction, FaultPlan, FaultPoint, SimulatedCrash};
 use crate::journal::{read_journal, JournalWriter, Record};
+use crate::sched::SchedSnapshot;
 use crowdfusion_core::session::{OpenedSession, RegistrySnapshot};
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Error as SerdeError, Serialize, Value};
 use std::fs::File;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -86,7 +87,7 @@ pub struct CompletedOpen {
 }
 
 /// Everything a restarted daemon needs, as one JSON document.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DurableSnapshot {
     /// Last journal sequence this snapshot covers; replay skips records
     /// at or below it.
@@ -95,6 +96,47 @@ pub struct DurableSnapshot {
     pub registry: RegistrySnapshot,
     /// The idempotency ledger, ascending by request id.
     pub opens: Vec<CompletedOpen>,
+    /// Global-scheduler state (ledger + admission marks), present only
+    /// when the daemon runs `--budget-mode global`.
+    pub sched: Option<SchedSnapshot>,
+}
+
+// Hand-rolled: the `sched` field is *omitted* (not serialised as null)
+// when absent, so per-session daemons write snapshots byte-identical to
+// the pre-scheduler format — and can read snapshots from either era.
+impl Serialize for DurableSnapshot {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("applied_seq".to_string(), self.applied_seq.to_value()),
+            ("registry".to_string(), self.registry.to_value()),
+            ("opens".to_string(), self.opens.to_value()),
+        ];
+        if let Some(sched) = &self.sched {
+            fields.push(("sched".to_string(), sched.to_value()));
+        }
+        Value::Map(fields)
+    }
+}
+
+impl Deserialize for DurableSnapshot {
+    fn from_value(v: &Value) -> Result<DurableSnapshot, SerdeError> {
+        if v.as_map().is_none() {
+            return Err(SerdeError::custom(format!(
+                "expected an object, found {}",
+                v.kind()
+            )));
+        }
+        let field = |name: &str| v.get_field(name).unwrap_or(&Value::Null);
+        Ok(DurableSnapshot {
+            applied_seq: Deserialize::from_value(field("applied_seq"))?,
+            registry: Deserialize::from_value(field("registry"))?,
+            opens: Deserialize::from_value(field("opens"))?,
+            sched: match v.get_field("sched") {
+                None | Some(Value::Null) => None,
+                Some(value) => Some(Deserialize::from_value(value)?),
+            },
+        })
+    }
 }
 
 /// What [`recover`] found on disk.
@@ -294,6 +336,7 @@ mod tests {
                 request: 41,
                 sessions: vec![],
             }],
+            sched: None,
         }
     }
 
@@ -444,6 +487,42 @@ mod tests {
             1,
             "journal survives a failed snapshot"
         );
+    }
+
+    #[test]
+    fn sched_state_is_omitted_when_absent_and_round_trips_when_present() {
+        // Per-session daemons must keep writing the pre-scheduler format:
+        // no "sched" key at all, not a null.
+        let plain = sample_snapshot(2);
+        let text = crate::protocol::encode(&plain);
+        assert!(!text.contains("sched"), "got {text}");
+        let back: DurableSnapshot = crate::protocol::decode(&text).unwrap();
+        assert_eq!(back, plain);
+
+        // Global daemons carry the ledger and admission marks.
+        let mut sched = crate::sched::SchedState::new(50);
+        sched.ledger.charge(17).unwrap();
+        sched.mark(Some(9), 1);
+        let global = DurableSnapshot {
+            sched: Some(sched.snapshot()),
+            ..plain.clone()
+        };
+        let text = crate::protocol::encode(&global);
+        assert!(text.contains("sched"));
+        let back: DurableSnapshot = crate::protocol::decode(&text).unwrap();
+        assert_eq!(back, global);
+        let revived = back.sched.unwrap();
+        assert_eq!(revived.ledger.spent, 17);
+        assert_eq!(revived.scheduled.len(), 1);
+
+        // And an explicit null (a hand-edited or future-era file) reads
+        // as absent rather than erroring.
+        let nulled = text.replace(
+            &crate::protocol::encode(&global.sched.clone().unwrap()),
+            "null",
+        );
+        let back: DurableSnapshot = crate::protocol::decode(&nulled).unwrap();
+        assert!(back.sched.is_none());
     }
 
     #[test]

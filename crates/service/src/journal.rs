@@ -76,6 +76,19 @@ pub enum Effect {
         /// The evicted session ids, ascending.
         sessions: Vec<u64>,
     },
+    /// A selection admitted by the global budget scheduler. Replays as a
+    /// capped select: the session may open a round of at most `cap`
+    /// tasks, where `cap` was the global budget remaining at admission
+    /// time. Charging is derived from the opened round during replay, so
+    /// the ledger needs no record of its own.
+    Schedule {
+        /// The client's idempotency token, if it sent one.
+        request: Option<u64>,
+        /// The admitted session.
+        session: u64,
+        /// Global budget remaining at admission (caps the round size).
+        cap: usize,
+    },
 }
 
 /// One journal record: a monotonically increasing sequence number plus
@@ -392,6 +405,47 @@ mod tests {
             writer.append(record).unwrap();
         }
         writer.sync().unwrap();
+    }
+
+    #[test]
+    fn schedule_effect_roundtrips_and_old_frames_still_decode() {
+        let path = temp_journal();
+        let records = vec![
+            Record {
+                seq: 1,
+                effect: Effect::Select { session: 3 },
+            },
+            Record {
+                seq: 2,
+                effect: Effect::Schedule {
+                    request: Some(0xBEEF),
+                    session: 3,
+                    cap: 11,
+                },
+            },
+            Record {
+                seq: 3,
+                effect: Effect::Schedule {
+                    request: None,
+                    session: 4,
+                    cap: 2,
+                },
+            },
+        ];
+        write_all(&path, &records);
+        let contents = read_journal(&path).unwrap();
+        assert_eq!(contents.records, records);
+        assert!(!contents.torn);
+
+        // A journal written before the scheduler existed (no Schedule
+        // frames) must still read back unchanged.
+        let legacy_path = temp_journal();
+        let legacy = sample_records(6);
+        assert!(legacy
+            .iter()
+            .all(|r| !matches!(r.effect, Effect::Schedule { .. })));
+        write_all(&legacy_path, &legacy);
+        assert_eq!(read_journal(&legacy_path).unwrap().records, legacy);
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! |------|--------|
 //! | `Open` | register entities (wire [`crowdfusion_core::session::EntitySpec`]s); priors built in parallel on the worker pool |
 //! | `Select` | the next task batch under the session budget (idempotent while a round is open) |
+//! | `Schedule` / `BudgetStatus` | global-budget mode: admit the best marginal-gain session across *all* sessions; inspect the shared ledger ([`sched`]) |
 //! | `Absorb` | ingest crowd answers incrementally and out of order; duplicates and late answers rejected |
 //! | `Snapshot` / `Restore` | persist / reload every session (posterior, RNG state, partial rounds) |
 //! | `Status` / `Metrics` / `Trace` | per-session and aggregate bookkeeping |
@@ -46,6 +47,7 @@ pub mod durable;
 pub mod fault;
 pub mod journal;
 pub mod protocol;
+pub mod sched;
 pub mod server;
 pub mod service;
 pub mod snapshot;
@@ -56,6 +58,7 @@ pub use durable::{DurabilityConfig, DurableSnapshot};
 pub use fault::{FaultAction, FaultPlan, FaultPoint, SimulatedCrash};
 pub use journal::Effect;
 pub use protocol::{Framing, Request, Response, WireAnswer, WIRE_VERSION_MAX, WIRE_VERSION_MIN};
+pub use sched::{BudgetMode, SchedSnapshot, SchedState};
 pub use server::{
     serve_stdio, serve_tcp, Absorbed, Client, OpenOptions, RetryPolicy, Selected, Session,
 };

@@ -101,6 +101,20 @@ pub enum Request {
         /// Source path.
         path: String,
     },
+    /// Global budget mode only: admit the highest-marginal-gain idle
+    /// session's next round against the shared budget. Answered with
+    /// `Round` (the admitted session's tasks), `NoWork` (nothing
+    /// schedulable or budget exhausted) or `Error` (per-session daemons
+    /// reject the verb).
+    Schedule {
+        /// Idempotency token for at-least-once delivery: a retried
+        /// `Schedule` carrying the same id re-reads the originally
+        /// admitted session instead of admitting (and charging) twice.
+        request: Option<u64>,
+    },
+    /// The shared-budget ledger and the scheduler's next pick (aggregate
+    /// per-session figures when the scheduler is off).
+    BudgetStatus,
     /// Per-session bookkeeping: entropy, rounds, budget spent.
     Status {
         /// Target session id.
@@ -218,6 +232,38 @@ pub enum Response {
     Trace {
         /// Assembled exactly like the offline runners assemble theirs.
         trace: ExperimentTrace,
+    },
+    /// `Schedule` found nothing to admit: every session is busy or
+    /// exhausted, or the shared budget is spent.
+    NoWork {
+        /// Judgments left in the shared budget.
+        remaining: u64,
+    },
+    /// Global mode refused a direct `Select` because it is not that
+    /// session's turn: admission goes strictly in marginal-gain order.
+    Deferred {
+        /// The session the client asked for.
+        session: u64,
+        /// The session the scheduler would admit next (`None` when the
+        /// budget is exhausted or nothing is schedulable).
+        preferred: Option<u64>,
+    },
+    /// The budget ledger (`BudgetStatus`).
+    Budget {
+        /// `"global"` or `"per-session"`.
+        mode: String,
+        /// Total judgments granted (summed session budgets when
+        /// per-session).
+        budget: u64,
+        /// Judgments charged so far.
+        spent: u64,
+        /// Judgments left.
+        remaining: u64,
+        /// Global mode: the session the scheduler would admit next.
+        next_session: Option<u64>,
+        /// Global mode: that session's gain, bit-encoded (see
+        /// [`crowdfusion_core::sched::gain_bits`]).
+        next_gain_bits: Option<u64>,
     },
     /// The request failed; nothing was changed unless stated otherwise.
     Error {
@@ -388,6 +434,9 @@ mod tests {
                 path: "/tmp/x.json".into(),
             },
             Request::Status { session: 0 },
+            Request::Schedule { request: Some(12) },
+            Request::Schedule { request: None },
+            Request::BudgetStatus,
             Request::Metrics,
             Request::Trace,
             Request::Shutdown,
@@ -413,6 +462,19 @@ mod tests {
                 duplicates: 1,
                 pending: 0,
                 closed: None,
+            },
+            Response::NoWork { remaining: 4 },
+            Response::Deferred {
+                session: 2,
+                preferred: Some(0),
+            },
+            Response::Budget {
+                mode: "global".into(),
+                budget: 40,
+                spent: 13,
+                remaining: 27,
+                next_session: Some(1),
+                next_gain_bits: Some(crowdfusion_core::sched::gain_bits(0.42)),
             },
         ];
         for response in responses {

@@ -1,0 +1,256 @@
+//! Cross-session budget scheduling for the serving daemon.
+//!
+//! In the default **per-session** mode every session spends its own
+//! budget and the daemon behaves exactly as it did before the scheduler
+//! existed. In **global** mode the operator grants one shared pool of
+//! crowd judgments, and rounds are admitted strictly in marginal-gain
+//! order: each idle session's best next task gain (the entropy the
+//! cheapest single judgment is expected to remove, see
+//! [`crowdfusion_core::sched::entity_gain`]) is kept in a deterministic
+//! [`GainQueue`], and the `Schedule` verb pops the best candidate, caps
+//! its round by the budget remaining, and charges the opened round
+//! against the shared [`BudgetLedger`].
+//!
+//! Everything here is *state*, not policy: the daemon's dispatcher owns
+//! locking and journalling. [`SchedState`] rides the durability
+//! substrate as a [`SchedSnapshot`] (ledger + admission marks) embedded
+//! in the durable snapshot; the gain queue itself is **never
+//! persisted** — it is a pure function of the registry and is rebuilt
+//! wholesale after recovery or restore, which keeps snapshots small and
+//! makes the queue impossible to desynchronise across shard counts.
+
+use crowdfusion_core::sched::{BudgetLedger, GainQueue};
+use crowdfusion_core::session::SessionState;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// How the daemon spends crowd budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BudgetMode {
+    /// Each session spends its own budget (the historical behaviour;
+    /// byte-identical traces, snapshots and WALs to daemons that predate
+    /// the scheduler).
+    #[default]
+    PerSession,
+    /// One shared judgment pool, spent across sessions in descending
+    /// marginal-gain order via the `Schedule` verb.
+    Global,
+}
+
+impl BudgetMode {
+    /// Parses the CLI/JSON spelling.
+    pub fn parse(name: &str) -> Result<BudgetMode, String> {
+        match name {
+            "per-session" => Ok(BudgetMode::PerSession),
+            "global" => Ok(BudgetMode::Global),
+            other => Err(format!(
+                "unknown budget mode {other:?} (per-session or global)"
+            )),
+        }
+    }
+
+    /// The CLI/JSON spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            BudgetMode::PerSession => "per-session",
+            BudgetMode::Global => "global",
+        }
+    }
+
+    /// Whether the global scheduler is active.
+    pub fn is_global(self) -> bool {
+        matches!(self, BudgetMode::Global)
+    }
+}
+
+/// A recorded admission: the client's `Schedule` idempotency token and
+/// the session the scheduler picked for it. Retried tokens re-read the
+/// admitted session instead of admitting (and charging) twice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScheduledMark {
+    /// The client's idempotency token.
+    pub request: u64,
+    /// The session the admission opened a round on.
+    pub session: u64,
+}
+
+/// The scheduler state that rides the durable snapshot. The gain queue
+/// is deliberately absent — see the module docs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SchedSnapshot {
+    /// The shared ledger at snapshot time.
+    pub ledger: BudgetLedger,
+    /// Completed admissions by token, ascending.
+    pub scheduled: Vec<ScheduledMark>,
+}
+
+/// Live scheduler state (global mode only).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedState {
+    /// The shared judgment pool.
+    pub ledger: BudgetLedger,
+    /// Idle sessions ranked by `(gain desc, session asc)`.
+    pub queue: GainQueue,
+    /// Admission idempotency marks: token → session.
+    pub scheduled: BTreeMap<u64, u64>,
+}
+
+impl SchedState {
+    /// A fresh scheduler with the whole budget unspent and nothing
+    /// queued.
+    pub fn new(budget: u64) -> SchedState {
+        SchedState {
+            ledger: BudgetLedger::new(budget),
+            queue: GainQueue::new(),
+            scheduled: BTreeMap::new(),
+        }
+    }
+
+    /// Rebuilds ledger and marks from a durable snapshot. `budget` is
+    /// the operator's *current* grant: an operator may raise (or lower)
+    /// the pool across restarts, so the snapshot contributes only
+    /// `spent`, clamped to the new grant. The queue starts empty — the
+    /// caller rebuilds it from the recovered registry.
+    pub fn from_snapshot(snapshot: &SchedSnapshot, budget: u64) -> SchedState {
+        SchedState {
+            ledger: BudgetLedger {
+                budget,
+                spent: snapshot.ledger.spent.min(budget),
+            },
+            queue: GainQueue::new(),
+            scheduled: snapshot
+                .scheduled
+                .iter()
+                .map(|mark| (mark.request, mark.session))
+                .collect(),
+        }
+    }
+
+    /// The durable form (marks in ascending token order).
+    pub fn snapshot(&self) -> SchedSnapshot {
+        SchedSnapshot {
+            ledger: self.ledger,
+            scheduled: self
+                .scheduled
+                .iter()
+                .map(|(&request, &session)| ScheduledMark { request, session })
+                .collect(),
+        }
+    }
+
+    /// The session's current best task and gain, or `None` when the
+    /// session is not schedulable: a round is already open, the session
+    /// is exhausted, or its own budget has nothing left. Gains come from
+    /// the session's *live posterior*, so the value shifts as rounds
+    /// absorb — which is exactly the incremental recompute the scheduler
+    /// wants.
+    pub fn session_gain(state: &SessionState) -> Option<(usize, f64)> {
+        if state.has_open_round() || state.is_exhausted() || state.remaining() == 0 {
+            return None;
+        }
+        crowdfusion_core::sched::entity_gain(state.posterior(), state.pc_assumed())
+            .ok()
+            .flatten()
+    }
+
+    /// Applies a freshly computed gain: queue the session when
+    /// schedulable, drop it when not.
+    pub fn refresh(&mut self, session: u64, gain: Option<(usize, f64)>) {
+        match gain {
+            Some((fact, gain)) => self.queue.insert(session, fact, gain),
+            None => {
+                self.queue.remove(session);
+            }
+        }
+    }
+
+    /// Records a completed admission for idempotent retry.
+    pub fn mark(&mut self, request: Option<u64>, session: u64) {
+        if let Some(token) = request {
+            self.scheduled.insert(token, session);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_mode_parses_the_cli_spellings() {
+        assert_eq!(
+            BudgetMode::parse("per-session").unwrap(),
+            BudgetMode::PerSession
+        );
+        assert_eq!(BudgetMode::parse("global").unwrap(), BudgetMode::Global);
+        assert!(BudgetMode::parse("shared").is_err());
+        assert_eq!(BudgetMode::default(), BudgetMode::PerSession);
+        assert!(!BudgetMode::PerSession.is_global());
+        assert!(BudgetMode::Global.is_global());
+        for mode in [BudgetMode::PerSession, BudgetMode::Global] {
+            assert_eq!(BudgetMode::parse(mode.name()).unwrap(), mode);
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips_ledger_and_marks() {
+        let mut sched = SchedState::new(40);
+        sched.ledger.charge(13).unwrap();
+        sched.mark(Some(7), 2);
+        sched.mark(Some(3), 0);
+        sched.mark(None, 5); // no token, nothing recorded
+        sched.queue.insert(2, 0, 0.5); // queue must NOT persist
+
+        let snap = sched.snapshot();
+        assert_eq!(
+            snap.scheduled,
+            vec![
+                ScheduledMark {
+                    request: 3,
+                    session: 0
+                },
+                ScheduledMark {
+                    request: 7,
+                    session: 2
+                },
+            ]
+        );
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: SchedSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+
+        let revived = SchedState::from_snapshot(&back, 40);
+        assert_eq!(revived.ledger, sched.ledger);
+        assert_eq!(revived.scheduled, sched.scheduled);
+        assert!(revived.queue.is_empty(), "queues are rebuilt, not restored");
+    }
+
+    #[test]
+    fn from_snapshot_clamps_spent_to_a_shrunken_grant() {
+        let mut sched = SchedState::new(100);
+        sched.ledger.charge(60).unwrap();
+        let snap = sched.snapshot();
+        // Operator restarts with a smaller pool: spent clamps, remaining
+        // is zero, nothing underflows.
+        let shrunk = SchedState::from_snapshot(&snap, 50);
+        assert_eq!(shrunk.ledger.spent, 50);
+        assert_eq!(shrunk.ledger.remaining(), 0);
+        assert!(shrunk.ledger.is_exhausted());
+        // And with a raised pool the spend carries over unchanged.
+        let grown = SchedState::from_snapshot(&snap, 200);
+        assert_eq!(grown.ledger.spent, 60);
+        assert_eq!(grown.ledger.remaining(), 140);
+    }
+
+    #[test]
+    fn refresh_inserts_and_evicts_candidates() {
+        let mut sched = SchedState::new(10);
+        sched.refresh(4, Some((1, 0.25)));
+        sched.refresh(9, Some((0, 0.75)));
+        assert_eq!(sched.queue.peek().unwrap().session, 9);
+        sched.refresh(9, None);
+        assert_eq!(sched.queue.peek().unwrap().session, 4);
+        sched.refresh(4, None);
+        assert!(sched.queue.is_empty());
+    }
+}

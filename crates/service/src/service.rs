@@ -58,9 +58,11 @@ use crate::durable::{
 use crate::fault::{as_simulated_crash, FaultPlan, FaultPoint, SimulatedCrash};
 use crate::journal::Effect;
 use crate::protocol::{Request, Response};
+use crate::sched::{BudgetMode, SchedSnapshot, SchedState};
 use crate::snapshot;
 use crowdfusion_core::pool::Pool;
 use crowdfusion_core::round::RoundConfig;
+use crowdfusion_core::sched::{BudgetLedger, GainQueue};
 use crowdfusion_core::selection::{GreedySelector, RandomSelector, TaskSelector};
 use crowdfusion_core::session::{AbsorbReport, OpenedSession, SelectOutcome};
 use crowdfusion_core::shard::ShardedRegistry;
@@ -164,6 +166,13 @@ pub struct ServiceConfig {
     pub read_deadline_ms: Option<u64>,
     /// Reject protocol lines longer than this many bytes.
     pub max_line_bytes: usize,
+    /// How crowd budget is spent: per-session (the default, bit-identical
+    /// to the pre-scheduler daemon) or one shared pool admitted in
+    /// marginal-gain order via the `Schedule` verb.
+    pub budget_mode: BudgetMode,
+    /// The shared judgment pool for [`BudgetMode::Global`]; ignored in
+    /// per-session mode. A zero grant is born exhausted.
+    pub global_budget: u64,
 }
 
 impl ServiceConfig {
@@ -189,6 +198,8 @@ impl ServiceConfig {
             session_ttl_ms: None,
             read_deadline_ms: None,
             max_line_bytes: DEFAULT_MAX_LINE_BYTES,
+            budget_mode: BudgetMode::PerSession,
+            global_budget: 0,
         }
     }
 }
@@ -313,6 +324,16 @@ fn apply_effect(
             }
             Ok(EffectOutcome::Evicted)
         }
+        Effect::Schedule { session, cap, .. } => {
+            // A scheduler admission: the same selection a plain `Select`
+            // makes, but capped by the global budget remaining at
+            // admission time. Deterministic given registry state and the
+            // journalled cap, so replay reopens the identical round —
+            // and recharges the ledger from the round it reopened.
+            let outcome = registry.select_capped(*session, selector, Some(*cap))?;
+            lease(last_active).insert(*session, now);
+            Ok(EffectOutcome::Selected(outcome))
+        }
     }
 }
 
@@ -333,6 +354,14 @@ pub struct Service {
     order: Mutex<()>,
     /// Per-shard journal+apply serialisation for `Select`/`Absorb`.
     shard_order: Vec<Mutex<()>>,
+    /// Global-scheduler state; `Some` exactly when
+    /// [`ServiceConfig::budget_mode`] is global. A true leaf: it is
+    /// locked briefly to read or apply already-computed updates and is
+    /// NEVER held while acquiring the registry, a stripe, or the
+    /// durability handle — gain computations happen against the registry
+    /// first, then land here.
+    sched: Mutex<Option<SchedState>>,
+    budget_mode: BudgetMode,
     selector: Box<dyn TaskSelector + Send + Sync>,
     /// The daemon's default fusion-method name (see
     /// [`ServiceConfig::method`]).
@@ -370,6 +399,10 @@ impl Service {
 
         let opens = Mutex::new(BTreeMap::new());
         let last_active = Mutex::new(BTreeMap::new());
+        let mut sched = config
+            .budget_mode
+            .is_global()
+            .then(|| SchedState::new(config.global_budget));
         let (registry, durable) = match config.durability {
             None => (
                 ShardedRegistry::new(config.seed, config.defaults, pool, shards),
@@ -377,6 +410,15 @@ impl Service {
             ),
             Some(durability) => {
                 let recovery = recover(&durability.dir)?;
+                // The snapshot's ledger and admission marks seed the
+                // scheduler; replay below recharges journalled
+                // admissions on top. (A per-session boot ignores any
+                // scheduler state an earlier global incarnation left.)
+                if let Some(state) = sched.as_mut() {
+                    if let Some(snap) = recovery.snapshot.as_ref().and_then(|s| s.sched.as_ref()) {
+                        *state = SchedState::from_snapshot(snap, config.global_budget);
+                    }
+                }
                 let registry = Self::recovered_registry(
                     &recovery,
                     config.seed,
@@ -386,6 +428,7 @@ impl Service {
                     selector.as_ref(),
                     &opens,
                     &last_active,
+                    &mut sched,
                 )?;
                 let mut durable = Durability::open(durability, faults.clone(), &recovery)?;
                 // Compact: one fresh snapshot covering everything just
@@ -395,11 +438,25 @@ impl Service {
                     applied_seq: durable.last_seq(),
                     registry: registry.snapshot(),
                     opens: ledger_snapshot(&opens),
+                    sched: sched.as_ref().map(SchedState::snapshot),
                 };
                 durable.snapshot_now(&snapshot)?;
                 (registry, Some(durable))
             }
         };
+
+        // The gain queue is never persisted: rebuild it wholesale from
+        // the recovered registry (a pure function of session state, so
+        // identical across shard counts and recovery paths).
+        if let Some(state) = sched.as_mut() {
+            for session in registry.ids() {
+                let gain = registry
+                    .with_session(session, SchedState::session_gain)
+                    .ok()
+                    .flatten();
+                state.refresh(session, gain);
+            }
+        }
 
         // Recovery has no record of wall time; every recovered session's
         // TTL restarts at boot.
@@ -419,6 +476,8 @@ impl Service {
             last_active,
             order: Mutex::new(()),
             shard_order: (0..shards).map(|_| Mutex::new(())).collect(),
+            sched: Mutex::new(sched),
+            budget_mode: config.budget_mode,
             selector,
             method: config.method,
             threads: config.threads,
@@ -437,7 +496,10 @@ impl Service {
     /// (or a fresh one) with every post-snapshot journal record replayed
     /// through the same apply path live dispatch uses. Replay ignores
     /// per-effect errors: an effect that failed to apply before the crash
-    /// fails identically now.
+    /// fails identically now. In global mode, each replayed `Schedule`
+    /// that reopens a round recharges the ledger and re-records its
+    /// admission mark, so the ledger is exact without ever being
+    /// journalled itself.
     #[allow(clippy::too_many_arguments)]
     fn recovered_registry(
         recovery: &Recovery,
@@ -448,6 +510,7 @@ impl Service {
         selector: &dyn TaskSelector,
         opens: &Mutex<BTreeMap<u64, Vec<OpenedSession>>>,
         last_active: &Mutex<BTreeMap<u64, Tick>>,
+        sched: &mut Option<SchedState>,
     ) -> io::Result<ShardedRegistry> {
         let registry = match &recovery.snapshot {
             Some(snapshot) => {
@@ -468,7 +531,23 @@ impl Service {
             None => ShardedRegistry::new(seed, defaults, pool, shards),
         };
         for record in &recovery.replay {
-            let _ = apply_effect(selector, &registry, opens, last_active, &record.effect, 0);
+            let result = apply_effect(selector, &registry, opens, last_active, &record.effect, 0);
+            if let Effect::Schedule {
+                request, session, ..
+            } = &record.effect
+            {
+                if let (Some(state), Ok(EffectOutcome::Selected(SelectOutcome::Round(round)))) =
+                    (sched.as_mut(), &result)
+                {
+                    // A grant shrunk across restarts can make an honest
+                    // replay overcharge; pin to exhausted rather than
+                    // refuse the boot.
+                    if state.ledger.charge(round.tasks.len() as u64).is_err() {
+                        state.ledger.spent = state.ledger.budget;
+                    }
+                    state.mark(*request, *session);
+                }
+            }
         }
         Ok(registry)
     }
@@ -538,6 +617,39 @@ impl Service {
         &self.shard_order[(session % self.shard_order.len() as u64) as usize]
     }
 
+    /// The scheduler's durable form, for snapshot assembly (`None` in
+    /// per-session mode, keeping those snapshots byte-identical to the
+    /// pre-scheduler format).
+    fn sched_snapshot(&self) -> Option<SchedSnapshot> {
+        lease(&self.sched).as_ref().map(SchedState::snapshot)
+    }
+
+    /// Recomputes one session's marginal gain against the registry and
+    /// applies it to the gain queue. No-op in per-session mode. The gain
+    /// is computed *before* the scheduler lock is taken (leaf rule).
+    fn refresh_gain(&self, registry: &ShardedRegistry, session: u64) {
+        if !self.budget_mode.is_global() {
+            return;
+        }
+        let gain = registry
+            .with_session(session, SchedState::session_gain)
+            .ok()
+            .flatten();
+        if let Some(sched) = lease(&self.sched).as_mut() {
+            sched.refresh(session, gain);
+        }
+    }
+
+    /// Drops sessions from the gain queue (evictions). No-op in
+    /// per-session mode.
+    fn unqueue_sessions(&self, sessions: &[u64]) {
+        if let Some(sched) = lease(&self.sched).as_mut() {
+            for &session in sessions {
+                sched.queue.remove(session);
+            }
+        }
+    }
+
     /// The write path: journal → injected-fault window → apply. The caller
     /// holds the effect's serialisation locks (`order` or a
     /// `shard_order` stripe) plus the shared registry guard across this
@@ -593,6 +705,7 @@ impl Service {
             applied_seq: durable.last_seq(),
             registry: registry.snapshot(),
             opens: ledger_snapshot(&self.opens),
+            sched: self.sched_snapshot(),
         };
         durable
             .snapshot_now(&snapshot)
@@ -646,11 +759,260 @@ impl Service {
         }
         let (outcome, due) = {
             let registry = lease_read(&self.registry);
-            self.commit(&registry, Effect::Evict { sessions: expired })
+            self.commit(
+                &registry,
+                Effect::Evict {
+                    sessions: expired.clone(),
+                },
+            )
         };
+        self.unqueue_sessions(&expired);
         drop(order);
         self.finish_commit(outcome, due)?;
         Ok(())
+    }
+
+    /// Builds the client payload for a selection outcome (shared by
+    /// `Select`, global-mode admission and `Schedule`). Called with the
+    /// session's stripe still held so the exhausted payload reflects
+    /// this very selection.
+    fn select_payload(
+        &self,
+        registry: &ShardedRegistry,
+        session: u64,
+        outcome: Result<EffectOutcome, Fail>,
+    ) -> Result<Response, Fail> {
+        match outcome? {
+            EffectOutcome::Selected(SelectOutcome::Round(round)) => Ok(Response::Round {
+                session,
+                round: round.round,
+                tasks: round.tasks,
+            }),
+            EffectOutcome::Selected(SelectOutcome::Exhausted) => {
+                let (rounds, spent) = registry
+                    .with_session(session, |s| (s.rounds(), s.spent()))
+                    .map_err(|e| Fail::Msg(e.to_string()))?;
+                Ok(Response::Exhausted {
+                    session,
+                    rounds,
+                    spent,
+                })
+            }
+            _ => unreachable!("select applies to Selected"),
+        }
+    }
+
+    /// Applies a completed admission to the scheduler: a `Round` charges
+    /// its tasks against the shared ledger, dequeues the session (it is
+    /// busy until the round absorbs) and records the idempotency mark.
+    /// The charge cannot fail — admission capped the round by the budget
+    /// remaining, and `order` was held from cap to charge.
+    fn settle_admission(&self, session: u64, token: Option<u64>, payload: &Response) {
+        let mut sched = lease(&self.sched);
+        let Some(sched) = sched.as_mut() else { return };
+        if let Response::Round { tasks, .. } = payload {
+            sched
+                .ledger
+                .charge(tasks.len() as u64)
+                .expect("admission capped the round by the remaining budget");
+            sched.queue.remove(session);
+            sched.mark(token, session);
+        }
+    }
+
+    /// Global-mode `Select`: idempotent re-reads and exhausted polls stay
+    /// pure reads exactly as in per-session mode, and a selection that
+    /// would spend nothing (flipping an empty session to exhausted) is
+    /// granted freely — but a selection that would *open a round* must be
+    /// admitted: it is granted only when the session is the gain queue's
+    /// current best, journalled as a `Schedule` effect capped and charged
+    /// against the shared ledger. Anything else gets
+    /// [`Response::Deferred`] naming the scheduler's preferred session.
+    fn select_global(&self, session: u64) -> Result<Response, Fail> {
+        let err = |e: CoreError| Fail::Msg(e.to_string());
+        let order = lease(&self.order);
+        let (payload, due) = {
+            let registry = lease_read(&self.registry);
+            let _shard = lease(self.shard_lock(session));
+            let (open_round, exhausted, left) = registry
+                .with_session(session, |s| {
+                    (s.has_open_round(), s.is_exhausted(), s.remaining())
+                })
+                .map_err(err)?;
+            if open_round || exhausted {
+                let now = self.clock.now_ms();
+                let outcome = apply_effect(
+                    self.selector.as_ref(),
+                    &registry,
+                    &self.opens,
+                    &self.last_active,
+                    &Effect::Select { session },
+                    now,
+                )
+                .map_err(err);
+                (self.select_payload(&registry, session, outcome), false)
+            } else if left == 0 {
+                // Flips to exhausted without opening a round: spends
+                // nothing, so no admission contest — but it mutates, so
+                // it journals like any per-session select.
+                let (outcome, due) = self.commit(&registry, Effect::Select { session });
+                (self.select_payload(&registry, session, outcome), due)
+            } else {
+                let admission = {
+                    let sched = lease(&self.sched);
+                    let sched = sched.as_ref().expect("global mode has scheduler state");
+                    if sched.ledger.is_exhausted() {
+                        Err(None)
+                    } else {
+                        match sched.queue.peek() {
+                            Some(top) if top.session == session => Ok(sched.ledger.remaining()),
+                            Some(top) => Err(Some(top.session)),
+                            None => Err(None),
+                        }
+                    }
+                };
+                match admission {
+                    Err(preferred) => (Ok(Response::Deferred { session, preferred }), false),
+                    Ok(cap) => {
+                        let (outcome, due) = self.commit(
+                            &registry,
+                            Effect::Schedule {
+                                request: None,
+                                session,
+                                cap: cap as usize,
+                            },
+                        );
+                        let payload = self.select_payload(&registry, session, outcome);
+                        if let Ok(p) = &payload {
+                            self.settle_admission(session, None, p);
+                        }
+                        (payload, due)
+                    }
+                }
+            }
+        };
+        drop(order);
+        if due {
+            self.write_auto_snapshot()?;
+        }
+        payload
+    }
+
+    /// `Schedule` dispatch (global mode only): admit the gain queue's
+    /// best schedulable session, cap its round by the shared budget
+    /// remaining, charge what it opened. Stale entries — sessions that
+    /// became busy, exhausted or evicted since their gain was computed —
+    /// are pruned and the scan continues, so one call always lands on
+    /// live work or an honest [`Response::NoWork`]. A retried
+    /// idempotency token re-reads the original admission (a pure read)
+    /// instead of admitting and charging twice.
+    fn schedule_next(&self, token: Option<u64>) -> Result<Response, Fail> {
+        let err = |e: CoreError| Fail::Msg(e.to_string());
+        if !self.budget_mode.is_global() {
+            return Err(Fail::Msg(
+                "Schedule requires --budget-mode global (this daemon runs per-session budgets)"
+                    .to_string(),
+            ));
+        }
+        let order = lease(&self.order);
+        if let Some(token) = token {
+            let marked = lease(&self.sched)
+                .as_ref()
+                .and_then(|s| s.scheduled.get(&token).copied());
+            if let Some(session) = marked {
+                let registry = lease_read(&self.registry);
+                let open_round = registry
+                    .with_session(session, |s| s.has_open_round())
+                    .map_err(err)?;
+                return if open_round {
+                    let now = self.clock.now_ms();
+                    let outcome = apply_effect(
+                        self.selector.as_ref(),
+                        &registry,
+                        &self.opens,
+                        &self.last_active,
+                        &Effect::Select { session },
+                        now,
+                    )
+                    .map_err(err);
+                    self.select_payload(&registry, session, outcome)
+                } else {
+                    // The admitted round has since been fully absorbed;
+                    // an empty task list says nothing is owed.
+                    let round = registry
+                        .with_session(session, |s| s.rounds())
+                        .map_err(err)?;
+                    Ok(Response::Round {
+                        session,
+                        round,
+                        tasks: Vec::new(),
+                    })
+                };
+            }
+        }
+        let mut any_due = false;
+        let payload = loop {
+            // Pick under the scheduler lock, verify against the registry
+            // after releasing it (the scheduler mutex is a strict leaf).
+            let candidate = {
+                let sched = lease(&self.sched);
+                let sched = sched.as_ref().expect("global mode has scheduler state");
+                if sched.ledger.is_exhausted() {
+                    break Ok(Response::NoWork { remaining: 0 });
+                }
+                match sched.queue.peek() {
+                    None => {
+                        break Ok(Response::NoWork {
+                            remaining: sched.ledger.remaining(),
+                        })
+                    }
+                    Some(entry) => (entry.session, sched.ledger.remaining()),
+                }
+            };
+            let (session, cap) = candidate;
+            let registry = lease_read(&self.registry);
+            let shard = lease(self.shard_lock(session));
+            let schedulable = registry
+                .with_session(session, |s| {
+                    !s.has_open_round() && !s.is_exhausted() && s.remaining() > 0
+                })
+                .unwrap_or(false);
+            if !schedulable {
+                drop(shard);
+                drop(registry);
+                self.unqueue_sessions(&[session]);
+                continue;
+            }
+            let (outcome, due) = self.commit(
+                &registry,
+                Effect::Schedule {
+                    request: token,
+                    session,
+                    cap: cap as usize,
+                },
+            );
+            any_due |= due;
+            match self.select_payload(&registry, session, outcome) {
+                Ok(Response::Exhausted { .. }) => {
+                    // The selector stopped without opening a round:
+                    // nothing charged; drop the session and rescan.
+                    drop(shard);
+                    drop(registry);
+                    self.unqueue_sessions(&[session]);
+                    continue;
+                }
+                Ok(p) => {
+                    self.settle_admission(session, token, &p);
+                    break Ok(p);
+                }
+                Err(fail) => break Err(fail),
+            }
+        };
+        drop(order);
+        if any_due {
+            self.write_auto_snapshot()?;
+        }
+        payload
     }
 
     fn dispatch(&self, request: Request) -> Result<Response, Fail> {
@@ -700,6 +1062,41 @@ impl Service {
                 .into_iter()
                 .map(|session| (session, now))
                 .collect();
+            // Rebuild the scheduler against the restored registry. The
+            // exported snapshot format is registry-only, so the ledger
+            // is *reconstructed*: every restored judgment — spent or
+            // committed to a still-open round — was charged at
+            // admission, hence counts as spent here. Admission marks
+            // described rounds that no longer exist and are dropped.
+            if self.budget_mode.is_global() {
+                let ids = registry.ids();
+                let mut spent: u64 = 0;
+                let mut gains = Vec::with_capacity(ids.len());
+                for session in ids {
+                    spent += registry
+                        .with_session(session, |s| (s.spent() + s.open_round_tasks()) as u64)
+                        .unwrap_or(0);
+                    gains.push((
+                        session,
+                        registry
+                            .with_session(session, SchedState::session_gain)
+                            .ok()
+                            .flatten(),
+                    ));
+                }
+                if let Some(sched) = lease(&self.sched).as_mut() {
+                    let budget = sched.ledger.budget;
+                    sched.ledger = BudgetLedger {
+                        budget,
+                        spent: spent.min(budget),
+                    };
+                    sched.scheduled.clear();
+                    sched.queue = GainQueue::new();
+                    for (session, gain) in gains {
+                        sched.refresh(session, gain);
+                    }
+                }
+            }
             // Durability barrier: the restore replaces history, so the
             // restored state becomes the new recovery base at once.
             let mut durable = lease(&self.durable);
@@ -708,6 +1105,7 @@ impl Service {
                     applied_seq: durable.last_seq(),
                     registry: registry.snapshot(),
                     opens: Vec::new(),
+                    sched: self.sched_snapshot(),
                 };
                 durable
                     .snapshot_now(&snapshot)
@@ -770,11 +1168,24 @@ impl Service {
                 };
                 drop(order);
                 match self.finish_commit(outcome, due)? {
-                    EffectOutcome::Opened(sessions) => Ok(Response::Opened { sessions }),
+                    EffectOutcome::Opened(sessions) => {
+                        // Freshly opened sessions are idle with their
+                        // whole budget: queue their gains.
+                        if self.budget_mode.is_global() {
+                            let registry = lease_read(&self.registry);
+                            for opened in &sessions {
+                                self.refresh_gain(&registry, opened.session);
+                            }
+                        }
+                        Ok(Response::Opened { sessions })
+                    }
                     _ => unreachable!("open applies to Opened"),
                 }
             }
             Request::Select { session } => {
+                if self.budget_mode.is_global() {
+                    return self.select_global(session);
+                }
                 let (payload, due) = {
                     let registry = lease_read(&self.registry);
                     let _shard = lease(self.shard_lock(session));
@@ -844,13 +1255,22 @@ impl Service {
                     result
                 };
                 match self.finish_commit(outcome, due)? {
-                    EffectOutcome::Absorbed(report) => Ok(Response::Absorbed {
-                        session,
-                        accepted: report.accepted,
-                        duplicates: report.duplicates,
-                        pending: report.pending,
-                        closed: report.closed,
-                    }),
+                    EffectOutcome::Absorbed(report) => {
+                        // A closed round leaves the session idle with a
+                        // fresh posterior: recompute its place in the
+                        // gain queue (no-op in per-session mode).
+                        if report.closed.is_some() && self.budget_mode.is_global() {
+                            let registry = lease_read(&self.registry);
+                            self.refresh_gain(&registry, session);
+                        }
+                        Ok(Response::Absorbed {
+                            session,
+                            accepted: report.accepted,
+                            duplicates: report.duplicates,
+                            pending: report.pending,
+                            closed: report.closed,
+                        })
+                    }
                     _ => unreachable!("absorb applies to Absorbed"),
                 }
             }
@@ -879,6 +1299,48 @@ impl Service {
                 lease(&self.last_active).insert(session, now);
                 Ok(response)
             }
+            Request::Schedule { request } => self.schedule_next(request),
+            Request::BudgetStatus => {
+                // Copy out of the scheduler mutex before touching the
+                // registry — the scheduler is a leaf lock and must never
+                // be held while acquiring anything else.
+                let global = lease(&self.sched)
+                    .as_ref()
+                    .map(|s| (s.ledger, s.queue.peek()));
+                match global {
+                    Some((ledger, next)) => Ok(Response::Budget {
+                        mode: BudgetMode::Global.name().to_string(),
+                        budget: ledger.budget,
+                        spent: ledger.spent,
+                        remaining: ledger.remaining(),
+                        next_session: next.as_ref().map(|e| e.session),
+                        next_gain_bits: next.as_ref().map(|e| e.bits),
+                    }),
+                    None => {
+                        // Per-session mode: report the aggregate of the
+                        // independent session budgets.
+                        let registry = lease_read(&self.registry);
+                        let mut spent = 0u64;
+                        let mut remaining = 0u64;
+                        for session in registry.ids() {
+                            if let Ok((s, r)) = registry.with_session(session, |st| {
+                                (st.spent() as u64, st.remaining() as u64)
+                            }) {
+                                spent += s;
+                                remaining += r;
+                            }
+                        }
+                        Ok(Response::Budget {
+                            mode: BudgetMode::PerSession.name().to_string(),
+                            budget: spent + remaining,
+                            spent,
+                            remaining,
+                            next_session: None,
+                            next_gain_bits: None,
+                        })
+                    }
+                }
+            }
             Request::Metrics => Ok(Response::Metrics {
                 metrics: lease_read(&self.registry).metrics(),
             }),
@@ -898,6 +1360,7 @@ impl Service {
                         applied_seq: durable.last_seq(),
                         registry: registry.snapshot(),
                         opens: ledger_snapshot(&self.opens),
+                        sched: self.sched_snapshot(),
                     };
                     if let Err(e) = durable.snapshot_now(&snapshot) {
                         if let Some(crash) = as_simulated_crash(&e) {
@@ -969,7 +1432,7 @@ fn ledger_snapshot(opens: &Mutex<BTreeMap<u64, Vec<OpenedSession>>>) -> Vec<Comp
 mod tests {
     use super::*;
     use crate::protocol::WireAnswer as WA;
-    use crowdfusion_core::session::EntitySpec;
+    use crowdfusion_core::session::{EntitySpec, PublishedTask};
     use std::sync::atomic::AtomicU64;
 
     static NEXT_DIR: AtomicU64 = AtomicU64::new(0);
@@ -1471,5 +1934,251 @@ mod tests {
             Response::from_value(body).unwrap(),
             crate::protocol::unsupported_version(7)
         );
+    }
+
+    // ---- global budget scheduler ----------------------------------
+
+    fn global_config(budget: u64) -> ServiceConfig {
+        let mut config = base_config();
+        config.budget_mode = BudgetMode::Global;
+        config.global_budget = budget;
+        config
+    }
+
+    fn open_entity(svc: &Service, spec: EntitySpec) -> u64 {
+        let Response::Opened { sessions } = svc.handle(Request::Open {
+            request: None,
+            entities: vec![spec],
+            k: None,
+            budget: None,
+            pc: None,
+        }) else {
+            panic!("open failed");
+        };
+        sessions[0].session
+    }
+
+    /// Near-certain marginals: tiny entropy, tiny marginal gain.
+    fn easy_spec() -> EntitySpec {
+        EntitySpec::simple("easy", vec![0.95, 0.9, 0.92], vec![true, true, true])
+    }
+
+    /// Coin-flip marginals: maximal entropy, maximal marginal gain.
+    fn hard_spec() -> EntitySpec {
+        EntitySpec::simple("hard", vec![0.5, 0.5, 0.5], vec![true, false, true])
+    }
+
+    fn absorb_all(svc: &Service, session: u64, tasks: &[PublishedTask]) {
+        let answers: Vec<WA> = tasks
+            .iter()
+            .map(|t| WA {
+                task: t.id,
+                value: true,
+            })
+            .collect();
+        let Response::Absorbed { pending, .. } = svc.handle(Request::Absorb { session, answers })
+        else {
+            panic!("absorb failed");
+        };
+        assert_eq!(pending, 0, "round must close");
+    }
+
+    #[test]
+    fn global_mode_admits_by_descending_marginal_gain() {
+        let svc = Service::new(global_config(40)).unwrap();
+        let easy = open_entity(&svc, easy_spec());
+        let hard = open_entity(&svc, hard_spec());
+        // The scheduler prefers the high-entropy session...
+        let Response::Budget {
+            mode,
+            budget,
+            spent,
+            next_session,
+            ..
+        } = svc.handle(Request::BudgetStatus)
+        else {
+            panic!("budget status failed");
+        };
+        assert_eq!((mode.as_str(), budget, spent), ("global", 40, 0));
+        assert_eq!(next_session, Some(hard));
+        // ...so selecting the easy one is deferred, naming the winner.
+        assert_eq!(
+            svc.handle(Request::Select { session: easy }),
+            Response::Deferred {
+                session: easy,
+                preferred: Some(hard),
+            }
+        );
+        // Select on the winner is admitted and charged to the pool.
+        let Response::Round { session, tasks, .. } = svc.handle(Request::Select { session: hard })
+        else {
+            panic!("admitted select failed");
+        };
+        assert_eq!(session, hard);
+        let Response::Budget { spent, .. } = svc.handle(Request::BudgetStatus) else {
+            panic!("budget status failed");
+        };
+        assert_eq!(spent, tasks.len() as u64);
+        // While the round is open the session is dequeued: the easy one
+        // is now the scheduler's best.
+        let Response::Budget { next_session, .. } = svc.handle(Request::BudgetStatus) else {
+            panic!("budget status failed");
+        };
+        assert_eq!(next_session, Some(easy));
+        // Re-selecting the busy session stays an idempotent pure read.
+        let Response::Round { tasks: again, .. } = svc.handle(Request::Select { session: hard })
+        else {
+            panic!("re-select failed");
+        };
+        assert_eq!(again, tasks);
+        // Absorbing the round re-queues it with a fresh gain.
+        absorb_all(&svc, hard, &tasks);
+        let Response::Budget { next_session, .. } = svc.handle(Request::BudgetStatus) else {
+            panic!("budget status failed");
+        };
+        assert!(next_session.is_some());
+    }
+
+    #[test]
+    fn equal_gains_break_ties_toward_the_lower_session_id() {
+        let svc = Service::new(global_config(40)).unwrap();
+        let first = open_entity(&svc, hard_spec());
+        let second = open_entity(&svc, hard_spec());
+        assert!(first < second);
+        let Response::Budget { next_session, .. } = svc.handle(Request::BudgetStatus) else {
+            panic!("budget status failed");
+        };
+        assert_eq!(next_session, Some(first));
+    }
+
+    #[test]
+    fn schedule_drains_the_pool_then_reports_no_work() {
+        // Pool of 2 with k=2: one admitted round spends everything.
+        let svc = Service::new(global_config(2)).unwrap();
+        let easy = open_entity(&svc, easy_spec());
+        let hard = open_entity(&svc, hard_spec());
+        let Response::Round { session, tasks, .. } =
+            svc.handle(Request::Schedule { request: None })
+        else {
+            panic!("schedule failed");
+        };
+        assert_eq!(session, hard, "best gain first");
+        assert_eq!(tasks.len(), 2);
+        assert_eq!(
+            svc.handle(Request::Schedule { request: None }),
+            Response::NoWork { remaining: 0 }
+        );
+        // An exhausted pool defers every round-opening select too.
+        assert_eq!(
+            svc.handle(Request::Select { session: easy }),
+            Response::Deferred {
+                session: easy,
+                preferred: None,
+            }
+        );
+    }
+
+    #[test]
+    fn schedule_token_retries_reread_instead_of_recharging() {
+        let svc = Service::new(global_config(40)).unwrap();
+        open_entity(&svc, easy_spec());
+        let hard = open_entity(&svc, hard_spec());
+        let Response::Round { session, tasks, .. } =
+            svc.handle(Request::Schedule { request: Some(9) })
+        else {
+            panic!("schedule failed");
+        };
+        assert_eq!(session, hard);
+        let spent_once = {
+            let Response::Budget { spent, .. } = svc.handle(Request::BudgetStatus) else {
+                panic!("budget status failed");
+            };
+            spent
+        };
+        // Retry with the round still open: same round, same tasks, no
+        // new charge, no second admission.
+        let Response::Round {
+            session: replayed,
+            tasks: replayed_tasks,
+            ..
+        } = svc.handle(Request::Schedule { request: Some(9) })
+        else {
+            panic!("retry failed");
+        };
+        assert_eq!((replayed, &replayed_tasks), (hard, &tasks));
+        // Retry after the round absorbed: empty task list says the
+        // admission is complete.
+        absorb_all(&svc, hard, &tasks);
+        let Response::Round {
+            tasks: done_tasks, ..
+        } = svc.handle(Request::Schedule { request: Some(9) })
+        else {
+            panic!("post-absorb retry failed");
+        };
+        assert!(done_tasks.is_empty());
+        let Response::Budget { spent, .. } = svc.handle(Request::BudgetStatus) else {
+            panic!("budget status failed");
+        };
+        assert_eq!(spent, spent_once, "retries never re-charge");
+    }
+
+    #[test]
+    fn schedule_requires_global_mode_and_status_aggregates_per_session() {
+        let svc = service();
+        let response = svc.handle(Request::Schedule { request: None });
+        assert!(
+            matches!(response, Response::Error { ref message } if message.contains("budget-mode")),
+            "{response:?}"
+        );
+        // BudgetStatus still answers: the per-session aggregate.
+        let id = open_one(&svc, None)[0].session;
+        let Response::Budget {
+            mode,
+            budget,
+            spent,
+            remaining,
+            next_session,
+            ..
+        } = svc.handle(Request::BudgetStatus)
+        else {
+            panic!("budget status failed");
+        };
+        assert_eq!(mode, "per-session");
+        assert_eq!((budget, spent, remaining), (6, 0, 6));
+        assert_eq!(next_session, None);
+        let _ = id;
+    }
+
+    #[test]
+    fn global_sched_state_survives_restart() {
+        let dir = temp_dir("sched-restart");
+        let mut config = global_config(40);
+        config.durability = Some(DurabilityConfig::new(&dir));
+        let svc = Service::new(config.clone()).unwrap();
+        open_entity(&svc, easy_spec());
+        let hard = open_entity(&svc, hard_spec());
+        let Response::Round { session, tasks, .. } =
+            svc.handle(Request::Schedule { request: Some(3) })
+        else {
+            panic!("schedule failed");
+        };
+        assert_eq!(session, hard);
+        let before = svc.handle(Request::BudgetStatus);
+        // No shutdown, no drain: the journal alone must carry the
+        // ledger (recharged from the replayed Schedule effect), the
+        // admission mark, and the material to rebuild the queue.
+        drop(svc);
+        let revived = Service::new(config).unwrap();
+        assert_eq!(revived.handle(Request::BudgetStatus), before);
+        // The admitted round survives and the token still re-reads it.
+        let Response::Round {
+            session: replayed,
+            tasks: replayed_tasks,
+            ..
+        } = revived.handle(Request::Schedule { request: Some(3) })
+        else {
+            panic!("post-restart retry failed");
+        };
+        assert_eq!((replayed, &replayed_tasks), (hard, &tasks));
     }
 }

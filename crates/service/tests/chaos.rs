@@ -25,7 +25,8 @@ use crowdfusion_core::session::EntitySpec;
 use crowdfusion_crowd::{AnswerReplay, Task, TaskId, UniformAccuracy, WorkerPool};
 use crowdfusion_service::protocol::{Request, Response, WireAnswer};
 use crowdfusion_service::{
-    DurabilityConfig, FaultAction, FaultPlan, FaultPoint, SelectorChoice, Service, ServiceConfig,
+    BudgetMode, DurabilityConfig, FaultAction, FaultPlan, FaultPoint, SelectorChoice, Service,
+    ServiceConfig,
 };
 use std::collections::BTreeMap;
 use std::path::PathBuf;
@@ -353,6 +354,183 @@ fn repeated_crashes_in_one_run_still_recover() {
                     FaultPoint::SnapshotWrite,
                     3,
                     FaultAction::Torn { keep_bytes: 11 },
+                ),
+            3,
+        );
+    }
+}
+
+/// The global-scheduler workload: everything flows through tokenised
+/// `Schedule` requests (so crash redelivery is idempotent), rounds are
+/// absorbed in two partial batches from the drawn-answer cache, and the
+/// acceptance line is the final trace *plus* the shared-ledger
+/// `BudgetStatus` — the recovered daemon must agree on who was admitted,
+/// in what order, and what it cost, byte for byte.
+fn run_global_workload(mut deliver: impl FnMut(Request) -> Response) -> String {
+    let specs = specs();
+    let Response::Opened { sessions } = deliver(Request::Open {
+        request: Some(1),
+        entities: specs.clone(),
+        k: None,
+        budget: None,
+        pc: None,
+    }) else {
+        panic!("open failed");
+    };
+    let pool = WorkerPool::uniform(WORKERS, PC).unwrap();
+    let model = UniformAccuracy::new(PC);
+    let mut replays: Vec<AnswerReplay> = sessions
+        .iter()
+        .map(|s| AnswerReplay::from_seed(s.answer_seed))
+        .collect();
+    let index: BTreeMap<u64, usize> = sessions
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.session, i))
+        .collect();
+    let mut drawn: BTreeMap<(u64, usize), Vec<WireAnswer>> = BTreeMap::new();
+    let mut token = 100u64;
+    loop {
+        token += 1;
+        let (session, round, tasks) = match deliver(Request::Schedule {
+            request: Some(token),
+        }) {
+            Response::NoWork { .. } => break,
+            Response::Round {
+                session,
+                round,
+                tasks,
+            } => (session, round, tasks),
+            other => panic!("unexpected schedule response {other:?}"),
+        };
+        assert!(!tasks.is_empty(), "fresh admissions always carry tasks");
+        let i = index[&session];
+        let answers = drawn.entry((session, round)).or_insert_with(|| {
+            let crowd_tasks: Vec<Task> = tasks
+                .iter()
+                .map(|t| Task {
+                    id: TaskId(t.id),
+                    prompt: t.prompt.clone(),
+                    class: t.class,
+                })
+                .collect();
+            let truths: Vec<bool> = tasks.iter().map(|t| specs[i].gold[t.fact]).collect();
+            replays[i]
+                .answers(&pool, &model, &crowd_tasks, &truths)
+                .unwrap()
+                .iter()
+                .map(|a| WireAnswer {
+                    task: a.task.0,
+                    value: a.value,
+                })
+                .collect()
+        });
+        let cut = answers.len().div_ceil(2);
+        let batches: Vec<Vec<WireAnswer>> = [&answers[..cut], &answers[cut..]]
+            .iter()
+            .filter(|b| !b.is_empty())
+            .map(|b| b.to_vec())
+            .collect();
+        for batch in batches {
+            match deliver(Request::Absorb {
+                session,
+                answers: batch,
+            }) {
+                Response::Absorbed { .. } => {}
+                other => panic!("unexpected absorb response {other:?}"),
+            }
+        }
+    }
+    let Response::Trace { trace } = deliver(Request::Trace) else {
+        panic!("trace failed");
+    };
+    let budget = deliver(Request::BudgetStatus);
+    format!(
+        "{}\n{}",
+        crowdfusion_service::protocol::encode(&trace),
+        crowdfusion_service::protocol::encode(&budget)
+    )
+}
+
+fn global_config(threads: usize) -> ServiceConfig {
+    let mut config = base_config(threads);
+    config.budget_mode = BudgetMode::Global;
+    // Smaller than the sessions' combined demand (3 × 6), so the run
+    // ends on a *drained pool*, pinning the exhaustion boundary too.
+    config.global_budget = 10;
+    config
+}
+
+/// Like [`assert_recovers`], for the global-scheduler workload.
+fn assert_global_recovers(label: &str, threads: usize, plan: FaultPlan, expect_fired: u64) {
+    let reference = {
+        let service = Service::new(global_config(threads)).unwrap();
+        run_global_workload(|request| service.handle(request))
+    };
+    let dir = temp_dir(label);
+    let mut config = global_config(threads);
+    let mut durability = DurabilityConfig::new(&dir);
+    durability.snapshot_every = 3;
+    config.durability = Some(durability);
+    config.faults = plan.clone();
+    let mut supervisor = Supervisor::new(config);
+    let recovered = run_global_workload(|request| supervisor.deliver(request));
+    assert_eq!(
+        recovered, reference,
+        "[{label}] recovered global-budget run must be byte-identical (threads = {threads})"
+    );
+    assert_eq!(
+        plan.fired(),
+        expect_fired,
+        "[{label}] every scheduled fault must actually fire"
+    );
+    assert!(
+        supervisor.boots >= 2,
+        "[{label}] expected recovery boots, saw {}",
+        supervisor.boots
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Tentpole acceptance (PR 10): the shared ledger, admission marks and
+/// gain queue survive every kill window — mid-journal-append (the
+/// `Schedule` effect may or may not be on disk), mid-apply (journalled
+/// but unapplied: replay must re-open the round AND re-charge the
+/// ledger), and mid-snapshot (the ledger rides the snapshot; the journal
+/// tail must recharge only what follows it) — at pool widths 1 and 4.
+#[test]
+fn global_budget_mode_recovers_bit_identically() {
+    for threads in [1usize, 4] {
+        for occurrence in [2u64, 5] {
+            assert_global_recovers(
+                "global-journal-append",
+                threads,
+                FaultPlan::none().on(FaultPoint::JournalAppend, occurrence, FaultAction::Crash),
+                1,
+            );
+            assert_global_recovers(
+                "global-effect-apply",
+                threads,
+                FaultPlan::none().on(FaultPoint::EffectApply, occurrence, FaultAction::Crash),
+                1,
+            );
+        }
+        assert_global_recovers(
+            "global-snapshot-write",
+            threads,
+            FaultPlan::none().on(FaultPoint::SnapshotWrite, 2, FaultAction::Crash),
+            1,
+        );
+        assert_global_recovers(
+            "global-multi-crash",
+            threads,
+            FaultPlan::none()
+                .on(FaultPoint::JournalAppend, 3, FaultAction::Crash)
+                .on(FaultPoint::EffectApply, 6, FaultAction::Crash)
+                .on(
+                    FaultPoint::SnapshotWrite,
+                    2,
+                    FaultAction::Torn { keep_bytes: 25 },
                 ),
             3,
         );

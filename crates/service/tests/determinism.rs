@@ -22,11 +22,12 @@ use crowdfusion_core::system::{Experiment, ExperimentTrace};
 use crowdfusion_crowd::{AnswerReplay, CrowdPlatform, Task, TaskId, UniformAccuracy, WorkerPool};
 use crowdfusion_service::protocol::{Request, Response, WireAnswer};
 use crowdfusion_service::service::{SelectorChoice, ServiceConfig};
-use crowdfusion_service::Service;
+use crowdfusion_service::{BudgetMode, Service};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
 
 const WORKERS: usize = 8;
 
@@ -288,6 +289,178 @@ fn sharded_service_trace(
     trace
 }
 
+/// Drives a *global-budget* daemon entirely through the `Schedule` verb
+/// until the shared pool runs dry or no session has work left, absorbing
+/// each admitted round scrambled. Returns the admission order (the
+/// sequence of sessions the scheduler picked), the final trace, and the
+/// closing `BudgetStatus` response.
+fn global_sched_trace(
+    specs: &[EntitySpec],
+    config: RoundConfig,
+    seed: u64,
+    threads: usize,
+    shards: usize,
+    global_budget: u64,
+    order_seed: u64,
+) -> (Vec<u64>, ExperimentTrace, Response) {
+    let mut service_config = ServiceConfig::new(seed, config, threads, SelectorChoice::Greedy);
+    service_config.shards = shards;
+    service_config.budget_mode = BudgetMode::Global;
+    service_config.global_budget = global_budget;
+    let service = Service::new(service_config).unwrap();
+    let Response::Opened { sessions } = service.handle(Request::Open {
+        request: None,
+        entities: specs.to_vec(),
+        k: None,
+        budget: None,
+        pc: None,
+    }) else {
+        panic!("open failed");
+    };
+    let pool = WorkerPool::uniform(WORKERS, config.pc_assumed).unwrap();
+    let model = UniformAccuracy::new(config.pc_assumed);
+    let mut replays: Vec<AnswerReplay> = sessions
+        .iter()
+        .map(|s| AnswerReplay::from_seed(s.answer_seed))
+        .collect();
+    let index: BTreeMap<u64, usize> = sessions
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.session, i))
+        .collect();
+    let mut scramble = StdRng::seed_from_u64(order_seed);
+    let mut admitted = Vec::new();
+    loop {
+        let (session, tasks) = match service.handle(Request::Schedule { request: None }) {
+            Response::NoWork { .. } => break,
+            Response::Round { session, tasks, .. } => (session, tasks),
+            other => panic!("unexpected schedule response {other:?}"),
+        };
+        admitted.push(session);
+        let i = index[&session];
+        let crowd_tasks: Vec<Task> = tasks
+            .iter()
+            .map(|t| Task {
+                id: TaskId(t.id),
+                prompt: t.prompt.clone(),
+                class: t.class,
+            })
+            .collect();
+        let truths: Vec<bool> = tasks.iter().map(|t| specs[i].gold[t.fact]).collect();
+        let answers = replays[i]
+            .answers(&pool, &model, &crowd_tasks, &truths)
+            .unwrap();
+        let mut wire: Vec<WireAnswer> = answers
+            .iter()
+            .map(|a| WireAnswer {
+                task: a.task.0,
+                value: a.value,
+            })
+            .collect();
+        wire.shuffle(&mut scramble);
+        let cut = scramble.gen_range(0..=wire.len());
+        for batch in [&wire[..cut], &wire[..1.min(wire.len())], &wire[cut..]] {
+            if batch.is_empty() {
+                continue;
+            }
+            match service.handle(Request::Absorb {
+                session,
+                answers: batch.to_vec(),
+            }) {
+                Response::Absorbed { .. } => {}
+                other => panic!("unexpected absorb response {other:?}"),
+            }
+        }
+    }
+    let Response::Trace { trace } = service.handle(Request::Trace) else {
+        panic!("trace failed");
+    };
+    let budget = service.handle(Request::BudgetStatus);
+    (admitted, trace, budget)
+}
+
+/// Satellite (PR 10): with the scheduler off (the default), the daemon
+/// is *byte-identical* to its pre-scheduler ancestor — the WAL carries
+/// no `Schedule` effects and the durable snapshot has no `sched` key, so
+/// artifacts written today replay cleanly on the old decoder and vice
+/// versa.
+#[test]
+fn per_session_daemon_writes_no_scheduler_bytes() {
+    use crowdfusion_service::durable::{DurabilityConfig, JOURNAL_FILE, SNAPSHOT_FILE};
+    let dir = std::env::temp_dir().join(format!(
+        "cf-sched-off-bytes-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let specs = specs_from_seed(3);
+    let config = RoundConfig::new(2, 6, 0.8).unwrap();
+    let mut service_config = ServiceConfig::new(3, config, 1, SelectorChoice::Greedy);
+    service_config.durability = Some(DurabilityConfig::new(&dir));
+    let service = Service::new(service_config).unwrap();
+    let Response::Opened { sessions } = service.handle(Request::Open {
+        request: None,
+        entities: specs.clone(),
+        k: None,
+        budget: None,
+        pc: None,
+    }) else {
+        panic!("open failed");
+    };
+    // One full round plus one partial, so the WAL holds Open, Select and
+    // Absorb effects; Shutdown drains the snapshot.
+    let Response::Round { tasks, .. } = service.handle(Request::Select {
+        session: sessions[0].session,
+    }) else {
+        panic!("select failed");
+    };
+    let pool = WorkerPool::uniform(WORKERS, config.pc_assumed).unwrap();
+    let model = UniformAccuracy::new(config.pc_assumed);
+    let crowd_tasks: Vec<Task> = tasks
+        .iter()
+        .map(|t| Task {
+            id: TaskId(t.id),
+            prompt: t.prompt.clone(),
+            class: t.class,
+        })
+        .collect();
+    let truths: Vec<bool> = tasks.iter().map(|t| specs[0].gold[t.fact]).collect();
+    let answers = AnswerReplay::from_seed(sessions[0].answer_seed)
+        .answers(&pool, &model, &crowd_tasks, &truths)
+        .unwrap();
+    let wire: Vec<WireAnswer> = answers
+        .iter()
+        .take(1)
+        .map(|a| WireAnswer {
+            task: a.task.0,
+            value: a.value,
+        })
+        .collect();
+    let Response::Absorbed { .. } = service.handle(Request::Absorb {
+        session: sessions[0].session,
+        answers: wire,
+    }) else {
+        panic!("absorb failed");
+    };
+    let journal = std::fs::read(dir.join(JOURNAL_FILE)).unwrap();
+    assert!(!journal.is_empty(), "the WAL must hold the effects");
+    let journal_text = String::from_utf8_lossy(&journal);
+    assert!(
+        !journal_text.contains("Schedule"),
+        "per-session WALs must not mention the scheduler"
+    );
+    let Response::Bye = service.handle(Request::Shutdown) else {
+        panic!("shutdown failed");
+    };
+    let snapshot = std::fs::read_to_string(dir.join(SNAPSHOT_FILE)).unwrap();
+    assert!(
+        !snapshot.contains("sched"),
+        "per-session snapshots must not carry a sched key: {snapshot}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
@@ -397,6 +570,35 @@ proptest! {
             let served =
                 sharded_service_trace(&specs, config, seed, 4, from, order_seed, Some(to));
             prop_assert_eq!(&served, &reference, "restore {} -> {} shards", from, to);
+        }
+    }
+
+    /// Tentpole (PR 10): the global budget scheduler is deterministic —
+    /// the admission order (which session gets the pool, round by
+    /// round), the final trace, and the closing ledger are bit-identical
+    /// at every shard count × thread count, including when the pool runs
+    /// dry mid-run.
+    #[test]
+    fn global_scheduler_is_bit_identical_across_shards_and_threads(
+        seed in 0u64..1000,
+        order_seed in 0u64..1000,
+        global_budget in 4u64..20,
+    ) {
+        let specs = specs_from_seed(seed);
+        let config = RoundConfig::new(2, 6, 0.8).unwrap();
+        let reference =
+            global_sched_trace(&specs, config, seed, 1, 1, global_budget, order_seed);
+        prop_assert!(!reference.0.is_empty(), "the scheduler admitted nothing");
+        for shards in [2usize, 8] {
+            for threads in [1usize, 4] {
+                let served = global_sched_trace(
+                    &specs, config, seed, threads, shards, global_budget, order_seed,
+                );
+                prop_assert_eq!(
+                    &served, &reference,
+                    "shards = {}, threads = {}", shards, threads
+                );
+            }
         }
     }
 }

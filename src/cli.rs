@@ -18,6 +18,7 @@
 //!                             [--wal-dir DIR] [--snapshot-every N] [--sync-every N]
 //!                             [--group-commit BOOL] [--session-ttl-ms MS]
 //!                             [--read-deadline-ms MS] [--max-line-bytes N]
+//!                             [--budget-mode per-session|global] [--global-budget N]
 //! crowdfusion demo            # the paper's running example
 //! ```
 //!
@@ -69,6 +70,7 @@ USAGE:
                      [--wal-dir DIR] [--snapshot-every N] [--sync-every N]
                      [--group-commit BOOL] [--session-ttl-ms MS]
                      [--read-deadline-ms MS] [--max-line-bytes N]
+                     [--budget-mode per-session|global] [--global-budget N]
   crowdfusion demo
   crowdfusion help
 
@@ -95,7 +97,11 @@ connections; --max-line-bytes bounds one protocol line. serve --config FILE
 loads all of the above from one JSON document (partial files merge over the
 defaults; explicit flags still win); --shards sets the registry lock-stripe
 count (traces are identical at any value); --group-commit true batches
-journal fsyncs per event-loop ready-batch.
+journal fsyncs per event-loop ready-batch. --budget-mode global grants one
+shared pool of --global-budget judgments spent across ALL sessions in
+descending marginal-gain order: the Schedule verb admits the best idle
+session, Select on a non-preferred session answers Deferred, and
+BudgetStatus reports the shared ledger.
 ";
 
 /// Parsed flag map: `--name value` pairs. Ordered so diagnostics (e.g.
@@ -360,6 +366,8 @@ pub fn run(args: &[String]) -> Result<String, String> {
                 "session-ttl-ms",
                 "read-deadline-ms",
                 "max-line-bytes",
+                "budget-mode",
+                "global-budget",
             ])?;
             // One declarative document, then flags override field by
             // field: `--config serve.json --shards 2` serves the file's
@@ -426,6 +434,8 @@ pub fn run(args: &[String]) -> Result<String, String> {
                 serve.read_deadline_ms = Some(deadline);
             }
             serve.max_line_bytes = flags.take("max-line-bytes", serve.max_line_bytes)?;
+            serve.budget_mode = flags.take("budget-mode", serve.budget_mode.clone())?;
+            serve.global_budget = flags.take("global-budget", serve.global_budget)?;
             // One validation pass for flags and file alike.
             let config = serve.build()?;
             let threads = config.threads;
@@ -712,6 +722,15 @@ mod tests {
         assert!(run(&args(&["serve", "--addr", "999.999.999.999:1"]))
             .unwrap_err()
             .contains("cannot bind"));
+        assert!(run(&args(&["serve", "--budget-mode", "shared"]))
+            .unwrap_err()
+            .contains("unknown budget mode"));
+        assert!(run(&args(&["serve", "--budget-mode", "global"]))
+            .unwrap_err()
+            .contains("global_budget"));
+        assert!(run(&args(&["serve", "--global-budget", "50"]))
+            .unwrap_err()
+            .contains("budget_mode"));
     }
 
     #[test]

@@ -67,7 +67,9 @@ pub mod prelude {
     pub use crowdfusion_core::metrics::{ConfusionCounts, QualityPoint};
     pub use crowdfusion_core::model::{Fact, FactSet};
     pub use crowdfusion_core::prior::{default_grouped_prior, grouped_prior, independent_prior};
-    pub use crowdfusion_core::query::{query_utility, QueryGreedySelector};
+    pub use crowdfusion_core::query::{
+        query_utility, run_query_rounds, QueryCurvePoint, QueryGreedySelector,
+    };
     pub use crowdfusion_core::round::{EntityCase, EntityTrace, RoundConfig};
     pub use crowdfusion_core::selection::{
         GreedySelector, OptSelector, PruneBound, RandomSelector, SampledGreedySelector,
